@@ -1,0 +1,41 @@
+"""Ablation — the frame-selection helper.
+
+DESIGN.md §5: how much does the frame-selection helper reduce response noise?
+The paper reports that submitted values differ from the raw slider choice by
+~300 ms on average; disabling the helper leaves that sloppiness in the data.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.analysis import mean, uplt_stdev_per_video
+from repro.experiments.plt_campaign import run_plt_campaign
+
+ABLATION_SITES = 8
+ABLATION_PARTICIPANTS = 60
+
+
+def test_ablation_frame_helper(benchmark):
+    def run_both():
+        with_helper = run_plt_campaign(
+            sites=ABLATION_SITES, participants=ABLATION_PARTICIPANTS, loads_per_site=2,
+            seed=77, frame_helper_enabled=True,
+        )
+        without_helper = run_plt_campaign(
+            sites=ABLATION_SITES, participants=ABLATION_PARTICIPANTS, loads_per_site=2,
+            seed=77, frame_helper_enabled=False,
+        )
+        return with_helper, without_helper
+
+    with_helper, without_helper = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    stdev_with = mean(list(uplt_stdev_per_video(with_helper.campaign.raw_dataset).values()))
+    stdev_without = mean(list(uplt_stdev_per_video(without_helper.campaign.raw_dataset).values()))
+    print_header("Ablation — frame-selection helper on/off")
+    print(f"mean per-video UPLT stdev with helper:    {stdev_with:.2f}s")
+    print(f"mean per-video UPLT stdev without helper: {stdev_without:.2f}s")
+    print(f"onload correlation with helper:    {with_helper.comparison.correlations['onload']:.2f}")
+    print(f"onload correlation without helper: {without_helper.comparison.correlations['onload']:.2f}")
+    print("Expected: the helper snaps sloppy slider choices back to the earliest similar frame,")
+    print("slightly tightening per-video agreement.")
+    assert stdev_with <= stdev_without + 0.3

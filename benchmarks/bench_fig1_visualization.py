@@ -1,0 +1,38 @@
+"""Figure 1 — the response-timeline visualisation tool.
+
+Renders UserPerceivedPLT responses as a timeline next to the video's own
+milestones, and shows a site whose responses are multi-modal (some
+participants consider the site ready before the ads load).
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.analysis import classify_all_distributions, uplt_values
+from repro.core.visualization import response_timeline
+
+
+def test_fig1_response_timeline(benchmark, plt_campaign):
+    dataset = plt_campaign.campaign.raw_dataset
+    videos = {video.video_id: video for video in plt_campaign.videos}
+
+    def render_all():
+        shapes = classify_all_distributions(dataset)
+        rendered = {}
+        for video_id, shape in shapes.items():
+            responses = uplt_values(dataset, video_id)
+            rendered[video_id] = (shape, response_timeline(videos[video_id], responses))
+        return rendered
+
+    rendered = benchmark(render_all)
+    print_header("Figure 1 — response timelines (one unimodal, one multi-modal site)")
+    shapes = {vid: shape for vid, (shape, _) in rendered.items()}
+    multimodal = [vid for vid, shape in shapes.items() if shape.shape == "multimodal"]
+    unimodal = [vid for vid, shape in shapes.items() if shape.shape == "tight"]
+    for group, label in ((unimodal, "single-mode site"), (multimodal, "multi-modal site (ads load late)")):
+        if group:
+            print(f"\n--- {label} ---")
+            print(rendered[group[0]][1])
+    print(f"\n{len(multimodal)} of {len(rendered)} sites show multi-modal responses.")
+    assert rendered

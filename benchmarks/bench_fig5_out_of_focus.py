@@ -1,0 +1,47 @@
+"""Figure 5 — out-of-focus time, by video load time.
+
+Participants switch away from the Eyeorg tab more, the longer their video
+takes to transfer; A/B participants (who can hit play while the video is
+still buffering) behave like timeline participants with fast transfers.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.visualization import cdf_plot
+
+
+def _split_by_transfer(campaign, bounds):
+    """Out-of-focus samples split by the participant's slowest video transfer."""
+    buckets = {f"L<={int(bound)}s": [] for bound in bounds}
+    for telemetry in campaign.telemetry.values():
+        for bound in bounds:
+            if telemetry.max_video_transfer_seconds <= bound:
+                buckets[f"L<={int(bound)}s"].append(telemetry.out_of_focus_seconds)
+                break
+    return {label: values for label, values in buckets.items() if values}
+
+
+def test_fig5_out_of_focus_by_load_time(benchmark, validation_study):
+    def build():
+        series = _split_by_transfer(validation_study.timeline_paid, bounds=(2.0, 10.0, 100.0))
+        ab_focus = [
+            t.out_of_focus_seconds for t in validation_study.ab_paid.telemetry.values()
+        ]
+        series["A/B-paid"] = ab_focus
+        return series
+
+    series = benchmark(build)
+    print_header("Figure 5 — out-of-focus time (seconds), by video load time L")
+    print(cdf_plot(series, title="out-of-focus seconds"))
+    for label, values in sorted(series.items()):
+        distracted = sum(1 for v in values if v > 0.0) / len(values)
+        print(f"  {label:12s} n={len(values):4d}  fraction with any out-of-focus time = {distracted:.0%}")
+    print("Paper shape: the slower the video transfer, the more participants get distracted.")
+    fast = series.get("L<=2s")
+    slow = series.get("L<=100s")
+    if fast and slow:
+        fast_frac = sum(1 for v in fast if v > 0) / len(fast)
+        slow_frac = sum(1 for v in slow if v > 0) / len(slow)
+        assert slow_frac >= fast_frac - 0.1

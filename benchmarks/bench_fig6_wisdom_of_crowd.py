@@ -1,0 +1,74 @@
+"""Figure 6 — wisdom of the crowd.
+
+(a) per-video UserPerceivedPLT CDFs for sample sites, (b) CDF of per-video
+UPLT standard deviation under percentile filtering (paid vs trusted), and
+(c) CDF of per-pair A/B agreement (paid vs trusted).
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.core.analysis import agreement_per_pair, median, uplt_stdev_per_video, uplt_values
+from repro.core.visualization import cdf_plot
+
+
+def test_fig6a_sample_uplt_cdfs(benchmark, validation_study):
+    dataset = validation_study.timeline_paid.raw_dataset
+
+    def build():
+        video_ids = dataset.video_ids()[:4]
+        return {f"video-{i + 1}": uplt_values(dataset, vid) for i, vid in enumerate(video_ids)}
+
+    series = benchmark(build)
+    print_header("Figure 6(a) — UserPerceivedPLT CDFs for four sample videos (paid)")
+    print(cdf_plot(series, title="UPLT (seconds)"))
+    for label, values in series.items():
+        print(f"  {label}: n={len(values)}, median={median(values):.1f}s")
+    print("Paper shape: responses concentrate around one (or a few) UPLT values per video,")
+    print("with long heads/tails from participants who disagree with the crowd.")
+    assert all(values for values in series.values())
+
+
+def test_fig6b_uplt_stdev_under_filtering(benchmark, validation_study):
+    paid = validation_study.timeline_paid.raw_dataset
+    trusted = validation_study.timeline_trusted.raw_dataset
+
+    def build():
+        return {
+            "Paid All": list(uplt_stdev_per_video(paid).values()),
+            "Paid 10-90th": list(uplt_stdev_per_video(paid, percentile_window=(10, 90)).values()),
+            "Paid 25-75th": list(uplt_stdev_per_video(paid, percentile_window=(25, 75)).values()),
+            "Trusted All": list(uplt_stdev_per_video(trusted).values()),
+            "Trusted 25-75th": list(uplt_stdev_per_video(trusted, percentile_window=(25, 75)).values()),
+        }
+
+    series = benchmark(build)
+    print_header("Figure 6(b) — CDF of per-video UPLT standard deviation (seconds)")
+    print(cdf_plot(series, title="UPLT stdev (s)"))
+    for label, values in series.items():
+        print(f"  {label:16s} median stdev = {median(values):.2f}s")
+    print("Paper shape: stdev drops quickly with percentile filtering; with the 25-75th window")
+    print("paid and trusted stdevs line up (the paid crowd is a usable pseudo-ground truth).")
+    assert median(series["Paid 25-75th"]) <= median(series["Paid All"])
+    assert abs(median(series["Paid 25-75th"]) - median(series["Trusted 25-75th"])) <= \
+        abs(median(series["Paid All"]) - median(series["Trusted All"])) + 0.5
+
+
+def test_fig6c_ab_agreement(benchmark, validation_study):
+    def build():
+        return {
+            "Paid": list(agreement_per_pair(validation_study.ab_paid.raw_dataset).values()),
+            "Trusted": list(agreement_per_pair(validation_study.ab_trusted.raw_dataset).values()),
+        }
+
+    series = benchmark(build)
+    print_header("Figure 6(c) — CDF of per-pair A/B agreement (%)")
+    scaled = {label: [v * 100 for v in values] for label, values in series.items()}
+    print(cdf_plot(scaled, title="agreement (%)"))
+    for label, values in scaled.items():
+        above_85 = sum(1 for v in values if v >= 85) / len(values)
+        print(f"  {label:8s} median agreement = {median(values):4.0f}%  share of pairs >=85%: {above_85:.0%}")
+    print("Paper shape: high agreement overall, never a fully split (33%) pair, paid and trusted similar.")
+    for values in series.values():
+        assert min(values) > 1 / 3

@@ -1,0 +1,90 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  The underlying
+campaigns are executed once per session at a reduced but representative scale
+(the full paper scale — 100 sites x 1,000 participants — works too, just
+slower; pass ``--full-scale`` to use it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.adblock_campaign import run_adblock_campaign
+from repro.experiments.h1h2_campaign import run_h1h2_campaign
+from repro.experiments.plt_campaign import run_plt_campaign
+from repro.experiments.validation import run_validation_study
+
+BENCH_SEED = 2016
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="Run benchmark campaigns at the paper's full scale (100 sites, 1000 participants).",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    """Benchmark scale: (sites, participants, loads_per_site)."""
+    if request.config.getoption("--full-scale"):
+        return {"sites": 100, "participants": 1000, "loads": 5,
+                "validation_sites": 20, "validation_participants": 100, "ad_sites": 99}
+    return {"sites": 30, "participants": 200, "loads": 3,
+            "validation_sites": 8, "validation_participants": 60, "ad_sites": 18}
+
+
+@pytest.fixture(scope="session")
+def validation_study(scale):
+    """The §4 validation study (paid vs trusted, timeline + A/B)."""
+    return run_validation_study(
+        sites=scale["validation_sites"],
+        paid_participants=scale["validation_participants"],
+        trusted_participants=scale["validation_participants"],
+        loads_per_site=scale["loads"],
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def plt_campaign(scale):
+    """The §5.2 PLT timeline campaign."""
+    return run_plt_campaign(
+        sites=scale["sites"],
+        participants=scale["participants"],
+        loads_per_site=scale["loads"],
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def h1h2_campaign(scale):
+    """The §5.3 HTTP/1.1 vs HTTP/2 campaign."""
+    return run_h1h2_campaign(
+        sites=scale["sites"],
+        participants=scale["participants"],
+        loads_per_site=scale["loads"],
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def adblock_campaign(scale):
+    """The §5.4 ad blocker campaign."""
+    return run_adblock_campaign(
+        sites=scale["ad_sites"],
+        participants=scale["participants"],
+        loads_per_site=max(scale["loads"] - 1, 2),
+        seed=BENCH_SEED,
+    )
+
+
+def print_header(title: str) -> None:
+    """Uniform section header for benchmark output."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

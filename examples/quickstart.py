@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: capture a few page-load videos and crowdsource their perceived PLT.
+
+This walks the full Eyeorg loop at toy scale:
+
+1. generate a handful of synthetic sites,
+2. capture a page-load video of each with webpeg (HTTP/2, cable-intl profile),
+3. build a timeline experiment and run a small paid campaign,
+4. filter the responses and compare the crowd's UserPerceivedPLT with the
+   machine metrics (OnLoad, SpeedIndex, First/LastVisualChange).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CampaignConfig,
+    CampaignRunner,
+    CaptureSettings,
+    CorpusGenerator,
+    TimelineExperiment,
+    Webpeg,
+    compare_uplt_with_metrics,
+    mean_uplt_per_site,
+    metrics_from_video,
+)
+
+SEED = 7
+SITES = 6
+PARTICIPANTS = 80
+
+
+def main() -> None:
+    # 1. Synthetic sites standing in for the Alexa sample.
+    corpus = CorpusGenerator(seed=SEED)
+    pages = corpus.http2_sample(SITES)
+    print(f"Generated {len(pages)} sites "
+          f"(median {int(sum(p.total_bytes for p in pages) / len(pages) / 1024)} KB per page).")
+
+    # 2. Capture each site with webpeg: 5 loads, keep the median-onload video.
+    webpeg = Webpeg(settings=CaptureSettings(loads_per_site=5, network_profile="cable-intl"), seed=SEED)
+    videos = []
+    metrics = {}
+    for page in pages:
+        report = webpeg.capture(page, configuration="h2")
+        videos.append(report.video)
+        metrics[page.site_id] = metrics_from_video(report.video)
+        print(f"  captured {page.site_id}: onload={report.video.onload:.2f}s "
+              f"video={report.video.duration:.1f}s ({report.video.size_bytes // 1024} KB webm)")
+
+    # 3. Run a paid timeline campaign: each participant judges 6 videos.
+    experiment = TimelineExperiment(experiment_id="quickstart", videos=videos)
+    config = CampaignConfig(campaign_id="quickstart", participant_count=PARTICIPANTS, seed=SEED)
+    result = CampaignRunner(config).run_timeline(experiment)
+    report = result.filter_report
+    print(f"\nRecruited {result.recruitment.count} paid participants in "
+          f"{result.recruitment.duration_hours:.1f} hours for ${result.recruitment.total_cost_usd:.2f}.")
+    print(f"Filtered out {report.dropped_total} participants "
+          f"({report.drop_fraction:.0%}): {report.summary_row()}")
+
+    # 4. Compare the crowd with the machine metrics.
+    uplt = mean_uplt_per_site(result.clean_dataset)
+    comparison = compare_uplt_with_metrics(result.clean_dataset, metrics)
+    print("\nPer-site user-perceived PLT vs OnLoad:")
+    for site, value in sorted(uplt.items()):
+        print(f"  {site}: UPLT={value:5.2f}s   onload={metrics[site].onload:5.2f}s   "
+              f"speedindex={metrics[site].speedindex:5.2f}s")
+    print("\nCorrelation with UserPerceivedPLT:")
+    for name, correlation in comparison.correlations.items():
+        print(f"  {name:20s} r = {correlation:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools entry point (metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

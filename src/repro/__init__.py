@@ -1,0 +1,136 @@
+"""repro: a reproduction of Eyeorg (CoNEXT 2016).
+
+Eyeorg is a platform for crowdsourcing web quality-of-experience
+measurements.  This package rebuilds the whole system on synthetic
+substrates so it runs offline:
+
+* :mod:`repro.netsim`, :mod:`repro.httpsim`, :mod:`repro.web`,
+  :mod:`repro.browser` — a first-principles page-load simulator
+  (DNS, TCP/TLS, HTTP/1.1 vs HTTP/2, fetch scheduling, rendering);
+* :mod:`repro.capture` — webpeg, the page-load video capture tool;
+* :mod:`repro.metrics` — OnLoad, SpeedIndex, First/LastVisualChange;
+* :mod:`repro.adblock` — AdBlock / Ghostery / uBlock models;
+* :mod:`repro.crowd` — participant, perception and behaviour models
+  standing in for real crowdsourced humans;
+* :mod:`repro.core` — the Eyeorg platform itself: timeline and A/B
+  experiments, campaigns, response validation, analysis, visualisation;
+* :mod:`repro.experiments` — end-to-end drivers for every campaign in the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import CorpusGenerator, Webpeg, TimelineExperiment
+    from repro import CampaignConfig, CampaignRunner, mean_uplt_per_video
+
+    corpus = CorpusGenerator(seed=1)
+    videos = [Webpeg(seed=1).capture(p, "h2").video for p in corpus.http2_sample(5)]
+    experiment = TimelineExperiment("quickstart", videos)
+    result = CampaignRunner(CampaignConfig("quickstart", 50)).run_timeline(experiment)
+    print(mean_uplt_per_video(result.clean_dataset))
+"""
+
+from .adblock import AdBlocker, adblock, get_blocker, ghostery, ublock
+from .browser import Browser, BrowserPreferences, LoadResult
+from .capture import (
+    CaptureReport,
+    CaptureSettings,
+    SplicedVideo,
+    Video,
+    Webpeg,
+    capture_adblock_set,
+    capture_protocol_pair,
+    control_splice,
+    splice,
+)
+from .config import DEFAULT_CAMPAIGNS, DEFAULT_CONFIG, CampaignDefaults, ReproConfig
+from .core import (
+    ABExperiment,
+    ABPair,
+    ABResponse,
+    CampaignConfig,
+    CampaignResult,
+    CampaignRunner,
+    FilterConfig,
+    FilteringPipeline,
+    FilterReport,
+    FrameSelectionHelper,
+    ResponseDataset,
+    TimelineExperiment,
+    TimelineResponse,
+    build_ab_pairs,
+    classify_all_distributions,
+    compare_uplt_with_metrics,
+    format_table1,
+    mean_uplt_per_site,
+    mean_uplt_per_video,
+    score_per_site,
+)
+from .crowd import Participant, ParticipantClass, Recruiter, generate_participant
+from .errors import ReproError
+from .metrics import PLTMetrics, metrics_from_load, metrics_from_video, pearson_correlation
+from .netsim import NetworkProfile, get_profile, list_profiles
+from .rng import SeededRNG
+from .web import CorpusGenerator, Page, WebObject
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdBlocker",
+    "adblock",
+    "get_blocker",
+    "ghostery",
+    "ublock",
+    "Browser",
+    "BrowserPreferences",
+    "LoadResult",
+    "CaptureReport",
+    "CaptureSettings",
+    "SplicedVideo",
+    "Video",
+    "Webpeg",
+    "capture_adblock_set",
+    "capture_protocol_pair",
+    "control_splice",
+    "splice",
+    "DEFAULT_CAMPAIGNS",
+    "DEFAULT_CONFIG",
+    "CampaignDefaults",
+    "ReproConfig",
+    "ABExperiment",
+    "ABPair",
+    "ABResponse",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "FilterConfig",
+    "FilteringPipeline",
+    "FilterReport",
+    "FrameSelectionHelper",
+    "ResponseDataset",
+    "TimelineExperiment",
+    "TimelineResponse",
+    "build_ab_pairs",
+    "classify_all_distributions",
+    "compare_uplt_with_metrics",
+    "format_table1",
+    "mean_uplt_per_site",
+    "mean_uplt_per_video",
+    "score_per_site",
+    "Participant",
+    "ParticipantClass",
+    "Recruiter",
+    "generate_participant",
+    "ReproError",
+    "PLTMetrics",
+    "metrics_from_load",
+    "metrics_from_video",
+    "pearson_correlation",
+    "NetworkProfile",
+    "get_profile",
+    "list_profiles",
+    "SeededRNG",
+    "CorpusGenerator",
+    "Page",
+    "WebObject",
+    "__version__",
+]

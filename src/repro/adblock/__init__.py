@@ -1,0 +1,18 @@
+"""Ad-blocker substrate: filter lists and the three extensions compared in §5.4."""
+
+from .blockers import BLOCKERS, AdBlocker, adblock, get_blocker, ghostery, ublock
+from .filters import FilterList, FilterRule, easylist_like, easyprivacy_like, widget_list
+
+__all__ = [
+    "BLOCKERS",
+    "AdBlocker",
+    "adblock",
+    "get_blocker",
+    "ghostery",
+    "ublock",
+    "FilterList",
+    "FilterRule",
+    "easylist_like",
+    "easyprivacy_like",
+    "widget_list",
+]

@@ -1,0 +1,98 @@
+"""Filter-list model for ad-blocking extensions.
+
+Real ad blockers match requests against filter lists (EasyList, EasyPrivacy,
+Ghostery's tracker library...).  The substrate keeps the same shape: a
+:class:`FilterList` is a set of :class:`FilterRule` objects, each matching on
+origin substrings and resource categories, and a request either matches a
+rule (and is blocked) or passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..web.objects import ObjectType, WebObject
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """One blocking rule.
+
+    Attributes:
+        pattern: substring matched against the request origin (or URL).
+        categories: object categories the rule applies to; ``None`` applies to
+            every category.
+        description: human-readable provenance of the rule.
+    """
+
+    pattern: str
+    categories: Optional[frozenset[ObjectType]] = None
+    description: str = ""
+
+    def matches(self, obj: WebObject) -> bool:
+        """Whether this rule blocks the request for ``obj``."""
+        if self.categories is not None and obj.object_type not in self.categories:
+            return False
+        return self.pattern in obj.origin or self.pattern in obj.url
+
+
+@dataclass
+class FilterList:
+    """A named collection of filter rules.
+
+    Attributes:
+        name: list identifier (e.g. ``"easylist"``).
+        rules: the rules in the list.
+    """
+
+    name: str
+    rules: List[FilterRule] = field(default_factory=list)
+
+    def add(self, rule: FilterRule) -> None:
+        """Append a rule."""
+        self.rules.append(rule)
+
+    def extend(self, rules: Iterable[FilterRule]) -> None:
+        """Append several rules."""
+        self.rules.extend(rules)
+
+    def matches(self, obj: WebObject) -> Optional[FilterRule]:
+        """Return the first rule blocking ``obj``, or ``None``."""
+        for rule in self.rules:
+            if rule.matches(obj):
+                return rule
+        return None
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+def easylist_like(ad_origins: Iterable[str]) -> FilterList:
+    """Build an EasyList-like list blocking display-ad origins."""
+    filter_list = FilterList(name="easylist")
+    filter_list.extend(
+        FilterRule(pattern=origin, categories=frozenset({ObjectType.AD}), description="display ads")
+        for origin in ad_origins
+    )
+    return filter_list
+
+
+def easyprivacy_like(tracker_origins: Iterable[str]) -> FilterList:
+    """Build an EasyPrivacy-like list blocking tracking pixels."""
+    filter_list = FilterList(name="easyprivacy")
+    filter_list.extend(
+        FilterRule(pattern=origin, categories=frozenset({ObjectType.TRACKER}), description="trackers")
+        for origin in tracker_origins
+    )
+    return filter_list
+
+
+def widget_list(social_origins: Iterable[str]) -> FilterList:
+    """Build a list blocking social widgets (Ghostery-style)."""
+    filter_list = FilterList(name="social-widgets")
+    filter_list.extend(
+        FilterRule(pattern=origin, categories=frozenset({ObjectType.WIDGET}), description="social widgets")
+        for origin in social_origins
+    )
+    return filter_list

@@ -1,0 +1,23 @@
+"""Browser substrate: preferences, fetch scheduling, rendering, instrumentation."""
+
+from .browser import Browser, LoadResult
+from .devtools import DevToolsSession, TraceEvent
+from .preferences import SUPPORTED_PROTOCOLS, BrowserPreferences
+from .renderer import PaintEvent, Renderer, RenderTimeline
+from .scheduler import FetchScheduler, ONLOAD_DISPATCH_OVERHEAD, ScheduleResult, blocked_fetch_record
+
+__all__ = [
+    "Browser",
+    "LoadResult",
+    "DevToolsSession",
+    "TraceEvent",
+    "SUPPORTED_PROTOCOLS",
+    "BrowserPreferences",
+    "PaintEvent",
+    "Renderer",
+    "RenderTimeline",
+    "FetchScheduler",
+    "ONLOAD_DISPATCH_OVERHEAD",
+    "ScheduleResult",
+    "blocked_fetch_record",
+]

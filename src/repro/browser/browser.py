@@ -1,0 +1,213 @@
+"""The browser façade: load a page under controlled conditions.
+
+:class:`Browser` wires the substrates together the same way webpeg wires
+Chrome, the network emulator and the debugging protocol: given a page, a
+network profile and a preference set it
+
+1. applies any enabled ad-blocking extension to the request stream,
+2. resolves + connects + fetches every surviving object over the selected
+   protocol (HTTP/1.1 pool or HTTP/2 multiplexing),
+3. derives paint events and the onload time,
+4. exposes the whole thing as a :class:`LoadResult` (fetches, paints, HAR,
+   devtools trace) for the capture tool and the metrics to consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..adblock.blockers import AdBlocker
+from ..errors import CaptureError
+from ..httpsim.har import HARArchive
+from ..httpsim.http1 import HTTP1Client
+from ..httpsim.http2 import HTTP2Client, PushConfiguration
+from ..httpsim.messages import FetchRecord
+from ..netsim.bandwidth import SharedLink
+from ..netsim.dns import DNSResolver
+from ..netsim.profiles import NetworkProfile, get_profile
+from ..rng import SeededRNG
+from ..web.page import Page
+from .devtools import DevToolsSession, TraceEvent
+from .preferences import BrowserPreferences
+from .renderer import PaintEvent, Renderer, RenderTimeline
+from .scheduler import FetchScheduler, blocked_fetch_record
+
+
+@dataclass
+class LoadResult:
+    """Everything webpeg needs to know about one page load.
+
+    Attributes:
+        page: the (possibly ad-filtered) page that was loaded.
+        original_page: the page before extension filtering.
+        protocol: protocol used for the first-party origin.
+        network_profile: name of the emulation profile.
+        fetch_records: per-object fetch records, including blocked ones.
+        blocked_object_ids: objects vetoed by the enabled extension.
+        render_timeline: paint events and visual-progress queries.
+        onload: onload event time (seconds from navigation start).
+        fully_loaded: completion time of the last resource.
+        har: the HAR archive of the load.
+        trace: devtools-style event trace.
+    """
+
+    page: Page
+    original_page: Page
+    protocol: str
+    network_profile: str
+    fetch_records: List[FetchRecord]
+    blocked_object_ids: List[str]
+    render_timeline: RenderTimeline
+    onload: float
+    fully_loaded: float
+    har: HARArchive
+    trace: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def first_visual_change(self) -> float:
+        """Time of the first paint."""
+        return self.render_timeline.first_visual_change
+
+    @property
+    def last_visual_change(self) -> float:
+        """Time of the last paint."""
+        return self.render_timeline.last_visual_change
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Bytes actually transferred (blocked requests excluded)."""
+        return sum(
+            record.response.transfer_bytes
+            for record in self.fetch_records
+            if record.response is not None and not record.blocked
+        )
+
+    def completion_time(self, object_id: str) -> Optional[float]:
+        """Completion time of a specific object, if it was fetched."""
+        for record in self.fetch_records:
+            if record.request.object_id == object_id and not record.blocked:
+                return record.completed_at
+        return None
+
+
+class Browser:
+    """A controlled, instrumented page-load engine.
+
+    Args:
+        preferences: protocol / extension / appearance configuration.
+        network_profile: emulation profile name or object (default "cable").
+        seed: seed for every stochastic component of the load.
+    """
+
+    def __init__(
+        self,
+        preferences: Optional[BrowserPreferences] = None,
+        network_profile: str | NetworkProfile = "cable",
+        seed: int = 2016,
+    ) -> None:
+        self.preferences = preferences or BrowserPreferences()
+        if isinstance(network_profile, str):
+            self.network_profile = get_profile(network_profile)
+        else:
+            self.network_profile = network_profile
+        self.seed = seed
+
+    # -- internals --------------------------------------------------------------
+
+    def _build_client(self, protocol: str, rng: SeededRNG, link: SharedLink, dns: DNSResolver,
+                      latency, push: Optional[PushConfiguration] = None):
+        if protocol == "h2":
+            return HTTP2Client(
+                latency=latency,
+                link=link,
+                dns=dns,
+                rng=rng,
+                push=push,
+            )
+        return HTTP1Client(
+            latency=latency,
+            link=link,
+            dns=dns,
+            rng=rng,
+        )
+
+    # -- public API -------------------------------------------------------------
+
+    def load(self, page: Page, load_rng: Optional[SeededRNG] = None,
+             push: Optional[PushConfiguration] = None) -> LoadResult:
+        """Load ``page`` and return the full instrumentation record.
+
+        Args:
+            page: the page to load.
+            load_rng: random source for this specific load; defaults to a
+                stream derived from the browser seed and the page URL, so
+                repeated loads of the same page differ (as real repeats do)
+                only if the caller supplies per-repeat streams.
+            push: optional HTTP/2 server-push configuration.
+
+        Raises:
+            CaptureError: if the page has no objects.
+        """
+        if page.object_count == 0:
+            raise CaptureError(f"page {page.url} has no objects to load")
+        rng = load_rng or SeededRNG(self.seed).fork(f"load:{page.url}")
+        protocol = self.preferences.resolve_protocol(page.supports_http2)
+
+        # Extension filtering happens before any request leaves the browser.
+        original_page = page
+        blocked_ids: List[str] = []
+        extension_overhead = 0.0
+        for extension in self.preferences.extensions:
+            page, newly_blocked = extension.apply(page, rng.fork(f"blocker:{extension.name}"))
+            blocked_ids.extend(newly_blocked)
+            extension_overhead += extension.per_request_overhead
+
+        # The page's servers may be closer or further than the profile's
+        # nominal RTT; a single per-site multiplier keeps first paint, onload
+        # and perceived load time consistently fast or slow for a given site.
+        latency = self.network_profile.latency.scaled(page.latency_multiplier)
+        link = SharedLink(bandwidth=self.network_profile.bandwidth)
+        dns = DNSResolver(latency=latency, rng=rng)
+        client = self._build_client(protocol, rng, link, dns, latency, push=push)
+        scheduler = FetchScheduler(client, rng, extension_overhead=extension_overhead)
+        schedule = scheduler.schedule(page)
+
+        # Blocked objects still show up in the HAR (status 0), discovered at
+        # the time their parent would have revealed them.
+        fetch_records = list(schedule.records)
+        for object_id in blocked_ids:
+            obj = original_page.objects[object_id]
+            parent = obj.discovered_by
+            parent_record = schedule.fetches.get(parent) if parent else None
+            discovered_at = (
+                parent_record.completed_at + obj.discovery_delay if parent_record else obj.discovery_delay
+            )
+            fetch_records.append(blocked_fetch_record(obj, discovered_at))
+
+        renderer = Renderer()
+        timeline = renderer.render(page, schedule.fetches)
+
+        devtools = DevToolsSession(page_url=page.url, protocol=protocol)
+        har = devtools.build_har(fetch_records, schedule.onload)
+        trace = devtools.build_trace(fetch_records, timeline.events, schedule.onload)
+
+        return LoadResult(
+            page=page,
+            original_page=original_page,
+            protocol=protocol,
+            network_profile=self.network_profile.name,
+            fetch_records=fetch_records,
+            blocked_object_ids=blocked_ids,
+            render_timeline=timeline,
+            onload=schedule.onload,
+            fully_loaded=schedule.fully_loaded,
+            har=har,
+            trace=trace,
+        )
+
+    def load_with_fresh_state(self, page: Page, repeat_index: int,
+                              push: Optional[PushConfiguration] = None) -> LoadResult:
+        """Load with a per-repeat random stream (webpeg clears state between loads)."""
+        rng = SeededRNG(self.seed).fork(f"load:{page.url}:repeat:{repeat_index}")
+        return self.load(page, load_rng=rng, push=push)

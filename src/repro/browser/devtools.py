@@ -1,0 +1,109 @@
+"""Remote-debugging-protocol-style instrumentation.
+
+webpeg attaches to Chrome's remote debugging interface rather than injecting
+the Navigation Timing API into the page, so that instrumentation cannot
+perturb the load (paper §3.1).  :class:`DevToolsSession` plays that role
+here: it observes a load's fetch records and paint events and produces
+
+* an ordered event trace (``requestWillBeSent`` / ``responseReceived`` /
+  ``loadingFinished`` / ``paint`` / ``onload``), and
+* the HAR archive for the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..httpsim.har import HARArchive
+from ..httpsim.messages import FetchRecord
+from .renderer import PaintEvent
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instrumentation event.
+
+    Attributes:
+        time: seconds from navigation start.
+        method: devtools-style event name.
+        object_id: related page object ("" for page-level events).
+        detail: free-form extra fields.
+    """
+
+    time: float
+    method: str
+    object_id: str = ""
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class DevToolsSession:
+    """Builds an event trace and HAR from the artefacts of one load."""
+
+    def __init__(self, page_url: str, protocol: str) -> None:
+        self._page_url = page_url
+        self._protocol = protocol
+
+    def build_trace(
+        self,
+        fetch_records: List[FetchRecord],
+        paint_events: List[PaintEvent],
+        onload: float,
+    ) -> List[TraceEvent]:
+        """Assemble the full ordered event trace for a load."""
+        events: List[TraceEvent] = []
+        for record in fetch_records:
+            events.append(
+                TraceEvent(
+                    time=record.queued_at,
+                    method="Network.requestWillBeSent",
+                    object_id=record.request.object_id,
+                    detail={"url": record.request.url, "blocked": record.blocked},
+                )
+            )
+            if record.blocked:
+                events.append(
+                    TraceEvent(
+                        time=record.queued_at,
+                        method="Network.loadingFailed",
+                        object_id=record.request.object_id,
+                        detail={"blockedReason": "extension"},
+                    )
+                )
+                continue
+            events.append(
+                TraceEvent(
+                    time=record.first_byte_at,
+                    method="Network.responseReceived",
+                    object_id=record.request.object_id,
+                    detail={"status": record.response.status if record.response else 0},
+                )
+            )
+            events.append(
+                TraceEvent(
+                    time=record.completed_at,
+                    method="Network.loadingFinished",
+                    object_id=record.request.object_id,
+                    detail={"encodedDataLength": record.response.transfer_bytes if record.response else 0},
+                )
+            )
+        for paint in paint_events:
+            events.append(
+                TraceEvent(
+                    time=paint.time,
+                    method="Page.paint",
+                    object_id=paint.object_id,
+                    detail={"pixels": paint.pixels, "primary": paint.is_primary_content},
+                )
+            )
+        events.append(TraceEvent(time=onload, method="Page.loadEventFired"))
+        return sorted(events, key=lambda e: (e.time, e.method))
+
+    def build_har(self, fetch_records: List[FetchRecord], onload: float) -> HARArchive:
+        """Build the HAR archive of the load."""
+        return HARArchive.from_records(
+            page_url=self._page_url,
+            onload=onload,
+            records=fetch_records,
+            protocol=self._protocol,
+        )

@@ -1,0 +1,101 @@
+"""Browser preferences model.
+
+webpeg "directly modifies Chrome's preference file to enable/disable
+extensions and turn off distracting messages" and uses command-line options
+to select the protocol and kiosk mode (paper §3.1).  The
+:class:`BrowserPreferences` dataclass is that configuration surface: the
+capture tool owns one per capture and hands it to :class:`~repro.browser.browser.Browser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..adblock.blockers import AdBlocker, get_blocker
+from ..errors import ConfigurationError
+
+#: Protocols the capture tool can force via command-line switches.
+SUPPORTED_PROTOCOLS = ("http/1.1", "h2", "auto")
+
+
+@dataclass
+class BrowserPreferences:
+    """Chrome-like per-capture configuration.
+
+    Attributes:
+        protocol: "http/1.1", "h2", or "auto" (negotiate h2 when the site
+            supports it — Chrome's default, used by the ad-blocker campaign).
+        extensions: ad-blocking extensions enabled for the load.
+        kiosk_mode: full-screen, chrome-less rendering (always on for captures).
+        disable_notifications: suppress "translate this page?"-style prompts.
+        disable_local_cache: bypass the browser cache (always on for captures).
+        device_scale_factor: emulated device pixel ratio.
+        user_agent: reported user agent string.
+    """
+
+    protocol: str = "auto"
+    extensions: List[AdBlocker] = field(default_factory=list)
+    kiosk_mode: bool = True
+    disable_notifications: bool = True
+    disable_local_cache: bool = True
+    device_scale_factor: float = 1.0
+    user_agent: str = "webpeg/1.0 (Chrome emulation)"
+
+    def __post_init__(self) -> None:
+        if self.protocol not in SUPPORTED_PROTOCOLS:
+            raise ConfigurationError(
+                f"unsupported protocol {self.protocol!r}; expected one of {SUPPORTED_PROTOCOLS}"
+            )
+        if self.device_scale_factor <= 0:
+            raise ConfigurationError("device_scale_factor must be positive")
+
+    def with_protocol(self, protocol: str) -> "BrowserPreferences":
+        """Return a copy forcing ``protocol``."""
+        return BrowserPreferences(
+            protocol=protocol,
+            extensions=list(self.extensions),
+            kiosk_mode=self.kiosk_mode,
+            disable_notifications=self.disable_notifications,
+            disable_local_cache=self.disable_local_cache,
+            device_scale_factor=self.device_scale_factor,
+            user_agent=self.user_agent,
+        )
+
+    def with_extension(self, name: Optional[str]) -> "BrowserPreferences":
+        """Return a copy with only the named extension enabled (or none)."""
+        extensions = [get_blocker(name)] if name else []
+        return BrowserPreferences(
+            protocol=self.protocol,
+            extensions=extensions,
+            kiosk_mode=self.kiosk_mode,
+            disable_notifications=self.disable_notifications,
+            disable_local_cache=self.disable_local_cache,
+            device_scale_factor=self.device_scale_factor,
+            user_agent=self.user_agent,
+        )
+
+    def resolve_protocol(self, site_supports_http2: bool) -> str:
+        """The protocol a load will actually use for the first-party origin."""
+        if self.protocol == "auto":
+            return "h2" if site_supports_http2 else "http/1.1"
+        return self.protocol
+
+    def command_line_flags(self) -> List[str]:
+        """The Chrome-style flags this configuration corresponds to.
+
+        Purely descriptive; used in documentation, examples and HAR metadata
+        so that a reader can see what the equivalent real capture would run.
+        """
+        flags = ["--headless-capture"]
+        if self.kiosk_mode:
+            flags.append("--kiosk")
+        if self.disable_local_cache:
+            flags.append("--disable-cache")
+        if self.disable_notifications:
+            flags.append("--disable-translate")
+        if self.protocol == "http/1.1":
+            flags.append("--disable-http2")
+        for extension in self.extensions:
+            flags.append(f"--load-extension={extension.name}")
+        return flags

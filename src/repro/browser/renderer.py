@@ -1,0 +1,156 @@
+"""Rendering model: fetch completions → paint events → visual progress.
+
+The metrics the paper evaluates (SpeedIndex, First/LastVisualChange) and the
+synthetic video frames webpeg produces are all derived from *when pixels of
+the first viewport change*.  The renderer maps each visible object's fetch
+completion to a :class:`PaintEvent`:
+
+* nothing paints before every parser-blocking stylesheet/script of the
+  document head has arrived (render-blocking behaviour);
+* the root document's own paint represents the initial text/layout render;
+* every other visible object paints ``render_delay`` after both its bytes and
+  the render-blocking set are available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import PageModelError
+from ..httpsim.messages import FetchRecord
+from ..web.objects import ObjectType, WebObject
+from ..web.page import Page
+
+
+@dataclass(frozen=True)
+class PaintEvent:
+    """One visual change in the first viewport.
+
+    Attributes:
+        time: seconds from navigation start.
+        object_id: object whose pixels appeared.
+        pixels: area painted.
+        is_primary_content: False for ads/widgets (auxiliary content).
+    """
+
+    time: float
+    object_id: str
+    pixels: int
+    is_primary_content: bool
+
+
+@dataclass
+class RenderTimeline:
+    """The ordered list of paint events for a load.
+
+    Attributes:
+        events: paint events sorted by time.
+        viewport_pixels: total above-the-fold pixel budget.
+    """
+
+    events: List[PaintEvent]
+    viewport_pixels: int
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.time)
+        if self.viewport_pixels <= 0:
+            raise PageModelError("viewport_pixels must be positive")
+
+    @property
+    def first_visual_change(self) -> float:
+        """Time of the first paint (0 when nothing ever paints)."""
+        return self.events[0].time if self.events else 0.0
+
+    @property
+    def last_visual_change(self) -> float:
+        """Time of the last paint."""
+        return self.events[-1].time if self.events else 0.0
+
+    @property
+    def painted_pixels(self) -> int:
+        """Total pixels painted across all events."""
+        return sum(event.pixels for event in self.events)
+
+    def completeness_at(self, time: float) -> float:
+        """Visual completeness (0..1) at ``time``: painted / finally-painted pixels."""
+        total = self.painted_pixels
+        if total == 0:
+            return 1.0
+        painted = sum(event.pixels for event in self.events if event.time <= time)
+        return painted / total
+
+    def primary_completeness_at(self, time: float) -> float:
+        """Completeness counting only primary (non-ad) content."""
+        total = sum(e.pixels for e in self.events if e.is_primary_content)
+        if total == 0:
+            return 1.0
+        painted = sum(e.pixels for e in self.events if e.is_primary_content and e.time <= time)
+        return painted / total
+
+    def primary_complete_time(self) -> float:
+        """Time at which the last primary-content pixels appear."""
+        primary = [e.time for e in self.events if e.is_primary_content]
+        return max(primary) if primary else 0.0
+
+    def auxiliary_complete_time(self) -> float:
+        """Time at which the last auxiliary-content pixels appear."""
+        auxiliary = [e.time for e in self.events if not e.is_primary_content]
+        return max(auxiliary) if auxiliary else self.primary_complete_time()
+
+    def progress_curve(self, resolution: float = 0.1, horizon: float = 0.0) -> List[tuple[float, float]]:
+        """Sampled (time, completeness) curve used by SpeedIndex and the video."""
+        end = max(self.last_visual_change, horizon)
+        if end <= 0:
+            return [(0.0, 1.0)]
+        samples: List[tuple[float, float]] = []
+        steps = int(end / resolution) + 1
+        for index in range(steps + 1):
+            t = index * resolution
+            samples.append((t, self.completeness_at(t)))
+        return samples
+
+
+class Renderer:
+    """Turns fetch records into a paint timeline for a page."""
+
+    def render(self, page: Page, fetches: Dict[str, FetchRecord]) -> RenderTimeline:
+        """Compute paint events for ``page`` given its fetch records.
+
+        Objects that were blocked (ad blocker) or never fetched simply do not
+        paint; the completeness curve is normalised by what actually painted.
+        """
+        root = page.root
+        render_blockers = [
+            fetches[obj.object_id].completed_at + obj.execution_time
+            for obj in page.iter_objects()
+            if obj.blocking and obj.object_id in fetches and not fetches[obj.object_id].blocked
+        ]
+        root_record = fetches.get(root.object_id)
+        if root_record is None:
+            raise PageModelError(f"page {page.url} was rendered without fetching its root document")
+        blocking_done = max(render_blockers) if render_blockers else root_record.completed_at
+
+        events: List[PaintEvent] = []
+        regions = page.viewport.regions
+        for obj in page.iter_objects():
+            record = fetches.get(obj.object_id)
+            if record is None or record.blocked or not obj.is_visible:
+                continue
+            region = regions.get(obj.object_id)
+            pixels = region.pixels if region is not None else obj.above_fold_pixels
+            if pixels <= 0:
+                continue
+            if obj.is_root:
+                ready = max(record.completed_at, blocking_done)
+            else:
+                ready = max(record.completed_at, blocking_done)
+            events.append(
+                PaintEvent(
+                    time=ready + obj.render_delay,
+                    object_id=obj.object_id,
+                    pixels=pixels,
+                    is_primary_content=region.is_primary_content if region else not obj.is_auxiliary,
+                )
+            )
+        return RenderTimeline(events=events, viewport_pixels=page.viewport.total_pixels)

@@ -1,0 +1,25 @@
+"""Capture substrate (webpeg): frames, videos, pixel comparison, capture tool."""
+
+from .frames import Frame, FrameBuffer, frames_from_timeline
+from .pixeldiff import control_frame, frames_similar, pixel_difference, rewind_suggestion
+from .video import SplicedVideo, Video, control_splice, splice
+from .webpeg import CaptureReport, CaptureSettings, Webpeg, capture_adblock_set, capture_protocol_pair
+
+__all__ = [
+    "Frame",
+    "FrameBuffer",
+    "frames_from_timeline",
+    "control_frame",
+    "frames_similar",
+    "pixel_difference",
+    "rewind_suggestion",
+    "SplicedVideo",
+    "Video",
+    "control_splice",
+    "splice",
+    "CaptureReport",
+    "CaptureSettings",
+    "Webpeg",
+    "capture_adblock_set",
+    "capture_protocol_pair",
+]

@@ -1,0 +1,144 @@
+"""Video frame model.
+
+A captured video is a sequence of :class:`Frame` objects sampled at a fixed
+rate.  Each frame records which page objects have painted by that instant and
+therefore what fraction of the final above-the-fold content is visible — the
+same information a pixel-level comparison of real video frames gives the
+real platform (frame similarity for the helper, visual progress for
+SpeedIndex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+from ..errors import VideoError
+from ..browser.renderer import RenderTimeline
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One video frame.
+
+    Attributes:
+        index: frame number (0-based).
+        timestamp: seconds from the start of the video.
+        painted_objects: ids of objects visible in this frame.
+        painted_pixels: viewport pixels painted in this frame.
+        completeness: fraction of the *final* painted pixels visible here.
+    """
+
+    index: int
+    timestamp: float
+    painted_objects: FrozenSet[str]
+    painted_pixels: int
+    completeness: float
+
+    def pixel_difference(self, other: "Frame", viewport_pixels: int) -> float:
+        """Fraction of viewport pixels that differ between the two frames.
+
+        The difference is the symmetric difference of the painted object
+        sets, weighted by each object's painted area, normalised by the
+        viewport size — the synthetic equivalent of webpeg's pixel-by-pixel
+        comparison.
+        """
+        if viewport_pixels <= 0:
+            raise VideoError("viewport_pixels must be positive")
+        if self.painted_objects == other.painted_objects:
+            return 0.0
+        return abs(self.painted_pixels - other.painted_pixels) / viewport_pixels
+
+
+@dataclass
+class FrameBuffer:
+    """The full frame sequence of a capture.
+
+    Attributes:
+        frames: frames in timestamp order.
+        fps: capture frame rate.
+        viewport_pixels: above-the-fold pixel budget of the capture.
+    """
+
+    frames: List[Frame]
+    fps: int
+    viewport_pixels: int
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise VideoError("fps must be positive")
+        if not self.frames:
+            raise VideoError("a frame buffer needs at least one frame")
+        self.frames = sorted(self.frames, key=lambda f: f.timestamp)
+
+    @property
+    def duration(self) -> float:
+        """Video duration in seconds."""
+        return self.frames[-1].timestamp
+
+    @property
+    def frame_count(self) -> int:
+        """Number of frames."""
+        return len(self.frames)
+
+    def frame_at(self, timestamp: float) -> Frame:
+        """The frame visible at ``timestamp`` (clamped to the video bounds)."""
+        if timestamp <= self.frames[0].timestamp:
+            return self.frames[0]
+        for frame in reversed(self.frames):
+            if frame.timestamp <= timestamp:
+                return frame
+        return self.frames[-1]
+
+    def completeness_at(self, timestamp: float) -> float:
+        """Visual completeness of the frame shown at ``timestamp``."""
+        return self.frame_at(timestamp).completeness
+
+    def earliest_similar_frame(self, timestamp: float, threshold: float) -> Frame:
+        """Earliest frame within ``threshold`` pixel difference of the one at ``timestamp``.
+
+        This is the frame-selection helper's "rewind" suggestion (paper §3.2):
+        walk backwards from the chosen frame while consecutive frames stay
+        within the pixel-difference threshold.
+        """
+        chosen = self.frame_at(timestamp)
+        earliest = chosen
+        for frame in reversed(self.frames):
+            if frame.timestamp > chosen.timestamp:
+                continue
+            if chosen.pixel_difference(frame, self.viewport_pixels) <= threshold:
+                earliest = frame
+            else:
+                break
+        return earliest
+
+
+def frames_from_timeline(timeline: RenderTimeline, fps: int, duration: float) -> FrameBuffer:
+    """Sample a render timeline into a frame buffer.
+
+    Args:
+        timeline: paint events of the load.
+        fps: frames per second to sample at.
+        duration: total video length in seconds (webpeg records a configurable
+            number of seconds past onload).
+    """
+    if duration <= 0:
+        raise VideoError("duration must be positive")
+    total_pixels = timeline.painted_pixels
+    frame_count = max(int(duration * fps) + 1, 2)
+    frames: List[Frame] = []
+    for index in range(frame_count):
+        timestamp = index / fps
+        painted = frozenset(e.object_id for e in timeline.events if e.time <= timestamp)
+        painted_pixels = sum(e.pixels for e in timeline.events if e.time <= timestamp)
+        completeness = painted_pixels / total_pixels if total_pixels else 1.0
+        frames.append(
+            Frame(
+                index=index,
+                timestamp=timestamp,
+                painted_objects=painted,
+                painted_pixels=painted_pixels,
+                completeness=completeness,
+            )
+        )
+    return FrameBuffer(frames=frames, fps=fps, viewport_pixels=timeline.viewport_pixels)

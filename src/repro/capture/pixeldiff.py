@@ -1,0 +1,55 @@
+"""Frame comparison utilities.
+
+webpeg's frame-selection helper shows the participant "the earliest similar
+frame (no more than 1% different in a pixel-by-pixel comparison)" to the one
+they chose (paper §3.2, Figure 3).  These helpers implement that comparison
+on the synthetic frame model, plus the "drastically different" control frame
+used to check that participants do not blindly accept suggestions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import FRAME_SIMILARITY_THRESHOLD
+from ..errors import VideoError
+from .frames import Frame, FrameBuffer
+
+
+def pixel_difference(a: Frame, b: Frame, viewport_pixels: int) -> float:
+    """Fraction of viewport pixels differing between frames ``a`` and ``b``."""
+    return a.pixel_difference(b, viewport_pixels)
+
+
+def frames_similar(a: Frame, b: Frame, viewport_pixels: int,
+                   threshold: float = FRAME_SIMILARITY_THRESHOLD) -> bool:
+    """Whether two frames are within the similarity threshold."""
+    return pixel_difference(a, b, viewport_pixels) <= threshold
+
+
+def rewind_suggestion(buffer: FrameBuffer, chosen_timestamp: float,
+                      threshold: float = FRAME_SIMILARITY_THRESHOLD) -> Frame:
+    """The helper's suggested frame for a participant choice.
+
+    Returns the earliest frame that is visually similar (within ``threshold``)
+    to the frame at ``chosen_timestamp``.
+    """
+    return buffer.earliest_similar_frame(chosen_timestamp, threshold)
+
+
+def control_frame(buffer: FrameBuffer, chosen_timestamp: float,
+                  minimum_difference: float = 0.5) -> Optional[Frame]:
+    """A drastically different frame to use as a control suggestion.
+
+    The control is the earliest frame at least ``minimum_difference`` away
+    from the chosen frame (typically a nearly blank early frame).  Returns
+    ``None`` when no frame differs enough (e.g. a page that renders in a
+    single step), in which case the platform falls back to the first frame.
+    """
+    if not 0.0 < minimum_difference <= 1.0:
+        raise VideoError("minimum_difference must be in (0, 1]")
+    chosen = buffer.frame_at(chosen_timestamp)
+    for frame in buffer.frames:
+        if pixel_difference(chosen, frame, buffer.viewport_pixels) >= minimum_difference:
+            return frame
+    return None

@@ -1,0 +1,179 @@
+"""Video model.
+
+webpeg encodes each capture as a webm file; A/B experiments splice the two
+captures into a single video so that playback stalls affect both sides
+equally (paper §3.2).  The synthetic :class:`Video` keeps the frame buffer,
+the load artefacts the metrics need (HAR, paint timeline, onload), and an
+estimated file size used by the platform to model video transfer time to
+participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..browser.browser import LoadResult
+from ..config import AB_CONTROL_DELAY_SECONDS
+from ..errors import VideoError
+from .frames import Frame, FrameBuffer
+
+#: Rough webm encoding efficiency: bytes of video per (pixel-change x frame).
+_WEBM_BYTES_PER_CHANGED_FRAME = 9_000
+#: Base container overhead in bytes.
+_WEBM_CONTAINER_OVERHEAD = 120_000
+
+
+@dataclass
+class Video:
+    """A captured page-load video.
+
+    Attributes:
+        video_id: unique identifier ("<site>-<config>-<repeat>").
+        site_id: the captured site.
+        configuration: capture configuration label (e.g. "h2", "ghostery").
+        frames: the frame buffer.
+        load_result: the full instrumentation record of the underlying load.
+        record_after_onload: seconds recorded past the onload event.
+    """
+
+    video_id: str
+    site_id: str
+    configuration: str
+    frames: FrameBuffer
+    load_result: LoadResult
+    record_after_onload: float = 3.0
+    flagged_by: set = field(default_factory=set)
+    banned: bool = False
+
+    @property
+    def duration(self) -> float:
+        """Video duration in seconds."""
+        return self.frames.duration
+
+    @property
+    def onload(self) -> float:
+        """The onload time of the captured load."""
+        return self.load_result.onload
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated webm file size.
+
+        The estimate charges a fixed container overhead plus a cost per frame
+        in which pixels changed; static tail frames compress to almost
+        nothing, matching webm's behaviour on page-load videos.
+        """
+        changed = 0
+        previous: Optional[Frame] = None
+        for frame in self.frames.frames:
+            if previous is not None and frame.painted_objects != previous.painted_objects:
+                changed += 1
+            previous = frame
+        return _WEBM_CONTAINER_OVERHEAD + changed * _WEBM_BYTES_PER_CHANGED_FRAME
+
+    def frame_at(self, timestamp: float) -> Frame:
+        """Frame shown at ``timestamp``."""
+        return self.frames.frame_at(timestamp)
+
+    def flag_broken(self, participant_id: str, threshold: int = 5) -> bool:
+        """Record a broken-video report; returns True once the video is banned.
+
+        A video flagged by ``threshold`` distinct workers is automatically
+        banned and queued for manual inspection (paper §3.3).
+        """
+        self.flagged_by.add(participant_id)
+        if len(self.flagged_by) >= threshold:
+            self.banned = True
+        return self.banned
+
+
+@dataclass
+class SplicedVideo:
+    """Two captures spliced side-by-side for an A/B test.
+
+    Attributes:
+        video_id: identifier of the spliced artefact.
+        left: capture shown on the left.
+        right: capture shown on the right.
+        left_label: experiment label of the left side ("A" or "B").
+        right_label: experiment label of the right side.
+        right_delay: artificial delay applied to the right side (control pairs).
+        left_delay: artificial delay applied to the left side (control pairs).
+    """
+
+    video_id: str
+    left: Video
+    right: Video
+    left_label: str
+    right_label: str
+    left_delay: float = 0.0
+    right_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.left_delay < 0 or self.right_delay < 0:
+            raise VideoError("splice delays must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        """Duration of the spliced video (the longer side, including delays)."""
+        return max(self.left.duration + self.left_delay, self.right.duration + self.right_delay)
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated size of the spliced webm (both halves in one file)."""
+        return self.left.size_bytes + self.right.size_bytes - _WEBM_CONTAINER_OVERHEAD
+
+    @property
+    def is_control(self) -> bool:
+        """Whether this splice is a control pair (same video, one side delayed)."""
+        return self.left.video_id == self.right.video_id and (
+            self.left_delay > 0 or self.right_delay > 0
+        )
+
+    def side_onload(self, side: str) -> float:
+        """Effective onload of one side, including any artificial delay."""
+        if side == "left":
+            return self.left.onload + self.left_delay
+        if side == "right":
+            return self.right.onload + self.right_delay
+        raise VideoError(f"unknown side {side!r}")
+
+    def faster_side(self) -> str:
+        """Which side's load finishes first ('left', 'right', or 'tie')."""
+        left = self.side_onload("left")
+        right = self.side_onload("right")
+        if abs(left - right) < 1e-9:
+            return "tie"
+        return "left" if left < right else "right"
+
+
+def splice(video_id: str, left: Video, right: Video, left_label: str, right_label: str) -> SplicedVideo:
+    """Splice two captures into one A/B artefact (no artificial delay)."""
+    return SplicedVideo(
+        video_id=video_id,
+        left=left,
+        right=right,
+        left_label=left_label,
+        right_label=right_label,
+    )
+
+
+def control_splice(video_id: str, video: Video, delayed_side: str = "right",
+                   delay: float = AB_CONTROL_DELAY_SECONDS) -> SplicedVideo:
+    """Build an A/B control pair: the same video on both sides, one delayed.
+
+    Participants who answer carefully must pick the non-delayed side
+    (paper §3.3).
+    """
+    if delayed_side not in ("left", "right"):
+        raise VideoError("delayed_side must be 'left' or 'right'")
+    return SplicedVideo(
+        video_id=video_id,
+        left=video,
+        right=video,
+        left_label="control",
+        right_label="control",
+        left_delay=delay if delayed_side == "left" else 0.0,
+        right_delay=delay if delayed_side == "right" else 0.0,
+    )

@@ -1,0 +1,186 @@
+"""webpeg: the page-load video capture tool.
+
+This is the synthetic counterpart of the tool described in paper §3.1:
+
+* the experimenter supplies a list of sites, how many loads to perform per
+  site and how many seconds to record after onload;
+* before the first real trial of a site, a *primer* load warms the DNS
+  resolver (local caches stay disabled and requests carry
+  ``Cache-Control: no-cache``);
+* each configuration is loaded ``loads_per_site`` times with fresh browser
+  state, and the video whose onload time is the median of the repeats is
+  kept (paper §3.2);
+* the output of a capture is a :class:`~repro.capture.video.Video` — frames,
+  HAR, onload — ready to be served to participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Dict, List, Optional, Sequence
+
+from ..browser.browser import Browser, LoadResult
+from ..browser.preferences import BrowserPreferences
+from ..config import DEFAULT_CAPTURE_FPS, LOADS_PER_SITE
+from ..errors import CaptureError
+from ..netsim.profiles import NetworkProfile
+from ..rng import SeededRNG
+from ..web.page import Page
+from .frames import frames_from_timeline
+from .video import Video
+
+
+@dataclass(frozen=True)
+class CaptureSettings:
+    """Settings of a capture batch.
+
+    Attributes:
+        loads_per_site: repetitions per site configuration (median kept).
+        record_after_onload: seconds to keep recording after onload fires.
+        fps: capture frame rate.
+        network_profile: emulation profile name.
+    """
+
+    loads_per_site: int = LOADS_PER_SITE
+    record_after_onload: float = 3.0
+    fps: int = DEFAULT_CAPTURE_FPS
+    network_profile: str = "cable"
+
+    def __post_init__(self) -> None:
+        if self.loads_per_site <= 0:
+            raise CaptureError("loads_per_site must be positive")
+        if self.record_after_onload < 0:
+            raise CaptureError("record_after_onload must be non-negative")
+        if self.fps <= 0:
+            raise CaptureError("fps must be positive")
+
+
+@dataclass
+class CaptureReport:
+    """Summary of one capture (all repeats of one site configuration).
+
+    Attributes:
+        video: the selected (median-onload) video.
+        onload_times: onload of every repeat, in repeat order.
+        selected_repeat: index of the repeat whose video was kept.
+        primer_performed: whether the primer load ran.
+    """
+
+    video: Video
+    onload_times: List[float]
+    selected_repeat: int
+    primer_performed: bool
+
+
+class Webpeg:
+    """Capture page-load videos under controlled conditions."""
+
+    def __init__(
+        self,
+        preferences: Optional[BrowserPreferences] = None,
+        settings: Optional[CaptureSettings] = None,
+        seed: int = 2016,
+    ) -> None:
+        self.preferences = preferences or BrowserPreferences()
+        self.settings = settings or CaptureSettings()
+        self.seed = seed
+
+    # -- single-site capture ----------------------------------------------------
+
+    def capture(self, page: Page, configuration: str) -> CaptureReport:
+        """Capture ``page`` under the tool's preferences.
+
+        Args:
+            page: the page to capture.
+            configuration: label recorded on the video (e.g. "h1", "h2",
+                "ghostery", "noextension").
+
+        Returns:
+            A :class:`CaptureReport` with the median-onload video.
+        """
+        browser = Browser(
+            preferences=self.preferences,
+            network_profile=self.settings.network_profile,
+            seed=self.seed,
+        )
+        # Primer load: warms the resolver so the first measured repeat does
+        # not pay cold DNS lookups.  Its video is discarded.
+        browser.load_with_fresh_state(page, repeat_index=-1)
+
+        results: List[LoadResult] = []
+        for repeat in range(self.settings.loads_per_site):
+            results.append(browser.load_with_fresh_state(page, repeat_index=repeat))
+
+        onloads = [result.onload for result in results]
+        target = median(onloads)
+        selected = min(range(len(results)), key=lambda i: (abs(onloads[i] - target), i))
+        chosen = results[selected]
+
+        duration = chosen.fully_loaded + self.settings.record_after_onload
+        frames = frames_from_timeline(chosen.render_timeline, fps=self.settings.fps, duration=duration)
+        video = Video(
+            video_id=f"{page.site_id}-{configuration}-{selected}",
+            site_id=page.site_id,
+            configuration=configuration,
+            frames=frames,
+            load_result=chosen,
+            record_after_onload=self.settings.record_after_onload,
+        )
+        return CaptureReport(
+            video=video,
+            onload_times=onloads,
+            selected_repeat=selected,
+            primer_performed=True,
+        )
+
+    # -- batch capture ----------------------------------------------------------
+
+    def capture_batch(self, pages: Sequence[Page], configuration: str) -> Dict[str, CaptureReport]:
+        """Capture a list of pages; returns reports keyed by site id."""
+        if not pages:
+            raise CaptureError("capture_batch needs at least one page")
+        reports: Dict[str, CaptureReport] = {}
+        for page in pages:
+            reports[page.site_id] = self.capture(page, configuration)
+        return reports
+
+
+def capture_protocol_pair(page: Page, settings: Optional[CaptureSettings] = None,
+                          seed: int = 2016) -> Dict[str, CaptureReport]:
+    """Capture the HTTP/1.1 and HTTP/2 versions of one page.
+
+    Convenience used by the HTTP/1.1-vs-HTTP/2 A/B campaign: same page, same
+    network profile, only the protocol changes.
+    """
+    settings = settings or CaptureSettings()
+    reports: Dict[str, CaptureReport] = {}
+    for label, protocol in (("h1", "http/1.1"), ("h2", "h2")):
+        tool = Webpeg(
+            preferences=BrowserPreferences(protocol=protocol),
+            settings=settings,
+            seed=seed,
+        )
+        reports[label] = tool.capture(page, configuration=label)
+    return reports
+
+
+def capture_adblock_set(page: Page, blockers: Sequence[str] = ("adblock", "ghostery", "ublock"),
+                        settings: Optional[CaptureSettings] = None, seed: int = 2016) -> Dict[str, CaptureReport]:
+    """Capture a page with no extension and with each ad blocker.
+
+    The protocol is left on "auto" (Chrome defaults to HTTP/2 when the site
+    supports it), matching the ad-blocker campaign's configuration.
+    """
+    settings = settings or CaptureSettings()
+    reports: Dict[str, CaptureReport] = {}
+    base = Webpeg(preferences=BrowserPreferences(protocol="auto"), settings=settings, seed=seed)
+    reports["noextension"] = base.capture(page, configuration="noextension")
+    for name in blockers:
+        tool = Webpeg(
+            preferences=BrowserPreferences(protocol="auto").with_extension(name),
+            settings=settings,
+            seed=seed,
+        )
+        reports[name] = tool.capture(page, configuration=name)
+    return reports

@@ -1,0 +1,91 @@
+"""Top-level configuration objects shared across the library.
+
+The individual substrates define their own, more specific configuration
+dataclasses (network profiles, capture settings, campaign settings); this
+module only holds the small number of knobs that cut across subsystems and
+the defaults the paper's evaluation used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+#: Number of page-load videos shown to each participant (paper §4.1 / §5.1).
+VIDEOS_PER_PARTICIPANT = 6
+
+#: Number of capture repetitions per site; the video with the median onload
+#: time is kept (paper §3.2).
+LOADS_PER_SITE = 5
+
+#: Videos flagged broken by this many distinct workers are banned (paper §3.3).
+BROKEN_VIDEO_FLAG_THRESHOLD = 5
+
+#: Default frames-per-second used by webpeg's synthetic video capture.
+DEFAULT_CAPTURE_FPS = 10
+
+#: Pixel-difference threshold under which two frames count as "similar" for
+#: the frame-selection helper (paper §3.2: "no more than 1% different").
+FRAME_SIMILARITY_THRESHOLD = 0.01
+
+#: Artificial delay applied to one side of an A/B control pair (paper §3.3).
+AB_CONTROL_DELAY_SECONDS = 3.0
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Library-wide defaults.
+
+    Attributes:
+        seed: master seed used to derive all child random streams.
+        videos_per_participant: task size handed to each participant.
+        loads_per_site: capture repetitions per site configuration.
+        capture_fps: frame rate of synthetic captures.
+        frame_similarity_threshold: frame-helper pixel-difference threshold.
+        ab_control_delay: artificial delay (seconds) in A/B control pairs.
+    """
+
+    seed: int = 2016
+    videos_per_participant: int = VIDEOS_PER_PARTICIPANT
+    loads_per_site: int = LOADS_PER_SITE
+    capture_fps: int = DEFAULT_CAPTURE_FPS
+    frame_similarity_threshold: float = FRAME_SIMILARITY_THRESHOLD
+    ab_control_delay: float = AB_CONTROL_DELAY_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.videos_per_participant <= 0:
+            raise ConfigurationError("videos_per_participant must be positive")
+        if self.loads_per_site <= 0:
+            raise ConfigurationError("loads_per_site must be positive")
+        if self.capture_fps <= 0:
+            raise ConfigurationError("capture_fps must be positive")
+        if not 0.0 < self.frame_similarity_threshold < 1.0:
+            raise ConfigurationError("frame_similarity_threshold must be in (0, 1)")
+        if self.ab_control_delay <= 0:
+            raise ConfigurationError("ab_control_delay must be positive")
+
+
+@dataclass(frozen=True)
+class CampaignDefaults:
+    """Defaults matching the paper's campaign design (Table 1).
+
+    Attributes:
+        validation_participants: paid/trusted participants per validation campaign.
+        validation_sites: number of sites in validation campaigns.
+        final_participants: paid participants per final campaign.
+        final_sites: number of sites in final campaigns.
+        paid_cost_validation_usd: cost of a validation campaign.
+        paid_cost_final_usd: cost of a final campaign.
+    """
+
+    validation_participants: int = 100
+    validation_sites: int = 20
+    final_participants: int = 1000
+    final_sites: int = 100
+    paid_cost_validation_usd: float = 12.0
+    paid_cost_final_usd: float = 120.0
+
+
+DEFAULT_CONFIG = ReproConfig()
+DEFAULT_CAMPAIGNS = CampaignDefaults()

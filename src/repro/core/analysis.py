@@ -1,0 +1,364 @@
+"""Analysis of campaign responses.
+
+Everything the paper's evaluation section computes from the cleaned datasets
+lives here: per-video UserPerceivedPLT aggregates and their agreement
+(standard deviation) under different percentile windows (Figure 6), A/B
+agreement and per-site scores (Figures 6(c), 8(b), 8(c)), the comparison of
+UPLT against machine metrics (Figure 7), agreement as a function of a
+metric's Δ between the two sides of an A/B pair (Figure 8(a)), and the
+classification of UPLT distribution shapes (Figure 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..metrics.comparison import MetricComparison, compare_metrics
+from ..metrics.plt import PLTMetrics
+from .responses import ABResponse, ResponseDataset, TimelineResponse
+from .validation import percentile
+
+# ---------------------------------------------------------------------------
+# generic statistics helpers
+# ---------------------------------------------------------------------------
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.
+
+    Raises:
+        AnalysisError: for an empty sample.
+    """
+    if not values:
+        raise AnalysisError("mean of an empty sample is undefined")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for a single value)."""
+    if not values:
+        raise AnalysisError("stdev of an empty sample is undefined")
+    if len(values) == 1:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) points."""
+    if not values:
+        raise AnalysisError("cannot build a CDF from an empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def fraction_at_or_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold."""
+    if not values:
+        raise AnalysisError("empty sample")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median via the 50th percentile."""
+    return percentile(list(values), 50.0)
+
+
+# ---------------------------------------------------------------------------
+# timeline analysis
+# ---------------------------------------------------------------------------
+
+
+def uplt_values(dataset: ResponseDataset, video_id: str, include_controls: bool = False) -> List[float]:
+    """Submitted UserPerceivedPLT values for one video."""
+    return [
+        r.submitted_time
+        for r in dataset.responses_for_video(video_id)
+        if include_controls or not r.saw_control_frame
+    ]
+
+
+def mean_uplt_per_video(dataset: ResponseDataset) -> Dict[str, float]:
+    """Mean UserPerceivedPLT per video (the paper's per-site UPLT)."""
+    result: Dict[str, float] = {}
+    for video_id in dataset.video_ids():
+        values = uplt_values(dataset, video_id)
+        if values:
+            result[video_id] = mean(values)
+    return result
+
+
+def mean_uplt_per_site(dataset: ResponseDataset) -> Dict[str, float]:
+    """Mean UserPerceivedPLT keyed by site id instead of video id."""
+    by_site: Dict[str, List[float]] = {}
+    for response in dataset.timeline_responses:
+        if response.saw_control_frame:
+            continue
+        by_site.setdefault(response.site_id, []).append(response.submitted_time)
+    return {site: mean(values) for site, values in by_site.items() if values}
+
+
+def uplt_stdev_per_video(dataset: ResponseDataset,
+                         percentile_window: Optional[Tuple[float, float]] = None) -> Dict[str, float]:
+    """Per-video standard deviation of UPLT, optionally inside a percentile window.
+
+    This is the agreement measure of Figure 6(b): the tighter the
+    distribution, the more the participants agree.
+    """
+    result: Dict[str, float] = {}
+    for video_id in dataset.video_ids():
+        values = uplt_values(dataset, video_id)
+        if not values:
+            continue
+        if percentile_window is not None:
+            low, high = percentile_window
+            lower = percentile(values, low)
+            upper = percentile(values, high)
+            values = [v for v in values if lower <= v <= upper]
+            if not values:
+                continue
+        result[video_id] = stdev(values)
+    return result
+
+
+def slider_vs_submitted(dataset: ResponseDataset) -> Dict[str, Dict[str, float]]:
+    """Per-video mean slider, helper-suggested and submitted times (Figure 7(a))."""
+    result: Dict[str, Dict[str, float]] = {}
+    for video_id in dataset.video_ids():
+        responses = [r for r in dataset.responses_for_video(video_id) if not r.saw_control_frame]
+        if not responses:
+            continue
+        result[video_id] = {
+            "slider": mean([r.slider_time for r in responses]),
+            "frame_helper": mean([r.helper_time for r in responses if r.helper_time is not None] or [0.0]),
+            "submitted": mean([r.submitted_time for r in responses]),
+        }
+    return result
+
+
+@dataclass(frozen=True)
+class DistributionShape:
+    """Shape classification of one video's UPLT distribution (Figure 9).
+
+    Attributes:
+        video_id: the video.
+        n: number of responses.
+        shape: "tight", "spread", or "multimodal".
+        modes: estimated mode locations (seconds).
+        spread: inter-quartile range of the responses (seconds).
+    """
+
+    video_id: str
+    n: int
+    shape: str
+    modes: Tuple[float, ...]
+    spread: float
+
+
+def classify_distribution(video_id: str, values: Sequence[float],
+                          bin_width: float = 1.0,
+                          tight_iqr: float = 1.0) -> DistributionShape:
+    """Classify a UPLT distribution as tight / spread / multi-modal.
+
+    The classification histograms the responses into ``bin_width``-second
+    bins, finds local maxima separated by at least one low bin, and combines
+    the mode count with the inter-quartile range:
+
+    * more than one substantial mode → ``multimodal``;
+    * one mode and IQR <= ``tight_iqr`` seconds → ``tight``;
+    * otherwise → ``spread``.
+    """
+    if not values:
+        raise AnalysisError("cannot classify an empty distribution")
+    low = min(values)
+    high = max(values)
+    iqr = percentile(list(values), 75.0) - percentile(list(values), 25.0)
+    if high - low < 1e-9:
+        return DistributionShape(video_id=video_id, n=len(values), shape="tight",
+                                 modes=(low,), spread=iqr)
+    bin_count = max(int((high - low) / bin_width) + 1, 1)
+    counts = [0] * bin_count
+    for value in values:
+        index = min(int((value - low) / bin_width), bin_count - 1)
+        counts[index] += 1
+    peak_threshold = max(max(counts) * 0.35, 2.0)
+    modes: List[float] = []
+    previous_was_peak = False
+    for index, count in enumerate(counts):
+        left = counts[index - 1] if index > 0 else 0
+        right = counts[index + 1] if index + 1 < bin_count else 0
+        is_peak = count >= peak_threshold and count >= left and count >= right
+        if is_peak and not previous_was_peak:
+            modes.append(low + (index + 0.5) * bin_width)
+        previous_was_peak = is_peak
+    if len(modes) >= 2 and (modes[-1] - modes[0]) >= 2.0 * bin_width:
+        shape = "multimodal"
+    elif iqr <= tight_iqr:
+        shape = "tight"
+    else:
+        shape = "spread"
+    return DistributionShape(video_id=video_id, n=len(values), shape=shape,
+                             modes=tuple(modes) or (median(list(values)),), spread=iqr)
+
+
+def classify_all_distributions(dataset: ResponseDataset) -> Dict[str, DistributionShape]:
+    """Classify every video's UPLT distribution."""
+    result: Dict[str, DistributionShape] = {}
+    for video_id in dataset.video_ids():
+        values = uplt_values(dataset, video_id)
+        if values:
+            result[video_id] = classify_distribution(video_id, values)
+    return result
+
+
+def compare_uplt_with_metrics(dataset: ResponseDataset,
+                              metrics_by_site: Dict[str, PLTMetrics]) -> MetricComparison:
+    """Figure 7(b)/(c): compare mean per-site UPLT with the machine metrics."""
+    return compare_metrics(mean_uplt_per_site(dataset), metrics_by_site)
+
+
+# ---------------------------------------------------------------------------
+# A/B analysis
+# ---------------------------------------------------------------------------
+
+
+def ab_agreement(responses: Sequence[ABResponse]) -> float:
+    """Fraction of responses matching the most popular answer for one pair.
+
+    Raises:
+        AnalysisError: when the response list is empty.
+    """
+    if not responses:
+        raise AnalysisError("agreement of an empty response set is undefined")
+    counts: Dict[str, int] = {}
+    for response in responses:
+        counts[response.choice] = counts.get(response.choice, 0) + 1
+    return max(counts.values()) / len(responses)
+
+
+def agreement_per_pair(dataset: ResponseDataset, include_controls: bool = False) -> Dict[str, float]:
+    """Agreement for every A/B pair (Figure 6(c))."""
+    result: Dict[str, float] = {}
+    for pair_id in dataset.pair_ids():
+        responses = [r for r in dataset.responses_for_pair(pair_id) if include_controls or not r.is_control]
+        if responses:
+            result[pair_id] = ab_agreement(responses)
+    return result
+
+
+def score_per_site(dataset: ResponseDataset, treatment_label: str) -> Dict[str, float]:
+    """Average per-site "score" of a treatment (Figures 8(b), 8(c)).
+
+    The score of a site is the fraction of decisive responses (excluding
+    "No Difference") that picked the treatment side: 1.0 means every
+    participant thought the treatment version was faster, 0.0 means everyone
+    preferred the baseline, 0.5 is a split decision.
+    """
+    decisive: Dict[str, List[float]] = {}
+    for response in dataset.ab_responses:
+        if response.is_control or response.choice == "no_difference":
+            continue
+        decisive.setdefault(response.site_id, []).append(
+            1.0 if response.choice_label == treatment_label else 0.0
+        )
+    return {site: mean(values) for site, values in decisive.items() if values}
+
+
+def no_difference_fraction_per_site(dataset: ResponseDataset) -> Dict[str, float]:
+    """Per-site fraction of "No Difference" responses (excluding controls)."""
+    counts: Dict[str, List[int]] = {}
+    for response in dataset.ab_responses:
+        if response.is_control:
+            continue
+        counts.setdefault(response.site_id, []).append(1 if response.choice == "no_difference" else 0)
+    return {site: sum(flags) / len(flags) for site, flags in counts.items() if flags}
+
+
+def agreement_vs_metric_delta(
+    dataset: ResponseDataset,
+    deltas_by_site: Dict[str, Dict[str, float]],
+    delta_centres_ms: Sequence[float] = (100, 500, 900, 1300, 1700),
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 8(a): median A/B agreement as a function of each metric's Δ.
+
+    Args:
+        dataset: the A/B campaign responses (cleaned).
+        deltas_by_site: per-site, per-metric |Δ| in **seconds** between the
+            two treatments.
+        delta_centres_ms: Δ bucket centres in milliseconds.
+
+    Returns:
+        Per metric, a list of (bucket centre in ms, median agreement %).
+    """
+    agreements: Dict[str, float] = {}
+    for pair_id in dataset.pair_ids():
+        responses = [r for r in dataset.responses_for_pair(pair_id) if not r.is_control]
+        if not responses:
+            continue
+        site = responses[0].site_id
+        agreements[site] = ab_agreement(responses) * 100.0
+
+    result: Dict[str, List[Tuple[float, float]]] = {}
+    metric_names = set()
+    for deltas in deltas_by_site.values():
+        metric_names.update(deltas)
+    for name in sorted(metric_names):
+        buckets: Dict[float, List[float]] = {centre: [] for centre in delta_centres_ms}
+        for site, agreement in agreements.items():
+            deltas = deltas_by_site.get(site)
+            if deltas is None or name not in deltas:
+                continue
+            delta_ms = deltas[name] * 1000.0
+            centre = min(delta_centres_ms, key=lambda c: abs(c - delta_ms))
+            buckets[centre].append(agreement)
+        series = [(centre, median(values)) for centre, values in buckets.items() if values]
+        result[name] = sorted(series)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# participant behaviour analysis (Figures 4 and 5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BehaviourSummary:
+    """Distributions of participant behaviour, split by class (Figure 4/5).
+
+    Attributes:
+        time_on_site_minutes: per-participant time on site, by class.
+        total_actions: per-participant action counts, by class.
+        out_of_focus_seconds: per-participant out-of-focus time, by class.
+        control_correct_fraction: per-class fraction of correct control answers.
+    """
+
+    time_on_site_minutes: Dict[str, List[float]] = field(default_factory=dict)
+    total_actions: Dict[str, List[int]] = field(default_factory=dict)
+    out_of_focus_seconds: Dict[str, List[float]] = field(default_factory=dict)
+    control_correct_fraction: Dict[str, float] = field(default_factory=dict)
+
+
+def summarise_behaviour(dataset: ResponseDataset, telemetry: Dict[str, "SessionTelemetry"]) -> BehaviourSummary:
+    """Aggregate the telemetry of a campaign by participant class."""
+    from .session import SessionTelemetry  # imported here to avoid an import cycle at module load
+
+    summary = BehaviourSummary()
+    controls_seen: Dict[str, int] = {}
+    controls_passed: Dict[str, int] = {}
+    for participant_id, record in telemetry.items():
+        participant = dataset.participants.get(participant_id)
+        if participant is None:
+            continue
+        klass = participant.participant_class.value
+        summary.time_on_site_minutes.setdefault(klass, []).append(record.time_on_site_seconds / 60.0)
+        summary.total_actions.setdefault(klass, []).append(record.total_actions)
+        summary.out_of_focus_seconds.setdefault(klass, []).append(record.out_of_focus_seconds)
+        controls_seen[klass] = controls_seen.get(klass, 0) + record.controls_seen
+        controls_passed[klass] = controls_passed.get(klass, 0) + record.controls_passed
+    for klass, seen in controls_seen.items():
+        summary.control_correct_fraction[klass] = (controls_passed.get(klass, 0) / seen) if seen else 1.0
+    return summary

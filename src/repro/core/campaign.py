@@ -1,0 +1,222 @@
+"""Campaign execution.
+
+A *campaign* is what Table 1 enumerates: one experiment (timeline or A/B),
+one participant pool (paid or trusted), a target participant count, and the
+resulting responses.  :class:`CampaignRunner` performs the full loop —
+recruit, admit through the captcha, assign tasks, run sessions, collect
+responses and telemetry, and apply the §4.3 filtering pipeline — and returns
+a :class:`CampaignResult` carrying everything the analysis and the Table 1
+accounting need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import VIDEOS_PER_PARTICIPANT
+from ..crowd.participant import Participant, ParticipantClass
+from ..crowd.recruitment import Recruiter, RecruitmentReport
+from ..errors import CampaignError
+from ..rng import SeededRNG
+from .experiment import ABExperiment, TimelineExperiment
+from .frame_helper import FrameSelectionHelper
+from .responses import ResponseDataset
+from .server import EyeorgServer
+from .session import ParticipantSession, SessionTelemetry
+from .validation import FilterConfig, FilteringPipeline, FilterReport
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Configuration of one campaign.
+
+    Attributes:
+        campaign_id: identifier (e.g. "final-plt-timeline").
+        participant_count: recruitment target.
+        service: recruiting service ("crowdflower", "microworkers", "invited").
+        videos_per_participant: task-list size per participant.
+        preload_video: whether timeline tests preload the full video.
+        frame_helper_enabled: whether the frame-selection helper runs.
+        filter_config: filtering thresholds (None for the defaults).
+        seed: campaign-level random seed.
+    """
+
+    campaign_id: str
+    participant_count: int
+    service: str = "crowdflower"
+    videos_per_participant: int = VIDEOS_PER_PARTICIPANT
+    preload_video: bool = True
+    frame_helper_enabled: bool = True
+    filter_config: Optional[FilterConfig] = None
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if self.participant_count <= 0:
+            raise CampaignError("participant_count must be positive")
+        if self.videos_per_participant <= 0:
+            raise CampaignError("videos_per_participant must be positive")
+
+
+@dataclass
+class CampaignResult:
+    """Everything produced by one campaign run.
+
+    Attributes:
+        config: the campaign configuration.
+        experiment_type: "timeline" or "ab".
+        recruitment: the recruitment report (duration, cost, demographics).
+        raw_dataset: all responses before filtering.
+        clean_dataset: responses after the filtering pipeline.
+        telemetry: per-participant session telemetry.
+        filter_report: per-technique filtering counts (Table 1 columns).
+    """
+
+    config: CampaignConfig
+    experiment_type: str
+    recruitment: RecruitmentReport
+    raw_dataset: ResponseDataset
+    clean_dataset: ResponseDataset
+    telemetry: Dict[str, SessionTelemetry]
+    filter_report: FilterReport
+
+    @property
+    def table1_row(self) -> Dict[str, object]:
+        """One row of Table 1 for this campaign."""
+        split = self.recruitment.gender_split
+        duration_hours = self.recruitment.duration_hours
+        duration = (
+            f"{duration_hours:.1f} hours" if duration_hours < 48 else f"{duration_hours / 24.0:.1f} days"
+        )
+        filters = self.filter_report.summary_row()
+        return {
+            "campaign": self.config.campaign_id,
+            "type": self.experiment_type,
+            "participants": self.recruitment.count,
+            "male": split["male"],
+            "female": split["female"],
+            "duration": duration,
+            "cost_usd": round(self.recruitment.total_cost_usd, 2),
+            "engagement_filtered": filters["engagement"],
+            "soft_filtered": filters["soft"],
+            "control_filtered": filters["control"],
+        }
+
+    @property
+    def videos_served(self) -> int:
+        """Total number of video tasks served to participants."""
+        return sum(t.videos_assigned for t in self.telemetry.values())
+
+
+class CampaignRunner:
+    """Runs campaigns end-to-end."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+        self._rng = SeededRNG(config.seed).fork(f"campaign:{config.campaign_id}")
+
+    # -- internals --------------------------------------------------------------
+
+    def _recruit(self) -> RecruitmentReport:
+        recruiter = Recruiter(seed=self.config.seed)
+        return recruiter.recruit(self.config.campaign_id, self.config.participant_count, self.config.service)
+
+    def _frame_helper(self, experiment: TimelineExperiment) -> FrameSelectionHelper:
+        return FrameSelectionHelper(
+            control_probability=experiment.control_frame_probability,
+            enabled=self.config.frame_helper_enabled,
+        )
+
+    # -- public API -------------------------------------------------------------
+
+    def run_timeline(self, experiment: TimelineExperiment) -> CampaignResult:
+        """Run a timeline campaign against ``experiment``."""
+        recruitment = self._recruit()
+        server = EyeorgServer(
+            experiment, videos_per_participant=self.config.videos_per_participant, seed=self.config.seed
+        )
+        dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="timeline")
+        telemetry: Dict[str, SessionTelemetry] = {}
+        helper = self._frame_helper(experiment)
+        for recruited in recruitment.participants:
+            participant = recruited.participant
+            if not server.admit(participant):
+                continue
+            tasks = server.assign_tasks(participant)
+            session = ParticipantSession(
+                participant,
+                self._rng,
+                frame_helper=helper,
+                preload_video=self.config.preload_video and experiment.preload_video,
+            )
+            result = session.run_timeline(tasks)
+            dataset.add_participant(participant)
+            for response in result.responses:
+                dataset.add_timeline_response(response)
+            telemetry[participant.participant_id] = result.telemetry
+        clean, report = FilteringPipeline(self.config.filter_config).run(dataset, telemetry)
+        return CampaignResult(
+            config=self.config,
+            experiment_type="timeline",
+            recruitment=recruitment,
+            raw_dataset=dataset,
+            clean_dataset=clean,
+            telemetry=telemetry,
+            filter_report=report,
+        )
+
+    def run_ab(self, experiment: ABExperiment) -> CampaignResult:
+        """Run an A/B campaign against ``experiment``.
+
+        Control pairs are injected per participant: each task slot is
+        replaced by a delayed-copy control with the experiment's configured
+        probability, so every participant sees roughly one control.
+        """
+        recruitment = self._recruit()
+        server = EyeorgServer(
+            experiment, videos_per_participant=self.config.videos_per_participant, seed=self.config.seed
+        )
+        dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="ab")
+        telemetry: Dict[str, SessionTelemetry] = {}
+        control_rng = self._rng.fork("ab-controls")
+        for recruited in recruitment.participants:
+            participant = recruited.participant
+            if not server.admit(participant):
+                continue
+            tasks = list(server.assign_tasks(participant))
+            # Replace a random subset of slots with control pairs.
+            for index in range(len(tasks)):
+                if control_rng.fork(f"{participant.participant_id}:{index}").bernoulli(
+                    experiment.control_pair_probability
+                ):
+                    tasks[index] = experiment.make_control_pair(tasks[index], control_rng, index)
+            session = ParticipantSession(participant, self._rng)
+            result = session.run_ab(tasks)
+            dataset.add_participant(participant)
+            for response in result.responses:
+                dataset.add_ab_response(response)
+            telemetry[participant.participant_id] = result.telemetry
+        clean, report = FilteringPipeline(self.config.filter_config).run(dataset, telemetry)
+        return CampaignResult(
+            config=self.config,
+            experiment_type="ab",
+            recruitment=recruitment,
+            raw_dataset=dataset,
+            clean_dataset=clean,
+            telemetry=telemetry,
+            filter_report=report,
+        )
+
+
+def format_table1(rows: List[Dict[str, object]]) -> str:
+    """Render Table-1-style rows as an aligned text table."""
+    if not rows:
+        raise CampaignError("cannot format an empty table")
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(row.get(c, ""))) for row in rows)) for c in columns}
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    separator = "-+-".join("-" * widths[c] for c in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(" | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

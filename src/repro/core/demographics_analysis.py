@@ -1,0 +1,153 @@
+"""Demographic sensitivity analysis.
+
+The paper motivates Eyeorg with questions like "Which demographics are more
+sensitive to PLT speedup?" (§3).  The final data set carries coarse
+demographics for every participant, so this module provides the group-by
+analyses an experimenter would run on it: per-group A/B scores (how strongly
+each group preferred a treatment), per-group "no difference" rates (how often
+the group could not tell), and per-group timeline statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..crowd.participant import Participant
+from ..errors import AnalysisError
+from .responses import ResponseDataset
+
+#: Ready-made grouping functions keyed by name.
+GROUPERS: Dict[str, Callable[[Participant], str]] = {
+    "gender": lambda p: p.demographics.gender,
+    "technical_ability": lambda p: p.demographics.technical_ability,
+    "class": lambda p: p.participant_class.value,
+    "age_band": lambda p: ("18-29" if p.demographics.age < 30
+                           else "30-44" if p.demographics.age < 45 else "45+"),
+    "connection": lambda p: "fast" if p.downlink_bps >= 10_000_000 else "slow",
+}
+
+
+@dataclass(frozen=True)
+class GroupSensitivity:
+    """Sensitivity of one demographic group in an A/B campaign.
+
+    Attributes:
+        group: group label (e.g. "female", "expert", "18-29").
+        responses: number of (non-control) responses from the group.
+        treatment_preference: fraction of decisive responses preferring the
+            treatment.
+        no_difference_rate: fraction of responses answering "No Difference".
+    """
+
+    group: str
+    responses: int
+    treatment_preference: float
+    no_difference_rate: float
+
+
+def _grouper(group_by: str | Callable[[Participant], str]) -> Callable[[Participant], str]:
+    if callable(group_by):
+        return group_by
+    try:
+        return GROUPERS[group_by]
+    except KeyError as exc:
+        raise AnalysisError(
+            f"unknown demographic grouping {group_by!r}; known groupings: {sorted(GROUPERS)}"
+        ) from exc
+
+
+def ab_sensitivity_by_group(dataset: ResponseDataset, treatment_label: str,
+                            group_by: str | Callable[[Participant], str] = "gender") -> List[GroupSensitivity]:
+    """Per-group treatment preference and indecision for an A/B campaign.
+
+    A group with a high ``treatment_preference`` and a low
+    ``no_difference_rate`` is *sensitive* to the speedup being tested: its
+    members both notice the difference and agree on the direction.
+
+    Raises:
+        AnalysisError: if the dataset has no A/B responses.
+    """
+    if not dataset.ab_responses:
+        raise AnalysisError("demographic A/B analysis needs A/B responses")
+    grouper = _grouper(group_by)
+    decisive: Dict[str, List[float]] = {}
+    totals: Dict[str, int] = {}
+    no_difference: Dict[str, int] = {}
+    for response in dataset.ab_responses:
+        if response.is_control:
+            continue
+        participant = dataset.participants.get(response.participant_id)
+        if participant is None:
+            continue
+        group = grouper(participant)
+        totals[group] = totals.get(group, 0) + 1
+        if response.choice == "no_difference":
+            no_difference[group] = no_difference.get(group, 0) + 1
+            continue
+        decisive.setdefault(group, []).append(1.0 if response.choice_label == treatment_label else 0.0)
+    results = []
+    for group in sorted(totals):
+        votes = decisive.get(group, [])
+        preference = sum(votes) / len(votes) if votes else 0.5
+        results.append(
+            GroupSensitivity(
+                group=group,
+                responses=totals[group],
+                treatment_preference=preference,
+                no_difference_rate=no_difference.get(group, 0) / totals[group],
+            )
+        )
+    return results
+
+
+def timeline_stats_by_group(dataset: ResponseDataset,
+                            group_by: str | Callable[[Participant], str] = "technical_ability") -> Dict[str, Dict[str, float]]:
+    """Per-group mean/median UserPerceivedPLT for a timeline campaign.
+
+    Raises:
+        AnalysisError: if the dataset has no timeline responses.
+    """
+    if not dataset.timeline_responses:
+        raise AnalysisError("demographic timeline analysis needs timeline responses")
+    grouper = _grouper(group_by)
+    values: Dict[str, List[float]] = {}
+    for response in dataset.timeline_responses:
+        if response.saw_control_frame:
+            continue
+        participant = dataset.participants.get(response.participant_id)
+        if participant is None:
+            continue
+        values.setdefault(grouper(participant), []).append(response.submitted_time)
+    stats: Dict[str, Dict[str, float]] = {}
+    for group, group_values in sorted(values.items()):
+        ordered = sorted(group_values)
+        midpoint = len(ordered) // 2
+        median = (
+            ordered[midpoint]
+            if len(ordered) % 2 == 1
+            else (ordered[midpoint - 1] + ordered[midpoint]) / 2.0
+        )
+        stats[group] = {
+            "responses": float(len(ordered)),
+            "mean": sum(ordered) / len(ordered),
+            "median": median,
+        }
+    return stats
+
+
+def most_sensitive_group(sensitivities: List[GroupSensitivity]) -> GroupSensitivity:
+    """The group that most clearly notices the treatment.
+
+    Sensitivity is ranked by decisive preference distance from 0.5, breaking
+    ties with the (lower) no-difference rate.
+
+    Raises:
+        AnalysisError: for an empty input.
+    """
+    if not sensitivities:
+        raise AnalysisError("no group sensitivities supplied")
+    return max(
+        sensitivities,
+        key=lambda s: (abs(s.treatment_preference - 0.5), -s.no_difference_rate),
+    )

@@ -1,0 +1,215 @@
+"""Experiment definitions: timeline and A/B tests (paper §3.2).
+
+An *experiment* is the survey structure built on top of a set of captures:
+
+* a :class:`TimelineExperiment` shows individual page-load videos and asks
+  participants to scrub to the instant the page looks "ready to use";
+* an :class:`ABExperiment` shows pairs of captures of the same site under two
+  configurations (HTTP/1.1 vs HTTP/2, with-ads vs ad-blocked), spliced
+  side-by-side in randomised left/right order, and asks which side loaded
+  faster (or "no difference").
+
+Experiments also own the insertion of control questions: occasional control
+frames in the frame-selection helper for timeline tests, and delayed-copy
+pairs for A/B tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..capture.video import SplicedVideo, Video, control_splice, splice
+from ..config import AB_CONTROL_DELAY_SECONDS
+from ..errors import ExperimentError
+from ..rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class ABPair:
+    """One A/B comparison unit.
+
+    Attributes:
+        pair_id: identifier of the pair.
+        site_id: the compared site.
+        spliced: the spliced video actually shown.
+        label_a: experiment label of treatment A (e.g. "h1", "withads").
+        label_b: experiment label of treatment B (e.g. "h2", "ghostery").
+        a_side: which side ("left"/"right") treatment A ended up on.
+    """
+
+    pair_id: str
+    site_id: str
+    spliced: SplicedVideo
+    label_a: str
+    label_b: str
+    a_side: str
+
+    @property
+    def is_control(self) -> bool:
+        """Whether the pair is a delayed-copy control."""
+        return self.spliced.is_control
+
+    def label_for_choice(self, choice: str) -> str:
+        """Map a left/right/no_difference choice to an experiment label."""
+        if choice == "no_difference":
+            return "no_difference"
+        if self.is_control:
+            return "control"
+        if choice == self.a_side:
+            return self.label_a
+        return self.label_b
+
+
+@dataclass
+class TimelineExperiment:
+    """A timeline ("ready to use") experiment.
+
+    Attributes:
+        experiment_id: identifier.
+        videos: the page-load videos shown to participants.
+        preload_video: force full video preloading before the slider is
+            enabled (the production configuration; disabling it reproduces
+            the overshooting behaviour described in §3.2).
+        control_frame_probability: probability the frame helper shows a
+            control frame on a given response.
+    """
+
+    experiment_id: str
+    videos: List[Video]
+    preload_video: bool = True
+    control_frame_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not self.videos:
+            raise ExperimentError("a timeline experiment needs at least one video")
+        ids = [video.video_id for video in self.videos]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError("duplicate video ids in timeline experiment")
+
+    @property
+    def experiment_type(self) -> str:
+        """Experiment type tag used in datasets."""
+        return "timeline"
+
+    def video_by_id(self, video_id: str) -> Video:
+        """Look up one of the experiment's videos."""
+        for video in self.videos:
+            if video.video_id == video_id:
+                return video
+        raise ExperimentError(f"unknown video {video_id!r} in experiment {self.experiment_id}")
+
+    def task_pool(self) -> List[Video]:
+        """The assignable task units (non-banned videos)."""
+        return [video for video in self.videos if not video.banned]
+
+
+@dataclass
+class ABExperiment:
+    """An A/B ("which is faster") experiment.
+
+    Attributes:
+        experiment_id: identifier.
+        pairs: the comparison pairs (controls excluded; they are generated).
+        control_pair_probability: probability that a task slot is replaced by
+            a delayed-copy control pair.
+    """
+
+    experiment_id: str
+    pairs: List[ABPair]
+    control_pair_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ExperimentError("an A/B experiment needs at least one pair")
+        ids = [pair.pair_id for pair in self.pairs]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError("duplicate pair ids in A/B experiment")
+
+    @property
+    def experiment_type(self) -> str:
+        """Experiment type tag used in datasets."""
+        return "ab"
+
+    def pair_by_id(self, pair_id: str) -> ABPair:
+        """Look up one of the experiment's pairs."""
+        for pair in self.pairs:
+            if pair.pair_id == pair_id:
+                return pair
+        raise ExperimentError(f"unknown pair {pair_id!r} in experiment {self.experiment_id}")
+
+    def task_pool(self) -> List[ABPair]:
+        """The assignable task units."""
+        return list(self.pairs)
+
+    def make_control_pair(self, base: ABPair, rng: SeededRNG, index: int) -> ABPair:
+        """Build a control pair from an existing pair's A-side video.
+
+        The control shows the same video on both sides with one side delayed
+        by :data:`AB_CONTROL_DELAY_SECONDS`; careful participants must pick
+        the non-delayed side.
+        """
+        video = base.spliced.left
+        delayed_side = "right" if rng.bernoulli(0.5) else "left"
+        spliced = control_splice(
+            video_id=f"{base.pair_id}-control-{index}",
+            video=video,
+            delayed_side=delayed_side,
+            delay=AB_CONTROL_DELAY_SECONDS,
+        )
+        return ABPair(
+            pair_id=spliced.video_id,
+            site_id=base.site_id,
+            spliced=spliced,
+            label_a="control",
+            label_b="control",
+            a_side="left",
+        )
+
+
+def build_ab_pairs(
+    captures_a: Dict[str, Video],
+    captures_b: Dict[str, Video],
+    label_a: str,
+    label_b: str,
+    rng: SeededRNG,
+) -> List[ABPair]:
+    """Splice per-site capture pairs into A/B units with random side order.
+
+    Args:
+        captures_a: treatment-A videos keyed by site id.
+        captures_b: treatment-B videos keyed by site id.
+        label_a: label of treatment A.
+        label_b: label of treatment B.
+        rng: random source for the left/right coin flips.
+
+    Raises:
+        ExperimentError: if the two capture sets cover different sites.
+    """
+    sites_a = set(captures_a)
+    sites_b = set(captures_b)
+    if sites_a != sites_b:
+        missing = sites_a.symmetric_difference(sites_b)
+        raise ExperimentError(f"capture sets cover different sites: {sorted(missing)[:5]}...")
+    pairs: List[ABPair] = []
+    for site_id in sorted(captures_a):
+        video_a = captures_a[site_id]
+        video_b = captures_b[site_id]
+        a_on_left = rng.fork(f"side:{site_id}").bernoulli(0.5)
+        if a_on_left:
+            spliced = splice(f"{site_id}-{label_a}-vs-{label_b}", video_a, video_b, label_a, label_b)
+            a_side = "left"
+        else:
+            spliced = splice(f"{site_id}-{label_a}-vs-{label_b}", video_b, video_a, label_b, label_a)
+            a_side = "right"
+        pairs.append(
+            ABPair(
+                pair_id=spliced.video_id,
+                site_id=site_id,
+                spliced=spliced,
+                label_a=label_a,
+                label_b=label_b,
+                a_side=a_side,
+            )
+        )
+    return pairs

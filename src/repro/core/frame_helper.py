@@ -1,0 +1,132 @@
+"""The frame-selection helper (paper §3.2, Figure 3).
+
+After a participant chooses a time on the slider, Eyeorg shows them the frame
+they chose next to the *earliest visually similar frame* (no more than 1 %
+different pixel-by-pixel) and lets them either accept the "rewind" suggestion
+or keep their original choice.  To verify that participants do not accept
+suggestions blindly, the helper occasionally substitutes a drastically
+different (nearly blank) *control frame*; a careful participant keeps their
+original choice in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..capture.pixeldiff import control_frame, rewind_suggestion
+from ..capture.video import Video
+from ..config import FRAME_SIMILARITY_THRESHOLD
+from ..crowd.behavior import BehaviourSimulator
+from ..crowd.participant import Participant
+from ..rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class HelperOutcome:
+    """Result of running the frame-selection helper for one response.
+
+    Attributes:
+        slider_time: the participant's original slider choice.
+        suggested_time: the time of the frame the helper displayed.
+        submitted_time: the final answer after the participant's decision.
+        was_control: whether a control frame was shown instead of the true
+            rewind suggestion.
+        control_passed: for controls, True when the participant (correctly)
+            kept their original choice; None otherwise.
+        accepted_suggestion: whether the participant took the suggested frame.
+    """
+
+    slider_time: float
+    suggested_time: float
+    submitted_time: float
+    was_control: bool
+    control_passed: Optional[bool]
+    accepted_suggestion: bool
+
+
+class FrameSelectionHelper:
+    """Implements the rewind/control frame interaction."""
+
+    def __init__(
+        self,
+        similarity_threshold: float = FRAME_SIMILARITY_THRESHOLD,
+        control_probability: float = 0.15,
+        enabled: bool = True,
+    ) -> None:
+        """Create a helper.
+
+        Args:
+            similarity_threshold: maximum pixel difference for "similar" frames.
+            control_probability: probability of showing a control frame
+                instead of the real suggestion.
+            enabled: when False the helper is skipped entirely (ablation
+                knob — the submitted answer is then the raw slider time).
+        """
+        self.similarity_threshold = similarity_threshold
+        self.control_probability = control_probability
+        self.enabled = enabled
+
+    def run(
+        self,
+        video: Video,
+        participant: Participant,
+        slider_time: float,
+        accepts_suggestion: bool,
+        behaviour: BehaviourSimulator,
+        rng: SeededRNG,
+    ) -> HelperOutcome:
+        """Run the helper interaction for one timeline answer.
+
+        Args:
+            video: the video being judged.
+            participant: the participant answering.
+            slider_time: their original slider choice.
+            accepts_suggestion: whether this participant would accept a
+                *reasonable* suggestion (from the behaviour model).
+            behaviour: behaviour simulator (for the control-frame reaction).
+            rng: random source for the control-frame coin flip.
+        """
+        if not self.enabled:
+            return HelperOutcome(
+                slider_time=slider_time,
+                suggested_time=slider_time,
+                submitted_time=slider_time,
+                was_control=False,
+                control_passed=None,
+                accepted_suggestion=False,
+            )
+
+        show_control = rng.fork(f"helper-control:{participant.participant_id}:{video.video_id}").bernoulli(
+            self.control_probability
+        )
+        if show_control:
+            control = control_frame(video.frames, slider_time)
+            suggested_time = control.timestamp if control is not None else 0.0
+            keeps_original = behaviour.reacts_to_control_frame(
+                participant, f"{video.video_id}:{slider_time:.3f}"
+            )
+            submitted = slider_time if keeps_original else suggested_time
+            return HelperOutcome(
+                slider_time=slider_time,
+                suggested_time=suggested_time,
+                submitted_time=submitted,
+                was_control=True,
+                control_passed=keeps_original,
+                accepted_suggestion=not keeps_original,
+            )
+
+        suggestion = rewind_suggestion(video.frames, slider_time, self.similarity_threshold)
+        suggested_time = suggestion.timestamp
+        if accepts_suggestion:
+            submitted = suggested_time
+        else:
+            submitted = slider_time
+        return HelperOutcome(
+            slider_time=slider_time,
+            suggested_time=suggested_time,
+            submitted_time=submitted,
+            was_control=False,
+            control_passed=None,
+            accepted_suggestion=accepts_suggestion,
+        )

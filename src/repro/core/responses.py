@@ -1,0 +1,186 @@
+"""Response records and datasets.
+
+Every participant interaction ends in a response record: a
+:class:`TimelineResponse` (the submitted UserPerceivedPLT for one video) or
+an :class:`ABResponse` (the left/right/no-difference choice for one spliced
+pair).  A :class:`ResponseDataset` collects the records of one campaign,
+together with the participants and the videos involved, and is the object
+the validation pipeline and the analysis operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..crowd.behavior import VideoInteraction
+from ..crowd.participant import Participant
+from ..errors import AnalysisError
+
+
+@dataclass
+class TimelineResponse:
+    """One participant's answer for one timeline video.
+
+    Attributes:
+        participant_id: who answered.
+        video_id: which video they judged.
+        site_id: the captured site.
+        slider_time: the time originally selected with the slider.
+        helper_time: the frame-selection helper's suggestion.
+        submitted_time: the final submitted UserPerceivedPLT (seconds).
+        saw_control_frame: whether the helper showed a control frame.
+        control_passed: for control frames, whether the participant correctly
+            kept their original choice (None when no control was shown).
+        interaction: behavioural telemetry for the task.
+    """
+
+    participant_id: str
+    video_id: str
+    site_id: str
+    slider_time: float
+    helper_time: Optional[float]
+    submitted_time: float
+    saw_control_frame: bool
+    control_passed: Optional[bool]
+    interaction: VideoInteraction
+
+    @property
+    def is_control(self) -> bool:
+        """Whether this response involved a control question."""
+        return self.saw_control_frame
+
+
+@dataclass
+class ABResponse:
+    """One participant's answer for one A/B pair.
+
+    Attributes:
+        participant_id: who answered.
+        pair_id: identifier of the spliced pair.
+        site_id: the site the pair compares.
+        choice: "left", "right", or "no_difference".
+        choice_label: the experiment-level label of the chosen side
+            ("A", "B", "no_difference", or "control").
+        is_control: whether the pair was a delayed-copy control.
+        control_passed: for controls, whether the non-delayed side was picked.
+        interaction: behavioural telemetry for the task.
+    """
+
+    participant_id: str
+    pair_id: str
+    site_id: str
+    choice: str
+    choice_label: str
+    is_control: bool
+    control_passed: Optional[bool]
+    interaction: VideoInteraction
+
+
+@dataclass
+class ResponseDataset:
+    """All responses of one campaign.
+
+    Attributes:
+        campaign_id: the campaign the responses belong to.
+        experiment_type: "timeline" or "ab".
+        participants: participants keyed by id.
+        timeline_responses: timeline answers (empty for A/B campaigns).
+        ab_responses: A/B answers (empty for timeline campaigns).
+    """
+
+    campaign_id: str
+    experiment_type: str
+    participants: Dict[str, Participant] = field(default_factory=dict)
+    timeline_responses: List[TimelineResponse] = field(default_factory=list)
+    ab_responses: List[ABResponse] = field(default_factory=list)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add_participant(self, participant: Participant) -> None:
+        """Register a participant (idempotent)."""
+        self.participants[participant.participant_id] = participant
+
+    def add_timeline_response(self, response: TimelineResponse) -> None:
+        """Append a timeline response."""
+        self.timeline_responses.append(response)
+
+    def add_ab_response(self, response: ABResponse) -> None:
+        """Append an A/B response."""
+        self.ab_responses.append(response)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def participant_count(self) -> int:
+        """Number of participants with at least one registered record."""
+        return len(self.participants)
+
+    @property
+    def response_count(self) -> int:
+        """Total number of responses of the campaign's type."""
+        return len(self.timeline_responses) + len(self.ab_responses)
+
+    def responses_for_participant(self, participant_id: str) -> List:
+        """Every response submitted by one participant."""
+        timeline = [r for r in self.timeline_responses if r.participant_id == participant_id]
+        ab = [r for r in self.ab_responses if r.participant_id == participant_id]
+        return timeline + ab
+
+    def responses_for_video(self, video_id: str) -> List[TimelineResponse]:
+        """Timeline responses for one video."""
+        return [r for r in self.timeline_responses if r.video_id == video_id]
+
+    def responses_for_pair(self, pair_id: str) -> List[ABResponse]:
+        """A/B responses for one spliced pair."""
+        return [r for r in self.ab_responses if r.pair_id == pair_id]
+
+    def video_ids(self) -> List[str]:
+        """Distinct timeline video ids, in first-seen order."""
+        seen: List[str] = []
+        for response in self.timeline_responses:
+            if response.video_id not in seen:
+                seen.append(response.video_id)
+        return seen
+
+    def pair_ids(self) -> List[str]:
+        """Distinct A/B pair ids, in first-seen order."""
+        seen: List[str] = []
+        for response in self.ab_responses:
+            if response.pair_id not in seen:
+                seen.append(response.pair_id)
+        return seen
+
+    def filtered(self, keep_participant_ids: Iterable[str]) -> "ResponseDataset":
+        """Return a copy containing only responses from the given participants."""
+        keep = set(keep_participant_ids)
+        subset = ResponseDataset(campaign_id=self.campaign_id, experiment_type=self.experiment_type)
+        for participant_id, participant in self.participants.items():
+            if participant_id in keep:
+                subset.add_participant(participant)
+        subset.timeline_responses = [r for r in self.timeline_responses if r.participant_id in keep]
+        subset.ab_responses = [r for r in self.ab_responses if r.participant_id in keep]
+        return subset
+
+    def participant_ids(self) -> List[str]:
+        """Ids of every registered participant."""
+        return list(self.participants)
+
+    def merge(self, other: "ResponseDataset") -> "ResponseDataset":
+        """Merge two datasets of the same experiment type into a new one.
+
+        Raises:
+            AnalysisError: if the experiment types differ.
+        """
+        if self.experiment_type != other.experiment_type:
+            raise AnalysisError("cannot merge datasets of different experiment types")
+        merged = ResponseDataset(
+            campaign_id=f"{self.campaign_id}+{other.campaign_id}",
+            experiment_type=self.experiment_type,
+        )
+        for dataset in (self, other):
+            for participant in dataset.participants.values():
+                merged.add_participant(participant)
+            merged.timeline_responses.extend(dataset.timeline_responses)
+            merged.ab_responses.extend(dataset.ab_responses)
+        return merged

@@ -1,0 +1,156 @@
+"""The in-process Eyeorg backend.
+
+The real platform is a web service: it gates participants behind a
+"I'm not a robot" check, assigns each participant a set of videos, serves the
+video files, records telemetry, and lets participants flag broken videos.
+This module provides the same behaviour as an in-process object so that
+campaigns run offline with no sockets involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, Optional, Sequence, TypeVar
+
+from ..capture.video import Video
+from ..config import BROKEN_VIDEO_FLAG_THRESHOLD, VIDEOS_PER_PARTICIPANT
+from ..crowd.participant import Participant
+from ..errors import CampaignError
+from ..rng import SeededRNG
+from .experiment import ABExperiment, ABPair, TimelineExperiment
+
+TaskT = TypeVar("TaskT")
+
+
+@dataclass
+class CaptchaGate:
+    """The "I'm not a robot" verification step (paper §3.3, hard rules).
+
+    Attributes:
+        bot_rejection_probability: probability that an automated client fails
+            the check.  Human participants always pass (the check's false
+            positive rate is negligible at this scale).
+    """
+
+    bot_rejection_probability: float = 0.98
+    attempts: int = 0
+    rejected: int = 0
+
+    def verify(self, participant: Participant, rng: SeededRNG, is_bot: bool = False) -> bool:
+        """Run the captcha for one participant; returns True when admitted."""
+        self.attempts += 1
+        if is_bot and rng.fork(f"captcha:{participant.participant_id}").bernoulli(self.bot_rejection_probability):
+            self.rejected += 1
+            return False
+        return True
+
+
+class TaskAssigner(Generic[TaskT]):
+    """Assigns each participant a subset of the task pool.
+
+    Assignment balances coverage: tasks with the fewest completed assignments
+    so far are handed out first (with a per-participant shuffle so ordering
+    effects average out).  With 1,000 participants x 6 videos over 100 sites
+    this yields ~60 responses per video, matching the paper's campaigns.
+    """
+
+    def __init__(self, tasks: Sequence[TaskT], per_participant: int = VIDEOS_PER_PARTICIPANT,
+                 rng: Optional[SeededRNG] = None) -> None:
+        if not tasks:
+            raise CampaignError("the task pool is empty")
+        if per_participant <= 0:
+            raise CampaignError("per_participant must be positive")
+        self._tasks: List[TaskT] = list(tasks)
+        self._per_participant = min(per_participant, len(self._tasks))
+        self._rng = (rng or SeededRNG()).fork("assigner")
+        self._assignment_counts: Dict[int, int] = {index: 0 for index in range(len(self._tasks))}
+
+    def assign(self, participant: Participant) -> List[TaskT]:
+        """Assign tasks to one participant."""
+        order = sorted(
+            self._assignment_counts,
+            key=lambda index: (self._assignment_counts[index],
+                               self._rng.fork(f"tie:{participant.participant_id}:{index}").random()),
+        )
+        chosen = order[: self._per_participant]
+        for index in chosen:
+            self._assignment_counts[index] += 1
+        tasks = [self._tasks[index] for index in chosen]
+        self._rng.fork(f"shuffle:{participant.participant_id}").shuffle(tasks)
+        return tasks
+
+    @property
+    def assignments_per_task(self) -> Dict[int, int]:
+        """How many participants each task index has been assigned to."""
+        return dict(self._assignment_counts)
+
+
+@dataclass
+class BrokenVideoRegistry:
+    """Crowd-powered broken-video reporting (paper §3.3).
+
+    A video flagged by :data:`BROKEN_VIDEO_FLAG_THRESHOLD` distinct workers is
+    automatically banned and queued for manual inspection.
+    """
+
+    threshold: int = BROKEN_VIDEO_FLAG_THRESHOLD
+    _flags: Dict[str, set] = field(default_factory=dict)
+    banned: List[str] = field(default_factory=list)
+
+    def flag(self, video: Video, participant_id: str) -> bool:
+        """Record a report; returns True when the video becomes banned."""
+        flags = self._flags.setdefault(video.video_id, set())
+        flags.add(participant_id)
+        video.flag_broken(participant_id, threshold=self.threshold)
+        if len(flags) >= self.threshold and video.video_id not in self.banned:
+            self.banned.append(video.video_id)
+        return video.video_id in self.banned
+
+    def flag_count(self, video_id: str) -> int:
+        """Number of distinct workers who flagged a video."""
+        return len(self._flags.get(video_id, set()))
+
+
+class EyeorgServer:
+    """Ties the gate, the assigner and the registry together for one campaign."""
+
+    def __init__(
+        self,
+        experiment: TimelineExperiment | ABExperiment,
+        videos_per_participant: int = VIDEOS_PER_PARTICIPANT,
+        seed: int = 2016,
+    ) -> None:
+        self.experiment = experiment
+        self._rng = SeededRNG(seed).fork(f"server:{experiment.experiment_id}")
+        self.captcha = CaptchaGate()
+        self.broken_videos = BrokenVideoRegistry()
+        self._assigner: TaskAssigner = TaskAssigner(
+            experiment.task_pool(), per_participant=videos_per_participant, rng=self._rng
+        )
+        self.admitted: List[str] = []
+        self.rejected: List[str] = []
+
+    def admit(self, participant: Participant, is_bot: bool = False) -> bool:
+        """Run the captcha gate; track admitted/rejected participants."""
+        if self.captcha.verify(participant, self._rng, is_bot=is_bot):
+            self.admitted.append(participant.participant_id)
+            return True
+        self.rejected.append(participant.participant_id)
+        return False
+
+    def assign_tasks(self, participant: Participant) -> List:
+        """Assign the participant their task list.
+
+        Raises:
+            CampaignError: if the participant has not been admitted.
+        """
+        if participant.participant_id not in self.admitted:
+            raise CampaignError(
+                f"participant {participant.participant_id} must pass the captcha before getting tasks"
+            )
+        return self._assigner.assign(participant)
+
+    @property
+    def coverage(self) -> Dict[int, int]:
+        """Assignments handed out per task index."""
+        return self._assigner.assignments_per_task

@@ -1,0 +1,193 @@
+"""Participant sessions.
+
+A :class:`ParticipantSession` walks one participant through their assigned
+task list — the hard rules (an answer is required to advance), the frame
+helper interaction, and the telemetry capture all live here.  The session
+produces the response records and the per-participant telemetry summary that
+the validation pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..capture.video import SplicedVideo, Video
+from ..crowd.behavior import BehaviourSimulator
+from ..crowd.participant import Participant
+from ..errors import ExperimentError
+from ..rng import SeededRNG
+from .experiment import ABPair
+from .frame_helper import FrameSelectionHelper
+from .responses import ABResponse, TimelineResponse
+
+
+@dataclass
+class SessionTelemetry:
+    """Aggregate telemetry of one participant session.
+
+    Attributes:
+        participant_id: the participant.
+        time_on_site_seconds: total time from first task to last submission
+            (the quantity plotted in Figure 4(a)).
+        total_actions: total play/pause/seek actions (Figure 4(b)).
+        out_of_focus_seconds: total time the Eyeorg tab was in the background
+            (Figure 5).
+        videos_assigned: number of tasks assigned.
+        videos_skipped: tasks answered without interacting with the video
+            (soft-rule violations).
+        max_video_transfer_seconds: slowest video transfer the participant
+            experienced (used by the engagement filter's focus rule).
+        controls_seen: number of control questions encountered.
+        controls_passed: number of control questions answered correctly.
+    """
+
+    participant_id: str
+    time_on_site_seconds: float = 0.0
+    total_actions: int = 0
+    out_of_focus_seconds: float = 0.0
+    videos_assigned: int = 0
+    videos_skipped: int = 0
+    max_video_transfer_seconds: float = 0.0
+    controls_seen: int = 0
+    controls_passed: int = 0
+
+    @property
+    def control_pass_rate(self) -> float:
+        """Fraction of control questions answered correctly (1.0 when none seen)."""
+        if self.controls_seen == 0:
+            return 1.0
+        return self.controls_passed / self.controls_seen
+
+    @property
+    def skipped_any_video(self) -> bool:
+        """Whether the participant skipped at least one video (soft rule)."""
+        return self.videos_skipped > 0
+
+
+@dataclass
+class TimelineSessionResult:
+    """Everything produced by one timeline session."""
+
+    responses: List[TimelineResponse]
+    telemetry: SessionTelemetry
+
+
+@dataclass
+class ABSessionResult:
+    """Everything produced by one A/B session."""
+
+    responses: List[ABResponse]
+    telemetry: SessionTelemetry
+
+
+class ParticipantSession:
+    """Run one participant through their assigned tasks."""
+
+    def __init__(
+        self,
+        participant: Participant,
+        rng: SeededRNG,
+        frame_helper: Optional[FrameSelectionHelper] = None,
+        preload_video: bool = True,
+    ) -> None:
+        self.participant = participant
+        self._rng = rng.fork(f"session:{participant.participant_id}")
+        self._behaviour = BehaviourSimulator(self._rng)
+        self._frame_helper = frame_helper or FrameSelectionHelper()
+        self._preload_video = preload_video
+
+    # -- timeline ---------------------------------------------------------------
+
+    def run_timeline(self, videos: List[Video]) -> TimelineSessionResult:
+        """Execute a timeline task list.
+
+        Raises:
+            ExperimentError: if no videos are assigned.
+        """
+        if not videos:
+            raise ExperimentError("a session needs at least one assigned video")
+        telemetry = SessionTelemetry(participant_id=self.participant.participant_id,
+                                     videos_assigned=len(videos))
+        responses: List[TimelineResponse] = []
+        for index, video in enumerate(videos):
+            behaviour = self._behaviour.timeline_task(
+                self.participant, video, first_task=(index == 0), preload_video=self._preload_video
+            )
+            outcome = self._frame_helper.run(
+                video=video,
+                participant=self.participant,
+                slider_time=behaviour.slider_time,
+                accepts_suggestion=behaviour.accepted_helper,
+                behaviour=self._behaviour,
+                rng=self._rng,
+            )
+            interaction = behaviour.interaction
+            telemetry.time_on_site_seconds += interaction.time_on_task_seconds
+            telemetry.total_actions += interaction.total_actions
+            telemetry.out_of_focus_seconds += interaction.out_of_focus_seconds
+            telemetry.max_video_transfer_seconds = max(
+                telemetry.max_video_transfer_seconds, interaction.video_transfer_seconds
+            )
+            if not interaction.watched_video:
+                telemetry.videos_skipped += 1
+            if outcome.was_control:
+                telemetry.controls_seen += 1
+                if outcome.control_passed:
+                    telemetry.controls_passed += 1
+            responses.append(
+                TimelineResponse(
+                    participant_id=self.participant.participant_id,
+                    video_id=video.video_id,
+                    site_id=video.site_id,
+                    slider_time=outcome.slider_time,
+                    helper_time=outcome.suggested_time,
+                    submitted_time=outcome.submitted_time,
+                    saw_control_frame=outcome.was_control,
+                    control_passed=outcome.control_passed,
+                    interaction=interaction,
+                )
+            )
+        return TimelineSessionResult(responses=responses, telemetry=telemetry)
+
+    # -- A/B ---------------------------------------------------------------------
+
+    def run_ab(self, pairs: List[ABPair]) -> ABSessionResult:
+        """Execute an A/B task list.
+
+        Raises:
+            ExperimentError: if no pairs are assigned.
+        """
+        if not pairs:
+            raise ExperimentError("a session needs at least one assigned pair")
+        telemetry = SessionTelemetry(participant_id=self.participant.participant_id,
+                                     videos_assigned=len(pairs))
+        responses: List[ABResponse] = []
+        for index, pair in enumerate(pairs):
+            behaviour = self._behaviour.ab_task(self.participant, pair.spliced, first_task=(index == 0))
+            interaction = behaviour.interaction
+            telemetry.time_on_site_seconds += interaction.time_on_task_seconds
+            telemetry.total_actions += interaction.total_actions
+            telemetry.out_of_focus_seconds += interaction.out_of_focus_seconds
+            telemetry.max_video_transfer_seconds = max(
+                telemetry.max_video_transfer_seconds, interaction.video_transfer_seconds
+            )
+            if not interaction.watched_video:
+                telemetry.videos_skipped += 1
+            if pair.is_control:
+                telemetry.controls_seen += 1
+                if behaviour.correct_control:
+                    telemetry.controls_passed += 1
+            responses.append(
+                ABResponse(
+                    participant_id=self.participant.participant_id,
+                    pair_id=pair.pair_id,
+                    site_id=pair.site_id,
+                    choice=behaviour.choice,
+                    choice_label=pair.label_for_choice(behaviour.choice),
+                    is_control=pair.is_control,
+                    control_passed=behaviour.correct_control,
+                    interaction=interaction,
+                )
+            )
+        return ABSessionResult(responses=responses, telemetry=telemetry)

@@ -1,0 +1,259 @@
+"""Dataset export and import.
+
+The crowdsourced UserPerceivedPLT data collected by the paper is published on
+the Eyeorg site; this module provides the equivalent for the reproduction:
+campaign datasets can be exported to JSON (full fidelity) or CSV (flat
+response tables) and loaded back, so analyses can run without re-simulating
+campaigns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..crowd.behavior import VideoInteraction
+from ..crowd.demographics import Demographics
+from ..crowd.participant import Participant, ParticipantClass, QualityTraits, ReadinessPersona
+from ..errors import StorageError
+from .responses import ABResponse, ResponseDataset, TimelineResponse
+
+
+# ---------------------------------------------------------------------------
+# serialisation helpers
+# ---------------------------------------------------------------------------
+
+
+def _participant_to_dict(participant: Participant) -> Dict:
+    return {
+        "participant_id": participant.participant_id,
+        "class": participant.participant_class.value,
+        "service": participant.service,
+        "gender": participant.demographics.gender,
+        "age": participant.demographics.age,
+        "country": participant.demographics.country,
+        "technical_ability": participant.demographics.technical_ability,
+        "persona": participant.persona.value,
+        "conscientiousness": participant.traits.conscientiousness,
+        "is_random_clicker": participant.traits.is_random_clicker,
+        "is_frenetic": participant.traits.is_frenetic,
+        "distraction_propensity": participant.traits.distraction_propensity,
+        "perception_noise": participant.traits.perception_noise,
+        "jnd_seconds": participant.traits.jnd_seconds,
+        "downlink_bps": participant.downlink_bps,
+        "browser": participant.browser,
+        "os": participant.os,
+    }
+
+
+def _participant_from_dict(data: Dict) -> Participant:
+    return Participant(
+        participant_id=data["participant_id"],
+        participant_class=ParticipantClass(data["class"]),
+        service=data["service"],
+        demographics=Demographics(
+            gender=data["gender"],
+            age=int(data["age"]),
+            country=data["country"],
+            technical_ability=data["technical_ability"],
+        ),
+        persona=ReadinessPersona(data["persona"]),
+        traits=QualityTraits(
+            conscientiousness=float(data["conscientiousness"]),
+            is_random_clicker=bool(data["is_random_clicker"]),
+            is_frenetic=bool(data["is_frenetic"]),
+            distraction_propensity=float(data["distraction_propensity"]),
+            perception_noise=float(data["perception_noise"]),
+            jnd_seconds=float(data["jnd_seconds"]),
+        ),
+        downlink_bps=float(data["downlink_bps"]),
+        browser=data["browser"],
+        os=data["os"],
+    )
+
+
+def _interaction_to_dict(interaction: VideoInteraction) -> Dict:
+    return {
+        "video_transfer_seconds": interaction.video_transfer_seconds,
+        "watch_seconds": interaction.watch_seconds,
+        "instruction_seconds": interaction.instruction_seconds,
+        "out_of_focus_seconds": interaction.out_of_focus_seconds,
+        "play_actions": interaction.play_actions,
+        "pause_actions": interaction.pause_actions,
+        "seek_actions": interaction.seek_actions,
+        "watched_video": interaction.watched_video,
+    }
+
+
+def _interaction_from_dict(data: Dict) -> VideoInteraction:
+    return VideoInteraction(
+        video_transfer_seconds=float(data["video_transfer_seconds"]),
+        watch_seconds=float(data["watch_seconds"]),
+        instruction_seconds=float(data["instruction_seconds"]),
+        out_of_focus_seconds=float(data["out_of_focus_seconds"]),
+        play_actions=int(data["play_actions"]),
+        pause_actions=int(data["pause_actions"]),
+        seek_actions=int(data["seek_actions"]),
+        watched_video=bool(data["watched_video"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip
+# ---------------------------------------------------------------------------
+
+
+def dataset_to_dict(dataset: ResponseDataset) -> Dict:
+    """Serialise a dataset (participants + responses) to a plain dictionary."""
+    return {
+        "campaign_id": dataset.campaign_id,
+        "experiment_type": dataset.experiment_type,
+        "participants": [_participant_to_dict(p) for p in dataset.participants.values()],
+        "timeline_responses": [
+            {
+                "participant_id": r.participant_id,
+                "video_id": r.video_id,
+                "site_id": r.site_id,
+                "slider_time": r.slider_time,
+                "helper_time": r.helper_time,
+                "submitted_time": r.submitted_time,
+                "saw_control_frame": r.saw_control_frame,
+                "control_passed": r.control_passed,
+                "interaction": _interaction_to_dict(r.interaction),
+            }
+            for r in dataset.timeline_responses
+        ],
+        "ab_responses": [
+            {
+                "participant_id": r.participant_id,
+                "pair_id": r.pair_id,
+                "site_id": r.site_id,
+                "choice": r.choice,
+                "choice_label": r.choice_label,
+                "is_control": r.is_control,
+                "control_passed": r.control_passed,
+                "interaction": _interaction_to_dict(r.interaction),
+            }
+            for r in dataset.ab_responses
+        ],
+    }
+
+
+def dataset_from_dict(data: Dict) -> ResponseDataset:
+    """Rebuild a dataset from :func:`dataset_to_dict` output.
+
+    Raises:
+        StorageError: if required keys are missing.
+    """
+    try:
+        dataset = ResponseDataset(
+            campaign_id=data["campaign_id"], experiment_type=data["experiment_type"]
+        )
+        for pdata in data.get("participants", []):
+            dataset.add_participant(_participant_from_dict(pdata))
+        for rdata in data.get("timeline_responses", []):
+            dataset.add_timeline_response(
+                TimelineResponse(
+                    participant_id=rdata["participant_id"],
+                    video_id=rdata["video_id"],
+                    site_id=rdata["site_id"],
+                    slider_time=float(rdata["slider_time"]),
+                    helper_time=rdata["helper_time"],
+                    submitted_time=float(rdata["submitted_time"]),
+                    saw_control_frame=bool(rdata["saw_control_frame"]),
+                    control_passed=rdata["control_passed"],
+                    interaction=_interaction_from_dict(rdata["interaction"]),
+                )
+            )
+        for rdata in data.get("ab_responses", []):
+            dataset.add_ab_response(
+                ABResponse(
+                    participant_id=rdata["participant_id"],
+                    pair_id=rdata["pair_id"],
+                    site_id=rdata["site_id"],
+                    choice=rdata["choice"],
+                    choice_label=rdata["choice_label"],
+                    is_control=bool(rdata["is_control"]),
+                    control_passed=rdata["control_passed"],
+                    interaction=_interaction_from_dict(rdata["interaction"]),
+                )
+            )
+        return dataset
+    except KeyError as exc:
+        raise StorageError(f"malformed dataset dictionary: missing key {exc}") from exc
+
+
+def save_dataset(dataset: ResponseDataset, path: str | Path) -> None:
+    """Write a dataset to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(dataset_to_dict(dataset), indent=2, sort_keys=True), encoding="utf-8")
+
+
+def load_dataset(path: str | Path) -> ResponseDataset:
+    """Read a dataset from a JSON file.
+
+    Raises:
+        StorageError: if the file does not exist or cannot be parsed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"dataset file {path} does not exist")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"dataset file {path} is not valid JSON: {exc}") from exc
+    return dataset_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# CSV export (flat response tables, the shape of the published data)
+# ---------------------------------------------------------------------------
+
+
+def timeline_responses_csv(dataset: ResponseDataset) -> str:
+    """Render the timeline responses as a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["participant_id", "video_id", "site_id", "slider_time", "helper_time",
+         "submitted_time", "saw_control_frame", "control_passed", "seek_actions",
+         "out_of_focus_seconds"]
+    )
+    for r in dataset.timeline_responses:
+        writer.writerow(
+            [r.participant_id, r.video_id, r.site_id, f"{r.slider_time:.3f}",
+             "" if r.helper_time is None else f"{r.helper_time:.3f}",
+             f"{r.submitted_time:.3f}", int(r.saw_control_frame),
+             "" if r.control_passed is None else int(r.control_passed),
+             r.interaction.seek_actions, f"{r.interaction.out_of_focus_seconds:.3f}"]
+        )
+    return buffer.getvalue()
+
+
+def ab_responses_csv(dataset: ResponseDataset) -> str:
+    """Render the A/B responses as a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["participant_id", "pair_id", "site_id", "choice", "choice_label",
+         "is_control", "control_passed", "play_actions"]
+    )
+    for r in dataset.ab_responses:
+        writer.writerow(
+            [r.participant_id, r.pair_id, r.site_id, r.choice, r.choice_label,
+             int(r.is_control), "" if r.control_passed is None else int(r.control_passed),
+             r.interaction.play_actions]
+        )
+    return buffer.getvalue()
+
+
+def export_csv(dataset: ResponseDataset, path: str | Path) -> None:
+    """Write the dataset's responses to a CSV file (type chosen automatically)."""
+    path = Path(path)
+    if dataset.experiment_type == "timeline":
+        path.write_text(timeline_responses_csv(dataset), encoding="utf-8")
+    else:
+        path.write_text(ab_responses_csv(dataset), encoding="utf-8")

@@ -1,0 +1,225 @@
+"""Response validation: the filtering pipeline of paper §4.3.
+
+The final filtering strategy the paper converges on is:
+
+* **Engagement** — drop paid participants with 50 % more video interactions
+  than the most active trusted participant (369 seeks → threshold ≈ 553), and
+  participants who spent more than 10 seconds away from the Eyeorg tab even
+  though their video had been delivered within those 10 seconds.
+* **Soft rules** — drop participants who skipped (did not play or scrub) even
+  a single video.
+* **Control questions** — drop participants who failed any control question
+  (a control frame in timeline tests, a delayed-copy pair in A/B tests).
+* **Wisdom of the crowd** — for timeline campaigns, keep only responses
+  between the 25th and 75th percentile of each video's UserPerceivedPLT
+  distribution.
+
+The pipeline reports how many participants each technique removed (the last
+three columns of Table 1) and returns the cleaned dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+from .responses import ResponseDataset, TimelineResponse
+from .session import SessionTelemetry
+
+#: The most active trusted participant performed 369 seek actions (paper §4.2).
+TRUSTED_MAX_ACTIONS = 369
+
+#: Engagement rule: drop paid participants with 50 % more interactions than that.
+DEFAULT_ACTION_THRESHOLD = int(TRUSTED_MAX_ACTIONS * 1.5)
+
+#: Focus rule: out-of-focus for more than this many seconds is suspicious...
+DEFAULT_FOCUS_THRESHOLD_SECONDS = 10.0
+#: ...unless the video itself took longer than this to arrive.
+DEFAULT_TRANSFER_GRACE_SECONDS = 10.0
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Thresholds of the filtering pipeline.
+
+    Attributes:
+        action_threshold: maximum allowed video interactions per participant.
+        focus_threshold_seconds: maximum allowed out-of-focus time.
+        transfer_grace_seconds: out-of-focus time is excused when the video
+            took longer than this to transfer.
+        wisdom_low_percentile: lower bound of the kept percentile window.
+        wisdom_high_percentile: upper bound of the kept percentile window.
+        apply_engagement: toggle for the engagement filter.
+        apply_soft_rules: toggle for the soft-rule filter.
+        apply_controls: toggle for the control-question filter.
+        apply_wisdom: toggle for the wisdom-of-the-crowd filter.
+    """
+
+    action_threshold: int = DEFAULT_ACTION_THRESHOLD
+    focus_threshold_seconds: float = DEFAULT_FOCUS_THRESHOLD_SECONDS
+    transfer_grace_seconds: float = DEFAULT_TRANSFER_GRACE_SECONDS
+    wisdom_low_percentile: float = 25.0
+    wisdom_high_percentile: float = 75.0
+    apply_engagement: bool = True
+    apply_soft_rules: bool = True
+    apply_controls: bool = True
+    apply_wisdom: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.wisdom_low_percentile < self.wisdom_high_percentile <= 100.0:
+            raise ValidationError("wisdom percentile window must satisfy 0 <= low < high <= 100")
+        if self.action_threshold <= 0:
+            raise ValidationError("action_threshold must be positive")
+
+
+@dataclass
+class FilterReport:
+    """Outcome of the filtering pipeline for one campaign.
+
+    Attributes:
+        initial_participants: participants before filtering.
+        dropped_engagement: participant ids removed by the engagement filter.
+        dropped_soft: participant ids removed by the soft-rule filter.
+        dropped_control: participant ids removed by the control filter.
+        responses_dropped_wisdom: timeline responses removed by the
+            percentile window (the wisdom filter drops responses, not people).
+        kept_participants: participant ids surviving every participant filter.
+    """
+
+    initial_participants: int
+    dropped_engagement: List[str] = field(default_factory=list)
+    dropped_soft: List[str] = field(default_factory=list)
+    dropped_control: List[str] = field(default_factory=list)
+    responses_dropped_wisdom: int = 0
+    kept_participants: List[str] = field(default_factory=list)
+
+    @property
+    def dropped_total(self) -> int:
+        """Participants removed by any participant-level filter."""
+        return len(set(self.dropped_engagement) | set(self.dropped_soft) | set(self.dropped_control))
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of participants removed (the ~20 % the abstract quotes)."""
+        if self.initial_participants == 0:
+            return 0.0
+        return self.dropped_total / self.initial_participants
+
+    def summary_row(self) -> Dict[str, int]:
+        """The Engagement / Soft / Control columns of Table 1."""
+        return {
+            "engagement": len(self.dropped_engagement),
+            "soft": len(self.dropped_soft),
+            "control": len(self.dropped_control),
+        }
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (numpy-style, inclusive).
+
+    Raises:
+        ValidationError: for an empty sample or out-of-range percentile.
+    """
+    if not values:
+        raise ValidationError("percentile of an empty sample is undefined")
+    if not 0.0 <= pct <= 100.0:
+        raise ValidationError("percentile must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class FilteringPipeline:
+    """Applies the §4.3 filtering strategy to a campaign dataset."""
+
+    def __init__(self, config: Optional[FilterConfig] = None) -> None:
+        self.config = config or FilterConfig()
+
+    # -- individual filters -------------------------------------------------------
+
+    def engagement_violations(self, telemetry: Dict[str, SessionTelemetry]) -> List[str]:
+        """Participants failing the interaction-count or focus rules."""
+        dropped = []
+        for participant_id, record in telemetry.items():
+            too_many_actions = record.total_actions > self.config.action_threshold
+            distracted = (
+                record.out_of_focus_seconds > self.config.focus_threshold_seconds
+                and record.max_video_transfer_seconds <= self.config.transfer_grace_seconds
+            )
+            if too_many_actions or distracted:
+                dropped.append(participant_id)
+        return sorted(dropped)
+
+    def soft_rule_violations(self, telemetry: Dict[str, SessionTelemetry]) -> List[str]:
+        """Participants who skipped at least one video."""
+        return sorted(pid for pid, record in telemetry.items() if record.skipped_any_video)
+
+    def control_violations(self, telemetry: Dict[str, SessionTelemetry]) -> List[str]:
+        """Participants who failed at least one control question."""
+        return sorted(
+            pid
+            for pid, record in telemetry.items()
+            if record.controls_seen > 0 and record.controls_passed < record.controls_seen
+        )
+
+    def wisdom_filter(self, dataset: ResponseDataset) -> Tuple[ResponseDataset, int]:
+        """Keep only timeline responses inside the percentile window per video.
+
+        Control-frame responses are not used for UserPerceivedPLT analysis,
+        so they are excluded from both the window computation and the output.
+        """
+        low = self.config.wisdom_low_percentile
+        high = self.config.wisdom_high_percentile
+        kept: List[TimelineResponse] = []
+        dropped = 0
+        for video_id in dataset.video_ids():
+            responses = [r for r in dataset.responses_for_video(video_id) if not r.saw_control_frame]
+            if not responses:
+                continue
+            values = [r.submitted_time for r in responses]
+            lower = percentile(values, low)
+            upper = percentile(values, high)
+            for response in responses:
+                if lower <= response.submitted_time <= upper:
+                    kept.append(response)
+                else:
+                    dropped += 1
+        filtered = ResponseDataset(campaign_id=dataset.campaign_id, experiment_type=dataset.experiment_type)
+        filtered.participants = dict(dataset.participants)
+        filtered.timeline_responses = kept
+        filtered.ab_responses = list(dataset.ab_responses)
+        return filtered, dropped
+
+    # -- the full pipeline --------------------------------------------------------
+
+    def run(self, dataset: ResponseDataset,
+            telemetry: Dict[str, SessionTelemetry]) -> Tuple[ResponseDataset, FilterReport]:
+        """Apply the full filtering strategy.
+
+        Args:
+            dataset: the raw campaign responses.
+            telemetry: per-participant session telemetry.
+
+        Returns:
+            (cleaned dataset, filter report).
+        """
+        report = FilterReport(initial_participants=len(dataset.participants))
+        if self.config.apply_engagement:
+            report.dropped_engagement = self.engagement_violations(telemetry)
+        if self.config.apply_soft_rules:
+            report.dropped_soft = self.soft_rule_violations(telemetry)
+        if self.config.apply_controls:
+            report.dropped_control = self.control_violations(telemetry)
+        dropped = set(report.dropped_engagement) | set(report.dropped_soft) | set(report.dropped_control)
+        report.kept_participants = sorted(set(dataset.participants) - dropped)
+        cleaned = dataset.filtered(report.kept_participants)
+        if self.config.apply_wisdom and dataset.experiment_type == "timeline":
+            cleaned, dropped_responses = self.wisdom_filter(cleaned)
+            report.responses_dropped_wisdom = dropped_responses
+        return cleaned, report

@@ -1,0 +1,154 @@
+"""Visualisation tools.
+
+The paper describes a visualisation tool that displays the UserPerceivedPLT
+responses as a timeline next to the video (Figure 1), which is how the
+authors discovered the multi-modal response patterns.  Since this library is
+headless, the tools here render text: a response timeline aligned with the
+video's paint milestones, histograms, and CDF plots — enough to eyeball every
+distribution the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..capture.video import Video
+from ..errors import AnalysisError
+from .responses import ResponseDataset
+
+
+def _scale(value: float, low: float, high: float, width: int) -> int:
+    """Map ``value`` in [low, high] to a column index in [0, width-1]."""
+    if high - low <= 0:
+        return 0
+    position = (value - low) / (high - low)
+    return min(max(int(position * (width - 1)), 0), width - 1)
+
+
+def response_timeline(video: Video, responses: Sequence[float], width: int = 72) -> str:
+    """Render UserPerceivedPLT responses as a timeline next to the video.
+
+    The top row marks the video's own milestones (first paint ``F``, onload
+    ``O``, last visual change ``L``); the histogram rows underneath show where
+    participant responses fall — the text equivalent of Figure 1.
+    """
+    if not responses:
+        raise AnalysisError("cannot visualise an empty response set")
+    if width < 20:
+        raise AnalysisError("timeline width must be at least 20 columns")
+    duration = max(video.duration, max(responses))
+    milestones = [
+        (video.load_result.first_visual_change, "F"),
+        (video.onload, "O"),
+        (video.load_result.last_visual_change, "L"),
+    ]
+    marker_row = [" "] * width
+    for time, symbol in milestones:
+        marker_row[_scale(time, 0.0, duration, width)] = symbol
+
+    counts = [0] * width
+    for response in responses:
+        counts[_scale(response, 0.0, duration, width)] += 1
+    peak = max(counts)
+    height = min(max(peak, 1), 8)
+    rows: List[str] = []
+    for level in range(height, 0, -1):
+        row = []
+        for count in counts:
+            filled = count > 0 and count / peak * height >= level - 0.5
+            row.append("#" if filled else " ")
+        rows.append("".join(row))
+
+    axis = "-" * width
+    labels = f"0.0s{' ' * (width - 12)}{duration:6.1f}s"
+    lines = [
+        f"video {video.video_id} ({len(responses)} responses)",
+        "".join(marker_row) + "   F=first paint O=onload L=last change",
+        *rows,
+        axis,
+        labels,
+    ]
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 12, width: int = 40,
+              title: Optional[str] = None) -> str:
+    """Render a horizontal text histogram of ``values``."""
+    if not values:
+        raise AnalysisError("cannot histogram an empty sample")
+    if bins <= 0:
+        raise AnalysisError("bins must be positive")
+    low = min(values)
+    high = max(values)
+    if high - low <= 0:
+        high = low + 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(int((value - low) / (high - low) * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, count in enumerate(counts):
+        left = low + (high - low) * index / bins
+        right = low + (high - low) * (index + 1) / bins
+        bar = "#" * (int(count / peak * width) if peak else 0)
+        lines.append(f"[{left:7.2f}, {right:7.2f}) {bar} {count}")
+    return "\n".join(lines)
+
+
+def cdf_plot(series: Dict[str, Sequence[float]], width: int = 60, height: int = 12,
+             title: Optional[str] = None) -> str:
+    """Render one or more empirical CDFs as a text plot.
+
+    Args:
+        series: mapping of label to sample values; each series is drawn with
+            a different symbol.
+        width: plot width in columns.
+        height: plot height in rows.
+        title: optional title line.
+    """
+    if not series:
+        raise AnalysisError("cdf_plot needs at least one series")
+    symbols = "*o+x@%&="
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise AnalysisError("cdf_plot needs non-empty series")
+    low, high = min(all_values), max(all_values)
+    if high - low <= 0:
+        high = low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (label, values) in enumerate(series.items()):
+        ordered = sorted(values)
+        n = len(ordered)
+        symbol = symbols[series_index % len(symbols)]
+        for rank, value in enumerate(ordered):
+            x = _scale(value, low, high, width)
+            y = _scale((rank + 1) / n, 0.0, 1.0, height)
+            grid[height - 1 - y][x] = symbol
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {low:<10.2f}{' ' * (width - 20)}{high:>10.2f}")
+    legend = "  ".join(f"{symbols[i % len(symbols)]}={label}" for i, label in enumerate(series))
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def score_summary(scores: Dict[str, float], label: str) -> str:
+    """Summarise per-site A/B scores the way §5.3/§5.4 report them."""
+    if not scores:
+        raise AnalysisError("cannot summarise an empty score set")
+    values = list(scores.values())
+    strong_win = sum(1 for v in values if v >= 0.8) / len(values)
+    strong_loss = sum(1 for v in values if v <= 0.2) / len(values)
+    undecided = 1.0 - strong_win - strong_loss
+    return (
+        f"{label}: {len(values)} sites | score>=0.8: {strong_win:.0%} | "
+        f"score<=0.2: {strong_loss:.0%} | undecided (0.2-0.8): {undecided:.0%}"
+    )

@@ -1,0 +1,49 @@
+"""Participant substrate: demographics, behaviour, perception, recruitment."""
+
+from .behavior import ABBehaviour, BehaviourSimulator, TimelineBehaviour, VideoInteraction
+from .demographics import Demographics, sample_demographics
+from .participant import (
+    Participant,
+    ParticipantClass,
+    QualityTraits,
+    ReadinessPersona,
+    generate_participant,
+)
+from .perception import PerceivedReadiness, compare_videos, ideal_readiness, perceive_readiness
+from .recruitment import Recruiter, RecruitmentReport
+from .services import (
+    CROWDFLOWER,
+    INVITED,
+    MICROWORKERS,
+    RecruitedParticipant,
+    ServiceConnector,
+    ServiceProfile,
+    get_service,
+)
+
+__all__ = [
+    "ABBehaviour",
+    "BehaviourSimulator",
+    "TimelineBehaviour",
+    "VideoInteraction",
+    "Demographics",
+    "sample_demographics",
+    "Participant",
+    "ParticipantClass",
+    "QualityTraits",
+    "ReadinessPersona",
+    "generate_participant",
+    "PerceivedReadiness",
+    "compare_videos",
+    "ideal_readiness",
+    "perceive_readiness",
+    "Recruiter",
+    "RecruitmentReport",
+    "CROWDFLOWER",
+    "INVITED",
+    "MICROWORKERS",
+    "RecruitedParticipant",
+    "ServiceConnector",
+    "ServiceProfile",
+    "get_service",
+]

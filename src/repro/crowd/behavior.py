@@ -1,0 +1,290 @@
+"""Participant behaviour simulation.
+
+Where :mod:`repro.crowd.perception` models *what* a participant decides,
+this module models *how they behave while deciding*: how long they take per
+video, how many play/pause/seek actions they generate, whether they watch the
+video at all, how long they spend with the Eyeorg tab out of focus, and how
+they react to the frame-selection helper and to control questions.  These are
+exactly the signals the platform's engagement/soft/control filters consume
+(paper §3.3, §4.2), so low-quality behaviour here is what the filtering
+pipeline must catch downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..capture.video import SplicedVideo, Video
+from ..rng import SeededRNG
+from .participant import Participant
+from .perception import compare_videos, perceive_readiness
+
+
+@dataclass
+class VideoInteraction:
+    """Telemetry of one participant working through one video task.
+
+    Attributes:
+        video_transfer_seconds: time the video took to transfer to the
+            participant (timeline tests preload the whole file first).
+        watch_seconds: time actively spent watching/scrubbing.
+        instruction_seconds: time spent (re)reading instructions.
+        out_of_focus_seconds: time the Eyeorg tab spent in the background.
+        play_actions: number of play events.
+        pause_actions: number of pause events.
+        seek_actions: number of seek events.
+        watched_video: whether the participant interacted with the video at all.
+    """
+
+    video_transfer_seconds: float
+    watch_seconds: float
+    instruction_seconds: float
+    out_of_focus_seconds: float
+    play_actions: int
+    pause_actions: int
+    seek_actions: int
+    watched_video: bool
+
+    @property
+    def total_actions(self) -> int:
+        """Play + pause + seek actions (Figure 4(b))."""
+        return self.play_actions + self.pause_actions + self.seek_actions
+
+    @property
+    def time_on_task_seconds(self) -> float:
+        """Total time from task page load to response submission."""
+        return (
+            self.video_transfer_seconds
+            + self.watch_seconds
+            + self.instruction_seconds
+            + self.out_of_focus_seconds
+        )
+
+
+@dataclass
+class TimelineBehaviour:
+    """Outcome of one timeline task.
+
+    Attributes:
+        interaction: the interaction telemetry.
+        slider_time: the time initially selected with the slider.
+        helper_suggestion: the rewind time suggested by the frame helper
+            (filled in by the platform; None until then).
+        accepted_helper: whether the participant accepted the suggestion.
+        submitted_time: the final submitted UserPerceivedPLT.
+        control_followed_original: for control frames, whether the
+            participant correctly kept their original choice.
+    """
+
+    interaction: VideoInteraction
+    slider_time: float
+    helper_suggestion: Optional[float]
+    accepted_helper: bool
+    submitted_time: float
+    control_followed_original: Optional[bool] = None
+
+
+@dataclass
+class ABBehaviour:
+    """Outcome of one A/B task.
+
+    Attributes:
+        interaction: the interaction telemetry.
+        choice: "left", "right", or "no_difference".
+        correct_control: for control pairs, whether the non-delayed side was chosen.
+    """
+
+    interaction: VideoInteraction
+    choice: str
+    correct_control: Optional[bool] = None
+
+
+class BehaviourSimulator:
+    """Simulates how a participant executes timeline and A/B tasks."""
+
+    def __init__(self, rng: SeededRNG) -> None:
+        self._rng = rng.fork("behaviour")
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def _transfer_time(self, participant: Participant, size_bytes: int) -> float:
+        """Video transfer time over the participant's own connection."""
+        rate = participant.downlink_bps / 8.0
+        base = size_bytes / rate
+        jitter = self._rng.fork(f"transfer:{participant.participant_id}").uniform(0.9, 1.4)
+        return base * jitter
+
+    def _out_of_focus(self, participant: Participant, transfer_seconds: float, label: str) -> float:
+        """Out-of-focus time; grows with transfer time (paper Figure 5)."""
+        rng = self._rng.fork(f"focus:{participant.participant_id}:{label}")
+        propensity = participant.traits.distraction_propensity
+        # Waiting for a slow video is the main trigger for tab switching.
+        wait_factor = min(transfer_seconds / 10.0, 1.0)
+        probability = min(propensity * (0.35 + 0.65 * wait_factor), 0.95)
+        if not rng.bernoulli(probability):
+            return 0.0
+        base = rng.lognormal(0.5, 1.0)  # median ~1.6 s, heavy tail
+        return min(base + transfer_seconds * rng.uniform(0.0, 0.5), 120.0)
+
+    def _instruction_time(self, participant: Participant, first_task: bool, label: str) -> float:
+        rng = self._rng.fork(f"instructions:{participant.participant_id}:{label}")
+        if participant.traits.is_random_clicker:
+            return rng.uniform(0.5, 3.0)
+        base = rng.lognormal(2.6, 0.5) if first_task else rng.lognormal(0.8, 0.5)
+        return base * (0.6 + 0.8 * participant.traits.conscientiousness)
+
+    # -- timeline tasks ----------------------------------------------------------
+
+    def timeline_task(self, participant: Participant, video: Video, first_task: bool,
+                      preload_video: bool = True) -> TimelineBehaviour:
+        """Simulate a timeline task on ``video``.
+
+        Args:
+            participant: the worker performing the task.
+            video: the page-load video being judged.
+            first_task: whether this is the participant's first video (longer
+                instruction-reading time).
+            preload_video: whether the platform preloads the full video before
+                enabling the slider (the production configuration).  When
+                disabled, participants systematically overshoot (paper §3.2) —
+                the ablation benchmark exercises this.
+        """
+        rng = self._rng.fork(f"timeline:{participant.participant_id}:{video.video_id}")
+        transfer = self._transfer_time(participant, video.size_bytes)
+        instruction = self._instruction_time(participant, first_task, video.video_id)
+        out_of_focus = self._out_of_focus(participant, transfer if preload_video else 0.0, video.video_id)
+
+        if participant.traits.is_random_clicker and rng.bernoulli(0.8):
+            # Random clickers drag the slider somewhere arbitrary, often an
+            # extreme, without watching.
+            slider = rng.choice([0.0, video.duration, rng.uniform(0.0, video.duration)])
+            interaction = VideoInteraction(
+                video_transfer_seconds=transfer if preload_video else 0.0,
+                watch_seconds=rng.uniform(1.0, 5.0),
+                instruction_seconds=instruction,
+                out_of_focus_seconds=out_of_focus,
+                play_actions=0,
+                pause_actions=0,
+                seek_actions=0 if rng.bernoulli(0.5) else rng.randint(1, 2),
+                watched_video=False,
+            )
+            return TimelineBehaviour(
+                interaction=interaction,
+                slider_time=slider,
+                helper_suggestion=None,
+                accepted_helper=rng.bernoulli(0.7),
+                submitted_time=slider,
+            )
+
+        perceived = perceive_readiness(video, participant, rng)
+        slider = perceived.perceived_time
+        if not preload_video:
+            # Without preloading, seeking ahead shows blank (unbuffered) video
+            # and participants systematically overshoot well past onload.
+            overshoot = rng.uniform(0.5, 3.0) * (1.5 - participant.traits.conscientiousness)
+            slider = min(slider + max(overshoot, 0.2), video.duration)
+        # Careless participants are sloppier with the slider itself.
+        sloppiness = (1.0 - participant.traits.conscientiousness) * rng.gauss(0.0, 0.4)
+        slider = min(max(slider + sloppiness, 0.0), video.duration)
+
+        if participant.traits.is_frenetic:
+            seeks = rng.randint(500, 2000)
+            watch = rng.uniform(60.0, 240.0)
+        else:
+            seeks = max(2, int(rng.lognormal(2.3, 0.6)))  # median ~10 seeks
+            watch = video.duration * rng.uniform(1.2, 3.0) + seeks * rng.uniform(0.3, 1.2)
+        interaction = VideoInteraction(
+            video_transfer_seconds=transfer if preload_video else 0.0,
+            watch_seconds=watch,
+            instruction_seconds=instruction,
+            out_of_focus_seconds=out_of_focus,
+            play_actions=rng.randint(0, 2),
+            pause_actions=rng.randint(0, 2),
+            seek_actions=seeks,
+            watched_video=True,
+        )
+        return TimelineBehaviour(
+            interaction=interaction,
+            slider_time=slider,
+            helper_suggestion=None,
+            accepted_helper=self._accepts_helper(participant, rng),
+            submitted_time=slider,
+        )
+
+    def _accepts_helper(self, participant: Participant, rng: SeededRNG) -> bool:
+        """Whether the participant accepts a (reasonable) helper suggestion.
+
+        Conscientious participants usually accept the earliest-similar-frame
+        suggestion because it matches what they meant; careless ones accept
+        blindly, which is what the control frames are designed to expose.
+        """
+        return rng.bernoulli(0.55 + 0.4 * participant.traits.conscientiousness)
+
+    def reacts_to_control_frame(self, participant: Participant, label: str) -> bool:
+        """Whether the participant correctly rejects a drastically different frame.
+
+        Returns True when the participant keeps their original choice (the
+        correct behaviour), False when they blindly accept the control frame.
+        """
+        rng = self._rng.fork(f"control-frame:{participant.participant_id}:{label}")
+        if participant.traits.is_random_clicker:
+            return rng.bernoulli(0.35)
+        return rng.bernoulli(0.80 + 0.19 * participant.traits.conscientiousness)
+
+    # -- A/B tasks ---------------------------------------------------------------
+
+    def ab_task(self, participant: Participant, splice: SplicedVideo, first_task: bool) -> ABBehaviour:
+        """Simulate an A/B task on a spliced video pair."""
+        rng = self._rng.fork(f"ab:{participant.participant_id}:{splice.video_id}")
+        transfer = self._transfer_time(participant, splice.size_bytes) * 0.3
+        # A/B videos start playing while still buffering, so the perceived
+        # wait is much shorter than a full preload.
+        instruction = self._instruction_time(participant, first_task, splice.video_id)
+        out_of_focus = self._out_of_focus(participant, transfer * 0.3, splice.video_id)
+
+        if participant.traits.is_random_clicker and rng.bernoulli(0.8):
+            choice = rng.choice(["left", "right", "no_difference"])
+            interaction = VideoInteraction(
+                video_transfer_seconds=transfer,
+                watch_seconds=rng.uniform(1.0, 4.0),
+                instruction_seconds=instruction,
+                out_of_focus_seconds=out_of_focus,
+                play_actions=0,
+                pause_actions=0,
+                seek_actions=0,
+                watched_video=False,
+            )
+            correct = None
+            if splice.is_control:
+                correct = choice == splice.faster_side()
+            return ABBehaviour(interaction=interaction, choice=choice, correct_control=correct)
+
+        left_onset = self._perceived_side_onset(participant, splice, "left", rng)
+        right_onset = self._perceived_side_onset(participant, splice, "right", rng)
+        choice = compare_videos(left_onset, right_onset, participant, rng, splice.video_id)
+
+        plays = max(1, int(rng.lognormal(0.5, 0.5)))
+        interaction = VideoInteraction(
+            video_transfer_seconds=transfer,
+            watch_seconds=splice.duration * rng.uniform(1.0, 2.0) + plays * rng.uniform(0.5, 2.0),
+            instruction_seconds=instruction,
+            out_of_focus_seconds=out_of_focus,
+            play_actions=plays,
+            pause_actions=rng.randint(0, 2),
+            seek_actions=rng.randint(0, 4),
+            watched_video=True,
+        )
+        correct = None
+        if splice.is_control:
+            faster = splice.faster_side()
+            correct = choice == faster
+        return ABBehaviour(interaction=interaction, choice=choice, correct_control=correct)
+
+    def _perceived_side_onset(self, participant: Participant, splice: SplicedVideo,
+                              side: str, rng: SeededRNG) -> float:
+        """When one side of the splice looks "done" to this participant."""
+        video = splice.left if side == "left" else splice.right
+        delay = splice.left_delay if side == "left" else splice.right_delay
+        readiness = perceive_readiness(video, participant, rng.fork(f"side:{side}"))
+        return readiness.ideal_time + delay

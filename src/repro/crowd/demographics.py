@@ -1,0 +1,94 @@
+"""Participant demographics.
+
+Eyeorg collects coarse demographic information (gender, age, country,
+self-assessed technical ability) from each participant (paper §6, "Data
+Collection and Privacy").  The validation campaigns observed a roughly 75/25
+male/female split, paid participants spread over ~30 countries with Venezuela
+the most common, and trusted participants concentrated in ~12 countries with
+the U.S. most common; the final campaigns saw ~70/30 across 76 countries.
+The samplers below reproduce those marginal distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rng import SeededRNG
+
+#: Country pools.  Paid workers skew towards the crowdsourcing platforms'
+#: largest labour markets (Venezuela first, as the paper reports); trusted
+#: participants are friends/colleagues of the authors (U.S. first).
+PAID_COUNTRIES: tuple[str, ...] = (
+    "Venezuela", "India", "Philippines", "Serbia", "Egypt", "Indonesia", "Bangladesh",
+    "United States", "Brazil", "Romania", "Pakistan", "Vietnam", "Nepal", "Bosnia",
+    "Morocco", "Ukraine", "Kenya", "Nigeria", "Mexico", "Colombia", "Peru", "Turkey",
+    "Tunisia", "Sri Lanka", "Thailand", "Poland", "Italy", "Spain", "Greece", "Portugal",
+    "Argentina", "Chile", "Bolivia", "Ecuador", "Algeria", "Jordan", "Cambodia",
+    "Malaysia", "Hungary", "Bulgaria", "Croatia", "Macedonia", "Albania", "Moldova",
+    "Georgia", "Armenia", "Azerbaijan", "Kazakhstan", "Uzbekistan", "Mongolia",
+    "Myanmar", "Laos", "Ghana", "Uganda", "Tanzania", "Ethiopia", "Senegal",
+    "Cameroon", "Zimbabwe", "Zambia", "Botswana", "Namibia", "Paraguay", "Uruguay",
+    "Guatemala", "Honduras", "Nicaragua", "Panama", "Jamaica", "Trinidad",
+    "Dominican Republic", "Haiti", "El Salvador", "Costa Rica", "Belize", "Guyana",
+)
+PAID_COUNTRY_WEIGHTS: tuple[float, ...] = (
+    12.0, 9.0, 7.0, 4.0, 3.5, 3.5, 3.0,
+    3.0, 2.8, 2.5, 2.5, 2.2, 2.0, 1.8,
+    1.8, 1.8, 1.6, 1.6, 1.6, 1.5, 1.4, 1.4,
+    1.3, 1.2, 1.2, 1.1, 1.1, 1.0, 1.0, 1.0,
+    0.9, 0.9, 0.8, 0.8, 0.7, 0.7, 0.7,
+    0.7, 0.6, 0.6, 0.6, 0.5, 0.5, 0.5,
+    0.5, 0.5, 0.5, 0.4, 0.4, 0.4,
+    0.4, 0.4, 0.4, 0.4, 0.3, 0.3, 0.3,
+    0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3,
+    0.2, 0.2, 0.2, 0.2, 0.2, 0.2,
+    0.2, 0.2, 0.2, 0.2, 0.2, 0.2,
+)
+
+TRUSTED_COUNTRIES: tuple[str, ...] = (
+    "United States", "Spain", "United Kingdom", "Italy", "Greece", "Germany",
+    "France", "Switzerland", "Netherlands", "Canada", "Belgium", "Portugal",
+)
+TRUSTED_COUNTRY_WEIGHTS: tuple[float, ...] = (
+    10.0, 5.0, 3.0, 3.0, 2.5, 2.0, 1.5, 1.2, 1.0, 1.0, 0.8, 0.8,
+)
+
+#: Self-assessed technical ability levels.
+TECH_ABILITY_LEVELS: tuple[str, ...] = ("low", "medium", "high", "expert")
+
+
+@dataclass(frozen=True)
+class Demographics:
+    """Coarse demographic record of one participant.
+
+    Attributes:
+        gender: "male" or "female" (as collected by the platform).
+        age: age in years.
+        country: country of residence.
+        technical_ability: self-assessed technical skill level.
+    """
+
+    gender: str
+    age: int
+    country: str
+    technical_ability: str
+
+
+def sample_demographics(rng: SeededRNG, participant_class: str, male_fraction: float = 0.75) -> Demographics:
+    """Sample one participant's demographics.
+
+    Args:
+        rng: random source (fork per participant).
+        participant_class: "paid" or "trusted" (drives the country pool).
+        male_fraction: probability of sampling a male participant; the
+            validation campaigns observed ~0.75, the final ones ~0.70.
+    """
+    gender = "male" if rng.bernoulli(male_fraction) else "female"
+    age = int(rng.truncated_gauss(30.0, 9.0, 18.0, 70.0))
+    if participant_class == "trusted":
+        country = TRUSTED_COUNTRIES[rng.weighted_index(TRUSTED_COUNTRY_WEIGHTS)]
+        ability = TECH_ABILITY_LEVELS[rng.weighted_index((0.05, 0.25, 0.4, 0.3))]
+    else:
+        country = PAID_COUNTRIES[rng.weighted_index(PAID_COUNTRY_WEIGHTS)]
+        ability = TECH_ABILITY_LEVELS[rng.weighted_index((0.15, 0.45, 0.3, 0.1))]
+    return Demographics(gender=gender, age=age, country=country, technical_ability=ability)

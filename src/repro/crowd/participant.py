@@ -1,0 +1,194 @@
+"""Participant model.
+
+A :class:`Participant` bundles demographics, connectivity, and the latent
+quality/behaviour traits that the platform's filtering machinery (paper §3.3
+and §4) tries to detect from telemetry alone:
+
+* **conscientiousness** — how carefully the participant performs the task
+  (drives sloppiness of slider placement, whether they accept the frame
+  helper thoughtfully, whether they pass control questions);
+* **random clicker** — a participant who answers without watching (fails
+  soft rules and control questions at high rates, finishes fast);
+* **frenetic** — a participant generating implausibly many seek actions
+  (the two paid outliers with 714/724 actions the paper describes, suspected
+  to be driven by a browser extension);
+* **distraction propensity** — how readily the participant switches away
+  from the Eyeorg tab, especially while a video is still transferring;
+* **readiness persona** — what "ready to use" means to them (primary content
+  only, everything including ads, or a familiar-site early call), which is
+  what produces the single-mode/spread/multi-modal UPLT distributions of
+  Figure 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..rng import SeededRNG
+from .demographics import Demographics, sample_demographics
+
+
+class ParticipantClass(enum.Enum):
+    """How the participant was recruited."""
+
+    PAID = "paid"
+    TRUSTED = "trusted"
+    VISITOR = "visitor"
+
+
+class ReadinessPersona(enum.Enum):
+    """What a participant waits for before calling a page "ready to use"."""
+
+    #: Waits for the main (first-party, above-the-fold) content only.
+    PRIMARY_CONTENT = "primary"
+    #: Waits for everything, including ads and widgets.
+    EVERYTHING = "everything"
+    #: Calls it early, as soon as the page looks usable (hero + text).
+    EARLY = "early"
+
+
+@dataclass
+class QualityTraits:
+    """Latent quality attributes of a participant.
+
+    Attributes:
+        conscientiousness: 0..1, higher means more careful responses.
+        is_random_clicker: answers without engaging with the videos.
+        is_frenetic: produces hundreds of seek actions per video.
+        distraction_propensity: 0..1 likelihood of switching tabs.
+        perception_noise: standard deviation (seconds) of readiness estimates.
+        jnd_seconds: just-noticeable difference when comparing two loads.
+    """
+
+    conscientiousness: float
+    is_random_clicker: bool
+    is_frenetic: bool
+    distraction_propensity: float
+    perception_noise: float
+    jnd_seconds: float
+
+
+@dataclass
+class Participant:
+    """One study participant.
+
+    Attributes:
+        participant_id: unique identifier.
+        participant_class: paid / trusted / visitor.
+        service: recruiting service ("crowdflower", "microworkers", "invited").
+        demographics: coarse demographic record.
+        persona: readiness persona.
+        traits: latent quality traits.
+        downlink_bps: participant's own access bandwidth (drives video
+            transfer times and therefore out-of-focus behaviour).
+        browser: reported browser family.
+        os: reported operating system.
+    """
+
+    participant_id: str
+    participant_class: ParticipantClass
+    service: str
+    demographics: Demographics
+    persona: ReadinessPersona
+    traits: QualityTraits
+    downlink_bps: float
+    browser: str
+    os: str
+
+    @property
+    def is_paid(self) -> bool:
+        """Whether the participant was recruited through a paid service."""
+        return self.participant_class is ParticipantClass.PAID
+
+    @property
+    def is_trusted(self) -> bool:
+        """Whether the participant is a trusted (invited) participant."""
+        return self.participant_class is ParticipantClass.TRUSTED
+
+
+_BROWSERS = ("chrome", "firefox", "safari", "edge", "opera")
+_BROWSER_WEIGHTS = (0.62, 0.18, 0.09, 0.07, 0.04)
+_OSES = ("windows", "macos", "linux", "android", "ios")
+_OS_WEIGHTS = (0.66, 0.14, 0.08, 0.08, 0.04)
+
+
+def _sample_traits(rng: SeededRNG, participant_class: ParticipantClass) -> QualityTraits:
+    """Draw latent traits; paid pools contain noticeably more low performers.
+
+    The paper flags roughly 20 % of paid participants as low performers
+    (abstract, §4.3) while trusted participants only rarely misbehave (one
+    failed control per campaign, a couple of distracted people).
+    """
+    if participant_class is ParticipantClass.TRUSTED:
+        conscientiousness = rng.truncated_gauss(0.85, 0.08, 0.5, 1.0)
+        is_random_clicker = rng.bernoulli(0.01)
+        is_frenetic = False
+        distraction = rng.truncated_gauss(0.06, 0.05, 0.0, 0.5)
+        noise = rng.truncated_gauss(0.35, 0.1, 0.1, 1.0)
+        jnd = rng.truncated_gauss(0.26, 0.08, 0.08, 0.8)
+    else:
+        conscientiousness = rng.truncated_gauss(0.72, 0.18, 0.05, 1.0)
+        is_random_clicker = rng.bernoulli(0.06)
+        is_frenetic = rng.bernoulli(0.02)
+        distraction = rng.truncated_gauss(0.16, 0.12, 0.0, 0.9)
+        noise = rng.truncated_gauss(0.5, 0.2, 0.1, 1.6)
+        jnd = rng.truncated_gauss(0.22, 0.1, 0.08, 1.0)
+    return QualityTraits(
+        conscientiousness=conscientiousness,
+        is_random_clicker=is_random_clicker,
+        is_frenetic=is_frenetic,
+        distraction_propensity=distraction,
+        perception_noise=noise,
+        jnd_seconds=jnd,
+    )
+
+
+def _sample_persona(rng: SeededRNG) -> ReadinessPersona:
+    """Draw the readiness persona.
+
+    Roughly: most people key on the primary content, a sizeable minority
+    waits for everything (they produce the late modes of Figure 9), and a
+    smaller group calls pages ready very early.
+    """
+    index = rng.weighted_index((0.68, 0.20, 0.12))
+    return (ReadinessPersona.PRIMARY_CONTENT, ReadinessPersona.EVERYTHING, ReadinessPersona.EARLY)[index]
+
+
+def generate_participant(
+    participant_id: str,
+    participant_class: ParticipantClass,
+    service: str,
+    rng: SeededRNG,
+    male_fraction: float = 0.75,
+) -> Participant:
+    """Generate one participant with all latent attributes sampled.
+
+    Args:
+        participant_id: unique id assigned by the recruiting pipeline.
+        participant_class: paid / trusted / visitor.
+        service: recruiting service name.
+        rng: random source; forked with the participant id internally.
+        male_fraction: gender mix of the pool being recruited from.
+    """
+    prng = rng.fork(f"participant:{participant_id}")
+    demographics = sample_demographics(prng.fork("demo"), participant_class.value, male_fraction)
+    traits = _sample_traits(prng.fork("traits"), participant_class)
+    persona = _sample_persona(prng.fork("persona"))
+    # Access bandwidth: log-normal around ~6 Mbps for paid (many emerging-market
+    # connections), ~20 Mbps for trusted (mostly office/European broadband).
+    if participant_class is ParticipantClass.TRUSTED:
+        downlink = prng.lognormal(16.8, 0.5)  # ~20 Mbit/s median
+    else:
+        downlink = prng.lognormal(15.6, 0.8)  # ~6 Mbit/s median, heavy tail both ways
+    return Participant(
+        participant_id=participant_id,
+        participant_class=participant_class,
+        service=service,
+        demographics=demographics,
+        persona=persona,
+        traits=traits,
+        downlink_bps=downlink,
+        browser=_BROWSERS[prng.weighted_index(_BROWSER_WEIGHTS)],
+        os=_OSES[prng.weighted_index(_OS_WEIGHTS)],
+    )

@@ -1,0 +1,121 @@
+"""Human perception model for "ready to use".
+
+This is the load-bearing substitution of the reproduction: real crowdsourced
+humans are replaced by a perception model that maps what a video shows to the
+instant a given participant would call the page "ready to use".
+
+The model follows the qualitative findings of the paper's own discussion
+section (§6) and of the prior work it cites:
+
+* Participants keying on *primary content* pick a point near the time the
+  main above-the-fold content (excluding ads/widgets) stops changing — which
+  tends to sit near OnLoad and FirstVisualChange-plus-most-content, and well
+  before LastVisualChange on ad-heavy pages.
+* Participants who wait for *everything* pick a point near the last visual
+  change, producing the late modes of Figure 9.
+* "Early callers" treat the page as usable once most of the primary content
+  (hero image, text) is visible, producing responses before OnLoad — the
+  reason 60 % of mean UPLT values fall below OnLoad (Figure 7(c)).
+* Individual estimates carry noise (Arapakis et al. found individual
+  estimates unreliable but their averages accurate), and careless
+  participants produce essentially unrelated answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..capture.video import Video
+from ..rng import SeededRNG
+from .participant import Participant, ReadinessPersona
+
+#: Completeness threshold of primary content that "early" participants wait for.
+EARLY_PRIMARY_THRESHOLD = 0.80
+#: Completeness threshold of primary content that "primary" participants wait for.
+PRIMARY_THRESHOLD = 0.97
+
+
+@dataclass(frozen=True)
+class PerceivedReadiness:
+    """A participant's internal sense of when a video's page became usable.
+
+    Attributes:
+        ideal_time: the noise-free time implied by the persona.
+        perceived_time: the noisy estimate the participant acts on.
+    """
+
+    ideal_time: float
+    perceived_time: float
+
+
+def _primary_threshold_time(video: Video, threshold: float) -> float:
+    """Earliest time primary-content completeness reaches ``threshold``."""
+    timeline = video.load_result.render_timeline
+    primary_events = sorted(
+        (e for e in timeline.events if e.is_primary_content), key=lambda e: e.time
+    )
+    total = sum(e.pixels for e in primary_events)
+    if total == 0:
+        return timeline.last_visual_change
+    painted = 0
+    for event in primary_events:
+        painted += event.pixels
+        if painted / total >= threshold:
+            return event.time
+    return primary_events[-1].time if primary_events else 0.0
+
+
+def ideal_readiness(video: Video, persona: ReadinessPersona) -> float:
+    """The noise-free "ready to use" time for a persona watching ``video``."""
+    timeline = video.load_result.render_timeline
+    if persona is ReadinessPersona.EVERYTHING:
+        return timeline.last_visual_change
+    if persona is ReadinessPersona.EARLY:
+        return _primary_threshold_time(video, EARLY_PRIMARY_THRESHOLD)
+    return _primary_threshold_time(video, PRIMARY_THRESHOLD)
+
+
+def perceive_readiness(video: Video, participant: Participant, rng: SeededRNG) -> PerceivedReadiness:
+    """The participant's (noisy) readiness estimate for one video.
+
+    Careful participants land close to their persona's ideal point; noise
+    scales with the participant's ``perception_noise`` trait and is skewed
+    slightly late (people rarely claim a page was ready before anything was
+    visible).  The estimate is clamped to the video bounds.
+    """
+    ideal = ideal_readiness(video, participant.persona)
+    noise_rng = rng.fork(f"perceive:{participant.participant_id}:{video.video_id}")
+    sigma = participant.traits.perception_noise
+    # Late-skewed noise: a symmetric gaussian plus an occasional hesitation.
+    noise = noise_rng.gauss(0.0, sigma)
+    if noise_rng.bernoulli(0.2):
+        noise += abs(noise_rng.gauss(0.0, sigma))
+    perceived = ideal + noise
+    first_visible = video.load_result.first_visual_change
+    perceived = max(perceived, first_visible * 0.5)
+    perceived = min(perceived, video.duration)
+    return PerceivedReadiness(ideal_time=ideal, perceived_time=perceived)
+
+
+def compare_videos(left_onset: float, right_onset: float, participant: Participant,
+                   rng: SeededRNG, label: str) -> str:
+    """An A/B judgement: 'left', 'right', or 'no_difference'.
+
+    The participant compares their perceived readiness of the two sides.  If
+    the difference is below their just-noticeable difference they answer
+    "no difference" most of the time (or guess); otherwise they pick the side
+    they perceived as faster.
+    """
+    crng = rng.fork(f"compare:{participant.participant_id}:{label}")
+    jnd = participant.traits.jnd_seconds
+    # Side-by-side comparison is considerably easier than absolute estimation,
+    # so the comparison noise is a fraction of the timeline perception noise.
+    noisy_left = left_onset + crng.gauss(0.0, participant.traits.perception_noise / 3.0)
+    noisy_right = right_onset + crng.gauss(0.0, participant.traits.perception_noise / 3.0)
+    difference = noisy_left - noisy_right
+    if abs(difference) < jnd:
+        # Near the threshold people split between "no difference" and a guess.
+        if crng.bernoulli(0.6):
+            return "no_difference"
+        return "left" if crng.bernoulli(0.5) else "right"
+    return "left" if difference < 0 else "right"

@@ -1,0 +1,110 @@
+"""Recruitment orchestration.
+
+A campaign asks for N participants of a given class; :class:`Recruiter`
+fans the request out to the configured service connectors, enforces quotas,
+and reports the aggregate duration and cost figures that populate Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import RecruitmentError
+from ..rng import SeededRNG
+from .participant import Participant, ParticipantClass
+from .services import (
+    CROWDFLOWER,
+    INVITED,
+    MICROWORKERS,
+    RecruitedParticipant,
+    ServiceConnector,
+    ServiceProfile,
+    get_service,
+)
+
+
+@dataclass
+class RecruitmentReport:
+    """Outcome of recruiting one participant pool.
+
+    Attributes:
+        campaign_id: campaign the pool was recruited for.
+        service: service used.
+        participants: recruited participants in arrival order.
+        duration_hours: time from launch until the last participant arrived.
+        total_cost_usd: total amount paid.
+    """
+
+    campaign_id: str
+    service: str
+    participants: List[RecruitedParticipant]
+    duration_hours: float
+    total_cost_usd: float
+
+    @property
+    def count(self) -> int:
+        """Number of recruited participants."""
+        return len(self.participants)
+
+    @property
+    def duration_days(self) -> float:
+        """Recruitment duration in days."""
+        return self.duration_hours / 24.0
+
+    @property
+    def gender_split(self) -> Dict[str, int]:
+        """Male/female counts (as reported in Table 1)."""
+        split = {"male": 0, "female": 0}
+        for recruited in self.participants:
+            split[recruited.participant.demographics.gender] += 1
+        return split
+
+    @property
+    def countries(self) -> Dict[str, int]:
+        """Participants per country."""
+        counts: Dict[str, int] = {}
+        for recruited in self.participants:
+            country = recruited.participant.demographics.country
+            counts[country] = counts.get(country, 0) + 1
+        return counts
+
+    def participant_list(self) -> List[Participant]:
+        """The bare participants (without recruitment metadata)."""
+        return [recruited.participant for recruited in self.participants]
+
+
+class Recruiter:
+    """Recruits participant pools for campaigns."""
+
+    def __init__(self, seed: int = 2016) -> None:
+        self._rng = SeededRNG(seed).fork("recruitment")
+
+    def recruit(self, campaign_id: str, count: int, service_name: str = "crowdflower") -> RecruitmentReport:
+        """Recruit ``count`` participants from ``service_name``.
+
+        Raises:
+            RecruitmentError: if the count is not positive or the service is
+                unknown.
+        """
+        if count <= 0:
+            raise RecruitmentError("cannot recruit a non-positive number of participants")
+        profile = get_service(service_name)
+        connector = ServiceConnector(profile, self._rng.fork(campaign_id))
+        recruited = connector.recruit(count, campaign_id)
+        duration = recruited[-1].recruited_at_hours if recruited else 0.0
+        return RecruitmentReport(
+            campaign_id=campaign_id,
+            service=profile.name,
+            participants=recruited,
+            duration_hours=duration,
+            total_cost_usd=sum(r.cost_usd for r in recruited),
+        )
+
+    def recruit_paid(self, campaign_id: str, count: int) -> RecruitmentReport:
+        """Recruit from the default paid pool (CrowdFlower's trusted workers)."""
+        return self.recruit(campaign_id, count, CROWDFLOWER.name)
+
+    def recruit_trusted(self, campaign_id: str, count: int) -> RecruitmentReport:
+        """Recruit trusted participants via email / social media."""
+        return self.recruit(campaign_id, count, INVITED.name)

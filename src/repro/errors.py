@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Eyeorg reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming from the library with a single ``except`` clause
+while still being able to discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class NetworkError(ReproError):
+    """A network-substrate operation failed (unreachable host, DNS failure...)."""
+
+
+class DNSResolutionError(NetworkError):
+    """A hostname could not be resolved."""
+
+
+class ProtocolError(ReproError):
+    """An HTTP-substrate operation violated protocol rules."""
+
+
+class PageModelError(ReproError):
+    """A web page model is malformed (cycles, dangling references...)."""
+
+
+class CaptureError(ReproError):
+    """webpeg failed to capture a page-load video."""
+
+
+class VideoError(ReproError):
+    """A video operation (splicing, frame lookup) failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition is invalid or inconsistent."""
+
+
+class CampaignError(ReproError):
+    """A campaign could not be assembled or executed."""
+
+
+class RecruitmentError(ReproError):
+    """Participant recruitment failed (quota exhausted, unknown service...)."""
+
+
+class ValidationError(ReproError):
+    """Response validation/filtering was asked to do something impossible."""
+
+
+class AnalysisError(ReproError):
+    """Analysis was asked to operate on empty or inconsistent data."""
+
+
+class StorageError(ReproError):
+    """A dataset could not be serialised or deserialised."""

@@ -1,0 +1,98 @@
+"""The §5.2 PLT timeline campaign: how well do machine metrics match humans?
+
+The final PLT campaign captures 100 HTTP/2-capable sites, shows the videos to
+1,000 paid participants (six each), cleans the responses, and compares the
+resulting per-site UserPerceivedPLT with OnLoad, SpeedIndex,
+FirstVisualChange and LastVisualChange (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..capture.video import Video
+from ..capture.webpeg import CaptureSettings, Webpeg
+from ..core.analysis import compare_uplt_with_metrics, mean_uplt_per_site, slider_vs_submitted
+from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
+from ..core.experiment import TimelineExperiment
+from ..metrics.comparison import MetricComparison
+from ..metrics.plt import PLTMetrics, metrics_from_video
+from ..web.corpus import CorpusGenerator
+
+
+@dataclass
+class PLTCampaignResult:
+    """Artefacts of the PLT timeline campaign.
+
+    Attributes:
+        videos: the captured videos (one per site).
+        campaign: the campaign result (raw + cleaned responses).
+        metrics_by_site: machine metrics per site.
+        uplt_by_site: mean (cleaned) UserPerceivedPLT per site.
+        comparison: correlation / difference analysis vs the metrics.
+        helper_effect: per-video slider vs frame-helper vs submitted means.
+    """
+
+    videos: List[Video]
+    campaign: CampaignResult
+    metrics_by_site: Dict[str, PLTMetrics]
+    uplt_by_site: Dict[str, float]
+    comparison: MetricComparison
+    helper_effect: Dict[str, Dict[str, float]]
+
+
+def run_plt_campaign(
+    sites: int = 100,
+    participants: int = 1000,
+    seed: int = 2016,
+    loads_per_site: int = 5,
+    network_profile: str = "cable-intl",
+    frame_helper_enabled: bool = True,
+    preload_video: bool = True,
+) -> PLTCampaignResult:
+    """Run the PLT timeline campaign end to end.
+
+    Args:
+        sites: number of captured sites (paper: 100).
+        participants: paid participants to recruit (paper: 1,000).
+        seed: master seed.
+        loads_per_site: capture repetitions per site (median-onload selection).
+        network_profile: capture network emulation profile.
+        frame_helper_enabled: toggle for the frame-selection helper (ablation).
+        preload_video: toggle for full-video preloading (ablation).
+    """
+    corpus = CorpusGenerator(seed=seed)
+    pages = corpus.http2_sample(sites)
+    settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
+    tool = Webpeg(settings=settings, seed=seed)
+
+    videos: List[Video] = []
+    metrics_by_site: Dict[str, PLTMetrics] = {}
+    for page in pages:
+        report = tool.capture(page, configuration="h2")
+        videos.append(report.video)
+        metrics_by_site[page.site_id] = metrics_from_video(report.video)
+
+    experiment = TimelineExperiment(experiment_id="final-plt-timeline", videos=videos)
+    config = CampaignConfig(
+        campaign_id="final-plt-timeline",
+        participant_count=participants,
+        service="crowdflower",
+        seed=seed,
+        frame_helper_enabled=frame_helper_enabled,
+        preload_video=preload_video,
+    )
+    campaign = CampaignRunner(config).run_timeline(experiment)
+
+    uplt_by_site = mean_uplt_per_site(campaign.clean_dataset)
+    comparison = compare_uplt_with_metrics(campaign.clean_dataset, metrics_by_site)
+    helper_effect = slider_vs_submitted(campaign.clean_dataset)
+    return PLTCampaignResult(
+        videos=videos,
+        campaign=campaign,
+        metrics_by_site=metrics_by_site,
+        uplt_by_site=uplt_by_site,
+        comparison=comparison,
+        helper_effect=helper_effect,
+    )

@@ -1,0 +1,30 @@
+"""HTTP substrate: message model, caches, HTTP/1.1 and HTTP/2 clients, HAR."""
+
+from .cache import BrowserCache, CacheEntry
+from .har import HARArchive
+from .http1 import HTTP1Client, MAX_CONNECTIONS_PER_ORIGIN
+from .http2 import HTTP2Client, PushConfiguration
+from .messages import (
+    HTTP1_REQUEST_HEADER_BYTES,
+    HTTP2_REQUEST_HEADER_BYTES,
+    RESPONSE_HEADER_BYTES,
+    FetchRecord,
+    HTTPRequest,
+    HTTPResponse,
+)
+
+__all__ = [
+    "BrowserCache",
+    "CacheEntry",
+    "HARArchive",
+    "HTTP1Client",
+    "MAX_CONNECTIONS_PER_ORIGIN",
+    "HTTP2Client",
+    "PushConfiguration",
+    "HTTP1_REQUEST_HEADER_BYTES",
+    "HTTP2_REQUEST_HEADER_BYTES",
+    "RESPONSE_HEADER_BYTES",
+    "FetchRecord",
+    "HTTPRequest",
+    "HTTPResponse",
+]

@@ -1,0 +1,89 @@
+"""Browser and network cache model.
+
+webpeg disables local content/DNS caches and sends ``Cache-Control:
+no-cache`` so that every capture exercises the network path (paper §3.1).
+The cache model exists so the library can also simulate *normal* browsing
+(e.g. to study repeat-view PLT, one of Eyeorg's advertised extensions), and
+so tests can assert that captures really do bypass it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .messages import HTTPRequest, HTTPResponse
+
+
+@dataclass
+class CacheEntry:
+    """A cached response body.
+
+    Attributes:
+        url: cache key.
+        body_bytes: stored body size.
+        stored_at: simulation time of insertion.
+        max_age: freshness lifetime in seconds.
+    """
+
+    url: str
+    body_bytes: int
+    stored_at: float
+    max_age: float
+
+
+@dataclass
+class BrowserCache:
+    """A very small freshness-based HTTP cache.
+
+    Attributes:
+        enabled: disabled caches never hit (webpeg's configuration).
+        default_max_age: freshness assigned to stored entries.
+    """
+
+    enabled: bool = True
+    default_max_age: float = 3600.0
+    _entries: Dict[str, CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def lookup(self, request: HTTPRequest, now: float = 0.0) -> Optional[CacheEntry]:
+        """Return a fresh entry for ``request`` or ``None``.
+
+        A disabled cache, a ``no-cache`` request, or a stale entry all miss.
+        """
+        if not self.enabled or not request.is_cacheable:
+            self.misses += 1
+            return None
+        entry = self._entries.get(request.url)
+        if entry is None or now - entry.stored_at > entry.max_age:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, response: HTTPResponse, now: float = 0.0) -> None:
+        """Store a successful response body (no-ops when disabled)."""
+        if not self.enabled or not response.ok:
+            return
+        self._entries[response.request.url] = CacheEntry(
+            url=response.request.url,
+            body_bytes=response.body_bytes,
+            stored_at=now,
+            max_age=self.default_max_age,
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (fresh-browser-state between capture loads)."""
+        self._entries.clear()
+
+    @property
+    def entry_count(self) -> int:
+        """Number of stored entries."""
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

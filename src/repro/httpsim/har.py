@@ -1,0 +1,151 @@
+"""HTTP Archive (HAR) construction.
+
+Chrome's remote debugging protocol gives webpeg "detailed information about
+the page load (as an HTTP Archive, or HAR), including when each object
+loaded, which protocol was used, and when the onload event fired" (paper
+§3.1).  This module builds HAR 1.2-shaped dictionaries from the
+:class:`~repro.httpsim.messages.FetchRecord` list produced by a load, so that
+downstream tooling (metrics, visualisation, export) consumes the same format
+the real platform did.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ProtocolError
+from .messages import FetchRecord
+
+HAR_VERSION = "1.2"
+CREATOR = {"name": "webpeg", "version": "1.0"}
+
+
+def _entry_from_record(record: FetchRecord, page_ref: str) -> Dict:
+    """Convert one fetch record into a HAR entry dictionary."""
+    response = record.response
+    if response is None:
+        # Blocked requests appear with status 0 and no body, matching how
+        # Chrome reports extension-blocked requests.
+        status = 0
+        body_bytes = 0
+        protocol = ""
+    else:
+        status = response.status
+        body_bytes = response.body_bytes
+        protocol = response.protocol
+    timings = {
+        "blocked": round(record.queue_time * 1000.0, 3),
+        "dns": 0.0,
+        "connect": 0.0,
+        "send": 0.0,
+        "wait": round(record.ttfb * 1000.0, 3),
+        "receive": round(record.download_time * 1000.0, 3),
+    }
+    total_ms = sum(value for value in timings.values() if value > 0)
+    return {
+        "pageref": page_ref,
+        "startedDateTime": f"+{record.queued_at:.3f}s",
+        "time": round(total_ms, 3),
+        "request": {
+            "method": record.request.method,
+            "url": record.request.url,
+            "httpVersion": protocol or "blocked",
+            "headers": [{"name": k, "value": v} for k, v in sorted(record.request.headers.items())],
+            "headersSize": -1,
+            "bodySize": 0,
+        },
+        "response": {
+            "status": status,
+            "statusText": "OK" if status == 200 else "",
+            "httpVersion": protocol or "blocked",
+            "headers": [],
+            "content": {"size": body_bytes, "mimeType": "application/octet-stream"},
+            "headersSize": -1,
+            "bodySize": body_bytes,
+        },
+        "cache": {},
+        "timings": timings,
+        "connection": record.connection_id,
+        "_objectId": record.request.object_id,
+        "_blocked": record.blocked,
+        "_completedAt": round(record.completed_at, 6),
+        "_discoveredAt": round(record.discovered_at, 6),
+    }
+
+
+@dataclass
+class HARArchive:
+    """A HAR document for one page load.
+
+    Attributes:
+        page_url: URL of the loaded page.
+        onload: onload time in seconds from navigation start.
+        records: the fetch records of the load.
+        protocol: protocol label of the main document ("http/1.1" or "h2").
+    """
+
+    page_url: str
+    onload: float
+    records: List[FetchRecord]
+    protocol: str
+
+    @property
+    def page_ref(self) -> str:
+        """HAR page reference id."""
+        return "page_1"
+
+    def to_dict(self) -> Dict:
+        """Serialise to a HAR 1.2-shaped dictionary."""
+        entries = [_entry_from_record(record, self.page_ref) for record in self.records]
+        return {
+            "log": {
+                "version": HAR_VERSION,
+                "creator": dict(CREATOR),
+                "pages": [
+                    {
+                        "startedDateTime": "+0.000s",
+                        "id": self.page_ref,
+                        "title": self.page_url,
+                        "pageTimings": {"onLoad": round(self.onload * 1000.0, 3)},
+                        "_protocol": self.protocol,
+                    }
+                ],
+                "entries": entries,
+            }
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- queries used by analysis ------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        """Number of entries (requests) in the archive."""
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total response body bytes across entries."""
+        return sum(r.response.body_bytes for r in self.records if r.response is not None)
+
+    def completion_times(self) -> Dict[str, float]:
+        """Mapping of object id to completion time (seconds)."""
+        return {r.request.object_id: r.completed_at for r in self.records if not r.blocked}
+
+    def entries_for_origin(self, origin: str) -> List[FetchRecord]:
+        """Records whose request targeted ``origin``."""
+        return [r for r in self.records if r.request.origin == origin]
+
+    @classmethod
+    def from_records(cls, page_url: str, onload: float, records: List[FetchRecord], protocol: str) -> "HARArchive":
+        """Build an archive, validating that record times are coherent."""
+        for record in records:
+            if record.completed_at + 1e-9 < record.started_at and not record.blocked:
+                raise ProtocolError(
+                    f"record for {record.request.url} completes before it starts"
+                )
+        return cls(page_url=page_url, onload=onload, records=list(records), protocol=protocol)

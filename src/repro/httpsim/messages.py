@@ -1,0 +1,150 @@
+"""HTTP message model.
+
+The HTTP substrates exchange :class:`HTTPRequest`/:class:`HTTPResponse`
+objects.  webpeg's captures always send ``Cache-Control: no-cache`` so that
+network caches do not answer (paper §3.1); the request constructor applies
+that header by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ProtocolError
+from ..web.objects import WebObject
+
+#: Approximate size of uncompressed HTTP/1.1 request headers (bytes).
+HTTP1_REQUEST_HEADER_BYTES = 550
+
+#: Approximate size of HPACK-compressed HTTP/2 request headers (bytes).
+HTTP2_REQUEST_HEADER_BYTES = 140
+
+#: Approximate size of response headers (uncompressed, bytes).
+RESPONSE_HEADER_BYTES = 350
+
+
+@dataclass(frozen=True)
+class HTTPRequest:
+    """A single resource request.
+
+    Attributes:
+        url: target URL.
+        origin: origin host (connection pooling key).
+        method: HTTP method (captures only issue GET).
+        headers: request headers.
+        object_id: id of the page object the request fetches.
+        priority: scheduling priority (higher = more urgent).
+    """
+
+    url: str
+    origin: str
+    object_id: str
+    method: str = "GET"
+    headers: Dict[str, str] = field(default_factory=dict)
+    priority: int = 16
+
+    @classmethod
+    def for_object(cls, obj: WebObject, no_cache: bool = True) -> "HTTPRequest":
+        """Build the request webpeg would issue for ``obj``."""
+        headers = {"accept": "*/*", "user-agent": "webpeg/1.0 (Chrome emulation)"}
+        if no_cache:
+            headers["cache-control"] = "no-cache"
+        return cls(
+            url=obj.url,
+            origin=obj.origin,
+            object_id=obj.object_id,
+            headers=headers,
+            priority=obj.priority,
+        )
+
+    @property
+    def is_cacheable(self) -> bool:
+        """Whether intermediate caches may answer this request."""
+        return self.headers.get("cache-control", "").lower() != "no-cache"
+
+
+@dataclass(frozen=True)
+class HTTPResponse:
+    """A response to an :class:`HTTPRequest`.
+
+    Attributes:
+        request: the originating request.
+        status: HTTP status code.
+        body_bytes: body size in bytes.
+        header_bytes: header size in bytes.
+        protocol: "http/1.1" or "h2".
+        from_cache: whether a cache served the response.
+    """
+
+    request: HTTPRequest
+    status: int
+    body_bytes: int
+    header_bytes: int = RESPONSE_HEADER_BYTES
+    protocol: str = "http/1.1"
+    from_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.body_bytes < 0:
+            raise ProtocolError("response body size cannot be negative")
+        if not 100 <= self.status <= 599:
+            raise ProtocolError(f"invalid HTTP status {self.status}")
+
+    @property
+    def transfer_bytes(self) -> int:
+        """Total bytes on the wire for this response."""
+        return self.body_bytes + self.header_bytes
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status indicates success."""
+        return 200 <= self.status < 300
+
+
+@dataclass
+class FetchRecord:
+    """Full record of a fetch: request, response, and wire timings.
+
+    All times are absolute simulation seconds from navigation start.
+
+    Attributes:
+        request: the request issued.
+        response: the response received (``None`` when blocked by an ad blocker).
+        discovered_at: when the browser learned about the resource.
+        queued_at: when the request was handed to the protocol client.
+        started_at: when the request left the client (after any queueing).
+        first_byte_at: when the first response byte arrived.
+        completed_at: when the last response byte arrived.
+        connection_id: connection the request used.
+        blocked: whether an extension blocked the request before it was sent.
+    """
+
+    request: HTTPRequest
+    response: Optional[HTTPResponse]
+    discovered_at: float
+    queued_at: float
+    started_at: float
+    first_byte_at: float
+    completed_at: float
+    connection_id: str = ""
+    blocked: bool = False
+
+    @property
+    def queue_time(self) -> float:
+        """Time spent waiting for a connection."""
+        return max(self.started_at - self.queued_at, 0.0)
+
+    @property
+    def ttfb(self) -> float:
+        """Time from request start to first byte."""
+        return max(self.first_byte_at - self.started_at, 0.0)
+
+    @property
+    def download_time(self) -> float:
+        """Time from first to last byte."""
+        return max(self.completed_at - self.first_byte_at, 0.0)
+
+    @property
+    def total_time(self) -> float:
+        """Time from discovery to last byte."""
+        return max(self.completed_at - self.discovered_at, 0.0)

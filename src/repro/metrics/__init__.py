@@ -1,0 +1,37 @@
+"""PLT metrics: visual progress, OnLoad/SpeedIndex/First/LastVisualChange, comparisons."""
+
+from .extended import (
+    ExtendedMetrics,
+    above_the_fold_time,
+    byte_index,
+    dom_content_loaded,
+    extended_metrics_from_load,
+    object_index,
+    time_to_first_byte,
+)
+from .comparison import MetricComparison, compare_metrics, delta_buckets, metric_delta, pearson_correlation
+from .plt import METRIC_NAMES, PLTMetrics, metrics_from_load, metrics_from_video, speed_index
+from .visual import VisualProgress, progress_from_frames, progress_from_timeline
+
+__all__ = [
+    "ExtendedMetrics",
+    "above_the_fold_time",
+    "byte_index",
+    "dom_content_loaded",
+    "extended_metrics_from_load",
+    "object_index",
+    "time_to_first_byte",
+    "MetricComparison",
+    "compare_metrics",
+    "delta_buckets",
+    "metric_delta",
+    "pearson_correlation",
+    "METRIC_NAMES",
+    "PLTMetrics",
+    "metrics_from_load",
+    "metrics_from_video",
+    "speed_index",
+    "VisualProgress",
+    "progress_from_frames",
+    "progress_from_timeline",
+]

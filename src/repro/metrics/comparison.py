@@ -1,0 +1,114 @@
+"""Comparing machine metrics against user-perceived PLT.
+
+Figure 7 of the paper asks three questions of each metric: does it correlate
+with UserPerceivedPLT, how far off are its absolute values, and can it at
+least tell which of two loads is faster?  This module provides the
+correlation, difference-distribution and delta helpers those analyses (and
+the corresponding benchmarks) are built on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .plt import METRIC_NAMES, PLTMetrics
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Raises:
+        AnalysisError: if the samples are shorter than two points, have
+            different lengths, or one of them has zero variance.
+    """
+    if len(xs) != len(ys):
+        raise AnalysisError("correlation requires equal-length samples")
+    if len(xs) < 2:
+        raise AnalysisError("correlation requires at least two points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise AnalysisError("correlation undefined for zero-variance samples")
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """Per-metric comparison against user-perceived PLT across sites.
+
+    Attributes:
+        correlations: Pearson correlation per metric (Figure 7(b)).
+        differences: per-site UPLT − metric value, per metric (Figure 7(c)).
+        within_100ms: fraction of sites where the metric is within 100 ms of
+            the mean UPLT.
+        overestimate_fraction: fraction of sites where the metric value is
+            larger than UPLT (the metric "over-estimates").
+    """
+
+    correlations: Dict[str, float]
+    differences: Dict[str, List[float]]
+    within_100ms: Dict[str, float]
+    overestimate_fraction: Dict[str, float]
+
+
+def compare_metrics(uplt_by_site: Dict[str, float],
+                    metrics_by_site: Dict[str, PLTMetrics]) -> MetricComparison:
+    """Compare mean UPLT against each machine metric across a site set.
+
+    Args:
+        uplt_by_site: mean user-perceived PLT per site (seconds).
+        metrics_by_site: machine metrics per site.
+
+    Raises:
+        AnalysisError: if fewer than two sites appear in both mappings.
+    """
+    common = sorted(set(uplt_by_site) & set(metrics_by_site))
+    if len(common) < 2:
+        raise AnalysisError("metric comparison needs at least two common sites")
+    correlations: Dict[str, float] = {}
+    differences: Dict[str, List[float]] = {}
+    within: Dict[str, float] = {}
+    over: Dict[str, float] = {}
+    uplts = [uplt_by_site[site] for site in common]
+    for name in METRIC_NAMES:
+        values = [metrics_by_site[site].get(name) for site in common]
+        correlations[name] = pearson_correlation(values, uplts)
+        diffs = [uplt_by_site[site] - metrics_by_site[site].get(name) for site in common]
+        differences[name] = diffs
+        within[name] = sum(1 for d in diffs if abs(d) <= 0.1) / len(diffs)
+        over[name] = sum(1 for d in diffs if d < 0) / len(diffs)
+    return MetricComparison(
+        correlations=correlations,
+        differences=differences,
+        within_100ms=within,
+        overestimate_fraction=over,
+    )
+
+
+def metric_delta(metrics_a: PLTMetrics, metrics_b: PLTMetrics, name: str) -> float:
+    """Absolute difference of one metric between two loads (Figure 8(a)'s Δ)."""
+    return abs(metrics_a.get(name) - metrics_b.get(name))
+
+
+def delta_buckets(deltas_ms: Sequence[float],
+                  edges_ms: Sequence[float] = (100, 300, 500, 700, 900, 1100, 1300, 1500, 1700)) -> List[Tuple[float, List[int]]]:
+    """Group Δ values (milliseconds) into buckets centred on ``edges_ms``.
+
+    Returns a list of (bucket_centre, indices) pairs; indices refer back to
+    the input sequence so callers can aggregate per-bucket agreement.
+    """
+    if not edges_ms:
+        raise AnalysisError("delta_buckets needs at least one edge")
+    edges = sorted(edges_ms)
+    buckets: List[Tuple[float, List[int]]] = [(edge, []) for edge in edges]
+    for index, delta in enumerate(deltas_ms):
+        best = min(range(len(edges)), key=lambda i: abs(edges[i] - delta))
+        buckets[best][1].append(index)
+    return buckets

@@ -1,0 +1,152 @@
+"""Additional PLT metrics beyond the four the paper evaluates.
+
+The related-work section points at SpeedIndex-like metrics that are cheaper
+to compute (Bocchi, De Cicco and Rossi's ByteIndex and ObjectIndex), and the
+discussion section motivates metrics closer to interactivity.  These are
+provided so Eyeorg-style studies can also be scored against them:
+
+* **ByteIndex** — the SpeedIndex integral computed over the fraction of
+  *bytes* delivered instead of pixels painted (no rendering knowledge needed,
+  derivable from a HAR alone).
+* **ObjectIndex** — the same integral over the fraction of *objects*
+  completed.
+* **TimeToFirstByte** — when the first byte of the root document arrives.
+* **AboveTheFoldTime (AFT)** — when above-the-fold content stops changing,
+  ignoring "small" late changers (ads rotating, carousels); the WebPagetest
+  heuristic that inspired SpeedIndex.
+* **DOMContentLoadedApprox** — approximated as the time every parser-blocking
+  resource (and the document itself) has arrived and executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..browser.browser import LoadResult
+from ..errors import AnalysisError
+
+#: Paint events smaller than this fraction of the final painted area are
+#: ignored by the AFT heuristic (they are "small" late changers).
+AFT_SMALL_CHANGE_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class ExtendedMetrics:
+    """The additional metrics for one load, in seconds.
+
+    Attributes:
+        byteindex: area above the bytes-delivered completeness curve.
+        objectindex: area above the objects-completed completeness curve.
+        time_to_first_byte: arrival of the root document's first byte.
+        above_the_fold_time: last "large" above-the-fold visual change.
+        dom_content_loaded: approximate DOMContentLoaded time.
+    """
+
+    byteindex: float
+    objectindex: float
+    time_to_first_byte: float
+    above_the_fold_time: float
+    dom_content_loaded: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metric values keyed by canonical names."""
+        return {
+            "byteindex": self.byteindex,
+            "objectindex": self.objectindex,
+            "timetofirstbyte": self.time_to_first_byte,
+            "abovethefoldtime": self.above_the_fold_time,
+            "domcontentloaded": self.dom_content_loaded,
+        }
+
+
+def _area_above_completeness(samples: list[tuple[float, float]]) -> float:
+    """Area above a non-decreasing (time, completeness) step curve."""
+    area = 0.0
+    previous_time = 0.0
+    previous_value = 0.0
+    for time, value in samples:
+        area += (time - previous_time) * (1.0 - previous_value)
+        previous_time = time
+        previous_value = value
+    return area
+
+
+def byte_index(result: LoadResult) -> float:
+    """ByteIndex: integral of (1 - fraction of bytes delivered) dt."""
+    records = [r for r in result.fetch_records if r.response is not None and not r.blocked]
+    if not records:
+        raise AnalysisError("cannot compute ByteIndex for a load with no transfers")
+    total = sum(r.response.transfer_bytes for r in records)
+    delivered = 0
+    samples: list[tuple[float, float]] = []
+    for record in sorted(records, key=lambda r: r.completed_at):
+        delivered += record.response.transfer_bytes
+        samples.append((record.completed_at, delivered / total))
+    return _area_above_completeness(samples)
+
+
+def object_index(result: LoadResult) -> float:
+    """ObjectIndex: integral of (1 - fraction of objects completed) dt."""
+    records = [r for r in result.fetch_records if r.response is not None and not r.blocked]
+    if not records:
+        raise AnalysisError("cannot compute ObjectIndex for a load with no transfers")
+    total = len(records)
+    samples = [
+        (record.completed_at, (index + 1) / total)
+        for index, record in enumerate(sorted(records, key=lambda r: r.completed_at))
+    ]
+    return _area_above_completeness(samples)
+
+
+def time_to_first_byte(result: LoadResult) -> float:
+    """TTFB of the root document."""
+    root_id = result.page.root.object_id
+    for record in result.fetch_records:
+        if record.request.object_id == root_id:
+            return record.first_byte_at
+    raise AnalysisError("load result has no record for the root document")
+
+
+def above_the_fold_time(result: LoadResult,
+                        small_change_fraction: float = AFT_SMALL_CHANGE_FRACTION) -> float:
+    """AFT: time of the last *large* above-the-fold paint.
+
+    Paint events covering less than ``small_change_fraction`` of the finally
+    painted area are treated as insignificant late changers and ignored,
+    which is what lets AFT sit below LastVisualChange on ad-heavy pages.
+    """
+    events = result.render_timeline.events
+    if not events:
+        return 0.0
+    total = result.render_timeline.painted_pixels
+    threshold = total * small_change_fraction
+    large = [event.time for event in events if event.pixels >= threshold]
+    if not large:
+        return result.render_timeline.first_visual_change
+    return max(large)
+
+
+def dom_content_loaded(result: LoadResult) -> float:
+    """Approximate DOMContentLoaded: root document plus every blocking resource done."""
+    page = result.page
+    times = []
+    for obj in page.iter_objects():
+        if obj.is_root or obj.blocking:
+            completed = result.completion_time(obj.object_id)
+            if completed is not None:
+                times.append(completed + obj.execution_time)
+    if not times:
+        raise AnalysisError("load result has no root/blocking records")
+    return max(times)
+
+
+def extended_metrics_from_load(result: LoadResult) -> ExtendedMetrics:
+    """Compute every extended metric for one load."""
+    return ExtendedMetrics(
+        byteindex=byte_index(result),
+        objectindex=object_index(result),
+        time_to_first_byte=time_to_first_byte(result),
+        above_the_fold_time=above_the_fold_time(result),
+        dom_content_loaded=dom_content_loaded(result),
+    )

@@ -1,0 +1,97 @@
+"""Automatically computable page-load-time metrics.
+
+The paper compares user-perceived PLT against four machine metrics (§5.2):
+
+* **OnLoad** — when the browser's ``onload`` event fires.
+* **SpeedIndex** — the average time at which above-the-fold content is
+  displayed: the area above the visual-completeness curve.
+* **FirstVisualChange** — when the first pixels are drawn.
+* **LastVisualChange** — when the last pixels stop changing.
+
+Every metric is computed from the artefacts of a load (the
+:class:`~repro.browser.browser.LoadResult` or a captured video), exactly as
+WebPagetest-style tooling derives them from filmstrips and the HAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..browser.browser import LoadResult
+from ..capture.video import Video
+from ..errors import AnalysisError
+from .visual import VisualProgress, progress_from_frames, progress_from_timeline
+
+#: Names of the metrics, in the order the paper reports them.
+METRIC_NAMES = ("onload", "speedindex", "firstvisualchange", "lastvisualchange")
+
+
+@dataclass(frozen=True)
+class PLTMetrics:
+    """The four machine metrics for one load, in seconds.
+
+    Attributes:
+        onload: onload event time.
+        speedindex: SpeedIndex (seconds).
+        firstvisualchange: first paint time.
+        lastvisualchange: last paint time.
+    """
+
+    onload: float
+    speedindex: float
+    firstvisualchange: float
+    lastvisualchange: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metric values keyed by their canonical names."""
+        return {
+            "onload": self.onload,
+            "speedindex": self.speedindex,
+            "firstvisualchange": self.firstvisualchange,
+            "lastvisualchange": self.lastvisualchange,
+        }
+
+    def get(self, name: str) -> float:
+        """Metric value by name.
+
+        Raises:
+            AnalysisError: for an unknown metric name.
+        """
+        values = self.as_dict()
+        if name not in values:
+            raise AnalysisError(f"unknown PLT metric {name!r}; expected one of {METRIC_NAMES}")
+        return values[name]
+
+
+def speed_index(progress: VisualProgress) -> float:
+    """SpeedIndex in seconds: the area above the visual completeness curve."""
+    return progress.area_above_curve()
+
+
+def metrics_from_load(result: LoadResult) -> PLTMetrics:
+    """Compute the four metrics from a browser load result."""
+    progress = progress_from_timeline(result.render_timeline)
+    return PLTMetrics(
+        onload=result.onload,
+        speedindex=speed_index(progress),
+        firstvisualchange=result.first_visual_change,
+        lastvisualchange=result.last_visual_change,
+    )
+
+
+def metrics_from_video(video: Video) -> PLTMetrics:
+    """Compute the four metrics from a captured video.
+
+    OnLoad comes from the HAR (the video itself cannot reveal it); the visual
+    metrics come from the frame sequence, which is what a real video-analysis
+    pipeline would measure.
+    """
+    progress = progress_from_frames(video.frames)
+    timeline = video.load_result.render_timeline
+    return PLTMetrics(
+        onload=video.onload,
+        speedindex=speed_index(progress),
+        firstvisualchange=timeline.first_visual_change,
+        lastvisualchange=timeline.last_visual_change,
+    )

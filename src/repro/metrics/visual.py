@@ -1,0 +1,107 @@
+"""Visual-progress curves.
+
+SpeedIndex and its relatives are defined over the *visual completeness*
+curve: the fraction of above-the-fold pixels that already match their final
+state, as a function of time.  This module builds that curve either from a
+render timeline (what the browser substrate knows) or from a captured frame
+buffer (what the real platform would extract from video frames), and provides
+the integral helpers the metrics need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..browser.renderer import RenderTimeline
+from ..capture.frames import FrameBuffer
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class VisualProgress:
+    """A step-wise visual completeness curve.
+
+    Attributes:
+        points: (time, completeness) samples; completeness is non-decreasing
+            and reaches 1.0 at the last visual change.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise AnalysisError("a visual progress curve needs at least one point")
+        last = -1.0
+        for _, completeness in self.points:
+            if completeness + 1e-9 < last:
+                raise AnalysisError("visual completeness must be non-decreasing")
+            last = max(last, completeness)
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last sample."""
+        return self.points[-1][0]
+
+    def completeness_at(self, time: float) -> float:
+        """Completeness at ``time`` (step interpolation)."""
+        value = 0.0
+        for t, completeness in self.points:
+            if t <= time:
+                value = completeness
+            else:
+                break
+        return value
+
+    def time_to_completeness(self, target: float) -> float:
+        """Earliest time at which completeness reaches ``target`` (0..1]."""
+        if not 0.0 < target <= 1.0:
+            raise AnalysisError("target completeness must be in (0, 1]")
+        for t, completeness in self.points:
+            if completeness + 1e-12 >= target:
+                return t
+        return self.end_time
+
+    def area_above_curve(self) -> float:
+        """Integral of (1 - completeness) dt from 0 to the last visual change.
+
+        This is exactly the SpeedIndex integral (in seconds rather than
+        milliseconds).
+        """
+        area = 0.0
+        previous_time = 0.0
+        previous_completeness = 0.0
+        for t, completeness in self.points:
+            area += (t - previous_time) * (1.0 - previous_completeness)
+            previous_time = t
+            previous_completeness = completeness
+        return area
+
+
+def progress_from_timeline(timeline: RenderTimeline) -> VisualProgress:
+    """Build the completeness curve from a render timeline."""
+    events = timeline.events
+    if not events:
+        return VisualProgress(points=((0.0, 1.0),))
+    total = timeline.painted_pixels
+    painted = 0
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    for event in events:
+        painted += event.pixels
+        points.append((event.time, painted / total))
+    return VisualProgress(points=tuple(points))
+
+
+def progress_from_frames(frames: FrameBuffer) -> VisualProgress:
+    """Build the completeness curve from captured video frames."""
+    points: List[Tuple[float, float]] = []
+    last_completeness = -1.0
+    for frame in frames.frames:
+        if frame.completeness != last_completeness:
+            points.append((frame.timestamp, frame.completeness))
+            last_completeness = frame.completeness
+    if not points:
+        points = [(0.0, 1.0)]
+    if points[0][0] > 0.0:
+        points.insert(0, (0.0, points[0][1] if points[0][1] == 0 else 0.0))
+    return VisualProgress(points=tuple(points))

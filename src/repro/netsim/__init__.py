@@ -1,0 +1,33 @@
+"""Network substrate: event simulation, latency/bandwidth, DNS, connections.
+
+This subpackage provides the first-principles network model underneath the
+HTTP substrates and the webpeg capture tool.  See ``DESIGN.md`` §3 for how it
+maps onto the infrastructure used by the paper.
+"""
+
+from .bandwidth import BandwidthModel, SharedLink
+from .connection import Connection, TransferTiming, INITIAL_CWND_SEGMENTS, MSS_BYTES
+from .dns import DNSLookupResult, DNSRecord, DNSResolver
+from .events import EventHandle, Simulator
+from .latency import LatencyModel, origin_latency
+from .profiles import BUILTIN_PROFILES, NetworkProfile, get_profile, list_profiles
+
+__all__ = [
+    "BandwidthModel",
+    "SharedLink",
+    "Connection",
+    "TransferTiming",
+    "INITIAL_CWND_SEGMENTS",
+    "MSS_BYTES",
+    "DNSLookupResult",
+    "DNSRecord",
+    "DNSResolver",
+    "EventHandle",
+    "Simulator",
+    "LatencyModel",
+    "origin_latency",
+    "BUILTIN_PROFILES",
+    "NetworkProfile",
+    "get_profile",
+    "list_profiles",
+]

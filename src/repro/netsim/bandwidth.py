@@ -1,0 +1,126 @@
+"""Bandwidth models for the network substrate.
+
+The downstream link of the capture machine is modelled as a single shared
+bottleneck: all concurrently-active transfers divide the link capacity
+equally (processor sharing), which is a standard first-order approximation of
+TCP fairness and is what network emulators such as Chrome's apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """A symmetric-enough link bandwidth description.
+
+    Attributes:
+        downlink_bps: downstream capacity in bits per second.
+        uplink_bps: upstream capacity in bits per second.
+    """
+
+    downlink_bps: float
+    uplink_bps: float
+
+    def __post_init__(self) -> None:
+        if self.downlink_bps <= 0 or self.uplink_bps <= 0:
+            raise ConfigurationError("link capacities must be positive")
+
+    @property
+    def downlink_bytes_per_second(self) -> float:
+        """Downstream capacity in bytes per second."""
+        return self.downlink_bps / 8.0
+
+    @property
+    def uplink_bytes_per_second(self) -> float:
+        """Upstream capacity in bytes per second."""
+        return self.uplink_bps / 8.0
+
+    def transfer_time(self, size_bytes: float, concurrent: int = 1) -> float:
+        """Time to push ``size_bytes`` through the downlink.
+
+        Args:
+            size_bytes: payload size in bytes.
+            concurrent: number of transfers sharing the link (>= 1); the
+                effective rate is capacity divided by this count.
+        """
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        share = max(int(concurrent), 1)
+        rate = self.downlink_bytes_per_second / share
+        return size_bytes / rate
+
+
+@dataclass
+class SharedLink:
+    """Bottleneck access link modelled as a virtual FIFO transmission queue.
+
+    Every response body of a page load ultimately crosses the same downstream
+    link.  The link is modelled as a work-conserving FIFO: a transfer whose
+    first byte is ready at ``first_byte_at`` is transmitted as soon as the
+    link has finished all previously committed bytes, at full link rate.
+    This conserves capacity exactly — a page can never download faster than
+    ``total_bytes / link_rate`` — while still letting latency effects
+    (handshakes, request round trips, head-of-line queueing) delay when each
+    transfer reaches the link.
+
+    Critical resources (HTTP/2 prioritised streams) may *preempt*: they are
+    transmitted immediately at link rate, and their bytes push back the
+    queued bulk transfers instead.
+
+    Attributes:
+        bandwidth: the link's capacity description.
+        available_at: the time at which all committed bytes will have been
+            transmitted (the virtual queue's horizon).
+        bytes_delivered: total bytes committed so far.
+    """
+
+    bandwidth: BandwidthModel
+    available_at: float = 0.0
+    bytes_delivered: float = field(default=0.0)
+
+    def schedule(self, first_byte_at: float, size_bytes: float, preempt: bool = False) -> float:
+        """Commit ``size_bytes`` to the link and return their last-byte time.
+
+        Args:
+            first_byte_at: earliest time the data could start flowing
+                (request RTT, server think time and slow-start rounds already
+                accounted for by the caller).
+            size_bytes: bytes to transmit.
+            preempt: when True the transfer is served immediately at link
+                rate (priority preemption); its bytes still consume capacity
+                and push back the queue horizon.
+
+        Returns:
+            The time at which the last byte arrives.
+        """
+        if size_bytes < 0:
+            raise ConfigurationError("size_bytes must be non-negative")
+        if first_byte_at < 0:
+            raise ConfigurationError("first_byte_at must be non-negative")
+        rate = self.bandwidth.downlink_bytes_per_second
+        duration = size_bytes / rate
+        if preempt:
+            last_byte_at = first_byte_at + duration
+            self.available_at = max(self.available_at, first_byte_at) + duration
+        else:
+            service_start = max(first_byte_at, self.available_at)
+            last_byte_at = service_start + duration
+            self.available_at = last_byte_at
+        self.bytes_delivered += size_bytes
+        return last_byte_at
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total transmission time committed to the link so far."""
+        return self.bytes_delivered / self.bandwidth.downlink_bytes_per_second
+
+    @property
+    def average_throughput_bps(self) -> float:
+        """Link rate achieved over the committed transmission time (bits/second)."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.bytes_delivered * 8.0 / self.busy_seconds

@@ -1,0 +1,166 @@
+"""TCP/TLS connection model.
+
+Both HTTP substrates sit on top of :class:`Connection`, which models:
+
+* the TCP three-way handshake (one RTT before data can flow),
+* an optional TLS handshake (two RTTs for TLS 1.2, the protocol deployed at
+  the time of the paper's captures; HTTP/2 always runs over TLS),
+* slow start: an initial congestion window of ten segments that doubles every
+  RTT until the flow becomes bottleneck-limited,
+* steady-state delivery limited by the shared access link.
+
+The model is "fluid": rather than simulating individual packets it computes,
+per response, how many round trips slow start needs and then charges the
+remaining bytes at the link share rate.  This captures the behaviour the
+paper's evaluation depends on — small objects are latency-bound and benefit
+little from HTTP/2, large or numerous objects are bandwidth/parallelism bound
+— without a packet-level simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import NetworkError
+from ..rng import SeededRNG
+from .bandwidth import SharedLink
+from .latency import LatencyModel
+
+#: Maximum segment size used to convert the congestion window into bytes.
+MSS_BYTES = 1460
+
+#: Initial congestion window (RFC 6928): 10 segments.
+INITIAL_CWND_SEGMENTS = 10
+
+
+@dataclass
+class TransferTiming:
+    """Timing breakdown of one response transfer over a connection.
+
+    Attributes:
+        request_sent_at: time the request left the client.
+        first_byte_at: time the first response byte arrived (TTFB).
+        last_byte_at: time the last response byte arrived.
+        bytes_transferred: response size in bytes.
+    """
+
+    request_sent_at: float
+    first_byte_at: float
+    last_byte_at: float
+    bytes_transferred: int
+
+    @property
+    def ttfb(self) -> float:
+        """Time to first byte, measured from the request send time."""
+        return self.first_byte_at - self.request_sent_at
+
+    @property
+    def duration(self) -> float:
+        """Total request-to-last-byte duration."""
+        return self.last_byte_at - self.request_sent_at
+
+
+class Connection:
+    """A TCP (optionally TLS) connection to a single origin."""
+
+    def __init__(
+        self,
+        origin: str,
+        latency: LatencyModel,
+        link: SharedLink,
+        rng: SeededRNG,
+        use_tls: bool = True,
+    ) -> None:
+        self.origin = origin
+        self._latency = latency
+        self._link = link
+        self._rng = rng.fork(f"conn:{origin}")
+        self.use_tls = use_tls
+        self.established_at: Optional[float] = None
+        self._cwnd_segments = INITIAL_CWND_SEGMENTS
+        self.bytes_sent = 0
+        self.transfers = 0
+
+    @property
+    def is_established(self) -> bool:
+        """Whether the handshakes have completed."""
+        return self.established_at is not None
+
+    def connect(self, now: float) -> float:
+        """Perform TCP (and TLS) handshakes starting at ``now``.
+
+        Returns:
+            The time at which the connection becomes usable.  Calling
+            ``connect`` on an established connection returns the original
+            establishment time.
+        """
+        if self.established_at is not None:
+            return max(self.established_at, now)
+        handshake = self._latency.sample_rtt(self._rng)
+        if self.use_tls:
+            handshake += 2.0 * self._latency.sample_rtt(self._rng)
+        self.established_at = now + handshake
+        return self.established_at
+
+    def _slow_start_rounds(self, size_bytes: int) -> tuple[int, int]:
+        """Return (extra_rtt_rounds, bytes_sent_during_slow_start).
+
+        The first ``cwnd`` bytes ride on the round trip that delivers the
+        first byte; each additional slow-start round doubles the window.
+        Slow start stops once the window exceeds the link's
+        bandwidth-delay product, after which delivery is rate-limited.
+        """
+        bdp_bytes = self._link.bandwidth.downlink_bytes_per_second * self._latency.base_rtt
+        window = self._cwnd_segments * MSS_BYTES
+        delivered = min(window, size_bytes)
+        rounds = 0
+        while delivered < size_bytes and window < bdp_bytes:
+            window *= 2
+            delivered = min(delivered + window, size_bytes)
+            rounds += 1
+        return rounds, delivered
+
+    def transfer(self, size_bytes: int, request_at: float, server_think: float = 0.0,
+                 preempt: bool = False) -> TransferTiming:
+        """Transfer a ``size_bytes`` response requested at ``request_at``.
+
+        The transfer pays the request round trip and the server think time,
+        then any slow-start rounds this connection still needs, and finally
+        queues its bytes on the shared bottleneck link (see
+        :class:`~repro.netsim.bandwidth.SharedLink`).
+
+        Args:
+            size_bytes: response body + header size in bytes.
+            request_at: time the request is written to the socket; must be at
+                or after connection establishment.
+            server_think: server processing time before the first byte.
+            preempt: pass-through to the link's priority preemption (used by
+                prioritised HTTP/2 streams).
+
+        Raises:
+            NetworkError: if the connection has not been established.
+        """
+        if self.established_at is None:
+            raise NetworkError(f"connection to {self.origin} used before connect()")
+        if request_at + 1e-9 < self.established_at:
+            raise NetworkError(
+                f"request at {request_at:.4f}s predates establishment at {self.established_at:.4f}s"
+            )
+        rtt = self._latency.sample_rtt(self._rng)
+        first_byte_at = request_at + rtt + server_think
+        rounds, _slow_start_bytes = self._slow_start_rounds(size_bytes)
+        data_ready_at = first_byte_at + rounds * self._latency.base_rtt
+        last_byte_at = self._link.schedule(data_ready_at, size_bytes, preempt=preempt)
+        # Grow the window for subsequent requests on this connection
+        # (congestion avoidance approximated as one doubling per transfer,
+        # capped at 256 segments).
+        self._cwnd_segments = min(self._cwnd_segments * 2, 256)
+        self.bytes_sent += size_bytes
+        self.transfers += 1
+        return TransferTiming(
+            request_sent_at=request_at,
+            first_byte_at=first_byte_at,
+            last_byte_at=last_byte_at,
+            bytes_transferred=size_bytes,
+        )

@@ -1,0 +1,126 @@
+"""DNS resolution model.
+
+webpeg performs a "primer" load before the first real trial of every site so
+that all DNS records are already cached at the ISP resolver and a cold cache
+miss cannot skew the measured load time (paper §3.1).  The resolver here
+models exactly that: cold lookups pay a recursive-resolution penalty, warm
+lookups only pay the stub-to-resolver RTT, and :meth:`DNSResolver.prime`
+pre-warms every origin of a page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import DNSResolutionError
+from ..rng import SeededRNG
+from .latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class DNSRecord:
+    """A cached resolution result.
+
+    Attributes:
+        hostname: the resolved name.
+        address: synthetic address string.
+        ttl: time-to-live in seconds.
+        resolved_at: simulation time at which the record was inserted.
+    """
+
+    hostname: str
+    address: str
+    ttl: float
+    resolved_at: float
+
+
+@dataclass
+class DNSLookupResult:
+    """Outcome of a single lookup.
+
+    Attributes:
+        hostname: the looked-up name.
+        duration: how long the lookup took (seconds).
+        cached: whether it was served from the resolver cache.
+    """
+
+    hostname: str
+    duration: float
+    cached: bool
+
+
+class DNSResolver:
+    """ISP-resolver model with a TTL cache and a cold-lookup penalty."""
+
+    def __init__(
+        self,
+        latency: LatencyModel,
+        rng: SeededRNG,
+        cold_lookup_mean: float = 0.080,
+        cold_lookup_sigma: float = 0.040,
+        default_ttl: float = 300.0,
+    ) -> None:
+        """Create a resolver.
+
+        Args:
+            latency: stub-to-resolver latency model (the client's access link).
+            rng: random source; forked internally per hostname.
+            cold_lookup_mean: mean extra delay of a recursive resolution (s).
+            cold_lookup_sigma: spread of the recursive-resolution delay (s).
+            default_ttl: TTL applied to cached records.
+        """
+        self._latency = latency
+        self._rng = rng.fork("dns")
+        self._cold_mean = cold_lookup_mean
+        self._cold_sigma = cold_lookup_sigma
+        self._default_ttl = default_ttl
+        self._cache: Dict[str, DNSRecord] = {}
+        self.lookups = 0
+        self.cache_hits = 0
+
+    def _synthetic_address(self, hostname: str) -> str:
+        host_rng = self._rng.fork(f"addr:{hostname}")
+        return ".".join(str(host_rng.randint(1, 254)) for _ in range(4))
+
+    def resolve(self, hostname: str, now: float = 0.0) -> DNSLookupResult:
+        """Resolve ``hostname`` at simulation time ``now``.
+
+        A warm record (within TTL) costs one stub RTT; a cold lookup pays the
+        stub RTT plus the recursive-resolution penalty and populates the cache.
+
+        Raises:
+            DNSResolutionError: if the hostname is empty.
+        """
+        if not hostname:
+            raise DNSResolutionError("cannot resolve an empty hostname")
+        self.lookups += 1
+        stub_rtt = self._latency.sample_rtt(self._rng)
+        record = self._cache.get(hostname)
+        if record is not None and now - record.resolved_at <= record.ttl:
+            self.cache_hits += 1
+            return DNSLookupResult(hostname, stub_rtt, cached=True)
+        recursive = max(self._rng.gauss(self._cold_mean, self._cold_sigma), 0.005)
+        self._cache[hostname] = DNSRecord(
+            hostname=hostname,
+            address=self._synthetic_address(hostname),
+            ttl=self._default_ttl,
+            resolved_at=now,
+        )
+        return DNSLookupResult(hostname, stub_rtt + recursive, cached=False)
+
+    def prime(self, hostnames: list[str], now: float = 0.0) -> None:
+        """Pre-warm the cache for every hostname (webpeg's primer load)."""
+        for hostname in hostnames:
+            self.resolve(hostname, now=now)
+
+    def flush(self) -> None:
+        """Drop every cached record (fresh-browser-state behaviour)."""
+        self._cache.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache."""
+        if self.lookups == 0:
+            return 0.0
+        return self.cache_hits / self.lookups

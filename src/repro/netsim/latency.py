@@ -1,0 +1,76 @@
+"""Round-trip-time models for the network substrate.
+
+webpeg captured pages from EC2 instances with network emulation applied in
+Chrome; the latency model here plays the same role.  Each origin gets a base
+RTT (drawn from a per-profile distribution when not specified) and individual
+packets/exchanges experience jitter on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-path latency model.
+
+    Attributes:
+        base_rtt: median round-trip time in seconds.
+        jitter: standard deviation of per-exchange jitter in seconds.
+        minimum_rtt: lower clamp applied after jitter.
+    """
+
+    base_rtt: float
+    jitter: float = 0.0
+    minimum_rtt: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.base_rtt <= 0:
+            raise ConfigurationError("base_rtt must be positive")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be non-negative")
+        if self.minimum_rtt <= 0:
+            raise ConfigurationError("minimum_rtt must be positive")
+
+    def sample_rtt(self, rng: SeededRNG) -> float:
+        """Sample one round-trip time with jitter applied."""
+        if self.jitter == 0.0:
+            return max(self.base_rtt, self.minimum_rtt)
+        return max(rng.gauss(self.base_rtt, self.jitter), self.minimum_rtt)
+
+    def one_way(self, rng: SeededRNG) -> float:
+        """Sample a one-way delay (half an RTT sample)."""
+        return self.sample_rtt(rng) / 2.0
+
+    def scaled(self, factor: float) -> "LatencyModel":
+        """Return a copy with the base RTT (and jitter) scaled by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return LatencyModel(self.base_rtt * factor, self.jitter * factor, self.minimum_rtt)
+
+
+def origin_latency(base: LatencyModel, origin: str, rng: SeededRNG) -> LatencyModel:
+    """Derive a stable per-origin latency model from a profile baseline.
+
+    Third-party origins (CDNs, ad networks) sit at different network distances
+    from the capture machine; this derives a deterministic multiplier per
+    origin name so that repeated captures of the same site see consistent
+    per-origin RTTs.
+
+    Args:
+        base: the profile's baseline latency model.
+        origin: origin host name (e.g. ``"cdn.site-042.example"``).
+        rng: a generator already forked for latency decisions; it is forked
+            again with the origin name so the multiplier is origin-stable.
+
+    Returns:
+        A latency model whose base RTT is the profile RTT scaled by a factor
+        drawn log-normally around 1.0 (sigma 0.25), clamped to [0.5, 3.0].
+    """
+    origin_rng = rng.fork(f"origin-latency:{origin}")
+    factor = min(max(origin_rng.lognormal(0.0, 0.25), 0.5), 3.0)
+    return base.scaled(factor)

@@ -1,0 +1,200 @@
+"""Ad, tracker and widget content model.
+
+The ad-blocker campaign (paper §5.4) and the multi-modal "ready to use"
+distributions (paper §6, Figure 9) both hinge on third-party auxiliary
+content: ads and widgets load late (often injected by scripts after onload),
+occupy above-the-fold real estate, and are served from a small set of ad
+network origins.  This module generates that content for the synthetic
+corpus and knows which origins belong to which ad network so the filter-list
+substrate can match against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..rng import SeededRNG
+from .objects import ObjectType, WebObject
+
+
+@dataclass(frozen=True)
+class AdNetwork:
+    """A third-party advertising / tracking network.
+
+    Attributes:
+        name: network identifier.
+        origins: origins the network serves content from.
+        category: "ads", "tracking", or "social".
+        popularity: probability weight of a site embedding this network.
+    """
+
+    name: str
+    origins: tuple[str, ...]
+    category: str
+    popularity: float
+
+
+#: Synthetic stand-ins for the real third-party ecosystem.  Names are
+#: intentionally fictitious; what matters to the evaluation is the mix of
+#: categories and the skewed popularity distribution.
+AD_NETWORKS: tuple[AdNetwork, ...] = (
+    AdNetwork("displaymax", ("ads.displaymax.example", "cdn.displaymax.example"), "ads", 0.55),
+    AdNetwork("admarket", ("serve.admarket.example",), "ads", 0.40),
+    AdNetwork("popbanner", ("static.popbanner.example",), "ads", 0.22),
+    AdNetwork("clickgrid", ("tags.clickgrid.example",), "ads", 0.15),
+    AdNetwork("metricbeacon", ("px.metricbeacon.example",), "tracking", 0.65),
+    AdNetwork("statware", ("collect.statware.example",), "tracking", 0.45),
+    AdNetwork("audiencelab", ("sync.audiencelab.example",), "tracking", 0.30),
+    AdNetwork("socialshare", ("widgets.socialshare.example",), "social", 0.35),
+    AdNetwork("commentbox", ("embed.commentbox.example",), "social", 0.18),
+)
+
+
+def ad_origins() -> List[str]:
+    """All origins belonging to ad-category networks."""
+    return [origin for network in AD_NETWORKS if network.category == "ads" for origin in network.origins]
+
+
+def tracker_origins() -> List[str]:
+    """All origins belonging to tracking-category networks."""
+    return [origin for network in AD_NETWORKS if network.category == "tracking" for origin in network.origins]
+
+
+def social_origins() -> List[str]:
+    """All origins belonging to social-widget networks."""
+    return [origin for network in AD_NETWORKS if network.category == "social" for origin in network.origins]
+
+
+def choose_networks(rng: SeededRNG) -> List[AdNetwork]:
+    """Pick the set of networks a given ad-displaying site embeds."""
+    chosen = [network for network in AD_NETWORKS if rng.bernoulli(network.popularity)]
+    if not any(network.category == "ads" for network in chosen):
+        ads_only = [network for network in AD_NETWORKS if network.category == "ads"]
+        chosen.append(rng.choice(ads_only))
+    return chosen
+
+
+def generate_auxiliary_objects(
+    site_id: str,
+    networks: List[AdNetwork],
+    rng: SeededRNG,
+    injector_script_id: str,
+    root_id: str,
+    viewport_pixels: int,
+) -> List[WebObject]:
+    """Generate the ad/tracker/widget objects for one page.
+
+    Display advertising of the period is a two-stage affair: a third-party
+    *ad tag* script (frequently included synchronously in the document head,
+    where it blocks rendering) followed by the actual creatives it injects.
+    Blocking the tag therefore removes both the late-painting creatives and —
+    for synchronous tags — a render-blocking resource, which is the main
+    reason ad-blocked page loads *feel* faster.
+
+    Args:
+        site_id: site identifier (used in object ids/URLs).
+        networks: the networks embedded by the page.
+        rng: random source (already forked per site).
+        injector_script_id: id of the first-party bootstrap script that
+            injects asynchronous tags.
+        root_id: id of the root document (synchronous tags hang off it).
+        viewport_pixels: total above-the-fold pixel budget, used to size ad
+            slots as a realistic fraction of the viewport.
+
+    Returns:
+        The list of auxiliary objects (not yet added to a page).
+    """
+    objects: List[WebObject] = []
+    counter = 0
+    for network in networks:
+        if network.category == "ads":
+            counter += 1
+            tag_origin = rng.choice(network.origins)
+            synchronous = rng.bernoulli(0.45)
+            tag = WebObject(
+                object_id=f"{site_id}-adtag-{network.name}-{counter}",
+                object_type=ObjectType.AD,
+                url=f"https://{tag_origin}/tag/{site_id}.js",
+                origin=tag_origin,
+                size_bytes=int(rng.lognormal(10.3, 0.5)),  # ~30 KB ad-tech JS
+                discovered_by=root_id if synchronous else injector_script_id,
+                discovery_delay=rng.uniform(0.0, 0.1) if synchronous else rng.uniform(0.2, 1.2),
+                above_fold_pixels=0,
+                render_delay=0.0,
+                blocking=synchronous,
+                loaded_by_script=not synchronous,
+                third_party=True,
+                server_think_time=rng.uniform(0.05, 0.25),
+                priority=16 if synchronous else 4,
+                metadata={"network": network.name, "category": network.category, "role": "tag"},
+            )
+            objects.append(tag)
+            slots = rng.randint(1, 3)
+            for _ in range(slots):
+                counter += 1
+                origin = rng.choice(network.origins)
+                # A display ad occupies 3-12% of the first viewport.
+                pixels = int(viewport_pixels * rng.uniform(0.03, 0.12))
+                objects.append(
+                    WebObject(
+                        object_id=f"{site_id}-ad-{network.name}-{counter}",
+                        object_type=ObjectType.AD,
+                        url=f"https://{origin}/creative/{site_id}/{counter}.html",
+                        origin=origin,
+                        size_bytes=int(rng.lognormal(10.8, 0.7)),  # ~50 KB median creative
+                        discovered_by=tag.object_id,
+                        discovery_delay=rng.uniform(0.2, 1.8),
+                        above_fold_pixels=pixels,
+                        render_delay=rng.uniform(0.03, 0.12),
+                        loaded_by_script=True,
+                        third_party=True,
+                        server_think_time=rng.uniform(0.05, 0.3),
+                        priority=4,
+                        metadata={"network": network.name, "category": network.category},
+                    )
+                )
+        elif network.category == "tracking":
+            counter += 1
+            origin = rng.choice(network.origins)
+            objects.append(
+                WebObject(
+                    object_id=f"{site_id}-tracker-{network.name}-{counter}",
+                    object_type=ObjectType.TRACKER,
+                    url=f"https://{origin}/pixel/{site_id}.gif",
+                    origin=origin,
+                    size_bytes=rng.randint(400, 4000),
+                    discovered_by=injector_script_id,
+                    discovery_delay=rng.uniform(0.05, 0.4),
+                    above_fold_pixels=0,
+                    render_delay=0.0,
+                    loaded_by_script=True,
+                    third_party=True,
+                    server_think_time=rng.uniform(0.02, 0.08),
+                    priority=1,
+                    metadata={"network": network.name, "category": network.category},
+                )
+            )
+        else:  # social widgets
+            counter += 1
+            origin = rng.choice(network.origins)
+            pixels = int(viewport_pixels * rng.uniform(0.01, 0.04))
+            objects.append(
+                WebObject(
+                    object_id=f"{site_id}-widget-{network.name}-{counter}",
+                    object_type=ObjectType.WIDGET,
+                    url=f"https://{origin}/widget/{site_id}.js",
+                    origin=origin,
+                    size_bytes=int(rng.lognormal(10.2, 0.6)),  # ~27 KB median widget
+                    discovered_by=injector_script_id,
+                    discovery_delay=rng.uniform(0.1, 0.6),
+                    above_fold_pixels=pixels,
+                    render_delay=rng.uniform(0.02, 0.08),
+                    loaded_by_script=True,
+                    third_party=True,
+                    server_think_time=rng.uniform(0.02, 0.1),
+                    priority=4,
+                    metadata={"network": network.name, "category": network.category},
+                )
+            )
+    return objects

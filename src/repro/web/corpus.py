@@ -1,0 +1,378 @@
+"""Synthetic website corpora.
+
+The paper's campaigns draw sites from two pools:
+
+* a sample of 100 Alexa top-1M sites that fully support HTTP/2 (used for the
+  PLT-timeline and HTTP/1.1-vs-HTTP/2 campaigns), and
+* 10,000 ad-displaying sites identified from the "Is the Web HTTP/2 Yet?"
+  data set, from which 100 are sampled for the ad-blocker campaign.
+
+Real sites are not reachable offline, so :class:`CorpusGenerator` synthesises
+pages whose *structural distributions* (object counts, transfer sizes, number
+of origins, share of third-party/ad content, above-the-fold composition)
+match what web measurement studies of the period report: a median page of
+roughly 2 MB across ~100 objects and ~20 origins, with a heavy tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import PageModelError
+from ..rng import SeededRNG
+from .ads import choose_networks, generate_auxiliary_objects
+from .layout import Viewport
+from .objects import ObjectType, WebObject
+from .page import Page
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """Structural knobs for one generated site.
+
+    Attributes:
+        site_id: stable identifier (e.g. ``"site-042"``).
+        complexity: scale factor in (0.3, 3.0] applied to object counts/sizes.
+        displays_ads: whether the site embeds third-party ad content.
+        supports_http2: whether the first-party origin negotiates HTTP/2.
+        cdn_origins: number of first-party-controlled CDN origins.
+        fast_backend: whether the origin server has low think times.
+        latency_multiplier: network distance of the site's servers relative
+            to the capture profile's nominal RTT (0.5-2.5x).
+    """
+
+    site_id: str
+    complexity: float
+    displays_ads: bool
+    supports_http2: bool
+    cdn_origins: int
+    fast_backend: bool
+    latency_multiplier: float
+
+
+class CorpusGenerator:
+    """Deterministic generator of synthetic pages.
+
+    Args:
+        seed: master seed; every site is derived from ``seed`` and its id, so
+            the same site id always produces the same page regardless of how
+            many other sites were generated first.
+    """
+
+    def __init__(self, seed: int = 2016) -> None:
+        self._rng = SeededRNG(seed).fork("corpus")
+        self.seed = seed
+
+    # -- site profiles ----------------------------------------------------------
+
+    def site_profile(self, site_id: str, displays_ads: Optional[bool] = None,
+                     supports_http2: Optional[bool] = None) -> SiteProfile:
+        """Derive the stable structural profile of ``site_id``."""
+        rng = self._rng.fork(f"profile:{site_id}")
+        complexity = min(max(rng.lognormal(0.1, 0.6), 0.3), 4.0)
+        if displays_ads is None:
+            displays_ads = rng.bernoulli(0.6)
+        if supports_http2 is None:
+            supports_http2 = rng.bernoulli(0.75)
+        return SiteProfile(
+            site_id=site_id,
+            complexity=complexity,
+            displays_ads=displays_ads,
+            supports_http2=supports_http2,
+            cdn_origins=rng.randint(1, 4),
+            fast_backend=rng.bernoulli(0.6),
+            latency_multiplier=min(max(rng.lognormal(0.0, 0.45), 0.5), 3.0),
+        )
+
+    # -- page generation --------------------------------------------------------
+
+    def generate_page(self, site_id: str, displays_ads: Optional[bool] = None,
+                      supports_http2: Optional[bool] = None) -> Page:
+        """Generate the landing page of ``site_id``.
+
+        The page contains a root document, head CSS/JS (parser blocking), a
+        hero image plus content images, web fonts, lazily discovered
+        below-the-head scripts, and — when the site displays ads — an ad
+        injector script with the third-party content hanging off it.
+        """
+        profile = self.site_profile(site_id, displays_ads, supports_http2)
+        rng = self._rng.fork(f"page:{site_id}")
+        origin = f"www.{site_id}.example"
+        cdn_origins = [f"cdn{i}.{site_id}.example" for i in range(1, profile.cdn_origins + 1)]
+        page = Page(
+            url=f"https://{origin}/",
+            site_id=site_id,
+            viewport=Viewport(),
+            supports_http2=profile.supports_http2,
+            displays_ads=profile.displays_ads,
+            latency_multiplier=profile.latency_multiplier,
+        )
+        scale = profile.complexity
+        think = (0.01, 0.05) if profile.fast_backend else (0.08, 0.35)
+
+        root = WebObject(
+            object_id=f"{site_id}-html",
+            object_type=ObjectType.HTML,
+            url=page.url,
+            origin=origin,
+            size_bytes=int(rng.lognormal(10.4, 0.5) * scale),  # ~33 KB median HTML
+            above_fold_pixels=int(page.viewport.total_pixels * 0.22),
+            render_delay=rng.uniform(0.03, 0.08),
+            server_think_time=rng.uniform(*think),
+            priority=32,
+        )
+        page.add_object(root)
+        page.viewport.allocate(root.object_id, root.above_fold_pixels, is_primary_content=True)
+
+        def pick_origin() -> str:
+            # Roughly half of a page's resources are served by the main origin,
+            # the rest spread over the site's CDN origins — the concentration
+            # that makes HTTP/1.1's per-origin connection limit bite.
+            if rng.bernoulli(0.55):
+                return origin
+            return rng.choice(cdn_origins)
+
+        # Head stylesheets (parser blocking).
+        for index in range(max(1, round(rng.randint(1, 4) * scale))):
+            css = WebObject(
+                object_id=f"{site_id}-css-{index}",
+                object_type=ObjectType.CSS,
+                url=f"https://{pick_origin()}/static/style-{index}.css",
+                origin=pick_origin(),
+                size_bytes=int(rng.lognormal(9.9, 0.6) * scale),  # ~20 KB
+                discovered_by=root.object_id,
+                discovery_delay=rng.uniform(0.0, 0.05),
+                blocking=True,
+                above_fold_pixels=0,
+                render_delay=0.0,
+                server_think_time=rng.uniform(*think),
+                priority=32,
+            )
+            page.add_object(css)
+
+        # Head scripts (parser blocking).  Framework parse/execute time grows
+        # with site complexity and is a major component of time-to-first-paint.
+        head_scripts = max(1, round(rng.randint(1, 3) * scale))
+        for index in range(head_scripts):
+            js = WebObject(
+                object_id=f"{site_id}-headjs-{index}",
+                object_type=ObjectType.JS,
+                url=f"https://{pick_origin()}/static/app-{index}.js",
+                origin=pick_origin(),
+                size_bytes=int(rng.lognormal(10.6, 0.7) * scale),  # ~40 KB
+                discovered_by=root.object_id,
+                discovery_delay=rng.uniform(0.0, 0.08),
+                blocking=True,
+                above_fold_pixels=0,
+                render_delay=0.0,
+                server_think_time=rng.uniform(*think),
+                priority=24,
+                execution_time=rng.uniform(0.08, 0.45) * scale,
+            )
+            page.add_object(js)
+
+        # Web fonts, needed before primary text renders on some sites.
+        for index in range(rng.randint(0, 2)):
+            font = WebObject(
+                object_id=f"{site_id}-font-{index}",
+                object_type=ObjectType.FONT,
+                url=f"https://{pick_origin()}/fonts/brand-{index}.woff2",
+                origin=pick_origin(),
+                size_bytes=int(rng.lognormal(10.3, 0.4)),  # ~30 KB
+                discovered_by=f"{site_id}-css-0",
+                discovery_delay=rng.uniform(0.02, 0.1),
+                above_fold_pixels=0,
+                render_delay=0.0,
+                server_think_time=rng.uniform(*think),
+                priority=24,
+            )
+            page.add_object(font)
+
+        # Hero image: the single most visually important resource.
+        hero_pixels = int(page.viewport.total_pixels * rng.uniform(0.18, 0.35))
+        hero = WebObject(
+            object_id=f"{site_id}-hero",
+            object_type=ObjectType.IMAGE,
+            url=f"https://{pick_origin()}/img/hero.jpg",
+            origin=pick_origin(),
+            size_bytes=int(rng.lognormal(11.8, 0.6) * scale),  # ~130 KB
+            discovered_by=root.object_id,
+            discovery_delay=rng.uniform(0.02, 0.1),
+            above_fold_pixels=hero_pixels,
+            render_delay=rng.uniform(0.02, 0.06),
+            server_think_time=rng.uniform(*think),
+            priority=16,
+        )
+        page.add_object(hero)
+        page.viewport.allocate(hero.object_id, hero.above_fold_pixels, is_primary_content=True)
+
+        # Content images (thumbnails, icons); only some are above the fold.
+        # Pages of the period average ~75-100 requests with a heavy tail; most
+        # of the count comes from small images.
+        image_count = max(8, round(rng.randint(20, 70) * scale))
+        for index in range(image_count):
+            above_fold = rng.bernoulli(0.4)
+            pixels = int(page.viewport.total_pixels * rng.uniform(0.005, 0.04)) if above_fold else 0
+            image = WebObject(
+                object_id=f"{site_id}-img-{index}",
+                object_type=ObjectType.IMAGE,
+                url=f"https://{pick_origin()}/img/content-{index}.jpg",
+                origin=pick_origin(),
+                size_bytes=int(rng.lognormal(10.2, 0.9) * scale),  # ~27 KB, heavy tail
+                discovered_by=root.object_id,
+                discovery_delay=rng.uniform(0.05, 0.5),
+                above_fold_pixels=pixels,
+                render_delay=rng.uniform(0.01, 0.05),
+                server_think_time=rng.uniform(*think),
+                priority=8,
+            )
+            page.add_object(image)
+            if pixels > 0:
+                page.viewport.allocate(image.object_id, pixels, is_primary_content=True)
+
+        # Deferred first-party scripts (analytics bootstrap, lazy loaders).
+        deferred_scripts = max(1, round(rng.randint(1, 4) * scale))
+        last_deferred = None
+        for index in range(deferred_scripts):
+            js = WebObject(
+                object_id=f"{site_id}-bodyjs-{index}",
+                object_type=ObjectType.JS,
+                url=f"https://{pick_origin()}/static/defer-{index}.js",
+                origin=pick_origin(),
+                size_bytes=int(rng.lognormal(10.0, 0.7) * scale),
+                discovered_by=root.object_id,
+                discovery_delay=rng.uniform(0.2, 0.8),
+                blocking=False,
+                above_fold_pixels=0,
+                render_delay=0.0,
+                server_think_time=rng.uniform(*think),
+                priority=8,
+                execution_time=rng.uniform(0.02, 0.15) * scale,
+            )
+            page.add_object(js)
+            last_deferred = js
+
+        # Script-injected lazy images (the reason onload under-estimates on
+        # some sites): discovered by a deferred script, not by the parser.
+        if last_deferred is not None and rng.bernoulli(0.65):
+            for index in range(rng.randint(2, 6)):
+                above_fold = rng.bernoulli(0.5)
+                pixels = int(page.viewport.total_pixels * rng.uniform(0.005, 0.03)) if above_fold else 0
+                lazy = WebObject(
+                    object_id=f"{site_id}-lazyimg-{index}",
+                    object_type=ObjectType.IMAGE,
+                    url=f"https://{pick_origin()}/img/lazy-{index}.jpg",
+                    origin=pick_origin(),
+                    size_bytes=int(rng.lognormal(10.2, 0.8) * scale),
+                    discovered_by=last_deferred.object_id,
+                    discovery_delay=rng.uniform(0.1, 0.6),
+                    loaded_by_script=True,
+                    above_fold_pixels=pixels,
+                    render_delay=rng.uniform(0.01, 0.05),
+                    server_think_time=rng.uniform(*think),
+                    priority=4,
+                )
+                page.add_object(lazy)
+                if pixels > 0:
+                    page.viewport.allocate(lazy.object_id, pixels, is_primary_content=True)
+
+        # Late, low-importance content that keeps trickling in well after the
+        # page is usable (carousel rotations, lazy badges, chat bubbles): it
+        # moves LastVisualChange without moving what users consider "ready".
+        if last_deferred is not None and rng.bernoulli(0.45):
+            badge_pixels = int(page.viewport.total_pixels * rng.uniform(0.002, 0.01))
+            badge = WebObject(
+                object_id=f"{site_id}-badge",
+                object_type=ObjectType.IMAGE,
+                url=f"https://{pick_origin()}/img/badge.png",
+                origin=pick_origin(),
+                size_bytes=int(rng.lognormal(9.5, 0.6)),
+                discovered_by=last_deferred.object_id,
+                discovery_delay=rng.uniform(1.0, 5.0),
+                loaded_by_script=True,
+                above_fold_pixels=badge_pixels,
+                render_delay=rng.uniform(0.01, 0.04),
+                server_think_time=rng.uniform(*think),
+                priority=2,
+            )
+            page.add_object(badge)
+            page.viewport.allocate(badge.object_id, badge_pixels, is_primary_content=False)
+
+        # Third-party auxiliary content.
+        if profile.displays_ads:
+            injector = WebObject(
+                object_id=f"{site_id}-adinjector",
+                object_type=ObjectType.JS,
+                url=f"https://{origin}/static/ads-bootstrap.js",
+                origin=origin,
+                size_bytes=int(rng.lognormal(9.6, 0.5)),  # ~15 KB
+                discovered_by=root.object_id,
+                discovery_delay=rng.uniform(0.1, 0.5),
+                blocking=False,
+                above_fold_pixels=0,
+                render_delay=0.0,
+                server_think_time=rng.uniform(*think),
+                priority=8,
+                metadata={"role": "ad-injector"},
+            )
+            page.add_object(injector)
+            networks = choose_networks(rng.fork("networks"))
+            auxiliary = generate_auxiliary_objects(
+                site_id=site_id,
+                networks=networks,
+                rng=rng.fork("auxiliary"),
+                injector_script_id=injector.object_id,
+                root_id=root.object_id,
+                viewport_pixels=page.viewport.total_pixels,
+            )
+            for obj in auxiliary:
+                page.add_object(obj)
+                if obj.above_fold_pixels > 0:
+                    page.viewport.allocate(obj.object_id, obj.above_fold_pixels, is_primary_content=False)
+
+        page.validate()
+        return page
+
+    # -- corpora ----------------------------------------------------------------
+
+    def http2_sample(self, count: int = 100) -> List[Page]:
+        """Sites that fully support HTTP/2 (paper: 100 of the Alexa top 1M)."""
+        if count <= 0:
+            raise PageModelError("count must be positive")
+        return [
+            self.generate_page(f"site-{index:03d}", supports_http2=True)
+            for index in range(count)
+        ]
+
+    def ad_corpus_ids(self, count: int = 10_000) -> List[str]:
+        """Identifiers of the ad-displaying corpus (paper: 10,000 sites)."""
+        if count <= 0:
+            raise PageModelError("count must be positive")
+        return [f"adsite-{index:05d}" for index in range(count)]
+
+    def ad_sample(self, count: int = 100, corpus_size: int = 10_000) -> List[Page]:
+        """Sample ``count`` ad-displaying sites from the ad corpus."""
+        if count <= 0 or count > corpus_size:
+            raise PageModelError("count must be in (0, corpus_size]")
+        ids = self.ad_corpus_ids(corpus_size)
+        chosen = self._rng.fork("ad-sample").sample(ids, count)
+        return [self.generate_page(site_id, displays_ads=True) for site_id in sorted(chosen)]
+
+    def corpus_statistics(self, pages: List[Page]) -> Dict[str, float]:
+        """Aggregate structural statistics used in documentation/tests."""
+        if not pages:
+            raise PageModelError("cannot summarise an empty corpus")
+        objects = [page.object_count for page in pages]
+        sizes = [page.total_bytes for page in pages]
+        origins = [len(page.origins()) for page in pages]
+        ads = [len(page.auxiliary_objects) for page in pages]
+        return {
+            "sites": float(len(pages)),
+            "mean_objects": sum(objects) / len(objects),
+            "mean_bytes": sum(sizes) / len(sizes),
+            "mean_origins": sum(origins) / len(origins),
+            "mean_auxiliary_objects": sum(ads) / len(ads),
+            "ads_fraction": sum(1 for page in pages if page.displays_ads) / len(pages),
+            "http2_fraction": sum(1 for page in pages if page.supports_http2) / len(pages),
+        }

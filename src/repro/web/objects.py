@@ -1,0 +1,128 @@
+"""Web object model.
+
+A page is a collection of :class:`WebObject` resources — the root HTML
+document, stylesheets, scripts, images, fonts, and the third-party content
+(ads, trackers, social widgets) that the paper's discussion section shows to
+be responsible for the multi-modal "ready to use" distributions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import PageModelError
+
+
+class ObjectType(enum.Enum):
+    """Resource categories used by the page model."""
+
+    HTML = "html"
+    CSS = "css"
+    JS = "js"
+    IMAGE = "image"
+    FONT = "font"
+    AD = "ad"
+    TRACKER = "tracker"
+    WIDGET = "widget"
+    VIDEO = "video"
+    OTHER = "other"
+
+
+#: Object types that block HTML parsing when referenced from the document head.
+PARSER_BLOCKING_TYPES = frozenset({ObjectType.CSS, ObjectType.JS})
+
+#: Object types that are third-party auxiliary content (candidates for ad
+#: blocking, and the content some participants do not wait for).
+AUXILIARY_TYPES = frozenset({ObjectType.AD, ObjectType.TRACKER, ObjectType.WIDGET})
+
+
+@dataclass
+class WebObject:
+    """A single fetchable resource of a page.
+
+    Attributes:
+        object_id: unique identifier within the page.
+        object_type: resource category.
+        url: full URL of the resource.
+        origin: host part of the URL (used for connection pooling).
+        size_bytes: transfer size of the resource.
+        discovered_by: id of the object whose parsing/execution reveals this
+            one (``None`` for the root document).
+        discovery_delay: extra time after the parent starts being processed
+            before this reference is discovered (models incremental parsing
+            and script execution).
+        above_fold_pixels: number of viewport pixels this object paints when
+            rendered (0 for invisible resources such as trackers).
+        render_delay: time between the last byte arriving and the pixels
+            appearing on screen (decode + layout + paint).
+        blocking: whether the object blocks parsing of its parent.
+        loaded_by_script: whether the fetch is initiated by script execution
+            (such objects may finish after the onload event fires).
+        third_party: whether the resource is served from a third-party origin.
+        server_think_time: server processing time before first byte.
+        priority: HTTP/2 priority weight (higher is more urgent).
+        execution_time: CPU time spent parsing/executing the resource after
+            its bytes arrive (significant for JavaScript); parser-blocking
+            resources hold back the first paint for this long.
+    """
+
+    object_id: str
+    object_type: ObjectType
+    url: str
+    origin: str
+    size_bytes: int
+    discovered_by: Optional[str] = None
+    discovery_delay: float = 0.0
+    above_fold_pixels: int = 0
+    render_delay: float = 0.02
+    blocking: bool = False
+    loaded_by_script: bool = False
+    third_party: bool = False
+    server_think_time: float = 0.01
+    priority: int = 16
+    execution_time: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise PageModelError(f"object {self.object_id} has negative size")
+        if self.above_fold_pixels < 0:
+            raise PageModelError(f"object {self.object_id} has negative pixel area")
+        if self.discovery_delay < 0:
+            raise PageModelError(f"object {self.object_id} has negative discovery delay")
+        if self.render_delay < 0:
+            raise PageModelError(f"object {self.object_id} has negative render delay")
+        if self.execution_time < 0:
+            raise PageModelError(f"object {self.object_id} has negative execution time")
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this is the root HTML document."""
+        return self.object_type is ObjectType.HTML and self.discovered_by is None
+
+    @property
+    def is_auxiliary(self) -> bool:
+        """Whether this is auxiliary third-party content (ads/trackers/widgets)."""
+        return self.object_type in AUXILIARY_TYPES
+
+    @property
+    def is_visible(self) -> bool:
+        """Whether the object contributes pixels above the fold."""
+        return self.above_fold_pixels > 0
+
+    def describe(self) -> str:
+        """Short human-readable description used by visualisation tools."""
+        flags = []
+        if self.blocking:
+            flags.append("blocking")
+        if self.loaded_by_script:
+            flags.append("script-loaded")
+        if self.third_party:
+            flags.append("3rd-party")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"{self.object_type.value} {self.object_id} ({self.size_bytes} B, "
+            f"{self.above_fold_pixels} px){suffix}"
+        )

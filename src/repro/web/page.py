@@ -1,0 +1,178 @@
+"""Page model: a dependency graph of web objects plus an above-the-fold layout.
+
+The :class:`Page` is the unit the browser substrate loads and webpeg records.
+It owns the object set, validates the discovery graph (no cycles, no dangling
+parents, exactly one root document), and exposes the structural queries the
+rest of the library needs (origins for DNS priming, auxiliary content share,
+per-object layout regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import PageModelError
+from .layout import Viewport
+from .objects import ObjectType, WebObject
+
+
+@dataclass
+class Page:
+    """A synthetic web page.
+
+    Attributes:
+        url: page URL.
+        site_id: identifier of the site this page belongs to in the corpus.
+        objects: mapping of object id to :class:`WebObject`.
+        viewport: the above-the-fold layout.
+        supports_http2: whether the first-party origin negotiates HTTP/2.
+        displays_ads: whether the page embeds ad content.
+        latency_multiplier: how far, network-wise, this site's servers sit
+            from the capture vantage point (1.0 = the profile's nominal RTT).
+            A single multiplier per site keeps the slowness of the first
+            paint, the onload event and the user-perceived load correlated,
+            as they are for real sites.
+    """
+
+    url: str
+    site_id: str
+    objects: Dict[str, WebObject] = field(default_factory=dict)
+    viewport: Viewport = field(default_factory=Viewport)
+    supports_http2: bool = True
+    displays_ads: bool = False
+    latency_multiplier: float = 1.0
+
+    # -- construction -----------------------------------------------------------
+
+    def add_object(self, obj: WebObject) -> None:
+        """Add an object, enforcing id uniqueness."""
+        if obj.object_id in self.objects:
+            raise PageModelError(f"duplicate object id {obj.object_id!r} on page {self.url}")
+        self.objects[obj.object_id] = obj
+
+    def validate(self) -> None:
+        """Check structural invariants of the dependency graph.
+
+        Raises:
+            PageModelError: if the page has no root, multiple roots, dangling
+                ``discovered_by`` references, or discovery cycles.
+        """
+        roots = [o for o in self.objects.values() if o.is_root]
+        if len(roots) != 1:
+            raise PageModelError(f"page {self.url} must have exactly one root document, found {len(roots)}")
+        for obj in self.objects.values():
+            if obj.discovered_by is not None and obj.discovered_by not in self.objects:
+                raise PageModelError(
+                    f"object {obj.object_id} discovered by unknown object {obj.discovered_by!r}"
+                )
+        # Cycle detection by walking each object's ancestor chain.
+        for obj in self.objects.values():
+            seen = {obj.object_id}
+            parent = obj.discovered_by
+            while parent is not None:
+                if parent in seen:
+                    raise PageModelError(f"discovery cycle involving object {obj.object_id}")
+                seen.add(parent)
+                parent = self.objects[parent].discovered_by
+
+    # -- structural queries -----------------------------------------------------
+
+    @property
+    def root(self) -> WebObject:
+        """The root HTML document."""
+        for obj in self.objects.values():
+            if obj.is_root:
+                return obj
+        raise PageModelError(f"page {self.url} has no root document")
+
+    def children_of(self, object_id: str) -> List[WebObject]:
+        """Objects discovered by ``object_id``, in insertion order."""
+        return [o for o in self.objects.values() if o.discovered_by == object_id]
+
+    def iter_objects(self) -> Iterator[WebObject]:
+        """Iterate over all objects in insertion order."""
+        return iter(self.objects.values())
+
+    def origins(self) -> List[str]:
+        """Distinct origins referenced by the page (root origin first)."""
+        ordered: List[str] = []
+        for obj in self.objects.values():
+            if obj.origin not in ordered:
+                ordered.append(obj.origin)
+        return ordered
+
+    def objects_of_type(self, *types: ObjectType) -> List[WebObject]:
+        """All objects whose type is one of ``types``."""
+        wanted = set(types)
+        return [o for o in self.objects.values() if o.object_type in wanted]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total transfer size of the page."""
+        return sum(o.size_bytes for o in self.objects.values())
+
+    @property
+    def object_count(self) -> int:
+        """Number of objects on the page."""
+        return len(self.objects)
+
+    @property
+    def auxiliary_objects(self) -> List[WebObject]:
+        """Ads, trackers and widgets on the page."""
+        return [o for o in self.objects.values() if o.is_auxiliary]
+
+    @property
+    def auxiliary_pixel_fraction(self) -> float:
+        """Fraction of allocated above-the-fold pixels owned by auxiliary content."""
+        allocated = self.viewport.allocated_pixels
+        if allocated == 0:
+            return 0.0
+        return self.viewport.auxiliary_pixels() / allocated
+
+    def without_objects(self, object_ids: Iterable[str]) -> "Page":
+        """Return a copy of the page with the given objects removed.
+
+        Used by the ad-blocker substrate: blocking a request removes the
+        object (and any object it would have discovered) from the load.
+        """
+        removed = set(object_ids)
+        # Remove descendants of removed objects too.
+        changed = True
+        while changed:
+            changed = False
+            for obj in self.objects.values():
+                if obj.object_id in removed:
+                    continue
+                if obj.discovered_by is not None and obj.discovered_by in removed:
+                    removed.add(obj.object_id)
+                    changed = True
+        clone = Page(
+            url=self.url,
+            site_id=self.site_id,
+            viewport=self.viewport,
+            supports_http2=self.supports_http2,
+            displays_ads=self.displays_ads,
+            latency_multiplier=self.latency_multiplier,
+        )
+        for obj in self.objects.values():
+            if obj.object_id not in removed:
+                clone.objects[obj.object_id] = obj
+        return clone
+
+    def summary(self) -> dict:
+        """Structural summary used by corpus statistics and documentation."""
+        by_type: Dict[str, int] = {}
+        for obj in self.objects.values():
+            by_type[obj.object_type.value] = by_type.get(obj.object_type.value, 0) + 1
+        return {
+            "url": self.url,
+            "site_id": self.site_id,
+            "objects": self.object_count,
+            "bytes": self.total_bytes,
+            "origins": len(self.origins()),
+            "auxiliary_objects": len(self.auxiliary_objects),
+            "supports_http2": self.supports_http2,
+            "displays_ads": self.displays_ads,
+            "by_type": by_type,
+        }

@@ -1,0 +1,121 @@
+"""Shared fixtures for the test suite.
+
+Heavier artefacts (captured videos, small campaign runs) are session-scoped
+so the suite stays fast while still exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.preferences import BrowserPreferences
+from repro.capture.webpeg import CaptureSettings, Webpeg
+from repro.core.campaign import CampaignConfig, CampaignRunner
+from repro.core.experiment import ABExperiment, TimelineExperiment, build_ab_pairs
+from repro.rng import SeededRNG
+from repro.web.corpus import CorpusGenerator
+
+TEST_SEED = 77
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """A deterministic corpus generator."""
+    return CorpusGenerator(seed=TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def page(corpus):
+    """One HTTP/2-capable page with ads."""
+    return corpus.generate_page("site-000", supports_http2=True, displays_ads=True)
+
+
+@pytest.fixture(scope="session")
+def simple_page(corpus):
+    """One HTTP/2-capable page without ads."""
+    return corpus.generate_page("site-noads", supports_http2=True, displays_ads=False)
+
+
+@pytest.fixture(scope="session")
+def pages(corpus):
+    """A small corpus of five pages."""
+    return corpus.http2_sample(5)
+
+
+@pytest.fixture(scope="session")
+def load_result(page):
+    """One HTTP/2 browser load of the ad page."""
+    browser = Browser(preferences=BrowserPreferences(protocol="h2"), network_profile="cable-intl",
+                      seed=TEST_SEED)
+    return browser.load(page)
+
+
+@pytest.fixture(scope="session")
+def h1_load_result(page):
+    """One HTTP/1.1 browser load of the ad page."""
+    browser = Browser(preferences=BrowserPreferences(protocol="http/1.1"), network_profile="cable-intl",
+                      seed=TEST_SEED)
+    return browser.load(page)
+
+
+@pytest.fixture(scope="session")
+def capture_settings():
+    """Fast capture settings for tests."""
+    return CaptureSettings(loads_per_site=2, network_profile="cable-intl", record_after_onload=2.0)
+
+
+@pytest.fixture(scope="session")
+def video(page, capture_settings):
+    """One captured video of the ad page."""
+    tool = Webpeg(settings=capture_settings, seed=TEST_SEED)
+    return tool.capture(page, configuration="h2").video
+
+
+@pytest.fixture(scope="session")
+def video_pair(pages, capture_settings):
+    """HTTP/1.1 and HTTP/2 captures of the small corpus, keyed by site."""
+    from repro.capture.webpeg import capture_protocol_pair
+
+    h1, h2 = {}, {}
+    for p in pages:
+        reports = capture_protocol_pair(p, settings=capture_settings, seed=TEST_SEED)
+        h1[p.site_id] = reports["h1"].video
+        h2[p.site_id] = reports["h2"].video
+    return h1, h2
+
+
+@pytest.fixture(scope="session")
+def timeline_experiment(pages, capture_settings):
+    """A timeline experiment over the small corpus."""
+    tool = Webpeg(settings=capture_settings, seed=TEST_SEED)
+    videos = [tool.capture(p, configuration="h2").video for p in pages]
+    return TimelineExperiment(experiment_id="test-timeline", videos=videos)
+
+
+@pytest.fixture(scope="session")
+def ab_experiment(video_pair):
+    """An A/B experiment over the small corpus."""
+    h1, h2 = video_pair
+    pairs = build_ab_pairs(h1, h2, label_a="h1", label_b="h2", rng=SeededRNG(TEST_SEED))
+    return ABExperiment(experiment_id="test-ab", pairs=pairs)
+
+
+@pytest.fixture(scope="session")
+def timeline_campaign(timeline_experiment):
+    """A small paid timeline campaign run end-to-end."""
+    config = CampaignConfig(campaign_id="test-timeline-campaign", participant_count=40, seed=TEST_SEED)
+    return CampaignRunner(config).run_timeline(timeline_experiment)
+
+
+@pytest.fixture(scope="session")
+def ab_campaign(ab_experiment):
+    """A small paid A/B campaign run end-to-end."""
+    config = CampaignConfig(campaign_id="test-ab-campaign", participant_count=40, seed=TEST_SEED)
+    return CampaignRunner(config).run_ab(ab_experiment)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded RNG per test."""
+    return SeededRNG(TEST_SEED)

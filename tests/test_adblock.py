@@ -1,0 +1,114 @@
+"""Tests for the ad-blocker substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adblock.blockers import BLOCKERS, adblock, get_blocker, ghostery, ublock
+from repro.adblock.filters import FilterList, FilterRule, easylist_like, easyprivacy_like, widget_list
+from repro.rng import SeededRNG
+from repro.web.ads import ad_origins, social_origins, tracker_origins
+from repro.web.objects import ObjectType, WebObject
+
+
+def make_ad_object(origin: str, object_type: ObjectType = ObjectType.AD) -> WebObject:
+    return WebObject(
+        object_id=f"ad-{origin}",
+        object_type=object_type,
+        url=f"https://{origin}/x",
+        origin=origin,
+        size_bytes=100,
+        third_party=True,
+    )
+
+
+# -- filter rules -------------------------------------------------------------------
+
+
+def test_rule_matches_origin_and_category():
+    rule = FilterRule(pattern="ads.displaymax.example", categories=frozenset({ObjectType.AD}))
+    assert rule.matches(make_ad_object("ads.displaymax.example"))
+    assert not rule.matches(make_ad_object("ads.displaymax.example", ObjectType.IMAGE))
+    assert not rule.matches(make_ad_object("other.example"))
+
+
+def test_rule_without_category_matches_all_types():
+    rule = FilterRule(pattern="example")
+    assert rule.matches(make_ad_object("ads.example", ObjectType.IMAGE))
+
+
+def test_filter_list_first_match():
+    filter_list = FilterList(name="test")
+    filter_list.add(FilterRule(pattern="nomatch"))
+    filter_list.add(FilterRule(pattern="ads."))
+    matched = filter_list.matches(make_ad_object("ads.displaymax.example"))
+    assert matched is not None
+    assert matched.pattern == "ads."
+    assert len(filter_list) == 2
+
+
+def test_prebuilt_lists_cover_their_category():
+    easylist = easylist_like(ad_origins())
+    for origin in ad_origins():
+        assert easylist.matches(make_ad_object(origin)) is not None
+    easyprivacy = easyprivacy_like(tracker_origins())
+    for origin in tracker_origins():
+        assert easyprivacy.matches(make_ad_object(origin, ObjectType.TRACKER)) is not None
+    widgets = widget_list(social_origins())
+    for origin in social_origins():
+        assert widgets.matches(make_ad_object(origin, ObjectType.WIDGET)) is not None
+
+
+# -- blockers -----------------------------------------------------------------------
+
+
+def test_blocker_registry():
+    assert set(BLOCKERS) == {"adblock", "ghostery", "ublock"}
+    assert get_blocker("ghostery").name == "ghostery"
+    with pytest.raises(KeyError):
+        get_blocker("noscript")
+
+
+def test_ghostery_blocks_most_categories(corpus):
+    page = corpus.generate_page("adsite-00001", displays_ads=True)
+    rng = SeededRNG(1)
+    _, ghostery_blocked = ghostery().apply(page, rng)
+    _, ublock_blocked = ublock().apply(page, rng)
+    _, adblock_blocked = adblock().apply(page, rng)
+    assert len(ghostery_blocked) >= len(ublock_blocked) >= len(adblock_blocked)
+    assert len(ghostery_blocked) > 0
+
+
+def test_adblock_acceptable_ads_lets_some_through(corpus):
+    rng = SeededRNG(2)
+    let_through_somewhere = False
+    for index in range(12):
+        page = corpus.generate_page(f"adsite-1{index:04d}", displays_ads=True)
+        filtered, _ = adblock().apply(page, rng)
+        remaining_ads = [o for o in filtered.iter_objects() if o.object_type is ObjectType.AD]
+        if remaining_ads:
+            let_through_somewhere = True
+            break
+    assert let_through_somewhere
+
+
+def test_blocking_never_removes_first_party_content(corpus):
+    page = corpus.generate_page("adsite-00002", displays_ads=True)
+    filtered, blocked = ghostery().apply(page, SeededRNG(3))
+    for object_id in blocked:
+        obj = page.objects[object_id]
+        # Everything removed is third-party or was injected by something third-party.
+        parent = page.objects.get(obj.discovered_by) if obj.discovered_by else None
+        assert obj.third_party or (parent is not None and parent.third_party)
+    assert filtered.root.object_id == page.root.object_id
+
+
+def test_apply_on_ad_free_page_is_noop(simple_page):
+    filtered, blocked = ghostery().apply(simple_page, SeededRNG(4))
+    assert blocked == []
+    assert filtered.object_count == simple_page.object_count
+
+
+def test_ghostery_has_lowest_overhead():
+    assert ghostery().per_request_overhead < ublock().per_request_overhead
+    assert ghostery().per_request_overhead < adblock().per_request_overhead

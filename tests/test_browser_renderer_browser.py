@@ -1,0 +1,131 @@
+"""Tests for the renderer, devtools instrumentation, and the Browser façade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.browser.preferences import BrowserPreferences
+from repro.browser.renderer import Renderer
+from repro.errors import CaptureError
+from repro.web.layout import Viewport
+from repro.web.page import Page
+
+
+# -- renderer ----------------------------------------------------------------------
+
+
+def test_render_timeline_monotonic_completeness(load_result):
+    timeline = load_result.render_timeline
+    previous = -1.0
+    for t in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, timeline.last_visual_change + 1.0]:
+        value = timeline.completeness_at(t)
+        assert value >= previous - 1e-12
+        assert 0.0 <= value <= 1.0
+        previous = value
+    assert timeline.completeness_at(timeline.last_visual_change + 1.0) == pytest.approx(1.0)
+
+
+def test_first_before_last_visual_change(load_result):
+    timeline = load_result.render_timeline
+    assert timeline.first_visual_change <= timeline.last_visual_change
+    assert timeline.first_visual_change > 0
+
+
+def test_no_paint_before_render_blockers(load_result, page):
+    blocking_done = max(
+        load_result.completion_time(obj.object_id) + obj.execution_time
+        for obj in page.iter_objects()
+        if obj.blocking and load_result.completion_time(obj.object_id) is not None
+    )
+    assert load_result.first_visual_change >= blocking_done - 1e-9
+
+
+def test_primary_complete_before_or_at_auxiliary(load_result):
+    timeline = load_result.render_timeline
+    assert timeline.primary_complete_time() <= timeline.auxiliary_complete_time() + 1e-9
+
+
+def test_progress_curve_reaches_one(load_result):
+    curve = load_result.render_timeline.progress_curve(resolution=0.25)
+    assert curve[-1][1] == pytest.approx(1.0)
+
+
+def test_renderer_requires_root_fetch(simple_page):
+    with pytest.raises(Exception):
+        Renderer().render(simple_page, fetches={})
+
+
+# -- browser -----------------------------------------------------------------------
+
+
+def test_load_produces_consistent_result(load_result, page):
+    assert load_result.protocol == "h2"
+    assert load_result.onload > 0
+    assert load_result.fully_loaded >= load_result.onload
+    assert len(load_result.fetch_records) == page.object_count
+    assert load_result.total_transfer_bytes > 0
+    assert load_result.har.entry_count == len(load_result.fetch_records)
+
+
+def test_h1_load_uses_http1(h1_load_result):
+    assert h1_load_result.protocol == "http/1.1"
+    protocols = {r.response.protocol for r in h1_load_result.fetch_records if r.response}
+    assert protocols == {"http/1.1"}
+
+
+def test_http2_not_slower_too_often(pages):
+    """Across the small corpus HTTP/2 should win onload more often than it loses."""
+    wins = 0
+    for p in pages:
+        h2 = Browser(BrowserPreferences(protocol="h2"), "cable-intl", seed=3).load(p)
+        h1 = Browser(BrowserPreferences(protocol="http/1.1"), "cable-intl", seed=3).load(p)
+        if h2.onload <= h1.onload:
+            wins += 1
+    assert wins >= len(pages) // 2
+
+
+def test_auto_protocol_follows_site_support(corpus):
+    h2_page = corpus.generate_page("auto-a", supports_http2=True)
+    h1_page = corpus.generate_page("auto-b", supports_http2=False)
+    browser = Browser(BrowserPreferences(protocol="auto"), "cable-intl", seed=3)
+    assert browser.load(h2_page).protocol == "h2"
+    assert browser.load(h1_page).protocol == "http/1.1"
+
+
+def test_empty_page_rejected():
+    browser = Browser()
+    empty = Page(url="https://empty.example/", site_id="empty", viewport=Viewport())
+    with pytest.raises(CaptureError):
+        browser.load(empty)
+
+
+def test_repeat_loads_differ_but_same_repeat_is_deterministic(page):
+    browser = Browser(BrowserPreferences(protocol="h2"), "cable-intl", seed=3)
+    a = browser.load_with_fresh_state(page, repeat_index=0)
+    b = browser.load_with_fresh_state(page, repeat_index=0)
+    c = browser.load_with_fresh_state(page, repeat_index=1)
+    assert a.onload == pytest.approx(b.onload)
+    assert a.onload != pytest.approx(c.onload)
+
+
+def test_adblocker_reduces_requests_and_blocks_ads(corpus):
+    from repro.adblock.blockers import ghostery
+
+    ad_page = corpus.generate_page("adsite-00042", displays_ads=True)
+    plain = Browser(BrowserPreferences(protocol="auto"), "cable-intl", seed=3).load(ad_page)
+    blocked = Browser(
+        BrowserPreferences(protocol="auto", extensions=[ghostery()]), "cable-intl", seed=3
+    ).load(ad_page)
+    assert blocked.blocked_object_ids
+    assert blocked.page.object_count < plain.page.object_count
+    assert blocked.total_transfer_bytes < plain.total_transfer_bytes
+
+
+def test_trace_contains_onload_event(load_result):
+    methods = [event.method for event in load_result.trace]
+    assert "Page.loadEventFired" in methods
+    assert "Network.requestWillBeSent" in methods
+    assert "Page.paint" in methods
+    times = [event.time for event in load_result.trace]
+    assert times == sorted(times)

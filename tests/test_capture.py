@@ -1,0 +1,160 @@
+"""Tests for the webpeg capture substrate: frames, videos, splicing, capture tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.frames import frames_from_timeline
+from repro.capture.pixeldiff import control_frame, frames_similar, pixel_difference, rewind_suggestion
+from repro.capture.video import control_splice, splice
+from repro.capture.webpeg import CaptureSettings, Webpeg, capture_adblock_set, capture_protocol_pair
+from repro.errors import CaptureError, VideoError
+
+
+# -- frames ------------------------------------------------------------------------
+
+
+def test_frames_sampled_at_fps(load_result):
+    frames = frames_from_timeline(load_result.render_timeline, fps=10, duration=5.0)
+    assert frames.fps == 10
+    assert frames.frame_count >= 50
+    assert frames.duration >= 5.0 - 0.2
+
+
+def test_frame_completeness_monotonic(video):
+    previous = -1.0
+    for frame in video.frames.frames:
+        assert frame.completeness >= previous - 1e-12
+        previous = frame.completeness
+    assert video.frames.frames[-1].completeness == pytest.approx(1.0)
+
+
+def test_frame_at_clamps(video):
+    assert video.frames.frame_at(-5.0).index == 0
+    assert video.frames.frame_at(video.duration + 100).index == video.frames.frame_count - 1
+
+
+def test_invalid_frame_buffer_settings(load_result):
+    with pytest.raises(VideoError):
+        frames_from_timeline(load_result.render_timeline, fps=10, duration=0.0)
+
+
+# -- pixel diff / frame helper -------------------------------------------------------
+
+
+def test_pixel_difference_zero_for_same_frame(video):
+    frame = video.frame_at(video.onload)
+    assert pixel_difference(frame, frame, video.frames.viewport_pixels) == 0.0
+    assert frames_similar(frame, frame, video.frames.viewport_pixels)
+
+
+def test_rewind_suggestion_is_earlier_and_similar(video):
+    chosen_time = video.onload + 1.0
+    suggestion = rewind_suggestion(video.frames, chosen_time)
+    chosen = video.frame_at(chosen_time)
+    assert suggestion.timestamp <= chosen.timestamp
+    assert pixel_difference(chosen, suggestion, video.frames.viewport_pixels) <= 0.011
+
+
+def test_control_frame_is_drastically_different(video):
+    chosen_time = video.onload + 1.0
+    control = control_frame(video.frames, chosen_time, minimum_difference=0.5)
+    if control is not None:
+        chosen = video.frame_at(chosen_time)
+        assert pixel_difference(chosen, control, video.frames.viewport_pixels) >= 0.5
+
+
+def test_control_frame_invalid_threshold(video):
+    with pytest.raises(VideoError):
+        control_frame(video.frames, 1.0, minimum_difference=0.0)
+
+
+# -- videos ------------------------------------------------------------------------
+
+
+def test_video_basic_properties(video):
+    assert video.duration > video.onload
+    assert video.size_bytes > 100_000
+    assert video.configuration == "h2"
+
+
+def test_video_flagging_bans_after_threshold(video):
+    for index in range(4):
+        assert not video.flag_broken(f"w{index}", threshold=5)
+    assert video.flag_broken("w4", threshold=5)
+    assert video.banned
+
+
+def test_splice_properties(video_pair):
+    h1, h2 = video_pair
+    site = sorted(h1)[0]
+    spliced = splice("s1", h1[site], h2[site], "h1", "h2")
+    assert spliced.duration == pytest.approx(max(h1[site].duration, h2[site].duration))
+    assert spliced.size_bytes > max(h1[site].size_bytes, h2[site].size_bytes)
+    assert not spliced.is_control
+    assert spliced.faster_side() in ("left", "right", "tie")
+
+
+def test_control_splice_delayed_side_loses(video):
+    control = control_splice("c1", video, delayed_side="right", delay=3.0)
+    assert control.is_control
+    assert control.faster_side() == "left"
+    assert control.side_onload("right") == pytest.approx(video.onload + 3.0)
+    control_left = control_splice("c2", video, delayed_side="left", delay=3.0)
+    assert control_left.faster_side() == "right"
+
+
+def test_control_splice_invalid_side(video):
+    with pytest.raises(VideoError):
+        control_splice("c3", video, delayed_side="top")
+
+
+# -- webpeg ------------------------------------------------------------------------
+
+
+def test_capture_settings_validation():
+    with pytest.raises(CaptureError):
+        CaptureSettings(loads_per_site=0)
+    with pytest.raises(CaptureError):
+        CaptureSettings(record_after_onload=-1.0)
+    with pytest.raises(CaptureError):
+        CaptureSettings(fps=0)
+
+
+def test_capture_selects_median_onload(page, capture_settings):
+    tool = Webpeg(settings=CaptureSettings(loads_per_site=5, network_profile="cable-intl"), seed=7)
+    report = tool.capture(page, configuration="h2")
+    assert len(report.onload_times) == 5
+    ordered = sorted(report.onload_times)
+    median = ordered[2]
+    assert report.video.onload == pytest.approx(
+        min(report.onload_times, key=lambda v: abs(v - median))
+    )
+    assert report.primer_performed
+
+
+def test_capture_video_covers_record_after_onload(video, capture_settings):
+    assert video.duration >= video.load_result.fully_loaded + capture_settings.record_after_onload - 0.2
+
+
+def test_capture_batch(pages, capture_settings):
+    tool = Webpeg(settings=capture_settings, seed=7)
+    reports = tool.capture_batch(pages[:2], configuration="h2")
+    assert set(reports) == {p.site_id for p in pages[:2]}
+    with pytest.raises(CaptureError):
+        tool.capture_batch([], configuration="h2")
+
+
+def test_capture_protocol_pair_labels(page, capture_settings):
+    reports = capture_protocol_pair(page, settings=capture_settings, seed=7)
+    assert set(reports) == {"h1", "h2"}
+    assert reports["h1"].video.load_result.protocol == "http/1.1"
+    assert reports["h2"].video.load_result.protocol == "h2"
+
+
+def test_capture_adblock_set(corpus, capture_settings):
+    ad_page = corpus.generate_page("adsite-00099", displays_ads=True)
+    reports = capture_adblock_set(ad_page, blockers=("ghostery",), settings=capture_settings, seed=7)
+    assert set(reports) == {"noextension", "ghostery"}
+    assert len(reports["ghostery"].video.load_result.blocked_object_ids) > 0
+    assert len(reports["noextension"].video.load_result.blocked_object_ids) == 0

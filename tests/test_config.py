@@ -1,0 +1,67 @@
+"""Tests for the top-level configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    AB_CONTROL_DELAY_SECONDS,
+    DEFAULT_CAMPAIGNS,
+    DEFAULT_CONFIG,
+    FRAME_SIMILARITY_THRESHOLD,
+    LOADS_PER_SITE,
+    VIDEOS_PER_PARTICIPANT,
+    CampaignDefaults,
+    ReproConfig,
+)
+from repro.errors import ConfigurationError
+
+
+def test_paper_constants():
+    assert VIDEOS_PER_PARTICIPANT == 6
+    assert LOADS_PER_SITE == 5
+    assert FRAME_SIMILARITY_THRESHOLD == pytest.approx(0.01)
+    assert AB_CONTROL_DELAY_SECONDS == pytest.approx(3.0)
+
+
+def test_default_config_is_valid():
+    assert DEFAULT_CONFIG.videos_per_participant == 6
+    assert DEFAULT_CONFIG.loads_per_site == 5
+
+
+def test_default_campaigns_match_table1():
+    assert DEFAULT_CAMPAIGNS.validation_participants == 100
+    assert DEFAULT_CAMPAIGNS.validation_sites == 20
+    assert DEFAULT_CAMPAIGNS.final_participants == 1000
+    assert DEFAULT_CAMPAIGNS.final_sites == 100
+    assert DEFAULT_CAMPAIGNS.paid_cost_final_usd == pytest.approx(120.0)
+
+
+def test_invalid_videos_per_participant():
+    with pytest.raises(ConfigurationError):
+        ReproConfig(videos_per_participant=0)
+
+
+def test_invalid_loads_per_site():
+    with pytest.raises(ConfigurationError):
+        ReproConfig(loads_per_site=-1)
+
+
+def test_invalid_fps():
+    with pytest.raises(ConfigurationError):
+        ReproConfig(capture_fps=0)
+
+
+def test_invalid_similarity_threshold():
+    with pytest.raises(ConfigurationError):
+        ReproConfig(frame_similarity_threshold=1.5)
+
+
+def test_invalid_control_delay():
+    with pytest.raises(ConfigurationError):
+        ReproConfig(ab_control_delay=0.0)
+
+
+def test_campaign_defaults_constructible():
+    defaults = CampaignDefaults(validation_participants=10)
+    assert defaults.validation_participants == 10

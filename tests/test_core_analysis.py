@@ -1,0 +1,196 @@
+"""Tests for the analysis module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    ab_agreement,
+    agreement_per_pair,
+    agreement_vs_metric_delta,
+    cdf_points,
+    classify_all_distributions,
+    classify_distribution,
+    fraction_at_or_below,
+    mean,
+    mean_uplt_per_site,
+    mean_uplt_per_video,
+    median,
+    no_difference_fraction_per_site,
+    score_per_site,
+    slider_vs_submitted,
+    stdev,
+    summarise_behaviour,
+    uplt_stdev_per_video,
+    uplt_values,
+)
+from repro.core.responses import ABResponse, ResponseDataset
+from repro.crowd.behavior import VideoInteraction
+from repro.errors import AnalysisError
+
+
+def interaction() -> VideoInteraction:
+    return VideoInteraction(
+        video_transfer_seconds=1.0, watch_seconds=10.0, instruction_seconds=2.0,
+        out_of_focus_seconds=0.0, play_actions=1, pause_actions=0, seek_actions=3,
+        watched_video=True,
+    )
+
+
+def ab_response(participant: str, pair: str, site: str, choice: str, label: str,
+                is_control: bool = False) -> ABResponse:
+    return ABResponse(
+        participant_id=participant, pair_id=pair, site_id=site, choice=choice,
+        choice_label=label, is_control=is_control, control_passed=None, interaction=interaction(),
+    )
+
+
+# -- generic statistics ----------------------------------------------------------------
+
+
+def test_mean_stdev_median():
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    assert stdev([2.0, 2.0, 2.0]) == pytest.approx(0.0)
+    assert stdev([5.0]) == 0.0
+    assert median([1.0, 2.0, 100.0]) == pytest.approx(2.0)
+    with pytest.raises(AnalysisError):
+        mean([])
+    with pytest.raises(AnalysisError):
+        stdev([])
+
+
+def test_cdf_points_monotonic():
+    points = cdf_points([3.0, 1.0, 2.0])
+    values = [p[0] for p in points]
+    fractions = [p[1] for p in points]
+    assert values == sorted(values)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    with pytest.raises(AnalysisError):
+        cdf_points([])
+
+
+def test_fraction_at_or_below():
+    assert fraction_at_or_below([1, 2, 3, 4], 2) == pytest.approx(0.5)
+
+
+# -- timeline analysis -------------------------------------------------------------------
+
+
+def test_mean_uplt_per_video_and_site(timeline_campaign):
+    per_video = mean_uplt_per_video(timeline_campaign.clean_dataset)
+    per_site = mean_uplt_per_site(timeline_campaign.clean_dataset)
+    assert per_video
+    assert per_site
+    assert all(value > 0 for value in per_video.values())
+    assert all(value > 0 for value in per_site.values())
+
+
+def test_uplt_values_exclude_controls(timeline_campaign):
+    dataset = timeline_campaign.raw_dataset
+    video_id = dataset.video_ids()[0]
+    with_controls = uplt_values(dataset, video_id, include_controls=True)
+    without = uplt_values(dataset, video_id, include_controls=False)
+    assert len(without) <= len(with_controls)
+
+
+def test_uplt_stdev_shrinks_with_percentile_window(timeline_campaign):
+    dataset = timeline_campaign.raw_dataset
+    full = uplt_stdev_per_video(dataset)
+    windowed = uplt_stdev_per_video(dataset, percentile_window=(25, 75))
+    common = set(full) & set(windowed)
+    assert common
+    assert sum(windowed[v] for v in common) <= sum(full[v] for v in common) + 1e-9
+
+
+def test_slider_vs_submitted_keys(timeline_campaign):
+    effect = slider_vs_submitted(timeline_campaign.clean_dataset)
+    assert effect
+    for stats in effect.values():
+        assert set(stats) == {"slider", "frame_helper", "submitted"}
+
+
+def test_classify_distribution_shapes():
+    tight = classify_distribution("v", [2.0, 2.1, 2.2, 1.9, 2.05] * 5)
+    assert tight.shape == "tight"
+    spread = classify_distribution("v", [1 + 0.4 * i for i in range(25)])
+    assert spread.shape in ("spread", "multimodal")
+    bimodal = classify_distribution("v", [2.0 + 0.1 * (i % 5) for i in range(20)] + [8.0 + 0.1 * (i % 5) for i in range(20)])
+    assert bimodal.shape == "multimodal"
+    assert len(bimodal.modes) >= 2
+    with pytest.raises(AnalysisError):
+        classify_distribution("v", [])
+
+
+def test_classify_all_distributions(timeline_campaign):
+    shapes = classify_all_distributions(timeline_campaign.raw_dataset)
+    assert shapes
+    assert all(s.shape in ("tight", "spread", "multimodal") for s in shapes.values())
+
+
+# -- A/B analysis --------------------------------------------------------------------------
+
+
+def test_ab_agreement_majority():
+    responses = [
+        ab_response("p1", "pair", "s", "left", "h1"),
+        ab_response("p2", "pair", "s", "left", "h1"),
+        ab_response("p3", "pair", "s", "right", "h2"),
+        ab_response("p4", "pair", "s", "no_difference", "no_difference"),
+    ]
+    assert ab_agreement(responses) == pytest.approx(0.5)
+    with pytest.raises(AnalysisError):
+        ab_agreement([])
+
+
+def test_agreement_per_pair_range(ab_campaign):
+    agreement = agreement_per_pair(ab_campaign.clean_dataset)
+    assert agreement
+    assert all(1 / 3 - 1e-9 <= value <= 1.0 for value in agreement.values())
+
+
+def test_score_per_site_definition():
+    dataset = ResponseDataset(campaign_id="c", experiment_type="ab")
+    dataset.add_ab_response(ab_response("p1", "pair-a", "site-a", "left", "h2"))
+    dataset.add_ab_response(ab_response("p2", "pair-a", "site-a", "right", "h1"))
+    dataset.add_ab_response(ab_response("p3", "pair-a", "site-a", "left", "h2"))
+    dataset.add_ab_response(ab_response("p4", "pair-a", "site-a", "no_difference", "no_difference"))
+    scores = score_per_site(dataset, treatment_label="h2")
+    # 3 decisive responses, 2 for h2.
+    assert scores["site-a"] == pytest.approx(2 / 3)
+    nd = no_difference_fraction_per_site(dataset)
+    assert nd["site-a"] == pytest.approx(1 / 4)
+
+
+def test_scores_within_unit_interval(ab_campaign):
+    scores = score_per_site(ab_campaign.clean_dataset, treatment_label="h2")
+    assert scores
+    assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+
+def test_agreement_vs_metric_delta_monotone_shape(ab_campaign, video_pair):
+    from repro.metrics.plt import METRIC_NAMES, metrics_from_video
+
+    h1, h2 = video_pair
+    deltas = {
+        site: {
+            name: abs(metrics_from_video(h1[site]).get(name) - metrics_from_video(h2[site]).get(name))
+            for name in METRIC_NAMES
+        }
+        for site in h1
+    }
+    series = agreement_vs_metric_delta(ab_campaign.clean_dataset, deltas)
+    assert set(series) <= set(METRIC_NAMES)
+    for points in series.values():
+        assert all(40.0 <= agreement <= 100.0 for _, agreement in points)
+
+
+# -- behaviour summaries ---------------------------------------------------------------------
+
+
+def test_summarise_behaviour(timeline_campaign):
+    summary = summarise_behaviour(timeline_campaign.raw_dataset, timeline_campaign.telemetry)
+    assert "paid" in summary.time_on_site_minutes
+    assert len(summary.time_on_site_minutes["paid"]) == timeline_campaign.raw_dataset.participant_count
+    assert all(value >= 0 for value in summary.out_of_focus_seconds["paid"])
+    assert 0.0 <= summary.control_correct_fraction.get("paid", 1.0) <= 1.0

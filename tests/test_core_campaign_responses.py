@@ -1,0 +1,109 @@
+"""Tests for response datasets and campaign execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import VIDEOS_PER_PARTICIPANT
+from repro.core.campaign import CampaignConfig, CampaignRunner, format_table1
+from repro.core.responses import ResponseDataset
+from repro.errors import AnalysisError, CampaignError
+
+
+# -- dataset -----------------------------------------------------------------------
+
+
+def test_dataset_accumulates(timeline_campaign):
+    dataset = timeline_campaign.raw_dataset
+    assert dataset.participant_count == 40
+    assert dataset.response_count == len(dataset.timeline_responses)
+    assert dataset.experiment_type == "timeline"
+    assert dataset.video_ids()
+    first_participant = dataset.participant_ids()[0]
+    assert dataset.responses_for_participant(first_participant)
+
+
+def test_dataset_filtered_subset(timeline_campaign):
+    dataset = timeline_campaign.raw_dataset
+    keep = dataset.participant_ids()[:5]
+    subset = dataset.filtered(keep)
+    assert subset.participant_count == 5
+    assert all(r.participant_id in keep for r in subset.timeline_responses)
+    # Original dataset untouched.
+    assert dataset.participant_count == 40
+
+
+def test_dataset_merge_type_check(timeline_campaign, ab_campaign):
+    with pytest.raises(AnalysisError):
+        timeline_campaign.raw_dataset.merge(ab_campaign.raw_dataset)
+    merged = timeline_campaign.raw_dataset.merge(timeline_campaign.clean_dataset)
+    assert merged.participant_count == timeline_campaign.raw_dataset.participant_count
+
+
+# -- campaign configuration -----------------------------------------------------------
+
+
+def test_campaign_config_validation():
+    with pytest.raises(CampaignError):
+        CampaignConfig(campaign_id="x", participant_count=0)
+    with pytest.raises(CampaignError):
+        CampaignConfig(campaign_id="x", participant_count=5, videos_per_participant=0)
+
+
+# -- timeline campaign ------------------------------------------------------------------
+
+
+def test_timeline_campaign_counts(timeline_campaign, timeline_experiment):
+    assert timeline_campaign.experiment_type == "timeline"
+    assert timeline_campaign.recruitment.count == 40
+    per_participant = min(VIDEOS_PER_PARTICIPANT, len(timeline_experiment.videos))
+    assert timeline_campaign.videos_served == 40 * per_participant
+    assert len(timeline_campaign.raw_dataset.timeline_responses) == timeline_campaign.videos_served
+    assert timeline_campaign.telemetry
+    assert set(timeline_campaign.telemetry) == set(timeline_campaign.raw_dataset.participant_ids())
+
+
+def test_timeline_campaign_is_deterministic(timeline_experiment):
+    config = CampaignConfig(campaign_id="det", participant_count=10, seed=123)
+    a = CampaignRunner(config).run_timeline(timeline_experiment)
+    b = CampaignRunner(config).run_timeline(timeline_experiment)
+    values_a = [r.submitted_time for r in a.raw_dataset.timeline_responses]
+    values_b = [r.submitted_time for r in b.raw_dataset.timeline_responses]
+    assert values_a == values_b
+
+
+def test_timeline_campaign_table1_row(timeline_campaign):
+    row = timeline_campaign.table1_row
+    assert row["participants"] == 40
+    assert row["male"] + row["female"] == 40
+    assert row["cost_usd"] == pytest.approx(40 * 0.12)
+    assert "engagement_filtered" in row
+    assert "duration" in row
+
+
+def test_ab_campaign_counts(ab_campaign):
+    assert ab_campaign.experiment_type == "ab"
+    assert len(ab_campaign.raw_dataset.ab_responses) == ab_campaign.videos_served
+    controls = [r for r in ab_campaign.raw_dataset.ab_responses if r.is_control]
+    assert controls, "control pairs should be injected"
+    labels = {r.choice_label for r in ab_campaign.raw_dataset.ab_responses if not r.is_control}
+    assert labels <= {"h1", "h2", "no_difference"}
+
+
+def test_clean_dataset_is_subset(ab_campaign):
+    clean_ids = set(ab_campaign.clean_dataset.participant_ids())
+    raw_ids = set(ab_campaign.raw_dataset.participant_ids())
+    assert clean_ids <= raw_ids
+    assert set(ab_campaign.filter_report.kept_participants) == clean_ids
+
+
+def test_format_table1():
+    rows = [
+        {"campaign": "a", "participants": 10, "cost_usd": 1.2},
+        {"campaign": "b", "participants": 1000, "cost_usd": 120.0},
+    ]
+    table = format_table1(rows)
+    assert "campaign" in table.splitlines()[0]
+    assert len(table.splitlines()) == 4
+    with pytest.raises(CampaignError):
+        format_table1([])

@@ -1,0 +1,74 @@
+"""Tests for the demographic sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demographics_analysis import (
+    GROUPERS,
+    ab_sensitivity_by_group,
+    most_sensitive_group,
+    timeline_stats_by_group,
+)
+from repro.errors import AnalysisError
+
+
+def test_ab_sensitivity_by_gender(ab_campaign):
+    sensitivities = ab_sensitivity_by_group(ab_campaign.clean_dataset, treatment_label="h2",
+                                            group_by="gender")
+    groups = {s.group for s in sensitivities}
+    assert groups <= {"male", "female"}
+    assert groups
+    for entry in sensitivities:
+        assert entry.responses > 0
+        assert 0.0 <= entry.treatment_preference <= 1.0
+        assert 0.0 <= entry.no_difference_rate <= 1.0
+
+
+def test_ab_sensitivity_all_groupers(ab_campaign):
+    for name in GROUPERS:
+        sensitivities = ab_sensitivity_by_group(ab_campaign.clean_dataset, "h2", group_by=name)
+        assert sensitivities
+        total = sum(s.responses for s in sensitivities)
+        non_control = sum(1 for r in ab_campaign.clean_dataset.ab_responses if not r.is_control)
+        assert total == non_control
+
+
+def test_ab_sensitivity_custom_grouper(ab_campaign):
+    sensitivities = ab_sensitivity_by_group(
+        ab_campaign.clean_dataset, "h2", group_by=lambda p: p.browser
+    )
+    assert sensitivities
+    assert all(s.group in ("chrome", "firefox", "safari", "edge", "opera") for s in sensitivities)
+
+
+def test_ab_sensitivity_unknown_grouping(ab_campaign):
+    with pytest.raises(AnalysisError):
+        ab_sensitivity_by_group(ab_campaign.clean_dataset, "h2", group_by="favourite-colour")
+
+
+def test_ab_sensitivity_requires_ab_data(timeline_campaign):
+    with pytest.raises(AnalysisError):
+        ab_sensitivity_by_group(timeline_campaign.clean_dataset, "h2")
+
+
+def test_timeline_stats_by_group(timeline_campaign):
+    stats = timeline_stats_by_group(timeline_campaign.clean_dataset, group_by="age_band")
+    assert stats
+    for values in stats.values():
+        assert values["responses"] >= 1
+        assert values["mean"] > 0
+        assert values["median"] > 0
+
+
+def test_timeline_stats_requires_timeline_data(ab_campaign):
+    with pytest.raises(AnalysisError):
+        timeline_stats_by_group(ab_campaign.clean_dataset)
+
+
+def test_most_sensitive_group(ab_campaign):
+    sensitivities = ab_sensitivity_by_group(ab_campaign.clean_dataset, "h2", group_by="connection")
+    best = most_sensitive_group(sensitivities)
+    assert best in sensitivities
+    with pytest.raises(AnalysisError):
+        most_sensitive_group([])

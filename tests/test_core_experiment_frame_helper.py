@@ -1,0 +1,145 @@
+"""Tests for experiment definitions and the frame-selection helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ABExperiment, TimelineExperiment, build_ab_pairs
+from repro.core.frame_helper import FrameSelectionHelper
+from repro.crowd.behavior import BehaviourSimulator
+from repro.crowd.participant import ParticipantClass, generate_participant
+from repro.errors import ExperimentError
+from repro.rng import SeededRNG
+
+
+# -- timeline experiment --------------------------------------------------------------
+
+
+def test_timeline_experiment_requires_videos():
+    with pytest.raises(ExperimentError):
+        TimelineExperiment(experiment_id="empty", videos=[])
+
+
+def test_timeline_experiment_rejects_duplicates(video):
+    with pytest.raises(ExperimentError):
+        TimelineExperiment(experiment_id="dup", videos=[video, video])
+
+
+def test_timeline_experiment_lookup_and_pool(timeline_experiment):
+    first = timeline_experiment.videos[0]
+    assert timeline_experiment.video_by_id(first.video_id) is first
+    assert len(timeline_experiment.task_pool()) == len(timeline_experiment.videos)
+    with pytest.raises(ExperimentError):
+        timeline_experiment.video_by_id("nope")
+    assert timeline_experiment.experiment_type == "timeline"
+
+
+def test_banned_videos_leave_task_pool(timeline_experiment):
+    video = timeline_experiment.videos[0]
+    video.banned = True
+    try:
+        assert video not in timeline_experiment.task_pool()
+    finally:
+        video.banned = False
+
+
+# -- A/B experiment --------------------------------------------------------------------
+
+
+def test_build_ab_pairs_randomises_sides(video_pair):
+    h1, h2 = video_pair
+    pairs = build_ab_pairs(h1, h2, label_a="h1", label_b="h2", rng=SeededRNG(1))
+    assert len(pairs) == len(h1)
+    assert {pair.site_id for pair in pairs} == set(h1)
+    for pair in pairs:
+        assert pair.a_side in ("left", "right")
+        # The A-side video must really be the h1 capture.
+        a_video = pair.spliced.left if pair.a_side == "left" else pair.spliced.right
+        assert a_video.video_id == h1[pair.site_id].video_id
+
+
+def test_build_ab_pairs_requires_same_sites(video_pair):
+    h1, h2 = video_pair
+    partial = dict(list(h2.items())[:-1])
+    with pytest.raises(ExperimentError):
+        build_ab_pairs(h1, partial, label_a="h1", label_b="h2", rng=SeededRNG(1))
+
+
+def test_ab_experiment_label_mapping(ab_experiment):
+    pair = ab_experiment.pairs[0]
+    assert pair.label_for_choice("no_difference") == "no_difference"
+    assert pair.label_for_choice(pair.a_side) == "h1"
+    other_side = "right" if pair.a_side == "left" else "left"
+    assert pair.label_for_choice(other_side) == "h2"
+    assert ab_experiment.experiment_type == "ab"
+
+
+def test_ab_experiment_control_pair(ab_experiment):
+    control = ab_experiment.make_control_pair(ab_experiment.pairs[0], SeededRNG(2), index=0)
+    assert control.is_control
+    assert control.spliced.faster_side() in ("left", "right")
+    assert control.label_for_choice("left") == "control"
+
+
+def test_ab_experiment_requires_pairs():
+    with pytest.raises(ExperimentError):
+        ABExperiment(experiment_id="empty", pairs=[])
+
+
+# -- frame helper ------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def careful_participant():
+    participant = generate_participant("fh", ParticipantClass.TRUSTED, "invited", SeededRNG(41))
+    participant.traits.is_random_clicker = False
+    participant.traits.conscientiousness = 0.95
+    return participant
+
+
+def test_disabled_helper_keeps_slider_time(video, careful_participant):
+    helper = FrameSelectionHelper(enabled=False)
+    outcome = helper.run(video, careful_participant, slider_time=3.0, accepts_suggestion=True,
+                         behaviour=BehaviourSimulator(SeededRNG(1)), rng=SeededRNG(1))
+    assert outcome.submitted_time == pytest.approx(3.0)
+    assert not outcome.was_control
+
+
+def test_helper_rewinds_when_accepted(video, careful_participant):
+    helper = FrameSelectionHelper(control_probability=0.0)
+    slider_time = video.onload + 1.5
+    outcome = helper.run(video, careful_participant, slider_time=slider_time, accepts_suggestion=True,
+                         behaviour=BehaviourSimulator(SeededRNG(2)), rng=SeededRNG(2))
+    assert outcome.submitted_time <= slider_time
+    assert outcome.submitted_time == pytest.approx(outcome.suggested_time)
+
+
+def test_helper_keeps_original_when_rejected(video, careful_participant):
+    helper = FrameSelectionHelper(control_probability=0.0)
+    outcome = helper.run(video, careful_participant, slider_time=2.0, accepts_suggestion=False,
+                         behaviour=BehaviourSimulator(SeededRNG(3)), rng=SeededRNG(3))
+    assert outcome.submitted_time == pytest.approx(2.0)
+    assert not outcome.accepted_suggestion
+
+
+def test_helper_control_frames_recorded(video, careful_participant):
+    helper = FrameSelectionHelper(control_probability=1.0)
+    outcome = helper.run(video, careful_participant, slider_time=video.onload,
+                         accepts_suggestion=True, behaviour=BehaviourSimulator(SeededRNG(4)),
+                         rng=SeededRNG(4))
+    assert outcome.was_control
+    assert outcome.control_passed is not None
+
+
+def test_helper_control_pass_keeps_original(video, careful_participant):
+    helper = FrameSelectionHelper(control_probability=1.0)
+    passes = 0
+    for i in range(30):
+        outcome = helper.run(video, careful_participant, slider_time=video.onload,
+                             accepts_suggestion=True, behaviour=BehaviourSimulator(SeededRNG(50 + i)),
+                             rng=SeededRNG(50 + i))
+        if outcome.control_passed:
+            passes += 1
+            assert outcome.submitted_time == pytest.approx(video.frames.frame_at(video.onload).timestamp, abs=0.2) or \
+                outcome.submitted_time == pytest.approx(video.onload, abs=0.2)
+    assert passes >= 25

@@ -1,0 +1,146 @@
+"""Tests for participant sessions and the in-process backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server import BrokenVideoRegistry, CaptchaGate, EyeorgServer, TaskAssigner
+from repro.core.session import ParticipantSession
+from repro.crowd.participant import ParticipantClass, generate_participant
+from repro.errors import CampaignError, ExperimentError
+from repro.rng import SeededRNG
+
+
+@pytest.fixture()
+def participant():
+    return generate_participant("sess-1", ParticipantClass.PAID, "crowdflower", SeededRNG(51))
+
+
+# -- sessions ----------------------------------------------------------------------
+
+
+def test_timeline_session_produces_one_response_per_video(participant, timeline_experiment):
+    session = ParticipantSession(participant, SeededRNG(1))
+    result = session.run_timeline(timeline_experiment.videos[:3])
+    assert len(result.responses) == 3
+    assert result.telemetry.videos_assigned == 3
+    assert result.telemetry.time_on_site_seconds > 0
+    for response in result.responses:
+        assert response.participant_id == participant.participant_id
+        assert 0.0 <= response.submitted_time
+
+
+def test_timeline_session_requires_videos(participant):
+    with pytest.raises(ExperimentError):
+        ParticipantSession(participant, SeededRNG(1)).run_timeline([])
+
+
+def test_ab_session_produces_choices(participant, ab_experiment):
+    session = ParticipantSession(participant, SeededRNG(2))
+    result = session.run_ab(ab_experiment.pairs[:3])
+    assert len(result.responses) == 3
+    for response in result.responses:
+        assert response.choice in ("left", "right", "no_difference")
+        assert response.choice_label in ("h1", "h2", "no_difference")
+
+
+def test_ab_session_requires_pairs(participant):
+    with pytest.raises(ExperimentError):
+        ParticipantSession(participant, SeededRNG(1)).run_ab([])
+
+
+def test_session_control_telemetry(participant, ab_experiment):
+    control = ab_experiment.make_control_pair(ab_experiment.pairs[0], SeededRNG(3), index=0)
+    result = ParticipantSession(participant, SeededRNG(3)).run_ab([control])
+    assert result.telemetry.controls_seen == 1
+    assert result.responses[0].is_control
+
+
+def test_session_telemetry_control_pass_rate(participant):
+    from repro.core.session import SessionTelemetry
+
+    telemetry = SessionTelemetry(participant_id="x", controls_seen=0)
+    assert telemetry.control_pass_rate == 1.0
+    telemetry = SessionTelemetry(participant_id="x", controls_seen=4, controls_passed=3)
+    assert telemetry.control_pass_rate == pytest.approx(0.75)
+    assert not telemetry.skipped_any_video
+
+
+# -- captcha gate ------------------------------------------------------------------
+
+
+def test_captcha_admits_humans(participant):
+    gate = CaptchaGate()
+    assert gate.verify(participant, SeededRNG(1), is_bot=False)
+    assert gate.attempts == 1
+    assert gate.rejected == 0
+
+
+def test_captcha_rejects_most_bots(participant):
+    gate = CaptchaGate()
+    rejections = sum(
+        0 if gate.verify(participant, SeededRNG(i), is_bot=True) else 1 for i in range(50)
+    )
+    assert rejections >= 45
+
+
+# -- task assigner -----------------------------------------------------------------
+
+
+def test_assigner_balances_coverage(timeline_experiment):
+    assigner = TaskAssigner(timeline_experiment.videos, per_participant=2, rng=SeededRNG(4))
+    for index in range(10):
+        participant = generate_participant(f"a{index}", ParticipantClass.PAID, "crowdflower", SeededRNG(index))
+        tasks = assigner.assign(participant)
+        assert len(tasks) == 2
+        assert len({t.video_id for t in tasks}) == 2
+    counts = assigner.assignments_per_task.values()
+    assert max(counts) - min(counts) <= 1
+
+
+def test_assigner_caps_at_pool_size(timeline_experiment):
+    assigner = TaskAssigner(timeline_experiment.videos, per_participant=100, rng=SeededRNG(4))
+    participant = generate_participant("big", ParticipantClass.PAID, "crowdflower", SeededRNG(1))
+    assert len(assigner.assign(participant)) == len(timeline_experiment.videos)
+
+
+def test_assigner_rejects_empty_pool():
+    with pytest.raises(CampaignError):
+        TaskAssigner([], per_participant=2)
+
+
+# -- broken-video registry -----------------------------------------------------------
+
+
+def test_broken_video_banned_after_five_flags(video):
+    registry = BrokenVideoRegistry()
+    for index in range(4):
+        assert not registry.flag(video, f"worker-{index}")
+    assert registry.flag(video, "worker-4")
+    assert video.video_id in registry.banned
+    assert registry.flag_count(video.video_id) == 5
+    video.banned = False
+    video.flagged_by.clear()
+
+
+def test_duplicate_flags_not_counted(video):
+    registry = BrokenVideoRegistry()
+    for _ in range(10):
+        registry.flag(video, "same-worker")
+    assert registry.flag_count(video.video_id) == 1
+    assert video.video_id not in registry.banned
+    video.banned = False
+    video.flagged_by.clear()
+
+
+# -- server ------------------------------------------------------------------------
+
+
+def test_server_requires_admission_before_tasks(timeline_experiment, participant):
+    server = EyeorgServer(timeline_experiment, videos_per_participant=2, seed=9)
+    with pytest.raises(CampaignError):
+        server.assign_tasks(participant)
+    assert server.admit(participant)
+    tasks = server.assign_tasks(participant)
+    assert len(tasks) == 2
+    assert participant.participant_id in server.admitted

@@ -1,0 +1,118 @@
+"""Tests for dataset storage and the text visualisation tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import uplt_values
+from repro.core.storage import (
+    ab_responses_csv,
+    dataset_from_dict,
+    dataset_to_dict,
+    export_csv,
+    load_dataset,
+    save_dataset,
+    timeline_responses_csv,
+)
+from repro.core.visualization import cdf_plot, histogram, response_timeline, score_summary
+from repro.errors import AnalysisError, StorageError
+
+
+# -- storage -----------------------------------------------------------------------
+
+
+def test_dataset_dict_round_trip(timeline_campaign):
+    dataset = timeline_campaign.raw_dataset
+    rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+    assert rebuilt.participant_count == dataset.participant_count
+    assert len(rebuilt.timeline_responses) == len(dataset.timeline_responses)
+    assert rebuilt.campaign_id == dataset.campaign_id
+    original = [r.submitted_time for r in dataset.timeline_responses]
+    restored = [r.submitted_time for r in rebuilt.timeline_responses]
+    assert original == pytest.approx(restored)
+
+
+def test_dataset_json_file_round_trip(tmp_path, ab_campaign):
+    path = tmp_path / "ab.json"
+    save_dataset(ab_campaign.raw_dataset, path)
+    loaded = load_dataset(path)
+    assert len(loaded.ab_responses) == len(ab_campaign.raw_dataset.ab_responses)
+    assert loaded.participants.keys() == ab_campaign.raw_dataset.participants.keys()
+
+
+def test_load_dataset_missing_file(tmp_path):
+    with pytest.raises(StorageError):
+        load_dataset(tmp_path / "missing.json")
+
+
+def test_load_dataset_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(StorageError):
+        load_dataset(path)
+
+
+def test_dataset_from_dict_missing_keys():
+    with pytest.raises(StorageError):
+        dataset_from_dict({"campaign_id": "x"})
+
+
+def test_csv_exports(tmp_path, timeline_campaign, ab_campaign):
+    timeline_csv = timeline_responses_csv(timeline_campaign.raw_dataset)
+    assert timeline_csv.splitlines()[0].startswith("participant_id,video_id")
+    assert len(timeline_csv.splitlines()) == len(timeline_campaign.raw_dataset.timeline_responses) + 1
+    ab_csv = ab_responses_csv(ab_campaign.raw_dataset)
+    assert len(ab_csv.splitlines()) == len(ab_campaign.raw_dataset.ab_responses) + 1
+
+    timeline_path = tmp_path / "timeline.csv"
+    export_csv(timeline_campaign.raw_dataset, timeline_path)
+    assert timeline_path.exists()
+    ab_path = tmp_path / "ab.csv"
+    export_csv(ab_campaign.raw_dataset, ab_path)
+    assert ab_path.read_text(encoding="utf-8").startswith("participant_id,pair_id")
+
+
+# -- visualisation -----------------------------------------------------------------
+
+
+def test_response_timeline_render(timeline_campaign, timeline_experiment):
+    dataset = timeline_campaign.raw_dataset
+    video = timeline_experiment.videos[0]
+    responses = uplt_values(dataset, video.video_id)
+    text = response_timeline(video, responses, width=60)
+    assert video.video_id in text
+    assert "O" in text  # onload marker
+    assert len(text.splitlines()) >= 5
+    with pytest.raises(AnalysisError):
+        response_timeline(video, [], width=60)
+    with pytest.raises(AnalysisError):
+        response_timeline(video, responses, width=5)
+
+
+def test_histogram_render():
+    text = histogram([1.0, 1.1, 2.0, 2.1, 5.0], bins=4, title="sample")
+    assert text.splitlines()[0] == "sample"
+    assert len(text.splitlines()) == 5
+    with pytest.raises(AnalysisError):
+        histogram([], bins=4)
+    with pytest.raises(AnalysisError):
+        histogram([1.0], bins=0)
+
+
+def test_cdf_plot_render():
+    text = cdf_plot({"paid": [1, 2, 3, 4], "trusted": [2, 3, 4, 5]}, width=30, height=8, title="cdf")
+    lines = text.splitlines()
+    assert lines[0] == "cdf"
+    assert any("paid" in line for line in lines)
+    with pytest.raises(AnalysisError):
+        cdf_plot({})
+    with pytest.raises(AnalysisError):
+        cdf_plot({"x": []})
+
+
+def test_score_summary_text():
+    text = score_summary({"a": 0.9, "b": 0.1, "c": 0.5}, label="h2 vs h1")
+    assert "h2 vs h1" in text
+    assert "score>=0.8: 33%" in text
+    with pytest.raises(AnalysisError):
+        score_summary({}, label="x")

@@ -1,0 +1,179 @@
+"""Tests for the response-filtering pipeline (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.responses import ResponseDataset, TimelineResponse
+from repro.core.session import SessionTelemetry
+from repro.core.validation import (
+    DEFAULT_ACTION_THRESHOLD,
+    TRUSTED_MAX_ACTIONS,
+    FilterConfig,
+    FilteringPipeline,
+    percentile,
+)
+from repro.crowd.behavior import VideoInteraction
+from repro.errors import ValidationError
+
+
+def make_interaction(**kwargs) -> VideoInteraction:
+    defaults = dict(
+        video_transfer_seconds=1.0,
+        watch_seconds=20.0,
+        instruction_seconds=5.0,
+        out_of_focus_seconds=0.0,
+        play_actions=1,
+        pause_actions=0,
+        seek_actions=5,
+        watched_video=True,
+    )
+    defaults.update(kwargs)
+    return VideoInteraction(**defaults)
+
+
+def make_response(participant_id: str, video_id: str, submitted: float) -> TimelineResponse:
+    return TimelineResponse(
+        participant_id=participant_id,
+        video_id=video_id,
+        site_id=video_id,
+        slider_time=submitted,
+        helper_time=submitted,
+        submitted_time=submitted,
+        saw_control_frame=False,
+        control_passed=None,
+        interaction=make_interaction(),
+    )
+
+
+def make_telemetry(participant_id: str, **kwargs) -> SessionTelemetry:
+    defaults = dict(
+        participant_id=participant_id,
+        time_on_site_seconds=120.0,
+        total_actions=30,
+        out_of_focus_seconds=0.0,
+        videos_assigned=6,
+        videos_skipped=0,
+        max_video_transfer_seconds=2.0,
+        controls_seen=1,
+        controls_passed=1,
+    )
+    defaults.update(kwargs)
+    return SessionTelemetry(**defaults)
+
+
+# -- percentile helper --------------------------------------------------------------
+
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == pytest.approx(1.0)
+    assert percentile(values, 100) == pytest.approx(4.0)
+    assert percentile(values, 50) == pytest.approx(2.5)
+
+
+def test_percentile_errors():
+    with pytest.raises(ValidationError):
+        percentile([], 50)
+    with pytest.raises(ValidationError):
+        percentile([1.0], 150)
+
+
+# -- filter constants --------------------------------------------------------------
+
+
+def test_action_threshold_matches_paper():
+    assert TRUSTED_MAX_ACTIONS == 369
+    assert DEFAULT_ACTION_THRESHOLD == int(369 * 1.5)
+
+
+def test_filter_config_validation():
+    with pytest.raises(ValidationError):
+        FilterConfig(wisdom_low_percentile=80, wisdom_high_percentile=20)
+    with pytest.raises(ValidationError):
+        FilterConfig(action_threshold=0)
+
+
+# -- individual filters --------------------------------------------------------------
+
+
+def test_engagement_filter_on_action_count():
+    pipeline = FilteringPipeline()
+    telemetry = {
+        "ok": make_telemetry("ok", total_actions=100),
+        "frenetic": make_telemetry("frenetic", total_actions=900),
+    }
+    assert pipeline.engagement_violations(telemetry) == ["frenetic"]
+
+
+def test_engagement_filter_on_focus_with_transfer_grace():
+    pipeline = FilteringPipeline()
+    telemetry = {
+        "distracted": make_telemetry("distracted", out_of_focus_seconds=30.0, max_video_transfer_seconds=2.0),
+        "excused": make_telemetry("excused", out_of_focus_seconds=30.0, max_video_transfer_seconds=60.0),
+    }
+    assert pipeline.engagement_violations(telemetry) == ["distracted"]
+
+
+def test_soft_rule_filter():
+    pipeline = FilteringPipeline()
+    telemetry = {
+        "ok": make_telemetry("ok"),
+        "skipper": make_telemetry("skipper", videos_skipped=1),
+    }
+    assert pipeline.soft_rule_violations(telemetry) == ["skipper"]
+
+
+def test_control_filter():
+    pipeline = FilteringPipeline()
+    telemetry = {
+        "ok": make_telemetry("ok", controls_seen=2, controls_passed=2),
+        "failed": make_telemetry("failed", controls_seen=2, controls_passed=1),
+        "unseen": make_telemetry("unseen", controls_seen=0, controls_passed=0),
+    }
+    assert pipeline.control_violations(telemetry) == ["failed"]
+
+
+def test_wisdom_filter_keeps_percentile_window():
+    dataset = ResponseDataset(campaign_id="c", experiment_type="timeline")
+    values = list(range(1, 21))  # 1..20 seconds
+    for index, value in enumerate(values):
+        dataset.add_timeline_response(make_response(f"p{index}", "v1", float(value)))
+    pipeline = FilteringPipeline(FilterConfig(wisdom_low_percentile=25, wisdom_high_percentile=75))
+    filtered, dropped = pipeline.wisdom_filter(dataset)
+    kept_values = [r.submitted_time for r in filtered.timeline_responses]
+    assert dropped == 20 - len(kept_values)
+    assert min(kept_values) >= percentile([float(v) for v in values], 25) - 1e-9
+    assert max(kept_values) <= percentile([float(v) for v in values], 75) + 1e-9
+
+
+def test_full_pipeline_reports_and_cleans(timeline_campaign):
+    report = timeline_campaign.filter_report
+    dataset = timeline_campaign.raw_dataset
+    clean = timeline_campaign.clean_dataset
+    assert report.initial_participants == dataset.participant_count
+    assert set(report.kept_participants).isdisjoint(
+        set(report.dropped_engagement) | set(report.dropped_soft) | set(report.dropped_control)
+    )
+    assert clean.participant_count <= dataset.participant_count
+    assert len(clean.timeline_responses) <= len(dataset.timeline_responses)
+    assert 0.0 <= report.drop_fraction <= 0.6
+    summary = report.summary_row()
+    assert set(summary) == {"engagement", "soft", "control"}
+
+
+def test_pipeline_toggles():
+    config = FilterConfig(apply_engagement=False, apply_soft_rules=False,
+                          apply_controls=False, apply_wisdom=False)
+    pipeline = FilteringPipeline(config)
+    dataset = ResponseDataset(campaign_id="c", experiment_type="timeline")
+    from repro.crowd.participant import ParticipantClass, generate_participant
+    from repro.rng import SeededRNG
+
+    participant = generate_participant("p1", ParticipantClass.PAID, "crowdflower", SeededRNG(1))
+    dataset.add_participant(participant)
+    dataset.add_timeline_response(make_response("p1", "v1", 2.0))
+    telemetry = {"p1": make_telemetry("p1", total_actions=10_000, videos_skipped=3, controls_passed=0)}
+    clean, report = pipeline.run(dataset, telemetry)
+    assert report.dropped_total == 0
+    assert len(clean.timeline_responses) == 1

@@ -1,0 +1,143 @@
+"""Tests for demographics, participants, and recruitment services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.demographics import PAID_COUNTRIES, TRUSTED_COUNTRIES, sample_demographics
+from repro.crowd.participant import (
+    Participant,
+    ParticipantClass,
+    ReadinessPersona,
+    generate_participant,
+)
+from repro.crowd.recruitment import Recruiter
+from repro.crowd.services import CROWDFLOWER, INVITED, ServiceConnector, get_service
+from repro.errors import RecruitmentError
+from repro.rng import SeededRNG
+
+
+# -- demographics -------------------------------------------------------------------
+
+
+def test_gender_split_roughly_matches_requested_fraction(rng):
+    males = sum(
+        1 for i in range(500)
+        if sample_demographics(rng.fork(str(i)), "paid", male_fraction=0.75).gender == "male"
+    )
+    assert 0.65 <= males / 500 <= 0.85
+
+
+def test_country_pools_by_class(rng):
+    paid = sample_demographics(rng.fork("p"), "paid")
+    trusted = sample_demographics(rng.fork("t"), "trusted")
+    assert paid.country in PAID_COUNTRIES
+    assert trusted.country in TRUSTED_COUNTRIES
+
+
+def test_age_bounds(rng):
+    for i in range(100):
+        demo = sample_demographics(rng.fork(str(i)), "paid")
+        assert 18 <= demo.age <= 70
+
+
+def test_venezuela_most_common_paid_country(rng):
+    countries = [sample_demographics(rng.fork(str(i)), "paid").country for i in range(800)]
+    from collections import Counter
+
+    assert Counter(countries).most_common(1)[0][0] == "Venezuela"
+
+
+# -- participants -------------------------------------------------------------------
+
+
+def test_generate_participant_deterministic():
+    a = generate_participant("p1", ParticipantClass.PAID, "crowdflower", SeededRNG(1))
+    b = generate_participant("p1", ParticipantClass.PAID, "crowdflower", SeededRNG(1))
+    assert a.demographics == b.demographics
+    assert a.persona == b.persona
+    assert a.traits.conscientiousness == b.traits.conscientiousness
+
+
+def test_participant_class_helpers():
+    paid = generate_participant("p1", ParticipantClass.PAID, "crowdflower", SeededRNG(1))
+    trusted = generate_participant("t1", ParticipantClass.TRUSTED, "invited", SeededRNG(1))
+    assert paid.is_paid and not paid.is_trusted
+    assert trusted.is_trusted and not trusted.is_paid
+
+
+def test_paid_pool_has_more_low_performers():
+    rng = SeededRNG(5)
+    paid = [generate_participant(f"p{i}", ParticipantClass.PAID, "crowdflower", rng) for i in range(400)]
+    trusted = [generate_participant(f"t{i}", ParticipantClass.TRUSTED, "invited", rng) for i in range(400)]
+    paid_clickers = sum(1 for p in paid if p.traits.is_random_clicker)
+    trusted_clickers = sum(1 for p in trusted if p.traits.is_random_clicker)
+    assert paid_clickers > trusted_clickers
+    paid_consc = sum(p.traits.conscientiousness for p in paid) / len(paid)
+    trusted_consc = sum(p.traits.conscientiousness for p in trusted) / len(trusted)
+    assert trusted_consc > paid_consc
+
+
+def test_personas_cover_all_kinds():
+    rng = SeededRNG(6)
+    personas = {
+        generate_participant(f"p{i}", ParticipantClass.PAID, "crowdflower", rng).persona
+        for i in range(300)
+    }
+    assert personas == set(ReadinessPersona)
+
+
+def test_trait_bounds():
+    rng = SeededRNG(7)
+    for i in range(200):
+        p = generate_participant(f"p{i}", ParticipantClass.PAID, "crowdflower", rng)
+        assert 0.0 <= p.traits.conscientiousness <= 1.0
+        assert 0.0 <= p.traits.distraction_propensity <= 1.0
+        assert p.traits.perception_noise > 0
+        assert p.traits.jnd_seconds > 0
+        assert p.downlink_bps > 100_000
+
+
+# -- services and recruitment ---------------------------------------------------------
+
+
+def test_get_service():
+    assert get_service("crowdflower").participant_class is ParticipantClass.PAID
+    assert get_service("invited").participant_class is ParticipantClass.TRUSTED
+    with pytest.raises(RecruitmentError):
+        get_service("mechanicalturk")
+
+
+def test_connector_recruits_requested_count():
+    connector = ServiceConnector(CROWDFLOWER, SeededRNG(1))
+    recruited = connector.recruit(50, "campaign-x")
+    assert len(recruited) == 50
+    times = [r.recruited_at_hours for r in recruited]
+    assert times == sorted(times)
+    assert all(r.cost_usd == CROWDFLOWER.cost_per_participant_usd for r in recruited)
+    with pytest.raises(RecruitmentError):
+        connector.recruit(0, "campaign-x")
+
+
+def test_paid_recruitment_much_faster_than_trusted():
+    recruiter = Recruiter(seed=3)
+    paid = recruiter.recruit_paid("c1", 100)
+    trusted = recruiter.recruit_trusted("c1", 100)
+    assert paid.duration_hours < 6.0          # paper: ~1 hour for 100
+    assert trusted.duration_days > 5.0        # paper: ~10 days for 100
+    assert paid.total_cost_usd == pytest.approx(12.0)
+    assert trusted.total_cost_usd == 0.0
+
+
+def test_recruitment_report_demographics():
+    report = Recruiter(seed=3).recruit_paid("c2", 80)
+    split = report.gender_split
+    assert split["male"] + split["female"] == 80
+    assert split["male"] > split["female"]
+    assert len(report.countries) > 5
+    assert len(report.participant_list()) == 80
+
+
+def test_recruit_invalid_count():
+    with pytest.raises(RecruitmentError):
+        Recruiter(seed=3).recruit_paid("c3", 0)

@@ -1,0 +1,74 @@
+"""Tests for HAR construction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.httpsim.har import HARArchive
+
+
+def test_har_structure(load_result):
+    har = load_result.har
+    data = har.to_dict()
+    assert data["log"]["version"] == "1.2"
+    assert data["log"]["creator"]["name"] == "webpeg"
+    assert len(data["log"]["pages"]) == 1
+    page_entry = data["log"]["pages"][0]
+    assert page_entry["pageTimings"]["onLoad"] == pytest.approx(load_result.onload * 1000.0, rel=1e-3)
+    assert page_entry["_protocol"] == load_result.protocol
+
+
+def test_har_entry_count_matches_fetches(load_result):
+    har = load_result.har
+    assert har.entry_count == len(load_result.fetch_records)
+    assert len(har.to_dict()["log"]["entries"]) == har.entry_count
+
+
+def test_har_json_round_trip(load_result):
+    parsed = json.loads(load_result.har.to_json())
+    assert parsed["log"]["version"] == "1.2"
+
+
+def test_har_completion_times_positive(load_result):
+    times = load_result.har.completion_times()
+    assert times
+    assert all(value >= 0 for value in times.values())
+
+
+def test_har_entries_for_origin(load_result, page):
+    har = load_result.har
+    root_origin = page.root.origin
+    entries = har.entries_for_origin(root_origin)
+    assert entries
+    assert all(e.request.origin == root_origin for e in entries)
+
+
+def test_har_total_bytes_positive(load_result):
+    assert load_result.har.total_bytes > 0
+
+
+def test_har_timings_non_negative(load_result):
+    for entry in load_result.har.to_dict()["log"]["entries"]:
+        timings = entry["timings"]
+        assert timings["wait"] >= 0
+        assert timings["receive"] >= 0
+        assert entry["time"] >= 0
+
+
+def test_blocked_entries_have_status_zero():
+    from repro.adblock.blockers import ghostery
+    from repro.browser.browser import Browser
+    from repro.browser.preferences import BrowserPreferences
+    from repro.web.corpus import CorpusGenerator
+
+    page = CorpusGenerator(seed=5).generate_page("adsite-00007", displays_ads=True)
+    prefs = BrowserPreferences(protocol="auto", extensions=[ghostery()])
+    result = Browser(preferences=prefs, network_profile="cable-intl", seed=5).load(page)
+    assert result.blocked_object_ids
+    blocked_entries = [
+        e for e in result.har.to_dict()["log"]["entries"] if e["_blocked"]
+    ]
+    assert blocked_entries
+    assert all(e["response"]["status"] == 0 for e in blocked_entries)

@@ -1,0 +1,107 @@
+"""Tests for HTTP messages and caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.httpsim.cache import BrowserCache
+from repro.httpsim.messages import FetchRecord, HTTPRequest, HTTPResponse
+from repro.web.objects import ObjectType, WebObject
+
+
+@pytest.fixture()
+def obj():
+    return WebObject(
+        object_id="o1",
+        object_type=ObjectType.IMAGE,
+        url="https://www.example.com/a.jpg",
+        origin="www.example.com",
+        size_bytes=1000,
+    )
+
+
+def test_request_for_object_sets_no_cache(obj):
+    request = HTTPRequest.for_object(obj)
+    assert request.headers["cache-control"] == "no-cache"
+    assert not request.is_cacheable
+    assert request.origin == "www.example.com"
+    assert request.object_id == "o1"
+
+
+def test_request_can_be_cacheable(obj):
+    request = HTTPRequest.for_object(obj, no_cache=False)
+    assert request.is_cacheable
+
+
+def test_response_validation(obj):
+    request = HTTPRequest.for_object(obj)
+    with pytest.raises(ProtocolError):
+        HTTPResponse(request=request, status=200, body_bytes=-1)
+    with pytest.raises(ProtocolError):
+        HTTPResponse(request=request, status=42, body_bytes=10)
+
+
+def test_response_transfer_bytes(obj):
+    request = HTTPRequest.for_object(obj)
+    response = HTTPResponse(request=request, status=200, body_bytes=1000, header_bytes=300)
+    assert response.transfer_bytes == 1300
+    assert response.ok
+
+
+def test_fetch_record_derived_times(obj):
+    request = HTTPRequest.for_object(obj)
+    response = HTTPResponse(request=request, status=200, body_bytes=1000)
+    record = FetchRecord(
+        request=request,
+        response=response,
+        discovered_at=1.0,
+        queued_at=1.0,
+        started_at=1.2,
+        first_byte_at=1.5,
+        completed_at=2.0,
+    )
+    assert record.queue_time == pytest.approx(0.2)
+    assert record.ttfb == pytest.approx(0.3)
+    assert record.download_time == pytest.approx(0.5)
+    assert record.total_time == pytest.approx(1.0)
+
+
+def test_cache_miss_for_no_cache_requests(obj):
+    cache = BrowserCache(enabled=True)
+    request = HTTPRequest.for_object(obj)
+    assert cache.lookup(request) is None
+
+
+def test_cache_hit_after_store(obj):
+    cache = BrowserCache(enabled=True)
+    request = HTTPRequest.for_object(obj, no_cache=False)
+    response = HTTPResponse(request=request, status=200, body_bytes=1000)
+    cache.store(response, now=0.0)
+    entry = cache.lookup(request, now=10.0)
+    assert entry is not None
+    assert entry.body_bytes == 1000
+    assert cache.hit_ratio > 0
+
+
+def test_cache_staleness(obj):
+    cache = BrowserCache(enabled=True, default_max_age=60.0)
+    request = HTTPRequest.for_object(obj, no_cache=False)
+    cache.store(HTTPResponse(request=request, status=200, body_bytes=1), now=0.0)
+    assert cache.lookup(request, now=61.0) is None
+
+
+def test_disabled_cache_never_hits(obj):
+    cache = BrowserCache(enabled=False)
+    request = HTTPRequest.for_object(obj, no_cache=False)
+    cache.store(HTTPResponse(request=request, status=200, body_bytes=1), now=0.0)
+    assert cache.lookup(request, now=0.0) is None
+    assert cache.entry_count == 0
+
+
+def test_cache_clear(obj):
+    cache = BrowserCache(enabled=True)
+    request = HTTPRequest.for_object(obj, no_cache=False)
+    cache.store(HTTPResponse(request=request, status=200, body_bytes=1), now=0.0)
+    cache.clear()
+    assert cache.entry_count == 0

@@ -1,0 +1,142 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These follow the exact flow the paper describes: generate sites, capture
+page-load videos with webpeg under controlled protocol/extension/network
+settings, build timeline and A/B experiments, recruit crowdsourced
+participants, run the campaigns, filter the responses, and analyse the
+results — asserting the qualitative findings of the evaluation hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import (
+    agreement_per_pair,
+    classify_all_distributions,
+    compare_uplt_with_metrics,
+    mean_uplt_per_site,
+    score_per_site,
+    summarise_behaviour,
+)
+from repro.core.campaign import CampaignConfig, CampaignRunner
+from repro.core.experiment import ABExperiment, TimelineExperiment, build_ab_pairs
+from repro.capture.webpeg import CaptureSettings, Webpeg, capture_protocol_pair
+from repro.metrics.plt import metrics_from_video
+from repro.rng import SeededRNG
+from repro.web.corpus import CorpusGenerator
+
+SEED = 424242
+
+
+@pytest.fixture(scope="module")
+def full_pipeline():
+    """Capture -> experiments -> campaigns for a small but complete study."""
+    corpus = CorpusGenerator(seed=SEED)
+    pages = corpus.http2_sample(6)
+    settings = CaptureSettings(loads_per_site=3, network_profile="cable-intl")
+
+    tool = Webpeg(settings=settings, seed=SEED)
+    timeline_videos = []
+    metrics_by_site = {}
+    h1_videos, h2_videos = {}, {}
+    for page in pages:
+        pair = capture_protocol_pair(page, settings=settings, seed=SEED)
+        h1_videos[page.site_id] = pair["h1"].video
+        h2_videos[page.site_id] = pair["h2"].video
+        timeline_videos.append(pair["h2"].video)
+        metrics_by_site[page.site_id] = metrics_from_video(pair["h2"].video)
+
+    timeline_experiment = TimelineExperiment("e2e-timeline", timeline_videos)
+    ab_pairs = build_ab_pairs(h1_videos, h2_videos, "h1", "h2", SeededRNG(SEED))
+    ab_experiment = ABExperiment("e2e-ab", ab_pairs)
+
+    timeline_campaign = CampaignRunner(
+        CampaignConfig("e2e-timeline", participant_count=60, seed=SEED)
+    ).run_timeline(timeline_experiment)
+    ab_campaign = CampaignRunner(
+        CampaignConfig("e2e-ab", participant_count=60, seed=SEED)
+    ).run_ab(ab_experiment)
+    return {
+        "pages": pages,
+        "metrics": metrics_by_site,
+        "timeline": timeline_campaign,
+        "ab": ab_campaign,
+    }
+
+
+def test_every_video_received_responses(full_pipeline):
+    dataset = full_pipeline["timeline"].raw_dataset
+    assert len(dataset.video_ids()) == 6
+    for video_id in dataset.video_ids():
+        assert len(dataset.responses_for_video(video_id)) >= 10
+
+
+def test_filtering_drops_a_reasonable_fraction(full_pipeline):
+    for campaign in (full_pipeline["timeline"], full_pipeline["ab"]):
+        assert 0.0 <= campaign.filter_report.drop_fraction <= 0.5
+
+
+def test_uplt_lies_within_video_bounds(full_pipeline):
+    uplt = mean_uplt_per_site(full_pipeline["timeline"].clean_dataset)
+    metrics = full_pipeline["metrics"]
+    for site, value in uplt.items():
+        assert 0.0 < value
+        # Mean perceived PLT never exceeds the last visual change by much.
+        assert value <= metrics[site].lastvisualchange + 3.0
+
+
+def test_onload_is_best_single_predictor(full_pipeline):
+    comparison = compare_uplt_with_metrics(full_pipeline["timeline"].clean_dataset, full_pipeline["metrics"])
+    correlations = comparison.correlations
+    assert correlations["onload"] == max(correlations.values())
+
+
+def test_ab_agreement_above_chance(full_pipeline):
+    agreement = agreement_per_pair(full_pipeline["ab"].clean_dataset)
+    assert agreement
+    average = sum(agreement.values()) / len(agreement)
+    assert average > 0.45
+
+
+def test_http2_preferred_on_average(full_pipeline):
+    scores = score_per_site(full_pipeline["ab"].clean_dataset, treatment_label="h2")
+    assert scores
+    assert sum(scores.values()) / len(scores) > 0.5
+
+
+def test_distribution_shapes_classified(full_pipeline):
+    shapes = classify_all_distributions(full_pipeline["timeline"].raw_dataset)
+    assert len(shapes) == 6
+    assert {shape.shape for shape in shapes.values()} <= {"tight", "spread", "multimodal"}
+
+
+def test_behaviour_summary_has_paid_class(full_pipeline):
+    summary = summarise_behaviour(full_pipeline["timeline"].raw_dataset, full_pipeline["timeline"].telemetry)
+    assert "paid" in summary.time_on_site_minutes
+    assert summary.total_actions["paid"]
+
+
+def test_paid_and_trusted_campaigns_comparable():
+    """A miniature version of the §4 validation: trusted answers agree with paid."""
+    corpus = CorpusGenerator(seed=SEED)
+    pages = corpus.http2_sample(3)
+    settings = CaptureSettings(loads_per_site=2, network_profile="cable-intl")
+    tool = Webpeg(settings=settings, seed=SEED)
+    videos = [tool.capture(p, "h2").video for p in pages]
+    experiment = TimelineExperiment("mini-validation", videos)
+
+    paid = CampaignRunner(
+        CampaignConfig("mini-paid", participant_count=40, service="crowdflower", seed=SEED)
+    ).run_timeline(experiment)
+    trusted = CampaignRunner(
+        CampaignConfig("mini-trusted", participant_count=40, service="invited", seed=SEED)
+    ).run_timeline(experiment)
+
+    paid_uplt = mean_uplt_per_site(paid.clean_dataset)
+    trusted_uplt = mean_uplt_per_site(trusted.clean_dataset)
+    assert set(paid_uplt) == set(trusted_uplt)
+    for site in paid_uplt:
+        assert paid_uplt[site] == pytest.approx(trusted_uplt[site], abs=1.5)
+    # Trusted participants fail fewer filters than paid ones.
+    assert trusted.filter_report.drop_fraction <= paid.filter_report.drop_fraction + 0.05

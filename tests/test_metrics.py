@@ -1,0 +1,129 @@
+"""Tests for visual progress and the PLT metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.metrics.comparison import compare_metrics, delta_buckets, metric_delta, pearson_correlation
+from repro.metrics.plt import METRIC_NAMES, PLTMetrics, metrics_from_load, metrics_from_video, speed_index
+from repro.metrics.visual import VisualProgress, progress_from_frames, progress_from_timeline
+
+
+# -- visual progress ----------------------------------------------------------------
+
+
+def test_visual_progress_requires_points():
+    with pytest.raises(AnalysisError):
+        VisualProgress(points=())
+
+
+def test_visual_progress_must_be_non_decreasing():
+    with pytest.raises(AnalysisError):
+        VisualProgress(points=((0.0, 0.5), (1.0, 0.2)))
+
+
+def test_area_above_curve_simple():
+    progress = VisualProgress(points=((0.0, 0.0), (1.0, 0.5), (2.0, 1.0)))
+    # 1s at completeness 0 + 1s at completeness 0.5 => area 1.5
+    assert progress.area_above_curve() == pytest.approx(1.5)
+    assert speed_index(progress) == pytest.approx(1.5)
+
+
+def test_time_to_completeness():
+    progress = VisualProgress(points=((0.0, 0.0), (1.0, 0.5), (2.0, 1.0)))
+    assert progress.time_to_completeness(0.5) == pytest.approx(1.0)
+    assert progress.time_to_completeness(1.0) == pytest.approx(2.0)
+    with pytest.raises(AnalysisError):
+        progress.time_to_completeness(0.0)
+
+
+def test_progress_from_timeline_and_frames_agree(load_result, video):
+    from_timeline = progress_from_timeline(load_result.render_timeline)
+    from_frames = progress_from_frames(video.frames)
+    assert from_timeline.points[-1][1] == pytest.approx(1.0)
+    assert from_frames.points[-1][1] == pytest.approx(1.0)
+
+
+# -- PLT metrics --------------------------------------------------------------------
+
+
+def test_metrics_from_load_ordering(load_result):
+    metrics = metrics_from_load(load_result)
+    assert metrics.firstvisualchange <= metrics.lastvisualchange
+    assert metrics.firstvisualchange <= metrics.speedindex <= metrics.lastvisualchange
+    assert metrics.onload > 0
+
+
+def test_metrics_from_video_matches_load(video):
+    from_video = metrics_from_video(video)
+    from_load = metrics_from_load(video.load_result)
+    assert from_video.onload == pytest.approx(from_load.onload)
+    assert from_video.firstvisualchange == pytest.approx(from_load.firstvisualchange)
+    assert from_video.lastvisualchange == pytest.approx(from_load.lastvisualchange)
+    # SpeedIndex from sampled frames is a staircase approximation.
+    assert from_video.speedindex == pytest.approx(from_load.speedindex, abs=0.25)
+
+
+def test_metrics_get_and_dict(load_result):
+    metrics = metrics_from_load(load_result)
+    as_dict = metrics.as_dict()
+    assert set(as_dict) == set(METRIC_NAMES)
+    for name in METRIC_NAMES:
+        assert metrics.get(name) == as_dict[name]
+    with pytest.raises(AnalysisError):
+        metrics.get("time-to-interactive")
+
+
+# -- comparisons --------------------------------------------------------------------
+
+
+def test_pearson_correlation_perfect():
+    assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+    assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+
+def test_pearson_correlation_errors():
+    with pytest.raises(AnalysisError):
+        pearson_correlation([1], [2])
+    with pytest.raises(AnalysisError):
+        pearson_correlation([1, 2], [1, 2, 3])
+    with pytest.raises(AnalysisError):
+        pearson_correlation([1, 1, 1], [1, 2, 3])
+
+
+def test_metric_delta():
+    a = PLTMetrics(onload=2.0, speedindex=1.5, firstvisualchange=1.0, lastvisualchange=3.0)
+    b = PLTMetrics(onload=1.4, speedindex=1.2, firstvisualchange=0.9, lastvisualchange=3.5)
+    assert metric_delta(a, b, "onload") == pytest.approx(0.6)
+    assert metric_delta(a, b, "lastvisualchange") == pytest.approx(0.5)
+
+
+def test_delta_buckets_assignment():
+    buckets = delta_buckets([90, 120, 480, 1650], edges_ms=(100, 500, 900, 1300, 1700))
+    mapping = {centre: indices for centre, indices in buckets}
+    assert mapping[100] == [0, 1]
+    assert mapping[500] == [2]
+    assert mapping[1700] == [3]
+    with pytest.raises(AnalysisError):
+        delta_buckets([1.0], edges_ms=())
+
+
+def test_compare_metrics_structure():
+    uplt = {"a": 2.0, "b": 3.0, "c": 4.0}
+    metrics = {
+        "a": PLTMetrics(onload=2.2, speedindex=1.8, firstvisualchange=1.0, lastvisualchange=4.0),
+        "b": PLTMetrics(onload=3.1, speedindex=2.6, firstvisualchange=1.5, lastvisualchange=6.0),
+        "c": PLTMetrics(onload=4.3, speedindex=3.3, firstvisualchange=2.0, lastvisualchange=8.0),
+    }
+    comparison = compare_metrics(uplt, metrics)
+    assert set(comparison.correlations) == set(METRIC_NAMES)
+    assert comparison.correlations["onload"] > 0.99
+    assert all(len(diffs) == 3 for diffs in comparison.differences.values())
+    assert 0.0 <= comparison.within_100ms["onload"] <= 1.0
+    assert comparison.overestimate_fraction["lastvisualchange"] == pytest.approx(1.0)
+
+
+def test_compare_metrics_requires_overlap():
+    with pytest.raises(AnalysisError):
+        compare_metrics({"a": 1.0}, {"b": PLTMetrics(1, 1, 1, 1)})

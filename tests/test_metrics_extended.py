@@ -1,0 +1,62 @@
+"""Tests for the extended PLT metrics (ByteIndex, ObjectIndex, AFT, ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.metrics.extended import (
+    above_the_fold_time,
+    byte_index,
+    dom_content_loaded,
+    extended_metrics_from_load,
+    object_index,
+    time_to_first_byte,
+)
+from repro.metrics.plt import metrics_from_load
+
+
+def test_extended_metrics_positive_and_consistent(load_result):
+    metrics = extended_metrics_from_load(load_result)
+    values = metrics.as_dict()
+    assert set(values) == {
+        "byteindex", "objectindex", "timetofirstbyte", "abovethefoldtime", "domcontentloaded",
+    }
+    assert all(value >= 0 for value in values.values())
+
+
+def test_ttfb_before_onload(load_result):
+    assert time_to_first_byte(load_result) < load_result.onload
+
+
+def test_byteindex_and_objectindex_bounded_by_fully_loaded(load_result):
+    assert 0.0 < byte_index(load_result) <= load_result.fully_loaded
+    assert 0.0 < object_index(load_result) <= load_result.fully_loaded
+
+
+def test_aft_between_first_and_last_visual_change(load_result):
+    aft = above_the_fold_time(load_result)
+    assert load_result.first_visual_change <= aft <= load_result.last_visual_change
+
+
+def test_aft_ignores_small_late_changes(load_result):
+    strict = above_the_fold_time(load_result, small_change_fraction=0.0)
+    lenient = above_the_fold_time(load_result, small_change_fraction=0.2)
+    assert lenient <= strict
+
+
+def test_dcl_before_or_near_onload(load_result):
+    dcl = dom_content_loaded(load_result)
+    plt = metrics_from_load(load_result)
+    assert dcl <= plt.onload + 1e-6
+    assert dcl >= plt.firstvisualchange - 1.0
+
+
+def test_extended_metrics_error_on_empty():
+    class FakeResult:
+        fetch_records = []
+
+    with pytest.raises(AnalysisError):
+        byte_index(FakeResult())
+    with pytest.raises(AnalysisError):
+        object_index(FakeResult())

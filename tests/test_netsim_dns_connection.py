@@ -1,0 +1,138 @@
+"""Tests for the DNS resolver and the TCP/TLS connection model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DNSResolutionError, NetworkError
+from repro.netsim.bandwidth import BandwidthModel, SharedLink
+from repro.netsim.connection import Connection, INITIAL_CWND_SEGMENTS, MSS_BYTES
+from repro.netsim.dns import DNSResolver
+from repro.netsim.latency import LatencyModel
+from repro.rng import SeededRNG
+
+
+@pytest.fixture()
+def latency():
+    return LatencyModel(base_rtt=0.05, jitter=0.0)
+
+
+@pytest.fixture()
+def link():
+    return SharedLink(bandwidth=BandwidthModel(downlink_bps=16_000_000, uplink_bps=4_000_000))
+
+
+# -- DNS --------------------------------------------------------------------------
+
+
+def test_cold_lookup_slower_than_warm(latency, rng):
+    resolver = DNSResolver(latency, rng)
+    cold = resolver.resolve("www.example.com")
+    warm = resolver.resolve("www.example.com")
+    assert not cold.cached
+    assert warm.cached
+    assert warm.duration < cold.duration
+
+
+def test_prime_warms_cache(latency, rng):
+    resolver = DNSResolver(latency, rng)
+    resolver.prime(["a.example", "b.example"])
+    assert resolver.resolve("a.example").cached
+    assert resolver.resolve("b.example").cached
+
+
+def test_ttl_expiry(latency, rng):
+    resolver = DNSResolver(latency, rng, default_ttl=10.0)
+    resolver.resolve("a.example", now=0.0)
+    assert resolver.resolve("a.example", now=5.0).cached
+    assert not resolver.resolve("a.example", now=100.0).cached
+
+
+def test_flush_clears_cache(latency, rng):
+    resolver = DNSResolver(latency, rng)
+    resolver.resolve("a.example")
+    resolver.flush()
+    assert not resolver.resolve("a.example").cached
+
+
+def test_empty_hostname_rejected(latency, rng):
+    resolver = DNSResolver(latency, rng)
+    with pytest.raises(DNSResolutionError):
+        resolver.resolve("")
+
+
+def test_hit_ratio(latency, rng):
+    resolver = DNSResolver(latency, rng)
+    assert resolver.hit_ratio == 0.0
+    resolver.resolve("a.example")
+    resolver.resolve("a.example")
+    assert resolver.hit_ratio == pytest.approx(0.5)
+
+
+# -- connections -------------------------------------------------------------------
+
+
+def test_connect_pays_tcp_and_tls(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng, use_tls=True)
+    established = conn.connect(now=0.0)
+    assert established == pytest.approx(3 * 0.05)  # 1 RTT TCP + 2 RTT TLS
+    assert conn.is_established
+
+
+def test_connect_without_tls_is_one_rtt(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng, use_tls=False)
+    assert conn.connect(now=0.0) == pytest.approx(0.05)
+
+
+def test_connect_is_idempotent(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng)
+    first = conn.connect(now=0.0)
+    again = conn.connect(now=10.0)
+    assert again == pytest.approx(10.0)
+    assert conn.established_at == pytest.approx(first)
+
+
+def test_transfer_before_connect_rejected(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng)
+    with pytest.raises(NetworkError):
+        conn.transfer(1000, request_at=0.0)
+
+
+def test_transfer_before_establishment_rejected(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng)
+    conn.connect(now=0.0)
+    with pytest.raises(NetworkError):
+        conn.transfer(1000, request_at=0.01)
+
+
+def test_transfer_timing_ordering(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng)
+    established = conn.connect(now=0.0)
+    timing = conn.transfer(100_000, request_at=established, server_think=0.02)
+    assert timing.request_sent_at == pytest.approx(established)
+    assert timing.first_byte_at > timing.request_sent_at
+    assert timing.last_byte_at > timing.first_byte_at
+    assert timing.ttfb >= 0.05  # at least one RTT
+    assert timing.bytes_transferred == 100_000
+
+
+def test_large_transfer_pays_slow_start_rounds(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng)
+    established = conn.connect(now=0.0)
+    small = conn.transfer(INITIAL_CWND_SEGMENTS * MSS_BYTES // 2, request_at=established)
+    large_conn = Connection("big.example.com", latency, link, rng)
+    established_big = large_conn.connect(now=0.0)
+    large = large_conn.transfer(5_000_000, request_at=established_big)
+    assert large.duration > small.duration
+
+
+def test_cwnd_grows_across_transfers(latency, link, rng):
+    conn = Connection("www.example.com", latency, link, rng)
+    established = conn.connect(now=0.0)
+    first = conn.transfer(1_000_000, request_at=established)
+    second = conn.transfer(1_000_000, request_at=first.last_byte_at)
+    # The second transfer needs fewer slow-start rounds, so its duration
+    # (excluding queueing, which the FIFO link makes equal) is no larger.
+    assert second.duration <= first.duration + 1e-6
+    assert conn.transfers == 2
+    assert conn.bytes_sent == 2_000_000

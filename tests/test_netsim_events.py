@@ -1,0 +1,118 @@
+"""Tests for the discrete-event simulation core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.events import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_last_event():
+    sim = Simulator()
+    sim.schedule(5.5, lambda: None)
+    assert sim.run() == pytest.approx(5.5)
+    assert sim.now == pytest.approx(5.5)
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(1.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_run_until_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("early"))
+    sim.schedule(10.0, lambda: fired.append("late"))
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == pytest.approx(5.0)
+    assert sim.pending == 1
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_advance():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.5, lambda: fired.append("x"))
+    sim.advance(1.0)
+    assert fired == ["x"]
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_advance_backwards_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.advance(-0.1)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.processed == 5
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.0, lambda: fired.append("x"))
+    sim.run()
+    assert sim.now == pytest.approx(2.0)
+    assert fired == ["x"]

@@ -1,0 +1,125 @@
+"""Tests for latency and bandwidth models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.bandwidth import BandwidthModel, SharedLink
+from repro.netsim.latency import LatencyModel, origin_latency
+from repro.rng import SeededRNG
+
+
+# -- latency --------------------------------------------------------------------
+
+
+def test_latency_requires_positive_rtt():
+    with pytest.raises(ConfigurationError):
+        LatencyModel(base_rtt=0.0)
+
+
+def test_latency_sample_without_jitter_is_constant(rng):
+    model = LatencyModel(base_rtt=0.05, jitter=0.0)
+    assert model.sample_rtt(rng) == pytest.approx(0.05)
+
+
+def test_latency_sample_respects_minimum(rng):
+    model = LatencyModel(base_rtt=0.002, jitter=0.05, minimum_rtt=0.001)
+    for _ in range(100):
+        assert model.sample_rtt(rng) >= 0.001
+
+
+def test_one_way_is_half_rtt(rng):
+    model = LatencyModel(base_rtt=0.08, jitter=0.0)
+    assert model.one_way(rng) == pytest.approx(0.04)
+
+
+def test_scaled_latency():
+    model = LatencyModel(base_rtt=0.05, jitter=0.01)
+    doubled = model.scaled(2.0)
+    assert doubled.base_rtt == pytest.approx(0.10)
+    assert doubled.jitter == pytest.approx(0.02)
+    with pytest.raises(ConfigurationError):
+        model.scaled(0.0)
+
+
+def test_origin_latency_stable_per_origin(rng):
+    base = LatencyModel(base_rtt=0.05, jitter=0.0)
+    a1 = origin_latency(base, "cdn.example", rng)
+    a2 = origin_latency(base, "cdn.example", rng)
+    assert a1.base_rtt == pytest.approx(a2.base_rtt)
+
+
+def test_origin_latency_bounded(rng):
+    base = LatencyModel(base_rtt=0.05, jitter=0.0)
+    for index in range(50):
+        derived = origin_latency(base, f"origin-{index}.example", rng)
+        assert 0.5 * 0.05 <= derived.base_rtt <= 3.0 * 0.05
+
+
+# -- bandwidth ------------------------------------------------------------------
+
+
+def test_bandwidth_requires_positive_capacity():
+    with pytest.raises(ConfigurationError):
+        BandwidthModel(downlink_bps=0, uplink_bps=1)
+
+
+def test_transfer_time_scales_with_size():
+    model = BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000)  # 1 MB/s down
+    assert model.transfer_time(1_000_000) == pytest.approx(1.0)
+    assert model.transfer_time(500_000) == pytest.approx(0.5)
+
+
+def test_transfer_time_scales_with_concurrency():
+    model = BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000)
+    assert model.transfer_time(1_000_000, concurrent=2) == pytest.approx(2.0)
+
+
+def test_shared_link_fifo_serialises():
+    link = SharedLink(bandwidth=BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000))
+    first = link.schedule(first_byte_at=0.0, size_bytes=1_000_000)
+    second = link.schedule(first_byte_at=0.0, size_bytes=1_000_000)
+    assert first == pytest.approx(1.0)
+    assert second == pytest.approx(2.0)
+
+
+def test_shared_link_idles_when_no_data_ready():
+    link = SharedLink(bandwidth=BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000))
+    link.schedule(first_byte_at=0.0, size_bytes=500_000)
+    late = link.schedule(first_byte_at=10.0, size_bytes=500_000)
+    assert late == pytest.approx(10.5)
+
+
+def test_shared_link_preemption_serves_immediately():
+    link = SharedLink(bandwidth=BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000))
+    link.schedule(first_byte_at=0.0, size_bytes=2_000_000)  # occupies until t=2
+    critical = link.schedule(first_byte_at=0.5, size_bytes=100_000, preempt=True)
+    assert critical == pytest.approx(0.6)
+    # The preempted bytes still pushed the queue horizon back.
+    assert link.available_at >= 2.0
+
+
+def test_shared_link_capacity_conserved():
+    link = SharedLink(bandwidth=BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000))
+    total = 0
+    for _ in range(10):
+        total += 300_000
+        link.schedule(first_byte_at=0.0, size_bytes=300_000)
+    # All data ready at t=0: the last byte cannot arrive before total/rate.
+    assert link.available_at == pytest.approx(total / 1_000_000)
+
+
+def test_shared_link_rejects_negative_sizes():
+    link = SharedLink(bandwidth=BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000))
+    with pytest.raises(ConfigurationError):
+        link.schedule(first_byte_at=0.0, size_bytes=-1)
+    with pytest.raises(ConfigurationError):
+        link.schedule(first_byte_at=-0.1, size_bytes=10)
+
+
+def test_average_throughput_reporting():
+    link = SharedLink(bandwidth=BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000))
+    assert link.average_throughput_bps == 0.0
+    link.schedule(first_byte_at=0.0, size_bytes=1_000_000)
+    assert link.average_throughput_bps == pytest.approx(8_000_000)

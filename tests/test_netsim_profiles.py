@@ -1,0 +1,43 @@
+"""Tests for network emulation profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.profiles import BUILTIN_PROFILES, get_profile, list_profiles
+
+
+def test_expected_profiles_exist():
+    for name in ("fiber", "cable", "cable-intl", "dsl", "3g", "4g", "slow-2g"):
+        assert name in BUILTIN_PROFILES
+
+
+def test_get_profile_returns_named_profile():
+    profile = get_profile("cable")
+    assert profile.name == "cable"
+    assert profile.latency.base_rtt > 0
+    assert profile.bandwidth.downlink_bps > 0
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(ConfigurationError):
+        get_profile("carrier-pigeon")
+
+
+def test_list_profiles_sorted():
+    names = list_profiles()
+    assert names == sorted(names)
+    assert "cable-intl" in names
+
+
+def test_mobile_profiles_slower_than_fixed():
+    assert get_profile("3g").latency.base_rtt > get_profile("cable").latency.base_rtt
+    assert get_profile("3g").bandwidth.downlink_bps < get_profile("cable").bandwidth.downlink_bps
+
+
+def test_cable_intl_has_higher_rtt_same_bandwidth():
+    cable = get_profile("cable")
+    intl = get_profile("cable-intl")
+    assert intl.latency.base_rtt > cable.latency.base_rtt
+    assert intl.bandwidth.downlink_bps == cable.bandwidth.downlink_bps

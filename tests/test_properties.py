@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import cdf_points, classify_distribution, mean, stdev
+from repro.core.validation import percentile
+from repro.metrics.comparison import pearson_correlation
+from repro.metrics.visual import VisualProgress
+from repro.netsim.bandwidth import BandwidthModel, SharedLink
+from repro.rng import SeededRNG
+from repro.web.corpus import CorpusGenerator
+
+positive_floats = st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False)
+samples = st.lists(positive_floats, min_size=1, max_size=60)
+
+
+# -- statistics helpers --------------------------------------------------------------
+
+
+@given(samples)
+def test_percentile_within_sample_bounds(values):
+    assert min(values) - 1e-9 <= percentile(values, 25.0) <= max(values) + 1e-9
+    assert min(values) - 1e-9 <= percentile(values, 75.0) <= max(values) + 1e-9
+    assert percentile(values, 25.0) <= percentile(values, 75.0) + 1e-9
+
+
+@given(samples)
+def test_percentile_endpoints(values):
+    assert percentile(values, 0.0) == min(values)
+    assert percentile(values, 100.0) == max(values)
+
+
+@given(samples)
+def test_mean_and_stdev_bounds(values):
+    mu = mean(values)
+    assert min(values) - 1e-9 <= mu <= max(values) + 1e-9
+    assert stdev(values) >= 0.0
+    assert stdev(values) <= (max(values) - min(values)) + 1e-9
+
+
+@given(samples)
+def test_cdf_points_properties(values):
+    points = cdf_points(values)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert abs(ys[-1] - 1.0) < 1e-12
+    assert len(points) == len(values)
+
+
+@given(st.lists(positive_floats, min_size=2, max_size=40))
+def test_classification_always_returns_known_shape(values):
+    shape = classify_distribution("v", values)
+    assert shape.shape in ("tight", "spread", "multimodal")
+    assert shape.n == len(values)
+    assert shape.spread >= 0.0
+
+
+@given(st.lists(st.tuples(positive_floats, positive_floats), min_size=2, max_size=40))
+def test_pearson_correlation_bounded(pairs):
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    if len(set(xs)) < 2 or len(set(ys)) < 2:
+        return
+    value = pearson_correlation(xs, ys)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+# -- visual progress -------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30))
+def test_visual_progress_monotone_queries(levels):
+    levels = sorted(levels)
+    points = tuple((float(index), level) for index, level in enumerate(levels))
+    progress = VisualProgress(points=points)
+    previous = -1.0
+    for t in range(len(levels) + 2):
+        value = progress.completeness_at(float(t))
+        assert value >= previous - 1e-12
+        previous = value
+    assert progress.area_above_curve() >= -1e-9
+
+
+# -- shared link -----------------------------------------------------------------------
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0),
+                          st.integers(min_value=1, max_value=500_000)),
+                min_size=1, max_size=30))
+def test_shared_link_never_creates_capacity(transfers):
+    link = SharedLink(bandwidth=BandwidthModel(downlink_bps=8_000_000, uplink_bps=1_000_000))
+    total_bytes = 0
+    last = 0.0
+    for first_byte_at, size in transfers:
+        total_bytes += size
+        last = max(last, link.schedule(first_byte_at, size))
+    # The link cannot finish before the time needed to push every byte through.
+    assert last + 1e-9 >= total_bytes / link.bandwidth.downlink_bytes_per_second
+    assert link.bytes_delivered == total_bytes
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25)
+def test_rng_fork_determinism(seed):
+    a = SeededRNG(seed)
+    b = SeededRNG(seed)
+    assert a.fork("x").random() == b.fork("x").random()
+    assert a.random() == b.random()
+
+
+# -- corpus ------------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=400))
+@settings(max_examples=15, deadline=None)
+def test_generated_pages_always_valid(index):
+    page = CorpusGenerator(seed=99).generate_page(f"prop-site-{index}")
+    page.validate()
+    assert page.object_count >= 10
+    assert page.total_bytes > 0
+    assert page.viewport.allocated_pixels <= page.viewport.total_pixels
+    assert len(page.origins()) >= 1
+    # Exactly one root document.
+    assert sum(1 for obj in page.iter_objects() if obj.is_root) == 1

@@ -1,0 +1,98 @@
+"""Tests for the deterministic random helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rng import SeededRNG
+
+
+def test_same_seed_same_stream():
+    a = SeededRNG(5)
+    b = SeededRNG(5)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    assert SeededRNG(1).random() != SeededRNG(2).random()
+
+
+def test_fork_is_deterministic():
+    assert SeededRNG(9).fork("x").random() == SeededRNG(9).fork("x").random()
+
+
+def test_fork_labels_independent():
+    parent = SeededRNG(9)
+    assert parent.fork("a").random() != parent.fork("b").random()
+
+
+def test_fork_independent_of_consumption():
+    a = SeededRNG(3)
+    a.random()
+    a.random()
+    b = SeededRNG(3)
+    assert a.fork("child").random() == b.fork("child").random()
+
+
+def test_uniform_bounds():
+    rng = SeededRNG(1)
+    for _ in range(100):
+        value = rng.uniform(2.0, 3.0)
+        assert 2.0 <= value <= 3.0
+
+
+def test_randint_bounds():
+    rng = SeededRNG(1)
+    values = {rng.randint(1, 3) for _ in range(200)}
+    assert values == {1, 2, 3}
+
+
+def test_bernoulli_extremes():
+    rng = SeededRNG(1)
+    assert all(rng.bernoulli(1.0) for _ in range(20))
+    assert not any(rng.bernoulli(0.0) for _ in range(20))
+
+
+def test_truncated_gauss_bounds():
+    rng = SeededRNG(4)
+    for _ in range(200):
+        value = rng.truncated_gauss(0.5, 10.0, 0.0, 1.0)
+        assert 0.0 <= value <= 1.0
+
+
+def test_weighted_index_prefers_heavy_weight():
+    rng = SeededRNG(7)
+    picks = [rng.weighted_index([0.01, 0.99]) for _ in range(200)]
+    assert picks.count(1) > 150
+
+
+def test_weighted_index_rejects_zero_weights():
+    with pytest.raises(ValueError):
+        SeededRNG(1).weighted_index([0.0, 0.0])
+
+
+def test_choice_and_sample():
+    rng = SeededRNG(2)
+    items = list(range(10))
+    assert rng.choice(items) in items
+    sampled = rng.sample(items, 4)
+    assert len(sampled) == 4
+    assert len(set(sampled)) == 4
+
+
+def test_shuffle_preserves_elements():
+    rng = SeededRNG(2)
+    items = list(range(20))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+
+
+def test_lognormal_positive():
+    rng = SeededRNG(11)
+    assert all(rng.lognormal(0.0, 1.0) > 0 for _ in range(50))
+
+
+def test_pareto_scale():
+    rng = SeededRNG(11)
+    assert all(rng.pareto(2.0, scale=3.0) >= 3.0 for _ in range(50))

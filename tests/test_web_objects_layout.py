@@ -1,0 +1,106 @@
+"""Tests for the web object model and the viewport layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PageModelError
+from repro.web.layout import Viewport
+from repro.web.objects import AUXILIARY_TYPES, ObjectType, WebObject
+
+
+def make_object(**kwargs) -> WebObject:
+    defaults = dict(
+        object_id="o1",
+        object_type=ObjectType.IMAGE,
+        url="https://www.example.com/a.jpg",
+        origin="www.example.com",
+        size_bytes=100,
+    )
+    defaults.update(kwargs)
+    return WebObject(**defaults)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(PageModelError):
+        make_object(size_bytes=-1)
+
+
+def test_negative_pixels_rejected():
+    with pytest.raises(PageModelError):
+        make_object(above_fold_pixels=-1)
+
+
+def test_negative_delays_rejected():
+    with pytest.raises(PageModelError):
+        make_object(discovery_delay=-0.1)
+    with pytest.raises(PageModelError):
+        make_object(render_delay=-0.1)
+    with pytest.raises(PageModelError):
+        make_object(execution_time=-0.1)
+
+
+def test_root_detection():
+    root = make_object(object_type=ObjectType.HTML, discovered_by=None)
+    child = make_object(object_id="o2", object_type=ObjectType.HTML, discovered_by="o1")
+    assert root.is_root
+    assert not child.is_root
+
+
+def test_auxiliary_types():
+    for object_type in AUXILIARY_TYPES:
+        assert make_object(object_type=object_type).is_auxiliary
+    assert not make_object(object_type=ObjectType.IMAGE).is_auxiliary
+
+
+def test_visibility():
+    assert make_object(above_fold_pixels=10).is_visible
+    assert not make_object(above_fold_pixels=0).is_visible
+
+
+def test_describe_mentions_flags():
+    description = make_object(blocking=True, third_party=True).describe()
+    assert "blocking" in description
+    assert "3rd-party" in description
+
+
+def test_viewport_allocation():
+    viewport = Viewport(width=100, height=100)
+    region = viewport.allocate("a", 2000)
+    assert region.pixels == 2000
+    assert viewport.allocated_pixels == 2000
+    assert viewport.free_pixels == 8000
+    assert viewport.coverage() == pytest.approx(0.2)
+
+
+def test_viewport_over_allocation_clamped():
+    viewport = Viewport(width=10, height=10)
+    region = viewport.allocate("a", 1_000_000)
+    assert region.pixels == 100
+    assert viewport.free_pixels == 0
+
+
+def test_viewport_duplicate_allocation_rejected():
+    viewport = Viewport(width=10, height=10)
+    viewport.allocate("a", 10)
+    with pytest.raises(PageModelError):
+        viewport.allocate("a", 10)
+
+
+def test_viewport_negative_allocation_rejected():
+    viewport = Viewport(width=10, height=10)
+    with pytest.raises(PageModelError):
+        viewport.allocate("a", -1)
+
+
+def test_viewport_primary_vs_auxiliary_accounting():
+    viewport = Viewport(width=100, height=100)
+    viewport.allocate("content", 3000, is_primary_content=True)
+    viewport.allocate("ad", 1000, is_primary_content=False)
+    assert viewport.primary_pixels() == 3000
+    assert viewport.auxiliary_pixels() == 1000
+
+
+def test_viewport_invalid_dimensions():
+    with pytest.raises(PageModelError):
+        Viewport(width=0, height=10)

@@ -1,0 +1,178 @@
+"""Tests for the page model, ads and the synthetic corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PageModelError
+from repro.web.ads import AD_NETWORKS, ad_origins, social_origins, tracker_origins
+from repro.web.corpus import CorpusGenerator
+from repro.web.layout import Viewport
+from repro.web.objects import ObjectType, WebObject
+from repro.web.page import Page
+
+
+def simple_page_with(*objects: WebObject) -> Page:
+    page = Page(url="https://www.t.example/", site_id="t", viewport=Viewport())
+    for obj in objects:
+        page.add_object(obj)
+    return page
+
+
+def root_object() -> WebObject:
+    return WebObject(
+        object_id="root",
+        object_type=ObjectType.HTML,
+        url="https://www.t.example/",
+        origin="www.t.example",
+        size_bytes=1000,
+    )
+
+
+def child(object_id: str, parent: str = "root", **kwargs) -> WebObject:
+    defaults = dict(
+        object_id=object_id,
+        object_type=ObjectType.IMAGE,
+        url=f"https://www.t.example/{object_id}.jpg",
+        origin="www.t.example",
+        size_bytes=100,
+        discovered_by=parent,
+    )
+    defaults.update(kwargs)
+    return WebObject(**defaults)
+
+
+# -- page structural invariants ---------------------------------------------------
+
+
+def test_page_requires_exactly_one_root():
+    page = simple_page_with(child("a", parent=None, object_type=ObjectType.HTML))
+    page.objects["a"].__dict__["discovered_by"] = None
+    page.validate()  # one root: fine
+    with pytest.raises(PageModelError):
+        simple_page_with().validate()
+
+
+def test_duplicate_object_ids_rejected():
+    page = simple_page_with(root_object())
+    with pytest.raises(PageModelError):
+        page.add_object(root_object())
+
+
+def test_dangling_parent_rejected():
+    page = simple_page_with(root_object(), child("a", parent="missing"))
+    with pytest.raises(PageModelError):
+        page.validate()
+
+
+def test_cycle_detection():
+    page = simple_page_with(root_object(), child("a", parent="b"), child("b", parent="a"))
+    with pytest.raises(PageModelError):
+        page.validate()
+
+
+def test_children_and_origins():
+    page = simple_page_with(root_object(), child("a"), child("b", origin="cdn.t.example"))
+    assert {o.object_id for o in page.children_of("root")} == {"a", "b"}
+    assert page.origins()[0] == "www.t.example"
+    assert "cdn.t.example" in page.origins()
+
+
+def test_without_objects_removes_descendants():
+    page = simple_page_with(root_object(), child("a"), child("b", parent="a"), child("c"))
+    filtered = page.without_objects(["a"])
+    assert "a" not in filtered.objects
+    assert "b" not in filtered.objects
+    assert "c" in filtered.objects
+    assert "root" in filtered.objects
+    # The original page is untouched.
+    assert "a" in page.objects
+
+
+def test_page_summary_fields():
+    page = simple_page_with(root_object(), child("a"))
+    summary = page.summary()
+    assert summary["objects"] == 2
+    assert summary["bytes"] == 1100
+    assert summary["by_type"]["image"] == 1
+
+
+# -- ad networks -------------------------------------------------------------------
+
+
+def test_ad_network_categories_cover_expected():
+    categories = {network.category for network in AD_NETWORKS}
+    assert categories == {"ads", "tracking", "social"}
+
+
+def test_origin_lists_disjoint():
+    assert not set(ad_origins()) & set(tracker_origins())
+    assert not set(ad_origins()) & set(social_origins())
+
+
+# -- corpus ------------------------------------------------------------------------
+
+
+def test_corpus_is_deterministic():
+    a = CorpusGenerator(seed=11).generate_page("site-003")
+    b = CorpusGenerator(seed=11).generate_page("site-003")
+    assert a.summary() == b.summary()
+    assert list(a.objects) == list(b.objects)
+
+
+def test_corpus_seed_changes_pages():
+    a = CorpusGenerator(seed=11).generate_page("site-003")
+    b = CorpusGenerator(seed=12).generate_page("site-003")
+    assert a.total_bytes != b.total_bytes
+
+
+def test_generated_pages_validate(pages):
+    for page in pages:
+        page.validate()
+        assert page.object_count > 10
+        assert page.total_bytes > 100_000
+        assert page.root.is_root
+
+
+def test_http2_sample_flags(corpus):
+    for page in corpus.http2_sample(5):
+        assert page.supports_http2
+
+
+def test_ad_sample_displays_ads(corpus):
+    sample = corpus.ad_sample(5, corpus_size=100)
+    assert len(sample) == 5
+    for page in sample:
+        assert page.displays_ads
+        assert page.auxiliary_objects
+
+
+def test_ad_corpus_ids_size(corpus):
+    assert len(corpus.ad_corpus_ids(10_000)) == 10_000
+
+
+def test_ad_sample_bounds(corpus):
+    with pytest.raises(PageModelError):
+        corpus.ad_sample(0)
+    with pytest.raises(PageModelError):
+        corpus.ad_sample(11, corpus_size=10)
+
+
+def test_corpus_statistics(corpus, pages):
+    stats = corpus.corpus_statistics(pages)
+    assert stats["sites"] == len(pages)
+    assert stats["mean_objects"] > 10
+    assert 0.0 <= stats["ads_fraction"] <= 1.0
+    with pytest.raises(PageModelError):
+        corpus.corpus_statistics([])
+
+
+def test_latency_multiplier_in_range(corpus):
+    for index in range(10):
+        page = corpus.generate_page(f"site-{index:03d}")
+        assert 0.5 <= page.latency_multiplier <= 3.0
+
+
+def test_auxiliary_pixel_fraction_between_zero_and_one(pages):
+    for page in pages:
+        assert 0.0 <= page.auxiliary_pixel_fraction <= 1.0
