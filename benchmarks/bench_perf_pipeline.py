@@ -1,0 +1,65 @@
+"""Perf-regression benchmark for the capture→campaign pipeline.
+
+Times every stage of the bench-scale PLT campaign (capture, sessions,
+filtering, analysis — the workload behind Table 1 and Figures 4-9), verifies
+the campaign outputs are bit-identical to the pinned golden results of the
+seed implementation, and writes ``BENCH_pipeline.json`` at the repository
+root so the perf trajectory is tracked across PRs.
+
+Run it alone with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_pipeline.py -s
+
+or without pytest via ``PYTHONPATH=src python -m repro.perf.report``.
+Stage timings at the paper's full scale: add ``--full-scale``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.perf.report import RECORDED_SEED_BASELINE, run_pipeline_bench
+
+from conftest import BENCH_SEED, print_header
+
+
+def test_perf_pipeline(scale):
+    """Time the pipeline, verify bit-identical outputs, write the report."""
+    bench_scale = (scale["sites"], scale["participants"], scale["loads"]) == (30, 200, 3)
+    report, artefacts = run_pipeline_bench(
+        sites=scale["sites"],
+        participants=scale["participants"],
+        loads=scale["loads"],
+        seed=BENCH_SEED,
+        verify=bench_scale,
+    )
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    output = os.path.join(repo_root, "BENCH_pipeline.json")
+    report.write(output)
+
+    document = report.as_dict()
+    meta = document["_meta"]
+    print_header("Capture→campaign pipeline timings (BENCH_pipeline.json)")
+    for stage in ("corpus", "capture_cold", "capture_warm", "campaign",
+                  "sessions", "filtering", "analysis"):
+        stats = document[stage]
+        per_unit = f"{stats['per_unit'] * 1e3:9.3f} ms/unit" if stats["per_unit"] else ""
+        print(f"  {stage:>14}: {stats['seconds']:8.4f}s  {stats['events']:>5} events {per_unit}")
+    print(f"  {'total':>14}: {meta['total_seconds']:8.4f}s")
+    if bench_scale:
+        print(f"  seed baseline : {RECORDED_SEED_BASELINE['total']:8.4f}s "
+              f"(recorded pre-optimisation, same machine)")
+        print(f"  speedup       : {meta['speedup_vs_baseline']}x end-to-end, "
+              f"{RECORDED_SEED_BASELINE['capture_cold'] / document['capture_cold']['seconds']:.2f}x "
+              f"capture stage, "
+              f"{RECORDED_SEED_BASELINE['capture_cold'] / max(document['capture_warm']['seconds'], 1e-9):.0f}x "
+              f"ablation recapture (warm cache)")
+        print(f"  outputs verified bit-identical to seed implementation: "
+              f"{meta['outputs_verified_bit_identical']}")
+        assert meta["outputs_verified_bit_identical"]
+
+    # The report always carries the stages the trajectory tracker reads.
+    for stage in ("capture_cold", "sessions", "filtering"):
+        assert document[stage]["seconds"] >= 0.0
+    assert artefacts["campaign"].table1_row["participants"] == scale["participants"]

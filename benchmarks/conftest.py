@@ -4,6 +4,27 @@ Each benchmark regenerates one table or figure of the paper.  The underlying
 campaigns are executed once per session at a reduced but representative scale
 (the full paper scale — 100 sites x 1,000 participants — works too, just
 slower; pass ``--full-scale`` to use it).
+
+Benchmarking & perf tracking
+----------------------------
+
+``bench_perf_pipeline.py`` times the capture→campaign pipeline stage by
+stage (capture cold/warm, sessions, filtering, analysis), verifies the
+campaign outputs stay bit-identical to the pinned golden results of the
+seed implementation, and writes ``BENCH_pipeline.json`` at the repository
+root — the file future PRs diff to track the perf trajectory.  Run it via::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_pipeline.py -s
+    PYTHONPATH=src python -m repro.perf.report            # same, no pytest
+    PYTHONPATH=src python -m repro.perf.report --full-scale
+
+``--full-scale`` (both here and in ``repro.perf.report``) switches every
+campaign to the paper's full scale.  Capture results are memoised in a
+process-wide :class:`repro.capture.webpeg.CaptureCache`, so ablation
+benchmarks that re-run the same corpus (preload on/off, frame-helper
+on/off, h1 vs h2) only pay for simulation once per distinct configuration.
+Slower equivalence tests for the optimised hot paths live in
+``tests/test_perf_equivalence.py`` behind the ``tier2`` pytest marker.
 """
 
 from __future__ import annotations

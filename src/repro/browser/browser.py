@@ -49,7 +49,9 @@ class LoadResult:
         onload: onload event time (seconds from navigation start).
         fully_loaded: completion time of the last resource.
         har: the HAR archive of the load.
-        trace: devtools-style event trace.
+        devtools: the instrumentation session (used to build the trace on
+            first access; campaigns never read the trace, so building it
+            eagerly on every capture repeat was pure overhead).
     """
 
     page: Page
@@ -62,7 +64,22 @@ class LoadResult:
     onload: float
     fully_loaded: float
     har: HARArchive
-    trace: List[TraceEvent] = field(default_factory=list)
+    devtools: Optional[DevToolsSession] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._trace: Optional[List[TraceEvent]] = None
+
+    @property
+    def trace(self) -> List[TraceEvent]:
+        """Devtools-style event trace (built lazily from the load artefacts)."""
+        if self._trace is None:
+            if self.devtools is None:
+                self._trace = []
+            else:
+                self._trace = self.devtools.build_trace(
+                    self.fetch_records, self.render_timeline.events, self.onload
+                )
+        return self._trace
 
     @property
     def first_visual_change(self) -> float:
@@ -190,7 +207,6 @@ class Browser:
 
         devtools = DevToolsSession(page_url=page.url, protocol=protocol)
         har = devtools.build_har(fetch_records, schedule.onload)
-        trace = devtools.build_trace(fetch_records, timeline.events, schedule.onload)
 
         return LoadResult(
             page=page,
@@ -203,7 +219,7 @@ class Browser:
             onload=schedule.onload,
             fully_loaded=schedule.fully_loaded,
             har=har,
-            trace=trace,
+            devtools=devtools,
         )
 
     def load_with_fresh_state(self, page: Page, repeat_index: int,

@@ -20,7 +20,7 @@ from ..httpsim.messages import FetchRecord
 from .renderer import PaintEvent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One instrumentation event.
 

@@ -14,8 +14,9 @@ completion to a :class:`PaintEvent`:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import PageModelError
 from ..httpsim.messages import FetchRecord
@@ -23,7 +24,7 @@ from ..web.objects import ObjectType, WebObject
 from ..web.page import Page
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaintEvent:
     """One visual change in the first viewport.
 
@@ -56,6 +57,43 @@ class RenderTimeline:
         self.events = sorted(self.events, key=lambda e: e.time)
         if self.viewport_pixels <= 0:
             raise PageModelError("viewport_pixels must be positive")
+        # Lazily-built prefix-sum indexes; the timeline is queried once per
+        # participant interaction (readiness thresholds, completeness curves)
+        # so repeated linear re-sums over the event list add up fast.  Events
+        # are never mutated after construction.
+        self._times: Optional[List[float]] = None
+        self._pixel_prefix: List[int] = []
+        self._primary_events: List[PaintEvent] = []
+        self._primary_times: List[float] = []
+        self._primary_prefix: List[int] = []
+        self._primary_ratios: List[float] = []
+
+    def _build_indexes(self) -> None:
+        times: List[float] = []
+        prefix: List[int] = []
+        painted = 0
+        primary_events: List[PaintEvent] = []
+        primary_times: List[float] = []
+        primary_prefix: List[int] = []
+        primary_painted = 0
+        for event in self.events:
+            times.append(event.time)
+            painted += event.pixels
+            prefix.append(painted)
+            if event.is_primary_content:
+                primary_events.append(event)
+                primary_times.append(event.time)
+                primary_painted += event.pixels
+                primary_prefix.append(primary_painted)
+        self._pixel_prefix = prefix
+        self._primary_events = primary_events
+        self._primary_times = primary_times
+        self._primary_prefix = primary_prefix
+        total_primary = primary_prefix[-1] if primary_prefix else 0
+        self._primary_ratios = (
+            [painted / total_primary for painted in primary_prefix] if total_primary else []
+        )
+        self._times = times
 
     @property
     def first_visual_change(self) -> float:
@@ -70,28 +108,55 @@ class RenderTimeline:
     @property
     def painted_pixels(self) -> int:
         """Total pixels painted across all events."""
-        return sum(event.pixels for event in self.events)
+        if self._times is None:
+            self._build_indexes()
+        return self._pixel_prefix[-1] if self._pixel_prefix else 0
 
     def completeness_at(self, time: float) -> float:
         """Visual completeness (0..1) at ``time``: painted / finally-painted pixels."""
-        total = self.painted_pixels
+        if self._times is None:
+            self._build_indexes()
+        total = self._pixel_prefix[-1] if self._pixel_prefix else 0
         if total == 0:
             return 1.0
-        painted = sum(event.pixels for event in self.events if event.time <= time)
+        index = bisect_right(self._times, time)
+        painted = self._pixel_prefix[index - 1] if index else 0
         return painted / total
 
     def primary_completeness_at(self, time: float) -> float:
         """Completeness counting only primary (non-ad) content."""
-        total = sum(e.pixels for e in self.events if e.is_primary_content)
+        if self._times is None:
+            self._build_indexes()
+        total = self._primary_prefix[-1] if self._primary_prefix else 0
         if total == 0:
             return 1.0
-        painted = sum(e.pixels for e in self.events if e.is_primary_content and e.time <= time)
+        index = bisect_right(self._primary_times, time)
+        painted = self._primary_prefix[index - 1] if index else 0
         return painted / total
+
+    def primary_threshold_time(self, threshold: float) -> float:
+        """Earliest time primary-content completeness reaches ``threshold``.
+
+        Used by the perception model for the "early" and "primary" readiness
+        personas; bisects the cached cumulative primary-completeness ratios.
+        Falls back to the last visual change when the page paints no primary
+        content, and to the last primary paint when the threshold is never
+        reached.
+        """
+        if self._times is None:
+            self._build_indexes()
+        if not self._primary_ratios:
+            return self.last_visual_change
+        index = bisect_left(self._primary_ratios, threshold)
+        if index < len(self._primary_events):
+            return self._primary_events[index].time
+        return self._primary_events[-1].time
 
     def primary_complete_time(self) -> float:
         """Time at which the last primary-content pixels appear."""
-        primary = [e.time for e in self.events if e.is_primary_content]
-        return max(primary) if primary else 0.0
+        if self._times is None:
+            self._build_indexes()
+        return self._primary_times[-1] if self._primary_times else 0.0
 
     def auxiliary_complete_time(self) -> float:
         """Time at which the last auxiliary-content pixels appear."""

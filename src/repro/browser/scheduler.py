@@ -130,14 +130,20 @@ class FetchScheduler:
             fetches[obj.object_id] = record
             queue.extend(page.children_of(obj.object_id))
 
-        static_completions = [
-            record.completed_at
-            for object_id, record in fetches.items()
-            if not page.objects[object_id].loaded_by_script
-        ]
-        all_completions = [record.completed_at for record in fetches.values()]
-        onload = max(static_completions) + ONLOAD_DISPATCH_OVERHEAD
-        fully_loaded = max(all_completions)
+        objects = page.objects
+        static_last = None
+        fully_loaded = 0.0
+        for object_id, record in fetches.items():
+            completed = record.completed_at
+            if completed > fully_loaded:
+                fully_loaded = completed
+            if not objects[object_id].loaded_by_script and (
+                static_last is None or completed > static_last
+            ):
+                static_last = completed
+        if static_last is None:
+            raise PageModelError(f"page {page.url} has no statically discovered resources")
+        onload = static_last + ONLOAD_DISPATCH_OVERHEAD
         return ScheduleResult(
             fetches=fetches,
             blocked_object_ids=[],

@@ -6,10 +6,18 @@ therefore what fraction of the final above-the-fold content is visible — the
 same information a pixel-level comparison of real video frames gives the
 real platform (frame similarity for the helper, visual progress for
 SpeedIndex).
+
+The sampling and lookup paths here are capture hot spots:
+:func:`frames_from_timeline` runs once per kept load and
+:meth:`FrameBuffer.frame_at` once per participant interaction, so sampling is
+a single merge-sweep over the (sorted) paint events — O(frames + events)
+instead of O(frames x events) — and timestamp lookups bisect a precomputed
+timestamp array instead of scanning the frame list.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List
 
@@ -17,7 +25,7 @@ from ..errors import VideoError
 from ..browser.renderer import RenderTimeline
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """One video frame.
 
@@ -38,10 +46,15 @@ class Frame:
     def pixel_difference(self, other: "Frame", viewport_pixels: int) -> float:
         """Fraction of viewport pixels that differ between the two frames.
 
-        The difference is the symmetric difference of the painted object
-        sets, weighted by each object's painted area, normalised by the
-        viewport size — the synthetic equivalent of webpeg's pixel-by-pixel
-        comparison.
+        Frames with identical painted object sets are identical (difference
+        0.0).  Otherwise the difference is the absolute difference in painted
+        pixel *counts*, normalised by the viewport size — a cheap scalar
+        proxy for webpeg's pixel-by-pixel comparison.  Because only the
+        counts are compared, two frames that paint disjoint object sets of
+        equal total area also measure as identical; on page-load videos
+        (where content accumulates monotonically and later frames are
+        supersets of earlier ones) that case does not arise between frames
+        of the same capture.  The behaviour is pinned by a regression test.
         """
         if viewport_pixels <= 0:
             raise VideoError("viewport_pixels must be positive")
@@ -70,6 +83,9 @@ class FrameBuffer:
         if not self.frames:
             raise VideoError("a frame buffer needs at least one frame")
         self.frames = sorted(self.frames, key=lambda f: f.timestamp)
+        # Timestamp array for bisect-based lookups; frames are never mutated
+        # after construction.
+        self._timestamps = [frame.timestamp for frame in self.frames]
 
     @property
     def duration(self) -> float:
@@ -81,14 +97,15 @@ class FrameBuffer:
         """Number of frames."""
         return len(self.frames)
 
+    def _index_at(self, timestamp: float) -> int:
+        """Index of the frame visible at ``timestamp`` (clamped to bounds)."""
+        if timestamp <= self._timestamps[0]:
+            return 0
+        return bisect_right(self._timestamps, timestamp) - 1
+
     def frame_at(self, timestamp: float) -> Frame:
         """The frame visible at ``timestamp`` (clamped to the video bounds)."""
-        if timestamp <= self.frames[0].timestamp:
-            return self.frames[0]
-        for frame in reversed(self.frames):
-            if frame.timestamp <= timestamp:
-                return frame
-        return self.frames[-1]
+        return self.frames[self._index_at(timestamp)]
 
     def completeness_at(self, timestamp: float) -> float:
         """Visual completeness of the frame shown at ``timestamp``."""
@@ -98,14 +115,14 @@ class FrameBuffer:
         """Earliest frame within ``threshold`` pixel difference of the one at ``timestamp``.
 
         This is the frame-selection helper's "rewind" suggestion (paper §3.2):
-        walk backwards from the chosen frame while consecutive frames stay
-        within the pixel-difference threshold.
+        walk backwards from the chosen frame while frames stay within the
+        pixel-difference threshold of it.
         """
-        chosen = self.frame_at(timestamp)
+        chosen_index = self._index_at(timestamp)
+        chosen = self.frames[chosen_index]
         earliest = chosen
-        for frame in reversed(self.frames):
-            if frame.timestamp > chosen.timestamp:
-                continue
+        for index in range(chosen_index - 1, -1, -1):
+            frame = self.frames[index]
             if chosen.pixel_difference(frame, self.viewport_pixels) <= threshold:
                 earliest = frame
             else:
@@ -116,6 +133,12 @@ class FrameBuffer:
 def frames_from_timeline(timeline: RenderTimeline, fps: int, duration: float) -> FrameBuffer:
     """Sample a render timeline into a frame buffer.
 
+    A single sweep merges the (time-sorted) paint events into the fixed-rate
+    frame grid; consecutive frames with no intervening paint share the same
+    ``painted_objects`` frozenset object, which also makes downstream
+    frame-to-frame comparisons (webm size estimation, pixel differences)
+    identity-fast.
+
     Args:
         timeline: paint events of the load.
         fps: frames per second to sample at.
@@ -124,19 +147,31 @@ def frames_from_timeline(timeline: RenderTimeline, fps: int, duration: float) ->
     """
     if duration <= 0:
         raise VideoError("duration must be positive")
+    events = timeline.events  # sorted by time (RenderTimeline invariant)
     total_pixels = timeline.painted_pixels
     frame_count = max(int(duration * fps) + 1, 2)
     frames: List[Frame] = []
+    painted_ids: List[str] = []
+    painted_set: FrozenSet[str] = frozenset()
+    painted_pixels = 0
+    cursor = 0
+    event_count = len(events)
     for index in range(frame_count):
         timestamp = index / fps
-        painted = frozenset(e.object_id for e in timeline.events if e.time <= timestamp)
-        painted_pixels = sum(e.pixels for e in timeline.events if e.time <= timestamp)
+        advanced = False
+        while cursor < event_count and events[cursor].time <= timestamp:
+            painted_ids.append(events[cursor].object_id)
+            painted_pixels += events[cursor].pixels
+            cursor += 1
+            advanced = True
+        if advanced:
+            painted_set = frozenset(painted_ids)
         completeness = painted_pixels / total_pixels if total_pixels else 1.0
         frames.append(
             Frame(
                 index=index,
                 timestamp=timestamp,
-                painted_objects=painted,
+                painted_objects=painted_set,
                 painted_pixels=painted_pixels,
                 completeness=completeness,
             )

@@ -46,6 +46,9 @@ class Video:
     flagged_by: set = field(default_factory=set)
     banned: bool = False
 
+    def __post_init__(self) -> None:
+        self._size_bytes: Optional[int] = None
+
     @property
     def duration(self) -> float:
         """Video duration in seconds."""
@@ -62,15 +65,21 @@ class Video:
 
         The estimate charges a fixed container overhead plus a cost per frame
         in which pixels changed; static tail frames compress to almost
-        nothing, matching webm's behaviour on page-load videos.
+        nothing, matching webm's behaviour on page-load videos.  The frame
+        buffer is immutable after capture, so the walk over the frames is
+        memoised — every participant task re-reads this to model the
+        transfer time of the same file.
         """
-        changed = 0
-        previous: Optional[Frame] = None
-        for frame in self.frames.frames:
-            if previous is not None and frame.painted_objects != previous.painted_objects:
-                changed += 1
-            previous = frame
-        return _WEBM_CONTAINER_OVERHEAD + changed * _WEBM_BYTES_PER_CHANGED_FRAME
+        if self._size_bytes is None:
+            changed = 0
+            previous: Optional[Frame] = None
+            for frame in self.frames.frames:
+                if previous is not None and frame.painted_objects is not previous.painted_objects \
+                        and frame.painted_objects != previous.painted_objects:
+                    changed += 1
+                previous = frame
+            self._size_bytes = _WEBM_CONTAINER_OVERHEAD + changed * _WEBM_BYTES_PER_CHANGED_FRAME
+        return self._size_bytes
 
     def frame_at(self, timestamp: float) -> Frame:
         """Frame shown at ``timestamp``."""

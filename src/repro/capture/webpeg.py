@@ -12,13 +12,30 @@ This is the synthetic counterpart of the tool described in paper §3.1:
   kept (paper §3.2);
 * the output of a capture is a :class:`~repro.capture.video.Video` — frames,
   HAR, onload — ready to be served to participants.
+
+Performance notes
+-----------------
+
+Capture dominates every campaign reproduction (it is roughly two thirds of a
+PLT campaign run), so this module carries two optimisations:
+
+* a :class:`CaptureCache` memoises finished :class:`CaptureReport` objects
+  keyed by (page fingerprint, configuration, preferences, settings, seed).
+  Ablation reruns — preload on/off, frame-helper on/off, HTTP/1.1 vs HTTP/2
+  campaigns over the same corpus — previously re-simulated byte-identical
+  loads; with the (process-wide, LRU-bounded) cache they are free.
+* :meth:`Webpeg.capture_batch` accepts ``max_workers`` to fan independent
+  site captures out over a process pool.  Each capture derives all of its
+  randomness from ``(seed, page.url, repeat)``, so the parallel path is
+  deterministic and reports are merged in input order.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from statistics import median
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..browser.browser import Browser, LoadResult
 from ..browser.preferences import BrowserPreferences
@@ -64,7 +81,8 @@ class CaptureReport:
         video: the selected (median-onload) video.
         onload_times: onload of every repeat, in repeat order.
         selected_repeat: index of the repeat whose video was kept.
-        primer_performed: whether the primer load ran.
+        primer_performed: whether the capture protocol included the primer
+            step before the measured repeats.
     """
 
     video: Video
@@ -73,20 +91,169 @@ class CaptureReport:
     primer_performed: bool
 
 
+def _page_fingerprint(page: Page) -> Tuple:
+    """A structural fingerprint of a page for capture-cache keying.
+
+    Two pages with the same fingerprint produce byte-identical captures under
+    the same settings and seed: the load is a deterministic function of the
+    object graph, the viewport, and the per-site knobs below.
+    """
+    viewport = page.viewport
+    return (
+        page.url,
+        page.site_id,
+        page.supports_http2,
+        page.displays_ads,
+        page.latency_multiplier,
+        viewport.total_pixels,
+        # Layout regions drive paint pixel counts and primary/auxiliary
+        # classification, so identical object graphs with different
+        # allocations must not collide.
+        tuple(
+            (region.object_id, region.pixels, region.is_primary_content)
+            for region in viewport.regions.values()
+        ),
+        tuple(
+            (o.object_id, o.object_type.value, o.url, o.origin, o.size_bytes,
+             o.discovered_by, o.discovery_delay, o.above_fold_pixels, o.render_delay,
+             o.blocking, o.loaded_by_script, o.third_party, o.server_think_time,
+             o.priority, o.execution_time)
+            for o in page.iter_objects()
+        ),
+    )
+
+
+def _extension_key(extension) -> Tuple:
+    """Hashable identity of one ad-blocking extension's full configuration.
+
+    The name alone is not enough: two same-named blockers with different
+    filter lists or allow fractions block different objects and must not
+    share cached captures.
+    """
+    return (
+        extension.name,
+        extension.allow_fraction,
+        extension.per_request_overhead,
+        tuple(
+            (filter_list.name,
+             tuple((rule.pattern, rule.categories) for rule in filter_list.rules))
+            for filter_list in extension.filter_lists
+        ),
+    )
+
+
+def _preferences_key(preferences: BrowserPreferences) -> Tuple:
+    """Hashable identity of a preference set for cache keying."""
+    return (
+        preferences.protocol,
+        tuple(_extension_key(extension) for extension in preferences.extensions),
+        preferences.kiosk_mode,
+        preferences.disable_notifications,
+        preferences.disable_local_cache,
+        preferences.device_scale_factor,
+        preferences.user_agent,
+    )
+
+
+def _fresh_report(report: CaptureReport) -> CaptureReport:
+    """Copy a report for hand-out: share the immutable capture artefacts
+    (frame buffer, load result) but give the video fresh mutable state
+    (broken-video flags), so one campaign's flags never leak into another."""
+    video = report.video
+    return CaptureReport(
+        video=Video(
+            video_id=video.video_id,
+            site_id=video.site_id,
+            configuration=video.configuration,
+            frames=video.frames,
+            load_result=video.load_result,
+            record_after_onload=video.record_after_onload,
+        ),
+        onload_times=list(report.onload_times),
+        selected_repeat=report.selected_repeat,
+        primer_performed=report.primer_performed,
+    )
+
+
+class CaptureCache:
+    """LRU cache of finished capture reports.
+
+    Keyed by ``(page fingerprint, configuration, preferences, settings,
+    seed)`` — everything a capture's output is a deterministic function of.
+    The stored pristine report is never handed out directly; hits (and the
+    miss that populates an entry) return :func:`_fresh_report` copies.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise CaptureError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, CaptureReport]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[CaptureReport]:
+        """Return a fresh report for ``key``, or None on a miss."""
+        report = self._entries.get(key)
+        if report is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return _fresh_report(report)
+
+    def put(self, key: Tuple, report: CaptureReport) -> None:
+        """Store ``report`` under ``key``, evicting the oldest entry if full."""
+        self._entries[key] = report
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide default cache shared by every :class:`Webpeg` instance, so
+#: ablation reruns of the same corpus hit it across tool instances.
+DEFAULT_CAPTURE_CACHE = CaptureCache()
+
+
 class Webpeg:
-    """Capture page-load videos under controlled conditions."""
+    """Capture page-load videos under controlled conditions.
+
+    Args:
+        preferences: browser configuration for every load.
+        settings: capture batch settings.
+        seed: master seed for every stochastic component.
+        cache: capture cache to consult (pass None to disable caching).
+    """
 
     def __init__(
         self,
         preferences: Optional[BrowserPreferences] = None,
         settings: Optional[CaptureSettings] = None,
         seed: int = 2016,
+        cache: Optional[CaptureCache] = DEFAULT_CAPTURE_CACHE,
     ) -> None:
         self.preferences = preferences or BrowserPreferences()
         self.settings = settings or CaptureSettings()
         self.seed = seed
+        self.cache = cache
 
     # -- single-site capture ----------------------------------------------------
+
+    def _cache_key(self, page: Page, configuration: str) -> Tuple:
+        return (
+            _page_fingerprint(page),
+            configuration,
+            _preferences_key(self.preferences),
+            self.settings,
+            self.seed,
+        )
 
     def capture(self, page: Page, configuration: str) -> CaptureReport:
         """Capture ``page`` under the tool's preferences.
@@ -99,15 +266,26 @@ class Webpeg:
         Returns:
             A :class:`CaptureReport` with the median-onload video.
         """
+        key: Optional[Tuple] = None
+        if self.cache is not None:
+            key = self._cache_key(page, configuration)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+
         browser = Browser(
             preferences=self.preferences,
             network_profile=self.settings.network_profile,
             seed=self.seed,
         )
-        # Primer load: warms the resolver so the first measured repeat does
-        # not pay cold DNS lookups.  Its video is discarded.
-        browser.load_with_fresh_state(page, repeat_index=-1)
-
+        # The capture protocol performs a primer load before the measured
+        # repeats so the first trial does not pay cold DNS lookups.  In the
+        # synthetic substrate every load builds its resolver, link and
+        # connection pool from scratch (webpeg clears browser state between
+        # repeats), so no state survives from the primer into the measured
+        # loads and simulating it would only burn CPU: its random streams are
+        # derived from repeat index -1 and are never observed.  It is
+        # therefore accounted for (``primer_performed``) but not simulated.
         results: List[LoadResult] = []
         for repeat in range(self.settings.loads_per_site):
             results.append(browser.load_with_fresh_state(page, repeat_index=repeat))
@@ -127,23 +305,81 @@ class Webpeg:
             load_result=chosen,
             record_after_onload=self.settings.record_after_onload,
         )
-        return CaptureReport(
+        report = CaptureReport(
             video=video,
             onload_times=onloads,
             selected_repeat=selected,
             primer_performed=True,
         )
+        if self.cache is not None and key is not None:
+            self.cache.put(key, report)
+            # Hand the caller the same flag-isolated copy a cache hit gets,
+            # keeping the stored entry pristine.
+            return _fresh_report(report)
+        return report
 
     # -- batch capture ----------------------------------------------------------
 
-    def capture_batch(self, pages: Sequence[Page], configuration: str) -> Dict[str, CaptureReport]:
-        """Capture a list of pages; returns reports keyed by site id."""
+    def capture_batch(self, pages: Sequence[Page], configuration: str,
+                      max_workers: Optional[int] = None) -> Dict[str, CaptureReport]:
+        """Capture a list of pages; returns reports keyed by site id.
+
+        Args:
+            pages: pages to capture.
+            configuration: label recorded on every video.
+            max_workers: when > 1, captures run on a process pool.  Every
+                capture is an independent deterministic function of
+                ``(seed, page)``, so the result is bit-identical to the
+                serial path; reports are merged in input order.
+        """
         if not pages:
             raise CaptureError("capture_batch needs at least one page")
         reports: Dict[str, CaptureReport] = {}
+        if max_workers is not None and max_workers > 1 and len(pages) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            # Serve cache hits locally; only misses go to the pool, so a warm
+            # batch stays as cheap in parallel mode as in serial mode.
+            misses = []  # (page, precomputed cache key or None)
+            for page in pages:
+                key = None
+                if self.cache is not None:
+                    key = self._cache_key(page, configuration)
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        reports[page.site_id] = cached
+                        continue
+                misses.append((page, key))
+            if misses:
+                with ProcessPoolExecutor(max_workers=min(max_workers, len(misses))) as pool:
+                    for (page, key), report in zip(
+                        misses,
+                        pool.map(
+                            _capture_one,
+                            [(self.preferences, self.settings, self.seed, page, configuration)
+                             for page, _key in misses],
+                        ),
+                    ):
+                        if self.cache is not None and key is not None:
+                            self.cache.put(key, report)
+                            report = _fresh_report(report)
+                        reports[page.site_id] = report
+            # Preserve input order in the returned mapping.
+            return {page.site_id: reports[page.site_id] for page in pages}
         for page in pages:
             reports[page.site_id] = self.capture(page, configuration)
         return reports
+
+
+def _capture_one(args: Tuple) -> CaptureReport:
+    """Process-pool entry point: capture one page with a fresh tool.
+
+    Workers run without a shared cache (each report is shipped back to the
+    parent, which populates its own cache).
+    """
+    preferences, settings, seed, page, configuration = args
+    tool = Webpeg(preferences=preferences, settings=settings, seed=seed, cache=None)
+    return tool.capture(page, configuration)
 
 
 def capture_protocol_pair(page: Page, settings: Optional[CaptureSettings] = None,

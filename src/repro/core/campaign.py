@@ -7,12 +7,20 @@ recruit, admit through the captcha, assign tasks, run sessions, collect
 responses and telemetry, and apply the §4.3 filtering pipeline — and returns
 a :class:`CampaignResult` carrying everything the analysis and the Table 1
 accounting need.
+
+Participant sessions are independent given their task list — each session
+derives every random stream it consumes by forking the campaign generator
+with its participant id — so :class:`CampaignConfig.parallel_workers` can
+opt a campaign into running sessions on a process pool.  Admission and task
+assignment stay serial (the assigner's coverage balancing is order-
+dependent), and results are merged back in recruitment order, which keeps
+the parallel path bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..config import VIDEOS_PER_PARTICIPANT
 from ..crowd.participant import Participant, ParticipantClass
@@ -40,6 +48,10 @@ class CampaignConfig:
         frame_helper_enabled: whether the frame-selection helper runs.
         filter_config: filtering thresholds (None for the defaults).
         seed: campaign-level random seed.
+        parallel_workers: number of worker processes for participant
+            sessions; 0 or 1 runs sessions serially (the default).  The
+            parallel path is deterministic and bit-identical to the serial
+            one.
     """
 
     campaign_id: str
@@ -50,12 +62,15 @@ class CampaignConfig:
     frame_helper_enabled: bool = True
     filter_config: Optional[FilterConfig] = None
     seed: int = 2016
+    parallel_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.participant_count <= 0:
             raise CampaignError("participant_count must be positive")
         if self.videos_per_participant <= 0:
             raise CampaignError("videos_per_participant must be positive")
+        if self.parallel_workers < 0:
+            raise CampaignError("parallel_workers must be non-negative")
 
 
 @dataclass
@@ -108,11 +123,69 @@ class CampaignResult:
         return sum(t.videos_assigned for t in self.telemetry.values())
 
 
-class CampaignRunner:
-    """Runs campaigns end-to-end."""
+# -- parallel session plumbing --------------------------------------------------
+#
+# Sessions fan out over a process pool.  The (heavy) shared task pool is
+# shipped once per worker through the pool initializer; per-participant task
+# lists are encoded as pool indices where possible, so only participant-
+# specific objects (e.g. injected A/B control pairs) travel per task.
 
-    def __init__(self, config: CampaignConfig) -> None:
+_WORKER_POOL_TASKS: List = []
+
+
+def _init_worker_pool(tasks: List) -> None:
+    global _WORKER_POOL_TASKS
+    _WORKER_POOL_TASKS = tasks
+
+
+def _encode_tasks(tasks: List, index_by_id: Dict[int, int]) -> List[Tuple[str, object]]:
+    return [
+        ("pool", index_by_id[id(task)]) if id(task) in index_by_id else ("obj", task)
+        for task in tasks
+    ]
+
+
+def _run_one_session(args: Tuple):
+    mode, participant, encoded, parent_seed, helper, preload = args
+    tasks = [
+        _WORKER_POOL_TASKS[reference] if kind == "pool" else reference
+        for kind, reference in encoded
+    ]
+    # Forking only reads the parent's seed, so rebuilding the campaign
+    # generator from its seed yields the exact child streams the serial path
+    # derives in-process.
+    session = ParticipantSession(
+        participant, SeededRNG(parent_seed), frame_helper=helper, preload_video=preload
+    )
+    if mode == "timeline":
+        return session.run_timeline(tasks)
+    return session.run_ab(tasks)
+
+
+def _run_sessions_parallel(pool_tasks: List, session_args: List[Tuple], workers: int) -> List:
+    from concurrent.futures import ProcessPoolExecutor
+
+    worker_count = min(workers, len(session_args))
+    chunksize = max(1, len(session_args) // (worker_count * 4))
+    with ProcessPoolExecutor(
+        max_workers=worker_count, initializer=_init_worker_pool, initargs=(pool_tasks,)
+    ) as pool:
+        return list(pool.map(_run_one_session, session_args, chunksize=chunksize))
+
+
+class CampaignRunner:
+    """Runs campaigns end-to-end.
+
+    Args:
+        config: the campaign configuration.
+        perf: optional :class:`repro.perf.PerfReport`; when provided, the
+            runner records "sessions" and "filtering" stage timings into it
+            (used by ``benchmarks/bench_perf_pipeline.py``).
+    """
+
+    def __init__(self, config: CampaignConfig, perf=None) -> None:
         self.config = config
+        self.perf = perf
         self._rng = SeededRNG(config.seed).fork(f"campaign:{config.campaign_id}")
 
     # -- internals --------------------------------------------------------------
@@ -127,6 +200,43 @@ class CampaignRunner:
             enabled=self.config.frame_helper_enabled,
         )
 
+    def _run_sessions(self, experiment, admitted: List[Tuple[Participant, List]],
+                      mode: str, helper: Optional[FrameSelectionHelper] = None,
+                      preload: bool = True) -> List:
+        """Phase 2: run the admitted sessions, serially or on a process pool.
+
+        Each session only draws from streams forked with its participant id,
+        so execution order cannot affect the outcome; results come back in
+        ``admitted`` order either way.
+        """
+        timer = self.perf.stage("sessions") if self.perf else None
+        if timer:
+            timer.start()
+        if self.config.parallel_workers > 1 and len(admitted) > 1:
+            pool_tasks = experiment.task_pool()
+            index_by_id = {id(task): index for index, task in enumerate(pool_tasks)}
+            results = _run_sessions_parallel(
+                pool_tasks,
+                [
+                    (mode, participant, _encode_tasks(tasks, index_by_id),
+                     self._rng.seed, helper, preload)
+                    for participant, tasks in admitted
+                ],
+                self.config.parallel_workers,
+            )
+        else:
+            results = []
+            for participant, tasks in admitted:
+                session = ParticipantSession(
+                    participant, self._rng, frame_helper=helper, preload_video=preload
+                )
+                results.append(
+                    session.run_timeline(tasks) if mode == "timeline" else session.run_ab(tasks)
+                )
+        if timer:
+            timer.finish(events=len(admitted))
+        return results
+
     # -- public API -------------------------------------------------------------
 
     def run_timeline(self, experiment: TimelineExperiment) -> CampaignResult:
@@ -138,23 +248,30 @@ class CampaignRunner:
         dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="timeline")
         telemetry: Dict[str, SessionTelemetry] = {}
         helper = self._frame_helper(experiment)
+        preload = self.config.preload_video and experiment.preload_video
+
+        # Phase 1 (serial): admission and assignment are order-dependent.
+        admitted: List[Tuple[Participant, List]] = []
         for recruited in recruitment.participants:
             participant = recruited.participant
             if not server.admit(participant):
                 continue
-            tasks = server.assign_tasks(participant)
-            session = ParticipantSession(
-                participant,
-                self._rng,
-                frame_helper=helper,
-                preload_video=self.config.preload_video and experiment.preload_video,
-            )
-            result = session.run_timeline(tasks)
+            admitted.append((participant, server.assign_tasks(participant)))
+
+        results = self._run_sessions(experiment, admitted, "timeline", helper, preload)
+
+        # Phase 3 (serial): merge in recruitment order.
+        for (participant, _tasks), result in zip(admitted, results):
             dataset.add_participant(participant)
             for response in result.responses:
                 dataset.add_timeline_response(response)
             telemetry[participant.participant_id] = result.telemetry
+        filter_timer = self.perf.stage("filtering") if self.perf else None
+        if filter_timer:
+            filter_timer.start()
         clean, report = FilteringPipeline(self.config.filter_config).run(dataset, telemetry)
+        if filter_timer:
+            filter_timer.finish(events=len(dataset.timeline_responses))
         return CampaignResult(
             config=self.config,
             experiment_type="timeline",
@@ -179,6 +296,9 @@ class CampaignRunner:
         dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="ab")
         telemetry: Dict[str, SessionTelemetry] = {}
         control_rng = self._rng.fork("ab-controls")
+
+        # Phase 1 (serial): admission, assignment and control injection.
+        admitted: List[Tuple[Participant, List]] = []
         for recruited in recruitment.participants:
             participant = recruited.participant
             if not server.admit(participant):
@@ -190,8 +310,12 @@ class CampaignRunner:
                     experiment.control_pair_probability
                 ):
                     tasks[index] = experiment.make_control_pair(tasks[index], control_rng, index)
-            session = ParticipantSession(participant, self._rng)
-            result = session.run_ab(tasks)
+            admitted.append((participant, tasks))
+
+        results = self._run_sessions(experiment, admitted, "ab")
+
+        # Phase 3 (serial): merge in recruitment order.
+        for (participant, _tasks), result in zip(admitted, results):
             dataset.add_participant(participant)
             for response in result.responses:
                 dataset.add_ab_response(response)

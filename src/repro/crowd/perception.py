@@ -49,20 +49,13 @@ class PerceivedReadiness:
 
 
 def _primary_threshold_time(video: Video, threshold: float) -> float:
-    """Earliest time primary-content completeness reaches ``threshold``."""
-    timeline = video.load_result.render_timeline
-    primary_events = sorted(
-        (e for e in timeline.events if e.is_primary_content), key=lambda e: e.time
-    )
-    total = sum(e.pixels for e in primary_events)
-    if total == 0:
-        return timeline.last_visual_change
-    painted = 0
-    for event in primary_events:
-        painted += event.pixels
-        if painted / total >= threshold:
-            return event.time
-    return primary_events[-1].time if primary_events else 0.0
+    """Earliest time primary-content completeness reaches ``threshold``.
+
+    Delegates to the render timeline's cached cumulative index: the same
+    video is judged by dozens of participants per campaign, so re-sorting and
+    re-summing the paint events on every judgement dominated session time.
+    """
+    return video.load_result.render_timeline.primary_threshold_time(threshold)
 
 
 def ideal_readiness(video: Video, persona: ReadinessPersona) -> float:

@@ -50,6 +50,8 @@ def run_plt_campaign(
     network_profile: str = "cable-intl",
     frame_helper_enabled: bool = True,
     preload_video: bool = True,
+    capture_workers: int = 0,
+    session_workers: int = 0,
 ) -> PLTCampaignResult:
     """Run the PLT timeline campaign end to end.
 
@@ -61,16 +63,21 @@ def run_plt_campaign(
         network_profile: capture network emulation profile.
         frame_helper_enabled: toggle for the frame-selection helper (ablation).
         preload_video: toggle for full-video preloading (ablation).
+        capture_workers: when > 1, captures fan out over a process pool
+            (deterministic; results identical to the serial path).
+        session_workers: when > 1, participant sessions fan out over a
+            process pool (deterministic; results identical to serial).
     """
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
     tool = Webpeg(settings=settings, seed=seed)
 
+    reports = tool.capture_batch(pages, configuration="h2", max_workers=capture_workers or None)
     videos: List[Video] = []
     metrics_by_site: Dict[str, PLTMetrics] = {}
     for page in pages:
-        report = tool.capture(page, configuration="h2")
+        report = reports[page.site_id]
         videos.append(report.video)
         metrics_by_site[page.site_id] = metrics_from_video(report.video)
 
@@ -82,6 +89,7 @@ def run_plt_campaign(
         seed=seed,
         frame_helper_enabled=frame_helper_enabled,
         preload_video=preload_video,
+        parallel_workers=session_workers,
     )
     campaign = CampaignRunner(config).run_timeline(experiment)
 

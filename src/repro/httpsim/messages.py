@@ -23,8 +23,22 @@ HTTP2_REQUEST_HEADER_BYTES = 140
 #: Approximate size of response headers (uncompressed, bytes).
 RESPONSE_HEADER_BYTES = 350
 
+#: Template capture request headers; each request gets its own copy (a
+#: shared dict would let one caller's mutation corrupt every request, and a
+#: MappingProxyType would not survive the process-pool pickling the parallel
+#: executors rely on).
+_CAPTURE_HEADERS_NO_CACHE = {
+    "accept": "*/*",
+    "user-agent": "webpeg/1.0 (Chrome emulation)",
+    "cache-control": "no-cache",
+}
+_CAPTURE_HEADERS_CACHEABLE = {
+    "accept": "*/*",
+    "user-agent": "webpeg/1.0 (Chrome emulation)",
+}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class HTTPRequest:
     """A single resource request.
 
@@ -46,15 +60,18 @@ class HTTPRequest:
 
     @classmethod
     def for_object(cls, obj: WebObject, no_cache: bool = True) -> "HTTPRequest":
-        """Build the request webpeg would issue for ``obj``."""
-        headers = {"accept": "*/*", "user-agent": "webpeg/1.0 (Chrome emulation)"}
-        if no_cache:
-            headers["cache-control"] = "no-cache"
+        """Build the request webpeg would issue for ``obj``.
+
+        Every capture request carries the same header set, so the headers
+        are copied from module-level templates instead of being rebuilt
+        key-by-key for each of the thousands of requests a batch issues.
+        """
+        template = _CAPTURE_HEADERS_NO_CACHE if no_cache else _CAPTURE_HEADERS_CACHEABLE
         return cls(
             url=obj.url,
             origin=obj.origin,
             object_id=obj.object_id,
-            headers=headers,
+            headers=dict(template),
             priority=obj.priority,
         )
 
@@ -64,7 +81,7 @@ class HTTPRequest:
         return self.headers.get("cache-control", "").lower() != "no-cache"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HTTPResponse:
     """A response to an :class:`HTTPRequest`.
 
@@ -101,7 +118,7 @@ class HTTPResponse:
         return 200 <= self.status < 300
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchRecord:
     """Full record of a fetch: request, response, and wire timings.
 

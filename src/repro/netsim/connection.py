@@ -34,7 +34,7 @@ MSS_BYTES = 1460
 INITIAL_CWND_SEGMENTS = 10
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferTiming:
     """Timing breakdown of one response transfer over a connection.
 

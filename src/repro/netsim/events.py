@@ -31,14 +31,16 @@ class _ScheduledEvent:
     sequence: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, usable to cancel."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -51,8 +53,13 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        """Prevent the event from firing (idempotent; a no-op after it fired)."""
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            # Events that already ran were removed from the pending count at
+            # execution time; only a live cancellation decrements it.
+            if not self._event.executed:
+                self._simulator._pending -= 1
 
 
 class Simulator:
@@ -63,6 +70,7 @@ class Simulator:
         self._queue: list[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -71,8 +79,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events still in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of scheduled (non-cancelled) events still in the queue.
+
+        Maintained as a live counter (incremented on schedule, decremented on
+        cancellation and execution) so the query is O(1) instead of a queue
+        sweep.
+        """
+        return self._pending
 
     @property
     def processed(self) -> int:
@@ -94,7 +107,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule event {label!r} in the past (delay={delay})")
         event = _ScheduledEvent(self._now + delay, next(self._sequence), callback, label=label)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
     def schedule_at(self, time: float, callback: EventCallback, label: str = "") -> EventHandle:
         """Schedule ``callback`` at an absolute simulation time."""
@@ -116,19 +130,25 @@ class Simulator:
             if until is not None and event.time > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
             if event.cancelled:
+                heapq.heappop(self._queue)
                 continue
+            # Check the budget before executing so that exactly ``max_events``
+            # events may run: the previous post-increment check let
+            # ``max_events + 1`` through before raising.
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; likely an event loop")
+            heapq.heappop(self._queue)
             if event.time < self._now - 1e-12:
                 raise SimulationError(
                     f"event {event.label!r} scheduled at {event.time} is before now={self._now}"
                 )
             self._now = max(self._now, event.time)
+            self._pending -= 1
+            event.executed = True
             event.callback()
             self._processed += 1
             executed += 1
-            if executed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}; likely an event loop")
         if until is not None and until > self._now:
             self._now = until
         return self._now

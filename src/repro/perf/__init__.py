@@ -1,0 +1,25 @@
+"""Performance instrumentation for the capture→campaign pipeline.
+
+The reproduction's headline workload — capture a corpus with webpeg, serve
+the videos to crowdsourced participants, filter and analyse — is re-run for
+every figure and every ablation, so its wall-clock trajectory is tracked
+across PRs.  This package provides the (deliberately tiny) instrumentation
+that tracking relies on:
+
+* :class:`~repro.perf.timers.StageTimer` — a scoped wall-clock timer,
+* :class:`~repro.perf.timers.Counter` — a named event counter,
+* :class:`~repro.perf.timers.PerfReport` — a collection of timed stages that
+  serialises to the ``BENCH_*.json`` schema
+  ``{stage: {seconds, events, per_unit}}``,
+* :mod:`repro.perf.report` — the bench-scale pipeline runner behind
+  ``python -m repro.perf.report``, which writes ``BENCH_pipeline.json`` at
+  the repository root and verifies the campaign outputs are bit-identical to
+  the pinned golden results while doing so.
+
+Timer overhead is two ``perf_counter`` calls per stage, so instrumented and
+un-instrumented runs are indistinguishable at the scales benchmarked.
+"""
+
+from .timers import Counter, PerfReport, StageTimer
+
+__all__ = ["Counter", "PerfReport", "StageTimer"]

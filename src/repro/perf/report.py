@@ -1,0 +1,236 @@
+"""Bench-scale pipeline benchmark and ``BENCH_pipeline.json`` writer.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.perf.report            # bench scale
+    PYTHONPATH=src python -m repro.perf.report --full-scale
+
+The benchmark times the capture→campaign pipeline stage by stage at the
+bench scale used across ``benchmarks/`` (30 sites x 200 participants x 3
+loads, seed 2016; ``--full-scale`` switches to the paper's 100 x 1,000 x 5),
+verifies that the campaign outputs are bit-identical to the pinned golden
+results of the original (pre-optimisation) implementation, and writes the
+``{stage: {seconds, events, per_unit}}`` report to ``BENCH_pipeline.json``
+at the repository root.
+
+Methodology notes recorded in ``_meta``:
+
+* ``capture_cold`` clears the process-wide capture cache first; it measures
+  what a fresh campaign pays.
+* ``capture_warm`` re-captures the same corpus against the warm cache; it
+  measures what every ablation rerun (preload on/off, frame-helper on/off)
+  pays after this PR, where the seed implementation re-simulated every load.
+* ``baseline_seconds`` are the seed implementation's stage timings, recorded
+  on the same machine (single CPU, warmed process) before the optimisation
+  pass, so future PRs can track the trajectory against a fixed anchor.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Tuple
+
+from .timers import PerfReport
+
+#: Bench-scale workload (matches ``benchmarks/conftest.py``).
+BENCH_SCALE = {"sites": 30, "participants": 200, "loads": 3}
+FULL_SCALE = {"sites": 100, "participants": 1000, "loads": 5}
+BENCH_SEED = 2016
+
+#: Golden campaign outputs of the seed implementation at bench scale under
+#: seed 2016.  The optimised pipeline must reproduce these bit-for-bit.
+BENCH_GOLDEN_TABLE1 = {
+    "campaign": "final-plt-timeline",
+    "type": "timeline",
+    "participants": 200,
+    "male": 148,
+    "female": 52,
+    "duration": "4.4 hours",
+    "cost_usd": 24.0,
+    "engagement_filtered": 5,
+    "soft_filtered": 16,
+    "control_filtered": 19,
+}
+BENCH_GOLDEN_UPLT_SAMPLE = {
+    "site-000": "2.8218839723448843",
+    "site-001": "6.777254943539873",
+    "site-002": "2.333333333333333",
+    "site-003": "1.8362160567010026",
+}
+
+#: Seed-implementation stage timings at bench scale (seconds), recorded on
+#: this project's single-CPU reference machine in a warmed process before
+#: the optimisation pass.  Kept as the fixed anchor for the perf trajectory.
+RECORDED_SEED_BASELINE = {
+    "corpus": 0.013,
+    "capture_cold": 0.205,
+    "campaign": 0.207,
+    "analysis": 0.0003,
+    "total": 0.421,
+}
+
+
+def run_pipeline_bench(
+    sites: int = BENCH_SCALE["sites"],
+    participants: int = BENCH_SCALE["participants"],
+    loads: int = BENCH_SCALE["loads"],
+    seed: int = BENCH_SEED,
+    capture_workers: int = 0,
+    session_workers: int = 0,
+    verify: bool = True,
+) -> Tuple[PerfReport, Dict[str, object]]:
+    """Time the capture→campaign pipeline stage by stage.
+
+    Returns the perf report plus the campaign artefacts used for output
+    verification.  Raises ``AssertionError`` when ``verify`` is set and the
+    outputs deviate from the pinned goldens (only checked at bench scale
+    with the bench seed).
+    """
+    # Imports here so ``--help`` stays instant.
+    from ..capture.webpeg import CaptureSettings, DEFAULT_CAPTURE_CACHE, Webpeg
+    from ..core.analysis import compare_uplt_with_metrics, mean_uplt_per_site
+    from ..core.campaign import CampaignConfig, CampaignRunner
+    from ..core.experiment import TimelineExperiment
+    from ..metrics.plt import metrics_from_video
+    from ..web.corpus import CorpusGenerator
+
+    report = PerfReport()
+
+    timer = report.stage("corpus").start()
+    corpus = CorpusGenerator(seed=seed)
+    pages = corpus.http2_sample(sites)
+    timer.finish(events=sites)
+
+    settings = CaptureSettings(loads_per_site=loads, network_profile="cable-intl")
+    tool = Webpeg(settings=settings, seed=seed)
+
+    DEFAULT_CAPTURE_CACHE.clear()
+    timer = report.stage("capture_cold").start()
+    reports = tool.capture_batch(pages, configuration="h2", max_workers=capture_workers or None)
+    timer.finish(events=sites * loads)
+
+    timer = report.stage("capture_warm").start()
+    warm_reports = tool.capture_batch(pages, configuration="h2")
+    timer.finish(events=sites * loads)
+
+    videos = []
+    metrics_by_site = {}
+    for page in pages:
+        capture = reports[page.site_id]
+        videos.append(capture.video)
+        metrics_by_site[page.site_id] = metrics_from_video(capture.video)
+
+    experiment = TimelineExperiment(experiment_id="final-plt-timeline", videos=videos)
+    config = CampaignConfig(
+        campaign_id="final-plt-timeline",
+        participant_count=participants,
+        service="crowdflower",
+        seed=seed,
+        parallel_workers=session_workers,
+    )
+    timer = report.stage("campaign").start()
+    campaign = CampaignRunner(config, perf=report).run_timeline(experiment)
+    timer.finish(events=participants)
+
+    timer = report.stage("analysis").start()
+    uplt_by_site = mean_uplt_per_site(campaign.clean_dataset)
+    comparison = compare_uplt_with_metrics(campaign.clean_dataset, metrics_by_site)
+    timer.finish(events=sites)
+
+    total = sum(
+        report.as_dict()[stage]["seconds"]
+        for stage in ("corpus", "capture_cold", "campaign", "analysis")
+    )
+    is_bench_scale = (sites, participants, loads, seed) == (
+        BENCH_SCALE["sites"], BENCH_SCALE["participants"], BENCH_SCALE["loads"], BENCH_SEED,
+    )
+    verified = False
+    if verify and is_bench_scale:
+        table1 = campaign.table1_row
+        assert table1 == BENCH_GOLDEN_TABLE1, f"table1_row deviates from golden: {table1}"
+        for site, golden in BENCH_GOLDEN_UPLT_SAMPLE.items():
+            assert repr(uplt_by_site[site]) == golden, (
+                f"uplt_by_site[{site}] = {uplt_by_site[site]!r} deviates from golden {golden}"
+            )
+        warm_match = all(
+            warm_reports[p.site_id].onload_times == reports[p.site_id].onload_times
+            for p in pages
+        )
+        assert warm_match, "warm-cache capture deviates from cold capture"
+        verified = True
+
+    report.set_meta(
+        scale={"sites": sites, "participants": participants, "loads": loads},
+        seed=seed,
+        capture_workers=capture_workers,
+        session_workers=session_workers,
+        total_seconds=round(total, 6),
+        outputs_verified_bit_identical=verified,
+        baseline_seconds=RECORDED_SEED_BASELINE,
+        speedup_vs_baseline=(
+            round(RECORDED_SEED_BASELINE["total"] / total, 3) if is_bench_scale and total else None
+        ),
+    )
+    artefacts = {
+        "campaign": campaign,
+        "uplt_by_site": uplt_by_site,
+        "comparison": comparison,
+        "videos": videos,
+    }
+    return report, artefacts
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.perf.report``."""
+    import os
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sites", type=int, default=BENCH_SCALE["sites"])
+    parser.add_argument("--participants", type=int, default=BENCH_SCALE["participants"])
+    parser.add_argument("--loads", type=int, default=BENCH_SCALE["loads"])
+    parser.add_argument("--seed", type=int, default=BENCH_SEED)
+    parser.add_argument("--full-scale", action="store_true",
+                        help="run at the paper's full scale (100 sites, 1000 participants)")
+    parser.add_argument("--capture-workers", type=int, default=0,
+                        help="process-pool workers for capture (0 = serial)")
+    parser.add_argument("--session-workers", type=int, default=0,
+                        help="process-pool workers for sessions (0 = serial)")
+    parser.add_argument("--output", default=None,
+                        help="report path (default: BENCH_pipeline.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.full_scale:
+        args.sites, args.participants, args.loads = (
+            FULL_SCALE["sites"], FULL_SCALE["participants"], FULL_SCALE["loads"],
+        )
+
+    report, _ = run_pipeline_bench(
+        sites=args.sites,
+        participants=args.participants,
+        loads=args.loads,
+        seed=args.seed,
+        capture_workers=args.capture_workers,
+        session_workers=args.session_workers,
+    )
+    output = args.output
+    if output is None:
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        )
+        output = os.path.join(repo_root, "BENCH_pipeline.json")
+    report.write(output)
+
+    document = report.as_dict()
+    print(f"wrote {output}")
+    for stage, stats in sorted(document.items()):
+        if stage.startswith("_"):
+            continue
+        print(f"  {stage:>14}: {stats['seconds']:8.4f}s  ({stats['events']} events)")
+    meta = document.get("_meta", {})
+    print(f"  {'total':>14}: {meta.get('total_seconds', 0.0):8.4f}s  "
+          f"(verified bit-identical: {meta.get('outputs_verified_bit_identical')})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

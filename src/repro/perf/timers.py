@@ -1,0 +1,111 @@
+"""Scoped timers, counters and the ``BENCH_*.json`` report writer.
+
+The serialised schema is ``{stage: {seconds, events, per_unit}}``:
+``seconds`` is wall-clock time for the stage, ``events`` the number of work
+units the stage processed (loads, participants, responses, …), and
+``per_unit`` the derived seconds-per-unit (null when the stage counted no
+events).  Keys starting with ``_`` carry report metadata (scale, seed,
+recorded baselines) and are not stages.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class StageTimer:
+    """A scoped wall-clock timer for one pipeline stage.
+
+    Use as a context manager::
+
+        with StageTimer("capture") as timer:
+            ...
+        print(timer.seconds)
+    """
+
+    name: str
+    seconds: float = 0.0
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "StageTimer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> "StageTimer":
+        """Start (or restart) the timer."""
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer, accumulating elapsed time into :attr:`seconds`."""
+        if self._started_at is None:
+            raise ConfigurationError(f"timer {self.name!r} stopped before it was started")
+        self.seconds += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.seconds
+
+
+@dataclass
+class Counter:
+    """A named monotonic event counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> int:
+        """Increment by ``amount`` and return the new value."""
+        self.value += amount
+        return self.value
+
+
+class PerfReport:
+    """Collects stage timings and writes the ``BENCH_*.json`` report."""
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, Dict[str, float]] = {}
+        self._meta: Dict[str, object] = {}
+
+    def record(self, stage: str, seconds: float, events: int = 0) -> None:
+        """Record one stage's wall-clock time and event count."""
+        self._stages[stage] = {
+            "seconds": round(seconds, 6),
+            "events": events,
+            "per_unit": round(seconds / events, 9) if events else None,
+        }
+
+    def stage(self, name: str) -> StageTimer:
+        """A timer that records itself into this report on exit."""
+        report = self
+
+        class _RecordingTimer(StageTimer):
+            def finish(self, events: int = 0) -> None:
+                self.stop()
+                report.record(self.name, self.seconds, events)
+
+        return _RecordingTimer(name)
+
+    def set_meta(self, **meta: object) -> None:
+        """Attach metadata (stored under ``_meta`` in the JSON document)."""
+        self._meta.update(meta)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The report as a JSON-serialisable dictionary."""
+        document: Dict[str, object] = dict(self._stages)
+        if self._meta:
+            document["_meta"] = dict(self._meta)
+        return document
+
+    def write(self, path: str) -> None:
+        """Write the report as indented JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

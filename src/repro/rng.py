@@ -8,13 +8,33 @@ Child generators are derived with :meth:`SeededRNG.fork` which hashes the
 parent seed together with a string label.  This makes the stream consumed by
 one component independent of how much randomness another component consumed,
 a property the test-suite relies on.
+
+Performance notes
+-----------------
+
+``fork`` sits on the hot path of every capture and campaign (a bench-scale
+PLT run forks tens of thousands of times), so it is engineered to stay cheap
+*without* changing a single derived stream:
+
+* the seed derivation stays the canonical ``SHA-256(f"{seed}:{label}")``
+  construction — replacing it with a faster integer mix (splitmix64 and
+  friends) was rejected because it would re-seed every stream and silently
+  invalidate all previously archived campaign results;
+* each instance caches the hash state of its ``f"{seed}:"`` prefix once and
+  forks by ``copy()``-ing that state and absorbing only the label bytes;
+* derived child seeds are memoised per ``(instance, label)``, so components
+  that re-fork the same label (e.g. one stream per task of the same
+  participant) hash each label once;
+* the underlying :class:`random.Random` is constructed lazily on first
+  sample, because a large share of forks are only ever used as parents for
+  further forks and never draw a number themselves.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, Sequence, TypeVar
+from typing import Dict, Iterable, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -30,35 +50,81 @@ def _derive_seed(seed: int, label: str) -> int:
 class SeededRNG:
     """A seeded random source with labelled, independent child streams."""
 
+    __slots__ = ("seed", "_rand", "_prefix_hash", "_fork_memo")
+
     def __init__(self, seed: int = _DEFAULT_SEED) -> None:
         self.seed = int(seed)
-        self._random = random.Random(self.seed)
+        self._rand: Optional[random.Random] = None
+        self._prefix_hash = None
+        self._fork_memo: Optional[Dict[str, int]] = None
+
+    @property
+    def _random(self) -> random.Random:
+        """The underlying generator, constructed on first use."""
+        rand = self._rand
+        if rand is None:
+            rand = self._rand = random.Random(self.seed)
+        return rand
 
     def fork(self, label: str) -> "SeededRNG":
         """Return a child generator whose stream only depends on seed+label."""
-        return SeededRNG(_derive_seed(self.seed, label))
+        memo = self._fork_memo
+        if memo is None:
+            memo = self._fork_memo = {}
+        child_seed = memo.get(label)
+        if child_seed is None:
+            prefix = self._prefix_hash
+            if prefix is None:
+                prefix = self._prefix_hash = hashlib.sha256(f"{self.seed}:".encode("utf-8"))
+            hasher = prefix.copy()
+            hasher.update(label.encode("utf-8"))
+            child_seed = int.from_bytes(hasher.digest()[:8], "big")
+            memo[label] = child_seed
+        child = SeededRNG.__new__(SeededRNG)
+        child.seed = child_seed
+        child._rand = None
+        child._prefix_hash = None
+        child._fork_memo = None
+        return child
 
     # -- thin delegation helpers ------------------------------------------------
+    # The hottest delegates inline the lazy-construction check instead of
+    # going through the ``_random`` property descriptor.
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
-        return self._random.random()
+        rand = self._rand
+        if rand is None:
+            rand = self._rand = random.Random(self.seed)
+        return rand.random()
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in [low, high]."""
-        return self._random.uniform(low, high)
+        rand = self._rand
+        if rand is None:
+            rand = self._rand = random.Random(self.seed)
+        return rand.uniform(low, high)
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in [low, high] (inclusive)."""
-        return self._random.randint(low, high)
+        rand = self._rand
+        if rand is None:
+            rand = self._rand = random.Random(self.seed)
+        return rand.randint(low, high)
 
     def gauss(self, mu: float, sigma: float) -> float:
         """Normal sample."""
-        return self._random.gauss(mu, sigma)
+        rand = self._rand
+        if rand is None:
+            rand = self._rand = random.Random(self.seed)
+        return rand.gauss(mu, sigma)
 
     def lognormal(self, mu: float, sigma: float) -> float:
         """Log-normal sample with underlying normal(mu, sigma)."""
-        return self._random.lognormvariate(mu, sigma)
+        rand = self._rand
+        if rand is None:
+            rand = self._rand = random.Random(self.seed)
+        return rand.lognormvariate(mu, sigma)
 
     def expovariate(self, rate: float) -> float:
         """Exponential sample with the given rate (1/mean)."""
@@ -86,7 +152,10 @@ class SeededRNG:
 
     def bernoulli(self, probability: float) -> bool:
         """Return True with the given probability."""
-        return self._random.random() < probability
+        rand = self._rand
+        if rand is None:
+            rand = self._rand = random.Random(self.seed)
+        return rand.random() < probability
 
     def truncated_gauss(self, mu: float, sigma: float, low: float, high: float) -> float:
         """Normal sample clamped by rejection to [low, high].
@@ -94,11 +163,12 @@ class SeededRNG:
         Falls back to clamping after 64 rejected draws so the call always
         terminates even for pathological bounds.
         """
+        rand = self._random
         for _ in range(64):
-            value = self._random.gauss(mu, sigma)
+            value = rand.gauss(mu, sigma)
             if low <= value <= high:
                 return value
-        return min(max(self._random.gauss(mu, sigma), low), high)
+        return min(max(rand.gauss(mu, sigma), low), high)
 
     def weighted_index(self, weights: Iterable[float]) -> int:
         """Return an index sampled proportionally to ``weights``."""

@@ -5,6 +5,20 @@ It owns the object set, validates the discovery graph (no cycles, no dangling
 parents, exactly one root document), and exposes the structural queries the
 rest of the library needs (origins for DNS priming, auxiliary content share,
 per-object layout regions).
+
+Structural queries are backed by indexes (children-by-parent, root, ordered
+origins, objects-by-type, running byte total) that are built once and
+maintained incrementally by :meth:`Page.add_object`.  The fetch scheduler
+alone asks for ``children_of`` once per object of every load, so the previous
+whole-dict scans made scheduling quadratic in page size; with the indexes
+every query is O(result).  Successful validation is also cached so repeated
+loads of the same page (webpeg performs several per capture) only pay the
+graph walk once.
+
+Invariant: mutate the object set only through :meth:`Page.add_object` (or by
+building a new page, as :meth:`Page.without_objects` does).  Writing to
+``page.objects`` directly bypasses the indexes and leaves queries — and
+anything keyed on them, such as the capture cache — silently stale.
 """
 
 from __future__ import annotations
@@ -43,6 +57,38 @@ class Page:
     displays_ads: bool = False
     latency_multiplier: float = 1.0
 
+    def __post_init__(self) -> None:
+        self._rebuild_indexes()
+
+    # -- indexes ----------------------------------------------------------------
+
+    def _rebuild_indexes(self) -> None:
+        """Build every structural index from scratch (insertion order)."""
+        self._children: Dict[Optional[str], List[WebObject]] = {}
+        self._root: Optional[WebObject] = None
+        self._origins: List[str] = []
+        self._origin_set: set = set()
+        self._by_type: Dict[ObjectType, List[WebObject]] = {}
+        self._auxiliary: List[WebObject] = []
+        self._total_bytes = 0
+        self._validated = False
+        for obj in self.objects.values():
+            self._index_object(obj)
+
+    def _index_object(self, obj: WebObject) -> None:
+        """Fold one object into the indexes."""
+        self._children.setdefault(obj.discovered_by, []).append(obj)
+        if self._root is None and obj.is_root:
+            self._root = obj
+        if obj.origin not in self._origin_set:
+            self._origin_set.add(obj.origin)
+            self._origins.append(obj.origin)
+        self._by_type.setdefault(obj.object_type, []).append(obj)
+        if obj.is_auxiliary:
+            self._auxiliary.append(obj)
+        self._total_bytes += obj.size_bytes
+        self._validated = False
+
     # -- construction -----------------------------------------------------------
 
     def add_object(self, obj: WebObject) -> None:
@@ -50,14 +96,20 @@ class Page:
         if obj.object_id in self.objects:
             raise PageModelError(f"duplicate object id {obj.object_id!r} on page {self.url}")
         self.objects[obj.object_id] = obj
+        self._index_object(obj)
 
     def validate(self) -> None:
         """Check structural invariants of the dependency graph.
+
+        A successful validation is cached; mutating the page through
+        :meth:`add_object` invalidates the cache.
 
         Raises:
             PageModelError: if the page has no root, multiple roots, dangling
                 ``discovered_by`` references, or discovery cycles.
         """
+        if self._validated:
+            return
         roots = [o for o in self.objects.values() if o.is_root]
         if len(roots) != 1:
             raise PageModelError(f"page {self.url} must have exactly one root document, found {len(roots)}")
@@ -75,20 +127,20 @@ class Page:
                     raise PageModelError(f"discovery cycle involving object {obj.object_id}")
                 seen.add(parent)
                 parent = self.objects[parent].discovered_by
+        self._validated = True
 
     # -- structural queries -----------------------------------------------------
 
     @property
     def root(self) -> WebObject:
         """The root HTML document."""
-        for obj in self.objects.values():
-            if obj.is_root:
-                return obj
-        raise PageModelError(f"page {self.url} has no root document")
+        if self._root is None:
+            raise PageModelError(f"page {self.url} has no root document")
+        return self._root
 
     def children_of(self, object_id: str) -> List[WebObject]:
         """Objects discovered by ``object_id``, in insertion order."""
-        return [o for o in self.objects.values() if o.discovered_by == object_id]
+        return list(self._children.get(object_id, ()))
 
     def iter_objects(self) -> Iterator[WebObject]:
         """Iterate over all objects in insertion order."""
@@ -96,21 +148,21 @@ class Page:
 
     def origins(self) -> List[str]:
         """Distinct origins referenced by the page (root origin first)."""
-        ordered: List[str] = []
-        for obj in self.objects.values():
-            if obj.origin not in ordered:
-                ordered.append(obj.origin)
-        return ordered
+        return list(self._origins)
 
     def objects_of_type(self, *types: ObjectType) -> List[WebObject]:
         """All objects whose type is one of ``types``."""
+        if len(types) == 1:
+            return list(self._by_type.get(types[0], ()))
+        # Multiple types must interleave in global insertion order, so fall
+        # back to the ordered scan (rare path; single-type is the hot one).
         wanted = set(types)
         return [o for o in self.objects.values() if o.object_type in wanted]
 
     @property
     def total_bytes(self) -> int:
         """Total transfer size of the page."""
-        return sum(o.size_bytes for o in self.objects.values())
+        return self._total_bytes
 
     @property
     def object_count(self) -> int:
@@ -120,7 +172,7 @@ class Page:
     @property
     def auxiliary_objects(self) -> List[WebObject]:
         """Ads, trackers and widgets on the page."""
-        return [o for o in self.objects.values() if o.is_auxiliary]
+        return list(self._auxiliary)
 
     @property
     def auxiliary_pixel_fraction(self) -> float:
@@ -137,41 +189,40 @@ class Page:
         object (and any object it would have discovered) from the load.
         """
         removed = set(object_ids)
-        # Remove descendants of removed objects too.
-        changed = True
-        while changed:
-            changed = False
-            for obj in self.objects.values():
-                if obj.object_id in removed:
-                    continue
-                if obj.discovered_by is not None and obj.discovered_by in removed:
-                    removed.add(obj.object_id)
-                    changed = True
-        clone = Page(
+        # Remove descendants of removed objects too (breadth-first over the
+        # children index instead of repeated whole-dict sweeps).
+        frontier = list(removed)
+        while frontier:
+            parent_id = frontier.pop()
+            for child in self._children.get(parent_id, ()):
+                if child.object_id not in removed:
+                    removed.add(child.object_id)
+                    frontier.append(child.object_id)
+        kept = {
+            obj.object_id: obj for obj in self.objects.values() if obj.object_id not in removed
+        }
+        return Page(
             url=self.url,
             site_id=self.site_id,
+            objects=kept,
             viewport=self.viewport,
             supports_http2=self.supports_http2,
             displays_ads=self.displays_ads,
             latency_multiplier=self.latency_multiplier,
         )
-        for obj in self.objects.values():
-            if obj.object_id not in removed:
-                clone.objects[obj.object_id] = obj
-        return clone
 
     def summary(self) -> dict:
         """Structural summary used by corpus statistics and documentation."""
-        by_type: Dict[str, int] = {}
-        for obj in self.objects.values():
-            by_type[obj.object_type.value] = by_type.get(obj.object_type.value, 0) + 1
+        by_type = {
+            object_type.value: len(members) for object_type, members in self._by_type.items()
+        }
         return {
             "url": self.url,
             "site_id": self.site_id,
             "objects": self.object_count,
             "bytes": self.total_bytes,
-            "origins": len(self.origins()),
-            "auxiliary_objects": len(self.auxiliary_objects),
+            "origins": len(self._origins),
+            "auxiliary_objects": len(self._auxiliary),
             "supports_http2": self.supports_http2,
             "displays_ads": self.displays_ads,
             "by_type": by_type,

@@ -158,3 +158,39 @@ def test_capture_adblock_set(corpus, capture_settings):
     assert set(reports) == {"noextension", "ghostery"}
     assert len(reports["ghostery"].video.load_result.blocked_object_ids) > 0
     assert len(reports["noextension"].video.load_result.blocked_object_ids) == 0
+
+
+def test_pixel_difference_semantics_pinned(video):
+    """Regression pin for Frame.pixel_difference (see its docstring).
+
+    The difference is |painted_pixels_a - painted_pixels_b| / viewport when
+    the painted object sets differ, and exactly 0.0 when they are equal —
+    in particular, frames painting *disjoint* object sets of equal total
+    area compare as identical (counts, not sets, are what is measured).
+    """
+    from repro.capture.frames import Frame
+
+    viewport = 1000
+    a = Frame(index=0, timestamp=0.0, painted_objects=frozenset({"x"}),
+              painted_pixels=400, completeness=0.4)
+    b = Frame(index=1, timestamp=0.1, painted_objects=frozenset({"x", "y"}),
+              painted_pixels=650, completeness=0.65)
+    assert a.pixel_difference(b, viewport) == pytest.approx(0.25)
+    assert b.pixel_difference(a, viewport) == pytest.approx(0.25)
+
+    # Disjoint object sets, equal painted area: measured as identical.
+    c = Frame(index=2, timestamp=0.2, painted_objects=frozenset({"z"}),
+              painted_pixels=400, completeness=0.4)
+    assert a.painted_objects.isdisjoint(c.painted_objects)
+    assert a.pixel_difference(c, viewport) == 0.0
+
+    # Identical object sets short-circuit to exactly 0.0.
+    d = Frame(index=3, timestamp=0.3, painted_objects=frozenset({"x"}),
+              painted_pixels=400, completeness=0.4)
+    assert a.pixel_difference(d, viewport) == 0.0
+
+    # Real capture frames: monotone accumulation means adjacent frames never
+    # hit the disjoint-equal-area corner.
+    frames = video.frames.frames
+    for earlier, later in zip(frames, frames[1:]):
+        assert earlier.painted_objects <= later.painted_objects

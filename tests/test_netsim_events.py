@@ -116,3 +116,38 @@ def test_schedule_at_absolute_time():
     sim.run()
     assert sim.now == pytest.approx(2.0)
     assert fired == ["x"]
+
+
+def test_max_events_budget_is_exact():
+    """Exactly max_events events may run; the budget check fires before the
+    (max_events + 1)-th event executes, not after."""
+    sim = Simulator()
+    fired = []
+    for index in range(5):
+        sim.schedule(float(index), lambda i=index: fired.append(i))
+    # A queue of exactly max_events drains without raising.
+    assert sim.run(max_events=5) == pytest.approx(4.0)
+    assert fired == [0, 1, 2, 3, 4]
+
+    sim = Simulator()
+    for index in range(6):
+        sim.schedule(float(index), lambda i=index: fired.append(10 + i))
+    with pytest.raises(SimulationError):
+        sim.run(max_events=5)
+    # The sixth event never executed.
+    assert fired[5:] == [10, 11, 12, 13, 14]
+
+
+def test_pending_counter_tracks_schedule_cancel_and_run():
+    sim = Simulator()
+    handles = [sim.schedule(1.0 + i, lambda: None) for i in range(4)]
+    assert sim.pending == 4
+    handles[0].cancel()
+    handles[0].cancel()  # idempotent
+    assert sim.pending == 3
+    sim.run(until=2.5)
+    assert sim.pending == 2
+    handles[1].cancel()  # fired already: a late cancel must not double-count
+    assert sim.pending == 2
+    sim.run()
+    assert sim.pending == 0

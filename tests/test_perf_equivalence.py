@@ -1,0 +1,223 @@
+"""Equivalence tests for the performance-optimised hot paths.
+
+The capture→campaign pipeline was rewritten for speed (indexed page model,
+single-sweep frame sampling, bisect lookups, capture cache, cheap RNG forks,
+optional process-pool executors) under one hard contract: **bit-identical
+results**.  These tests pin that contract:
+
+* naive reference implementations (kept here, deliberately dumb) of
+  ``frames_from_timeline``, ``frame_at``, ``completeness_at`` and
+  ``earliest_similar_frame`` are compared against the optimised versions on
+  randomized timelines;
+* a full bench-seeded PLT campaign must reproduce the pinned golden outputs
+  of the seed implementation, serial vs parallel, cache cold vs warm.
+
+Marked ``tier2``: run with ``PYTHONPATH=src python -m pytest -m tier2 -q``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browser.renderer import PaintEvent, RenderTimeline
+from repro.capture.frames import Frame, FrameBuffer, frames_from_timeline
+from repro.capture.webpeg import CaptureCache, CaptureSettings, Webpeg
+from repro.core.campaign import CampaignConfig, CampaignRunner
+from repro.experiments.plt_campaign import run_plt_campaign
+from repro.rng import SeededRNG
+from repro.web.corpus import CorpusGenerator
+
+pytestmark = pytest.mark.tier2
+
+# -- naive reference implementations (the seed algorithms) ----------------------
+
+
+def naive_frames_from_timeline(timeline: RenderTimeline, fps: int, duration: float) -> FrameBuffer:
+    """O(frames x events) reference sampler (the seed implementation)."""
+    total_pixels = timeline.painted_pixels
+    frame_count = max(int(duration * fps) + 1, 2)
+    frames = []
+    for index in range(frame_count):
+        timestamp = index / fps
+        painted = frozenset(e.object_id for e in timeline.events if e.time <= timestamp)
+        painted_pixels = sum(e.pixels for e in timeline.events if e.time <= timestamp)
+        completeness = painted_pixels / total_pixels if total_pixels else 1.0
+        frames.append(
+            Frame(index=index, timestamp=timestamp, painted_objects=painted,
+                  painted_pixels=painted_pixels, completeness=completeness)
+        )
+    return FrameBuffer(frames=frames, fps=fps, viewport_pixels=timeline.viewport_pixels)
+
+
+def naive_frame_at(buffer: FrameBuffer, timestamp: float) -> Frame:
+    """Linear-scan reference for :meth:`FrameBuffer.frame_at`."""
+    if timestamp <= buffer.frames[0].timestamp:
+        return buffer.frames[0]
+    for frame in reversed(buffer.frames):
+        if frame.timestamp <= timestamp:
+            return frame
+    return buffer.frames[-1]
+
+
+def naive_earliest_similar_frame(buffer: FrameBuffer, timestamp: float, threshold: float) -> Frame:
+    """Reversed-scan reference for :meth:`FrameBuffer.earliest_similar_frame`."""
+    chosen = naive_frame_at(buffer, timestamp)
+    earliest = chosen
+    for frame in reversed(buffer.frames):
+        if frame.timestamp > chosen.timestamp:
+            continue
+        if chosen.pixel_difference(frame, buffer.viewport_pixels) <= threshold:
+            earliest = frame
+        else:
+            break
+    return earliest
+
+
+def naive_completeness_at(timeline: RenderTimeline, time: float) -> float:
+    """Linear re-sum reference for :meth:`RenderTimeline.completeness_at`."""
+    total = sum(e.pixels for e in timeline.events)
+    if total == 0:
+        return 1.0
+    painted = sum(e.pixels for e in timeline.events if e.time <= time)
+    return painted / total
+
+
+def random_timeline(rng: SeededRNG, events: int) -> RenderTimeline:
+    """A randomized paint timeline for property testing."""
+    paint_events = [
+        PaintEvent(
+            time=round(rng.uniform(0.0, 6.0), 3),
+            object_id=f"obj-{index}",
+            pixels=rng.randint(1, 50_000),
+            is_primary_content=rng.bernoulli(0.7),
+        )
+        for index in range(events)
+    ]
+    return RenderTimeline(events=paint_events, viewport_pixels=1_000_000)
+
+
+# -- property tests: optimised == naive -----------------------------------------
+
+
+@pytest.mark.parametrize("case", range(20))
+def test_frames_from_timeline_matches_naive(case):
+    rng = SeededRNG(1000 + case)
+    timeline = random_timeline(rng, events=rng.randint(1, 40))
+    fps = rng.randint(5, 30)
+    duration = rng.uniform(0.5, 8.0)
+    fast = frames_from_timeline(timeline, fps=fps, duration=duration)
+    naive = naive_frames_from_timeline(timeline, fps=fps, duration=duration)
+    assert fast.frames == naive.frames
+    assert fast.viewport_pixels == naive.viewport_pixels
+
+
+@pytest.mark.parametrize("case", range(20))
+def test_frame_lookups_match_naive(case):
+    rng = SeededRNG(2000 + case)
+    timeline = random_timeline(rng, events=rng.randint(1, 40))
+    buffer = frames_from_timeline(timeline, fps=10, duration=rng.uniform(1.0, 8.0))
+    for _ in range(50):
+        t = rng.uniform(-1.0, buffer.duration + 1.0)
+        assert buffer.frame_at(t) == naive_frame_at(buffer, t)
+        assert buffer.completeness_at(t) == naive_frame_at(buffer, t).completeness
+        threshold = rng.uniform(0.0, 0.2)
+        assert buffer.earliest_similar_frame(t, threshold) == \
+            naive_earliest_similar_frame(buffer, t, threshold)
+
+
+@pytest.mark.parametrize("case", range(20))
+def test_timeline_completeness_matches_naive(case):
+    rng = SeededRNG(3000 + case)
+    timeline = random_timeline(rng, events=rng.randint(0, 40))
+    for _ in range(50):
+        t = rng.uniform(-1.0, 7.0)
+        assert timeline.completeness_at(t) == naive_completeness_at(timeline, t)
+
+
+# -- campaign-level equivalence -------------------------------------------------
+
+#: Golden outputs of run_plt_campaign(sites=5, participants=20, seed=2016)
+#: produced by the seed (pre-optimisation) implementation.
+GOLDEN_SMALL_TABLE1 = {
+    "campaign": "final-plt-timeline",
+    "type": "timeline",
+    "participants": 20,
+    "male": 15,
+    "female": 5,
+    "duration": "0.3 hours",
+    "cost_usd": 2.4,
+    "engagement_filtered": 1,
+    "soft_filtered": 1,
+    "control_filtered": 0,
+}
+GOLDEN_SMALL_UPLT = {
+    "site-000": "2.7015962841293977",
+    "site-001": "6.516666666666667",
+    "site-002": "2.2583333333333333",
+    "site-003": "1.9000000000000001",
+    "site-004": "1.48",
+}
+
+
+def _campaign_signature(result):
+    return (
+        result.campaign.table1_row,
+        {site: repr(value) for site, value in sorted(result.uplt_by_site.items())},
+        result.campaign.filter_report.summary_row(),
+    )
+
+
+def test_small_campaign_matches_seed_goldens():
+    """The optimised pipeline reproduces the seed implementation bit-for-bit."""
+    result = run_plt_campaign(sites=5, participants=20, seed=2016)
+    table1, uplt, _filters = _campaign_signature(result)
+    assert table1 == GOLDEN_SMALL_TABLE1
+    assert uplt == GOLDEN_SMALL_UPLT
+
+
+def test_campaign_serial_vs_parallel_and_cache_cold_vs_warm():
+    """Identical outputs across executors and cache states."""
+    from repro.capture.webpeg import DEFAULT_CAPTURE_CACHE
+
+    DEFAULT_CAPTURE_CACHE.clear()
+    cold = _campaign_signature(run_plt_campaign(sites=5, participants=20, seed=2016))
+    warm = _campaign_signature(run_plt_campaign(sites=5, participants=20, seed=2016))
+    parallel = _campaign_signature(
+        run_plt_campaign(sites=5, participants=20, seed=2016,
+                         capture_workers=2, session_workers=2)
+    )
+    assert cold == warm == parallel
+    assert cold[0] == GOLDEN_SMALL_TABLE1
+
+
+def test_capture_cache_isolates_mutable_video_state():
+    """Cache hits must not leak broken-video flags between campaigns."""
+    corpus = CorpusGenerator(seed=2016)
+    page = corpus.http2_sample(1)[0]
+    cache = CaptureCache()
+    tool = Webpeg(settings=CaptureSettings(loads_per_site=2), seed=2016, cache=cache)
+    first = tool.capture(page, configuration="h2")
+    first.video.flag_broken("w1")
+    second = tool.capture(page, configuration="h2")
+    assert cache.hits == 1
+    assert second.video.flagged_by == set()
+    assert not second.video.banned
+    assert second.video.frames.frames == first.video.frames.frames
+
+
+def test_session_parallel_timeline_equivalence(timeline_experiment):
+    """Serial and pooled sessions produce identical datasets."""
+    serial = CampaignRunner(
+        CampaignConfig(campaign_id="eq", participant_count=15, seed=7)
+    ).run_timeline(timeline_experiment)
+    pooled = CampaignRunner(
+        CampaignConfig(campaign_id="eq", participant_count=15, seed=7, parallel_workers=2)
+    ).run_timeline(timeline_experiment)
+    assert serial.table1_row == pooled.table1_row
+    assert [
+        (r.participant_id, r.video_id, r.submitted_time)
+        for r in serial.raw_dataset.timeline_responses
+    ] == [
+        (r.participant_id, r.video_id, r.submitted_time)
+        for r in pooled.raw_dataset.timeline_responses
+    ]
