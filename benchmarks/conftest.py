@@ -46,6 +46,22 @@ def pytest_addoption(parser):
         default=False,
         help="Run benchmark campaigns at the paper's full scale (100 sites, 1000 participants).",
     )
+    parser.addoption(
+        "--rng-scheme",
+        choices=("sha256-v1", "splitmix64-v2", "both"),
+        default="both",
+        help="Versioned RNG scheme(s) the perf pipeline benchmark runs under "
+             "(both schemes' stages are written to BENCH_pipeline.json by default).",
+    )
+
+
+@pytest.fixture(scope="session")
+def rng_schemes(request):
+    """The RNG schemes selected for the perf pipeline benchmark."""
+    from repro.rng import RNG_SCHEMES
+
+    choice = request.config.getoption("--rng-scheme")
+    return list(RNG_SCHEMES) if choice == "both" else [choice]
 
 
 @pytest.fixture(scope="session")

@@ -66,10 +66,17 @@ from .core import (
     score_per_site,
 )
 from .crowd import Participant, ParticipantClass, Recruiter, generate_participant
-from .errors import ReproError
+from .errors import ReproError, RNGSchemeMismatchError
 from .metrics import PLTMetrics, metrics_from_load, metrics_from_video, pearson_correlation
 from .netsim import NetworkProfile, get_profile, list_profiles
-from .rng import SeededRNG
+from .rng import (
+    DEFAULT_RNG_SCHEME,
+    RNG_SCHEMES,
+    SCHEME_SHA256_V1,
+    SCHEME_SPLITMIX64_V2,
+    SeededRNG,
+    validate_scheme,
+)
 from .web import CorpusGenerator, Page, WebObject
 
 __version__ = "1.0.0"
@@ -121,6 +128,7 @@ __all__ = [
     "Recruiter",
     "generate_participant",
     "ReproError",
+    "RNGSchemeMismatchError",
     "PLTMetrics",
     "metrics_from_load",
     "metrics_from_video",
@@ -129,6 +137,11 @@ __all__ = [
     "get_profile",
     "list_profiles",
     "SeededRNG",
+    "DEFAULT_RNG_SCHEME",
+    "RNG_SCHEMES",
+    "SCHEME_SHA256_V1",
+    "SCHEME_SPLITMIX64_V2",
+    "validate_scheme",
     "CorpusGenerator",
     "Page",
     "WebObject",

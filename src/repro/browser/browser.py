@@ -26,7 +26,7 @@ from ..httpsim.messages import FetchRecord
 from ..netsim.bandwidth import SharedLink
 from ..netsim.dns import DNSResolver
 from ..netsim.profiles import NetworkProfile, get_profile
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.page import Page
 from .devtools import DevToolsSession, TraceEvent
 from .preferences import BrowserPreferences
@@ -115,6 +115,7 @@ class Browser:
         preferences: protocol / extension / appearance configuration.
         network_profile: emulation profile name or object (default "cable").
         seed: seed for every stochastic component of the load.
+        rng_scheme: versioned RNG scheme every load stream is derived under.
     """
 
     def __init__(
@@ -122,6 +123,7 @@ class Browser:
         preferences: Optional[BrowserPreferences] = None,
         network_profile: str | NetworkProfile = "cable",
         seed: int = 2016,
+        rng_scheme: str = DEFAULT_RNG_SCHEME,
     ) -> None:
         self.preferences = preferences or BrowserPreferences()
         if isinstance(network_profile, str):
@@ -129,6 +131,7 @@ class Browser:
         else:
             self.network_profile = network_profile
         self.seed = seed
+        self.rng_scheme = rng_scheme
 
     # -- internals --------------------------------------------------------------
 
@@ -168,7 +171,7 @@ class Browser:
         """
         if page.object_count == 0:
             raise CaptureError(f"page {page.url} has no objects to load")
-        rng = load_rng or SeededRNG(self.seed).fork(f"load:{page.url}")
+        rng = load_rng or SeededRNG(self.seed, self.rng_scheme).fork(f"load:{page.url}")
         protocol = self.preferences.resolve_protocol(page.supports_http2)
 
         # Extension filtering happens before any request leaves the browser.
@@ -225,5 +228,5 @@ class Browser:
     def load_with_fresh_state(self, page: Page, repeat_index: int,
                               push: Optional[PushConfiguration] = None) -> LoadResult:
         """Load with a per-repeat random stream (webpeg clears state between loads)."""
-        rng = SeededRNG(self.seed).fork(f"load:{page.url}:repeat:{repeat_index}")
+        rng = SeededRNG(self.seed, self.rng_scheme).fork(f"load:{page.url}:repeat:{repeat_index}")
         return self.load(page, load_rng=rng, push=push)

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 from ..browser.browser import LoadResult
 from ..config import AB_CONTROL_DELAY_SECONDS
 from ..errors import VideoError
+from ..rng import DEFAULT_RNG_SCHEME
 from .frames import Frame, FrameBuffer
 
 #: Rough webm encoding efficiency: bytes of video per (pixel-change x frame).
@@ -35,6 +36,9 @@ class Video:
         frames: the frame buffer.
         load_result: the full instrumentation record of the underlying load.
         record_after_onload: seconds recorded past the onload event.
+        rng_scheme: the versioned RNG scheme the capture ran under
+            (see :mod:`repro.rng`); campaigns refuse videos produced under a
+            scheme other than their own.
     """
 
     video_id: str
@@ -43,6 +47,7 @@ class Video:
     frames: FrameBuffer
     load_result: LoadResult
     record_after_onload: float = 3.0
+    rng_scheme: str = DEFAULT_RNG_SCHEME
     flagged_by: set = field(default_factory=set)
     banned: bool = False
 
@@ -132,6 +137,21 @@ class SplicedVideo:
     def size_bytes(self) -> int:
         """Estimated size of the spliced webm (both halves in one file)."""
         return self.left.size_bytes + self.right.size_bytes - _WEBM_CONTAINER_OVERHEAD
+
+    @property
+    def rng_scheme(self) -> str:
+        """The RNG scheme of the underlying captures.
+
+        Raises:
+            VideoError: when the two sides were captured under different
+                schemes (they would not be comparable).
+        """
+        if self.left.rng_scheme != self.right.rng_scheme:
+            raise VideoError(
+                f"spliced video {self.video_id!r} mixes RNG schemes "
+                f"({self.left.rng_scheme!r} vs {self.right.rng_scheme!r})"
+            )
+        return self.left.rng_scheme
 
     @property
     def is_control(self) -> bool:

@@ -20,7 +20,8 @@ Capture dominates every campaign reproduction (it is roughly two thirds of a
 PLT campaign run), so this module carries two optimisations:
 
 * a :class:`CaptureCache` memoises finished :class:`CaptureReport` objects
-  keyed by (page fingerprint, configuration, preferences, settings, seed).
+  keyed by (page fingerprint, configuration, preferences, settings, seed,
+  RNG scheme), and is pinned to one scheme at a time.
   Ablation reruns — preload on/off, frame-helper on/off, HTTP/1.1 vs HTTP/2
   campaigns over the same corpus — previously re-simulated byte-identical
   loads; with the (process-wide, LRU-bounded) cache they are free.
@@ -40,9 +41,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..browser.browser import Browser, LoadResult
 from ..browser.preferences import BrowserPreferences
 from ..config import DEFAULT_CAPTURE_FPS, LOADS_PER_SITE
-from ..errors import CaptureError
+from ..errors import CaptureError, RNGSchemeMismatchError
 from ..netsim.profiles import NetworkProfile
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG, validate_scheme
 from ..web.page import Page
 from .frames import frames_from_timeline
 from .video import Video
@@ -83,12 +84,14 @@ class CaptureReport:
         selected_repeat: index of the repeat whose video was kept.
         primer_performed: whether the capture protocol included the primer
             step before the measured repeats.
+        rng_scheme: the versioned RNG scheme the capture ran under.
     """
 
     video: Video
     onload_times: List[float]
     selected_repeat: int
     primer_performed: bool
+    rng_scheme: str = DEFAULT_RNG_SCHEME
 
 
 def _page_fingerprint(page: Page) -> Tuple:
@@ -168,32 +171,64 @@ def _fresh_report(report: CaptureReport) -> CaptureReport:
             frames=video.frames,
             load_result=video.load_result,
             record_after_onload=video.record_after_onload,
+            rng_scheme=video.rng_scheme,
         ),
         onload_times=list(report.onload_times),
         selected_repeat=report.selected_repeat,
         primer_performed=report.primer_performed,
+        rng_scheme=report.rng_scheme,
     )
 
 
 class CaptureCache:
-    """LRU cache of finished capture reports.
+    """LRU cache of finished capture reports, pinned to one RNG scheme.
 
     Keyed by ``(page fingerprint, configuration, preferences, settings,
     seed)`` — everything a capture's output is a deterministic function of.
     The stored pristine report is never handed out directly; hits (and the
     miss that populates an entry) return :func:`_fresh_report` copies.
+
+    The first access pins the cache to the accessing tool's RNG scheme;
+    entries captured under one scheme must never serve a campaign running
+    under another, so a mismatched access raises
+    :class:`~repro.errors.RNGSchemeMismatchError` instead of silently
+    missing.  :meth:`clear` unpins, making a scheme switch an explicit,
+    visible event.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256, scheme: Optional[str] = None) -> None:
         if max_entries <= 0:
             raise CaptureError("max_entries must be positive")
+        if scheme is not None:
+            validate_scheme(scheme)
         self.max_entries = max_entries
+        self.scheme: Optional[str] = scheme
         self._entries: "OrderedDict[Tuple, CaptureReport]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: Tuple) -> Optional[CaptureReport]:
+    def check_scheme(self, scheme: str, pin: bool = False) -> None:
+        """Raise on a scheme mismatch; with ``pin``, adopt the scheme first.
+
+        The pin is only taken when entries are stored (``put``), so a bare
+        lookup miss never claims the cache for a scheme it holds nothing of.
+        """
+        pinned = self.scheme
+        if pinned is None:
+            if pin:
+                self.scheme = scheme
+        elif scheme != pinned:
+            raise RNGSchemeMismatchError(
+                f"capture cache holds entries produced under RNG scheme "
+                f"{pinned!r} but was accessed under {scheme!r}; call "
+                f"CaptureCache.clear() (or use a separate cache) before "
+                f"switching schemes"
+            )
+
+    def get(self, key: Tuple, scheme: Optional[str] = None) -> Optional[CaptureReport]:
         """Return a fresh report for ``key``, or None on a miss."""
+        if scheme is not None:
+            self.check_scheme(scheme)
         report = self._entries.get(key)
         if report is None:
             self.misses += 1
@@ -202,16 +237,19 @@ class CaptureCache:
         self._entries.move_to_end(key)
         return _fresh_report(report)
 
-    def put(self, key: Tuple, report: CaptureReport) -> None:
+    def put(self, key: Tuple, report: CaptureReport, scheme: Optional[str] = None) -> None:
         """Store ``report`` under ``key``, evicting the oldest entry if full."""
+        if scheme is not None:
+            self.check_scheme(scheme, pin=True)
         self._entries[key] = report
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop every entry (hit/miss counters are kept)."""
+        """Drop every entry and the scheme pin (hit/miss counters are kept)."""
         self._entries.clear()
+        self.scheme = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -230,6 +268,8 @@ class Webpeg:
         settings: capture batch settings.
         seed: master seed for every stochastic component.
         cache: capture cache to consult (pass None to disable caching).
+        rng_scheme: versioned RNG scheme every capture stream is derived
+            under; recorded on every report/video and pinned on the cache.
     """
 
     def __init__(
@@ -238,11 +278,13 @@ class Webpeg:
         settings: Optional[CaptureSettings] = None,
         seed: int = 2016,
         cache: Optional[CaptureCache] = DEFAULT_CAPTURE_CACHE,
+        rng_scheme: str = DEFAULT_RNG_SCHEME,
     ) -> None:
         self.preferences = preferences or BrowserPreferences()
         self.settings = settings or CaptureSettings()
         self.seed = seed
         self.cache = cache
+        self.rng_scheme = validate_scheme(rng_scheme)
 
     # -- single-site capture ----------------------------------------------------
 
@@ -253,6 +295,7 @@ class Webpeg:
             _preferences_key(self.preferences),
             self.settings,
             self.seed,
+            self.rng_scheme,
         )
 
     def capture(self, page: Page, configuration: str) -> CaptureReport:
@@ -269,7 +312,7 @@ class Webpeg:
         key: Optional[Tuple] = None
         if self.cache is not None:
             key = self._cache_key(page, configuration)
-            cached = self.cache.get(key)
+            cached = self.cache.get(key, scheme=self.rng_scheme)
             if cached is not None:
                 return cached
 
@@ -277,6 +320,7 @@ class Webpeg:
             preferences=self.preferences,
             network_profile=self.settings.network_profile,
             seed=self.seed,
+            rng_scheme=self.rng_scheme,
         )
         # The capture protocol performs a primer load before the measured
         # repeats so the first trial does not pay cold DNS lookups.  In the
@@ -304,15 +348,17 @@ class Webpeg:
             frames=frames,
             load_result=chosen,
             record_after_onload=self.settings.record_after_onload,
+            rng_scheme=self.rng_scheme,
         )
         report = CaptureReport(
             video=video,
             onload_times=onloads,
             selected_repeat=selected,
             primer_performed=True,
+            rng_scheme=self.rng_scheme,
         )
         if self.cache is not None and key is not None:
-            self.cache.put(key, report)
+            self.cache.put(key, report, scheme=self.rng_scheme)
             # Hand the caller the same flag-isolated copy a cache hit gets,
             # keeping the stored entry pristine.
             return _fresh_report(report)
@@ -345,7 +391,7 @@ class Webpeg:
                 key = None
                 if self.cache is not None:
                     key = self._cache_key(page, configuration)
-                    cached = self.cache.get(key)
+                    cached = self.cache.get(key, scheme=self.rng_scheme)
                     if cached is not None:
                         reports[page.site_id] = cached
                         continue
@@ -356,12 +402,13 @@ class Webpeg:
                         misses,
                         pool.map(
                             _capture_one,
-                            [(self.preferences, self.settings, self.seed, page, configuration)
+                            [(self.preferences, self.settings, self.seed, page, configuration,
+                              self.rng_scheme)
                              for page, _key in misses],
                         ),
                     ):
                         if self.cache is not None and key is not None:
-                            self.cache.put(key, report)
+                            self.cache.put(key, report, scheme=self.rng_scheme)
                             report = _fresh_report(report)
                         reports[page.site_id] = report
             # Preserve input order in the returned mapping.
@@ -377,13 +424,15 @@ def _capture_one(args: Tuple) -> CaptureReport:
     Workers run without a shared cache (each report is shipped back to the
     parent, which populates its own cache).
     """
-    preferences, settings, seed, page, configuration = args
-    tool = Webpeg(preferences=preferences, settings=settings, seed=seed, cache=None)
+    preferences, settings, seed, page, configuration, rng_scheme = args
+    tool = Webpeg(preferences=preferences, settings=settings, seed=seed, cache=None,
+                  rng_scheme=rng_scheme)
     return tool.capture(page, configuration)
 
 
 def capture_protocol_pair(page: Page, settings: Optional[CaptureSettings] = None,
-                          seed: int = 2016) -> Dict[str, CaptureReport]:
+                          seed: int = 2016,
+                          rng_scheme: str = DEFAULT_RNG_SCHEME) -> Dict[str, CaptureReport]:
     """Capture the HTTP/1.1 and HTTP/2 versions of one page.
 
     Convenience used by the HTTP/1.1-vs-HTTP/2 A/B campaign: same page, same
@@ -396,13 +445,15 @@ def capture_protocol_pair(page: Page, settings: Optional[CaptureSettings] = None
             preferences=BrowserPreferences(protocol=protocol),
             settings=settings,
             seed=seed,
+            rng_scheme=rng_scheme,
         )
         reports[label] = tool.capture(page, configuration=label)
     return reports
 
 
 def capture_adblock_set(page: Page, blockers: Sequence[str] = ("adblock", "ghostery", "ublock"),
-                        settings: Optional[CaptureSettings] = None, seed: int = 2016) -> Dict[str, CaptureReport]:
+                        settings: Optional[CaptureSettings] = None, seed: int = 2016,
+                        rng_scheme: str = DEFAULT_RNG_SCHEME) -> Dict[str, CaptureReport]:
     """Capture a page with no extension and with each ad blocker.
 
     The protocol is left on "auto" (Chrome defaults to HTTP/2 when the site
@@ -410,13 +461,15 @@ def capture_adblock_set(page: Page, blockers: Sequence[str] = ("adblock", "ghost
     """
     settings = settings or CaptureSettings()
     reports: Dict[str, CaptureReport] = {}
-    base = Webpeg(preferences=BrowserPreferences(protocol="auto"), settings=settings, seed=seed)
+    base = Webpeg(preferences=BrowserPreferences(protocol="auto"), settings=settings, seed=seed,
+                  rng_scheme=rng_scheme)
     reports["noextension"] = base.capture(page, configuration="noextension")
     for name in blockers:
         tool = Webpeg(
             preferences=BrowserPreferences(protocol="auto").with_extension(name),
             settings=settings,
             seed=seed,
+            rng_scheme=rng_scheme,
         )
         reports[name] = tool.capture(page, configuration=name)
     return reports

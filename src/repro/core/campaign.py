@@ -26,7 +26,7 @@ from ..config import VIDEOS_PER_PARTICIPANT
 from ..crowd.participant import Participant, ParticipantClass
 from ..crowd.recruitment import Recruiter, RecruitmentReport
 from ..errors import CampaignError
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG, require_same_scheme, validate_scheme
 from .experiment import ABExperiment, TimelineExperiment
 from .frame_helper import FrameSelectionHelper
 from .responses import ResponseDataset
@@ -48,6 +48,9 @@ class CampaignConfig:
         frame_helper_enabled: whether the frame-selection helper runs.
         filter_config: filtering thresholds (None for the defaults).
         seed: campaign-level random seed.
+        rng_scheme: versioned RNG scheme the whole campaign runs under (see
+            :mod:`repro.rng`); videos captured under a different scheme are
+            rejected with :class:`~repro.errors.RNGSchemeMismatchError`.
         parallel_workers: number of worker processes for participant
             sessions; 0 or 1 runs sessions serially (the default).  The
             parallel path is deterministic and bit-identical to the serial
@@ -62,9 +65,11 @@ class CampaignConfig:
     frame_helper_enabled: bool = True
     filter_config: Optional[FilterConfig] = None
     seed: int = 2016
+    rng_scheme: str = DEFAULT_RNG_SCHEME
     parallel_workers: int = 0
 
     def __post_init__(self) -> None:
+        validate_scheme(self.rng_scheme)
         if self.participant_count <= 0:
             raise CampaignError("participant_count must be positive")
         if self.videos_per_participant <= 0:
@@ -122,6 +127,11 @@ class CampaignResult:
         """Total number of video tasks served to participants."""
         return sum(t.videos_assigned for t in self.telemetry.values())
 
+    @property
+    def rng_scheme(self) -> str:
+        """The versioned RNG scheme that produced this result."""
+        return self.config.rng_scheme
+
 
 # -- parallel session plumbing --------------------------------------------------
 #
@@ -146,16 +156,16 @@ def _encode_tasks(tasks: List, index_by_id: Dict[int, int]) -> List[Tuple[str, o
 
 
 def _run_one_session(args: Tuple):
-    mode, participant, encoded, parent_seed, helper, preload = args
+    mode, participant, encoded, parent_seed, rng_scheme, helper, preload = args
     tasks = [
         _WORKER_POOL_TASKS[reference] if kind == "pool" else reference
         for kind, reference in encoded
     ]
-    # Forking only reads the parent's seed, so rebuilding the campaign
-    # generator from its seed yields the exact child streams the serial path
-    # derives in-process.
+    # Forking only reads the parent's seed and scheme, so rebuilding the
+    # campaign generator from them yields the exact child streams the serial
+    # path derives in-process.
     session = ParticipantSession(
-        participant, SeededRNG(parent_seed), frame_helper=helper, preload_video=preload
+        participant, SeededRNG(parent_seed, rng_scheme), frame_helper=helper, preload_video=preload
     )
     if mode == "timeline":
         return session.run_timeline(tasks)
@@ -186,13 +196,35 @@ class CampaignRunner:
     def __init__(self, config: CampaignConfig, perf=None) -> None:
         self.config = config
         self.perf = perf
-        self._rng = SeededRNG(config.seed).fork(f"campaign:{config.campaign_id}")
+        self._rng = SeededRNG(config.seed, config.rng_scheme).fork(
+            f"campaign:{config.campaign_id}"
+        )
 
     # -- internals --------------------------------------------------------------
 
     def _recruit(self) -> RecruitmentReport:
-        recruiter = Recruiter(seed=self.config.seed)
+        recruiter = Recruiter(seed=self.config.seed, rng_scheme=self.config.rng_scheme)
         return recruiter.recruit(self.config.campaign_id, self.config.participant_count, self.config.service)
+
+    def _check_task_schemes(self, experiment) -> None:
+        """Reject task videos captured under a scheme other than the campaign's.
+
+        Timeline tasks are :class:`~repro.capture.video.Video` objects and
+        A/B tasks are pairs whose ``spliced`` artefact exposes the underlying
+        captures' scheme; either way an artifact produced under a different
+        versioned RNG scheme must not be mixed into this campaign.
+        """
+        expected = self.config.rng_scheme
+        for task in experiment.task_pool():
+            spliced = getattr(task, "spliced", None)
+            artifact = spliced if spliced is not None else task
+            scheme = getattr(artifact, "rng_scheme", None)
+            if scheme is not None:
+                require_same_scheme(
+                    expected, scheme,
+                    f"campaign {self.config.campaign_id!r} task "
+                    f"{getattr(artifact, 'video_id', artifact)!r}",
+                )
 
     def _frame_helper(self, experiment: TimelineExperiment) -> FrameSelectionHelper:
         return FrameSelectionHelper(
@@ -219,7 +251,7 @@ class CampaignRunner:
                 pool_tasks,
                 [
                     (mode, participant, _encode_tasks(tasks, index_by_id),
-                     self._rng.seed, helper, preload)
+                     self._rng.seed, self.config.rng_scheme, helper, preload)
                     for participant, tasks in admitted
                 ],
                 self.config.parallel_workers,
@@ -240,10 +272,17 @@ class CampaignRunner:
     # -- public API -------------------------------------------------------------
 
     def run_timeline(self, experiment: TimelineExperiment) -> CampaignResult:
-        """Run a timeline campaign against ``experiment``."""
+        """Run a timeline campaign against ``experiment``.
+
+        Raises:
+            RNGSchemeMismatchError: when the experiment's videos were
+                captured under a scheme other than the campaign's.
+        """
+        self._check_task_schemes(experiment)
         recruitment = self._recruit()
         server = EyeorgServer(
-            experiment, videos_per_participant=self.config.videos_per_participant, seed=self.config.seed
+            experiment, videos_per_participant=self.config.videos_per_participant,
+            seed=self.config.seed, rng_scheme=self.config.rng_scheme,
         )
         dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="timeline")
         telemetry: Dict[str, SessionTelemetry] = {}
@@ -288,10 +327,16 @@ class CampaignRunner:
         Control pairs are injected per participant: each task slot is
         replaced by a delayed-copy control with the experiment's configured
         probability, so every participant sees roughly one control.
+
+        Raises:
+            RNGSchemeMismatchError: when the experiment's videos were
+                captured under a scheme other than the campaign's.
         """
+        self._check_task_schemes(experiment)
         recruitment = self._recruit()
         server = EyeorgServer(
-            experiment, videos_per_participant=self.config.videos_per_participant, seed=self.config.seed
+            experiment, videos_per_participant=self.config.videos_per_participant,
+            seed=self.config.seed, rng_scheme=self.config.rng_scheme,
         )
         dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="ab")
         telemetry: Dict[str, SessionTelemetry] = {}

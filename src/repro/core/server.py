@@ -16,7 +16,7 @@ from ..capture.video import Video
 from ..config import BROKEN_VIDEO_FLAG_THRESHOLD, VIDEOS_PER_PARTICIPANT
 from ..crowd.participant import Participant
 from ..errors import CampaignError
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from .experiment import ABExperiment, ABPair, TimelineExperiment
 
 TaskT = TypeVar("TaskT")
@@ -67,10 +67,16 @@ class TaskAssigner(Generic[TaskT]):
 
     def assign(self, participant: Participant) -> List[TaskT]:
         """Assign tasks to one participant."""
+        counts = self._assignment_counts
+        rng = self._rng
+        participant_id = participant.participant_id
+        # fork_random draws the tie-break stream without building a child
+        # generator per (participant, task) — bit-identical to
+        # fork(label).random() under both schemes.
         order = sorted(
-            self._assignment_counts,
-            key=lambda index: (self._assignment_counts[index],
-                               self._rng.fork(f"tie:{participant.participant_id}:{index}").random()),
+            counts,
+            key=lambda index: (counts[index],
+                               rng.fork_random(f"tie:{participant_id}:{index}")),
         )
         chosen = order[: self._per_participant]
         for index in chosen:
@@ -119,9 +125,10 @@ class EyeorgServer:
         experiment: TimelineExperiment | ABExperiment,
         videos_per_participant: int = VIDEOS_PER_PARTICIPANT,
         seed: int = 2016,
+        rng_scheme: str = DEFAULT_RNG_SCHEME,
     ) -> None:
         self.experiment = experiment
-        self._rng = SeededRNG(seed).fork(f"server:{experiment.experiment_id}")
+        self._rng = SeededRNG(seed, rng_scheme).fork(f"server:{experiment.experiment_id}")
         self.captcha = CaptchaGate()
         self.broken_videos = BrokenVideoRegistry()
         self._assigner: TaskAssigner = TaskAssigner(

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import RecruitmentError
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from .participant import Participant, ParticipantClass
 from .services import (
     CROWDFLOWER,
@@ -77,8 +77,8 @@ class RecruitmentReport:
 class Recruiter:
     """Recruits participant pools for campaigns."""
 
-    def __init__(self, seed: int = 2016) -> None:
-        self._rng = SeededRNG(seed).fork("recruitment")
+    def __init__(self, seed: int = 2016, rng_scheme: str = DEFAULT_RNG_SCHEME) -> None:
+        self._rng = SeededRNG(seed, rng_scheme).fork("recruitment")
 
     def recruit(self, campaign_id: str, count: int, service_name: str = "crowdflower") -> RecruitmentReport:
         """Recruit ``count`` participants from ``service_name``.

@@ -16,6 +16,16 @@ class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
 
 
+class RNGSchemeMismatchError(ConfigurationError):
+    """Artifacts produced under different versioned RNG schemes were mixed.
+
+    Every stochastic artifact (capture-cache entry, captured video, campaign
+    result, golden snapshot, perf report) records the RNG scheme that
+    produced it; combining artifacts from different schemes would silently
+    compare or reuse streams that are not bit-compatible, so it is an error.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

@@ -19,7 +19,7 @@ from ..core.analysis import no_difference_fraction_per_site, score_per_site
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import ABExperiment, ABPair, build_ab_pairs
 from ..errors import CampaignError
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.corpus import CorpusGenerator
 
 #: The three extensions the paper compares.
@@ -52,6 +52,7 @@ def run_adblock_campaign(
     loads_per_site: int = 5,
     network_profile: str = "cable-intl",
     corpus_size: int = 10_000,
+    rng_scheme: str = DEFAULT_RNG_SCHEME,
 ) -> AdblockCampaignResult:
     """Run the ad-blocker A/B campaign end to end.
 
@@ -67,7 +68,7 @@ def run_adblock_campaign(
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.ad_sample(sites, corpus_size=corpus_size)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
-    rng = SeededRNG(seed).fork("adblock-campaign")
+    rng = SeededRNG(seed, rng_scheme).fork("adblock-campaign")
 
     per_blocker = sites // len(BLOCKER_NAMES)
     pairs: List[ABPair] = []
@@ -77,7 +78,8 @@ def run_adblock_campaign(
         originals: Dict[str, Video] = {}
         blocked: Dict[str, Video] = {}
         for page in assigned:
-            reports = capture_adblock_set(page, blockers=(blocker,), settings=settings, seed=seed)
+            reports = capture_adblock_set(page, blockers=(blocker,), settings=settings, seed=seed,
+                                          rng_scheme=rng_scheme)
             originals[page.site_id] = reports["noextension"].video
             blocked[page.site_id] = reports[blocker].video
             blocked_counts[blocker].append(len(reports[blocker].video.load_result.blocked_object_ids))
@@ -91,6 +93,7 @@ def run_adblock_campaign(
         participant_count=participants,
         service="crowdflower",
         seed=seed,
+        rng_scheme=rng_scheme,
     )
     campaign = CampaignRunner(config).run_ab(experiment)
 

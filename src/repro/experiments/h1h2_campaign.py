@@ -23,7 +23,7 @@ from ..core.analysis import (
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import ABExperiment, build_ab_pairs
 from ..metrics.plt import METRIC_NAMES, PLTMetrics, metrics_from_video
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.corpus import CorpusGenerator
 
 
@@ -75,19 +75,20 @@ def run_h1h2_campaign(
     seed: int = 2016,
     loads_per_site: int = 5,
     network_profile: str = "cable-intl",
+    rng_scheme: str = DEFAULT_RNG_SCHEME,
 ) -> H1H2CampaignResult:
     """Run the HTTP/1.1 vs HTTP/2 A/B campaign end to end."""
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
-    rng = SeededRNG(seed).fork("h1h2-campaign")
+    rng = SeededRNG(seed, rng_scheme).fork("h1h2-campaign")
 
     captures_h1: Dict[str, Video] = {}
     captures_h2: Dict[str, Video] = {}
     metrics_h1: Dict[str, PLTMetrics] = {}
     metrics_h2: Dict[str, PLTMetrics] = {}
     for page in pages:
-        pair = capture_protocol_pair(page, settings=settings, seed=seed)
+        pair = capture_protocol_pair(page, settings=settings, seed=seed, rng_scheme=rng_scheme)
         captures_h1[page.site_id] = pair["h1"].video
         captures_h2[page.site_id] = pair["h2"].video
         metrics_h1[page.site_id] = metrics_from_video(pair["h1"].video)
@@ -100,6 +101,7 @@ def run_h1h2_campaign(
         participant_count=participants,
         service="crowdflower",
         seed=seed,
+        rng_scheme=rng_scheme,
     )
     campaign = CampaignRunner(config).run_ab(experiment)
 

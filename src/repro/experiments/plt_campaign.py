@@ -18,6 +18,7 @@ from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import TimelineExperiment
 from ..metrics.comparison import MetricComparison
 from ..metrics.plt import PLTMetrics, metrics_from_video
+from ..rng import DEFAULT_RNG_SCHEME
 from ..web.corpus import CorpusGenerator
 
 
@@ -52,6 +53,7 @@ def run_plt_campaign(
     preload_video: bool = True,
     capture_workers: int = 0,
     session_workers: int = 0,
+    rng_scheme: str = DEFAULT_RNG_SCHEME,
 ) -> PLTCampaignResult:
     """Run the PLT timeline campaign end to end.
 
@@ -67,11 +69,15 @@ def run_plt_campaign(
             (deterministic; results identical to the serial path).
         session_workers: when > 1, participant sessions fan out over a
             process pool (deterministic; results identical to serial).
+        rng_scheme: versioned RNG scheme the whole pipeline runs under (see
+            :mod:`repro.rng`); outputs are only comparable within a scheme.
     """
+    # The corpus is the scheme-independent input dataset: both schemes
+    # measure the same synthetic sites, so per-site outputs stay comparable.
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
-    tool = Webpeg(settings=settings, seed=seed)
+    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
 
     reports = tool.capture_batch(pages, configuration="h2", max_workers=capture_workers or None)
     videos: List[Video] = []
@@ -87,6 +93,7 @@ def run_plt_campaign(
         participant_count=participants,
         service="crowdflower",
         seed=seed,
+        rng_scheme=rng_scheme,
         frame_helper_enabled=frame_helper_enabled,
         preload_video=preload_video,
         parallel_workers=session_workers,

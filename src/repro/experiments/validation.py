@@ -18,7 +18,7 @@ from ..capture.webpeg import CaptureSettings, Webpeg, capture_protocol_pair
 from ..core.analysis import BehaviourSummary, summarise_behaviour
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import ABExperiment, TimelineExperiment, build_ab_pairs
-from ..rng import SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.corpus import CorpusGenerator
 
 
@@ -64,6 +64,7 @@ def run_validation_study(
     seed: int = 2016,
     loads_per_site: int = 5,
     network_profile: str = "cable-intl",
+    rng_scheme: str = DEFAULT_RNG_SCHEME,
 ) -> ValidationStudy:
     """Run the full validation study.
 
@@ -81,11 +82,11 @@ def run_validation_study(
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
-    rng = SeededRNG(seed).fork("validation-study")
+    rng = SeededRNG(seed, rng_scheme).fork("validation-study")
 
     # Timeline captures: the HTTP/2 version of each site (the campaign studies
     # perception, not protocols).
-    timeline_tool = Webpeg(settings=settings, seed=seed)
+    timeline_tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
     timeline_videos = [timeline_tool.capture(page, configuration="h2").video for page in pages]
     timeline_experiment = TimelineExperiment(experiment_id="validation-timeline", videos=timeline_videos)
 
@@ -93,7 +94,7 @@ def run_validation_study(
     captures_h1: Dict[str, Video] = {}
     captures_h2: Dict[str, Video] = {}
     for page in pages:
-        pair = capture_protocol_pair(page, settings=settings, seed=seed)
+        pair = capture_protocol_pair(page, settings=settings, seed=seed, rng_scheme=rng_scheme)
         captures_h1[page.site_id] = pair["h1"].video
         captures_h2[page.site_id] = pair["h2"].video
     ab_pairs = build_ab_pairs(captures_h1, captures_h2, label_a="h1", label_b="h2", rng=rng)
@@ -101,7 +102,8 @@ def run_validation_study(
 
     def run(campaign_id: str, count: int, service: str, experiment, timeline: bool) -> CampaignResult:
         config = CampaignConfig(
-            campaign_id=campaign_id, participant_count=count, service=service, seed=seed
+            campaign_id=campaign_id, participant_count=count, service=service, seed=seed,
+            rng_scheme=rng_scheme,
         )
         runner = CampaignRunner(config)
         return runner.run_timeline(experiment) if timeline else runner.run_ab(experiment)

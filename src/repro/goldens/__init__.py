@@ -1,0 +1,194 @@
+"""Golden campaign results per (RNG scheme, seed): store, verify, diff.
+
+A *golden* is a bit-exact snapshot of the observable outputs of one PLT
+timeline campaign — the Table 1 row, the filter counts, and every site's
+mean UserPerceivedPLT recorded as ``repr`` strings so float identity is
+checked digit-for-digit — keyed by the versioned RNG scheme, the seed, and
+the campaign scale.  The stored set under ``src/repro/goldens/data/`` is the
+contract that makes a scheme switch (see :mod:`repro.rng`) a reviewed,
+versioned event instead of a silent re-seed: the default ``sha256-v1``
+goldens pin the seed implementation's outputs forever, and ``splitmix64-v2``
+ships its own set generated the day the scheme landed.
+
+Workflow (also available as ``python -m repro.goldens``)::
+
+    python -m repro.goldens list
+    python -m repro.goldens verify                       # every stored golden
+    python -m repro.goldens verify --scheme splitmix64-v2 --scale bench
+    python -m repro.goldens capture --scheme splitmix64-v2 --scale full
+    python -m repro.goldens refresh --scheme splitmix64-v2   # overwrite (re-baseline!)
+    python -m repro.goldens diff --scheme-a sha256-v1 --scheme-b splitmix64-v2
+
+``capture`` refuses to overwrite an existing golden; a re-baseline must go
+through ``refresh`` so it shows up as an explicit, reviewable change to the
+stored files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError, RNGSchemeMismatchError, StorageError
+from ..rng import validate_scheme
+
+#: Directory holding the committed golden JSON files.
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: The seed every stored golden set is captured under (the paper's year).
+GOLDEN_SEED = 2016
+
+#: Campaign scales goldens are captured at.  ``small`` matches the pinned
+#: seed-implementation golden in ``tests/test_perf_equivalence.py``,
+#: ``bench`` the perf benchmark's workload, ``full`` the paper's Table 1.
+SCALES: Dict[str, Dict[str, int]] = {
+    "small": {"sites": 5, "participants": 20, "loads": 5},
+    "bench": {"sites": 30, "participants": 200, "loads": 3},
+    "full": {"sites": 100, "participants": 1000, "loads": 5},
+}
+
+_SNAPSHOT_KIND = "plt-campaign"
+
+
+def golden_path(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Path:
+    """Path of the golden file for ``(scheme, scale, seed)``."""
+    validate_scheme(scheme)
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown golden scale {scale!r}; known scales: {', '.join(SCALES)}"
+        )
+    return DATA_DIR / f"plt__{scale}__{scheme}__seed{seed}.json"
+
+
+def snapshot_plt_campaign(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Run the PLT campaign and snapshot its observable outputs.
+
+    The process-wide capture cache is cleared before and after the run, so
+    the snapshot never reuses (or leaves behind) captures pinned to another
+    scheme.
+    """
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..experiments.plt_campaign import run_plt_campaign
+
+    validate_scheme(scheme)
+    dims = SCALES[scale] if scale in SCALES else None
+    if dims is None:
+        raise ConfigurationError(
+            f"unknown golden scale {scale!r}; known scales: {', '.join(SCALES)}"
+        )
+    DEFAULT_CAPTURE_CACHE.clear()
+    try:
+        result = run_plt_campaign(
+            sites=dims["sites"],
+            participants=dims["participants"],
+            loads_per_site=dims["loads"],
+            seed=seed,
+            rng_scheme=scheme,
+        )
+    finally:
+        DEFAULT_CAPTURE_CACHE.clear()
+    return {
+        "kind": _SNAPSHOT_KIND,
+        "rng_scheme": scheme,
+        "seed": seed,
+        "scale": {"name": scale, **dims},
+        "table1": result.campaign.table1_row,
+        "filter_summary": result.campaign.filter_report.summary_row(),
+        "videos_served": result.campaign.videos_served,
+        "uplt_by_site": {site: repr(value) for site, value in sorted(result.uplt_by_site.items())},
+        "metric_correlations": {
+            metric: repr(value) for metric, value in sorted(result.comparison.correlations.items())
+        },
+    }
+
+
+def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
+    """Write ``snapshot`` into the store; refuses to overwrite unless asked.
+
+    Raises:
+        StorageError: when the golden already exists and ``overwrite`` is
+            False (re-baselining must be explicit — use ``refresh``).
+    """
+    path = golden_path(str(snapshot["rng_scheme"]), str(snapshot["scale"]["name"]),
+                       int(snapshot["seed"]))
+    if path.exists() and not overwrite:
+        raise StorageError(
+            f"golden {path.name} already exists; re-baselining is an explicit "
+            f"event — use `python -m repro.goldens refresh` to overwrite it"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Load a stored golden, checking it really was produced under ``scheme``.
+
+    Raises:
+        StorageError: when no golden is stored for the key or the file is
+            not a golden snapshot.
+        RNGSchemeMismatchError: when the stored file's recorded scheme
+            differs from the requested one (e.g. a hand-copied file).
+    """
+    path = golden_path(scheme, scale, seed)
+    if not path.exists():
+        raise StorageError(
+            f"no golden stored for scheme={scheme} scale={scale} seed={seed} "
+            f"(expected {path}); capture it with `python -m repro.goldens capture`"
+        )
+    try:
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"golden {path.name} is not valid JSON: {exc}") from exc
+    if snapshot.get("kind") != _SNAPSHOT_KIND:
+        raise StorageError(f"golden {path.name} is not a {_SNAPSHOT_KIND} snapshot")
+    stored_scheme = snapshot.get("rng_scheme")
+    if stored_scheme != scheme:
+        raise RNGSchemeMismatchError(
+            f"golden {path.name}: RNG scheme mismatch — requested {scheme!r} "
+            f"but the stored results were produced under {stored_scheme!r}"
+        )
+    return snapshot
+
+
+def diff_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
+    """Human-readable field-by-field differences (empty list = identical).
+
+    Compares every pinned output section; scalar metadata (scheme, seed,
+    scale) is included so a diff between schemes is self-describing.
+    """
+    differences: List[str] = []
+    for field in ("rng_scheme", "seed", "scale"):
+        if golden.get(field) != fresh.get(field):
+            differences.append(f"{field}: {golden.get(field)!r} != {fresh.get(field)!r}")
+    for section in ("table1", "filter_summary", "uplt_by_site", "metric_correlations"):
+        stored = golden.get(section) or {}
+        current = fresh.get(section) or {}
+        for key in sorted(set(stored) | set(current)):
+            left, right = stored.get(key), current.get(key)
+            if left != right:
+                differences.append(f"{section}[{key}]: {left!r} != {right!r}")
+    if golden.get("videos_served") != fresh.get("videos_served"):
+        differences.append(
+            f"videos_served: {golden.get('videos_served')!r} != {fresh.get('videos_served')!r}"
+        )
+    return differences
+
+
+def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> List[str]:
+    """Re-run the campaign and diff against the stored golden.
+
+    Returns the list of differences — empty means the stored golden is
+    reproduced bit-for-bit under its scheme.
+    """
+    golden = load_golden(scheme, scale, seed)
+    fresh = snapshot_plt_campaign(scheme, scale, seed)
+    return diff_snapshots(golden, fresh)
+
+
+def stored_goldens() -> List[Path]:
+    """Every golden file currently in the store, sorted by name."""
+    if not DATA_DIR.is_dir():
+        return []
+    return sorted(DATA_DIR.glob("plt__*.json"))

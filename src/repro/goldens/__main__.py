@@ -1,0 +1,129 @@
+"""CLI for the golden-result store: ``python -m repro.goldens <command>``.
+
+Commands:
+    list       show every stored golden with its key metadata
+    verify     re-run campaigns and check stored goldens reproduce bit-for-bit
+    capture    run a campaign and store a new golden (refuses to overwrite)
+    refresh    like capture, but overwrites — the explicit re-baseline step
+    diff       compare two stored goldens (e.g. sha256-v1 vs splitmix64-v2)
+
+Exit status is non-zero when a verification fails or a diff finds
+differences between two same-scheme goldens, so the command slots into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..rng import RNG_SCHEMES
+from . import (
+    GOLDEN_SEED,
+    SCALES,
+    diff_snapshots,
+    golden_path,
+    load_golden,
+    save_golden,
+    snapshot_plt_campaign,
+    stored_goldens,
+    verify_golden,
+)
+
+
+def _selected(value: Optional[str], universe) -> List[str]:
+    return list(universe) if value in (None, "all") else [value]
+
+
+def _cmd_list(_args) -> int:
+    paths = stored_goldens()
+    if not paths:
+        print("no goldens stored")
+        return 0
+    for path in paths:
+        print(f"  {path.name}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    failures = 0
+    checked = 0
+    for scheme in _selected(args.scheme, RNG_SCHEMES):
+        for scale in _selected(args.scale, SCALES):
+            if not golden_path(scheme, scale, args.seed).exists():
+                continue
+            checked += 1
+            differences = verify_golden(scheme, scale, args.seed)
+            status = "ok" if not differences else f"FAILED ({len(differences)} differences)"
+            print(f"verify {scheme} / {scale} / seed {args.seed}: {status}")
+            for line in differences:
+                print(f"    {line}")
+            failures += bool(differences)
+    if not checked:
+        print("no stored goldens matched the selection")
+        return 1
+    return 1 if failures else 0
+
+
+def _cmd_capture(args, overwrite: bool) -> int:
+    for scale in _selected(args.scale, SCALES):
+        snapshot = snapshot_plt_campaign(args.scheme, scale, args.seed)
+        path = save_golden(snapshot, overwrite=overwrite)
+        print(f"{'refreshed' if overwrite else 'captured'} {path.name}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    scale = args.scale or "bench"
+    left = load_golden(args.scheme_a, scale, args.seed)
+    right = load_golden(args.scheme_b, scale, args.seed)
+    differences = diff_snapshots(left, right)
+    if not differences:
+        print(f"{args.scheme_a} and {args.scheme_b} goldens are identical at scale {scale}")
+        return 0
+    print(f"{len(differences)} differences ({args.scheme_a} vs {args.scheme_b}, scale {scale}):")
+    for line in differences:
+        print(f"    {line}")
+    # Differences between *different* schemes are expected, not an error.
+    return 1 if args.scheme_a == args.scheme_b else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.goldens", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show stored goldens")
+
+    for name, help_text in (
+        ("verify", "check stored goldens reproduce bit-for-bit"),
+        ("capture", "store a new golden (refuses to overwrite)"),
+        ("refresh", "re-capture and overwrite a golden (explicit re-baseline)"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        if name == "verify":
+            command.add_argument("--scheme", choices=(*RNG_SCHEMES, "all"), default="all")
+        else:
+            command.add_argument("--scheme", choices=RNG_SCHEMES, required=True)
+        command.add_argument("--scale", choices=(*SCALES, "all"), default="all")
+        command.add_argument("--seed", type=int, default=GOLDEN_SEED)
+
+    diff = sub.add_parser("diff", help="compare two stored goldens")
+    diff.add_argument("--scheme-a", choices=RNG_SCHEMES, default=RNG_SCHEMES[0])
+    diff.add_argument("--scheme-b", choices=RNG_SCHEMES, default=RNG_SCHEMES[-1])
+    diff.add_argument("--scale", choices=tuple(SCALES), default=None)
+    diff.add_argument("--seed", type=int, default=GOLDEN_SEED)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    if args.command in ("capture", "refresh"):
+        return _cmd_capture(args, overwrite=args.command == "refresh")
+    return _cmd_diff(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

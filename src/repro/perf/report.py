@@ -8,10 +8,14 @@ Run as a module::
 The benchmark times the capture→campaign pipeline stage by stage at the
 bench scale used across ``benchmarks/`` (30 sites x 200 participants x 3
 loads, seed 2016; ``--full-scale`` switches to the paper's 100 x 1,000 x 5),
-verifies that the campaign outputs are bit-identical to the pinned golden
-results of the original (pre-optimisation) implementation, and writes the
+verifies that the campaign outputs are bit-identical to the pinned goldens
+of their RNG scheme (the seed implementation's values under ``sha256-v1``,
+the :mod:`repro.goldens` store under ``splitmix64-v2``), and writes the
 ``{stage: {seconds, events, per_unit}}`` report to ``BENCH_pipeline.json``
-at the repository root.
+at the repository root.  By default both schemes are benched
+(``--rng-scheme`` selects one); every scheme's stages land under the
+report's ``_schemes`` key and each ``_meta`` records its ``rng_scheme``, so
+the trajectory never silently compares v1 against v2 runs.
 
 Methodology notes recorded in ``_meta``:
 
@@ -30,6 +34,7 @@ from __future__ import annotations
 import argparse
 from typing import Dict, Optional, Tuple
 
+from ..rng import DEFAULT_RNG_SCHEME, RNG_SCHEMES, SCHEME_SHA256_V1, SCHEME_SPLITMIX64_V2
 from .timers import PerfReport
 
 #: Bench-scale workload (matches ``benchmarks/conftest.py``).
@@ -78,13 +83,16 @@ def run_pipeline_bench(
     capture_workers: int = 0,
     session_workers: int = 0,
     verify: bool = True,
+    rng_scheme: str = DEFAULT_RNG_SCHEME,
 ) -> Tuple[PerfReport, Dict[str, object]]:
     """Time the capture→campaign pipeline stage by stage.
 
     Returns the perf report plus the campaign artefacts used for output
     verification.  Raises ``AssertionError`` when ``verify`` is set and the
     outputs deviate from the pinned goldens (only checked at bench scale
-    with the bench seed).
+    with the bench seed): under ``sha256-v1`` against the in-module pinned
+    seed-implementation values, under ``splitmix64-v2`` against that
+    scheme's stored golden in :mod:`repro.goldens`.
     """
     # Imports here so ``--help`` stays instant.
     from ..capture.webpeg import CaptureSettings, DEFAULT_CAPTURE_CACHE, Webpeg
@@ -102,7 +110,7 @@ def run_pipeline_bench(
     timer.finish(events=sites)
 
     settings = CaptureSettings(loads_per_site=loads, network_profile="cable-intl")
-    tool = Webpeg(settings=settings, seed=seed)
+    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
 
     DEFAULT_CAPTURE_CACHE.clear()
     timer = report.stage("capture_cold").start()
@@ -126,6 +134,7 @@ def run_pipeline_bench(
         participant_count=participants,
         service="crowdflower",
         seed=seed,
+        rng_scheme=rng_scheme,
         parallel_workers=session_workers,
     )
     timer = report.stage("campaign").start()
@@ -147,11 +156,25 @@ def run_pipeline_bench(
     verified = False
     if verify and is_bench_scale:
         table1 = campaign.table1_row
-        assert table1 == BENCH_GOLDEN_TABLE1, f"table1_row deviates from golden: {table1}"
-        for site, golden in BENCH_GOLDEN_UPLT_SAMPLE.items():
-            assert repr(uplt_by_site[site]) == golden, (
-                f"uplt_by_site[{site}] = {uplt_by_site[site]!r} deviates from golden {golden}"
+        if rng_scheme == SCHEME_SHA256_V1:
+            assert table1 == BENCH_GOLDEN_TABLE1, f"table1_row deviates from golden: {table1}"
+            for site, golden in BENCH_GOLDEN_UPLT_SAMPLE.items():
+                assert repr(uplt_by_site[site]) == golden, (
+                    f"uplt_by_site[{site}] = {uplt_by_site[site]!r} deviates from golden {golden}"
+                )
+        else:
+            # Non-default schemes verify against their stored golden set.
+            from ..goldens import load_golden
+
+            scheme_golden = load_golden(rng_scheme, "bench", seed)
+            assert table1 == scheme_golden["table1"], (
+                f"table1_row deviates from {rng_scheme} golden: {table1}"
             )
+            for site, golden in scheme_golden["uplt_by_site"].items():
+                assert repr(uplt_by_site[site]) == golden, (
+                    f"uplt_by_site[{site}] = {uplt_by_site[site]!r} deviates from "
+                    f"{rng_scheme} golden {golden}"
+                )
         warm_match = all(
             warm_reports[p.site_id].onload_times == reports[p.site_id].onload_times
             for p in pages
@@ -162,6 +185,7 @@ def run_pipeline_bench(
     report.set_meta(
         scale={"sites": sites, "participants": participants, "loads": loads},
         seed=seed,
+        rng_scheme=rng_scheme,
         capture_workers=capture_workers,
         session_workers=session_workers,
         total_seconds=round(total, 6),
@@ -180,6 +204,43 @@ def run_pipeline_bench(
     return report, artefacts
 
 
+def write_pipeline_document(path: str, reports_by_scheme: Dict[str, PerfReport]) -> Dict[str, object]:
+    """Write ``BENCH_pipeline.json`` carrying every scheme's stages.
+
+    For backwards compatibility with the PR-1 layout, the default scheme's
+    stages (and ``_meta``) stay at the top level; every scheme — including
+    the default — additionally appears under ``_schemes`` so the perf
+    trajectory of v1 and v2 can be tracked side by side without ever
+    comparing across schemes by accident.  When the default scheme was not
+    benched, the top level carries no stages at all (rather than silently
+    substituting another scheme's timings into the v1 trajectory).
+    """
+    import json
+
+    primary = reports_by_scheme.get(DEFAULT_RNG_SCHEME)
+    document = primary.as_dict() if primary is not None else {}
+    document["_schemes"] = {
+        scheme: report.as_dict() for scheme, report in reports_by_scheme.items()
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def _print_report(document: Dict[str, object], scheme: str) -> None:
+    print(f"  [{scheme}]")
+    for stage, stats in sorted(document.items()):
+        if stage.startswith("_"):
+            continue
+        print(f"  {stage:>14}: {stats['seconds']:8.4f}s  ({stats['events']} events)")
+    meta = document.get("_meta", {})
+    speedup = meta.get("speedup_vs_baseline")
+    print(f"  {'total':>14}: {meta.get('total_seconds', 0.0):8.4f}s  "
+          f"({speedup}x vs seed baseline, verified bit-identical: "
+          f"{meta.get('outputs_verified_bit_identical')})")
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro.perf.report``."""
     import os
@@ -191,6 +252,8 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=BENCH_SEED)
     parser.add_argument("--full-scale", action="store_true",
                         help="run at the paper's full scale (100 sites, 1000 participants)")
+    parser.add_argument("--rng-scheme", choices=(*RNG_SCHEMES, "both"), default="both",
+                        help="which versioned RNG scheme(s) to bench (default: both)")
     parser.add_argument("--capture-workers", type=int, default=0,
                         help="process-pool workers for capture (0 = serial)")
     parser.add_argument("--session-workers", type=int, default=0,
@@ -203,32 +266,30 @@ def main(argv=None) -> int:
         args.sites, args.participants, args.loads = (
             FULL_SCALE["sites"], FULL_SCALE["participants"], FULL_SCALE["loads"],
         )
+    schemes = list(RNG_SCHEMES) if args.rng_scheme == "both" else [args.rng_scheme]
 
-    report, _ = run_pipeline_bench(
-        sites=args.sites,
-        participants=args.participants,
-        loads=args.loads,
-        seed=args.seed,
-        capture_workers=args.capture_workers,
-        session_workers=args.session_workers,
-    )
+    reports: Dict[str, PerfReport] = {}
+    for scheme in schemes:
+        reports[scheme], _ = run_pipeline_bench(
+            sites=args.sites,
+            participants=args.participants,
+            loads=args.loads,
+            seed=args.seed,
+            capture_workers=args.capture_workers,
+            session_workers=args.session_workers,
+            rng_scheme=scheme,
+        )
     output = args.output
     if output is None:
         repo_root = os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         )
         output = os.path.join(repo_root, "BENCH_pipeline.json")
-    report.write(output)
+    write_pipeline_document(output, reports)
 
-    document = report.as_dict()
     print(f"wrote {output}")
-    for stage, stats in sorted(document.items()):
-        if stage.startswith("_"):
-            continue
-        print(f"  {stage:>14}: {stats['seconds']:8.4f}s  ({stats['events']} events)")
-    meta = document.get("_meta", {})
-    print(f"  {'total':>14}: {meta.get('total_seconds', 0.0):8.4f}s  "
-          f"(verified bit-identical: {meta.get('outputs_verified_bit_identical')})")
+    for scheme, report in reports.items():
+        _print_report(report.as_dict(), scheme)
     return 0
 
 

@@ -1,161 +1,409 @@
-"""Deterministic random-number helpers.
+"""Deterministic random-number helpers with versioned derivation schemes.
 
 Every stochastic component in the library receives its randomness through a
-:class:`SeededRNG` (a thin wrapper around :class:`random.Random`) so that any
-campaign, capture, or benchmark is reproducible bit-for-bit given a seed.
+:class:`SeededRNG` so that any campaign, capture, or benchmark is
+reproducible bit-for-bit given a seed.  Child generators are derived with
+:meth:`SeededRNG.fork`, which combines the parent seed with a string label;
+the stream consumed by one component is therefore independent of how much
+randomness another component consumed, a property the test-suite relies on.
 
-Child generators are derived with :meth:`SeededRNG.fork` which hashes the
-parent seed together with a string label.  This makes the stream consumed by
-one component independent of how much randomness another component consumed,
-a property the test-suite relies on.
+Versioned schemes
+-----------------
+
+*Which* function derives a child seed from ``(seed, label)`` and *which*
+uniform core draws the samples is a **versioned scheme**, because changing
+either re-seeds every stream in the library and silently invalidates all
+previously archived campaign results.  Two schemes exist:
+
+``sha256-v1`` (default)
+    The original derivation: child seed = first 8 bytes of
+    ``SHA-256(f"{seed}:{label}")``, samples drawn from
+    :class:`random.Random` (Mersenne Twister).  Every golden result archived
+    before the scheme registry existed was produced under this scheme, and
+    it remains bit-identical to the seed implementation.
+
+``splitmix64-v2``
+    Child seeds are derived by absorbing the label bytes into the parent
+    seed with splitmix64 finalizer rounds, and samples are drawn from a
+    splitmix64 counter stream instead of a Mersenne Twister.  This removes
+    the per-fork ``random.Random`` construction (~6.5µs each, tens of
+    thousands per bench campaign) that dominated the v1 hot path — at the
+    cost of producing entirely different (but equally deterministic)
+    streams, pinned by their own goldens in ``repro.goldens``.
+
+Artifacts record the scheme that produced them; mixing schemes raises
+:class:`repro.errors.RNGSchemeMismatchError` (see
+:func:`require_same_scheme`).  Re-baselining results onto a new scheme is an
+explicit, reviewed event: capture new goldens with
+``python -m repro.goldens refresh --scheme <scheme>``.
 
 Performance notes
 -----------------
 
 ``fork`` sits on the hot path of every capture and campaign (a bench-scale
-PLT run forks tens of thousands of times), so it is engineered to stay cheap
-*without* changing a single derived stream:
+PLT run forks tens of thousands of times), so both schemes keep it cheap:
 
-* the seed derivation stays the canonical ``SHA-256(f"{seed}:{label}")``
-  construction — replacing it with a faster integer mix (splitmix64 and
-  friends) was rejected because it would re-seed every stream and silently
-  invalidate all previously archived campaign results;
-* each instance caches the hash state of its ``f"{seed}:"`` prefix once and
-  forks by ``copy()``-ing that state and absorbing only the label bytes;
-* derived child seeds are memoised per ``(instance, label)``, so components
-  that re-fork the same label (e.g. one stream per task of the same
-  participant) hash each label once;
-* the underlying :class:`random.Random` is constructed lazily on first
-  sample, because a large share of forks are only ever used as parents for
-  further forks and never draw a number themselves.
+* v1 caches the hash state of its ``f"{seed}:"`` prefix once and forks by
+  ``copy()``-ing that state and absorbing only the label bytes; the
+  underlying :class:`random.Random` is constructed lazily on first sample
+  because many forks only parent further forks and never draw;
+* v2 derives the child seed with a handful of 64-bit integer mixes and
+  needs no :class:`random.Random` at all — its uniform core is three
+  arithmetic operations per 64-bit word;
+* both schemes memoise derived child seeds per ``(instance, label)``, so
+  components that re-fork the same label hash each label once.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Iterable, Optional, Sequence, TypeVar
+from math import cos, exp, log, pi, sin, sqrt
+from typing import Dict, Iterable, List, Optional, Sequence, TypeVar
+
+from .errors import ConfigurationError, RNGSchemeMismatchError
 
 T = TypeVar("T")
 
 _DEFAULT_SEED = 0xE7E06
 
+#: The original SHA-256 + Mersenne Twister scheme (bit-identical to the seed
+#: implementation; every pre-registry archived result was produced under it).
+SCHEME_SHA256_V1 = "sha256-v1"
+
+#: The fast splitmix64 scheme (new streams, new goldens, no MT construction).
+SCHEME_SPLITMIX64_V2 = "splitmix64-v2"
+
+#: All known schemes, in version order.
+RNG_SCHEMES = (SCHEME_SHA256_V1, SCHEME_SPLITMIX64_V2)
+
+#: The scheme used when none is specified — keeps archived results valid.
+DEFAULT_RNG_SCHEME = SCHEME_SHA256_V1
+
+_M64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_RECIP53 = 1.0 / (1 << 53)
+
+
+def validate_scheme(scheme: str) -> str:
+    """Return ``scheme`` if it is a known RNG scheme, else raise.
+
+    Raises:
+        ConfigurationError: for unknown scheme names.
+    """
+    if scheme not in RNG_SCHEMES:
+        raise ConfigurationError(
+            f"unknown RNG scheme {scheme!r}; known schemes: {', '.join(RNG_SCHEMES)}"
+        )
+    return scheme
+
+
+def require_same_scheme(expected: str, actual: str, context: str) -> None:
+    """Raise :class:`RNGSchemeMismatchError` unless the two schemes match.
+
+    Args:
+        expected: the scheme the consuming component runs under.
+        actual: the scheme the artifact was produced under.
+        context: short description of what was being combined, included in
+            the error message.
+    """
+    if expected != actual:
+        raise RNGSchemeMismatchError(
+            f"{context}: RNG scheme mismatch — this component runs under "
+            f"{expected!r} but the artifact was produced under {actual!r}; "
+            f"results from different schemes are not bit-compatible "
+            f"(re-baseline explicitly via `python -m repro.goldens refresh`)"
+        )
+
 
 def _derive_seed(seed: int, label: str) -> int:
-    """Derive a child seed from ``seed`` and ``label`` via SHA-256."""
+    """v1: derive a child seed from ``seed`` and ``label`` via SHA-256."""
     digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
 
 
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer (Stafford mix13) on a 64-bit word."""
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def _derive_seed_v2(seed: int, label: str) -> int:
+    """v2: fold the label bytes into ``seed`` with a multiply–xor absorb.
+
+    The label is folded 64 bits at a time (little-endian) into the running
+    state with an invertible xor-multiply step (the xorshift* multiplier);
+    the byte length is absorbed first so ``"ab" + "c"`` and ``"a" + "bc"``
+    style reassemblies cannot collide.  Derivation only needs collision
+    resistance, not avalanche: every *draw* from the resulting stream passes
+    the state through the full splitmix64 finalizer, which decorrelates even
+    adjacent child seeds.  This runs once per distinct (parent, label) fork,
+    tens of thousands of times per campaign, so it is kept to a handful of
+    integer ops per 64-bit word.
+    """
+    data = label.encode("utf-8")
+    h = (seed + len(data) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = int.from_bytes(data, "little")
+    while True:
+        h = ((h ^ (value & 0xFFFFFFFFFFFFFFFF)) * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF
+        value >>= 64
+        if not value:
+            break
+    return h ^ (h >> 32)
+
+
 class SeededRNG:
-    """A seeded random source with labelled, independent child streams."""
+    """A seeded random source with labelled, independent child streams.
 
-    __slots__ = ("seed", "_rand", "_prefix_hash", "_fork_memo")
+    Args:
+        seed: the stream seed.
+        scheme: the versioned derivation scheme (see module docstring);
+            forks inherit it, so a whole campaign runs under one scheme.
+    """
 
-    def __init__(self, seed: int = _DEFAULT_SEED) -> None:
+    __slots__ = ("seed", "scheme", "_rand", "_prefix_hash", "_fork_memo",
+                 "_state", "_gauss_spare")
+
+    def __init__(self, seed: int = _DEFAULT_SEED, scheme: str = DEFAULT_RNG_SCHEME) -> None:
+        if scheme not in RNG_SCHEMES:
+            validate_scheme(scheme)
         self.seed = int(seed)
+        self.scheme = scheme
         self._rand: Optional[random.Random] = None
         self._prefix_hash = None
         self._fork_memo: Optional[Dict[str, int]] = None
+        self._state = self.seed & _M64
+        self._gauss_spare: Optional[float] = None
 
     @property
     def _random(self) -> random.Random:
-        """The underlying generator, constructed on first use."""
+        """The underlying v1 generator, constructed on first use."""
         rand = self._rand
         if rand is None:
             rand = self._rand = random.Random(self.seed)
         return rand
 
-    def fork(self, label: str) -> "SeededRNG":
-        """Return a child generator whose stream only depends on seed+label."""
-        memo = self._fork_memo
-        if memo is None:
-            memo = self._fork_memo = {}
-        child_seed = memo.get(label)
-        if child_seed is None:
+    def _next64(self) -> int:
+        """v2 uniform core: the next 64-bit word of the splitmix64 stream."""
+        s = (self._state + _GOLDEN) & _M64
+        self._state = s
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+        return z ^ (z >> 31)
+
+    def _randbelow(self, n: int) -> int:
+        """v2: unbiased uniform integer in [0, n) via 64-bit rejection."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        limit = (1 << 64) - ((1 << 64) % n)
+        r = self._next64()
+        while r >= limit:
+            r = self._next64()
+        return r % n
+
+    def _child_seed(self, label: str) -> int:
+        """Derive (without memoising) the child seed for ``label``."""
+        if self.scheme == SCHEME_SHA256_V1:
             prefix = self._prefix_hash
             if prefix is None:
                 prefix = self._prefix_hash = hashlib.sha256(f"{self.seed}:".encode("utf-8"))
             hasher = prefix.copy()
             hasher.update(label.encode("utf-8"))
-            child_seed = int.from_bytes(hasher.digest()[:8], "big")
-            memo[label] = child_seed
+            return int.from_bytes(hasher.digest()[:8], "big")
+        return _derive_seed_v2(self.seed, label)
+
+    def fork(self, label: str) -> "SeededRNG":
+        """Return a child generator whose stream only depends on seed+label.
+
+        The child inherits the parent's scheme; the derived seed is memoised
+        per ``(instance, label)`` under both schemes, so re-forking the same
+        label returns an identically-seeded stream without re-deriving it.
+        """
+        memo = self._fork_memo
+        if memo is None:
+            memo = self._fork_memo = {}
+        child_seed = memo.get(label)
+        if child_seed is None:
+            child_seed = memo[label] = self._child_seed(label)
         child = SeededRNG.__new__(SeededRNG)
         child.seed = child_seed
+        child.scheme = self.scheme
         child._rand = None
         child._prefix_hash = None
         child._fork_memo = None
+        child._state = child_seed
+        child._gauss_spare = None
         return child
 
+    def fork_random(self, label: str) -> float:
+        """The first uniform draw of ``fork(label)``, without building the child.
+
+        Equivalent to ``self.fork(label).random()`` under both schemes
+        (bit-for-bit), but skips both the child-object allocation and the
+        fork memo — used on paths that fork a fresh label for exactly one
+        tie-breaking draw (e.g. one per (participant, task) in the
+        assigner), where memoising would grow the parent's memo with
+        entries that are never read again.
+        """
+        child_seed = self._child_seed(label)
+        if self.scheme == SCHEME_SHA256_V1:
+            return random.Random(child_seed).random()
+        s = (child_seed + _GOLDEN) & _M64
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+        return ((z ^ (z >> 31)) >> 11) * _RECIP53
+
     # -- thin delegation helpers ------------------------------------------------
-    # The hottest delegates inline the lazy-construction check instead of
-    # going through the ``_random`` property descriptor.
+    # The hottest delegates inline the per-scheme dispatch and (for v1) the
+    # lazy-construction check instead of going through property descriptors.
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
-        rand = self._rand
-        if rand is None:
-            rand = self._rand = random.Random(self.seed)
-        return rand.random()
+        if self.scheme == SCHEME_SHA256_V1:
+            rand = self._rand
+            if rand is None:
+                rand = self._rand = random.Random(self.seed)
+            return rand.random()
+        # v2: top 53 bits of the next splitmix64 word.
+        s = (self._state + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        self._state = s
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return ((z ^ (z >> 31)) >> 11) * 1.1102230246251565e-16
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in [low, high]."""
-        rand = self._rand
-        if rand is None:
-            rand = self._rand = random.Random(self.seed)
-        return rand.uniform(low, high)
+        if self.scheme == SCHEME_SHA256_V1:
+            rand = self._rand
+            if rand is None:
+                rand = self._rand = random.Random(self.seed)
+            return rand.uniform(low, high)
+        s = (self._state + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        self._state = s
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return low + (high - low) * (((z ^ (z >> 31)) >> 11) * 1.1102230246251565e-16)
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in [low, high] (inclusive)."""
-        rand = self._rand
-        if rand is None:
-            rand = self._rand = random.Random(self.seed)
-        return rand.randint(low, high)
+        if self.scheme == SCHEME_SHA256_V1:
+            rand = self._rand
+            if rand is None:
+                rand = self._rand = random.Random(self.seed)
+            return rand.randint(low, high)
+        if high < low:
+            raise ValueError("empty range for randint")
+        return low + self._randbelow(high - low + 1)
 
     def gauss(self, mu: float, sigma: float) -> float:
         """Normal sample."""
-        rand = self._rand
-        if rand is None:
-            rand = self._rand = random.Random(self.seed)
-        return rand.gauss(mu, sigma)
+        if self.scheme == SCHEME_SHA256_V1:
+            rand = self._rand
+            if rand is None:
+                rand = self._rand = random.Random(self.seed)
+            return rand.gauss(mu, sigma)
+        # v2: Box-Muller with a cached spare deviate; both uniform draws are
+        # inlined splitmix64 steps (this is the hottest distribution call).
+        spare = self._gauss_spare
+        if spare is not None:
+            self._gauss_spare = None
+            return mu + sigma * spare
+        state = self._state
+        while True:
+            state = (state + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            z = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+            u1 = ((z ^ (z >> 31)) >> 11) * 1.1102230246251565e-16
+            if u1 > 1e-12:
+                break
+        state = (state + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        self._state = state
+        z = ((state ^ (state >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        u2 = ((z ^ (z >> 31)) >> 11) * 1.1102230246251565e-16
+        radius = sqrt(-2.0 * log(u1))
+        theta = 2.0 * pi * u2
+        self._gauss_spare = radius * sin(theta)
+        return mu + sigma * (radius * cos(theta))
 
     def lognormal(self, mu: float, sigma: float) -> float:
         """Log-normal sample with underlying normal(mu, sigma)."""
-        rand = self._rand
-        if rand is None:
-            rand = self._rand = random.Random(self.seed)
-        return rand.lognormvariate(mu, sigma)
+        if self.scheme == SCHEME_SHA256_V1:
+            rand = self._rand
+            if rand is None:
+                rand = self._rand = random.Random(self.seed)
+            return rand.lognormvariate(mu, sigma)
+        return exp(self.gauss(mu, sigma))
 
     def expovariate(self, rate: float) -> float:
         """Exponential sample with the given rate (1/mean)."""
-        return self._random.expovariate(rate)
+        if self.scheme == SCHEME_SHA256_V1:
+            return self._random.expovariate(rate)
+        return -log(1.0 - self.random()) / rate
 
     def pareto(self, alpha: float, scale: float = 1.0) -> float:
         """Pareto sample (scale * classic Pareto with shape ``alpha``)."""
-        return scale * self._random.paretovariate(alpha)
+        if self.scheme == SCHEME_SHA256_V1:
+            return scale * self._random.paretovariate(alpha)
+        return scale / ((1.0 - self.random()) ** (1.0 / alpha))
 
     def choice(self, seq: Sequence[T]) -> T:
         """Uniformly pick one element of a non-empty sequence."""
-        return self._random.choice(seq)
+        if self.scheme == SCHEME_SHA256_V1:
+            return self._random.choice(seq)
+        if not seq:
+            raise IndexError("cannot choose from an empty sequence")
+        return seq[self._randbelow(len(seq))]
 
-    def choices(self, seq: Sequence[T], weights: Sequence[float], k: int = 1) -> list[T]:
+    def choices(self, seq: Sequence[T], weights: Sequence[float], k: int = 1) -> List[T]:
         """Pick ``k`` elements with replacement according to ``weights``."""
-        return self._random.choices(seq, weights=weights, k=k)
+        if self.scheme == SCHEME_SHA256_V1:
+            return self._random.choices(seq, weights=weights, k=k)
+        from bisect import bisect
+        from itertools import accumulate
 
-    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        cumulative = list(accumulate(weights))
+        total = cumulative[-1]
+        if total <= 0:
+            raise ValueError("total of weights must be greater than zero")
+        last = len(seq) - 1
+        return [seq[min(bisect(cumulative, self.random() * total), last)] for _ in range(k)]
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
         """Pick ``k`` distinct elements without replacement."""
-        return self._random.sample(seq, k)
+        if self.scheme == SCHEME_SHA256_V1:
+            return self._random.sample(seq, k)
+        pool = list(seq)
+        n = len(pool)
+        if not 0 <= k <= n:
+            raise ValueError("sample larger than population or is negative")
+        for i in range(k):
+            j = i + self._randbelow(n - i)
+            pool[i], pool[j] = pool[j], pool[i]
+        return pool[:k]
 
-    def shuffle(self, items: list[T]) -> None:
-        """Shuffle ``items`` in place."""
-        self._random.shuffle(items)
+    def shuffle(self, items: List[T]) -> None:
+        """Shuffle ``items`` in place (Fisher-Yates under v2)."""
+        if self.scheme == SCHEME_SHA256_V1:
+            self._random.shuffle(items)
+            return
+        for i in range(len(items) - 1, 0, -1):
+            j = self._randbelow(i + 1)
+            items[i], items[j] = items[j], items[i]
 
     def bernoulli(self, probability: float) -> bool:
         """Return True with the given probability."""
-        rand = self._rand
-        if rand is None:
-            rand = self._rand = random.Random(self.seed)
-        return rand.random() < probability
+        if self.scheme == SCHEME_SHA256_V1:
+            rand = self._rand
+            if rand is None:
+                rand = self._rand = random.Random(self.seed)
+            return rand.random() < probability
+        s = (self._state + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        self._state = s
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return ((z ^ (z >> 31)) >> 11) * 1.1102230246251565e-16 < probability
 
     def truncated_gauss(self, mu: float, sigma: float, low: float, high: float) -> float:
         """Normal sample clamped by rejection to [low, high].
@@ -163,12 +411,11 @@ class SeededRNG:
         Falls back to clamping after 64 rejected draws so the call always
         terminates even for pathological bounds.
         """
-        rand = self._random
         for _ in range(64):
-            value = rand.gauss(mu, sigma)
+            value = self.gauss(mu, sigma)
             if low <= value <= high:
                 return value
-        return min(max(rand.gauss(mu, sigma), low), high)
+        return min(max(self.gauss(mu, sigma), low), high)
 
     def weighted_index(self, weights: Iterable[float]) -> int:
         """Return an index sampled proportionally to ``weights``."""
@@ -176,7 +423,7 @@ class SeededRNG:
         total = sum(weights)
         if total <= 0:
             raise ValueError("weights must sum to a positive value")
-        target = self._random.random() * total
+        target = self.random() * total
         cumulative = 0.0
         for index, weight in enumerate(weights):
             cumulative += weight

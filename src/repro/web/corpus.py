@@ -58,6 +58,11 @@ class CorpusGenerator:
         seed: master seed; every site is derived from ``seed`` and its id, so
             the same site id always produces the same page regardless of how
             many other sites were generated first.
+
+    The corpus is deliberately **not** parameterised by the versioned RNG
+    scheme: it is the input dataset (the stand-in for the paper's fixed site
+    list), so campaigns run under different schemes still measure the same
+    sites and their outputs stay comparable per site.
     """
 
     def __init__(self, seed: int = 2016) -> None:

@@ -1,0 +1,146 @@
+"""Golden snapshot tests: stored goldens reproduce bit-for-bit per scheme.
+
+Tier-1 runs the small-scale checks for both schemes (fast: 5 sites x 20
+participants each); the bench- and full-scale checks are tier-2.  All carry
+the ``goldens`` marker so ``-m goldens`` selects the whole family.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.goldens as goldens
+from repro.capture.webpeg import DEFAULT_CAPTURE_CACHE
+from repro.errors import ConfigurationError, RNGSchemeMismatchError, StorageError
+from repro.goldens import (
+    GOLDEN_SEED,
+    SCALES,
+    diff_snapshots,
+    golden_path,
+    load_golden,
+    save_golden,
+    snapshot_plt_campaign,
+    stored_goldens,
+    verify_golden,
+)
+from repro.rng import RNG_SCHEMES, SCHEME_SHA256_V1, SCHEME_SPLITMIX64_V2
+
+
+@pytest.fixture(autouse=True)
+def _unpinned_capture_cache():
+    """Leave the process-wide cache unpinned around every goldens test."""
+    DEFAULT_CAPTURE_CACHE.clear()
+    yield
+    DEFAULT_CAPTURE_CACHE.clear()
+
+
+# -- the store itself -----------------------------------------------------------
+
+
+def test_store_holds_both_schemes_at_every_scale():
+    names = {path.name for path in stored_goldens()}
+    for scheme in RNG_SCHEMES:
+        for scale in SCALES:
+            assert golden_path(scheme, scale).name in names
+
+
+def test_load_golden_records_matching_scheme_and_seed():
+    for scheme in RNG_SCHEMES:
+        snapshot = load_golden(scheme, "small")
+        assert snapshot["rng_scheme"] == scheme
+        assert snapshot["seed"] == GOLDEN_SEED
+        assert snapshot["scale"]["name"] == "small"
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ConfigurationError):
+        golden_path(SCHEME_SHA256_V1, "gigantic")
+
+
+def test_missing_golden_reports_capture_command():
+    with pytest.raises(StorageError, match="repro.goldens capture"):
+        load_golden(SCHEME_SHA256_V1, "small", seed=999999)
+
+
+def test_capture_refuses_to_overwrite_stored_golden():
+    snapshot = load_golden(SCHEME_SHA256_V1, "small")
+    with pytest.raises(StorageError, match="refresh"):
+        save_golden(snapshot, overwrite=False)
+
+
+def test_load_rejects_scheme_mismatched_file(tmp_path, monkeypatch):
+    """A stored result produced under another scheme raises, naming both."""
+    monkeypatch.setattr(goldens, "DATA_DIR", tmp_path)
+    doctored = {
+        "kind": "plt-campaign",
+        "rng_scheme": SCHEME_SPLITMIX64_V2,
+        "seed": GOLDEN_SEED,
+        "scale": {"name": "small", **SCALES["small"]},
+    }
+    path = tmp_path / golden_path(SCHEME_SHA256_V1, "small").name
+    path.write_text(json.dumps(doctored), encoding="utf-8")
+    with pytest.raises(RNGSchemeMismatchError) as excinfo:
+        load_golden(SCHEME_SHA256_V1, "small")
+    message = str(excinfo.value)
+    assert SCHEME_SHA256_V1 in message and SCHEME_SPLITMIX64_V2 in message
+
+
+def test_diff_between_schemes_is_nonempty_and_self_describing():
+    left = load_golden(SCHEME_SHA256_V1, "small")
+    right = load_golden(SCHEME_SPLITMIX64_V2, "small")
+    differences = diff_snapshots(left, right)
+    assert differences
+    assert any(line.startswith("rng_scheme:") for line in differences)
+
+
+def test_diff_detects_single_tampered_site():
+    golden = load_golden(SCHEME_SHA256_V1, "small")
+    tampered = json.loads(json.dumps(golden))
+    site = next(iter(tampered["uplt_by_site"]))
+    tampered["uplt_by_site"][site] = "0.0"
+    differences = diff_snapshots(golden, tampered)
+    assert differences == [f"uplt_by_site[{site}]: {golden['uplt_by_site'][site]!r} != '0.0'"]
+
+
+# -- tier-1: small-scale reproduction, both schemes -----------------------------
+
+
+@pytest.mark.goldens
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_small_golden_reproduces_bit_for_bit(scheme):
+    assert verify_golden(scheme, "small") == []
+
+
+@pytest.mark.goldens
+def test_small_snapshot_pins_every_output_section():
+    snapshot = snapshot_plt_campaign(SCHEME_SHA256_V1, "small")
+    for section in ("table1", "filter_summary", "uplt_by_site", "metric_correlations"):
+        assert snapshot[section], section
+    assert snapshot["videos_served"] > 0
+    # Five sites at small scale, every mean recorded as a repr string.
+    assert len(snapshot["uplt_by_site"]) == SCALES["small"]["sites"]
+    assert all(isinstance(v, str) for v in snapshot["uplt_by_site"].values())
+
+
+# -- tier-2: bench- and full-scale reproduction ---------------------------------
+
+
+@pytest.mark.tier2
+@pytest.mark.goldens
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_bench_golden_reproduces_bit_for_bit(scheme):
+    assert verify_golden(scheme, "bench") == []
+
+
+@pytest.mark.tier2
+@pytest.mark.goldens
+def test_full_scale_v2_golden_reproduces_bit_for_bit():
+    assert verify_golden(SCHEME_SPLITMIX64_V2, "full") == []
+
+
+@pytest.mark.tier2
+@pytest.mark.goldens
+def test_full_scale_v1_golden_reproduces_bit_for_bit():
+    assert verify_golden(SCHEME_SHA256_V1, "full") == []

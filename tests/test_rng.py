@@ -1,10 +1,28 @@
-"""Tests for the deterministic random helpers."""
+"""Tests for the deterministic random helpers and the versioned schemes.
+
+The original single-scheme tests keep running against the default
+``sha256-v1`` scheme; the scheme-parametrised and splitmix64-specific
+property tests below pin both schemes' streams (exact values frozen here),
+their fork independence, their cross-process determinism, and the fork
+memoisation contract.
+"""
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.rng import SeededRNG
+from repro.errors import ConfigurationError
+from repro.rng import (
+    RNG_SCHEMES,
+    SCHEME_SHA256_V1,
+    SCHEME_SPLITMIX64_V2,
+    SeededRNG,
+    validate_scheme,
+)
 
 
 def test_same_seed_same_stream():
@@ -96,3 +114,171 @@ def test_lognormal_positive():
 def test_pareto_scale():
     rng = SeededRNG(11)
     assert all(rng.pareto(2.0, scale=3.0) >= 3.0 for _ in range(50))
+
+
+# -- versioned schemes ----------------------------------------------------------
+
+#: Exact stream values frozen per scheme: any change to a scheme's fork
+#: derivation or uniform core must fail here (re-baselining is an explicit,
+#: versioned event — see repro.goldens).
+PINNED_STREAMS = {
+    SCHEME_SHA256_V1: {
+        "root_random": 0.7379250292770178,
+        "fork_seed": 9712880070232880221,
+        "fork_random": 0.15786508145906164,
+    },
+    SCHEME_SPLITMIX64_V2: {
+        "root_random": 0.9156429121611133,
+        "fork_seed": 11293402688824712854,
+        "fork_random": 0.5392958915413021,
+    },
+}
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_pinned_stream_values(scheme):
+    pinned = PINNED_STREAMS[scheme]
+    assert SeededRNG(2016, scheme).random() == pinned["root_random"]
+    fork = SeededRNG(2016, scheme).fork("campaign:final-plt-timeline")
+    assert fork.seed == pinned["fork_seed"]
+    assert fork.random() == pinned["fork_random"]
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ConfigurationError, match="unknown RNG scheme"):
+        SeededRNG(1, scheme="md5-v0")
+    with pytest.raises(ConfigurationError):
+        validate_scheme("md5-v0")
+
+
+def test_schemes_produce_different_streams():
+    assert SeededRNG(5, SCHEME_SHA256_V1).random() != SeededRNG(5, SCHEME_SPLITMIX64_V2).random()
+    assert (SeededRNG(5, SCHEME_SHA256_V1).fork("x").seed
+            != SeededRNG(5, SCHEME_SPLITMIX64_V2).fork("x").seed)
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_fork_inherits_scheme(scheme):
+    child = SeededRNG(9, scheme).fork("a").fork("b")
+    assert child.scheme == scheme
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_fork_deterministic_and_consumption_independent(scheme):
+    a = SeededRNG(3, scheme)
+    a.random()
+    a.random()
+    b = SeededRNG(3, scheme)
+    assert a.fork("child").random() == b.fork("child").random()
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_fork_memoisation_returns_identical_streams_per_label(scheme):
+    parent = SeededRNG(11, scheme)
+    first = parent.fork("stream")
+    second = parent.fork("stream")
+    assert first.seed == second.seed
+    assert [first.random() for _ in range(5)] == [second.random() for _ in range(5)]
+    # The memo really is hit: the derived seed is cached on the parent.
+    assert parent._fork_memo["stream"] == first.seed
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_fork_random_matches_fork_then_random(scheme):
+    parent = SeededRNG(123, scheme)
+    probe = SeededRNG(123, scheme)
+    for label in ("tie:p-0001:0", "tie:p-0001:1", "x", ""):
+        assert parent.fork_random(label) == probe.fork(label).random()
+
+
+def test_v2_prefix_labels_give_uncorrelated_streams():
+    """Disjoint prefixes (one label extending another) must not correlate."""
+    parent = SeededRNG(42, SCHEME_SPLITMIX64_V2)
+    for base, extended in (("task", "task:1"), ("task:1", "task:11"), ("a", "ab")):
+        xs = parent.fork(base)
+        ys = parent.fork(extended)
+        pairs = [(xs.random(), ys.random()) for _ in range(500)]
+        mean_x = sum(p[0] for p in pairs) / len(pairs)
+        mean_y = sum(p[1] for p in pairs) / len(pairs)
+        covariance = sum((x - mean_x) * (y - mean_y) for x, y in pairs) / len(pairs)
+        # Uniform variance is 1/12; |corr| < 0.15 at n=500 for independent streams.
+        assert abs(covariance * 12.0) < 0.15, (base, extended, covariance)
+
+
+def test_v2_sibling_labels_give_distinct_seeds():
+    parent = SeededRNG(7, SCHEME_SPLITMIX64_V2)
+    seeds = {parent.fork(f"site-{index:04d}").seed for index in range(2000)}
+    assert len(seeds) == 2000
+
+
+def test_v2_uniform_core_bounds_and_spread():
+    rng = SeededRNG(1, SCHEME_SPLITMIX64_V2)
+    values = [rng.random() for _ in range(5000)]
+    assert all(0.0 <= value < 1.0 for value in values)
+    assert 0.45 < sum(values) / len(values) < 0.55
+    assert len(set(values)) == len(values)
+
+
+def test_v2_uniform_and_randint_bounds():
+    rng = SeededRNG(1, SCHEME_SPLITMIX64_V2)
+    for _ in range(200):
+        assert 2.0 <= rng.uniform(2.0, 3.0) <= 3.0
+    assert {rng.randint(1, 3) for _ in range(200)} == {1, 2, 3}
+    with pytest.raises(ValueError):
+        rng.randint(3, 1)
+
+
+def test_v2_distributions_sane():
+    rng = SeededRNG(4, SCHEME_SPLITMIX64_V2)
+    gauss = [rng.gauss(0.0, 1.0) for _ in range(4000)]
+    assert abs(sum(gauss) / len(gauss)) < 0.08
+    assert 0.8 < sum(g * g for g in gauss) / len(gauss) < 1.2
+    assert all(rng.lognormal(0.0, 1.0) > 0 for _ in range(100))
+    assert all(rng.expovariate(2.0) >= 0 for _ in range(100))
+    assert all(rng.pareto(2.0, scale=3.0) >= 3.0 for _ in range(100))
+    for _ in range(100):
+        assert 0.0 <= rng.truncated_gauss(0.5, 10.0, 0.0, 1.0) <= 1.0
+
+
+def test_v2_collection_helpers():
+    rng = SeededRNG(2, SCHEME_SPLITMIX64_V2)
+    items = list(range(20))
+    assert rng.choice(items) in items
+    sampled = rng.sample(items, 7)
+    assert len(sampled) == 7 and len(set(sampled)) == 7 and set(sampled) <= set(items)
+    with pytest.raises(ValueError):
+        rng.sample(items, 21)
+    with pytest.raises(IndexError):
+        rng.choice([])
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items and shuffled != items
+    picks = rng.choices(["a", "b"], weights=[0.01, 0.99], k=300)
+    assert picks.count("b") > 250
+    heavy = [rng.weighted_index([0.01, 0.99]) for _ in range(300)]
+    assert heavy.count(1) > 250
+    assert all(rng.bernoulli(1.0) for _ in range(20))
+    assert not any(rng.bernoulli(0.0) for _ in range(20))
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_streams_deterministic_across_processes(scheme):
+    """A subprocess derives the exact same forked streams (no hash salt)."""
+    program = (
+        "from repro.rng import SeededRNG\n"
+        f"rng = SeededRNG(2016, {scheme!r}).fork('cross:process').fork('stream')\n"
+        "print(repr([rng.random() for _ in range(8)]))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "random"
+    outputs = {
+        subprocess.run(
+            [sys.executable, "-c", program], capture_output=True, text=True, env=env, check=True
+        ).stdout.strip()
+        for _ in range(2)
+    }
+    local = SeededRNG(2016, scheme).fork("cross:process").fork("stream")
+    outputs.add(repr([local.random() for _ in range(8)]))
+    assert len(outputs) == 1, outputs
