@@ -22,7 +22,9 @@ from __future__ import annotations
 import os
 
 from repro.perf.report import (
+    BENCH_NETWORK_PROFILE,
     RECORDED_SEED_BASELINE,
+    bench_output_name,
     run_pipeline_bench,
     write_pipeline_document,
 )
@@ -30,9 +32,10 @@ from repro.perf.report import (
 from conftest import BENCH_SEED, print_header
 
 
-def test_perf_pipeline(scale, rng_schemes):
+def test_perf_pipeline(scale, rng_schemes, network_profile):
     """Time the pipeline per scheme, verify outputs, write the report."""
-    bench_scale = (scale["sites"], scale["participants"], scale["loads"]) == (30, 200, 3)
+    bench_scale = (scale["sites"], scale["participants"], scale["loads"]) == (30, 200, 3) \
+        and network_profile == BENCH_NETWORK_PROFILE
     reports = {}
     artefacts_by_scheme = {}
     for scheme in rng_schemes:
@@ -43,10 +46,11 @@ def test_perf_pipeline(scale, rng_schemes):
             seed=BENCH_SEED,
             verify=bench_scale,
             rng_scheme=scheme,
+            network_profile=network_profile,
         )
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    output = os.path.join(repo_root, "BENCH_pipeline.json")
+    output = os.path.join(repo_root, bench_output_name(network_profile))
     write_pipeline_document(output, reports)
 
     print_header("Capture→campaign pipeline timings (BENCH_pipeline.json)")

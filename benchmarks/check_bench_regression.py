@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Bench smoke check: fail on >20% end-to-end regression vs BENCH_pipeline.json.
+
+Re-runs the bench-scale capture→campaign pipeline for every scheme recorded
+in the committed ``BENCH_pipeline.json`` (with golden verification on, so a
+perf win that breaks bit-compatibility still fails) and compares the fresh
+end-to-end total against the committed one:
+
+    fresh_total <= committed_total * (1 + tolerance)
+
+Used by CI as the perf gate.  Committed numbers come from the 1-CPU
+reference box, so the default tolerance (20%) absorbs normal machine and
+scheduler noise; genuinely slower code trips it.
+
+Exit status: 0 when every scheme is within tolerance, 1 otherwise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py
+    PYTHONPATH=src python benchmarks/check_bench_regression.py --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional end-to-end slowdown (default 0.20)")
+    parser.add_argument("--attempts", type=int, default=3,
+                        help="re-time a scheme up to N times and keep its best total "
+                             "before declaring a regression; same-machine run-to-run "
+                             "noise alone can exceed 20%%, so best-of-3 is the "
+                             "default (a real regression fails every attempt)")
+    parser.add_argument("--baseline", default=None,
+                        help="path to the committed BENCH_pipeline.json "
+                             "(default: repository root)")
+    args = parser.parse_args(argv)
+
+    from repro.perf.report import run_pipeline_bench
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or os.path.join(repo_root, "BENCH_pipeline.json")
+    with open(baseline_path, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    schemes = committed.get("_schemes") or {}
+    if not schemes:
+        print(f"error: {baseline_path} records no _schemes section", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for scheme, document in sorted(schemes.items()):
+        committed_total = document["_meta"]["total_seconds"]
+        limit = committed_total * (1.0 + args.tolerance)
+        fresh_total = None
+        for _attempt in range(max(args.attempts, 1)):
+            report, _ = run_pipeline_bench(rng_scheme=scheme, verify=True)
+            total = report.as_dict()["_meta"]["total_seconds"]
+            fresh_total = total if fresh_total is None else min(fresh_total, total)
+            if fresh_total <= limit:
+                break
+        ok = fresh_total <= limit
+        print(f"[{scheme}] committed {committed_total:.4f}s, fresh {fresh_total:.4f}s, "
+              f"limit {limit:.4f}s: {'ok' if ok else 'REGRESSION'}")
+        failures += not ok
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

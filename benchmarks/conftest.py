@@ -53,6 +53,15 @@ def pytest_addoption(parser):
         help="Versioned RNG scheme(s) the perf pipeline benchmark runs under "
              "(both schemes' stages are written to BENCH_pipeline.json by default).",
     )
+    from repro.perf.report import BENCH_NETWORK_PROFILE
+
+    parser.addoption(
+        "--profile",
+        default=BENCH_NETWORK_PROFILE,
+        help="Capture network-emulation profile for the perf pipeline benchmark "
+             "(see repro.netsim.profiles; golden verification only runs on the "
+             f"default {BENCH_NETWORK_PROFILE} profile).",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -62,6 +71,12 @@ def rng_schemes(request):
 
     choice = request.config.getoption("--rng-scheme")
     return list(RNG_SCHEMES) if choice == "both" else [choice]
+
+
+@pytest.fixture(scope="session")
+def network_profile(request):
+    """The capture profile selected for the perf pipeline benchmark."""
+    return request.config.getoption("--profile")
 
 
 @pytest.fixture(scope="session")

@@ -7,20 +7,36 @@ per-site "score" (1.0 = everyone preferred the HTTP/2 side) together with the
 machine-measured Δ between the two captures.
 
 Run with:  python examples/http1_vs_http2.py
+           python examples/http1_vs_http2.py --rng-scheme splitmix64-v2 --profile dsl
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro import CaptureSettings, metrics_from_video
 from repro.core.visualization import score_summary
 from repro.experiments.h1h2_campaign import run_h1h2_campaign
+from repro.netsim.profiles import list_profiles
+from repro.rng import DEFAULT_RNG_SCHEME, RNG_SCHEMES
 
 SITES = 15
 PARTICIPANTS = 150
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rng-scheme", choices=RNG_SCHEMES, default=DEFAULT_RNG_SCHEME,
+                        help="versioned RNG scheme the whole campaign runs under")
+    parser.add_argument("--profile", choices=list_profiles(), default="cable-intl",
+                        help="network-emulation profile both captures run under")
+    return parser.parse_args()
+
+
 def main() -> None:
-    result = run_h1h2_campaign(sites=SITES, participants=PARTICIPANTS, loads_per_site=3, seed=42)
+    args = parse_args()
+    result = run_h1h2_campaign(sites=SITES, participants=PARTICIPANTS, loads_per_site=3, seed=42,
+                               network_profile=args.profile, rng_scheme=args.rng_scheme)
 
     print("Per-site results (score 1.0 = HTTP/2 unanimously felt faster):")
     print(f"{'site':12s} {'score':>6s} {'no-diff':>8s} {'onload Δ (ms)':>14s} {'speedindex Δ (ms)':>18s}")

@@ -10,9 +10,12 @@ This walks the full Eyeorg loop at toy scale:
    machine metrics (OnLoad, SpeedIndex, First/LastVisualChange).
 
 Run with:  python examples/quickstart.py
+           python examples/quickstart.py --rng-scheme splitmix64-v2 --profile 3g
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import (
     CampaignConfig,
@@ -25,13 +28,26 @@ from repro import (
     mean_uplt_per_site,
     metrics_from_video,
 )
+from repro.netsim.profiles import list_profiles
+from repro.rng import DEFAULT_RNG_SCHEME, RNG_SCHEMES
 
 SEED = 7
 SITES = 6
 PARTICIPANTS = 80
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rng-scheme", choices=RNG_SCHEMES, default=DEFAULT_RNG_SCHEME,
+                        help="versioned RNG scheme the whole pipeline runs under")
+    parser.add_argument("--profile", choices=list_profiles(), default="cable-intl",
+                        help="network-emulation profile used for the captures")
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
+
     # 1. Synthetic sites standing in for the Alexa sample.
     corpus = CorpusGenerator(seed=SEED)
     pages = corpus.http2_sample(SITES)
@@ -39,7 +55,11 @@ def main() -> None:
           f"(median {int(sum(p.total_bytes for p in pages) / len(pages) / 1024)} KB per page).")
 
     # 2. Capture each site with webpeg: 5 loads, keep the median-onload video.
-    webpeg = Webpeg(settings=CaptureSettings(loads_per_site=5, network_profile="cable-intl"), seed=SEED)
+    webpeg = Webpeg(
+        settings=CaptureSettings(loads_per_site=5, network_profile=args.profile),
+        seed=SEED,
+        rng_scheme=args.rng_scheme,
+    )
     videos = []
     metrics = {}
     for page in pages:
@@ -51,7 +71,8 @@ def main() -> None:
 
     # 3. Run a paid timeline campaign: each participant judges 6 videos.
     experiment = TimelineExperiment(experiment_id="quickstart", videos=videos)
-    config = CampaignConfig(campaign_id="quickstart", participant_count=PARTICIPANTS, seed=SEED)
+    config = CampaignConfig(campaign_id="quickstart", participant_count=PARTICIPANTS, seed=SEED,
+                            rng_scheme=args.rng_scheme, network_profile=args.profile)
     result = CampaignRunner(config).run_timeline(experiment)
     report = result.filter_report
     print(f"\nRecruited {result.recruitment.count} paid participants in "

@@ -19,9 +19,8 @@ from typing import Dict, List, Optional
 
 from ..adblock.blockers import AdBlocker
 from ..errors import CaptureError
+from ..httpsim.engine import FetchEngine, PushConfiguration, build_transport
 from ..httpsim.har import HARArchive
-from ..httpsim.http1 import HTTP1Client
-from ..httpsim.http2 import HTTP2Client, PushConfiguration
 from ..httpsim.messages import FetchRecord
 from ..netsim.bandwidth import SharedLink
 from ..netsim.dns import DNSResolver
@@ -31,7 +30,7 @@ from ..web.page import Page
 from .devtools import DevToolsSession, TraceEvent
 from .preferences import BrowserPreferences
 from .renderer import PaintEvent, Renderer, RenderTimeline
-from .scheduler import FetchScheduler, blocked_fetch_record
+from .scheduler import blocked_fetch_record
 
 
 @dataclass
@@ -133,25 +132,6 @@ class Browser:
         self.seed = seed
         self.rng_scheme = rng_scheme
 
-    # -- internals --------------------------------------------------------------
-
-    def _build_client(self, protocol: str, rng: SeededRNG, link: SharedLink, dns: DNSResolver,
-                      latency, push: Optional[PushConfiguration] = None):
-        if protocol == "h2":
-            return HTTP2Client(
-                latency=latency,
-                link=link,
-                dns=dns,
-                rng=rng,
-                push=push,
-            )
-        return HTTP1Client(
-            latency=latency,
-            link=link,
-            dns=dns,
-            rng=rng,
-        )
-
     # -- public API -------------------------------------------------------------
 
     def load(self, page: Page, load_rng: Optional[SeededRNG] = None,
@@ -188,10 +168,12 @@ class Browser:
         # and perceived load time consistently fast or slow for a given site.
         latency = self.network_profile.latency.scaled(page.latency_multiplier)
         link = SharedLink(bandwidth=self.network_profile.bandwidth)
-        dns = DNSResolver(latency=latency, rng=rng)
-        client = self._build_client(protocol, rng, link, dns, latency, push=push)
-        scheduler = FetchScheduler(client, rng, extension_overhead=extension_overhead)
-        schedule = scheduler.schedule(page)
+        # Addresses are never consulted during a load; synthesising them
+        # draws only from label-derived forks, so opting out is stream-safe.
+        dns = DNSResolver(latency=latency, rng=rng, synthesize_addresses=False)
+        transport = build_transport(protocol, latency, link, dns, rng, push=push)
+        engine = FetchEngine(transport.fetch, extension_overhead=extension_overhead)
+        schedule = engine.run(page)
 
         # Blocked objects still show up in the HAR (status 0), discovered at
         # the time their parent would have revealed them.

@@ -1,42 +1,36 @@
-"""Fetch scheduling: when does the browser learn about, and request, each object?
+"""Fetch scheduling facade: when does the browser request each object?
 
-The scheduler turns a :class:`~repro.web.page.Page` dependency graph plus a
-protocol client into a set of fetch records.  Discovery follows Chrome's
-behaviour closely enough for the paper's purposes:
+The scheduling semantics — preload-scanner discovery, parent-gated
+discovery of nested resources, extension veto overhead, and the onload
+rule — live in :class:`repro.httpsim.engine.FetchEngine`, the unified
+event-driven fetch/transport core.  This module keeps the original public
+surface stable:
 
-* the root document is requested at navigation start;
-* resources referenced from the document markup (children of the root) are
-  discovered by the *preload scanner* shortly after the document's first
-  bytes arrive — even while the parser is blocked on a stylesheet or script —
-  at ``root.first_byte + discovery_delay``;
-* resources referenced from another resource (a font inside a stylesheet, an
-  image injected by a script) are discovered only once that parent has fully
-  arrived, at ``parent.completed + discovery_delay``;
-* ad-blocking extensions veto requests before they are issued and add a small
-  per-request inspection overhead to the ones they let through.
+* :class:`FetchScheduler` — drives any ``ProtocolClient`` through a page's
+  dependency graph (delegating to the engine);
+* :class:`ScheduleResult` and :data:`ONLOAD_DISPATCH_OVERHEAD` — re-exported
+  from the engine;
+* :func:`blocked_fetch_record` — the placeholder record for
+  extension-blocked requests.
 
-The onload event fires when every *statically discovered* resource (i.e. not
-``loaded_by_script``) has finished, plus a small event-dispatch overhead.
-Script-injected resources (ads, lazy images) may complete afterwards, which
-is exactly why OnLoad can both over- and under-estimate what users perceive
-(paper §1).
+See the engine module for the discovery model and the determinism contract
+(issue order is the FIFO level order of the dependency graph, which keeps
+outputs bit-identical across the engine rewrite).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+from typing import List, Protocol
 
-from ..errors import PageModelError
+from ..httpsim.engine import (  # noqa: F401  (re-exported public API)
+    FetchEngine,
+    ONLOAD_DISPATCH_OVERHEAD,
+    ScheduleResult,
+)
 from ..httpsim.messages import FetchRecord, HTTPRequest
 from ..rng import SeededRNG
 from ..web.objects import WebObject
 from ..web.page import Page
-
-#: Time between the last statically-discovered byte and the onload event
-#: firing (event-loop dispatch, layout flush).
-ONLOAD_DISPATCH_OVERHEAD = 0.015
 
 
 class ProtocolClient(Protocol):
@@ -49,31 +43,12 @@ class ProtocolClient(Protocol):
         ...
 
 
-@dataclass
-class ScheduleResult:
-    """Outcome of scheduling a full page load.
-
-    Attributes:
-        fetches: completed fetch records keyed by object id.
-        blocked_object_ids: objects vetoed by an extension (never fetched).
-        onload: onload event time in seconds from navigation start.
-        fully_loaded: completion time of the very last resource, including
-            script-injected ones.
-    """
-
-    fetches: Dict[str, FetchRecord]
-    blocked_object_ids: List[str]
-    onload: float
-    fully_loaded: float
-
-    @property
-    def records(self) -> List[FetchRecord]:
-        """Fetch records ordered by completion time."""
-        return sorted(self.fetches.values(), key=lambda r: r.completed_at)
-
-
 class FetchScheduler:
-    """Drives a protocol client through a page's dependency graph."""
+    """Drives a protocol client through a page's dependency graph.
+
+    Thin wrapper over :class:`repro.httpsim.engine.FetchEngine`, kept for
+    API compatibility with code that composes a client manually.
+    """
 
     def __init__(self, client: ProtocolClient, rng: SeededRNG,
                  extension_overhead: float = 0.0) -> None:
@@ -81,13 +56,27 @@ class FetchScheduler:
 
         Args:
             client: HTTP/1.1 or HTTP/2 client to issue fetches on.
-            rng: random source (reserved for future jitter knobs).
+            rng: random source (reserved for future jitter knobs; the
+                engine itself draws nothing).
             extension_overhead: per-request latency added by enabled
                 extensions inspecting the request.
         """
         self._client = client
-        self._rng = rng.fork("scheduler")
-        self._extension_overhead = max(extension_overhead, 0.0)
+        self._rng = rng
+        # Drive the transport directly when the client is one of our stock
+        # facades with an un-overridden ``fetch`` (one less delegation per
+        # object on the hot path).  A subclass or wrapper that customises
+        # ``fetch`` keeps its override in the loop.
+        from ..httpsim.http1 import HTTP1Client
+        from ..httpsim.http2 import HTTP2Client
+
+        transport = getattr(client, "transport", None)
+        stock_fetch = (
+            "fetch" not in getattr(client, "__dict__", {})  # no instance override
+            and type(client).fetch in (HTTP1Client.fetch, HTTP2Client.fetch)
+        )
+        fetch = transport.fetch if (transport is not None and stock_fetch) else client.fetch
+        self._engine = FetchEngine(fetch, extension_overhead=extension_overhead)
 
     def schedule(self, page: Page) -> ScheduleResult:
         """Fetch every object of ``page`` in dependency order.
@@ -96,60 +85,7 @@ class FetchScheduler:
             PageModelError: if the dependency graph cannot be scheduled
                 (which :meth:`Page.validate` should have caught earlier).
         """
-        page.validate()
-        root = page.root
-        fetches: Dict[str, FetchRecord] = {}
-
-        root_record = self._client.fetch(root, ready_at=self._extension_overhead)
-        fetches[root.object_id] = root_record
-
-        # Breadth-first over the discovery graph; an object is schedulable
-        # once its parent has been fetched.
-        queue = deque(page.children_of(root.object_id))
-        guard = 0
-        while queue:
-            guard += 1
-            if guard > 10 * max(page.object_count, 1):
-                raise PageModelError(f"scheduling did not converge for page {page.url}")
-            obj = queue.popleft()
-            parent_id = obj.discovered_by
-            parent_record = fetches.get(parent_id) if parent_id else None
-            if parent_record is None:
-                # Parent not fetched yet (deeper dependency); retry later.
-                queue.append(obj)
-                continue
-            if parent_id == root.object_id and not obj.loaded_by_script:
-                # Preload scanner: discovered as document bytes stream in.
-                discovered_at = parent_record.first_byte_at + obj.discovery_delay
-            else:
-                # Needs the parent resource fully available (CSS parsed,
-                # script executed) before the reference exists.
-                discovered_at = parent_record.completed_at + obj.discovery_delay
-            ready_at = discovered_at + self._extension_overhead
-            record = self._client.fetch(obj, ready_at=ready_at)
-            fetches[obj.object_id] = record
-            queue.extend(page.children_of(obj.object_id))
-
-        objects = page.objects
-        static_last = None
-        fully_loaded = 0.0
-        for object_id, record in fetches.items():
-            completed = record.completed_at
-            if completed > fully_loaded:
-                fully_loaded = completed
-            if not objects[object_id].loaded_by_script and (
-                static_last is None or completed > static_last
-            ):
-                static_last = completed
-        if static_last is None:
-            raise PageModelError(f"page {page.url} has no statically discovered resources")
-        onload = static_last + ONLOAD_DISPATCH_OVERHEAD
-        return ScheduleResult(
-            fetches=fetches,
-            blocked_object_ids=[],
-            onload=onload,
-            fully_loaded=max(fully_loaded, onload),
-        )
+        return self._engine.run(page)
 
 
 def blocked_fetch_record(obj: WebObject, discovered_at: float) -> FetchRecord:

@@ -55,6 +55,10 @@ class CampaignConfig:
             sessions; 0 or 1 runs sessions serially (the default).  The
             parallel path is deterministic and bit-identical to the serial
             one.
+        network_profile: name of the network-emulation profile the
+            campaign's videos were captured under (None when the caller did
+            not record one).  Purely descriptive — it seeds no stream — but
+            it lets sweep results self-describe their condition.
     """
 
     campaign_id: str
@@ -67,6 +71,7 @@ class CampaignConfig:
     seed: int = 2016
     rng_scheme: str = DEFAULT_RNG_SCHEME
     parallel_workers: int = 0
+    network_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_scheme(self.rng_scheme)
@@ -131,6 +136,11 @@ class CampaignResult:
     def rng_scheme(self) -> str:
         """The versioned RNG scheme that produced this result."""
         return self.config.rng_scheme
+
+    @property
+    def network_profile(self) -> Optional[str]:
+        """The capture network profile this campaign's videos ran under."""
+        return self.config.network_profile
 
 
 # -- parallel session plumbing --------------------------------------------------

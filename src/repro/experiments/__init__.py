@@ -3,6 +3,7 @@
 from .adblock_campaign import AdblockCampaignResult, BLOCKER_NAMES, run_adblock_campaign
 from .h1h2_campaign import H1H2CampaignResult, run_h1h2_campaign
 from .plt_campaign import PLTCampaignResult, run_plt_campaign
+from .profile_sweep import ProfileSweepResult, run_profile_sweep_campaign
 from .validation import ValidationStudy, run_validation_study
 
 __all__ = [
@@ -13,6 +14,8 @@ __all__ = [
     "run_h1h2_campaign",
     "PLTCampaignResult",
     "run_plt_campaign",
+    "ProfileSweepResult",
+    "run_profile_sweep_campaign",
     "ValidationStudy",
     "run_validation_study",
 ]

@@ -54,6 +54,8 @@ def run_plt_campaign(
     capture_workers: int = 0,
     session_workers: int = 0,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
+    campaign_id: str = "final-plt-timeline",
+    pages=None,
 ) -> PLTCampaignResult:
     """Run the PLT timeline campaign end to end.
 
@@ -71,11 +73,19 @@ def run_plt_campaign(
             process pool (deterministic; results identical to serial).
         rng_scheme: versioned RNG scheme the whole pipeline runs under (see
             :mod:`repro.rng`); outputs are only comparable within a scheme.
+        campaign_id: identifier seeding the campaign-level streams; the
+            profile sweep gives each profile its own id.
+        pages: optional pre-generated corpus sample (the profile sweep
+            generates the corpus once and shares it across profiles); when
+            None the corpus is generated from ``seed``.  When given,
+            ``sites`` is ignored — the campaign covers exactly ``pages``.
     """
-    # The corpus is the scheme-independent input dataset: both schemes
-    # measure the same synthetic sites, so per-site outputs stay comparable.
-    corpus = CorpusGenerator(seed=seed)
-    pages = corpus.http2_sample(sites)
+    if pages is None:
+        # The corpus is the scheme-independent input dataset: both schemes
+        # measure the same synthetic sites, so per-site outputs stay
+        # comparable.
+        corpus = CorpusGenerator(seed=seed)
+        pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
     tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
 
@@ -87,9 +97,9 @@ def run_plt_campaign(
         videos.append(report.video)
         metrics_by_site[page.site_id] = metrics_from_video(report.video)
 
-    experiment = TimelineExperiment(experiment_id="final-plt-timeline", videos=videos)
+    experiment = TimelineExperiment(experiment_id=campaign_id, videos=videos)
     config = CampaignConfig(
-        campaign_id="final-plt-timeline",
+        campaign_id=campaign_id,
         participant_count=participants,
         service="crowdflower",
         seed=seed,
@@ -97,6 +107,7 @@ def run_plt_campaign(
         frame_helper_enabled=frame_helper_enabled,
         preload_video=preload_video,
         parallel_workers=session_workers,
+        network_profile=network_profile,
     )
     campaign = CampaignRunner(config).run_timeline(experiment)
 

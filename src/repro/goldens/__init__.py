@@ -10,12 +10,19 @@ versioned event instead of a silent re-seed: the default ``sha256-v1``
 goldens pin the seed implementation's outputs forever, and ``splitmix64-v2``
 ships its own set generated the day the scheme landed.
 
+Two golden *kinds* are stored: ``plt`` (the PLT timeline campaign, at
+small/bench/full scales) and ``sweep`` (the network-profile sweep
+campaign, at small scale over a representative fast/default/slow profile
+subset — see :data:`SWEEP_SCALES`).
+
 Workflow (also available as ``python -m repro.goldens``)::
 
     python -m repro.goldens list
     python -m repro.goldens verify                       # every stored golden
     python -m repro.goldens verify --scheme splitmix64-v2 --scale bench
+    python -m repro.goldens verify --kind sweep          # just the profile sweep
     python -m repro.goldens capture --scheme splitmix64-v2 --scale full
+    python -m repro.goldens capture --kind sweep --scheme splitmix64-v2
     python -m repro.goldens refresh --scheme splitmix64-v2   # overwrite (re-baseline!)
     python -m repro.goldens diff --scheme-a sha256-v1 --scheme-b splitmix64-v2
 
@@ -48,17 +55,45 @@ SCALES: Dict[str, Dict[str, int]] = {
     "full": {"sites": 100, "participants": 1000, "loads": 5},
 }
 
+#: Scales of the network-profile sweep goldens.  The sweep pins a
+#: representative three-profile subset (fast / default / slow access link)
+#: so the tier-1 check stays quick; the driver itself defaults to the full
+#: registry.
+SWEEP_SCALES: Dict[str, Dict[str, object]] = {
+    "small": {
+        "sites": 4,
+        "participants": 16,
+        "loads": 3,
+        "profiles": ("fiber", "cable-intl", "3g"),
+    },
+}
+
+#: Golden kinds: file-name prefix and the snapshot ``kind`` tag.
 _SNAPSHOT_KIND = "plt-campaign"
+_SWEEP_SNAPSHOT_KIND = "profile-sweep"
+KINDS = ("plt", "sweep")
+_KIND_TAGS = {"plt": _SNAPSHOT_KIND, "sweep": _SWEEP_SNAPSHOT_KIND}
+
+#: Scales registry per golden kind (shared with the CLI in ``__main__``).
+KIND_SCALES: Dict[str, Dict[str, Dict]] = {"plt": SCALES, "sweep": SWEEP_SCALES}
 
 
-def golden_path(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Path:
-    """Path of the golden file for ``(scheme, scale, seed)``."""
-    validate_scheme(scheme)
-    if scale not in SCALES:
+def _check_scale(kind: str, scale: str) -> Dict:
+    scales = KIND_SCALES[kind]
+    if scale not in scales:
         raise ConfigurationError(
-            f"unknown golden scale {scale!r}; known scales: {', '.join(SCALES)}"
+            f"unknown {kind} golden scale {scale!r}; known scales: {', '.join(scales)}"
         )
-    return DATA_DIR / f"plt__{scale}__{scheme}__seed{seed}.json"
+    return scales[scale]
+
+
+def golden_path(scheme: str, scale: str, seed: int = GOLDEN_SEED, kind: str = "plt") -> Path:
+    """Path of the golden file for ``(kind, scheme, scale, seed)``."""
+    validate_scheme(scheme)
+    if kind not in KINDS:
+        raise ConfigurationError(f"unknown golden kind {kind!r}; known kinds: {', '.join(KINDS)}")
+    _check_scale(kind, scale)
+    return DATA_DIR / f"{kind}__{scale}__{scheme}__seed{seed}.json"
 
 
 def snapshot_plt_campaign(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
@@ -103,6 +138,51 @@ def snapshot_plt_campaign(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> D
     }
 
 
+def snapshot_profile_sweep(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Run the network-profile sweep and snapshot its observable outputs.
+
+    Every per-profile campaign contributes its Table 1 row and its mean
+    UserPerceivedPLT per site (as ``repr`` strings, digit-for-digit), so the
+    sweep's whole observable surface is pinned.  The process-wide capture
+    cache is cleared around the run, as for the PLT snapshots.
+    """
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..experiments.profile_sweep import run_profile_sweep_campaign
+
+    validate_scheme(scheme)
+    dims = _check_scale("sweep", scale)
+    DEFAULT_CAPTURE_CACHE.clear()
+    try:
+        sweep = run_profile_sweep_campaign(
+            profiles=list(dims["profiles"]),
+            sites=dims["sites"],
+            participants=dims["participants"],
+            loads_per_site=dims["loads"],
+            seed=seed,
+            rng_scheme=scheme,
+        )
+    finally:
+        DEFAULT_CAPTURE_CACHE.clear()
+    per_profile = {}
+    for profile in sweep.profiles:
+        result = sweep.by_profile[profile]
+        per_profile[profile] = {
+            "table1": result.campaign.table1_row,
+            "videos_served": result.campaign.videos_served,
+            "uplt_by_site": {
+                site: repr(value) for site, value in sorted(result.uplt_by_site.items())
+            },
+        }
+    return {
+        "kind": _SWEEP_SNAPSHOT_KIND,
+        "rng_scheme": scheme,
+        "seed": seed,
+        "scale": {"name": scale, **{k: v for k, v in dims.items() if k != "profiles"}},
+        "profiles": list(sweep.profiles),
+        "per_profile": per_profile,
+    }
+
+
 def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
     """Write ``snapshot`` into the store; refuses to overwrite unless asked.
 
@@ -110,8 +190,10 @@ def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
         StorageError: when the golden already exists and ``overwrite`` is
             False (re-baselining must be explicit — use ``refresh``).
     """
+    tag = str(snapshot.get("kind", _SNAPSHOT_KIND))
+    kind = next((k for k, t in _KIND_TAGS.items() if t == tag), "plt")
     path = golden_path(str(snapshot["rng_scheme"]), str(snapshot["scale"]["name"]),
-                       int(snapshot["seed"]))
+                       int(snapshot["seed"]), kind=kind)
     if path.exists() and not overwrite:
         raise StorageError(
             f"golden {path.name} already exists; re-baselining is an explicit "
@@ -122,27 +204,28 @@ def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
     return path
 
 
-def load_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+def load_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
+                kind: str = "plt") -> Dict[str, object]:
     """Load a stored golden, checking it really was produced under ``scheme``.
 
     Raises:
         StorageError: when no golden is stored for the key or the file is
-            not a golden snapshot.
+            not a golden snapshot of the requested kind.
         RNGSchemeMismatchError: when the stored file's recorded scheme
             differs from the requested one (e.g. a hand-copied file).
     """
-    path = golden_path(scheme, scale, seed)
+    path = golden_path(scheme, scale, seed, kind=kind)
     if not path.exists():
         raise StorageError(
-            f"no golden stored for scheme={scheme} scale={scale} seed={seed} "
+            f"no golden stored for kind={kind} scheme={scheme} scale={scale} seed={seed} "
             f"(expected {path}); capture it with `python -m repro.goldens capture`"
         )
     try:
         snapshot = json.loads(path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise StorageError(f"golden {path.name} is not valid JSON: {exc}") from exc
-    if snapshot.get("kind") != _SNAPSHOT_KIND:
-        raise StorageError(f"golden {path.name} is not a {_SNAPSHOT_KIND} snapshot")
+    if snapshot.get("kind") != _KIND_TAGS[kind]:
+        raise StorageError(f"golden {path.name} is not a {_KIND_TAGS[kind]} snapshot")
     stored_scheme = snapshot.get("rng_scheme")
     if stored_scheme != scheme:
         raise RNGSchemeMismatchError(
@@ -176,13 +259,41 @@ def diff_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -> List[
     return differences
 
 
-def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> List[str]:
-    """Re-run the campaign and diff against the stored golden.
+def diff_sweep_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
+    """Field-by-field differences of two profile-sweep snapshots."""
+    differences: List[str] = []
+    for field in ("rng_scheme", "seed", "scale", "profiles"):
+        if golden.get(field) != fresh.get(field):
+            differences.append(f"{field}: {golden.get(field)!r} != {fresh.get(field)!r}")
+    stored = golden.get("per_profile") or {}
+    current = fresh.get("per_profile") or {}
+    for profile in sorted(set(stored) | set(current)):
+        left, right = stored.get(profile) or {}, current.get(profile) or {}
+        for section in ("table1", "uplt_by_site"):
+            left_section, right_section = left.get(section) or {}, right.get(section) or {}
+            for key in sorted(set(left_section) | set(right_section)):
+                a, b = left_section.get(key), right_section.get(key)
+                if a != b:
+                    differences.append(f"{profile}.{section}[{key}]: {a!r} != {b!r}")
+        if left.get("videos_served") != right.get("videos_served"):
+            differences.append(
+                f"{profile}.videos_served: {left.get('videos_served')!r} != "
+                f"{right.get('videos_served')!r}"
+            )
+    return differences
+
+
+def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
+                  kind: str = "plt") -> List[str]:
+    """Re-run the campaign (or sweep) and diff against the stored golden.
 
     Returns the list of differences — empty means the stored golden is
     reproduced bit-for-bit under its scheme.
     """
-    golden = load_golden(scheme, scale, seed)
+    golden = load_golden(scheme, scale, seed, kind=kind)
+    if kind == "sweep":
+        fresh = snapshot_profile_sweep(scheme, scale, seed)
+        return diff_sweep_snapshots(golden, fresh)
     fresh = snapshot_plt_campaign(scheme, scale, seed)
     return diff_snapshots(golden, fresh)
 
@@ -191,4 +302,7 @@ def stored_goldens() -> List[Path]:
     """Every golden file currently in the store, sorted by name."""
     if not DATA_DIR.is_dir():
         return []
-    return sorted(DATA_DIR.glob("plt__*.json"))
+    paths = []
+    for kind in KINDS:
+        paths.extend(DATA_DIR.glob(f"{kind}__*.json"))
+    return sorted(paths)

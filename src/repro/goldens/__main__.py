@@ -7,6 +7,11 @@ Commands:
     refresh    like capture, but overwrites — the explicit re-baseline step
     diff       compare two stored goldens (e.g. sha256-v1 vs splitmix64-v2)
 
+Two golden kinds exist: ``plt`` (the PLT timeline campaign, at small/bench/
+full scales) and ``sweep`` (the network-profile sweep, at small scale).
+``verify`` checks every stored golden of every kind by default; ``capture``
+/ ``refresh`` / ``diff`` take ``--kind`` (default ``plt``).
+
 Exit status is non-zero when a verification fails or a diff finds
 differences between two same-scheme goldens, so the command slots into CI.
 """
@@ -20,12 +25,17 @@ from typing import List, Optional
 from ..rng import RNG_SCHEMES
 from . import (
     GOLDEN_SEED,
+    KIND_SCALES,
+    KINDS,
     SCALES,
+    SWEEP_SCALES,
     diff_snapshots,
+    diff_sweep_snapshots,
     golden_path,
     load_golden,
     save_golden,
     snapshot_plt_campaign,
+    snapshot_profile_sweep,
     stored_goldens,
     verify_golden,
 )
@@ -48,17 +58,20 @@ def _cmd_list(_args) -> int:
 def _cmd_verify(args) -> int:
     failures = 0
     checked = 0
-    for scheme in _selected(args.scheme, RNG_SCHEMES):
-        for scale in _selected(args.scale, SCALES):
-            if not golden_path(scheme, scale, args.seed).exists():
-                continue
-            checked += 1
-            differences = verify_golden(scheme, scale, args.seed)
-            status = "ok" if not differences else f"FAILED ({len(differences)} differences)"
-            print(f"verify {scheme} / {scale} / seed {args.seed}: {status}")
-            for line in differences:
-                print(f"    {line}")
-            failures += bool(differences)
+    for kind in _selected(getattr(args, "kind", "all"), KINDS):
+        for scheme in _selected(args.scheme, RNG_SCHEMES):
+            for scale in _selected(args.scale, KIND_SCALES[kind]):
+                if scale not in KIND_SCALES[kind]:
+                    continue  # e.g. --scale bench has no sweep golden
+                if not golden_path(scheme, scale, args.seed, kind=kind).exists():
+                    continue
+                checked += 1
+                differences = verify_golden(scheme, scale, args.seed, kind=kind)
+                status = "ok" if not differences else f"FAILED ({len(differences)} differences)"
+                print(f"verify {kind} / {scheme} / {scale} / seed {args.seed}: {status}")
+                for line in differences:
+                    print(f"    {line}")
+                failures += bool(differences)
     if not checked:
         print("no stored goldens matched the selection")
         return 1
@@ -66,22 +79,32 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_capture(args, overwrite: bool) -> int:
-    for scale in _selected(args.scale, SCALES):
-        snapshot = snapshot_plt_campaign(args.scheme, scale, args.seed)
+    snapshot_fn = snapshot_profile_sweep if args.kind == "sweep" else snapshot_plt_campaign
+    scales = _selected(args.scale, KIND_SCALES[args.kind])
+    invalid = [scale for scale in scales if scale not in KIND_SCALES[args.kind]]
+    if invalid:
+        known = ", ".join(KIND_SCALES[args.kind])
+        print(f"error: no {args.kind} golden scale named {', '.join(invalid)} "
+              f"(known {args.kind} scales: {known})", file=sys.stderr)
+        return 1
+    for scale in scales:
+        snapshot = snapshot_fn(args.scheme, scale, args.seed)
         path = save_golden(snapshot, overwrite=overwrite)
         print(f"{'refreshed' if overwrite else 'captured'} {path.name}")
     return 0
 
 
 def _cmd_diff(args) -> int:
-    scale = args.scale or "bench"
-    left = load_golden(args.scheme_a, scale, args.seed)
-    right = load_golden(args.scheme_b, scale, args.seed)
-    differences = diff_snapshots(left, right)
+    scale = args.scale or ("bench" if args.kind == "plt" else "small")
+    left = load_golden(args.scheme_a, scale, args.seed, kind=args.kind)
+    right = load_golden(args.scheme_b, scale, args.seed, kind=args.kind)
+    differ = diff_sweep_snapshots if args.kind == "sweep" else diff_snapshots
+    differences = differ(left, right)
     if not differences:
         print(f"{args.scheme_a} and {args.scheme_b} goldens are identical at scale {scale}")
         return 0
-    print(f"{len(differences)} differences ({args.scheme_a} vs {args.scheme_b}, scale {scale}):")
+    print(f"{len(differences)} differences ({args.scheme_a} vs {args.scheme_b}, "
+          f"kind {args.kind}, scale {scale}):")
     for line in differences:
         print(f"    {line}")
     # Differences between *different* schemes are expected, not an error.
@@ -96,6 +119,7 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="show stored goldens")
 
+    all_scales = sorted(set(SCALES) | set(SWEEP_SCALES))
     for name, help_text in (
         ("verify", "check stored goldens reproduce bit-for-bit"),
         ("capture", "store a new golden (refuses to overwrite)"),
@@ -104,15 +128,18 @@ def main(argv=None) -> int:
         command = sub.add_parser(name, help=help_text)
         if name == "verify":
             command.add_argument("--scheme", choices=(*RNG_SCHEMES, "all"), default="all")
+            command.add_argument("--kind", choices=(*KINDS, "all"), default="all")
         else:
             command.add_argument("--scheme", choices=RNG_SCHEMES, required=True)
-        command.add_argument("--scale", choices=(*SCALES, "all"), default="all")
+            command.add_argument("--kind", choices=KINDS, default="plt")
+        command.add_argument("--scale", choices=(*all_scales, "all"), default="all")
         command.add_argument("--seed", type=int, default=GOLDEN_SEED)
 
     diff = sub.add_parser("diff", help="compare two stored goldens")
     diff.add_argument("--scheme-a", choices=RNG_SCHEMES, default=RNG_SCHEMES[0])
     diff.add_argument("--scheme-b", choices=RNG_SCHEMES, default=RNG_SCHEMES[-1])
-    diff.add_argument("--scale", choices=tuple(SCALES), default=None)
+    diff.add_argument("--kind", choices=KINDS, default="plt")
+    diff.add_argument("--scale", choices=tuple(all_scales), default=None)
     diff.add_argument("--seed", type=int, default=GOLDEN_SEED)
 
     args = parser.parse_args(argv)

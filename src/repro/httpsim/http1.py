@@ -1,4 +1,4 @@
-"""HTTP/1.1 client model.
+"""HTTP/1.1 client facade over the unified fetch/transport engine.
 
 The defining characteristics of HTTP/1.1 page loads, and the ones responsible
 for the performance gap the paper's A/B campaign measures, are:
@@ -8,45 +8,31 @@ for the performance gap the paper's A/B campaign measures, are:
 * one outstanding request per connection — additional requests to the same
   origin queue behind the in-flight one (head-of-line blocking at the
   connection level);
-* uncompressed request/response headers on every exchange.
+* uncompressed request/response headers on every exchange
+  (:data:`~repro.httpsim.messages.HTTP1_REQUEST_HEADER_BYTES` per request).
 
-The client keeps a pool of :class:`~repro.netsim.connection.Connection`
-objects per origin, assigns each request to the connection that can start it
-earliest (opening a new one while under the limit), and returns a
-:class:`FetchRecord` with the full timing breakdown.
+All of the simulation logic lives in
+:class:`repro.httpsim.engine.FetchTransport`; this module keeps the public
+:class:`HTTP1Client` API (constructor, ``fetch``, connection statistics)
+stable for tests and external composition.  Units follow the engine's
+conventions: times in absolute seconds from navigation start, sizes in
+bytes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
-from ..errors import ProtocolError
 from ..netsim.bandwidth import SharedLink
 from ..netsim.dns import DNSResolver
-from ..netsim.latency import LatencyModel, origin_latency
+from ..netsim.latency import LatencyModel
 from ..rng import SeededRNG
 from ..web.objects import WebObject
-from .messages import (
-    HTTP1_REQUEST_HEADER_BYTES,
-    RESPONSE_HEADER_BYTES,
-    FetchRecord,
-    HTTPRequest,
-    HTTPResponse,
-)
+from .engine import FetchTransport, build_transport
+from .messages import FetchRecord
 
 #: Chrome's per-origin parallel connection limit for HTTP/1.1.
 MAX_CONNECTIONS_PER_ORIGIN = 6
-
-
-@dataclass
-class _PooledConnection:
-    """Book-keeping for one pooled connection."""
-
-    connection_id: str
-    connection: object
-    busy_until: float = 0.0
-    requests_served: int = 0
 
 
 class HTTP1Client:
@@ -71,50 +57,11 @@ class HTTP1Client:
         rng: SeededRNG,
         use_tls: bool = True,
     ) -> None:
-        self._latency = latency
-        self._link = link
-        self._dns = dns
-        self._rng = rng.fork("http1")
-        self._use_tls = use_tls
-        self._pools: Dict[str, List[_PooledConnection]] = {}
-        self._dns_done_at: Dict[str, float] = {}
-        self.records: List[FetchRecord] = []
-
-    # -- internals --------------------------------------------------------------
-
-    def _resolve(self, origin: str, now: float) -> float:
-        """Return the time at which ``origin`` is resolved (cached per origin)."""
-        if origin not in self._dns_done_at:
-            lookup = self._dns.resolve(origin, now=now)
-            self._dns_done_at[origin] = now + lookup.duration
-        return max(self._dns_done_at[origin], now if origin in self._dns_done_at else now)
-
-    def _open_connection(self, origin: str, ready_at: float) -> _PooledConnection:
-        from ..netsim.connection import Connection  # local import to avoid cycle at module load
-
-        pool = self._pools.setdefault(origin, [])
-        connection_id = f"h1-{origin}-{len(pool)}"
-        connection = Connection(
-            origin=origin,
-            latency=origin_latency(self._latency, origin, self._rng),
-            link=self._link,
-            rng=self._rng,
-            use_tls=self._use_tls,
+        self.transport: FetchTransport = build_transport(
+            "http/1.1", latency, link, dns, rng, use_tls=use_tls
         )
-        established = connection.connect(ready_at)
-        pooled = _PooledConnection(connection_id=connection_id, connection=connection, busy_until=established)
-        pool.append(pooled)
-        return pooled
-
-    def _pick_connection(self, origin: str, ready_at: float) -> _PooledConnection:
-        """Choose the connection that can start the request earliest."""
-        pool = self._pools.setdefault(origin, [])
-        idle = [c for c in pool if c.busy_until <= ready_at]
-        if idle:
-            return min(idle, key=lambda c: c.busy_until)
-        if len(pool) < MAX_CONNECTIONS_PER_ORIGIN:
-            return self._open_connection(origin, ready_at)
-        return min(pool, key=lambda c: c.busy_until)
+        #: Shared list reference: records accumulate on the transport.
+        self.records: List[FetchRecord] = self.transport.records
 
     # -- public API -------------------------------------------------------------
 
@@ -125,51 +72,20 @@ class HTTP1Client:
             The completed :class:`FetchRecord`; records are also accumulated
             on :attr:`records` for HAR construction.
         """
-        if ready_at < 0:
-            raise ProtocolError("ready_at must be non-negative")
-        request = HTTPRequest.for_object(obj)
-        dns_ready = self._resolve(obj.origin, ready_at)
-        queued_at = max(ready_at, dns_ready)
-        pooled = self._pick_connection(obj.origin, queued_at)
-        start_at = max(queued_at, pooled.busy_until)
-        size = obj.size_bytes + RESPONSE_HEADER_BYTES + HTTP1_REQUEST_HEADER_BYTES
-        # HTTP/1.1 has no stream priorities: every response queues on the
-        # shared link in request order.
-        timing = pooled.connection.transfer(size, start_at, server_think=obj.server_think_time)
-        pooled.busy_until = timing.last_byte_at
-        pooled.requests_served += 1
-        response = HTTPResponse(
-            request=request,
-            status=200,
-            body_bytes=obj.size_bytes,
-            header_bytes=RESPONSE_HEADER_BYTES,
-            protocol=self.protocol_name,
-        )
-        record = FetchRecord(
-            request=request,
-            response=response,
-            discovered_at=ready_at,
-            queued_at=queued_at,
-            started_at=timing.request_sent_at,
-            first_byte_at=timing.first_byte_at,
-            completed_at=timing.last_byte_at,
-            connection_id=pooled.connection_id,
-        )
-        self.records.append(record)
-        return record
+        return self.transport.fetch(obj, ready_at)
 
     # -- statistics -------------------------------------------------------------
 
     @property
     def connection_count(self) -> int:
         """Total connections opened across all origins."""
-        return sum(len(pool) for pool in self._pools.values())
+        return self.transport.connection_count
 
     def connections_for(self, origin: str) -> int:
         """Connections opened to one origin."""
-        return len(self._pools.get(origin, []))
+        return self.transport.connections_for(origin)
 
     @property
     def total_queue_time(self) -> float:
         """Aggregate time requests spent queued behind busy connections."""
-        return sum(record.queue_time for record in self.records)
+        return self.transport.total_queue_time

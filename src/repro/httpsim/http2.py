@@ -1,4 +1,4 @@
-"""HTTP/2 client model.
+"""HTTP/2 client facade over the unified fetch/transport engine.
 
 Relative to HTTP/1.1, the behaviours that matter for the paper's A/B campaign
 are:
@@ -7,61 +7,35 @@ are:
   the congestion window it grows is shared by every stream;
 * full request multiplexing — a newly discovered resource never waits for an
   idle connection; it is sent immediately as a new stream;
-* stream prioritisation — response bytes of concurrently active streams are
-  delivered in priority order, so critical resources (HTML, CSS, blocking JS)
-  are not starved by bulky images;
-* HPACK header compression — per-request header overhead drops by roughly 4x;
+* stream prioritisation — streams at or above
+  :data:`~repro.httpsim.engine.CRITICAL_PRIORITY` are render-critical and
+  preempt queued bulk data on the shared link;
+* HPACK header compression — per-request header overhead drops roughly 4x
+  (:data:`~repro.httpsim.messages.HTTP2_REQUEST_HEADER_BYTES`);
 * server push (optional) — the server may start sending configured resources
   immediately after the request for the document, saving a round trip.
 
 The delivery model is fluid: when several streams are active at once they
-share the origin connection's throughput, with shares weighted by priority.
+share the origin connection's throughput via the shared-link FIFO.  All of
+the simulation logic lives in
+:class:`repro.httpsim.engine.FetchTransport`; this module keeps the public
+:class:`HTTP2Client` API stable.  Units: times in absolute seconds from
+navigation start, sizes in bytes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import List, Optional
 
-from ..errors import ProtocolError
 from ..netsim.bandwidth import SharedLink
-from ..netsim.connection import Connection
 from ..netsim.dns import DNSResolver
-from ..netsim.latency import LatencyModel, origin_latency
+from ..netsim.latency import LatencyModel
 from ..rng import SeededRNG
 from ..web.objects import WebObject
-from .messages import (
-    HTTP2_REQUEST_HEADER_BYTES,
-    RESPONSE_HEADER_BYTES,
-    FetchRecord,
-    HTTPRequest,
-    HTTPResponse,
-)
+from .engine import CRITICAL_PRIORITY, FetchTransport, PushConfiguration, build_transport
+from .messages import FetchRecord
 
-
-@dataclass
-class _OriginConnection:
-    """Book-keeping for the single HTTP/2 connection to one origin."""
-
-    connection_id: str
-    connection: Connection
-    #: Number of streams whose transfer overlaps "now"; used to derive the
-    #: bandwidth share of a newly scheduled stream.
-    active_streams: List[float] = field(default_factory=list)  # completion times
-    streams_opened: int = 0
-
-
-@dataclass(frozen=True)
-class PushConfiguration:
-    """Server-push settings for an origin.
-
-    Attributes:
-        enabled: whether the origin pushes resources.
-        pushed_object_ids: ids of objects pushed alongside the root document.
-    """
-
-    enabled: bool = False
-    pushed_object_ids: tuple[str, ...] = ()
+__all__ = ["HTTP2Client", "PushConfiguration"]
 
 
 class HTTP2Client:
@@ -79,6 +53,11 @@ class HTTP2Client:
 
     protocol_name = "h2"
 
+    #: Streams at or above this priority preempt queued bulk data on the
+    #: link when prioritisation is enabled (kept here for API compatibility;
+    #: the engine owns the constant).
+    CRITICAL_PRIORITY = CRITICAL_PRIORITY
+
     def __init__(
         self,
         latency: LatencyModel,
@@ -88,112 +67,31 @@ class HTTP2Client:
         enable_priority: bool = True,
         push: Optional[PushConfiguration] = None,
     ) -> None:
-        self._latency = latency
-        self._link = link
-        self._dns = dns
-        self._rng = rng.fork("http2")
-        self._enable_priority = enable_priority
-        self._push = push or PushConfiguration()
-        self._origins: Dict[str, _OriginConnection] = {}
-        self._dns_done_at: Dict[str, float] = {}
-        self.records: List[FetchRecord] = []
-
-    # -- internals --------------------------------------------------------------
-
-    def _resolve(self, origin: str, now: float) -> float:
-        if origin not in self._dns_done_at:
-            lookup = self._dns.resolve(origin, now=now)
-            self._dns_done_at[origin] = now + lookup.duration
-        return self._dns_done_at[origin]
-
-    def _origin_connection(self, origin: str, ready_at: float) -> _OriginConnection:
-        state = self._origins.get(origin)
-        if state is None:
-            connection = Connection(
-                origin=origin,
-                latency=origin_latency(self._latency, origin, self._rng),
-                link=self._link,
-                rng=self._rng,
-                use_tls=True,  # HTTP/2 is always deployed over TLS
-            )
-            connection.connect(ready_at)
-            state = _OriginConnection(connection_id=f"h2-{origin}", connection=connection)
-            self._origins[origin] = state
-        return state
-
-    #: Streams at or above this priority are treated as render-critical and,
-    #: when prioritisation is enabled, preempt queued bulk data on the link.
-    CRITICAL_PRIORITY = 24
-
-    def _is_critical(self, obj: WebObject) -> bool:
-        """Whether a stream is render-critical for prioritisation purposes."""
-        return self._enable_priority and obj.priority >= self.CRITICAL_PRIORITY
+        self.transport: FetchTransport = build_transport(
+            "h2", latency, link, dns, rng, enable_priority=enable_priority, push=push
+        )
+        #: Shared list reference: records accumulate on the transport.
+        self.records: List[FetchRecord] = self.transport.records
 
     # -- public API -------------------------------------------------------------
 
     def fetch(self, obj: WebObject, ready_at: float) -> FetchRecord:
         """Fetch ``obj`` over the origin's multiplexed connection."""
-        if ready_at < 0:
-            raise ProtocolError("ready_at must be non-negative")
-        request = HTTPRequest.for_object(obj)
-        dns_ready = self._resolve(obj.origin, ready_at)
-        queued_at = max(ready_at, dns_ready)
-        state = self._origin_connection(obj.origin, queued_at)
-        start_at = max(queued_at, state.connection.established_at or queued_at)
-
-        pushed = self._push.enabled and obj.object_id in self._push.pushed_object_ids
-        size = obj.size_bytes + RESPONSE_HEADER_BYTES + (0 if pushed else HTTP2_REQUEST_HEADER_BYTES)
-        think = 0.0 if pushed else obj.server_think_time
-
-        timing = state.connection.transfer(
-            size, start_at, server_think=think, preempt=self._is_critical(obj)
-        )
-        completed_at = timing.last_byte_at
-        if pushed:
-            # Pushed responses skip the request round trip: the first byte
-            # can arrive one RTT earlier (but never before the connection).
-            saved = self._latency.base_rtt
-            first_byte_at = max(timing.first_byte_at - saved, start_at)
-            completed_at = max(completed_at - saved, first_byte_at)
-        else:
-            first_byte_at = timing.first_byte_at
-
-        state.active_streams.append(completed_at)
-        state.streams_opened += 1
-        response = HTTPResponse(
-            request=request,
-            status=200,
-            body_bytes=obj.size_bytes,
-            header_bytes=RESPONSE_HEADER_BYTES,
-            protocol=self.protocol_name,
-        )
-        record = FetchRecord(
-            request=request,
-            response=response,
-            discovered_at=ready_at,
-            queued_at=queued_at,
-            started_at=start_at,
-            first_byte_at=first_byte_at,
-            completed_at=completed_at,
-            connection_id=state.connection_id,
-        )
-        self.records.append(record)
-        return record
+        return self.transport.fetch(obj, ready_at)
 
     # -- statistics -------------------------------------------------------------
 
     @property
     def connection_count(self) -> int:
         """Connections opened (exactly one per contacted origin)."""
-        return len(self._origins)
+        return self.transport.connection_count
 
     def streams_for(self, origin: str) -> int:
         """Streams opened on the connection to ``origin``."""
-        state = self._origins.get(origin)
-        return state.streams_opened if state else 0
+        return self.transport.streams_for(origin)
 
     @property
     def total_queue_time(self) -> float:
         """Aggregate queueing time (HTTP/2 never queues behind a busy connection,
         so this only reflects DNS waits)."""
-        return sum(record.queue_time for record in self.records)
+        return self.transport.total_queue_time

@@ -15,6 +15,12 @@ remaining bytes at the link share rate.  This captures the behaviour the
 paper's evaluation depends on — small objects are latency-bound and benefit
 little from HTTP/2, large or numerous objects are bandwidth/parallelism bound
 — without a packet-level simulator.
+
+Units: times in absolute seconds, sizes in bytes.  This class is the
+standalone *reference implementation* of the transfer arithmetic; the
+unified fetch engine (:mod:`repro.httpsim.engine`) inlines the same
+computation on its hot path, and ``tests/test_fetch_engine.py`` pins the
+two against each other float-for-float.
 """
 
 from __future__ import annotations
@@ -32,6 +38,10 @@ MSS_BYTES = 1460
 
 #: Initial congestion window (RFC 6928): 10 segments.
 INITIAL_CWND_SEGMENTS = 10
+
+#: Congestion-window growth cap (segments); shared with the inlined fast
+#: path in :mod:`repro.httpsim.engine` so the two models cannot drift.
+MAX_CWND_SEGMENTS = 256
 
 
 @dataclass(slots=True)
@@ -154,8 +164,8 @@ class Connection:
         last_byte_at = self._link.schedule(data_ready_at, size_bytes, preempt=preempt)
         # Grow the window for subsequent requests on this connection
         # (congestion avoidance approximated as one doubling per transfer,
-        # capped at 256 segments).
-        self._cwnd_segments = min(self._cwnd_segments * 2, 256)
+        # capped at MAX_CWND_SEGMENTS).
+        self._cwnd_segments = min(self._cwnd_segments * 2, MAX_CWND_SEGMENTS)
         self.bytes_sent += size_bytes
         self.transfers += 1
         return TransferTiming(

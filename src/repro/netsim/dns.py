@@ -60,6 +60,7 @@ class DNSResolver:
         cold_lookup_mean: float = 0.080,
         cold_lookup_sigma: float = 0.040,
         default_ttl: float = 300.0,
+        synthesize_addresses: bool = True,
     ) -> None:
         """Create a resolver.
 
@@ -69,12 +70,18 @@ class DNSResolver:
             cold_lookup_mean: mean extra delay of a recursive resolution (s).
             cold_lookup_sigma: spread of the recursive-resolution delay (s).
             default_ttl: TTL applied to cached records.
+            synthesize_addresses: when False, cached records carry an empty
+                address string.  The synthetic address is drawn from a
+                label-derived fork, so skipping it cannot perturb any other
+                stream; the load pipeline never consults addresses and opts
+                out to keep lookups cheap.
         """
         self._latency = latency
         self._rng = rng.fork("dns")
         self._cold_mean = cold_lookup_mean
         self._cold_sigma = cold_lookup_sigma
         self._default_ttl = default_ttl
+        self._synthesize_addresses = synthesize_addresses
         self._cache: Dict[str, DNSRecord] = {}
         self.lookups = 0
         self.cache_hits = 0
@@ -103,7 +110,7 @@ class DNSResolver:
         recursive = max(self._rng.gauss(self._cold_mean, self._cold_sigma), 0.005)
         self._cache[hostname] = DNSRecord(
             hostname=hostname,
-            address=self._synthetic_address(hostname),
+            address=self._synthetic_address(hostname) if self._synthesize_addresses else "",
             ttl=self._default_ttl,
             resolved_at=now,
         )

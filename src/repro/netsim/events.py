@@ -3,12 +3,14 @@
 The webpeg capture substrate models a page load as a set of interacting
 processes (DNS lookups, TCP connections, HTTP streams, renderer paints).  The
 :class:`Simulator` here provides the shared clock and the event queue those
-processes schedule themselves on.
+processes schedule themselves on; times are absolute simulation seconds.
 
 The design is intentionally minimal: events are ``(time, sequence, callback)``
 triples popped in time order.  Callbacks may schedule further events.  The
 sequence number keeps ordering stable for simultaneous events, which keeps the
-whole page-load model deterministic.
+whole page-load model deterministic — the unified fetch engine
+(:mod:`repro.httpsim.engine`) relies on exactly this FIFO-within-an-instant
+property to issue each discovery wave's requests in document order.
 """
 
 from __future__ import annotations

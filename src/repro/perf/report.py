@@ -42,6 +42,23 @@ BENCH_SCALE = {"sites": 30, "participants": 200, "loads": 3}
 FULL_SCALE = {"sites": 100, "participants": 1000, "loads": 5}
 BENCH_SEED = 2016
 
+#: Capture profile the recorded trajectory (and the goldens) run under;
+#: ``--profile`` switches the workload to another registry entry, in which
+#: case output verification is skipped (no goldens exist off-profile).
+BENCH_NETWORK_PROFILE = "cable-intl"
+
+
+def bench_output_name(network_profile: str) -> str:
+    """File name the pipeline document is written under for a profile.
+
+    Off-profile probes get their own file (``BENCH_pipeline.<profile>.json``)
+    so they never overwrite the tracked default-profile trajectory.  Shared
+    by this module's CLI and ``benchmarks/bench_perf_pipeline.py``.
+    """
+    if network_profile == BENCH_NETWORK_PROFILE:
+        return "BENCH_pipeline.json"
+    return f"BENCH_pipeline.{network_profile}.json"
+
 #: Golden campaign outputs of the seed implementation at bench scale under
 #: seed 2016.  The optimised pipeline must reproduce these bit-for-bit.
 BENCH_GOLDEN_TABLE1 = {
@@ -84,17 +101,23 @@ def run_pipeline_bench(
     session_workers: int = 0,
     verify: bool = True,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
+    network_profile: str = BENCH_NETWORK_PROFILE,
 ) -> Tuple[PerfReport, Dict[str, object]]:
     """Time the capture→campaign pipeline stage by stage.
 
     Returns the perf report plus the campaign artefacts used for output
     verification.  Raises ``AssertionError`` when ``verify`` is set and the
     outputs deviate from the pinned goldens (only checked at bench scale
-    with the bench seed): under ``sha256-v1`` against the in-module pinned
-    seed-implementation values, under ``splitmix64-v2`` against that
-    scheme's stored golden in :mod:`repro.goldens`.
+    with the bench seed and the default capture profile): under
+    ``sha256-v1`` against the in-module pinned seed-implementation values,
+    under ``splitmix64-v2`` against that scheme's stored golden in
+    :mod:`repro.goldens`.  ``network_profile`` selects the capture
+    emulation profile (see :mod:`repro.netsim.profiles`), so perf can be
+    probed across network conditions.
     """
     # Imports here so ``--help`` stays instant.
+    import gc
+
     from ..capture.webpeg import CaptureSettings, DEFAULT_CAPTURE_CACHE, Webpeg
     from ..core.analysis import compare_uplt_with_metrics, mean_uplt_per_site
     from ..core.campaign import CampaignConfig, CampaignRunner
@@ -104,12 +127,17 @@ def run_pipeline_bench(
 
     report = PerfReport()
 
+    # Collect leftovers from any previous in-process run (e.g. the other
+    # scheme's Mersenne Twister objects) so one scheme's garbage never
+    # inflates another scheme's recorded timings.
+    gc.collect()
+
     timer = report.stage("corpus").start()
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     timer.finish(events=sites)
 
-    settings = CaptureSettings(loads_per_site=loads, network_profile="cable-intl")
+    settings = CaptureSettings(loads_per_site=loads, network_profile=network_profile)
     tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
 
     DEFAULT_CAPTURE_CACHE.clear()
@@ -152,7 +180,7 @@ def run_pipeline_bench(
     )
     is_bench_scale = (sites, participants, loads, seed) == (
         BENCH_SCALE["sites"], BENCH_SCALE["participants"], BENCH_SCALE["loads"], BENCH_SEED,
-    )
+    ) and network_profile == BENCH_NETWORK_PROFILE
     verified = False
     if verify and is_bench_scale:
         table1 = campaign.table1_row
@@ -186,6 +214,7 @@ def run_pipeline_bench(
         scale={"sites": sites, "participants": participants, "loads": loads},
         seed=seed,
         rng_scheme=rng_scheme,
+        network_profile=network_profile,
         capture_workers=capture_workers,
         session_workers=session_workers,
         total_seconds=round(total, 6),
@@ -254,6 +283,9 @@ def main(argv=None) -> int:
                         help="run at the paper's full scale (100 sites, 1000 participants)")
     parser.add_argument("--rng-scheme", choices=(*RNG_SCHEMES, "both"), default="both",
                         help="which versioned RNG scheme(s) to bench (default: both)")
+    parser.add_argument("--profile", default=BENCH_NETWORK_PROFILE,
+                        help="capture network-emulation profile (see repro.netsim.profiles; "
+                             "output verification only runs on the default profile)")
     parser.add_argument("--capture-workers", type=int, default=0,
                         help="process-pool workers for capture (0 = serial)")
     parser.add_argument("--session-workers", type=int, default=0,
@@ -278,13 +310,14 @@ def main(argv=None) -> int:
             capture_workers=args.capture_workers,
             session_workers=args.session_workers,
             rng_scheme=scheme,
+            network_profile=args.profile,
         )
     output = args.output
     if output is None:
         repo_root = os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         )
-        output = os.path.join(repo_root, "BENCH_pipeline.json")
+        output = os.path.join(repo_root, bench_output_name(args.profile))
     write_pipeline_document(output, reports)
 
     print(f"wrote {output}")

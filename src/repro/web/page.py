@@ -142,6 +142,14 @@ class Page:
         """Objects discovered by ``object_id``, in insertion order."""
         return list(self._children.get(object_id, ()))
 
+    def children_map(self) -> Dict[Optional[str], List[WebObject]]:
+        """The discovery index: ``discovered_by`` id → children in insertion order.
+
+        Returned by reference for the fetch engine's hot loop — treat it as
+        read-only (mutate pages only through :meth:`add_object`).
+        """
+        return self._children
+
     def iter_objects(self) -> Iterator[WebObject]:
         """Iterate over all objects in insertion order."""
         return iter(self.objects.values())

@@ -17,7 +17,9 @@ from repro.errors import ConfigurationError, RNGSchemeMismatchError, StorageErro
 from repro.goldens import (
     GOLDEN_SEED,
     SCALES,
+    SWEEP_SCALES,
     diff_snapshots,
+    diff_sweep_snapshots,
     golden_path,
     load_golden,
     save_golden,
@@ -122,6 +124,43 @@ def test_small_snapshot_pins_every_output_section():
     # Five sites at small scale, every mean recorded as a repr string.
     assert len(snapshot["uplt_by_site"]) == SCALES["small"]["sites"]
     assert all(isinstance(v, str) for v in snapshot["uplt_by_site"].values())
+
+
+# -- the network-profile sweep goldens ------------------------------------------
+
+
+def test_store_holds_sweep_goldens_for_both_schemes():
+    names = {path.name for path in stored_goldens()}
+    for scheme in RNG_SCHEMES:
+        assert golden_path(scheme, "small", kind="sweep").name in names
+
+
+def test_sweep_golden_records_profiles_and_per_profile_sections():
+    for scheme in RNG_SCHEMES:
+        snapshot = load_golden(scheme, "small", kind="sweep")
+        assert snapshot["kind"] == "profile-sweep"
+        assert snapshot["profiles"] == list(SWEEP_SCALES["small"]["profiles"])
+        for profile in snapshot["profiles"]:
+            section = snapshot["per_profile"][profile]
+            assert section["table1"]["campaign"] == f"profile-sweep-{profile}"
+            assert len(section["uplt_by_site"]) <= SWEEP_SCALES["small"]["sites"]
+            assert all(isinstance(v, str) for v in section["uplt_by_site"].values())
+
+
+def test_sweep_diff_detects_tampered_profile():
+    golden = load_golden(RNG_SCHEMES[0], "small", kind="sweep")
+    tampered = json.loads(json.dumps(golden))
+    profile = tampered["profiles"][0]
+    site = next(iter(tampered["per_profile"][profile]["uplt_by_site"]))
+    tampered["per_profile"][profile]["uplt_by_site"][site] = "0.0"
+    differences = diff_sweep_snapshots(golden, tampered)
+    assert differences and differences[0].startswith(f"{profile}.uplt_by_site[{site}]")
+
+
+@pytest.mark.goldens
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_small_sweep_golden_reproduces_bit_for_bit(scheme):
+    assert verify_golden(scheme, "small", kind="sweep") == []
 
 
 # -- tier-2: bench- and full-scale reproduction ---------------------------------
