@@ -20,6 +20,7 @@ Stage timings at the paper's full scale: add ``--full-scale``.
 from __future__ import annotations
 
 import os
+import tempfile
 
 from repro.perf.report import (
     BENCH_NETWORK_PROFILE,
@@ -28,6 +29,7 @@ from repro.perf.report import (
     run_pipeline_bench,
     write_pipeline_document,
 )
+from repro.warehouse import ResultsWarehouse
 
 from conftest import BENCH_SEED, print_header
 
@@ -36,6 +38,7 @@ def test_perf_pipeline(scale, rng_schemes, network_profile):
     """Time the pipeline per scheme, verify outputs, write the report."""
     bench_scale = (scale["sites"], scale["participants"], scale["loads"]) == (30, 200, 3) \
         and network_profile == BENCH_NETWORK_PROFILE
+    warehouse_dir = tempfile.mkdtemp(prefix="bench-warehouse-")
     reports = {}
     artefacts_by_scheme = {}
     for scheme in rng_schemes:
@@ -47,6 +50,7 @@ def test_perf_pipeline(scale, rng_schemes, network_profile):
             verify=bench_scale,
             rng_scheme=scheme,
             network_profile=network_profile,
+            warehouse_dir=warehouse_dir,
         )
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -82,6 +86,24 @@ def test_perf_pipeline(scale, rng_schemes, network_profile):
             assert document[stage]["seconds"] >= 0.0
         assert artefacts_by_scheme[scheme]["campaign"].table1_row["participants"] == \
             scale["participants"]
+
+        # The bench run was ingested into the warehouse: the record must be
+        # queryable, stable under re-ingest, and cheap (<5% of end-to-end,
+        # with a small floor for timer noise on tiny workloads).
+        warehouse = ResultsWarehouse(warehouse_dir)
+        record_id = meta["warehouse_record_id"]
+        found = warehouse.query(kind="plt", scheme=scheme, seed=BENCH_SEED)
+        assert [r.record_id for r in found] == [record_id]
+        again = warehouse.ingest(
+            artefacts_by_scheme[scheme]["campaign"], kind="plt",
+            metrics_by_site=artefacts_by_scheme[scheme]["metrics_by_site"],
+        )
+        assert again.record_id == record_id
+        ingest_seconds = document["warehouse_ingest"]["seconds"]
+        assert ingest_seconds <= max(0.05 * meta["total_seconds"], 0.05), (
+            f"warehouse ingest took {ingest_seconds:.4f}s "
+            f"(total {meta['total_seconds']:.4f}s)"
+        )
 
     # The v2 scheme exists to be faster: at bench scale it must not lose to
     # the default scheme in the same process (hard ≥1.8x is recorded in the

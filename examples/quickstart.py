@@ -11,6 +11,11 @@ This walks the full Eyeorg loop at toy scale:
 
 Run with:  python examples/quickstart.py
            python examples/quickstart.py --rng-scheme splitmix64-v2 --profile 3g
+
+With ``--warehouse-dir`` the campaign persists across invocations: the
+first run simulates and ingests, a second run with the same directory (and
+scheme/profile) finds the stored record and reports stats from it without
+re-simulating anything.
 """
 
 from __future__ import annotations
@@ -42,11 +47,44 @@ def parse_args() -> argparse.Namespace:
                         help="versioned RNG scheme the whole pipeline runs under")
     parser.add_argument("--profile", choices=list_profiles(), default="cable-intl",
                         help="network-emulation profile used for the captures")
+    parser.add_argument("--warehouse-dir", default=None,
+                        help="results-warehouse directory; reruns with the same "
+                             "directory report stats from the stored record")
     return parser.parse_args()
+
+
+def report_from_warehouse(record) -> None:
+    """Stats-only path: everything below comes from the stored record."""
+    from repro.warehouse import record_stats
+
+    print(f"Found stored record {record.record_id[:12]} "
+          f"(campaign {record.campaign_id!r}, scheme {record.rng_scheme}, "
+          f"profile {record.network_profile}) — skipping simulation.")
+    stats = record_stats(record)
+    metrics = record.metrics_by_site()
+    print("\nPer-site user-perceived PLT (95% bootstrap CI) vs OnLoad, from the store:")
+    for site, ci in stats.uplt_ci_by_site.items():
+        onload = metrics.get(site, {}).get("onload")
+        onload_text = f"   onload={onload:5.2f}s" if onload is not None else ""
+        print(f"  {site}: UPLT={ci.point:5.2f}s  [{ci.low:5.2f}, {ci.high:5.2f}]{onload_text}")
+    print("\nSpearman rank correlation with UserPerceivedPLT:")
+    for name, rho in stats.spearman_by_metric.items():
+        print(f"  {name:20s} rho = {rho:+5.2f}")
 
 
 def main() -> None:
     args = parse_args()
+
+    warehouse = None
+    if args.warehouse_dir is not None:
+        from repro.warehouse import ResultsWarehouse
+
+        warehouse = ResultsWarehouse(args.warehouse_dir)
+        stored = warehouse.query(campaign_id="quickstart", scheme=args.rng_scheme,
+                                 profile=args.profile, seed=SEED)
+        if stored:
+            report_from_warehouse(stored[0])
+            return
 
     # 1. Synthetic sites standing in for the Alexa sample.
     corpus = CorpusGenerator(seed=SEED)
@@ -80,7 +118,13 @@ def main() -> None:
     print(f"Filtered out {report.dropped_total} participants "
           f"({report.drop_fraction:.0%}): {report.summary_row()}")
 
-    # 4. Compare the crowd with the machine metrics.
+    # 4. Persist the campaign, if a warehouse was given.
+    if warehouse is not None:
+        record = warehouse.ingest(result, kind="plt", metrics_by_site=metrics)
+        print(f"\nIngested record {record.record_id[:12]} into {args.warehouse_dir}; "
+              f"re-run with the same --warehouse-dir for stats without re-simulating.")
+
+    # 5. Compare the crowd with the machine metrics.
     uplt = mean_uplt_per_site(result.clean_dataset)
     comparison = compare_uplt_with_metrics(result.clean_dataset, metrics)
     print("\nPer-site user-perceived PLT vs OnLoad:")

@@ -15,7 +15,10 @@ substrates so it runs offline:
 * :mod:`repro.core` — the Eyeorg platform itself: timeline and A/B
   experiments, campaigns, response validation, analysis, visualisation;
 * :mod:`repro.experiments` — end-to-end drivers for every campaign in the
-  paper's evaluation.
+  paper's evaluation;
+* :mod:`repro.warehouse` — the persistent, content-addressed store of
+  campaign results, with cross-campaign query, comparison, and
+  paper-grade statistics.
 
 Quickstart::
 
@@ -77,6 +80,7 @@ from .rng import (
     SeededRNG,
     validate_scheme,
 )
+from .warehouse import ResultsWarehouse, WarehouseRecord
 from .web import CorpusGenerator, Page, WebObject
 
 __version__ = "1.0.0"

@@ -9,6 +9,7 @@ the defaults the paper's evaluation used.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .errors import ConfigurationError
 from .rng import DEFAULT_RNG_SCHEME, validate_scheme
@@ -48,6 +49,11 @@ class ReproConfig:
         capture_fps: frame rate of synthetic captures.
         frame_similarity_threshold: frame-helper pixel-difference threshold.
         ab_control_delay: artificial delay (seconds) in A/B control pairs.
+        warehouse_dir: directory of the campaign results warehouse (see
+            :mod:`repro.warehouse`), or None when no store is configured.
+            A configuration knob, not an automatic sink: open it with
+            :meth:`make_warehouse` and pass the result as the drivers'
+            ``warehouse=`` argument to persist campaigns.
     """
 
     seed: int = 2016
@@ -57,6 +63,7 @@ class ReproConfig:
     capture_fps: int = DEFAULT_CAPTURE_FPS
     frame_similarity_threshold: float = FRAME_SIMILARITY_THRESHOLD
     ab_control_delay: float = AB_CONTROL_DELAY_SECONDS
+    warehouse_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         validate_scheme(self.rng_scheme)
@@ -70,6 +77,24 @@ class ReproConfig:
             raise ConfigurationError("frame_similarity_threshold must be in (0, 1)")
         if self.ab_control_delay <= 0:
             raise ConfigurationError("ab_control_delay must be positive")
+        if self.warehouse_dir is not None and not str(self.warehouse_dir).strip():
+            raise ConfigurationError("warehouse_dir must be a non-empty path or None")
+
+    def make_warehouse(self):
+        """Open the configured results warehouse.
+
+        Returns:
+            A :class:`repro.warehouse.ResultsWarehouse` rooted at
+            ``warehouse_dir``, or None when no directory is configured.
+            Pass it to the :mod:`repro.experiments` drivers as
+            ``warehouse=`` (e.g. ``run_plt_campaign(...,
+            warehouse=config.make_warehouse())``).
+        """
+        if self.warehouse_dir is None:
+            return None
+        from .warehouse import ResultsWarehouse
+
+        return ResultsWarehouse(self.warehouse_dir)
 
 
 @dataclass(frozen=True)

@@ -294,7 +294,9 @@ class CampaignRunner:
             experiment, videos_per_participant=self.config.videos_per_participant,
             seed=self.config.seed, rng_scheme=self.config.rng_scheme,
         )
-        dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="timeline")
+        dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="timeline",
+                                  rng_scheme=self.config.rng_scheme,
+                                  network_profile=self.config.network_profile)
         telemetry: Dict[str, SessionTelemetry] = {}
         helper = self._frame_helper(experiment)
         preload = self.config.preload_video and experiment.preload_video
@@ -348,7 +350,9 @@ class CampaignRunner:
             experiment, videos_per_participant=self.config.videos_per_participant,
             seed=self.config.seed, rng_scheme=self.config.rng_scheme,
         )
-        dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="ab")
+        dataset = ResponseDataset(campaign_id=self.config.campaign_id, experiment_type="ab",
+                                  rng_scheme=self.config.rng_scheme,
+                                  network_profile=self.config.network_profile)
         telemetry: Dict[str, SessionTelemetry] = {}
         control_rng = self._rng.fork("ab-controls")
 

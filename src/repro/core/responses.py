@@ -87,6 +87,12 @@ class ResponseDataset:
         participants: participants keyed by id.
         timeline_responses: timeline answers (empty for A/B campaigns).
         ab_responses: A/B answers (empty for timeline campaigns).
+        rng_scheme: versioned RNG scheme the campaign ran under (None when
+            the producer did not record one, e.g. hand-built datasets).
+        network_profile: capture network-emulation profile of the campaign's
+            videos (None when not recorded).  Both fields are descriptive
+            provenance: they seed no streams, but they disambiguate exports
+            from scheme/profile sweeps.
     """
 
     campaign_id: str
@@ -94,6 +100,8 @@ class ResponseDataset:
     participants: Dict[str, Participant] = field(default_factory=dict)
     timeline_responses: List[TimelineResponse] = field(default_factory=list)
     ab_responses: List[ABResponse] = field(default_factory=list)
+    rng_scheme: Optional[str] = None
+    network_profile: Optional[str] = None
 
     # -- mutation ---------------------------------------------------------------
 
@@ -154,7 +162,8 @@ class ResponseDataset:
     def filtered(self, keep_participant_ids: Iterable[str]) -> "ResponseDataset":
         """Return a copy containing only responses from the given participants."""
         keep = set(keep_participant_ids)
-        subset = ResponseDataset(campaign_id=self.campaign_id, experiment_type=self.experiment_type)
+        subset = ResponseDataset(campaign_id=self.campaign_id, experiment_type=self.experiment_type,
+                                 rng_scheme=self.rng_scheme, network_profile=self.network_profile)
         for participant_id, participant in self.participants.items():
             if participant_id in keep:
                 subset.add_participant(participant)
@@ -177,6 +186,10 @@ class ResponseDataset:
         merged = ResponseDataset(
             campaign_id=f"{self.campaign_id}+{other.campaign_id}",
             experiment_type=self.experiment_type,
+            rng_scheme=self.rng_scheme if self.rng_scheme == other.rng_scheme else None,
+            network_profile=(
+                self.network_profile if self.network_profile == other.network_profile else None
+            ),
         )
         for dataset in (self, other):
             for participant in dataset.participants.values():

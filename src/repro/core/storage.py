@@ -111,6 +111,8 @@ def dataset_to_dict(dataset: ResponseDataset) -> Dict:
     return {
         "campaign_id": dataset.campaign_id,
         "experiment_type": dataset.experiment_type,
+        "rng_scheme": dataset.rng_scheme,
+        "network_profile": dataset.network_profile,
         "participants": [_participant_to_dict(p) for p in dataset.participants.values()],
         "timeline_responses": [
             {
@@ -150,7 +152,8 @@ def dataset_from_dict(data: Dict) -> ResponseDataset:
     """
     try:
         dataset = ResponseDataset(
-            campaign_id=data["campaign_id"], experiment_type=data["experiment_type"]
+            campaign_id=data["campaign_id"], experiment_type=data["experiment_type"],
+            rng_scheme=data.get("rng_scheme"), network_profile=data.get("network_profile"),
         )
         for pdata in data.get("participants", []):
             dataset.add_participant(_participant_from_dict(pdata))
@@ -214,13 +217,20 @@ def load_dataset(path: str | Path) -> ResponseDataset:
 
 
 def timeline_responses_csv(dataset: ResponseDataset) -> str:
-    """Render the timeline responses as a CSV string."""
+    """Render the timeline responses as a CSV string.
+
+    Every row carries the dataset's ``rng_scheme`` and ``network_profile``
+    provenance columns (empty when unrecorded), so exports from scheme or
+    profile sweeps stay unambiguous when concatenated.
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
+    scheme = dataset.rng_scheme or ""
+    profile = dataset.network_profile or ""
     writer.writerow(
         ["participant_id", "video_id", "site_id", "slider_time", "helper_time",
          "submitted_time", "saw_control_frame", "control_passed", "seek_actions",
-         "out_of_focus_seconds"]
+         "out_of_focus_seconds", "rng_scheme", "network_profile"]
     )
     for r in dataset.timeline_responses:
         writer.writerow(
@@ -228,24 +238,32 @@ def timeline_responses_csv(dataset: ResponseDataset) -> str:
              "" if r.helper_time is None else f"{r.helper_time:.3f}",
              f"{r.submitted_time:.3f}", int(r.saw_control_frame),
              "" if r.control_passed is None else int(r.control_passed),
-             r.interaction.seek_actions, f"{r.interaction.out_of_focus_seconds:.3f}"]
+             r.interaction.seek_actions, f"{r.interaction.out_of_focus_seconds:.3f}",
+             scheme, profile]
         )
     return buffer.getvalue()
 
 
 def ab_responses_csv(dataset: ResponseDataset) -> str:
-    """Render the A/B responses as a CSV string."""
+    """Render the A/B responses as a CSV string.
+
+    Carries the same ``rng_scheme`` / ``network_profile`` provenance columns
+    as :func:`timeline_responses_csv`.
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer)
+    scheme = dataset.rng_scheme or ""
+    profile = dataset.network_profile or ""
     writer.writerow(
         ["participant_id", "pair_id", "site_id", "choice", "choice_label",
-         "is_control", "control_passed", "play_actions"]
+         "is_control", "control_passed", "play_actions", "rng_scheme",
+         "network_profile"]
     )
     for r in dataset.ab_responses:
         writer.writerow(
             [r.participant_id, r.pair_id, r.site_id, r.choice, r.choice_label,
              int(r.is_control), "" if r.control_passed is None else int(r.control_passed),
-             r.interaction.play_actions]
+             r.interaction.play_actions, scheme, profile]
         )
     return buffer.getvalue()
 

@@ -190,7 +190,8 @@ class FilteringPipeline:
                     kept.append(response)
                 else:
                     dropped += 1
-        filtered = ResponseDataset(campaign_id=dataset.campaign_id, experiment_type=dataset.experiment_type)
+        filtered = ResponseDataset(campaign_id=dataset.campaign_id, experiment_type=dataset.experiment_type,
+                                   rng_scheme=dataset.rng_scheme, network_profile=dataset.network_profile)
         filtered.participants = dict(dataset.participants)
         filtered.timeline_responses = kept
         filtered.ab_responses = list(dataset.ab_responses)

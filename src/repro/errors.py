@@ -76,3 +76,13 @@ class AnalysisError(ReproError):
 
 class StorageError(ReproError):
     """A dataset could not be serialised or deserialised."""
+
+
+class WarehouseError(StorageError):
+    """A results-warehouse operation violated the store's contract.
+
+    Raised when an ingest would silently rewrite history (a result with the
+    same campaign key but different content), when a record id cannot be
+    resolved, or when a stored record fails its content-address integrity
+    check.
+    """

@@ -53,12 +53,16 @@ def run_adblock_campaign(
     network_profile: str = "cable-intl",
     corpus_size: int = 10_000,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
+    warehouse=None,
 ) -> AdblockCampaignResult:
     """Run the ad-blocker A/B campaign end to end.
 
     The ``sites`` budget is split evenly across the three blockers (the paper
     serves 100 videos total across the campaign), so ``sites`` should be a
     multiple of three; the default of 99 gives 33 sites per blocker.
+
+    ``warehouse`` optionally ingests the finished campaign (kind
+    ``"adblock"``) into a :class:`~repro.warehouse.ResultsWarehouse`.
 
     Raises:
         CampaignError: if ``sites`` is smaller than the number of blockers.
@@ -108,6 +112,8 @@ def run_adblock_campaign(
     blocked_means = {
         name: (sum(counts) / len(counts) if counts else 0.0) for name, counts in blocked_counts.items()
     }
+    if warehouse is not None:
+        warehouse.ingest(campaign, kind="adblock")
     return AdblockCampaignResult(
         campaign=campaign,
         scores_by_blocker=scores_by_blocker,

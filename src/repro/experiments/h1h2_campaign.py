@@ -76,8 +76,14 @@ def run_h1h2_campaign(
     loads_per_site: int = 5,
     network_profile: str = "cable-intl",
     rng_scheme: str = DEFAULT_RNG_SCHEME,
+    warehouse=None,
 ) -> H1H2CampaignResult:
-    """Run the HTTP/1.1 vs HTTP/2 A/B campaign end to end."""
+    """Run the HTTP/1.1 vs HTTP/2 A/B campaign end to end.
+
+    ``warehouse`` optionally ingests the finished campaign (kind
+    ``"h1h2"``, with the HTTP/2 side's machine metrics) into a
+    :class:`~repro.warehouse.ResultsWarehouse`.
+    """
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
@@ -111,6 +117,8 @@ def run_h1h2_campaign(
             name: abs(metrics_h1[site].get(name) - metrics_h2[site].get(name)) for name in METRIC_NAMES
         }
     scores = score_per_site(campaign.clean_dataset, treatment_label="h2")
+    if warehouse is not None:
+        warehouse.ingest(campaign, kind="h1h2", metrics_by_site=metrics_h2)
     return H1H2CampaignResult(
         campaign=campaign,
         scores_by_site=scores,

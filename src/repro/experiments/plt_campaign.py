@@ -56,6 +56,7 @@ def run_plt_campaign(
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     campaign_id: str = "final-plt-timeline",
     pages=None,
+    warehouse=None,
 ) -> PLTCampaignResult:
     """Run the PLT timeline campaign end to end.
 
@@ -79,6 +80,9 @@ def run_plt_campaign(
             generates the corpus once and shares it across profiles); when
             None the corpus is generated from ``seed``.  When given,
             ``sites`` is ignored — the campaign covers exactly ``pages``.
+        warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
+            sink; when given, the finished result is ingested (idempotent,
+            kind ``"plt"``) so it stays queryable after the process exits.
     """
     if pages is None:
         # The corpus is the scheme-independent input dataset: both schemes
@@ -114,7 +118,7 @@ def run_plt_campaign(
     uplt_by_site = mean_uplt_per_site(campaign.clean_dataset)
     comparison = compare_uplt_with_metrics(campaign.clean_dataset, metrics_by_site)
     helper_effect = slider_vs_submitted(campaign.clean_dataset)
-    return PLTCampaignResult(
+    result = PLTCampaignResult(
         videos=videos,
         campaign=campaign,
         metrics_by_site=metrics_by_site,
@@ -122,3 +126,6 @@ def run_plt_campaign(
         comparison=comparison,
         helper_effect=helper_effect,
     )
+    if warehouse is not None:
+        warehouse.ingest(result)
+    return result

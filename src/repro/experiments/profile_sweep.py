@@ -94,6 +94,7 @@ def run_profile_sweep_campaign(
     capture_workers: int = 0,
     session_workers: int = 0,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
+    warehouse=None,
 ) -> ProfileSweepResult:
     """Run the PLT campaign once per network profile, in one pass.
 
@@ -109,6 +110,9 @@ def run_profile_sweep_campaign(
         capture_workers / session_workers: process-pool widths (0 = serial;
             the parallel paths are bit-identical to serial).
         rng_scheme: versioned RNG scheme for the whole sweep.
+        warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
+            sink; the finished sweep is ingested as one record per profile
+            (each self-describing via its ``network_profile``).
 
     Returns:
         A :class:`ProfileSweepResult` with one campaign per profile.
@@ -138,9 +142,12 @@ def run_profile_sweep_campaign(
             campaign_id=f"profile-sweep-{name}",
             pages=pages,
         )
-    return ProfileSweepResult(
+    sweep = ProfileSweepResult(
         profiles=names,
         sites=sites,
         rng_scheme=rng_scheme,
         by_profile=by_profile,
     )
+    if warehouse is not None:
+        warehouse.ingest(sweep)
+    return sweep

@@ -65,6 +65,7 @@ def run_validation_study(
     loads_per_site: int = 5,
     network_profile: str = "cable-intl",
     rng_scheme: str = DEFAULT_RNG_SCHEME,
+    warehouse=None,
 ) -> ValidationStudy:
     """Run the full validation study.
 
@@ -75,6 +76,8 @@ def run_validation_study(
         seed: master seed.
         loads_per_site: capture repetitions per configuration.
         network_profile: emulation profile used for captures.
+        warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
+            sink; all four campaigns are ingested (kind ``"validation"``).
 
     Returns:
         The :class:`ValidationStudy` with both populations' campaigns.
@@ -115,6 +118,9 @@ def run_validation_study(
     ab_paid = run("validation-ab-paid", paid_participants, "crowdflower", ab_experiment, timeline=False)
     ab_trusted = run("validation-ab-trusted", trusted_participants, "invited", ab_experiment, timeline=False)
 
+    if warehouse is not None:
+        for result in (timeline_paid, timeline_trusted, ab_paid, ab_trusted):
+            warehouse.ingest(result, kind="validation")
     behaviour = {
         "timeline-paid": summarise_behaviour(timeline_paid.raw_dataset, timeline_paid.telemetry),
         "timeline-trusted": summarise_behaviour(timeline_trusted.raw_dataset, timeline_trusted.telemetry),

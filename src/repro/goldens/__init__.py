@@ -10,10 +10,14 @@ versioned event instead of a silent re-seed: the default ``sha256-v1``
 goldens pin the seed implementation's outputs forever, and ``splitmix64-v2``
 ships its own set generated the day the scheme landed.
 
-Two golden *kinds* are stored: ``plt`` (the PLT timeline campaign, at
-small/bench/full scales) and ``sweep`` (the network-profile sweep
-campaign, at small scale over a representative fast/default/slow profile
-subset — see :data:`SWEEP_SCALES`).
+Three golden *kinds* are stored: ``plt`` (the PLT timeline campaign, at
+small/bench/full scales), ``sweep`` (the network-profile sweep campaign,
+at small scale over a representative fast/default/slow profile subset —
+see :data:`SWEEP_SCALES`), and ``warehouse`` (a small-scale
+ingest→query→stats round trip through :mod:`repro.warehouse`, pinning the
+record's sha256 content address — and with it the canonical record
+serialisation, byte for byte — plus the bootstrap/Spearman statistics,
+per RNG scheme).
 
 Workflow (also available as ``python -m repro.goldens``)::
 
@@ -21,6 +25,7 @@ Workflow (also available as ``python -m repro.goldens``)::
     python -m repro.goldens verify                       # every stored golden
     python -m repro.goldens verify --scheme splitmix64-v2 --scale bench
     python -m repro.goldens verify --kind sweep          # just the profile sweep
+    python -m repro.goldens verify --kind warehouse      # the warehouse round trip
     python -m repro.goldens capture --scheme splitmix64-v2 --scale full
     python -m repro.goldens capture --kind sweep --scheme splitmix64-v2
     python -m repro.goldens refresh --scheme splitmix64-v2   # overwrite (re-baseline!)
@@ -68,14 +73,30 @@ SWEEP_SCALES: Dict[str, Dict[str, object]] = {
     },
 }
 
+#: Scale of the warehouse ingest+query+stats golden.  Small and distinct
+#: from the plt scales so the round trip (campaign → ingest → stats with
+#: bootstrap resampling) stays fast in tier-1.
+WAREHOUSE_SCALES: Dict[str, Dict[str, int]] = {
+    "small": {"sites": 4, "participants": 16, "loads": 2},
+}
+
 #: Golden kinds: file-name prefix and the snapshot ``kind`` tag.
 _SNAPSHOT_KIND = "plt-campaign"
 _SWEEP_SNAPSHOT_KIND = "profile-sweep"
-KINDS = ("plt", "sweep")
-_KIND_TAGS = {"plt": _SNAPSHOT_KIND, "sweep": _SWEEP_SNAPSHOT_KIND}
+_WAREHOUSE_SNAPSHOT_KIND = "warehouse-ingest"
+KINDS = ("plt", "sweep", "warehouse")
+_KIND_TAGS = {
+    "plt": _SNAPSHOT_KIND,
+    "sweep": _SWEEP_SNAPSHOT_KIND,
+    "warehouse": _WAREHOUSE_SNAPSHOT_KIND,
+}
 
 #: Scales registry per golden kind (shared with the CLI in ``__main__``).
-KIND_SCALES: Dict[str, Dict[str, Dict]] = {"plt": SCALES, "sweep": SWEEP_SCALES}
+KIND_SCALES: Dict[str, Dict[str, Dict]] = {
+    "plt": SCALES,
+    "sweep": SWEEP_SCALES,
+    "warehouse": WAREHOUSE_SCALES,
+}
 
 
 def _check_scale(kind: str, scale: str) -> Dict:
@@ -183,6 +204,88 @@ def snapshot_profile_sweep(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> 
     }
 
 
+def snapshot_warehouse(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Run a small PLT campaign through the warehouse and snapshot the trip.
+
+    The snapshot pins the whole observable surface of
+    :mod:`repro.warehouse` for one scheme:
+
+    * the **record id** — the sha256 of the canonical record bytes, so any
+      serialisation drift (key order, float formatting, added fields)
+      fails verification even if the campaign outputs are unchanged;
+    * ingest **idempotency** — the same result is ingested twice and must
+      hash to the same id without growing the store;
+    * the **index metadata** and **query** counts the sidecar serves;
+    * a self-**compare** (must be all-zero deltas);
+    * the **stats** block — bootstrap CIs and Spearman correlations, every
+      float as a ``repr`` string, digit for digit.
+
+    The warehouse itself lives in a temporary directory; only the snapshot
+    is stored.
+    """
+    import tempfile
+
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..experiments.plt_campaign import run_plt_campaign
+    from ..warehouse import ResultsWarehouse, compare, record_stats
+
+    validate_scheme(scheme)
+    dims = _check_scale("warehouse", scale)
+    with tempfile.TemporaryDirectory(prefix="warehouse-golden-") as tmp:
+        warehouse = ResultsWarehouse(tmp)
+        DEFAULT_CAPTURE_CACHE.clear()
+        try:
+            result = run_plt_campaign(
+                sites=dims["sites"],
+                participants=dims["participants"],
+                loads_per_site=dims["loads"],
+                seed=seed,
+                rng_scheme=scheme,
+                campaign_id="warehouse-golden",
+            )
+        finally:
+            DEFAULT_CAPTURE_CACHE.clear()
+        record = warehouse.ingest(result)
+        again = warehouse.ingest(result)
+        fresh = ResultsWarehouse(tmp)  # re-read index + record from disk
+        reloaded = fresh.get(record.record_id)
+        comparison = compare(reloaded, reloaded)
+        stats = record_stats(reloaded)
+        return {
+            "kind": _WAREHOUSE_SNAPSHOT_KIND,
+            "rng_scheme": scheme,
+            "seed": seed,
+            "scale": {"name": scale, **dims},
+            "record_id": record.record_id,
+            "reingest_noop": again.record_id == record.record_id and len(warehouse) == 1,
+            "index_meta": dict(reloaded.meta),
+            "query_counts": {
+                "kind_plt": len(fresh.query(kind="plt")),
+                "scheme": len(fresh.query(scheme=scheme)),
+                "campaign": len(fresh.query(campaign_id="warehouse-golden")),
+                "profile": len(fresh.query(profile="cable-intl")),
+            },
+            "self_compare": {
+                "sites": len(comparison.sites),
+                "mean_uplt_delta": repr(comparison.mean_uplt_delta),
+            },
+            "stats": {
+                "overall_uplt_ci": {
+                    "point": repr(stats.overall_uplt_ci.point),
+                    "low": repr(stats.overall_uplt_ci.low),
+                    "high": repr(stats.overall_uplt_ci.high),
+                },
+                "uplt_ci_by_site": {
+                    site: {"point": repr(ci.point), "low": repr(ci.low), "high": repr(ci.high)}
+                    for site, ci in stats.uplt_ci_by_site.items()
+                },
+                "spearman_by_metric": {
+                    name: repr(value) for name, value in sorted(stats.spearman_by_metric.items())
+                },
+            },
+        }
+
+
 def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
     """Write ``snapshot`` into the store; refuses to overwrite unless asked.
 
@@ -283,9 +386,31 @@ def diff_sweep_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) ->
     return differences
 
 
+def _flatten(value, prefix: str, into: Dict[str, object]) -> None:
+    if isinstance(value, dict):
+        for key in value:
+            _flatten(value[key], f"{prefix}.{key}" if prefix else str(key), into)
+    else:
+        into[prefix] = value
+
+
+def diff_warehouse_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
+    """Leaf-by-leaf differences of two warehouse snapshots (empty = identical)."""
+    left: Dict[str, object] = {}
+    right: Dict[str, object] = {}
+    _flatten(golden, "", left)
+    _flatten(fresh, "", right)
+    differences = []
+    for key in sorted(set(left) | set(right)):
+        a, b = left.get(key), right.get(key)
+        if a != b:
+            differences.append(f"{key}: {a!r} != {b!r}")
+    return differences
+
+
 def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
                   kind: str = "plt") -> List[str]:
-    """Re-run the campaign (or sweep) and diff against the stored golden.
+    """Re-run the campaign (or sweep / warehouse trip) and diff the golden.
 
     Returns the list of differences — empty means the stored golden is
     reproduced bit-for-bit under its scheme.
@@ -294,6 +419,9 @@ def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
     if kind == "sweep":
         fresh = snapshot_profile_sweep(scheme, scale, seed)
         return diff_sweep_snapshots(golden, fresh)
+    if kind == "warehouse":
+        fresh = snapshot_warehouse(scheme, scale, seed)
+        return diff_warehouse_snapshots(golden, fresh)
     fresh = snapshot_plt_campaign(scheme, scale, seed)
     return diff_snapshots(golden, fresh)
 

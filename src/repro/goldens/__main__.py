@@ -7,10 +7,12 @@ Commands:
     refresh    like capture, but overwrites — the explicit re-baseline step
     diff       compare two stored goldens (e.g. sha256-v1 vs splitmix64-v2)
 
-Two golden kinds exist: ``plt`` (the PLT timeline campaign, at small/bench/
-full scales) and ``sweep`` (the network-profile sweep, at small scale).
-``verify`` checks every stored golden of every kind by default; ``capture``
-/ ``refresh`` / ``diff`` take ``--kind`` (default ``plt``).
+Three golden kinds exist: ``plt`` (the PLT timeline campaign, at small/
+bench/full scales), ``sweep`` (the network-profile sweep, at small scale),
+and ``warehouse`` (the results-warehouse ingest/query/stats round trip, at
+small scale).  ``verify`` checks every stored golden of every kind by
+default; ``capture`` / ``refresh`` / ``diff`` take ``--kind`` (default
+``plt``).
 
 Exit status is non-zero when a verification fails or a diff finds
 differences between two same-scheme goldens, so the command slots into CI.
@@ -29,16 +31,31 @@ from . import (
     KINDS,
     SCALES,
     SWEEP_SCALES,
+    WAREHOUSE_SCALES,
     diff_snapshots,
     diff_sweep_snapshots,
+    diff_warehouse_snapshots,
     golden_path,
     load_golden,
     save_golden,
     snapshot_plt_campaign,
     snapshot_profile_sweep,
+    snapshot_warehouse,
     stored_goldens,
     verify_golden,
 )
+
+#: Per-kind snapshot and diff functions (the CLI's dispatch table).
+_SNAPSHOT_FNS = {
+    "plt": snapshot_plt_campaign,
+    "sweep": snapshot_profile_sweep,
+    "warehouse": snapshot_warehouse,
+}
+_DIFF_FNS = {
+    "plt": diff_snapshots,
+    "sweep": diff_sweep_snapshots,
+    "warehouse": diff_warehouse_snapshots,
+}
 
 
 def _selected(value: Optional[str], universe) -> List[str]:
@@ -79,7 +96,7 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_capture(args, overwrite: bool) -> int:
-    snapshot_fn = snapshot_profile_sweep if args.kind == "sweep" else snapshot_plt_campaign
+    snapshot_fn = _SNAPSHOT_FNS[args.kind]
     scales = _selected(args.scale, KIND_SCALES[args.kind])
     invalid = [scale for scale in scales if scale not in KIND_SCALES[args.kind]]
     if invalid:
@@ -98,7 +115,7 @@ def _cmd_diff(args) -> int:
     scale = args.scale or ("bench" if args.kind == "plt" else "small")
     left = load_golden(args.scheme_a, scale, args.seed, kind=args.kind)
     right = load_golden(args.scheme_b, scale, args.seed, kind=args.kind)
-    differ = diff_sweep_snapshots if args.kind == "sweep" else diff_snapshots
+    differ = _DIFF_FNS[args.kind]
     differences = differ(left, right)
     if not differences:
         print(f"{args.scheme_a} and {args.scheme_b} goldens are identical at scale {scale}")
@@ -119,7 +136,7 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="show stored goldens")
 
-    all_scales = sorted(set(SCALES) | set(SWEEP_SCALES))
+    all_scales = sorted(set(SCALES) | set(SWEEP_SCALES) | set(WAREHOUSE_SCALES))
     for name, help_text in (
         ("verify", "check stored goldens reproduce bit-for-bit"),
         ("capture", "store a new golden (refuses to overwrite)"),

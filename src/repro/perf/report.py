@@ -102,6 +102,7 @@ def run_pipeline_bench(
     verify: bool = True,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     network_profile: str = BENCH_NETWORK_PROFILE,
+    warehouse_dir: Optional[str] = None,
 ) -> Tuple[PerfReport, Dict[str, object]]:
     """Time the capture→campaign pipeline stage by stage.
 
@@ -114,6 +115,12 @@ def run_pipeline_bench(
     :mod:`repro.goldens`.  ``network_profile`` selects the capture
     emulation profile (see :mod:`repro.netsim.profiles`), so perf can be
     probed across network conditions.
+
+    ``warehouse_dir`` optionally ingests the bench campaign into a
+    :class:`repro.warehouse.ResultsWarehouse` rooted there, timed as its
+    own ``warehouse_ingest`` stage (kept out of ``total_seconds`` so the
+    recorded trajectory stays comparable across PRs) with the record id in
+    ``_meta.warehouse_record_id``.
     """
     # Imports here so ``--help`` stays instant.
     import gc
@@ -164,6 +171,7 @@ def run_pipeline_bench(
         seed=seed,
         rng_scheme=rng_scheme,
         parallel_workers=session_workers,
+        network_profile=network_profile,
     )
     timer = report.stage("campaign").start()
     campaign = CampaignRunner(config, perf=report).run_timeline(experiment)
@@ -210,6 +218,17 @@ def run_pipeline_bench(
         assert warm_match, "warm-cache capture deviates from cold capture"
         verified = True
 
+    warehouse_record_id = None
+    if warehouse_dir is not None:
+        from ..warehouse import ResultsWarehouse
+
+        timer = report.stage("warehouse_ingest").start()
+        record = ResultsWarehouse(warehouse_dir).ingest(
+            campaign, kind="plt", metrics_by_site=metrics_by_site
+        )
+        timer.finish(events=1)
+        warehouse_record_id = record.record_id
+
     report.set_meta(
         scale={"sites": sites, "participants": participants, "loads": loads},
         seed=seed,
@@ -223,12 +242,14 @@ def run_pipeline_bench(
         speedup_vs_baseline=(
             round(RECORDED_SEED_BASELINE["total"] / total, 3) if is_bench_scale and total else None
         ),
+        warehouse_record_id=warehouse_record_id,
     )
     artefacts = {
         "campaign": campaign,
         "uplt_by_site": uplt_by_site,
         "comparison": comparison,
         "videos": videos,
+        "metrics_by_site": metrics_by_site,
     }
     return report, artefacts
 
@@ -292,6 +313,9 @@ def main(argv=None) -> int:
                         help="process-pool workers for sessions (0 = serial)")
     parser.add_argument("--output", default=None,
                         help="report path (default: BENCH_pipeline.json at the repo root)")
+    parser.add_argument("--warehouse-dir", default=None,
+                        help="ingest each scheme's bench campaign into the results "
+                             "warehouse rooted here (see repro.warehouse)")
     args = parser.parse_args(argv)
 
     if args.full_scale:
@@ -311,6 +335,7 @@ def main(argv=None) -> int:
             session_workers=args.session_workers,
             rng_scheme=scheme,
             network_profile=args.profile,
+            warehouse_dir=args.warehouse_dir,
         )
     output = args.output
     if output is None:

@@ -1,0 +1,77 @@
+"""Campaign results warehouse: persistent, queryable, cross-campaign.
+
+Eyeorg is a *platform*: its value is the accumulated corpus of crowdsourced
+QoE judgments across campaigns, not any single run.  This package is that
+platform layer for the reproduction — every campaign the drivers produce
+can be ingested into an append-only, content-addressed store and queried,
+compared, and analysed long after the process that ran it exited:
+
+* :mod:`repro.warehouse.store` — :class:`ResultsWarehouse`: canonical-JSON
+  records addressed by their SHA-256, an idempotent append-only ``ingest``,
+  and a sidecar index keyed by campaign id / experiment kind / RNG scheme /
+  network profile / seed / scale;
+* :mod:`repro.warehouse.query` — metadata filtering plus :func:`compare`,
+  the per-site UPLT/OnLoad delta report between any two record sets (two
+  schemes, two profiles, two treatments);
+* :mod:`repro.warehouse.stats` — deterministic bootstrap confidence
+  intervals (seeded through :mod:`repro.rng`, scheme-aware), Spearman rank
+  correlation of UPLT against the machine metrics, and inter-rater
+  agreement (Fleiss' kappa) over A/B responses.
+
+Workflow (also available as ``python -m repro.warehouse``)::
+
+    from repro.warehouse import ResultsWarehouse
+    from repro.experiments import run_plt_campaign
+
+    warehouse = ResultsWarehouse("results/")
+    run_plt_campaign(sites=20, participants=100, warehouse=warehouse)
+
+    records = warehouse.query(kind="plt", scheme="sha256-v1")
+    stats = record_stats(records[0])        # bootstrap CIs + Spearman
+
+Small-scale ingest+query+stats output is pinned per RNG scheme by the
+``warehouse`` golden kind (``python -m repro.goldens verify --kind
+warehouse``), which also pins the record id itself — so the canonical
+serialisation is byte-stable by contract.
+"""
+
+from .query import SiteDelta, WarehouseComparison, compare, match_records
+from .stats import (
+    AgreementReport,
+    BootstrapCI,
+    WarehouseStats,
+    bootstrap_mean_ci,
+    fleiss_kappa,
+    inter_rater_agreement,
+    record_stats,
+    spearman_correlation,
+)
+from .store import (
+    INDEX_FORMAT,
+    RECORD_FORMAT,
+    ResultsWarehouse,
+    WarehouseRecord,
+    canonical_json,
+    record_id_for,
+)
+
+__all__ = [
+    "AgreementReport",
+    "BootstrapCI",
+    "INDEX_FORMAT",
+    "RECORD_FORMAT",
+    "ResultsWarehouse",
+    "SiteDelta",
+    "WarehouseComparison",
+    "WarehouseRecord",
+    "WarehouseStats",
+    "bootstrap_mean_ci",
+    "canonical_json",
+    "compare",
+    "fleiss_kappa",
+    "inter_rater_agreement",
+    "match_records",
+    "record_id_for",
+    "record_stats",
+    "spearman_correlation",
+]

@@ -1,0 +1,261 @@
+"""CLI for the results warehouse: ``python -m repro.warehouse <command>``.
+
+Commands (all take ``--root``, the warehouse directory):
+    ingest     run a campaign driver and ingest its result(s)
+    list       show every stored record with its key metadata
+    query      filter records by kind / scheme / profile / campaign / seed
+    compare    per-site UPLT/OnLoad deltas between two records (or sets)
+    stats      bootstrap CIs, Spearman, inter-rater agreement for a record
+    smoke      CI round-trip check: ingest, re-ingest (no-op), query back,
+               verify the content address — exits non-zero on any drift
+
+``ingest`` reuses the goldens scales (``--kind plt --scale small|bench|full``,
+``--kind sweep --scale small``) so a warehouse can be filled with exactly the
+workloads the rest of the tooling pins.  Exit status is non-zero when a
+query matches nothing or a smoke/round-trip check fails, so the commands
+slot into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List
+
+from ..errors import ConfigurationError, WarehouseError
+from ..rng import DEFAULT_RNG_SCHEME, RNG_SCHEMES
+from .query import compare
+from .stats import DEFAULT_RESAMPLES, record_stats
+from .store import ResultsWarehouse, WarehouseRecord
+
+
+def _print_records(records: List[WarehouseRecord]) -> None:
+    for record in records:
+        profile = record.network_profile or "-"
+        print(f"  {record.record_id[:12]}  {record.kind:<10} {record.campaign_id:<28} "
+              f"{record.rng_scheme:<14} {profile:<12} seed={record.seed} "
+              f"participants={record.meta['participants']} sites={record.meta['sites']}")
+
+
+def _run_campaign(kind: str, scheme: str, scale: str, seed: int,
+                  campaign_id: str = None):
+    """Run the requested campaign driver at a goldens scale."""
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..goldens import KIND_SCALES
+    from ..errors import ConfigurationError
+
+    scales = KIND_SCALES[kind if kind in KIND_SCALES else "plt"]
+    if scale not in scales:
+        raise ConfigurationError(
+            f"unknown {kind} scale {scale!r}; known scales: {', '.join(scales)}"
+        )
+    dims = scales[scale]
+    DEFAULT_CAPTURE_CACHE.clear()
+    try:
+        if kind == "sweep":
+            from ..experiments.profile_sweep import run_profile_sweep_campaign
+
+            if campaign_id is not None:
+                raise ConfigurationError(
+                    "--campaign-id only applies to --kind plt (sweep campaigns are "
+                    "named profile-sweep-<profile>)"
+                )
+            return run_profile_sweep_campaign(
+                profiles=list(dims["profiles"]),
+                sites=dims["sites"], participants=dims["participants"],
+                loads_per_site=dims["loads"], seed=seed, rng_scheme=scheme,
+            )
+        from ..experiments.plt_campaign import run_plt_campaign
+
+        kwargs = {} if campaign_id is None else {"campaign_id": campaign_id}
+        return run_plt_campaign(
+            sites=dims["sites"], participants=dims["participants"],
+            loads_per_site=dims["loads"], seed=seed, rng_scheme=scheme, **kwargs,
+        )
+    finally:
+        DEFAULT_CAPTURE_CACHE.clear()
+
+
+def _as_record_list(ingested) -> List[WarehouseRecord]:
+    return ingested if isinstance(ingested, list) else [ingested]
+
+
+def _cmd_ingest(args) -> int:
+    warehouse = ResultsWarehouse(args.root)
+    result = _run_campaign(args.kind, args.scheme, args.scale, args.seed,
+                           campaign_id=args.campaign_id)
+    records = _as_record_list(warehouse.ingest(result))
+    print(f"ingested {len(records)} record(s) into {args.root}:")
+    _print_records(records)
+    return 0
+
+
+def _cmd_list(args) -> int:
+    warehouse = ResultsWarehouse(args.root)
+    records = warehouse.records()
+    if not records:
+        print(f"no records stored in {args.root}")
+        return 0
+    print(f"{len(records)} record(s) in {args.root}:")
+    _print_records(records)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    warehouse = ResultsWarehouse(args.root)
+    records = warehouse.query(
+        kind=args.kind, scheme=args.scheme, profile=args.profile,
+        campaign_id=args.campaign_id, seed=args.seed,
+    )
+    if not records:
+        print("no records matched the query")
+        return 1
+    print(f"{len(records)} record(s) matched:")
+    _print_records(records)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    warehouse = ResultsWarehouse(args.root)
+    comparison = compare(warehouse.get(args.a), warehouse.get(args.b))
+    print(f"compare A={comparison.label_a} vs B={comparison.label_b} "
+          f"({len(comparison.sites)} common sites)")
+    print(comparison.table())
+    print(f"mean UPLT delta (B-A): {comparison.mean_uplt_delta:+.3f}s; "
+          f"B faster on {comparison.sites_b_faster}/{len(comparison.sites)} sites")
+    if comparison.sites_only_a or comparison.sites_only_b:
+        print(f"sites only in A: {len(comparison.sites_only_a)}, "
+              f"only in B: {len(comparison.sites_only_b)}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    warehouse = ResultsWarehouse(args.root)
+    record = warehouse.get(args.record)
+    stats = record_stats(record, resamples=args.resamples, confidence=args.confidence)
+    print(f"stats for {record.record_id[:12]} ({record.campaign_id}, {record.rng_scheme}, "
+          f"{args.confidence:.0%} bootstrap CIs, {args.resamples} resamples)")
+    if stats.overall_uplt_ci is not None:
+        ci = stats.overall_uplt_ci
+        print(f"  overall UPLT: {ci.point:.3f}s  [{ci.low:.3f}, {ci.high:.3f}]")
+    for site, ci in stats.uplt_ci_by_site.items():
+        print(f"  {site}: {ci.point:.3f}s  [{ci.low:.3f}, {ci.high:.3f}]")
+    if stats.spearman_by_metric:
+        print("  Spearman rank correlation (UPLT vs metric):")
+        for name, rho in stats.spearman_by_metric.items():
+            print(f"    {name:20s} rho = {rho:+.3f}")
+    if stats.agreement is not None:
+        agreement = stats.agreement
+        print(f"  inter-rater agreement: pairwise {agreement.mean_pairwise_agreement:.3f}, "
+              f"Fleiss kappa {agreement.fleiss_kappa:.3f} "
+              f"({agreement.items} pairs, {agreement.raters_total} ratings)")
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    """Ingest→re-ingest→query→reload round trip; non-zero on any drift."""
+    import hashlib
+
+    root = args.root or tempfile.mkdtemp(prefix="warehouse-smoke-")
+    failures = 0
+    schemes = list(RNG_SCHEMES) if args.scheme == "all" else [args.scheme]
+    for scheme in schemes:
+        warehouse = ResultsWarehouse(root)
+        before_ids = {r.record_id for r in warehouse.records()}
+        result = _run_campaign("plt", scheme, args.scale, args.seed)
+        record = warehouse.ingest(result)
+        # A persistent --root may already hold this record from an earlier
+        # smoke; either way the second ingest must be a no-op.
+        expected_count = len(before_ids | {record.record_id})
+        again = warehouse.ingest(result)
+        fresh = ResultsWarehouse(root)  # re-read everything from disk
+        found = fresh.query(kind="plt", scheme=scheme, seed=args.seed)
+        reloaded = fresh.get(record.record_id)
+        file_hash = hashlib.sha256(reloaded.path.read_bytes()).hexdigest()
+        checks = {
+            "re-ingest is a no-op with a stable id": again.record_id == record.record_id
+                and len(warehouse) == expected_count,
+            "query finds the record back": record.record_id in {r.record_id for r in found},
+            "record file hashes to its id": file_hash == record.record_id,
+            "stored dataset round-trips": reloaded.clean_dataset().response_count
+                == record.clean_dataset().response_count,
+            "self-compare is all-zero": all(
+                s.uplt_delta == 0.0 for s in compare(reloaded, reloaded).sites
+            ),
+        }
+        for name, ok in checks.items():
+            print(f"[{scheme}] {name}: {'ok' if ok else 'FAILED'}")
+            failures += not ok
+        print(f"[{scheme}] record {record.record_id}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.warehouse", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_root(command, required=True):
+        command.add_argument("--root", required=required, default=None,
+                             help="warehouse directory")
+
+    ingest = sub.add_parser("ingest", help="run a campaign driver and ingest the result")
+    add_root(ingest)
+    ingest.add_argument("--kind", choices=("plt", "sweep"), default="plt")
+    ingest.add_argument("--scheme", choices=RNG_SCHEMES, default=DEFAULT_RNG_SCHEME)
+    ingest.add_argument("--scale", default="small",
+                        help="goldens scale name (plt: small/bench/full; sweep: small)")
+    ingest.add_argument("--seed", type=int, default=2016)
+    ingest.add_argument("--campaign-id", default=None,
+                        help="campaign id for plt ingests (the store is append-only "
+                             "per campaign key, so ingesting the same driver at two "
+                             "scales needs two ids)")
+
+    listing = sub.add_parser("list", help="show stored records")
+    add_root(listing)
+
+    query = sub.add_parser("query", help="filter records by index metadata")
+    add_root(query)
+    query.add_argument("--kind", default=None)
+    query.add_argument("--scheme", choices=RNG_SCHEMES, default=None)
+    query.add_argument("--profile", default=None)
+    query.add_argument("--campaign-id", default=None)
+    query.add_argument("--seed", type=int, default=None)
+
+    comparing = sub.add_parser("compare", help="per-site deltas between two records")
+    add_root(comparing)
+    comparing.add_argument("--a", required=True, help="record id (or unambiguous prefix)")
+    comparing.add_argument("--b", required=True, help="record id (or unambiguous prefix)")
+
+    stats = sub.add_parser("stats", help="bootstrap CIs + Spearman + agreement")
+    add_root(stats)
+    stats.add_argument("--record", required=True, help="record id (or unambiguous prefix)")
+    stats.add_argument("--resamples", type=int, default=DEFAULT_RESAMPLES)
+    stats.add_argument("--confidence", type=float, default=0.95)
+
+    smoke = sub.add_parser("smoke", help="ingest/query/reload round-trip check (CI)")
+    add_root(smoke, required=False)
+    smoke.add_argument("--scale", default="bench")
+    smoke.add_argument("--scheme", choices=(*RNG_SCHEMES, "all"), default="all")
+    smoke.add_argument("--seed", type=int, default=2016)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "ingest": _cmd_ingest,
+        "list": _cmd_list,
+        "query": _cmd_query,
+        "compare": _cmd_compare,
+        "stats": _cmd_stats,
+        "smoke": _cmd_smoke,
+    }[args.command]
+    try:
+        return handler(args)
+    except (ConfigurationError, WarehouseError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

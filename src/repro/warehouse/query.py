@@ -1,0 +1,195 @@
+"""Filtering and cross-campaign comparison over warehouse records.
+
+The query layer works on index metadata only (no record files are read
+until a record's content is actually needed), so filtering thousands of
+stored campaigns stays cheap.  :func:`compare` is the cross-campaign
+counterpart of ``python -m repro.goldens diff``: it lines up any two record
+sets — two RNG schemes, two network profiles, two treatments — and reports
+per-site UserPerceivedPLT and OnLoad deltas (the Figure-7-style condition
+diffs), aggregated deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import WarehouseError
+from .store import WarehouseRecord
+
+RecordSet = Union[WarehouseRecord, Sequence[WarehouseRecord]]
+
+
+def match_records(records: Sequence[WarehouseRecord], kind: Optional[str] = None,
+                  scheme: Optional[str] = None, profile: Optional[str] = None,
+                  campaign_id: Optional[str] = None, seed: Optional[int] = None,
+                  experiment_type: Optional[str] = None) -> List[WarehouseRecord]:
+    """Records matching every given filter (None matches anything).
+
+    All filters are exact matches on index metadata.  Results keep the
+    deterministic (campaign id, record id) order of
+    :meth:`ResultsWarehouse.records`.
+    """
+    matched = []
+    for record in records:
+        if kind is not None and record.kind != kind:
+            continue
+        if scheme is not None and record.rng_scheme != scheme:
+            continue
+        if profile is not None and record.network_profile != profile:
+            continue
+        if campaign_id is not None and record.campaign_id != campaign_id:
+            continue
+        if seed is not None and record.seed != seed:
+            continue
+        if experiment_type is not None and record.experiment_type != experiment_type:
+            continue
+        matched.append(record)
+    return matched
+
+
+def _as_records(side: RecordSet) -> List[WarehouseRecord]:
+    if isinstance(side, WarehouseRecord):
+        return [side]
+    records = list(side)
+    if not records:
+        raise WarehouseError("cannot compare an empty record set")
+    return records
+
+
+def _side_label(records: List[WarehouseRecord]) -> str:
+    return "+".join(sorted({r.campaign_id for r in records}))
+
+
+def _per_site_means(records: List[WarehouseRecord], field: str) -> Dict[str, float]:
+    """Per-site mean of a stored per-site quantity across a record set.
+
+    ``field`` is "uplt" (stored per-site UPLT means) or a machine-metric
+    name looked up in each record's stored metrics.  Sites missing from a
+    record simply contribute nothing for that record; the aggregate is the
+    unweighted mean of the per-record site means (each campaign counts
+    once, regardless of its response volume).
+    """
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for record in records:
+        values = record.uplt_by_site() if field == "uplt" else {
+            site: metrics[field]
+            for site, metrics in record.metrics_by_site().items() if field in metrics
+        }
+        for site, value in values.items():
+            sums[site] = sums.get(site, 0.0) + value
+            counts[site] = counts.get(site, 0) + 1
+    return {site: sums[site] / counts[site] for site in sums}
+
+
+@dataclass(frozen=True)
+class SiteDelta:
+    """Per-site comparison row (side B minus side A, seconds).
+
+    Attributes:
+        site_id: the site.
+        uplt_a / uplt_b / uplt_delta: mean UserPerceivedPLT per side and
+            their difference (negative = B perceived faster).
+        onload_a / onload_b / onload_delta: machine OnLoad per side (None
+            when either side stored no metrics for the site).
+    """
+
+    site_id: str
+    uplt_a: float
+    uplt_b: float
+    uplt_delta: float
+    onload_a: Optional[float]
+    onload_b: Optional[float]
+    onload_delta: Optional[float]
+
+
+@dataclass(frozen=True)
+class WarehouseComparison:
+    """Cross-campaign comparison of two record sets.
+
+    Attributes:
+        label_a / label_b: campaign ids of each side.
+        sites: per-site deltas, sorted by site id.
+        sites_only_a / sites_only_b: site ids present on one side only.
+    """
+
+    label_a: str
+    label_b: str
+    sites: List[SiteDelta]
+    sites_only_a: List[str]
+    sites_only_b: List[str]
+
+    @property
+    def mean_uplt_delta(self) -> float:
+        """Mean UPLT delta (B − A) across common sites."""
+        if not self.sites:
+            return 0.0
+        return sum(s.uplt_delta for s in self.sites) / len(self.sites)
+
+    @property
+    def sites_b_faster(self) -> int:
+        """Common sites where side B's UPLT is strictly lower."""
+        return sum(1 for s in self.sites if s.uplt_delta < 0.0)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Table rows (rounded for display; deltas keep full sign)."""
+        rows: List[Dict[str, object]] = []
+        for s in self.sites:
+            rows.append({
+                "site": s.site_id,
+                "uplt_a": round(s.uplt_a, 3),
+                "uplt_b": round(s.uplt_b, 3),
+                "uplt_delta": round(s.uplt_delta, 3),
+                "onload_a": "" if s.onload_a is None else round(s.onload_a, 3),
+                "onload_b": "" if s.onload_b is None else round(s.onload_b, 3),
+                "onload_delta": "" if s.onload_delta is None else round(s.onload_delta, 3),
+            })
+        return rows
+
+    def table(self) -> str:
+        """Render the per-site deltas as an aligned text table."""
+        from ..core.campaign import format_table1
+
+        if not self.sites:
+            return f"no common sites between {self.label_a} and {self.label_b}"
+        return format_table1(self.rows())
+
+
+def compare(a: RecordSet, b: RecordSet) -> WarehouseComparison:
+    """Per-site UPLT/OnLoad deltas between two record sets (B minus A).
+
+    Each side may be one record or many (e.g. every campaign of one scheme
+    against every campaign of another); per-site values are averaged within
+    a side first, so the comparison is symmetric in record order and
+    deterministic.
+
+    Raises:
+        WarehouseError: when either side is empty.
+    """
+    records_a = _as_records(a)
+    records_b = _as_records(b)
+    uplt_a = _per_site_means(records_a, "uplt")
+    uplt_b = _per_site_means(records_b, "uplt")
+    onload_a = _per_site_means(records_a, "onload")
+    onload_b = _per_site_means(records_b, "onload")
+    common = sorted(set(uplt_a) & set(uplt_b))
+    sites = []
+    for site in common:
+        has_onload = site in onload_a and site in onload_b
+        sites.append(SiteDelta(
+            site_id=site,
+            uplt_a=uplt_a[site],
+            uplt_b=uplt_b[site],
+            uplt_delta=uplt_b[site] - uplt_a[site],
+            onload_a=onload_a.get(site) if has_onload else None,
+            onload_b=onload_b.get(site) if has_onload else None,
+            onload_delta=(onload_b[site] - onload_a[site]) if has_onload else None,
+        ))
+    return WarehouseComparison(
+        label_a=_side_label(records_a),
+        label_b=_side_label(records_b),
+        sites=sites,
+        sites_only_a=sorted(set(uplt_a) - set(uplt_b)),
+        sites_only_b=sorted(set(uplt_b) - set(uplt_a)),
+    )

@@ -1,0 +1,294 @@
+"""Paper-grade statistics over stored campaign records.
+
+`core.analysis` reports point estimates (means, Pearson correlations);
+this module lifts them to the statistics a paper would print:
+
+* **bootstrap confidence intervals** — percentile bootstrap of the mean,
+  resampled through :mod:`repro.rng` so the interval is bit-reproducible
+  per ``(seed, rng_scheme, label)``;
+* **Spearman rank correlation** — of per-site UserPerceivedPLT against
+  each machine metric (rank-based, so it captures the monotone agreement
+  Figure 7 is about without assuming linearity);
+* **inter-rater agreement** — mean pairwise agreement and Fleiss' kappa
+  over the A/B responses, quantifying how much the crowd agrees beyond
+  chance.
+
+Everything is pure arithmetic over stored records: no simulation runs, so
+``stats`` works on a warehouse long after the campaigns that filled it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.responses import ResponseDataset
+from ..core.validation import percentile
+from ..errors import AnalysisError
+from ..metrics.comparison import pearson_correlation
+from ..metrics.plt import METRIC_NAMES
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
+from .store import WarehouseRecord
+
+#: Default bootstrap resample count (enough for stable 95% intervals at
+#: campaign scale while keeping golden verification fast).
+DEFAULT_RESAMPLES = 400
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A percentile-bootstrap confidence interval for a mean.
+
+    Attributes:
+        point: the sample mean.
+        low / high: interval bounds at the requested confidence.
+        confidence: e.g. 0.95.
+        resamples: bootstrap iterations used.
+    """
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+
+def bootstrap_mean_ci(values: Sequence[float], seed: int = 2016,
+                      rng_scheme: str = DEFAULT_RNG_SCHEME, label: str = "",
+                      resamples: int = DEFAULT_RESAMPLES,
+                      confidence: float = 0.95) -> BootstrapCI:
+    """Percentile-bootstrap CI of the mean, deterministic per scheme.
+
+    The resampling stream is ``SeededRNG(seed, rng_scheme)`` forked with
+    ``label``, so two runs over the same record produce bit-identical
+    intervals — and the two RNG schemes produce *different* (but equally
+    valid and individually pinned) intervals, like every other stream in
+    the library.
+
+    Raises:
+        AnalysisError: for an empty sample or a confidence outside (0, 1).
+    """
+    if not values:
+        raise AnalysisError("bootstrap of an empty sample is undefined")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    n = len(values)
+    point = sum(values) / n
+    if n == 1:
+        return BootstrapCI(point=point, low=point, high=point,
+                           confidence=confidence, resamples=resamples)
+    rng = SeededRNG(seed, rng_scheme).fork(f"warehouse-stats:bootstrap:{label}")
+    means: List[float] = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(n):
+            total += values[rng.randint(0, n - 1)]
+        means.append(total / n)
+    tail = (1.0 - confidence) / 2.0 * 100.0
+    return BootstrapCI(
+        point=point,
+        low=percentile(means, tail),
+        high=percentile(means, 100.0 - tail),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def _average_ranks(values: Sequence[float]) -> List[float]:
+    """Ranks (1-based) with ties sharing their average rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    start = 0
+    while start < len(order):
+        end = start
+        while end + 1 < len(order) and values[order[end + 1]] == values[order[start]]:
+            end += 1
+        shared = (start + end) / 2.0 + 1.0
+        for position in range(start, end + 1):
+            ranks[order[position]] = shared
+        start = end + 1
+    return ranks
+
+
+def spearman_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (average ranks for ties).
+
+    Raises:
+        AnalysisError: mismatched lengths, fewer than two points, or a
+            sample whose ranks have zero variance (all values tied).
+    """
+    if len(xs) != len(ys):
+        raise AnalysisError("spearman correlation requires equal-length samples")
+    return pearson_correlation(_average_ranks(xs), _average_ranks(ys))
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Inter-rater agreement over a campaign's A/B responses.
+
+    Attributes:
+        items: number of A/B pairs with at least two (non-control) ratings.
+        raters_total: responses contributing to those items.
+        mean_pairwise_agreement: probability two random raters of the same
+            pair gave the same answer, averaged over pairs (the observed
+            agreement P̄ₒ of Fleiss' kappa).
+        expected_agreement: chance agreement P̄ₑ from the pooled category
+            marginals.
+        fleiss_kappa: (P̄ₒ − P̄ₑ) / (1 − P̄ₑ); 1.0 is perfect agreement,
+            0.0 is chance level.
+    """
+
+    items: int
+    raters_total: int
+    mean_pairwise_agreement: float
+    expected_agreement: float
+    fleiss_kappa: float
+
+
+def fleiss_kappa(category_counts: Sequence[Dict[str, int]]) -> AgreementReport:
+    """Fleiss' kappa over items with (possibly unequal) rating counts.
+
+    Args:
+        category_counts: per item, the number of ratings per category.
+            Items with fewer than two ratings are skipped (pairwise
+            agreement is undefined for them).
+
+    Raises:
+        AnalysisError: when no item has two or more ratings.
+    """
+    observed: List[float] = []
+    marginals: Dict[str, int] = {}
+    raters_total = 0
+    for counts in category_counts:
+        n = sum(counts.values())
+        if n < 2:
+            continue
+        raters_total += n
+        agreeing = sum(count * (count - 1) for count in counts.values())
+        observed.append(agreeing / (n * (n - 1)))
+        for category, count in counts.items():
+            marginals[category] = marginals.get(category, 0) + count
+    if not observed:
+        raise AnalysisError("inter-rater agreement needs at least one item with two ratings")
+    p_observed = sum(observed) / len(observed)
+    p_expected = sum((count / raters_total) ** 2 for count in marginals.values())
+    if p_expected >= 1.0:  # every rating in one category: agreement is total
+        kappa = 1.0
+    else:
+        kappa = (p_observed - p_expected) / (1.0 - p_expected)
+    return AgreementReport(
+        items=len(observed),
+        raters_total=raters_total,
+        mean_pairwise_agreement=p_observed,
+        expected_agreement=p_expected,
+        fleiss_kappa=kappa,
+    )
+
+
+def inter_rater_agreement(dataset: ResponseDataset,
+                          include_controls: bool = False) -> AgreementReport:
+    """Fleiss' kappa over a dataset's A/B responses, grouped by pair.
+
+    Raises:
+        AnalysisError: when the dataset has no pair with two or more
+            (non-control) responses.
+    """
+    by_pair: Dict[str, Dict[str, int]] = {}
+    for response in dataset.ab_responses:
+        if response.is_control and not include_controls:
+            continue
+        counts = by_pair.setdefault(response.pair_id, {})
+        counts[response.choice] = counts.get(response.choice, 0) + 1
+    return fleiss_kappa([by_pair[pair] for pair in sorted(by_pair)])
+
+
+@dataclass(frozen=True)
+class WarehouseStats:
+    """Statistics computed from one stored record.
+
+    Attributes:
+        record_id / campaign_id / rng_scheme: provenance of the record.
+        overall_uplt_ci: bootstrap CI of the pooled UserPerceivedPLT
+            (timeline records; None for A/B records).
+        uplt_ci_by_site: per-site bootstrap CIs (timeline records).
+        spearman_by_metric: Spearman rank correlation of per-site UPLT
+            against each machine metric the record stored (timeline
+            records with metrics; empty otherwise).
+        agreement: inter-rater agreement (A/B records; None otherwise).
+    """
+
+    record_id: str
+    campaign_id: str
+    rng_scheme: str
+    overall_uplt_ci: Optional[BootstrapCI]
+    uplt_ci_by_site: Dict[str, BootstrapCI]
+    spearman_by_metric: Dict[str, float]
+    agreement: Optional[AgreementReport]
+
+
+def record_stats(record: WarehouseRecord, resamples: int = DEFAULT_RESAMPLES,
+                 confidence: float = 0.95) -> WarehouseStats:
+    """Compute the full statistics block for one stored record.
+
+    Deterministic per record: the bootstrap streams are seeded from the
+    record's own ``(seed, rng_scheme)`` and labelled with its campaign id
+    and site, so re-running ``stats`` on a stored record always reproduces
+    the same numbers (pinned for both schemes by the warehouse golden).
+    """
+    dataset = record.clean_dataset()
+    seed = record.seed
+    scheme = record.rng_scheme
+    campaign_id = record.campaign_id
+
+    overall_ci = None
+    ci_by_site: Dict[str, BootstrapCI] = {}
+    if record.experiment_type == "timeline":
+        by_site: Dict[str, List[float]] = {}
+        pooled: List[float] = []
+        for response in dataset.timeline_responses:
+            if response.saw_control_frame:
+                continue
+            by_site.setdefault(response.site_id, []).append(response.submitted_time)
+            pooled.append(response.submitted_time)
+        if pooled:
+            overall_ci = bootstrap_mean_ci(
+                pooled, seed=seed, rng_scheme=scheme, label=f"{campaign_id}:overall",
+                resamples=resamples, confidence=confidence,
+            )
+        for site in sorted(by_site):
+            ci_by_site[site] = bootstrap_mean_ci(
+                by_site[site], seed=seed, rng_scheme=scheme,
+                label=f"{campaign_id}:site:{site}",
+                resamples=resamples, confidence=confidence,
+            )
+
+    spearman: Dict[str, float] = {}
+    uplt = record.uplt_by_site()
+    metrics = record.metrics_by_site()
+    common = sorted(set(uplt) & set(metrics))
+    if len(common) >= 2:
+        uplts = [uplt[site] for site in common]
+        for name in METRIC_NAMES:
+            values = [metrics[site][name] for site in common if name in metrics[site]]
+            if len(values) != len(common):
+                continue
+            try:
+                spearman[name] = spearman_correlation(values, uplts)
+            except AnalysisError:
+                continue  # zero-variance ranks: correlation undefined, skip
+
+    agreement = None
+    if record.experiment_type == "ab" and dataset.ab_responses:
+        try:
+            agreement = inter_rater_agreement(dataset)
+        except AnalysisError:
+            agreement = None
+    return WarehouseStats(
+        record_id=record.record_id,
+        campaign_id=campaign_id,
+        rng_scheme=scheme,
+        overall_uplt_ci=overall_ci,
+        uplt_ci_by_site=ci_by_site,
+        spearman_by_metric=spearman,
+        agreement=agreement,
+    )

@@ -1,0 +1,401 @@
+"""The append-only, content-addressed campaign results store.
+
+A :class:`ResultsWarehouse` is rooted at a directory::
+
+    root/
+      index.json            # sidecar index: record id -> key metadata
+      records/<sha256>.json # one immutable record per ingested campaign
+
+Every record is the **canonical JSON** serialisation of one campaign's
+observable outputs (Table 1 row, filter counts, per-site UserPerceivedPLT,
+machine metrics, and the full cleaned response dataset).  The record id is
+the SHA-256 of exactly the bytes written to disk, so:
+
+* ingest is **idempotent** — re-ingesting a bit-identical result hashes to
+  the same id and is a no-op;
+* ingest is **append-only** — a result whose campaign key
+  ``(campaign_id, rng_scheme, network_profile, seed)`` matches a stored
+  record but whose content differs raises
+  :class:`~repro.errors.WarehouseError` instead of silently rewriting
+  history (re-baselining means ingesting under a new campaign id or into a
+  fresh warehouse);
+* records are **self-verifying** — loading a record re-hashes the file and
+  rejects tampered or corrupted content.
+
+Floats are serialised through ``json`` (shortest-repr), matching the
+digit-for-digit convention of the goldens store, so record ids are stable
+across processes and machines for a deterministic pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.campaign import CampaignResult
+from ..core.responses import ResponseDataset
+from ..core.storage import dataset_from_dict, dataset_to_dict
+from ..errors import WarehouseError
+from ..metrics.plt import METRIC_NAMES, PLTMetrics
+
+#: Format tag stamped into every record (bump on layout changes).
+RECORD_FORMAT = "warehouse-v1"
+
+#: Format tag of the sidecar index file.
+INDEX_FORMAT = "warehouse-index-v1"
+
+
+def _index_meta(body: Dict[str, object]) -> Dict[str, object]:
+    """The sidecar index entry for one record body (the query-able fields)."""
+    return {
+        "campaign_id": body["campaign_id"],
+        "kind": body["kind"],
+        "experiment_type": body["experiment_type"],
+        "rng_scheme": body["rng_scheme"],
+        "network_profile": body["network_profile"],
+        "seed": body["seed"],
+        "participants": body["scale"]["participants"],
+        "sites": body["scale"]["sites"],
+    }
+
+
+def canonical_json(body: Dict[str, object]) -> str:
+    """Serialise ``body`` to the canonical form the record id is hashed over.
+
+    Sorted keys, no whitespace, ASCII-only — the one byte sequence a given
+    record content can have.
+    """
+    return json.dumps(body, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def record_id_for(body: Dict[str, object]) -> str:
+    """SHA-256 hex id of a record body (hash of its canonical JSON bytes)."""
+    return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+class WarehouseRecord:
+    """A lazily-loaded handle on one stored record.
+
+    Query results return these: the key metadata comes from the sidecar
+    index (no file reads), and :meth:`load` reads, verifies, and caches the
+    full record body on first use.
+    """
+
+    __slots__ = ("record_id", "meta", "_root", "_body")
+
+    def __init__(self, root: Path, record_id: str, meta: Dict[str, object]) -> None:
+        self.record_id = record_id
+        self.meta = dict(meta)
+        self._root = root
+        self._body: Optional[Dict[str, object]] = None
+
+    # -- index-level accessors (no file I/O) ------------------------------------
+
+    @property
+    def campaign_id(self) -> str:
+        return str(self.meta["campaign_id"])
+
+    @property
+    def kind(self) -> str:
+        return str(self.meta["kind"])
+
+    @property
+    def experiment_type(self) -> str:
+        return str(self.meta["experiment_type"])
+
+    @property
+    def rng_scheme(self) -> str:
+        return str(self.meta["rng_scheme"])
+
+    @property
+    def network_profile(self) -> Optional[str]:
+        profile = self.meta.get("network_profile")
+        return None if profile is None else str(profile)
+
+    @property
+    def seed(self) -> int:
+        return int(self.meta["seed"])
+
+    @property
+    def path(self) -> Path:
+        return self._root / "records" / f"{self.record_id}.json"
+
+    # -- record-level accessors (verified file I/O, cached) ---------------------
+
+    def load(self) -> Dict[str, object]:
+        """Read, integrity-check, and cache the full record body.
+
+        Raises:
+            WarehouseError: when the file is missing, unparsable, or its
+                bytes no longer hash to the record id.
+        """
+        if self._body is not None:
+            return self._body
+        path = self.path
+        if not path.exists():
+            raise WarehouseError(f"record {self.record_id} is indexed but {path} is missing")
+        raw = path.read_bytes()
+        actual = hashlib.sha256(raw).hexdigest()
+        if actual != self.record_id:
+            raise WarehouseError(
+                f"record {self.record_id}: content-address mismatch (file hashes to "
+                f"{actual}) — the record file was modified after ingest"
+            )
+        try:
+            self._body = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError as exc:  # unreachable unless hash collides
+            raise WarehouseError(f"record {self.record_id} is not valid JSON: {exc}") from exc
+        return self._body
+
+    def clean_dataset(self) -> ResponseDataset:
+        """Rebuild the stored cleaned :class:`ResponseDataset`."""
+        return dataset_from_dict(self.load()["clean_dataset"])
+
+    def uplt_by_site(self) -> Dict[str, float]:
+        """Per-site mean UserPerceivedPLT (parsed from the stored reprs)."""
+        stored = self.load().get("uplt_by_site") or {}
+        return {site: float(value) for site, value in stored.items()}
+
+    def metrics_by_site(self) -> Dict[str, Dict[str, float]]:
+        """Per-site machine metrics (empty when none were ingested)."""
+        stored = self.load().get("metrics_by_site") or {}
+        return {
+            site: {name: float(value) for name, value in metrics.items()}
+            for site, metrics in stored.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WarehouseRecord({self.record_id[:12]}, campaign={self.campaign_id!r}, "
+                f"kind={self.kind!r}, scheme={self.rng_scheme!r})")
+
+
+def _campaign_key(meta: Dict[str, object]) -> tuple:
+    """The append-only conflict key of one record."""
+    return (meta["campaign_id"], meta["rng_scheme"], meta["network_profile"], meta["seed"])
+
+
+def _record_body(campaign: CampaignResult, kind: str,
+                 uplt_by_site: Optional[Dict[str, float]],
+                 metrics_by_site: Optional[Dict[str, PLTMetrics]]) -> Dict[str, object]:
+    """Build the canonical record body for one campaign result."""
+    from ..core.analysis import mean_uplt_per_site
+
+    clean = campaign.clean_dataset
+    if uplt_by_site is None and campaign.experiment_type == "timeline":
+        uplt_by_site = mean_uplt_per_site(clean)
+    site_ids = {r.site_id for r in campaign.raw_dataset.timeline_responses}
+    site_ids.update(r.site_id for r in campaign.raw_dataset.ab_responses)
+    config = campaign.config
+    return {
+        "record_format": RECORD_FORMAT,
+        "kind": kind,
+        "campaign_id": config.campaign_id,
+        "experiment_type": campaign.experiment_type,
+        "rng_scheme": config.rng_scheme,
+        "network_profile": config.network_profile,
+        "seed": config.seed,
+        "scale": {
+            "participants": config.participant_count,
+            "sites": len(site_ids),
+            "videos_per_participant": config.videos_per_participant,
+        },
+        "table1": campaign.table1_row,
+        "filter_summary": campaign.filter_report.summary_row(),
+        "videos_served": campaign.videos_served,
+        "uplt_by_site": {
+            site: repr(value) for site, value in sorted((uplt_by_site or {}).items())
+        },
+        "metrics_by_site": {
+            site: {name: repr(metrics.get(name)) for name in METRIC_NAMES}
+            for site, metrics in sorted((metrics_by_site or {}).items())
+        },
+        "clean_dataset": dataset_to_dict(clean),
+    }
+
+
+class ResultsWarehouse:
+    """Append-only store of campaign results with an indexed query layer.
+
+    Args:
+        root: directory the warehouse lives in; created on first ingest.
+
+    The sidecar ``index.json`` holds one entry of key metadata per record so
+    queries never read record files; it is a pure cache of the records and
+    :meth:`reindex` rebuilds it from the ``records/`` directory.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._index: Optional[Dict[str, Dict[str, object]]] = None
+
+    # -- index management --------------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    @property
+    def _records_dir(self) -> Path:
+        return self.root / "records"
+
+    def _load_index(self) -> Dict[str, Dict[str, object]]:
+        if self._index is not None:
+            return self._index
+        path = self._index_path
+        if not path.exists():
+            self._index = {}
+            return self._index
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise WarehouseError(f"warehouse index {path} is not valid JSON: {exc}") from exc
+        if document.get("format") != INDEX_FORMAT:
+            raise WarehouseError(
+                f"warehouse index {path} has format {document.get('format')!r}; "
+                f"expected {INDEX_FORMAT!r}"
+            )
+        self._index = dict(document.get("records") or {})
+        return self._index
+
+    def _save_index(self) -> None:
+        document = {"format": INDEX_FORMAT, "records": self._load_index()}
+        self._index_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def reindex(self) -> int:
+        """Rebuild ``index.json`` from the record files; returns the count."""
+        index: Dict[str, Dict[str, object]] = {}
+        if self._records_dir.is_dir():
+            for path in sorted(self._records_dir.glob("*.json")):
+                record = WarehouseRecord(self.root, path.stem, {})
+                index[path.stem] = _index_meta(record.load())
+        self._index = index
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._save_index()
+        return len(index)
+
+    # -- ingest ------------------------------------------------------------------
+
+    def ingest(self, result, kind: Optional[str] = None,
+               metrics_by_site: Optional[Dict[str, PLTMetrics]] = None):
+        """Store one result; idempotent for identical content.
+
+        Args:
+            result: a :class:`~repro.core.campaign.CampaignResult`, a
+                :class:`~repro.experiments.PLTCampaignResult`, or a
+                :class:`~repro.experiments.ProfileSweepResult` (which
+                ingests one record per profile and returns the list).
+            kind: experiment kind recorded in the index ("plt", "adblock",
+                "h1h2", "validation", ...); defaults to "plt" for PLT
+                results and to the campaign's experiment type otherwise.
+            metrics_by_site: per-site machine metrics to store alongside a
+                bare :class:`CampaignResult` (PLT results carry their own).
+
+        Returns:
+            The :class:`WarehouseRecord` (list of records for a sweep) —
+            the already-stored record when the ingest was a no-op.
+
+        Raises:
+            WarehouseError: when a result with the same campaign key
+                ``(campaign_id, rng_scheme, network_profile, seed)`` but
+                different content is already stored.
+        """
+        from ..experiments.plt_campaign import PLTCampaignResult
+        from ..experiments.profile_sweep import ProfileSweepResult
+
+        if isinstance(result, ProfileSweepResult):
+            return [self.ingest(result.by_profile[name], kind=kind) for name in result.profiles]
+        uplt_by_site = None
+        if isinstance(result, PLTCampaignResult):
+            uplt_by_site = result.uplt_by_site
+            metrics_by_site = metrics_by_site or result.metrics_by_site
+            campaign = result.campaign
+            kind = kind or "plt"
+        elif isinstance(result, CampaignResult):
+            campaign = result
+            kind = kind or campaign.experiment_type
+        else:
+            raise WarehouseError(
+                f"cannot ingest {type(result).__name__}: expected CampaignResult, "
+                f"PLTCampaignResult, or ProfileSweepResult"
+            )
+
+        body = _record_body(campaign, kind, uplt_by_site, metrics_by_site)
+        record_id = record_id_for(body)
+        index = self._load_index()
+        existing = index.get(record_id)
+        if existing is not None:
+            return WarehouseRecord(self.root, record_id, existing)
+
+        meta = _index_meta(body)
+        for other_id, other in index.items():
+            if _campaign_key(other) == _campaign_key(meta):
+                raise WarehouseError(
+                    f"campaign {meta['campaign_id']!r} (scheme {meta['rng_scheme']}, "
+                    f"profile {meta['network_profile']}, seed {meta['seed']}) is already "
+                    f"stored as record {other_id[:12]} with different content; the "
+                    f"warehouse is append-only — ingest under a new campaign id or "
+                    f"into a fresh warehouse to re-baseline"
+                )
+
+        self._records_dir.mkdir(parents=True, exist_ok=True)
+        path = self._records_dir / f"{record_id}.json"
+        path.write_bytes(canonical_json(body).encode("utf-8"))
+        index[record_id] = meta
+        self._save_index()
+        record = WarehouseRecord(self.root, record_id, meta)
+        record._body = body
+        return record
+
+    # -- retrieval ---------------------------------------------------------------
+
+    def records(self) -> List[WarehouseRecord]:
+        """Every stored record, sorted by (campaign id, record id)."""
+        index = self._load_index()
+        return sorted(
+            (WarehouseRecord(self.root, record_id, meta) for record_id, meta in index.items()),
+            key=lambda r: (r.campaign_id, r.record_id),
+        )
+
+    def get(self, record_id: str) -> WarehouseRecord:
+        """Resolve a record by full id or unambiguous prefix.
+
+        Raises:
+            WarehouseError: when no record matches or the prefix is
+                ambiguous.
+        """
+        index = self._load_index()
+        matches = sorted(rid for rid in index if rid.startswith(record_id))
+        if not matches:
+            raise WarehouseError(f"no record with id (prefix) {record_id!r}")
+        if len(matches) > 1:
+            raise WarehouseError(
+                f"record id prefix {record_id!r} is ambiguous "
+                f"({len(matches)} matches: {', '.join(m[:12] for m in matches)})"
+            )
+        return WarehouseRecord(self.root, matches[0], index[matches[0]])
+
+    def query(self, kind: Optional[str] = None, scheme: Optional[str] = None,
+              profile: Optional[str] = None, campaign_id: Optional[str] = None,
+              seed: Optional[int] = None,
+              experiment_type: Optional[str] = None) -> List[WarehouseRecord]:
+        """Filter the stored records on index metadata (no record reads).
+
+        Every given filter must match; None means "any".  See
+        :func:`repro.warehouse.query.match_records` for the matching rules.
+        """
+        from .query import match_records
+
+        return match_records(
+            self.records(), kind=kind, scheme=scheme, profile=profile,
+            campaign_id=campaign_id, seed=seed, experiment_type=experiment_type,
+        )
+
+    def __len__(self) -> int:
+        return len(self._load_index())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultsWarehouse({str(self.root)!r}, records={len(self)})"

@@ -8,7 +8,7 @@ from repro.core.server import BrokenVideoRegistry, CaptchaGate, EyeorgServer, Ta
 from repro.core.session import ParticipantSession
 from repro.crowd.participant import ParticipantClass, generate_participant
 from repro.errors import CampaignError, ExperimentError
-from repro.rng import SeededRNG
+from repro.rng import RNG_SCHEMES, SCHEME_SPLITMIX64_V2, SeededRNG
 
 
 @pytest.fixture()
@@ -109,6 +109,41 @@ def test_assigner_rejects_empty_pool():
         TaskAssigner([], per_participant=2)
 
 
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_assigner_balances_coverage_under_both_schemes(timeline_experiment, scheme):
+    """The coverage invariant holds per scheme (only v1 was exercised before)."""
+    assigner = TaskAssigner(timeline_experiment.videos, per_participant=2,
+                            rng=SeededRNG(4, scheme))
+    for index in range(10):
+        participant = generate_participant(
+            f"s{index}", ParticipantClass.PAID, "crowdflower", SeededRNG(index, scheme)
+        )
+        tasks = assigner.assign(participant)
+        assert len(tasks) == 2
+        assert len({t.video_id for t in tasks}) == 2
+    counts = assigner.assignments_per_task
+    assert sum(counts.values()) == 20
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_assigner_is_deterministic_but_scheme_dependent(timeline_experiment):
+    """Identical inputs reproduce assignments exactly; schemes reorder them."""
+    def assignment_ids(scheme):
+        assigner = TaskAssigner(timeline_experiment.videos, per_participant=3,
+                                rng=SeededRNG(4, scheme))
+        ids = []
+        for index in range(6):
+            participant = generate_participant(
+                f"d{index}", ParticipantClass.PAID, "crowdflower", SeededRNG(index, scheme)
+            )
+            ids.append([t.video_id for t in assigner.assign(participant)])
+        return ids
+
+    for scheme in RNG_SCHEMES:
+        assert assignment_ids(scheme) == assignment_ids(scheme)
+    assert assignment_ids(RNG_SCHEMES[0]) != assignment_ids(SCHEME_SPLITMIX64_V2)
+
+
 # -- broken-video registry -----------------------------------------------------------
 
 
@@ -131,6 +166,25 @@ def test_duplicate_flags_not_counted(video):
     assert video.video_id not in registry.banned
     video.banned = False
     video.flagged_by.clear()
+
+
+def test_broken_video_registry_with_v2_scheme_capture(page, capture_settings):
+    """The registry ban flow also covers videos captured under splitmix64-v2."""
+    from repro.capture.webpeg import DEFAULT_CAPTURE_CACHE, Webpeg
+
+    DEFAULT_CAPTURE_CACHE.clear()
+    try:
+        tool = Webpeg(settings=capture_settings, seed=77, rng_scheme=SCHEME_SPLITMIX64_V2)
+        v2_video = tool.capture(page, configuration="h2").video
+    finally:
+        DEFAULT_CAPTURE_CACHE.clear()
+    assert v2_video.rng_scheme == SCHEME_SPLITMIX64_V2
+    registry = BrokenVideoRegistry()
+    for index in range(4):
+        assert not registry.flag(v2_video, f"worker-{index}")
+    assert registry.flag(v2_video, "worker-4")
+    assert v2_video.video_id in registry.banned
+    assert registry.flag_count(v2_video.video_id) == 5
 
 
 # -- server ------------------------------------------------------------------------

@@ -72,6 +72,54 @@ def test_csv_exports(tmp_path, timeline_campaign, ab_campaign):
     assert ab_path.read_text(encoding="utf-8").startswith("participant_id,pair_id")
 
 
+def test_csv_exports_carry_scheme_and_profile_columns(timeline_campaign, ab_campaign):
+    """Sweep exports are unambiguous: every row names its scheme + profile."""
+    import csv
+    import io
+
+    for dataset, csv_fn in ((timeline_campaign.raw_dataset, timeline_responses_csv),
+                            (ab_campaign.raw_dataset, ab_responses_csv)):
+        rows = list(csv.DictReader(io.StringIO(csv_fn(dataset))))
+        assert rows
+        # Campaign-produced datasets record their provenance...
+        assert all(row["rng_scheme"] == dataset.rng_scheme for row in rows)
+        assert {row["network_profile"] for row in rows} == {dataset.network_profile or ""}
+
+
+def test_csv_provenance_columns_empty_for_unrecorded_datasets():
+    from repro.core.responses import ResponseDataset
+
+    dataset = ResponseDataset(campaign_id="bare", experiment_type="timeline")
+    header = timeline_responses_csv(dataset).splitlines()[0]
+    assert header.endswith("rng_scheme,network_profile")
+
+
+def test_dataset_round_trip_preserves_provenance(timeline_campaign):
+    dataset = timeline_campaign.clean_dataset
+    assert dataset.rng_scheme == timeline_campaign.config.rng_scheme
+    rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+    assert rebuilt.rng_scheme == dataset.rng_scheme
+    assert rebuilt.network_profile == dataset.network_profile
+    # CSV rendered from the round-tripped dataset is byte-identical.
+    assert timeline_responses_csv(rebuilt) == timeline_responses_csv(dataset)
+    # Pre-provenance dictionaries (older exports) still load, as unrecorded.
+    legacy = dataset_to_dict(dataset)
+    del legacy["rng_scheme"], legacy["network_profile"]
+    assert dataset_from_dict(legacy).rng_scheme is None
+
+
+def test_filtered_and_merged_datasets_keep_provenance(timeline_campaign):
+    dataset = timeline_campaign.raw_dataset
+    subset = dataset.filtered(list(dataset.participants)[:3])
+    assert subset.rng_scheme == dataset.rng_scheme
+    assert subset.network_profile == dataset.network_profile
+    merged = dataset.merge(subset)
+    assert merged.rng_scheme == dataset.rng_scheme
+    other = dataset_from_dict(dataset_to_dict(dataset))
+    other.rng_scheme = "splitmix64-v2"
+    assert dataset.merge(other).rng_scheme is None  # mixed provenance is dropped
+
+
 # -- visualisation -----------------------------------------------------------------
 
 

@@ -18,8 +18,10 @@ from repro.goldens import (
     GOLDEN_SEED,
     SCALES,
     SWEEP_SCALES,
+    WAREHOUSE_SCALES,
     diff_snapshots,
     diff_sweep_snapshots,
+    diff_warehouse_snapshots,
     golden_path,
     load_golden,
     save_golden,
@@ -161,6 +163,53 @@ def test_sweep_diff_detects_tampered_profile():
 @pytest.mark.parametrize("scheme", RNG_SCHEMES)
 def test_small_sweep_golden_reproduces_bit_for_bit(scheme):
     assert verify_golden(scheme, "small", kind="sweep") == []
+
+
+# -- the warehouse goldens -------------------------------------------------------
+
+
+def test_store_holds_warehouse_goldens_for_both_schemes():
+    names = {path.name for path in stored_goldens()}
+    for scheme in RNG_SCHEMES:
+        assert golden_path(scheme, "small", kind="warehouse").name in names
+
+
+def test_warehouse_golden_pins_record_id_and_stats():
+    for scheme in RNG_SCHEMES:
+        snapshot = load_golden(scheme, "small", kind="warehouse")
+        assert snapshot["kind"] == "warehouse-ingest"
+        assert len(snapshot["record_id"]) == 64
+        assert snapshot["reingest_noop"] is True
+        assert snapshot["index_meta"]["rng_scheme"] == scheme
+        assert snapshot["query_counts"] == {
+            "kind_plt": 1, "scheme": 1, "campaign": 1, "profile": 1,
+        }
+        assert snapshot["self_compare"]["mean_uplt_delta"] == "0.0"
+        stats = snapshot["stats"]
+        assert len(stats["uplt_ci_by_site"]) == WAREHOUSE_SCALES["small"]["sites"]
+        assert set(stats["overall_uplt_ci"]) == {"point", "low", "high"}
+        assert stats["spearman_by_metric"]
+    # The two schemes pin *different* record ids: the record embeds every
+    # response, so the content address separates the streams.
+    ids = {load_golden(s, "small", kind="warehouse")["record_id"] for s in RNG_SCHEMES}
+    assert len(ids) == 2
+
+
+def test_warehouse_diff_detects_tampered_record_id():
+    golden = load_golden(RNG_SCHEMES[0], "small", kind="warehouse")
+    tampered = json.loads(json.dumps(golden))
+    tampered["record_id"] = "0" * 64
+    tampered["stats"]["overall_uplt_ci"]["point"] = "0.0"
+    differences = diff_warehouse_snapshots(golden, tampered)
+    assert len(differences) == 2
+    assert any(line.startswith("record_id:") for line in differences)
+    assert any(line.startswith("stats.overall_uplt_ci.point:") for line in differences)
+
+
+@pytest.mark.goldens
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_small_warehouse_golden_reproduces_bit_for_bit(scheme):
+    assert verify_golden(scheme, "small", kind="warehouse") == []
 
 
 # -- tier-2: bench- and full-scale reproduction ---------------------------------
