@@ -84,6 +84,12 @@ def test_perf_pipeline(scale, rng_schemes, network_profile):
         # The report always carries the stages the trajectory tracker reads.
         for stage in ("capture_cold", "sessions", "filtering"):
             assert document[stage]["seconds"] >= 0.0
+
+        # The fault-injection block is present but inert: the fault-free hot
+        # path must pay no chaos tax (every counter zero, no plan attached).
+        faults_meta = meta["faults"]
+        assert faults_meta["enabled"] is False and faults_meta["plan"] is None
+        assert all(not value for value in faults_meta["counters"].values()), faults_meta
         assert artefacts_by_scheme[scheme]["campaign"].table1_row["participants"] == \
             scale["participants"]
 

@@ -41,7 +41,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..browser.browser import Browser, LoadResult
 from ..browser.preferences import BrowserPreferences
 from ..config import DEFAULT_CAPTURE_FPS, LOADS_PER_SITE
-from ..errors import CaptureError, RNGSchemeMismatchError
+from ..errors import (
+    CaptureError,
+    CircuitOpenError,
+    RNGSchemeMismatchError,
+    RetryExhaustedError,
+)
 from ..netsim.profiles import NetworkProfile
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG, validate_scheme
 from ..web.page import Page
@@ -270,6 +275,13 @@ class Webpeg:
         cache: capture cache to consult (pass None to disable caching).
         rng_scheme: versioned RNG scheme every capture stream is derived
             under; recorded on every report/video and pinned on the cache.
+        injector: optional :class:`repro.faults.FaultInjector`.  When given,
+            every capture runs under the injector's fault plan (transient
+            failures and stalls, retried with deterministic backoff; sites
+            that exhaust their retries are quarantined by the circuit
+            breaker).  The injector wraps the capture *outside* the cache,
+            so fault decisions do not depend on cache warmth — a resumed run
+            with a warm cache injects exactly the faults of a cold one.
     """
 
     def __init__(
@@ -279,12 +291,14 @@ class Webpeg:
         seed: int = 2016,
         cache: Optional[CaptureCache] = DEFAULT_CAPTURE_CACHE,
         rng_scheme: str = DEFAULT_RNG_SCHEME,
+        injector=None,
     ) -> None:
         self.preferences = preferences or BrowserPreferences()
         self.settings = settings or CaptureSettings()
         self.seed = seed
         self.cache = cache
         self.rng_scheme = validate_scheme(rng_scheme)
+        self.injector = injector
 
     # -- single-site capture ----------------------------------------------------
 
@@ -308,7 +322,21 @@ class Webpeg:
 
         Returns:
             A :class:`CaptureReport` with the median-onload video.
+
+        Raises:
+            RetryExhaustedError: an injected fault (with an injector set)
+                survived every retry attempt for this site.
+            CircuitOpenError: the site is quarantined by the injector's
+                circuit breaker.
         """
+        if self.injector is not None:
+            return self.injector.run_capture(
+                page.site_id, lambda: self._capture_uninjected(page, configuration)
+            )
+        return self._capture_uninjected(page, configuration)
+
+    def _capture_uninjected(self, page: Page, configuration: str) -> CaptureReport:
+        """The actual capture, cache consultation included (no fault plan)."""
         key: Optional[Tuple] = None
         if self.cache is not None:
             key = self._cache_key(page, configuration)
@@ -376,11 +404,26 @@ class Webpeg:
             max_workers: when > 1, captures run on a process pool.  Every
                 capture is an independent deterministic function of
                 ``(seed, page)``, so the result is bit-identical to the
-                serial path; reports are merged in input order.
+                serial path; reports are merged in input order.  Ignored
+                when an injector is set (see below).
+
+        With an injector, captures run serially (the breaker's quarantine
+        state is mutable and lives in this process) and the batch *degrades
+        gracefully*: a site whose retries are exhausted — or that is already
+        quarantined — is simply absent from the returned mapping, recorded
+        in the injector's counters/quarantine provenance instead of
+        aborting the whole batch.
         """
         if not pages:
             raise CaptureError("capture_batch needs at least one page")
         reports: Dict[str, CaptureReport] = {}
+        if self.injector is not None:
+            for page in pages:
+                try:
+                    reports[page.site_id] = self.capture(page, configuration)
+                except (RetryExhaustedError, CircuitOpenError):
+                    continue
+            return reports
         if max_workers is not None and max_workers > 1 and len(pages) > 1:
             from concurrent.futures import ProcessPoolExecutor
 

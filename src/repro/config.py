@@ -83,6 +83,10 @@ class ReproConfig:
     def make_warehouse(self):
         """Open the configured results warehouse.
 
+        ``~`` is expanded and missing parent directories are created, so a
+        configured path like ``~/results/eyeorg`` works on first use instead
+        of failing on the first ingest.
+
         Returns:
             A :class:`repro.warehouse.ResultsWarehouse` rooted at
             ``warehouse_dir``, or None when no directory is configured.
@@ -92,9 +96,13 @@ class ReproConfig:
         """
         if self.warehouse_dir is None:
             return None
+        from pathlib import Path
+
         from .warehouse import ResultsWarehouse
 
-        return ResultsWarehouse(self.warehouse_dir)
+        root = Path(self.warehouse_dir).expanduser()
+        root.mkdir(parents=True, exist_ok=True)
+        return ResultsWarehouse(root)
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Tuple
 from ..config import VIDEOS_PER_PARTICIPANT
 from ..crowd.participant import Participant, ParticipantClass
 from ..crowd.recruitment import Recruiter, RecruitmentReport
-from ..errors import CampaignError
+from ..errors import CampaignError, CampaignInterrupted, WorkerCrashFault
+from ..faults import BOUNDARY_WORKER, CheckpointStore, FaultInjector, ResilienceReport
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG, require_same_scheme, validate_scheme
 from .experiment import ABExperiment, TimelineExperiment
 from .frame_helper import FrameSelectionHelper
@@ -95,6 +96,9 @@ class CampaignResult:
         clean_dataset: responses after the filtering pipeline.
         telemetry: per-participant session telemetry.
         filter_report: per-technique filtering counts (Table 1 columns).
+        resilience: how the run survived its fault plan (None for fault-free
+            runs, which keeps fault-free results byte-identical to before
+            fault injection existed).
     """
 
     config: CampaignConfig
@@ -104,6 +108,7 @@ class CampaignResult:
     clean_dataset: ResponseDataset
     telemetry: Dict[str, SessionTelemetry]
     filter_report: FilterReport
+    resilience: Optional[ResilienceReport] = None
 
     @property
     def table1_row(self) -> Dict[str, object]:
@@ -166,7 +171,16 @@ def _encode_tasks(tasks: List, index_by_id: Dict[int, int]) -> List[Tuple[str, o
 
 
 def _run_one_session(args: Tuple):
-    mode, participant, encoded, parent_seed, rng_scheme, helper, preload = args
+    mode, participant, encoded, parent_seed, rng_scheme, helper, preload = args[:7]
+    plan = args[7] if len(args) > 7 else None
+    if plan is not None and plan.fires(BOUNDARY_WORKER, participant.participant_id):
+        # Simulated worker crash: the parent absorbs this by re-running the
+        # session in-process (the decision is a pure function of the plan, so
+        # the retried, plan-stripped run is the one that always succeeds).
+        raise WorkerCrashFault(
+            f"injected worker crash while running participant "
+            f"{participant.participant_id!r}"
+        )
     tasks = [
         _WORKER_POOL_TASKS[reference] if kind == "pool" else reference
         for kind, reference in encoded
@@ -187,10 +201,67 @@ def _run_sessions_parallel(pool_tasks: List, session_args: List[Tuple], workers:
 
     worker_count = min(workers, len(session_args))
     chunksize = max(1, len(session_args) // (worker_count * 4))
+    results: List = []
     with ProcessPoolExecutor(
         max_workers=worker_count, initializer=_init_worker_pool, initargs=(pool_tasks,)
     ) as pool:
-        return list(pool.map(_run_one_session, session_args, chunksize=chunksize))
+        try:
+            for result in pool.map(_run_one_session, session_args, chunksize=chunksize):
+                results.append(result)
+        except CampaignError:
+            raise
+        except Exception as exc:
+            # KeyboardInterrupt is a BaseException and deliberately escapes
+            # untouched; the `with` block tears the pool down either way, so
+            # a crashing worker never hangs the batch or merges partially.
+            participant = session_args[len(results)][1]
+            raise CampaignError(
+                f"parallel session batch failed at participant "
+                f"{participant.participant_id!r}: {exc}"
+            ) from exc
+    return results
+
+
+def _run_sessions_parallel_faulted(pool_tasks: List, session_args: List[Tuple],
+                                   workers: int, injector: FaultInjector) -> List:
+    """Pool execution under a fault plan: absorb injected worker crashes.
+
+    Sessions are submitted individually (rather than ``pool.map``-chunked)
+    so one crashing worker fails exactly one future; the parent then re-runs
+    that participant's session in-process with the plan stripped.  Results
+    keep submission order, so the output is bit-identical to the serial run.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    worker_count = min(workers, len(session_args))
+    results: List = [None] * len(session_args)
+    with ProcessPoolExecutor(
+        max_workers=worker_count, initializer=_init_worker_pool, initargs=(pool_tasks,)
+    ) as pool:
+        futures = [pool.submit(_run_one_session, args) for args in session_args]
+        for index, future in enumerate(futures):
+            participant = session_args[index][1]
+            try:
+                results[index] = future.result()
+            except WorkerCrashFault:
+                injector.counters.worker_crashes_injected += 1
+                injector.counters.worker_crash_retries += 1
+                injector.counters.backoff_seconds_total += injector.policy.retry.backoff_delay(
+                    injector.plan, f"worker:{participant.participant_id}", 0
+                )
+                # Re-run in the parent process with the plan stripped; the
+                # pool initializer normally ships the shared task pool, so
+                # mirror it locally before decoding.
+                _init_worker_pool(pool_tasks)
+                results[index] = _run_one_session(session_args[index][:7])
+            except CampaignError:
+                raise
+            except Exception as exc:
+                raise CampaignError(
+                    f"session worker failed for participant "
+                    f"{participant.participant_id!r}: {exc}"
+                ) from exc
+    return results
 
 
 class CampaignRunner:
@@ -201,11 +272,17 @@ class CampaignRunner:
         perf: optional :class:`repro.perf.PerfReport`; when provided, the
             runner records "sessions" and "filtering" stage timings into it
             (used by ``benchmarks/bench_perf_pipeline.py``).
+        injector: optional :class:`repro.faults.FaultInjector`; when
+            provided, the runner injects the plan's participant dropouts and
+            worker crashes (and absorbs them), and attaches a
+            :class:`~repro.faults.ResilienceReport` to the result.
     """
 
-    def __init__(self, config: CampaignConfig, perf=None) -> None:
+    def __init__(self, config: CampaignConfig, perf=None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.config = config
         self.perf = perf
+        self._injector = injector
         self._rng = SeededRNG(config.seed, config.rng_scheme).fork(
             f"campaign:{config.campaign_id}"
         )
@@ -242,51 +319,152 @@ class CampaignRunner:
             enabled=self.config.frame_helper_enabled,
         )
 
+    def _apply_dropout(self, participant: Participant, tasks: List,
+                       dropouts: Dict[str, Dict[str, int]]) -> List:
+        """Phase-1 hook: truncate a task list when the plan drops the participant.
+
+        Dropout is decided during (always re-executed, serial) admission, so
+        an uninterrupted run and a checkpoint-resumed run reach the exact
+        same roster.  The truncated list models a participant abandoning the
+        session after ``completed`` submissions; their partial work stays in
+        the dataset like the real platform kept partial sessions.
+        """
+        if self._injector is None:
+            return tasks
+        point = self._injector.plan.dropout_after(participant.participant_id, len(tasks))
+        if point is None:
+            return tasks
+        self._injector.counters.dropouts_injected += 1
+        dropouts[participant.participant_id] = {
+            "completed": point, "assigned": len(tasks),
+        }
+        return list(tasks)[:point]
+
+    def _checkpoint_fingerprint(self, mode: str, admitted: List[Tuple[Participant, List]],
+                                chunk_size: int) -> Dict[str, object]:
+        """Identity a checkpoint directory is bound to (resume-compatibility)."""
+        return {
+            "campaign_id": self.config.campaign_id,
+            "seed": self.config.seed,
+            "rng_scheme": self.config.rng_scheme,
+            "mode": mode,
+            "chunk_size": chunk_size,
+            "participants": [p.participant_id for p, _tasks in admitted],
+            "fault_plan": self._injector.plan.as_dict() if self._injector else None,
+        }
+
     def _run_sessions(self, experiment, admitted: List[Tuple[Participant, List]],
                       mode: str, helper: Optional[FrameSelectionHelper] = None,
-                      preload: bool = True) -> List:
+                      preload: bool = True, checkpoint_dir=None,
+                      checkpoint_chunk_size: int = 16,
+                      stop_after_chunks: Optional[int] = None) -> List:
         """Phase 2: run the admitted sessions, serially or on a process pool.
 
         Each session only draws from streams forked with its participant id,
         so execution order cannot affect the outcome; results come back in
         ``admitted`` order either way.
+
+        With ``checkpoint_dir``, sessions execute in chunks of
+        ``checkpoint_chunk_size`` and every finished chunk is persisted
+        atomically before the next starts; chunks already on disk are loaded
+        instead of re-run, which is what makes kill-at-any-chunk-boundary +
+        resume byte-identical to an uninterrupted run.
         """
         timer = self.perf.stage("sessions") if self.perf else None
         if timer:
             timer.start()
-        if self.config.parallel_workers > 1 and len(admitted) > 1:
+        plan = self._injector.plan if self._injector is not None else None
+        use_pool = self.config.parallel_workers > 1 and len(admitted) > 1
+        pool_tasks: List = []
+        index_by_id: Dict[int, int] = {}
+        if use_pool:
             pool_tasks = experiment.task_pool()
             index_by_id = {id(task): index for index, task in enumerate(pool_tasks)}
-            results = _run_sessions_parallel(
-                pool_tasks,
-                [
+
+        def execute(batch: List[Tuple[Participant, List]]) -> List:
+            if use_pool and len(batch) > 1:
+                session_args = [
                     (mode, participant, _encode_tasks(tasks, index_by_id),
                      self._rng.seed, self.config.rng_scheme, helper, preload)
-                    for participant, tasks in admitted
-                ],
-                self.config.parallel_workers,
-            )
-        else:
+                    + ((plan,) if plan is not None else ())
+                    for participant, tasks in batch
+                ]
+                if plan is not None:
+                    return _run_sessions_parallel_faulted(
+                        pool_tasks, session_args, self.config.parallel_workers,
+                        self._injector,
+                    )
+                return _run_sessions_parallel(
+                    pool_tasks, session_args, self.config.parallel_workers
+                )
             results = []
-            for participant, tasks in admitted:
+            for participant, tasks in batch:
                 session = ParticipantSession(
                     participant, self._rng, frame_helper=helper, preload_video=preload
                 )
                 results.append(
                     session.run_timeline(tasks) if mode == "timeline" else session.run_ab(tasks)
                 )
+            return results
+
+        if checkpoint_dir is None:
+            results = execute(admitted)
+        else:
+            if checkpoint_chunk_size < 1:
+                raise CampaignError("checkpoint_chunk_size must be at least 1")
+            store = CheckpointStore(
+                checkpoint_dir,
+                self._checkpoint_fingerprint(mode, admitted, checkpoint_chunk_size),
+            )
+            chunks = [
+                admitted[start:start + checkpoint_chunk_size]
+                for start in range(0, len(admitted), checkpoint_chunk_size)
+            ]
+            results = []
+            fresh = 0
+            for index, chunk in enumerate(chunks):
+                if store.has_chunk(index):
+                    results.extend(store.load_chunk(index))
+                    continue
+                chunk_results = execute(chunk)
+                store.save_chunk(index, chunk_results)
+                results.extend(chunk_results)
+                fresh += 1
+                if (stop_after_chunks is not None and fresh >= stop_after_chunks
+                        and index + 1 < len(chunks)):
+                    raise CampaignInterrupted(
+                        f"campaign {self.config.campaign_id!r} stopped after "
+                        f"{fresh} fresh chunk(s); {index + 1}/{len(chunks)} "
+                        f"chunks checkpointed at {checkpoint_dir}",
+                        completed_chunks=index + 1,
+                        total_chunks=len(chunks),
+                    )
         if timer:
             timer.finish(events=len(admitted))
         return results
 
     # -- public API -------------------------------------------------------------
 
-    def run_timeline(self, experiment: TimelineExperiment) -> CampaignResult:
+    def run_timeline(self, experiment: TimelineExperiment, *,
+                     checkpoint_dir=None, checkpoint_chunk_size: int = 16,
+                     stop_after_chunks: Optional[int] = None) -> CampaignResult:
         """Run a timeline campaign against ``experiment``.
+
+        Args:
+            experiment: the timeline experiment to run.
+            checkpoint_dir: when given, sessions are checkpointed in chunks
+                to this directory and a re-run resumes from surviving chunks
+                with byte-identical results.
+            checkpoint_chunk_size: sessions per checkpoint chunk.
+            stop_after_chunks: chaos hook — raise
+                :class:`~repro.errors.CampaignInterrupted` after this many
+                freshly-executed chunks (simulating a mid-run kill at a
+                chunk boundary).
 
         Raises:
             RNGSchemeMismatchError: when the experiment's videos were
                 captured under a scheme other than the campaign's.
+            CampaignInterrupted: see ``stop_after_chunks``.
         """
         self._check_task_schemes(experiment)
         recruitment = self._recruit()
@@ -303,13 +481,22 @@ class CampaignRunner:
 
         # Phase 1 (serial): admission and assignment are order-dependent.
         admitted: List[Tuple[Participant, List]] = []
+        dropouts: Dict[str, Dict[str, int]] = {}
         for recruited in recruitment.participants:
             participant = recruited.participant
             if not server.admit(participant):
                 continue
-            admitted.append((participant, server.assign_tasks(participant)))
+            tasks = self._apply_dropout(
+                participant, server.assign_tasks(participant), dropouts
+            )
+            admitted.append((participant, tasks))
 
-        results = self._run_sessions(experiment, admitted, "timeline", helper, preload)
+        results = self._run_sessions(
+            experiment, admitted, "timeline", helper, preload,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_chunk_size=checkpoint_chunk_size,
+            stop_after_chunks=stop_after_chunks,
+        )
 
         # Phase 3 (serial): merge in recruitment order.
         for (participant, _tasks), result in zip(admitted, results):
@@ -331,18 +518,26 @@ class CampaignRunner:
             clean_dataset=clean,
             telemetry=telemetry,
             filter_report=report,
+            resilience=self._injector.report(dropouts) if self._injector else None,
         )
 
-    def run_ab(self, experiment: ABExperiment) -> CampaignResult:
+    def run_ab(self, experiment: ABExperiment, *,
+               checkpoint_dir=None, checkpoint_chunk_size: int = 16,
+               stop_after_chunks: Optional[int] = None) -> CampaignResult:
         """Run an A/B campaign against ``experiment``.
 
         Control pairs are injected per participant: each task slot is
         replaced by a delayed-copy control with the experiment's configured
         probability, so every participant sees roughly one control.
 
+        Checkpointing works exactly as in :meth:`run_timeline` (same
+        ``checkpoint_dir`` / ``checkpoint_chunk_size`` / ``stop_after_chunks``
+        contract).
+
         Raises:
             RNGSchemeMismatchError: when the experiment's videos were
                 captured under a scheme other than the campaign's.
+            CampaignInterrupted: see :meth:`run_timeline`.
         """
         self._check_task_schemes(experiment)
         recruitment = self._recruit()
@@ -358,6 +553,7 @@ class CampaignRunner:
 
         # Phase 1 (serial): admission, assignment and control injection.
         admitted: List[Tuple[Participant, List]] = []
+        dropouts: Dict[str, Dict[str, int]] = {}
         for recruited in recruitment.participants:
             participant = recruited.participant
             if not server.admit(participant):
@@ -369,9 +565,17 @@ class CampaignRunner:
                     experiment.control_pair_probability
                 ):
                     tasks[index] = experiment.make_control_pair(tasks[index], control_rng, index)
-            admitted.append((participant, tasks))
+            # Dropout truncates only after control injection has consumed its
+            # (label-derived) streams, so the control draws of participants
+            # who stay are unaffected by who drops out.
+            admitted.append((participant, self._apply_dropout(participant, tasks, dropouts)))
 
-        results = self._run_sessions(experiment, admitted, "ab")
+        results = self._run_sessions(
+            experiment, admitted, "ab",
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_chunk_size=checkpoint_chunk_size,
+            stop_after_chunks=stop_after_chunks,
+        )
 
         # Phase 3 (serial): merge in recruitment order.
         for (participant, _tasks), result in zip(admitted, results):
@@ -388,6 +592,7 @@ class CampaignRunner:
             clean_dataset=clean,
             telemetry=telemetry,
             filter_report=report,
+            resilience=self._injector.report(dropouts) if self._injector else None,
         )
 
 

@@ -86,3 +86,87 @@ class WarehouseError(StorageError):
     resolved, or when a stored record fails its content-address integrity
     check.
     """
+
+
+class WarehouseCorruptionError(WarehouseError):
+    """A stored warehouse file is corrupt on disk.
+
+    Raised when a record file's bytes no longer hash to its content-address
+    id, when a record or the sidecar index is unparsable, or when the index
+    format tag is wrong.  Carries the offending ``path`` so operators (and
+    ``python -m repro.warehouse fsck``) can point at the exact file.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        #: Filesystem path of the corrupt file (``None`` when unknown).
+        self.path = str(path) if path is not None else None
+
+
+class CheckpointError(StorageError):
+    """A campaign checkpoint directory is unusable for resume.
+
+    Raised when a checkpoint manifest does not match the resuming campaign
+    (different config, chunk size, participant set, or fault plan), or when
+    a stored chunk cannot be read back.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Base class for every *injected* fault (see :mod:`repro.faults`).
+
+    Injected faults are deterministic, seeded simulations of real-world
+    failures; the resilience machinery (retry, circuit breaker, checkpoint/
+    resume) is expected to absorb them.  One escaping to a caller means a
+    fault exceeded the configured resilience budget.
+    """
+
+
+class TransientCaptureFault(FaultInjectionError):
+    """An injected transient capture failure (one webpeg attempt aborted)."""
+
+
+class CaptureStallFault(TransientCaptureFault):
+    """An injected capture stall that exceeded the per-stage timeout."""
+
+
+class WorkerCrashFault(FaultInjectionError):
+    """An injected crash of one process-pool worker."""
+
+
+class TornWriteFault(FaultInjectionError):
+    """An injected torn (partial) write of a warehouse file."""
+
+
+class RetryExhaustedError(ReproError):
+    """Every retry attempt of an operation failed.
+
+    Carries ``attempts`` (how many were made) and ``last_fault`` (the final
+    failure) so callers can report the whole retry history.
+    """
+
+    def __init__(self, message: str, attempts: int = 0, last_fault=None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_fault = last_fault
+
+
+class CircuitOpenError(ReproError):
+    """The circuit breaker has quarantined this unit (too many failures)."""
+
+
+class CampaignInterrupted(CampaignError):
+    """A checkpointed campaign was deliberately killed at a chunk boundary.
+
+    Raised by the ``stop_after_chunks`` chaos hook of
+    :meth:`repro.core.campaign.CampaignRunner.run_timeline` /
+    :meth:`~repro.core.campaign.CampaignRunner.run_ab` after the requested
+    number of fresh chunks has been executed *and checkpointed*; re-running
+    the same campaign with the same ``checkpoint_dir`` resumes from the
+    surviving chunks and yields byte-identical results.
+    """
+
+    def __init__(self, message: str, completed_chunks: int = 0, total_chunks: int = 0) -> None:
+        super().__init__(message)
+        self.completed_chunks = completed_chunks
+        self.total_chunks = total_chunks

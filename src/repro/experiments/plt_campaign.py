@@ -9,16 +9,18 @@ FirstVisualChange and LastVisualChange (Figure 7).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..capture.video import Video
 from ..capture.webpeg import CaptureSettings, Webpeg
 from ..core.analysis import compare_uplt_with_metrics, mean_uplt_per_site, slider_vs_submitted
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import TimelineExperiment
+from ..errors import CaptureError
+from ..faults import FaultInjector, ResilienceReport
 from ..metrics.comparison import MetricComparison
 from ..metrics.plt import PLTMetrics, metrics_from_video
-from ..rng import DEFAULT_RNG_SCHEME
+from ..rng import DEFAULT_RNG_SCHEME, require_same_scheme
 from ..web.corpus import CorpusGenerator
 
 
@@ -33,6 +35,7 @@ class PLTCampaignResult:
         uplt_by_site: mean (cleaned) UserPerceivedPLT per site.
         comparison: correlation / difference analysis vs the metrics.
         helper_effect: per-video slider vs frame-helper vs submitted means.
+        resilience: fault-plan survival report (None for fault-free runs).
     """
 
     videos: List[Video]
@@ -41,6 +44,7 @@ class PLTCampaignResult:
     uplt_by_site: Dict[str, float]
     comparison: MetricComparison
     helper_effect: Dict[str, Dict[str, float]]
+    resilience: Optional[ResilienceReport] = None
 
 
 def run_plt_campaign(
@@ -57,6 +61,11 @@ def run_plt_campaign(
     campaign_id: str = "final-plt-timeline",
     pages=None,
     warehouse=None,
+    fault_plan=None,
+    resilience_policy=None,
+    checkpoint_dir=None,
+    checkpoint_chunk_size: int = 16,
+    stop_after_chunks: Optional[int] = None,
 ) -> PLTCampaignResult:
     """Run the PLT timeline campaign end to end.
 
@@ -83,7 +92,30 @@ def run_plt_campaign(
         warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
             sink; when given, the finished result is ingested (idempotent,
             kind ``"plt"``) so it stays queryable after the process exits.
+        fault_plan: optional :class:`~repro.faults.FaultPlan`; when given,
+            the whole pipeline runs under deterministic fault injection —
+            capture failures/stalls are retried (sites exhausting their
+            retries are quarantined and *excluded* rather than aborting the
+            campaign), participants drop out, pool workers crash, warehouse
+            writes tear — and the result carries a
+            :class:`~repro.faults.ResilienceReport`.  The plan's scheme
+            must match ``rng_scheme``.
+        resilience_policy: optional :class:`~repro.faults.ResiliencePolicy`
+            override (retry budget, stage timeout, breaker threshold).
+        checkpoint_dir: when given, participant sessions checkpoint in
+            chunks to this directory; a re-run resumes from the surviving
+            chunks with byte-identical results (including warehouse record
+            ids).
+        checkpoint_chunk_size: sessions per checkpoint chunk.
+        stop_after_chunks: chaos hook — raise
+            :class:`~repro.errors.CampaignInterrupted` after this many
+            freshly-executed chunks to simulate a mid-run kill.
     """
+    injector = None
+    if fault_plan is not None:
+        require_same_scheme(rng_scheme, fault_plan.rng_scheme,
+                            f"fault plan of campaign {campaign_id!r}")
+        injector = FaultInjector(fault_plan, resilience_policy)
     if pages is None:
         # The corpus is the scheme-independent input dataset: both schemes
         # measure the same synthetic sites, so per-site outputs stay
@@ -91,12 +123,21 @@ def run_plt_campaign(
         corpus = CorpusGenerator(seed=seed)
         pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
-    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
+    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme, injector=injector)
 
     reports = tool.capture_batch(pages, configuration="h2", max_workers=capture_workers or None)
+    # Graceful degradation: under a fault plan, quarantined sites are absent
+    # from `reports`; the campaign proceeds over the surviving corpus and the
+    # quarantine set rides along as provenance.
+    surviving = [page for page in pages if page.site_id in reports]
+    if not surviving:
+        raise CaptureError(
+            f"campaign {campaign_id!r}: every site was quarantined by the fault "
+            f"plan; lower the plan's capture rates or raise the retry budget"
+        )
     videos: List[Video] = []
     metrics_by_site: Dict[str, PLTMetrics] = {}
-    for page in pages:
+    for page in surviving:
         report = reports[page.site_id]
         videos.append(report.video)
         metrics_by_site[page.site_id] = metrics_from_video(report.video)
@@ -113,7 +154,12 @@ def run_plt_campaign(
         parallel_workers=session_workers,
         network_profile=network_profile,
     )
-    campaign = CampaignRunner(config).run_timeline(experiment)
+    campaign = CampaignRunner(config, injector=injector).run_timeline(
+        experiment,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_chunk_size=checkpoint_chunk_size,
+        stop_after_chunks=stop_after_chunks,
+    )
 
     uplt_by_site = mean_uplt_per_site(campaign.clean_dataset)
     comparison = compare_uplt_with_metrics(campaign.clean_dataset, metrics_by_site)
@@ -125,7 +171,12 @@ def run_plt_campaign(
         uplt_by_site=uplt_by_site,
         comparison=comparison,
         helper_effect=helper_effect,
+        resilience=campaign.resilience,
     )
     if warehouse is not None:
+        if injector is not None and warehouse.injector is None:
+            # Let the plan's torn-write faults reach this ingest too (the
+            # caller may also construct the warehouse with its own injector).
+            warehouse.injector = injector
         warehouse.ingest(result)
     return result

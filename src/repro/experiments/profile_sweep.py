@@ -95,6 +95,8 @@ def run_profile_sweep_campaign(
     session_workers: int = 0,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
+    fault_plan=None,
+    resilience_policy=None,
 ) -> ProfileSweepResult:
     """Run the PLT campaign once per network profile, in one pass.
 
@@ -113,6 +115,9 @@ def run_profile_sweep_campaign(
         warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
             sink; the finished sweep is ingested as one record per profile
             (each self-describing via its ``network_profile``).
+        fault_plan / resilience_policy: forwarded to every per-profile
+            :func:`run_plt_campaign` (each profile run gets a fresh
+            injector, so quarantine state never leaks across profiles).
 
     Returns:
         A :class:`ProfileSweepResult` with one campaign per profile.
@@ -141,6 +146,8 @@ def run_profile_sweep_campaign(
             rng_scheme=rng_scheme,
             campaign_id=f"profile-sweep-{name}",
             pages=pages,
+            fault_plan=fault_plan,
+            resilience_policy=resilience_policy,
         )
     sweep = ProfileSweepResult(
         profiles=names,

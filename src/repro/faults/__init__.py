@@ -1,0 +1,60 @@
+"""Deterministic fault injection and resilience machinery.
+
+This package makes the reproduction pipeline *robust by construction* and
+proves it: a seeded :class:`FaultPlan` injects failures at the pipeline's
+real seams (webpeg capture attempts, capture stalls, participant dropout,
+process-pool worker crashes, torn warehouse writes) while the resilience
+machinery — :class:`RetryPolicy` backoff, per-stage timeouts, a
+:class:`CircuitBreaker` quarantine, chunked :class:`CheckpointStore`
+checkpoint/resume — absorbs them without changing a single output bit of
+the work that succeeds.
+
+Everything is deterministic per ``(rng_scheme, seed)``: the same plan
+replays the same faults, the same backoff delays, the same quarantine set
+and dropout roster, on every machine; the ``faults`` golden kind pins a
+full faulted kill+resume campaign under both registered schemes.
+
+Quick start::
+
+    from repro.faults import FaultPlan
+    from repro.experiments.plt_campaign import run_plt_campaign
+
+    plan = FaultPlan(seed=7, capture_failure_rate=0.2, dropout_rate=0.1)
+    result = run_plt_campaign(sites=10, participants=50, fault_plan=plan,
+                              checkpoint_dir="/tmp/ckpt")
+    print(result.resilience.quarantined_sites, result.resilience.counters)
+"""
+
+from .breaker import CircuitBreaker
+from .checkpoint import CHECKPOINT_FORMAT, CheckpointStore, atomic_write_bytes
+from .injector import FaultCounters, FaultInjector, ResilienceReport
+from .plan import (
+    BOUNDARY_CAPTURE,
+    BOUNDARY_DROPOUT,
+    BOUNDARY_STALL,
+    BOUNDARY_WAREHOUSE,
+    BOUNDARY_WORKER,
+    NO_FAULTS,
+    FaultPlan,
+)
+from .retry import DEFAULT_RESILIENCE_POLICY, ResiliencePolicy, RetryPolicy
+
+__all__ = [
+    "BOUNDARY_CAPTURE",
+    "BOUNDARY_DROPOUT",
+    "BOUNDARY_STALL",
+    "BOUNDARY_WAREHOUSE",
+    "BOUNDARY_WORKER",
+    "CHECKPOINT_FORMAT",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "DEFAULT_RESILIENCE_POLICY",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "NO_FAULTS",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "RetryPolicy",
+    "atomic_write_bytes",
+]

@@ -1,0 +1,65 @@
+"""A count-based circuit breaker for repeatedly-failing units.
+
+The breaker quarantines a unit (a capture site, in the current pipeline)
+after a configurable number of *consecutive* retry-exhausted failures.
+It is deliberately clock-free — state advances only on recorded successes
+and failures — so a faulted campaign behaves identically however fast the
+host machine is, and a checkpoint-resumed run reaches the same quarantine
+set as an uninterrupted one.
+
+Unlike a production breaker there is no half-open probe state: within one
+campaign a quarantined unit stays quarantined, and the quarantine is
+recorded as provenance on the campaign result instead of aborting the run
+(graceful degradation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from ..errors import ConfigurationError
+
+
+class CircuitBreaker:
+    """Quarantine units after ``threshold`` consecutive failures.
+
+    Args:
+        threshold: consecutive failures that open the circuit for a unit.
+    """
+
+    def __init__(self, threshold: int = 1) -> None:
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be at least 1")
+        self.threshold = threshold
+        self._consecutive: Dict[str, int] = {}
+        self._open: Set[str] = set()
+
+    def allow(self, key: str) -> bool:
+        """Whether operations on ``key`` may proceed (circuit closed)."""
+        return key not in self._open
+
+    def record_success(self, key: str) -> None:
+        """Reset the consecutive-failure count of ``key``."""
+        self._consecutive.pop(key, None)
+
+    def record_failure(self, key: str) -> bool:
+        """Count one (retry-exhausted) failure; returns True when the
+        circuit opened on this failure."""
+        count = self._consecutive.get(key, 0) + 1
+        self._consecutive[key] = count
+        if count >= self.threshold and key not in self._open:
+            self._open.add(key)
+            return True
+        return False
+
+    def is_open(self, key: str) -> bool:
+        """Whether ``key`` is quarantined."""
+        return key in self._open
+
+    @property
+    def quarantined(self) -> Tuple[str, ...]:
+        """Every quarantined unit, sorted for stable provenance."""
+        return tuple(sorted(self._open))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(threshold={self.threshold}, open={sorted(self._open)})"

@@ -1,0 +1,252 @@
+"""The fault injector: plan + resilience machinery + accounting.
+
+A :class:`FaultInjector` is the one object threaded through a faulted run.
+It owns the :class:`~repro.faults.plan.FaultPlan` (which faults fire), the
+:class:`~repro.faults.retry.ResiliencePolicy` (how they are absorbed), a
+:class:`~repro.faults.breaker.CircuitBreaker` (when a unit is quarantined),
+and the :class:`FaultCounters` that account for everything injected and
+everything absorbed — the numbers surfaced in ``BENCH_pipeline.json``'s
+``_meta.faults`` block.
+
+Determinism note: the *decisions* (what fires, what is quarantined, who
+drops out) are pure functions of the plan and are identical between an
+uninterrupted run and a checkpoint-resumed one.  The *execution counters*
+(retries performed, worker crashes absorbed) describe one concrete
+execution: a resumed run skips already-checkpointed chunks, so its
+execution counters legitimately differ.  Only the decision-derived facts go
+into warehouse records (see :meth:`ResilienceReport.provenance_dict`),
+which is what keeps kill/resume record ids byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import (
+    CaptureStallFault,
+    CircuitOpenError,
+    RetryExhaustedError,
+    TornWriteFault,
+    TransientCaptureFault,
+)
+from .breaker import CircuitBreaker
+from .checkpoint import atomic_write_bytes
+from .plan import (
+    BOUNDARY_CAPTURE,
+    BOUNDARY_STALL,
+    BOUNDARY_WAREHOUSE,
+    FaultPlan,
+)
+from .retry import DEFAULT_RESILIENCE_POLICY, ResiliencePolicy
+
+
+@dataclass
+class FaultCounters:
+    """Accounting of one faulted execution (injected and absorbed)."""
+
+    capture_faults_injected: int = 0
+    capture_stalls_injected: int = 0
+    capture_retries: int = 0
+    capture_exhausted: int = 0
+    dropouts_injected: int = 0
+    worker_crashes_injected: int = 0
+    worker_crash_retries: int = 0
+    torn_writes_injected: int = 0
+    warehouse_write_retries: int = 0
+    backoff_seconds_total: float = 0.0
+    stall_seconds_total: float = 0.0
+    quarantined_sites: List[str] = field(default_factory=list)
+
+    def quarantine(self, site_id: str) -> None:
+        """Record one quarantined site (idempotent, order kept sorted)."""
+        if site_id not in self.quarantined_sites:
+            self.quarantined_sites.append(site_id)
+            self.quarantined_sites.sort()
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected across every boundary."""
+        return (self.capture_faults_injected + self.capture_stalls_injected
+                + self.dropouts_injected + self.worker_crashes_injected
+                + self.torn_writes_injected)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable counters (the ``_meta.faults`` block of the bench)."""
+        return {
+            "capture_faults_injected": self.capture_faults_injected,
+            "capture_stalls_injected": self.capture_stalls_injected,
+            "capture_retries": self.capture_retries,
+            "capture_exhausted": self.capture_exhausted,
+            "dropouts_injected": self.dropouts_injected,
+            "worker_crashes_injected": self.worker_crashes_injected,
+            "worker_crash_retries": self.worker_crash_retries,
+            "torn_writes_injected": self.torn_writes_injected,
+            "warehouse_write_retries": self.warehouse_write_retries,
+            "backoff_seconds_total": round(self.backoff_seconds_total, 9),
+            "stall_seconds_total": round(self.stall_seconds_total, 9),
+            "quarantined_sites": list(self.quarantined_sites),
+            "total_injected": self.total_injected,
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """How a campaign survived its fault plan (attached to the result).
+
+    Attributes:
+        fault_plan: the plan's :meth:`~repro.faults.plan.FaultPlan.as_dict`.
+        quarantined_sites: sites the circuit breaker removed from the run.
+        dropouts: participant id -> {"completed": k, "assigned": n} for
+            every injected mid-session abandonment.
+        counters: full execution counters (see the module note: these
+            describe one execution and are *not* stored in warehouse
+            records).
+    """
+
+    fault_plan: Dict[str, object]
+    quarantined_sites: Tuple[str, ...]
+    dropouts: Dict[str, Dict[str, int]]
+    counters: Dict[str, object]
+
+    def provenance_dict(self) -> Dict[str, object]:
+        """The deterministic, resume-stable subset stored in records.
+
+        Everything here is a pure function of ``(workload, fault plan)`` —
+        identical for an uninterrupted run and a kill+resume run — which is
+        the property that keeps warehouse record ids byte-identical across
+        resume.  Execution counters are deliberately excluded.
+        """
+        return {
+            "fault_plan": dict(self.fault_plan),
+            "quarantined_sites": list(self.quarantined_sites),
+            "dropouts": {
+                pid: dict(info) for pid, info in sorted(self.dropouts.items())
+            },
+        }
+
+
+class FaultInjector:
+    """Injects a plan's faults and absorbs them with the configured policy.
+
+    Args:
+        plan: the deterministic fault schedule.
+        policy: retry/timeout/breaker budget (defaults to
+            :data:`~repro.faults.retry.DEFAULT_RESILIENCE_POLICY`).
+    """
+
+    def __init__(self, plan: FaultPlan, policy: Optional[ResiliencePolicy] = None) -> None:
+        self.plan = plan
+        self.policy = policy or DEFAULT_RESILIENCE_POLICY
+        self.counters = FaultCounters()
+        self.breaker = CircuitBreaker(self.policy.breaker_threshold)
+
+    # -- capture boundary --------------------------------------------------------
+
+    def run_capture(self, site_id: str, capture_fn: Callable[[], object]):
+        """Run one capture under the plan, retrying injected faults.
+
+        Raises:
+            CircuitOpenError: when ``site_id`` is already quarantined.
+            RetryExhaustedError: when every attempt faulted; the breaker has
+                recorded the failure (and usually quarantined the site).
+        """
+        if not self.breaker.allow(site_id):
+            raise CircuitOpenError(
+                f"site {site_id!r} is quarantined by the circuit breaker "
+                f"(threshold {self.policy.breaker_threshold})"
+            )
+        retry = self.policy.retry
+        plan = self.plan
+        last_fault = None
+        for attempt in range(retry.max_attempts):
+            stalled = plan.fires(BOUNDARY_STALL, site_id, attempt)
+            failed = plan.fires(BOUNDARY_CAPTURE, site_id, attempt)
+            if stalled:
+                self.counters.capture_stalls_injected += 1
+                self.counters.stall_seconds_total += self.policy.capture_timeout_seconds
+                last_fault = CaptureStallFault(
+                    f"injected capture stall for {site_id!r} exceeded the "
+                    f"{self.policy.capture_timeout_seconds}s stage timeout "
+                    f"(attempt {attempt + 1}/{retry.max_attempts})"
+                )
+            if failed:
+                self.counters.capture_faults_injected += 1
+                if not stalled:
+                    last_fault = TransientCaptureFault(
+                        f"injected transient capture failure for {site_id!r} "
+                        f"(attempt {attempt + 1}/{retry.max_attempts})"
+                    )
+            if stalled or failed:
+                if attempt + 1 < retry.max_attempts:
+                    self.counters.capture_retries += 1
+                    self.counters.backoff_seconds_total += retry.backoff_delay(
+                        plan, f"capture:{site_id}", attempt
+                    )
+                    continue
+                self.counters.capture_exhausted += 1
+                opened = self.breaker.record_failure(site_id)
+                if opened:
+                    self.counters.quarantine(site_id)
+                raise RetryExhaustedError(
+                    f"capture of {site_id!r} failed on all {retry.max_attempts} "
+                    f"attempts ({'quarantined' if opened else 'breaker counting'}): "
+                    f"{last_fault}",
+                    attempts=retry.max_attempts,
+                    last_fault=last_fault,
+                )
+            result = capture_fn()
+            self.breaker.record_success(site_id)
+            return result
+        raise AssertionError("unreachable: retry loop returns or raises")
+
+    # -- warehouse boundary ------------------------------------------------------
+
+    def run_warehouse_write(self, fault_key: str, path: Path, data: bytes) -> None:
+        """Atomically write ``data`` to ``path``, retrying injected torn writes.
+
+        An injected torn write leaves the first half of ``data`` in the
+        ``<name>.tmp`` staging file next to ``path`` — exactly the debris a
+        crash mid-write leaves.  The retry's successful
+        :func:`~repro.faults.checkpoint.atomic_write_bytes` rewrites that
+        same staging file in full and renames it over ``path``, so an
+        absorbed fault leaves a clean store behind (``fsck`` verifies this).
+
+        Raises:
+            RetryExhaustedError: when every write attempt was torn; the
+                partial ``.tmp`` file is left on disk for ``fsck`` to find.
+        """
+        path = Path(path)
+        retry = self.policy.retry
+        plan = self.plan
+        for attempt in range(retry.max_attempts):
+            if plan.fires(BOUNDARY_WAREHOUSE, fault_key, attempt):
+                tmp = path.with_name(path.name + ".tmp")
+                tmp.write_bytes(data[: len(data) // 2])
+                self.counters.torn_writes_injected += 1
+                if attempt + 1 < retry.max_attempts:
+                    self.counters.warehouse_write_retries += 1
+                    self.counters.backoff_seconds_total += retry.backoff_delay(
+                        plan, f"warehouse:{fault_key}", attempt
+                    )
+                    continue
+                raise RetryExhaustedError(
+                    f"warehouse write of {path} was torn on all "
+                    f"{retry.max_attempts} attempts",
+                    attempts=retry.max_attempts,
+                    last_fault=TornWriteFault(f"injected torn write of {path}"),
+                )
+            atomic_write_bytes(path, data)
+            return
+
+    # -- reporting ---------------------------------------------------------------
+
+    def report(self, dropouts: Optional[Dict[str, Dict[str, int]]] = None) -> ResilienceReport:
+        """Build the :class:`ResilienceReport` of this execution."""
+        return ResilienceReport(
+            fault_plan=self.plan.as_dict(),
+            quarantined_sites=tuple(self.counters.quarantined_sites),
+            dropouts=dict(dropouts or {}),
+            counters=self.counters.as_dict(),
+        )

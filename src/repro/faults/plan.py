@@ -1,0 +1,152 @@
+"""Seeded, order-independent fault plans.
+
+A :class:`FaultPlan` decides — deterministically — which operations of a
+campaign run are hit by injected failures.  Every decision is a pure
+function of ``(plan.seed, plan.rng_scheme, boundary, key, attempt)``:
+the plan forks a dedicated stream off the :mod:`repro.rng` scheme registry
+per decision, so
+
+* the same plan replays the exact same faults on every run (the contract
+  the ``faults`` golden kind pins),
+* decisions are **order-independent** — asking about site B before site A
+  cannot change either answer, which is what makes checkpoint/resume and
+  parallel execution reproduce the uninterrupted serial run,
+* fault streams are disjoint from the pipeline's own streams (they hang off
+  a ``fault:`` label root), so enabling a plan never perturbs the
+  randomness of work that *succeeds*.
+
+The zero-rate fast path matters: a disabled boundary answers without any
+RNG work, so a :data:`NO_FAULTS` plan adds nothing measurable to the fault-
+free hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..rng import DEFAULT_RNG_SCHEME, SeededRNG, validate_scheme
+
+#: Fault boundaries a plan can fire at, mapped to their rate field.  These
+#: are the pipeline's *real* seams: webpeg capture attempts, capture stalls,
+#: participant dropout in the campaign runner, process-pool worker crashes,
+#: and warehouse file writes.
+BOUNDARY_CAPTURE = "capture"
+BOUNDARY_STALL = "stall"
+BOUNDARY_DROPOUT = "dropout"
+BOUNDARY_WORKER = "worker"
+BOUNDARY_WAREHOUSE = "warehouse"
+
+_BOUNDARY_RATE_FIELDS: Dict[str, str] = {
+    BOUNDARY_CAPTURE: "capture_failure_rate",
+    BOUNDARY_STALL: "capture_stall_rate",
+    BOUNDARY_DROPOUT: "dropout_rate",
+    BOUNDARY_WORKER: "worker_crash_rate",
+    BOUNDARY_WAREHOUSE: "torn_write_rate",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One campaign's deterministic fault schedule.
+
+    Attributes:
+        seed: seed of every fault stream (independent of the campaign seed,
+            so the same workload can be replayed under many fault plans).
+        rng_scheme: versioned RNG scheme the decisions are drawn under (see
+            :mod:`repro.rng`); must match the campaign's scheme so a faulted
+            run is reproducible per ``(scheme, seed)`` like everything else.
+        capture_failure_rate: probability one webpeg capture *attempt*
+            fails transiently (retried with backoff).
+        capture_stall_rate: probability one capture attempt stalls past the
+            per-stage timeout (also retried; both can fire on one attempt).
+        dropout_rate: probability a participant abandons their session
+            partway through the task list.
+        worker_crash_rate: probability a process-pool session worker
+            crashes (the parent re-runs the unit in-process).
+        torn_write_rate: probability one warehouse write attempt is torn
+            mid-write (leaving a partial ``.tmp`` file; retried).
+    """
+
+    seed: int = 2016
+    rng_scheme: str = DEFAULT_RNG_SCHEME
+    capture_failure_rate: float = 0.0
+    capture_stall_rate: float = 0.0
+    dropout_rate: float = 0.0
+    worker_crash_rate: float = 0.0
+    torn_write_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        validate_scheme(self.rng_scheme)
+        for boundary, field_name in _BOUNDARY_RATE_FIELDS.items():
+            rate = getattr(self, field_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{field_name} must be in [0, 1], got {rate!r} (boundary {boundary!r})"
+                )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any boundary has a nonzero rate."""
+        return any(getattr(self, f) > 0.0 for f in _BOUNDARY_RATE_FIELDS.values())
+
+    def rate_for(self, boundary: str) -> float:
+        """The configured rate of one fault boundary.
+
+        Raises:
+            ConfigurationError: for unknown boundary names.
+        """
+        field_name = _BOUNDARY_RATE_FIELDS.get(boundary)
+        if field_name is None:
+            raise ConfigurationError(
+                f"unknown fault boundary {boundary!r}; known boundaries: "
+                f"{', '.join(sorted(_BOUNDARY_RATE_FIELDS))}"
+            )
+        return getattr(self, field_name)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable plan (stored as provenance on faulted records)."""
+        return {
+            "seed": self.seed,
+            "rng_scheme": self.rng_scheme,
+            **{f: getattr(self, f) for f in sorted(_BOUNDARY_RATE_FIELDS.values())},
+        }
+
+    # -- decisions ---------------------------------------------------------------
+
+    def fires(self, boundary: str, key: str, attempt: int = 0) -> bool:
+        """Whether the fault at ``(boundary, key, attempt)`` fires.
+
+        A pure function of the plan and its arguments — independent of call
+        order, of how many other decisions were made, and of which process
+        asks (the plan is picklable and workers reach identical answers).
+        """
+        rate = self.rate_for(boundary)
+        if rate <= 0.0:
+            return False
+        label = f"fault:{boundary}:{key}:a{attempt}"
+        return SeededRNG(self.seed, self.rng_scheme).fork_random(label) < rate
+
+    def stream(self, boundary: str, key: str) -> SeededRNG:
+        """A dedicated stream for multi-draw decisions at one fault site."""
+        self.rate_for(boundary)  # validate the boundary name
+        return SeededRNG(self.seed, self.rng_scheme).fork(f"fault-stream:{boundary}:{key}")
+
+    def dropout_after(self, participant_id: str, assigned: int) -> Optional[int]:
+        """How many tasks a participant completes before abandoning.
+
+        Returns None when the participant does not drop out (including when
+        only one task is assigned — a dropout before the first submission is
+        indistinguishable from never showing up, which admission already
+        models), otherwise an integer in ``[1, assigned - 1]``.
+        """
+        if assigned < 2 or not self.fires(BOUNDARY_DROPOUT, participant_id):
+            return None
+        return self.stream(BOUNDARY_DROPOUT, participant_id).randint(1, assigned - 1)
+
+
+#: The all-zero plan: every decision is False, with no RNG work at all.
+NO_FAULTS = FaultPlan()

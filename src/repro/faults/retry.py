@@ -1,0 +1,92 @@
+"""Deterministic retry policies: exponential backoff with seeded jitter.
+
+Real systems jitter their backoff to avoid thundering herds; this
+reproduction keeps the jitter but draws it from the :mod:`repro.rng` scheme
+registry, so a retried run backs off by *exactly* the same delays every
+time.  Delays are **recorded, not slept**: the pipeline is a simulation, so
+backoff time is accounted in
+:class:`repro.faults.injector.FaultCounters.backoff_seconds_total` the same
+way the network simulator accounts transfer time, without wall-clock cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..rng import SeededRNG
+
+from .plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    Attributes:
+        max_attempts: total tries per operation (first attempt included).
+        base_delay_seconds: delay before the first retry.
+        multiplier: exponential growth factor per retry.
+        max_delay_seconds: backoff ceiling.
+        jitter_fraction: symmetric jitter amplitude; the delay for attempt
+            ``a`` is ``min(base * multiplier**a, max) * (1 + j*u)`` with
+            ``u`` uniform in [-1, 1] drawn from the fault plan's scheme, so
+            the schedule is reproducible per (scheme, seed, label, attempt).
+    """
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.05
+    multiplier: float = 2.0
+    max_delay_seconds: float = 2.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1)")
+
+    def backoff_delay(self, plan: FaultPlan, label: str, attempt: int) -> float:
+        """The (simulated) delay before retrying ``label`` after ``attempt``.
+
+        Deterministic: the jitter draw forks ``backoff:{label}:a{attempt}``
+        off the plan's seed under the plan's scheme.
+        """
+        raw = min(self.base_delay_seconds * self.multiplier ** attempt, self.max_delay_seconds)
+        if self.jitter_fraction <= 0.0 or raw <= 0.0:
+            return raw
+        u = SeededRNG(plan.seed, plan.rng_scheme).fork_random(f"backoff:{label}:a{attempt}")
+        return raw * (1.0 + self.jitter_fraction * (2.0 * u - 1.0))
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How much injected failure the pipeline absorbs before giving up.
+
+    Attributes:
+        retry: the backoff policy applied at every retryable boundary.
+        capture_timeout_seconds: per-stage timeout charged for an injected
+            capture stall (the stall always exceeds it; real stalls shorter
+            than a stage timeout are indistinguishable from slow work).
+        breaker_threshold: consecutive retry-exhausted failures of one unit
+            (site) before the circuit breaker quarantines it.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    capture_timeout_seconds: float = 30.0
+    breaker_threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capture_timeout_seconds <= 0:
+            raise ConfigurationError("capture_timeout_seconds must be positive")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be at least 1")
+
+
+#: The default resilience budget used when a driver is given a fault plan
+#: but no explicit policy.
+DEFAULT_RESILIENCE_POLICY = ResiliencePolicy()

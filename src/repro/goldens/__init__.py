@@ -10,14 +10,18 @@ versioned event instead of a silent re-seed: the default ``sha256-v1``
 goldens pin the seed implementation's outputs forever, and ``splitmix64-v2``
 ships its own set generated the day the scheme landed.
 
-Three golden *kinds* are stored: ``plt`` (the PLT timeline campaign, at
+Four golden *kinds* are stored: ``plt`` (the PLT timeline campaign, at
 small/bench/full scales), ``sweep`` (the network-profile sweep campaign,
 at small scale over a representative fast/default/slow profile subset —
-see :data:`SWEEP_SCALES`), and ``warehouse`` (a small-scale
+see :data:`SWEEP_SCALES`), ``warehouse`` (a small-scale
 ingest→query→stats round trip through :mod:`repro.warehouse`, pinning the
 record's sha256 content address — and with it the canonical record
 serialisation, byte for byte — plus the bootstrap/Spearman statistics,
-per RNG scheme).
+per RNG scheme), and ``faults`` (a chaos run under the pinned
+:data:`GOLDEN_FAULT_RATES` fault plan: the quarantine set, dropout roster,
+fault counters, surviving outputs, **and** the contract that killing the
+campaign at a chunk boundary and resuming yields a byte-identical
+warehouse record id, per RNG scheme).
 
 Workflow (also available as ``python -m repro.goldens``)::
 
@@ -80,15 +84,40 @@ WAREHOUSE_SCALES: Dict[str, Dict[str, int]] = {
     "small": {"sites": 4, "participants": 16, "loads": 2},
 }
 
+#: Scales of the faulted-campaign golden/smoke runs.  ``small`` (the stored
+#: golden) is small enough for tier-2 but big enough that the pinned fault
+#: plan actually quarantines a site, drops participants, and tears a
+#: warehouse write under both schemes; ``bench`` matches the perf bench
+#: workload and backs the CI chaos smoke (``python -m repro.faults smoke
+#: --scale bench``) without a stored golden.  ``chunk`` is the checkpoint
+#: chunk size of the kill/resume leg.
+FAULT_SCALES: Dict[str, Dict[str, int]] = {
+    "small": {"sites": 5, "participants": 16, "loads": 2, "chunk": 4},
+    "bench": {"sites": 30, "participants": 200, "loads": 3, "chunk": 50},
+}
+
+#: The fault rates of the pinned chaos plan (the plan's seed/scheme follow
+#: the golden's).  Tuned so every boundary fires at the golden scale while
+#: no site loses *all* retries of *every* boundary draw.
+GOLDEN_FAULT_RATES: Dict[str, float] = {
+    "capture_failure_rate": 0.4,
+    "capture_stall_rate": 0.25,
+    "dropout_rate": 0.25,
+    "worker_crash_rate": 0.3,
+    "torn_write_rate": 0.35,
+}
+
 #: Golden kinds: file-name prefix and the snapshot ``kind`` tag.
 _SNAPSHOT_KIND = "plt-campaign"
 _SWEEP_SNAPSHOT_KIND = "profile-sweep"
 _WAREHOUSE_SNAPSHOT_KIND = "warehouse-ingest"
-KINDS = ("plt", "sweep", "warehouse")
+_FAULTS_SNAPSHOT_KIND = "faulted-campaign"
+KINDS = ("plt", "sweep", "warehouse", "faults")
 _KIND_TAGS = {
     "plt": _SNAPSHOT_KIND,
     "sweep": _SWEEP_SNAPSHOT_KIND,
     "warehouse": _WAREHOUSE_SNAPSHOT_KIND,
+    "faults": _FAULTS_SNAPSHOT_KIND,
 }
 
 #: Scales registry per golden kind (shared with the CLI in ``__main__``).
@@ -96,6 +125,7 @@ KIND_SCALES: Dict[str, Dict[str, Dict]] = {
     "plt": SCALES,
     "sweep": SWEEP_SCALES,
     "warehouse": WAREHOUSE_SCALES,
+    "faults": FAULT_SCALES,
 }
 
 
@@ -286,6 +316,102 @@ def snapshot_warehouse(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict
         }
 
 
+def snapshot_faulted_campaign(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Run the chaos campaign twice and snapshot resilience + resume identity.
+
+    Two legs, both under the pinned :data:`GOLDEN_FAULT_RATES` plan (seeded
+    with the golden seed, under ``scheme``), both checkpointed and ingested
+    into their own throwaway warehouse:
+
+    * **Leg A** runs uninterrupted.  Its warehouse record id, quarantine
+      set, dropout roster, fault counters, Table 1 row and per-site UPLT
+      (``repr`` strings) are what the golden pins.
+    * **Leg B** is killed via ``stop_after_chunks=1`` at the first chunk
+      boundary, then re-run to completion from the surviving checkpoint.
+
+    The snapshot records ``resume_identical`` — whether leg B's record id
+    is byte-identical to leg A's — plus ``fsck_clean`` for both warehouses
+    (every absorbed torn write must leave a consistent store).  Verifying
+    this golden therefore re-proves the whole resilience contract, not just
+    a frozen number.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..errors import CampaignInterrupted
+    from ..experiments.plt_campaign import run_plt_campaign
+    from ..faults import FaultPlan
+    from ..warehouse import ResultsWarehouse
+
+    validate_scheme(scheme)
+    dims = _check_scale("faults", scale)
+    plan = FaultPlan(seed=seed, rng_scheme=scheme, **GOLDEN_FAULT_RATES)
+    kwargs = dict(
+        sites=dims["sites"], participants=dims["participants"],
+        loads_per_site=dims["loads"], seed=seed, rng_scheme=scheme,
+        campaign_id="faults-golden", fault_plan=plan,
+        checkpoint_chunk_size=dims["chunk"],
+    )
+    with tempfile.TemporaryDirectory(prefix="faults-golden-") as tmp:
+        root = _Path(tmp)
+        DEFAULT_CAPTURE_CACHE.clear()
+        try:
+            warehouse_a = ResultsWarehouse(root / "warehouse-a")
+            result = run_plt_campaign(
+                checkpoint_dir=root / "checkpoint-a", warehouse=warehouse_a, **kwargs
+            )
+            record_a = warehouse_a.records()[0]
+
+            warehouse_b = ResultsWarehouse(root / "warehouse-b")
+            interrupted = False
+            try:
+                run_plt_campaign(
+                    checkpoint_dir=root / "checkpoint-b", warehouse=warehouse_b,
+                    stop_after_chunks=1, **kwargs
+                )
+            except CampaignInterrupted:
+                interrupted = True
+            run_plt_campaign(
+                checkpoint_dir=root / "checkpoint-b", warehouse=warehouse_b, **kwargs
+            )
+            record_b = warehouse_b.records()[0]
+        finally:
+            DEFAULT_CAPTURE_CACHE.clear()
+        resilience = result.resilience
+        return {
+            "kind": _FAULTS_SNAPSHOT_KIND,
+            "rng_scheme": scheme,
+            "seed": seed,
+            "scale": {"name": scale, **dims},
+            "fault_plan": plan.as_dict(),
+            "record_id": record_a.record_id,
+            "interrupted": interrupted,
+            "resume_identical": record_b.record_id == record_a.record_id,
+            # The ResilienceReport is snapshotted by the campaign runner
+            # *before* warehouse ingest, so torn-write counts live on the
+            # injector (shared with the warehouse) and are pinned separately.
+            "ingest_faults": {
+                key: warehouse_a.injector.counters.as_dict()[key]
+                for key in ("torn_writes_injected", "warehouse_write_retries")
+            },
+            "quarantined_sites": list(resilience.quarantined_sites),
+            "dropouts": {
+                pid: dict(info) for pid, info in sorted(resilience.dropouts.items())
+            },
+            "counters": dict(resilience.counters),
+            "surviving_sites": sorted(result.uplt_by_site),
+            "table1": result.campaign.table1_row,
+            "uplt_by_site": {
+                site: repr(value) for site, value in sorted(result.uplt_by_site.items())
+            },
+            "fsck_clean": {
+                "warehouse_a": warehouse_a.fsck().clean,
+                "warehouse_b": warehouse_b.fsck().clean,
+            },
+        }
+
+
 def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
     """Write ``snapshot`` into the store; refuses to overwrite unless asked.
 
@@ -408,9 +534,14 @@ def diff_warehouse_snapshots(golden: Dict[str, object], fresh: Dict[str, object]
     return differences
 
 
+def diff_fault_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
+    """Leaf-by-leaf differences of two faulted-campaign snapshots."""
+    return diff_warehouse_snapshots(golden, fresh)
+
+
 def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
                   kind: str = "plt") -> List[str]:
-    """Re-run the campaign (or sweep / warehouse trip) and diff the golden.
+    """Re-run the campaign (or sweep / warehouse / chaos trip) and diff.
 
     Returns the list of differences — empty means the stored golden is
     reproduced bit-for-bit under its scheme.
@@ -422,6 +553,9 @@ def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
     if kind == "warehouse":
         fresh = snapshot_warehouse(scheme, scale, seed)
         return diff_warehouse_snapshots(golden, fresh)
+    if kind == "faults":
+        fresh = snapshot_faulted_campaign(scheme, scale, seed)
+        return diff_fault_snapshots(golden, fresh)
     fresh = snapshot_plt_campaign(scheme, scale, seed)
     return diff_snapshots(golden, fresh)
 

@@ -7,9 +7,11 @@ Commands:
     refresh    like capture, but overwrites — the explicit re-baseline step
     diff       compare two stored goldens (e.g. sha256-v1 vs splitmix64-v2)
 
-Three golden kinds exist: ``plt`` (the PLT timeline campaign, at small/
+Four golden kinds exist: ``plt`` (the PLT timeline campaign, at small/
 bench/full scales), ``sweep`` (the network-profile sweep, at small scale),
-and ``warehouse`` (the results-warehouse ingest/query/stats round trip, at
+``warehouse`` (the results-warehouse ingest/query/stats round trip, at
+small scale), and ``faults`` (the chaos campaign under the pinned fault
+plan, including the kill-at-chunk-boundary/resume record-id identity, at
 small scale).  ``verify`` checks every stored golden of every kind by
 default; ``capture`` / ``refresh`` / ``diff`` take ``--kind`` (default
 ``plt``).
@@ -26,18 +28,21 @@ from typing import List, Optional
 
 from ..rng import RNG_SCHEMES
 from . import (
+    FAULT_SCALES,
     GOLDEN_SEED,
     KIND_SCALES,
     KINDS,
     SCALES,
     SWEEP_SCALES,
     WAREHOUSE_SCALES,
+    diff_fault_snapshots,
     diff_snapshots,
     diff_sweep_snapshots,
     diff_warehouse_snapshots,
     golden_path,
     load_golden,
     save_golden,
+    snapshot_faulted_campaign,
     snapshot_plt_campaign,
     snapshot_profile_sweep,
     snapshot_warehouse,
@@ -50,11 +55,13 @@ _SNAPSHOT_FNS = {
     "plt": snapshot_plt_campaign,
     "sweep": snapshot_profile_sweep,
     "warehouse": snapshot_warehouse,
+    "faults": snapshot_faulted_campaign,
 }
 _DIFF_FNS = {
     "plt": diff_snapshots,
     "sweep": diff_sweep_snapshots,
     "warehouse": diff_warehouse_snapshots,
+    "faults": diff_fault_snapshots,
 }
 
 
@@ -136,7 +143,9 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="show stored goldens")
 
-    all_scales = sorted(set(SCALES) | set(SWEEP_SCALES) | set(WAREHOUSE_SCALES))
+    all_scales = sorted(
+        set(SCALES) | set(SWEEP_SCALES) | set(WAREHOUSE_SCALES) | set(FAULT_SCALES)
+    )
     for name, help_text in (
         ("verify", "check stored goldens reproduce bit-for-bit"),
         ("capture", "store a new golden (refuses to overwrite)"),

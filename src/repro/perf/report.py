@@ -103,6 +103,8 @@ def run_pipeline_bench(
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     network_profile: str = BENCH_NETWORK_PROFILE,
     warehouse_dir: Optional[str] = None,
+    fault_plan=None,
+    resilience_policy=None,
 ) -> Tuple[PerfReport, Dict[str, object]]:
     """Time the capture→campaign pipeline stage by stage.
 
@@ -121,6 +123,13 @@ def run_pipeline_bench(
     own ``warehouse_ingest`` stage (kept out of ``total_seconds`` so the
     recorded trajectory stays comparable across PRs) with the record id in
     ``_meta.warehouse_record_id``.
+
+    ``fault_plan`` optionally runs the whole bench under deterministic
+    fault injection (see :mod:`repro.faults`); golden verification is then
+    skipped (faulted outputs deviate by design) and ``_meta.faults``
+    records the injected-fault counters.  The block is present — all-zero,
+    ``enabled: false`` — on fault-free runs too, so the tracked
+    ``BENCH_pipeline.json`` proves the hot path paid zero fault overhead.
     """
     # Imports here so ``--help`` stays instant.
     import gc
@@ -129,8 +138,16 @@ def run_pipeline_bench(
     from ..core.analysis import compare_uplt_with_metrics, mean_uplt_per_site
     from ..core.campaign import CampaignConfig, CampaignRunner
     from ..core.experiment import TimelineExperiment
+    from ..faults import FaultCounters, FaultInjector
     from ..metrics.plt import metrics_from_video
     from ..web.corpus import CorpusGenerator
+
+    injector = None
+    if fault_plan is not None:
+        from ..rng import require_same_scheme
+
+        require_same_scheme(rng_scheme, fault_plan.rng_scheme, "bench fault plan")
+        injector = FaultInjector(fault_plan, resilience_policy)
 
     report = PerfReport()
 
@@ -145,7 +162,7 @@ def run_pipeline_bench(
     timer.finish(events=sites)
 
     settings = CaptureSettings(loads_per_site=loads, network_profile=network_profile)
-    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
+    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme, injector=injector)
 
     DEFAULT_CAPTURE_CACHE.clear()
     timer = report.stage("capture_cold").start()
@@ -158,7 +175,10 @@ def run_pipeline_bench(
 
     videos = []
     metrics_by_site = {}
-    for page in pages:
+    # Under a fault plan, quarantined sites are absent from `reports`; the
+    # bench proceeds over the surviving corpus (graceful degradation).
+    surviving_pages = [page for page in pages if page.site_id in reports]
+    for page in surviving_pages:
         capture = reports[page.site_id]
         videos.append(capture.video)
         metrics_by_site[page.site_id] = metrics_from_video(capture.video)
@@ -174,7 +194,7 @@ def run_pipeline_bench(
         network_profile=network_profile,
     )
     timer = report.stage("campaign").start()
-    campaign = CampaignRunner(config, perf=report).run_timeline(experiment)
+    campaign = CampaignRunner(config, perf=report, injector=injector).run_timeline(experiment)
     timer.finish(events=participants)
 
     timer = report.stage("analysis").start()
@@ -190,7 +210,7 @@ def run_pipeline_bench(
         BENCH_SCALE["sites"], BENCH_SCALE["participants"], BENCH_SCALE["loads"], BENCH_SEED,
     ) and network_profile == BENCH_NETWORK_PROFILE
     verified = False
-    if verify and is_bench_scale:
+    if verify and is_bench_scale and injector is None:
         table1 = campaign.table1_row
         if rng_scheme == SCHEME_SHA256_V1:
             assert table1 == BENCH_GOLDEN_TABLE1, f"table1_row deviates from golden: {table1}"
@@ -229,6 +249,7 @@ def run_pipeline_bench(
         timer.finish(events=1)
         warehouse_record_id = record.record_id
 
+    fault_counters = (injector.counters if injector is not None else FaultCounters()).as_dict()
     report.set_meta(
         scale={"sites": sites, "participants": participants, "loads": loads},
         seed=seed,
@@ -243,6 +264,11 @@ def run_pipeline_bench(
             round(RECORDED_SEED_BASELINE["total"] / total, 3) if is_bench_scale and total else None
         ),
         warehouse_record_id=warehouse_record_id,
+        faults={
+            "enabled": injector is not None,
+            "plan": fault_plan.as_dict() if fault_plan is not None else None,
+            "counters": fault_counters,
+        },
     )
     artefacts = {
         "campaign": campaign,
@@ -316,6 +342,11 @@ def main(argv=None) -> int:
     parser.add_argument("--warehouse-dir", default=None,
                         help="ingest each scheme's bench campaign into the results "
                              "warehouse rooted here (see repro.warehouse)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="bench under the pinned golden fault plan "
+                             "(repro.goldens.GOLDEN_FAULT_RATES); golden verification "
+                             "is skipped and the report goes to BENCH_pipeline.chaos.json "
+                             "so the tracked fault-free trajectory is never overwritten")
     args = parser.parse_args(argv)
 
     if args.full_scale:
@@ -326,6 +357,12 @@ def main(argv=None) -> int:
 
     reports: Dict[str, PerfReport] = {}
     for scheme in schemes:
+        plan = None
+        if args.chaos:
+            from ..faults import FaultPlan
+            from ..goldens import GOLDEN_FAULT_RATES
+
+            plan = FaultPlan(seed=args.seed, rng_scheme=scheme, **GOLDEN_FAULT_RATES)
         reports[scheme], _ = run_pipeline_bench(
             sites=args.sites,
             participants=args.participants,
@@ -336,13 +373,17 @@ def main(argv=None) -> int:
             rng_scheme=scheme,
             network_profile=args.profile,
             warehouse_dir=args.warehouse_dir,
+            fault_plan=plan,
         )
     output = args.output
     if output is None:
         repo_root = os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         )
-        output = os.path.join(repo_root, bench_output_name(args.profile))
+        name = bench_output_name(args.profile)
+        if args.chaos:
+            name = name.replace(".json", ".chaos.json")
+        output = os.path.join(repo_root, name)
     write_pipeline_document(output, reports)
 
     print(f"wrote {output}")

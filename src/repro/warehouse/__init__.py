@@ -49,6 +49,7 @@ from .stats import (
 from .store import (
     INDEX_FORMAT,
     RECORD_FORMAT,
+    FsckReport,
     ResultsWarehouse,
     WarehouseRecord,
     canonical_json,
@@ -58,6 +59,7 @@ from .store import (
 __all__ = [
     "AgreementReport",
     "BootstrapCI",
+    "FsckReport",
     "INDEX_FORMAT",
     "RECORD_FORMAT",
     "ResultsWarehouse",

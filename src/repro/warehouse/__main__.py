@@ -8,6 +8,8 @@ Commands (all take ``--root``, the warehouse directory):
     stats      bootstrap CIs, Spearman, inter-rater agreement for a record
     smoke      CI round-trip check: ingest, re-ingest (no-op), query back,
                verify the content address — exits non-zero on any drift
+    fsck       check (or --repair) on-disk consistency: content-address
+               every record, cross-check the index, find torn-write debris
 
 ``ingest`` reuses the goldens scales (``--kind plt --scale small|bench|full``,
 ``--kind sweep --scale small``) so a warehouse can be filled with exactly the
@@ -191,6 +193,30 @@ def _cmd_smoke(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_fsck(args) -> int:
+    warehouse = ResultsWarehouse(args.root)
+    report = warehouse.fsck(repair=args.repair)
+    print(f"fsck of {args.root}: checked {report.checked} record file(s)")
+    for label, entries in (("corrupt", report.corrupt), ("missing", report.missing),
+                           ("unindexed", report.unindexed),
+                           ("tmp debris", report.tmp_debris)):
+        for entry in entries:
+            print(f"  {label}: {entry}")
+    if not report.index_ok:
+        print("  index.json is unreadable or has the wrong format")
+    if report.clean:
+        print("store is clean")
+        return 0
+    if args.repair:
+        after = warehouse.fsck()
+        print(f"repaired: corrupt records quarantined under "
+              f"{warehouse.root / 'quarantine'}, debris removed, index rebuilt")
+        print(f"post-repair state: {'clean' if after.clean else 'STILL INCONSISTENT'}")
+        return 0 if after.clean else 1
+    print("store is inconsistent (re-run with --repair to fix)")
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.warehouse", description=__doc__.splitlines()[0]
@@ -241,6 +267,12 @@ def main(argv=None) -> int:
     smoke.add_argument("--scheme", choices=(*RNG_SCHEMES, "all"), default="all")
     smoke.add_argument("--seed", type=int, default=2016)
 
+    fsck = sub.add_parser("fsck", help="check (or repair) on-disk consistency")
+    add_root(fsck)
+    fsck.add_argument("--repair", action="store_true",
+                      help="quarantine corrupt records, remove torn-write "
+                           "debris, rebuild the index")
+
     args = parser.parse_args(argv)
     handler = {
         "ingest": _cmd_ingest,
@@ -249,6 +281,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "stats": _cmd_stats,
         "smoke": _cmd_smoke,
+        "fsck": _cmd_fsck,
     }[args.command]
     try:
         return handler(args)

@@ -31,13 +31,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..core.campaign import CampaignResult
 from ..core.responses import ResponseDataset
 from ..core.storage import dataset_from_dict, dataset_to_dict
-from ..errors import WarehouseError
+from ..errors import WarehouseCorruptionError, WarehouseError
+from ..faults import atomic_write_bytes
 from ..metrics.plt import METRIC_NAMES, PLTMetrics
 
 #: Format tag stamped into every record (bump on layout changes).
@@ -128,8 +130,10 @@ class WarehouseRecord:
         """Read, integrity-check, and cache the full record body.
 
         Raises:
-            WarehouseError: when the file is missing, unparsable, or its
-                bytes no longer hash to the record id.
+            WarehouseError: when the file is missing.
+            WarehouseCorruptionError: when the file's bytes no longer hash
+                to the record id or do not parse as JSON; carries the
+                offending ``path``.
         """
         if self._body is not None:
             return self._body
@@ -139,14 +143,17 @@ class WarehouseRecord:
         raw = path.read_bytes()
         actual = hashlib.sha256(raw).hexdigest()
         if actual != self.record_id:
-            raise WarehouseError(
-                f"record {self.record_id}: content-address mismatch (file hashes to "
-                f"{actual}) — the record file was modified after ingest"
+            raise WarehouseCorruptionError(
+                f"record {self.record_id}: content-address mismatch (file at {path} "
+                f"hashes to {actual}) — the record file was modified after ingest",
+                path=path,
             )
         try:
             self._body = json.loads(raw.decode("utf-8"))
         except json.JSONDecodeError as exc:  # unreachable unless hash collides
-            raise WarehouseError(f"record {self.record_id} is not valid JSON: {exc}") from exc
+            raise WarehouseCorruptionError(
+                f"record {self.record_id} at {path} is not valid JSON: {exc}", path=path
+            ) from exc
         return self._body
 
     def clean_dataset(self) -> ResponseDataset:
@@ -188,7 +195,7 @@ def _record_body(campaign: CampaignResult, kind: str,
     site_ids = {r.site_id for r in campaign.raw_dataset.timeline_responses}
     site_ids.update(r.site_id for r in campaign.raw_dataset.ab_responses)
     config = campaign.config
-    return {
+    body: Dict[str, object] = {
         "record_format": RECORD_FORMAT,
         "kind": kind,
         "campaign_id": config.campaign_id,
@@ -213,21 +220,81 @@ def _record_body(campaign: CampaignResult, kind: str,
         },
         "clean_dataset": dataset_to_dict(clean),
     }
+    # Faulted campaigns carry their deterministic resilience provenance (the
+    # plan, the quarantine set, the dropout roster).  The key is *absent* for
+    # fault-free campaigns so their record ids stay byte-identical to records
+    # ingested before fault injection existed.
+    if campaign.resilience is not None:
+        body["resilience"] = campaign.resilience.provenance_dict()
+    return body
+
+
+@dataclass
+class FsckReport:
+    """What ``ResultsWarehouse.fsck`` found (and, with repair, fixed).
+
+    Attributes:
+        checked: record files examined.
+        corrupt: paths whose bytes no longer hash to their record id (or do
+            not parse); moved to ``quarantine/`` on repair.
+        missing: indexed record ids with no intact file on disk.
+        unindexed: intact record ids on disk absent from the index.
+        tmp_debris: leftover ``*.tmp`` staging files from torn/interrupted
+            writes; deleted on repair.
+        index_ok: whether ``index.json`` was readable and well-formed.
+        repaired: whether this run repaired what it found.
+    """
+
+    checked: int = 0
+    corrupt: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    unindexed: List[str] = field(default_factory=list)
+    tmp_debris: List[str] = field(default_factory=list)
+    index_ok: bool = True
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """Whether the store is fully consistent (nothing to repair)."""
+        return (self.index_ok and not self.corrupt and not self.missing
+                and not self.unindexed and not self.tmp_debris)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checked": self.checked,
+            "corrupt": list(self.corrupt),
+            "missing": list(self.missing),
+            "unindexed": list(self.unindexed),
+            "tmp_debris": list(self.tmp_debris),
+            "index_ok": self.index_ok,
+            "repaired": self.repaired,
+            "clean": self.clean,
+        }
 
 
 class ResultsWarehouse:
     """Append-only store of campaign results with an indexed query layer.
 
     Args:
-        root: directory the warehouse lives in; created on first ingest.
+        root: directory the warehouse lives in (``~`` expanded); created on
+            first ingest.
+        injector: optional :class:`repro.faults.FaultInjector` whose plan
+            may tear warehouse writes (chaos testing); absorbed torn writes
+            are retried and still land atomically.
 
     The sidecar ``index.json`` holds one entry of key metadata per record so
     queries never read record files; it is a pure cache of the records and
     :meth:`reindex` rebuilds it from the ``records/`` directory.
+
+    Every file the warehouse writes lands via an atomic tmp+rename, so a
+    crash (or kill) at any point leaves either the old file or the new file
+    — never a torn one — plus possibly a ``*.tmp`` staging file that
+    :meth:`fsck` recognises as debris.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
+    def __init__(self, root: Union[str, Path], injector=None) -> None:
+        self.root = Path(root).expanduser()
+        self.injector = injector
         self._index: Optional[Dict[str, Dict[str, object]]] = None
 
     # -- index management --------------------------------------------------------
@@ -250,20 +317,35 @@ class ResultsWarehouse:
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
         except json.JSONDecodeError as exc:
-            raise WarehouseError(f"warehouse index {path} is not valid JSON: {exc}") from exc
+            raise WarehouseCorruptionError(
+                f"warehouse index {path} is not valid JSON: {exc} "
+                f"(run `python -m repro.warehouse fsck --repair` to rebuild it)",
+                path=path,
+            ) from exc
         if document.get("format") != INDEX_FORMAT:
-            raise WarehouseError(
+            raise WarehouseCorruptionError(
                 f"warehouse index {path} has format {document.get('format')!r}; "
-                f"expected {INDEX_FORMAT!r}"
+                f"expected {INDEX_FORMAT!r}",
+                path=path,
             )
         self._index = dict(document.get("records") or {})
         return self._index
 
+    def _write_payload(self, path: Path, data: bytes, fault_key: str) -> None:
+        """Atomic write, routed through the injector when chaos is enabled."""
+        if self.injector is not None:
+            self.injector.run_warehouse_write(fault_key, path, data)
+        else:
+            atomic_write_bytes(path, data)
+
     def _save_index(self) -> None:
-        document = {"format": INDEX_FORMAT, "records": self._load_index()}
-        self._index_path.write_text(
-            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
+        index = self._load_index()
+        document = {"format": INDEX_FORMAT, "records": index}
+        payload = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        # The record count discriminates successive index writes, so one
+        # write's injected torn-write fate never condemns every later write
+        # (and stays identical between an uninterrupted and a resumed run).
+        self._write_payload(self._index_path, payload, f"index:{len(index)}")
 
     def reindex(self) -> int:
         """Rebuild ``index.json`` from the record files; returns the count."""
@@ -276,6 +358,68 @@ class ResultsWarehouse:
         self.root.mkdir(parents=True, exist_ok=True)
         self._save_index()
         return len(index)
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Check (and optionally repair) the store's on-disk consistency.
+
+        Checks every record file against its content-address id, the index
+        against the record set, and scans for ``*.tmp`` staging debris from
+        torn or interrupted writes.
+
+        With ``repair=True``: corrupt record files move to ``quarantine/``
+        (never deleted — they may still be salvageable by hand), debris is
+        removed, and the index is rebuilt from the surviving intact records.
+
+        Returns:
+            An :class:`FsckReport`; ``report.clean`` is the overall verdict
+            for the state *found* (a repaired store reports clean on the
+            next fsck).
+        """
+        report = FsckReport(repaired=repair)
+        intact: List[str] = []
+        corrupt_paths: List[Path] = []
+        if self._records_dir.is_dir():
+            for path in sorted(self._records_dir.glob("*.json")):
+                report.checked += 1
+                raw = path.read_bytes()
+                healthy = hashlib.sha256(raw).hexdigest() == path.stem
+                if healthy:
+                    try:
+                        json.loads(raw.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError):
+                        healthy = False
+                if healthy:
+                    intact.append(path.stem)
+                else:
+                    report.corrupt.append(str(path))
+                    corrupt_paths.append(path)
+        if self.root.is_dir():
+            report.tmp_debris = sorted(
+                str(path) for path in self.root.glob("**/*.tmp")
+            )
+        indexed: Dict[str, Dict[str, object]] = {}
+        self._index = None  # force a re-read from disk
+        try:
+            indexed = dict(self._load_index())
+        except WarehouseError:
+            report.index_ok = False
+        intact_set = set(intact)
+        report.missing = sorted(rid for rid in indexed if rid not in intact_set)
+        report.unindexed = sorted(rid for rid in intact_set if rid not in indexed)
+
+        if repair and not report.clean:
+            if corrupt_paths:
+                quarantine = self.root / "quarantine"
+                quarantine.mkdir(parents=True, exist_ok=True)
+                for path in corrupt_paths:
+                    path.rename(quarantine / path.name)
+            for debris in report.tmp_debris:
+                Path(debris).unlink(missing_ok=True)
+            self.reindex()
+        else:
+            # _load_index above may have cached a stale/partial view.
+            self._index = None
+        return report
 
     # -- ingest ------------------------------------------------------------------
 
@@ -343,7 +487,12 @@ class ResultsWarehouse:
 
         self._records_dir.mkdir(parents=True, exist_ok=True)
         path = self._records_dir / f"{record_id}.json"
-        path.write_bytes(canonical_json(body).encode("utf-8"))
+        # Record first, index second: a crash between the two leaves an
+        # unindexed (but intact) record, which `fsck --repair`/`reindex`
+        # recovers.  The reverse order could index a record that was never
+        # written.
+        self._write_payload(path, canonical_json(body).encode("utf-8"),
+                            f"record:{record_id}")
         index[record_id] = meta
         self._save_index()
         record = WarehouseRecord(self.root, record_id, meta)

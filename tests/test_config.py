@@ -65,3 +65,16 @@ def test_invalid_control_delay():
 def test_campaign_defaults_constructible():
     defaults = CampaignDefaults(validation_participants=10)
     assert defaults.validation_participants == 10
+
+
+def test_make_warehouse_expands_home_and_creates_parents(tmp_path, monkeypatch):
+    monkeypatch.setenv("HOME", str(tmp_path))
+    warehouse = ReproConfig(warehouse_dir="~/stores/deep/warehouse").make_warehouse()
+    assert warehouse.root == tmp_path / "stores" / "deep" / "warehouse"
+    assert warehouse.root.is_dir()
+    assert len(warehouse) == 0
+
+
+def test_blank_warehouse_dir_rejected():
+    with pytest.raises(ConfigurationError):
+        ReproConfig(warehouse_dir="   ")

@@ -1,0 +1,467 @@
+"""Chaos tests: fault plans, resilience machinery, checkpoint/resume, fsck.
+
+Everything here carries the ``faults`` marker; the handful of slower
+kill+resume trips are additionally tier-2 (the small ones stay tier-1 so
+the default suite proves the resilience contract on every run).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.capture.webpeg import DEFAULT_CAPTURE_CACHE
+from repro.errors import (
+    CampaignInterrupted,
+    CheckpointError,
+    CircuitOpenError,
+    ConfigurationError,
+    RetryExhaustedError,
+    WarehouseCorruptionError,
+)
+from repro.faults import (
+    BOUNDARY_CAPTURE,
+    BOUNDARY_DROPOUT,
+    BOUNDARY_STALL,
+    BOUNDARY_WAREHOUSE,
+    BOUNDARY_WORKER,
+    NO_FAULTS,
+    CheckpointStore,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.rng import RNG_SCHEMES, SCHEME_SHA256_V1, SCHEME_SPLITMIX64_V2
+from repro.warehouse import ResultsWarehouse
+
+pytestmark = pytest.mark.faults
+
+BOUNDARIES = (BOUNDARY_CAPTURE, BOUNDARY_STALL, BOUNDARY_DROPOUT,
+              BOUNDARY_WORKER, BOUNDARY_WAREHOUSE)
+
+
+def _small_campaign(**overrides):
+    """One tiny PLT campaign (3 sites, 10 participants) with fresh captures."""
+    from repro.experiments.plt_campaign import run_plt_campaign
+
+    kwargs = dict(sites=3, participants=10, loads_per_site=2, seed=2016)
+    kwargs.update(overrides)
+    DEFAULT_CAPTURE_CACHE.clear()
+    try:
+        return run_plt_campaign(**kwargs)
+    finally:
+        DEFAULT_CAPTURE_CACHE.clear()
+
+
+# -- the plan ---------------------------------------------------------------------
+
+
+def test_plan_validates_rates_and_scheme():
+    with pytest.raises(ConfigurationError, match="capture_failure_rate"):
+        FaultPlan(capture_failure_rate=1.5)
+    with pytest.raises(ConfigurationError, match="torn_write_rate"):
+        FaultPlan(torn_write_rate=-0.1)
+    with pytest.raises(Exception):
+        FaultPlan(rng_scheme="md5-v0")
+    with pytest.raises(ConfigurationError, match="unknown fault boundary"):
+        NO_FAULTS.rate_for("cosmic-rays")
+
+
+def test_no_faults_is_inert():
+    assert not NO_FAULTS.enabled
+    for boundary in BOUNDARIES:
+        assert not NO_FAULTS.fires(boundary, "site-000")
+    assert NO_FAULTS.dropout_after("p-1", 6) is None
+
+
+def test_plan_decisions_are_deterministic_and_order_independent():
+    plan = FaultPlan(seed=42, capture_failure_rate=0.5, dropout_rate=0.5,
+                     worker_crash_rate=0.5, torn_write_rate=0.5,
+                     capture_stall_rate=0.5)
+    grid = [(b, f"unit-{i:03d}", a) for b in BOUNDARIES for i in range(20) for a in range(3)]
+    forward = [plan.fires(*cell) for cell in grid]
+    backward = [plan.fires(*cell) for cell in reversed(grid)]
+    assert forward == list(reversed(backward))
+    assert any(forward) and not all(forward)
+
+
+def test_plan_decisions_differ_across_schemes_and_seeds():
+    grid = [(BOUNDARY_CAPTURE, f"site-{i:03d}", a) for i in range(50) for a in range(3)]
+    v1 = FaultPlan(seed=7, rng_scheme=SCHEME_SHA256_V1, capture_failure_rate=0.5)
+    v2 = FaultPlan(seed=7, rng_scheme=SCHEME_SPLITMIX64_V2, capture_failure_rate=0.5)
+    reseeded = FaultPlan(seed=8, rng_scheme=SCHEME_SHA256_V1, capture_failure_rate=0.5)
+    decisions = lambda plan: [plan.fires(*cell) for cell in grid]  # noqa: E731
+    assert decisions(v1) != decisions(v2)
+    assert decisions(v1) != decisions(reseeded)
+
+
+def test_plan_survives_pickling():
+    plan = FaultPlan(seed=3, capture_failure_rate=0.5, dropout_rate=0.3)
+    clone = pickle.loads(pickle.dumps(plan))
+    cells = [(BOUNDARY_CAPTURE, f"s{i}", a) for i in range(20) for a in range(3)]
+    assert [plan.fires(*c) for c in cells] == [clone.fires(*c) for c in cells]
+    assert clone.as_dict() == plan.as_dict()
+
+
+def test_dropout_after_contract():
+    plan = FaultPlan(seed=5, dropout_rate=1.0)
+    assert plan.dropout_after("p-1", 1) is None  # single task: no mid-session point
+    for pid in ("p-1", "p-2", "p-3"):
+        point = plan.dropout_after(pid, 6)
+        assert point is not None and 1 <= point <= 5
+        assert plan.dropout_after(pid, 6) == point  # deterministic
+    assert FaultPlan(seed=5).dropout_after("p-1", 6) is None
+
+
+# -- retry / backoff --------------------------------------------------------------
+
+
+def test_backoff_is_deterministic_exponential_and_capped():
+    plan = FaultPlan(seed=11)
+    policy = RetryPolicy(base_delay_seconds=0.1, multiplier=2.0,
+                         max_delay_seconds=0.5, jitter_fraction=0.1)
+    delays = [policy.backoff_delay(plan, "capture:site-000", a) for a in range(5)]
+    again = [policy.backoff_delay(plan, "capture:site-000", a) for a in range(5)]
+    assert delays == again
+    for attempt, delay in enumerate(delays):
+        raw = min(0.1 * 2.0 ** attempt, 0.5)
+        assert raw * 0.9 <= delay <= raw * 1.1
+    # Other labels jitter differently (but stay deterministic).
+    other = [policy.backoff_delay(plan, "capture:site-001", a) for a in range(5)]
+    assert other != delays
+
+
+def test_backoff_without_jitter_is_exact():
+    policy = RetryPolicy(base_delay_seconds=0.05, multiplier=3.0,
+                         max_delay_seconds=10.0, jitter_fraction=0.0)
+    assert policy.backoff_delay(NO_FAULTS, "x", 0) == 0.05
+    assert policy.backoff_delay(NO_FAULTS, "x", 2) == pytest.approx(0.45)
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        ResiliencePolicy(capture_timeout_seconds=0.0)
+    with pytest.raises(ConfigurationError):
+        ResiliencePolicy(breaker_threshold=0)
+
+
+# -- circuit breaker --------------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_consecutive_failures():
+    breaker = CircuitBreaker(threshold=2)
+    assert breaker.allow("site-a")
+    assert breaker.record_failure("site-a") is False
+    breaker.record_success("site-a")  # resets the consecutive count
+    assert breaker.record_failure("site-a") is False
+    assert breaker.record_failure("site-a") is True  # opens exactly once
+    assert breaker.record_failure("site-a") is False
+    assert not breaker.allow("site-a") and breaker.is_open("site-a")
+    assert breaker.quarantined == ("site-a",)
+    with pytest.raises(ConfigurationError):
+        CircuitBreaker(threshold=0)
+
+
+# -- the injector -----------------------------------------------------------------
+
+
+def test_injector_passthrough_with_no_faults():
+    injector = FaultInjector(NO_FAULTS)
+    assert injector.run_capture("site-000", lambda: "captured") == "captured"
+    assert injector.counters.total_injected == 0
+    report = injector.report()
+    assert report.quarantined_sites == () and report.counters["total_injected"] == 0
+
+
+def test_injector_exhaustion_quarantines_and_opens_circuit():
+    plan = FaultPlan(seed=1, capture_failure_rate=1.0)
+    injector = FaultInjector(plan, ResiliencePolicy(retry=RetryPolicy(max_attempts=2)))
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        injector.run_capture("site-000", lambda: "never")
+    assert excinfo.value.attempts == 2
+    assert injector.counters.capture_exhausted == 1
+    assert injector.counters.quarantined_sites == ["site-000"]
+    with pytest.raises(CircuitOpenError):
+        injector.run_capture("site-000", lambda: "still never")
+
+
+def test_injector_absorbs_transient_capture_faults():
+    plan = FaultPlan(seed=9, capture_failure_rate=0.5, capture_stall_rate=0.2)
+    # Find a site whose first attempt faults but a later attempt succeeds.
+    flaky = next(
+        s for s in (f"site-{i:03d}" for i in range(200))
+        if (plan.fires(BOUNDARY_CAPTURE, s, 0) or plan.fires(BOUNDARY_STALL, s, 0))
+        and not all(plan.fires(BOUNDARY_CAPTURE, s, a) or plan.fires(BOUNDARY_STALL, s, a)
+                    for a in range(3))
+    )
+    injector = FaultInjector(plan)
+    assert injector.run_capture(flaky, lambda: "recovered") == "recovered"
+    assert injector.counters.capture_retries >= 1
+    assert injector.counters.backoff_seconds_total > 0.0
+    assert injector.counters.quarantined_sites == []
+
+
+def test_injector_torn_write_exhaustion_leaves_debris(tmp_path):
+    plan = FaultPlan(seed=1, torn_write_rate=1.0)
+    injector = FaultInjector(plan)
+    target = tmp_path / "record.json"
+    data = b'{"payload": "0123456789"}'
+    with pytest.raises(RetryExhaustedError):
+        injector.run_warehouse_write("record:abc", target, data)
+    assert not target.exists()
+    debris = tmp_path / "record.json.tmp"
+    assert debris.exists() and debris.read_bytes() == data[: len(data) // 2]
+    assert injector.counters.torn_writes_injected == injector.policy.retry.max_attempts
+
+
+def test_injector_absorbed_torn_write_lands_atomically(tmp_path):
+    plan = FaultPlan(seed=13, torn_write_rate=0.5)
+    key = next(
+        k for k in (f"record:{i}" for i in range(200))
+        if plan.fires(BOUNDARY_WAREHOUSE, k, 0) and not plan.fires(BOUNDARY_WAREHOUSE, k, 1)
+    )
+    injector = FaultInjector(plan)
+    target = tmp_path / "record.json"
+    data = b'{"payload": "0123456789"}'
+    injector.run_warehouse_write(key, target, data)
+    assert target.read_bytes() == data
+    assert not (tmp_path / "record.json.tmp").exists()  # retry consumed the debris
+    assert injector.counters.torn_writes_injected == 1
+    assert injector.counters.warehouse_write_retries == 1
+
+
+# -- checkpoint store -------------------------------------------------------------
+
+
+def test_checkpoint_round_trip_and_completed_count(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpt", {"campaign": "x", "seed": 1})
+    store.save_chunk(0, ["r0", "r1"])
+    store.save_chunk(1, ["r2"])
+    assert store.has_chunk(0) and not store.has_chunk(2)
+    assert store.load_chunk(1) == ["r2"]
+    assert store.completed_chunks() == 2
+    # A new store over the same directory resumes the same chunks.
+    resumed = CheckpointStore(tmp_path / "ckpt", {"campaign": "x", "seed": 1})
+    assert resumed.completed_chunks() == 2
+
+
+def test_checkpoint_rejects_foreign_fingerprint(tmp_path):
+    CheckpointStore(tmp_path / "ckpt", {"campaign": "x", "seed": 1})
+    with pytest.raises(CheckpointError, match="different campaign"):
+        CheckpointStore(tmp_path / "ckpt", {"campaign": "x", "seed": 2})
+
+
+def test_checkpoint_rejects_unreadable_state(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpt", {"campaign": "x"})
+    with pytest.raises(CheckpointError, match="missing"):
+        store.load_chunk(5)
+    store._chunk_path(0).write_bytes(b"not a pickle")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        store.load_chunk(0)
+    (tmp_path / "ckpt" / "manifest.json").write_text(
+        json.dumps({"format": "something-else"}), encoding="utf-8"
+    )
+    with pytest.raises(CheckpointError, match="format"):
+        CheckpointStore(tmp_path / "ckpt", {"campaign": "x"})
+
+
+# -- campaign-level integration ---------------------------------------------------
+
+
+def test_fault_free_campaign_has_no_resilience_report():
+    result = _small_campaign()
+    assert result.resilience is None
+    assert result.campaign.resilience is None
+
+
+def test_faulted_campaign_degrades_gracefully_and_reports():
+    plan = FaultPlan(seed=2016, capture_failure_rate=0.4, capture_stall_rate=0.25,
+                     dropout_rate=0.25)
+    result = _small_campaign(sites=5, participants=16, fault_plan=plan)
+    resilience = result.resilience
+    assert resilience is not None
+    assert resilience.fault_plan == plan.as_dict()
+    # Quarantined sites are excluded from the analysis, not fatal.
+    assert resilience.quarantined_sites
+    assert not set(resilience.quarantined_sites) & set(result.uplt_by_site)
+    assert len(result.uplt_by_site) + len(resilience.quarantined_sites) == 5
+    # Dropouts completed fewer tasks than assigned, and stayed in the data.
+    assert resilience.dropouts
+    for pid, info in resilience.dropouts.items():
+        assert 1 <= info["completed"] < info["assigned"]
+        assert result.campaign.telemetry[pid].videos_assigned == info["completed"]
+    # The provenance subset carries no execution counters.
+    assert set(resilience.provenance_dict()) == {
+        "fault_plan", "quarantined_sites", "dropouts",
+    }
+
+
+def test_faulted_campaign_is_deterministic():
+    plan = FaultPlan(seed=2016, capture_failure_rate=0.4, dropout_rate=0.25)
+    first = _small_campaign(sites=5, participants=16, fault_plan=plan)
+    second = _small_campaign(sites=5, participants=16, fault_plan=plan)
+    assert first.uplt_by_site == second.uplt_by_site
+    assert first.campaign.table1_row == second.campaign.table1_row
+    assert first.resilience.quarantined_sites == second.resilience.quarantined_sites
+    assert first.resilience.dropouts == second.resilience.dropouts
+    assert first.resilience.counters == second.resilience.counters
+
+
+def test_fault_plan_scheme_must_match_campaign_scheme():
+    from repro.errors import RNGSchemeMismatchError
+
+    plan = FaultPlan(seed=2016, rng_scheme=SCHEME_SPLITMIX64_V2, dropout_rate=0.1)
+    with pytest.raises(RNGSchemeMismatchError):
+        _small_campaign(rng_scheme=SCHEME_SHA256_V1, fault_plan=plan)
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_kill_and_resume_record_id_is_byte_identical(tmp_path, scheme):
+    plan = FaultPlan(seed=2016, rng_scheme=scheme, capture_failure_rate=0.3,
+                     dropout_rate=0.25, torn_write_rate=0.3)
+    kwargs = dict(sites=4, participants=12, rng_scheme=scheme, fault_plan=plan,
+                  checkpoint_chunk_size=3)
+
+    warehouse_a = ResultsWarehouse(tmp_path / "a")
+    uninterrupted = _small_campaign(
+        checkpoint_dir=tmp_path / "ckpt-a", warehouse=warehouse_a, **kwargs
+    )
+    record_a = warehouse_a.records()[0]
+
+    warehouse_b = ResultsWarehouse(tmp_path / "b")
+    with pytest.raises(CampaignInterrupted) as excinfo:
+        _small_campaign(checkpoint_dir=tmp_path / "ckpt-b", warehouse=warehouse_b,
+                        stop_after_chunks=1, **kwargs)
+    assert excinfo.value.completed_chunks == 1
+    assert excinfo.value.total_chunks > 1
+    assert len(warehouse_b) == 0  # the kill came before ingest
+
+    resumed = _small_campaign(
+        checkpoint_dir=tmp_path / "ckpt-b", warehouse=warehouse_b, **kwargs
+    )
+    record_b = warehouse_b.records()[0]
+    assert record_b.record_id == record_a.record_id
+    assert resumed.uplt_by_site == uninterrupted.uplt_by_site
+    assert warehouse_a.fsck().clean and warehouse_b.fsck().clean
+
+
+def test_resume_with_changed_workload_is_refused(tmp_path):
+    plan = FaultPlan(seed=2016, dropout_rate=0.2)
+    _small_campaign(sites=3, participants=10, fault_plan=plan,
+                    checkpoint_dir=tmp_path / "ckpt", checkpoint_chunk_size=4)
+    with pytest.raises(CheckpointError, match="different campaign"):
+        _small_campaign(sites=3, participants=10, seed=2017, fault_plan=plan,
+                        checkpoint_dir=tmp_path / "ckpt", checkpoint_chunk_size=4)
+
+
+# -- warehouse crash safety -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stored_campaign(tmp_path_factory):
+    """A warehouse with one ingested record (module-scoped, copied per test)."""
+    root = tmp_path_factory.mktemp("warehouse-seed")
+    warehouse = ResultsWarehouse(root / "wh")
+    result = _small_campaign(warehouse=warehouse)
+    return root / "wh", warehouse.records()[0].record_id, result
+
+
+@pytest.fixture()
+def dirty_warehouse(stored_campaign, tmp_path):
+    """A throwaway copy of the stored warehouse for destructive tests."""
+    import shutil
+
+    source, record_id, _result = stored_campaign
+    root = tmp_path / "wh"
+    shutil.copytree(source, root)
+    return ResultsWarehouse(root), record_id
+
+
+def test_fsck_on_consistent_store_is_clean(dirty_warehouse):
+    warehouse, _record_id = dirty_warehouse
+    report = warehouse.fsck()
+    assert report.clean and report.checked == 1 and report.index_ok
+    assert report.as_dict()["clean"] is True
+
+
+def test_corruption_error_carries_offending_path(dirty_warehouse):
+    warehouse, record_id = dirty_warehouse
+    record = warehouse.get(record_id)
+    record.path.write_text("{}", encoding="utf-8")
+    fresh = ResultsWarehouse(warehouse.root)
+    with pytest.raises(WarehouseCorruptionError) as excinfo:
+        fresh.get(record_id).load()
+    assert Path(excinfo.value.path) == record.path
+
+
+def test_fsck_detects_and_repairs_corrupt_record(dirty_warehouse):
+    warehouse, record_id = dirty_warehouse
+    path = warehouse.get(record_id).path
+    path.write_bytes(path.read_bytes()[:100])  # torn mid-file
+    report = warehouse.fsck()
+    assert not report.clean
+    assert report.corrupt == [str(path)] and report.missing == [record_id]
+    repaired = warehouse.fsck(repair=True)
+    assert repaired.corrupt
+    # Corrupt files are quarantined (never deleted) and the index rebuilt.
+    assert (warehouse.root / "quarantine" / path.name).exists()
+    after = warehouse.fsck()
+    assert after.clean and len(warehouse) == 0
+
+
+def test_fsck_detects_and_repairs_unindexed_record_and_debris(dirty_warehouse):
+    warehouse, record_id = dirty_warehouse
+    (warehouse.root / "index.json").unlink()
+    (warehouse.root / "records" / "stale.json.tmp").write_bytes(b"half a rec")
+    report = warehouse.fsck()
+    assert not report.clean
+    assert report.unindexed == [record_id]
+    assert report.tmp_debris and report.tmp_debris[0].endswith("stale.json.tmp")
+    warehouse.fsck(repair=True)
+    after = ResultsWarehouse(warehouse.root)
+    assert after.fsck().clean
+    assert after.get(record_id).load()["campaign_id"] == "final-plt-timeline"
+
+
+def test_fsck_flags_unreadable_index(dirty_warehouse):
+    warehouse, _record_id = dirty_warehouse
+    (warehouse.root / "index.json").write_text("not json", encoding="utf-8")
+    with pytest.raises(WarehouseCorruptionError, match="fsck"):
+        ResultsWarehouse(warehouse.root).records()
+    report = warehouse.fsck()
+    assert not report.index_ok and not report.clean
+    warehouse.fsck(repair=True)
+    assert warehouse.fsck().clean
+
+
+def test_warehouse_absorbs_torn_writes_and_stays_consistent(tmp_path, stored_campaign):
+    _source, record_id, result = stored_campaign
+    # The ingest writes two files (the record, then the one-entry index);
+    # pick a plan seed where at least one attempt tears but neither write
+    # exhausts its retries — chosen by construction, so the test is stable.
+    keys = (f"record:{record_id}", "index:1")
+    plan = next(
+        candidate
+        for candidate in (FaultPlan(seed=s, torn_write_rate=0.45) for s in range(1000))
+        if any(candidate.fires(BOUNDARY_WAREHOUSE, k, 0) for k in keys)
+        and not any(
+            all(candidate.fires(BOUNDARY_WAREHOUSE, k, a) for a in range(3)) for k in keys
+        )
+    )
+    warehouse = ResultsWarehouse(tmp_path / "chaos-wh", injector=FaultInjector(plan))
+    record = warehouse.ingest(result)
+    assert warehouse.injector.counters.torn_writes_injected >= 1
+    reloaded = ResultsWarehouse(tmp_path / "chaos-wh").get(record.record_id)
+    assert reloaded.load()["campaign_id"] == "final-plt-timeline"
+    assert warehouse.fsck().clean

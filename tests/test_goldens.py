@@ -15,10 +15,13 @@ import repro.goldens as goldens
 from repro.capture.webpeg import DEFAULT_CAPTURE_CACHE
 from repro.errors import ConfigurationError, RNGSchemeMismatchError, StorageError
 from repro.goldens import (
+    FAULT_SCALES,
+    GOLDEN_FAULT_RATES,
     GOLDEN_SEED,
     SCALES,
     SWEEP_SCALES,
     WAREHOUSE_SCALES,
+    diff_fault_snapshots,
     diff_snapshots,
     diff_sweep_snapshots,
     diff_warehouse_snapshots,
@@ -210,6 +213,58 @@ def test_warehouse_diff_detects_tampered_record_id():
 @pytest.mark.parametrize("scheme", RNG_SCHEMES)
 def test_small_warehouse_golden_reproduces_bit_for_bit(scheme):
     assert verify_golden(scheme, "small", kind="warehouse") == []
+
+
+# -- the faulted kill+resume goldens ---------------------------------------------
+
+
+def test_store_holds_fault_goldens_for_both_schemes():
+    names = {path.name for path in stored_goldens()}
+    for scheme in RNG_SCHEMES:
+        assert golden_path(scheme, "small", kind="faults").name in names
+
+
+def test_fault_golden_pins_the_resilience_contract():
+    for scheme in RNG_SCHEMES:
+        snapshot = load_golden(scheme, "small", kind="faults")
+        assert snapshot["kind"] == "faulted-campaign"
+        assert snapshot["fault_plan"] == {
+            "seed": GOLDEN_SEED, "rng_scheme": scheme, **GOLDEN_FAULT_RATES,
+        }
+        # The hard contract: the run was actually interrupted mid-way, the
+        # resumed warehouse record id is byte-identical to the uninterrupted
+        # run's, and both stores came out of the trip fsck-clean.
+        assert snapshot["interrupted"] is True
+        assert snapshot["resume_identical"] is True
+        assert all(snapshot["fsck_clean"].values())
+        assert len(snapshot["record_id"]) == 64
+        # The plan really fired at every boundary the golden pins.
+        assert snapshot["quarantined_sites"] and snapshot["dropouts"]
+        assert snapshot["ingest_faults"]["torn_writes_injected"] >= 1
+        assert (set(snapshot["surviving_sites"])
+                == set(snapshot["uplt_by_site"]))
+        assert not set(snapshot["quarantined_sites"]) & set(snapshot["surviving_sites"])
+        total = FAULT_SCALES["small"]["sites"]
+        assert len(snapshot["surviving_sites"]) + len(snapshot["quarantined_sites"]) == total
+    ids = {load_golden(s, "small", kind="faults")["record_id"] for s in RNG_SCHEMES}
+    assert len(ids) == 2
+
+
+def test_fault_diff_detects_tampered_record_id_and_quarantine():
+    golden = load_golden(RNG_SCHEMES[0], "small", kind="faults")
+    tampered = json.loads(json.dumps(golden))
+    tampered["record_id"] = "0" * 64
+    tampered["quarantined_sites"] = []
+    differences = diff_fault_snapshots(golden, tampered)
+    assert any(line.startswith("record_id:") for line in differences)
+    assert any(line.startswith("quarantined_sites") for line in differences)
+
+
+@pytest.mark.goldens
+@pytest.mark.faults
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_small_fault_golden_reproduces_bit_for_bit(scheme):
+    assert verify_golden(scheme, "small", kind="faults") == []
 
 
 # -- tier-2: bench- and full-scale reproduction ---------------------------------
