@@ -51,6 +51,7 @@ def test_perf_pipeline(scale, rng_schemes, network_profile):
             rng_scheme=scheme,
             network_profile=network_profile,
             warehouse_dir=warehouse_dir,
+            memory_probe=True,
         )
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -84,6 +85,17 @@ def test_perf_pipeline(scale, rng_schemes, network_profile):
         # The report always carries the stages the trajectory tracker reads.
         for stage in ("capture_cold", "sessions", "filtering"):
             assert document[stage]["seconds"] >= 0.0
+
+        # Bounded-memory contract: the streaming pipeline's Python-heap peak
+        # must undercut the batch runner's at the same scale (it holds one
+        # chunk where batch holds every raw + clean response).
+        memory = meta["memory"]
+        assert memory is not None and memory["probe"] == "tracemalloc"
+        print(f"  memory (peak) : batch {memory['batch_campaign_peak_bytes'] / 1e6:.2f} MB, "
+              f"streaming {memory['streaming_campaign_peak_bytes'] / 1e6:.2f} MB "
+              f"(chunk {memory['chunk_size']}, "
+              f"ratio {memory['streaming_vs_batch_ratio']})")
+        assert memory["streaming_campaign_peak_bytes"] < memory["batch_campaign_peak_bytes"], memory
 
         # The fault-injection block is present but inert: the fault-free hot
         # path must pay no chaos tax (every counter zero, no plan attached).

@@ -84,6 +84,32 @@ class CampaignConfig:
             raise CampaignError("parallel_workers must be non-negative")
 
 
+def build_table1_row(campaign_id: str, experiment_type: str, *, participants: int,
+                     gender_split: Dict[str, int], duration_hours: float,
+                     total_cost_usd: float, filter_summary: Dict[str, int]) -> Dict[str, object]:
+    """One row of Table 1 from plain aggregates.
+
+    Shared by the batch path (:attr:`CampaignResult.table1_row`) and the
+    streaming path, which never materialises the recruitment report or the
+    filter rosters — only these totals.
+    """
+    duration = (
+        f"{duration_hours:.1f} hours" if duration_hours < 48 else f"{duration_hours / 24.0:.1f} days"
+    )
+    return {
+        "campaign": campaign_id,
+        "type": experiment_type,
+        "participants": participants,
+        "male": gender_split["male"],
+        "female": gender_split["female"],
+        "duration": duration,
+        "cost_usd": round(total_cost_usd, 2),
+        "engagement_filtered": filter_summary["engagement"],
+        "soft_filtered": filter_summary["soft"],
+        "control_filtered": filter_summary["control"],
+    }
+
+
 @dataclass
 class CampaignResult:
     """Everything produced by one campaign run.
@@ -113,24 +139,14 @@ class CampaignResult:
     @property
     def table1_row(self) -> Dict[str, object]:
         """One row of Table 1 for this campaign."""
-        split = self.recruitment.gender_split
-        duration_hours = self.recruitment.duration_hours
-        duration = (
-            f"{duration_hours:.1f} hours" if duration_hours < 48 else f"{duration_hours / 24.0:.1f} days"
+        return build_table1_row(
+            self.config.campaign_id, self.experiment_type,
+            participants=self.recruitment.count,
+            gender_split=self.recruitment.gender_split,
+            duration_hours=self.recruitment.duration_hours,
+            total_cost_usd=self.recruitment.total_cost_usd,
+            filter_summary=self.filter_report.summary_row(),
         )
-        filters = self.filter_report.summary_row()
-        return {
-            "campaign": self.config.campaign_id,
-            "type": self.experiment_type,
-            "participants": self.recruitment.count,
-            "male": split["male"],
-            "female": split["female"],
-            "duration": duration,
-            "cost_usd": round(self.recruitment.total_cost_usd, 2),
-            "engagement_filtered": filters["engagement"],
-            "soft_filtered": filters["soft"],
-            "control_filtered": filters["control"],
-        }
 
     @property
     def videos_served(self) -> int:
@@ -353,28 +369,20 @@ class CampaignRunner:
             "fault_plan": self._injector.plan.as_dict() if self._injector else None,
         }
 
-    def _run_sessions(self, experiment, admitted: List[Tuple[Participant, List]],
-                      mode: str, helper: Optional[FrameSelectionHelper] = None,
-                      preload: bool = True, checkpoint_dir=None,
-                      checkpoint_chunk_size: int = 16,
-                      stop_after_chunks: Optional[int] = None) -> List:
-        """Phase 2: run the admitted sessions, serially or on a process pool.
+    def _session_executor(self, experiment, mode: str,
+                          helper: Optional[FrameSelectionHelper] = None,
+                          preload: bool = True, parallel_ok: bool = True):
+        """Build the batch-of-sessions executor (serial or process pool).
 
-        Each session only draws from streams forked with its participant id,
-        so execution order cannot affect the outcome; results come back in
-        ``admitted`` order either way.
-
-        With ``checkpoint_dir``, sessions execute in chunks of
-        ``checkpoint_chunk_size`` and every finished chunk is persisted
-        atomically before the next starts; chunks already on disk are loaded
-        instead of re-run, which is what makes kill-at-any-chunk-boundary +
-        resume byte-identical to an uninterrupted run.
+        Returns a callable mapping a list of ``(participant, tasks)`` pairs
+        to the list of session results in the same order.  Each session only
+        draws from streams forked with its participant id, so execution
+        order cannot affect the outcome — which is why the batch runner, the
+        checkpointed runner, and the streaming runner can all share this one
+        executor.
         """
-        timer = self.perf.stage("sessions") if self.perf else None
-        if timer:
-            timer.start()
         plan = self._injector.plan if self._injector is not None else None
-        use_pool = self.config.parallel_workers > 1 and len(admitted) > 1
+        use_pool = parallel_ok and self.config.parallel_workers > 1
         pool_tasks: List = []
         index_by_id: Dict[int, int] = {}
         if use_pool:
@@ -406,6 +414,32 @@ class CampaignRunner:
                     session.run_timeline(tasks) if mode == "timeline" else session.run_ab(tasks)
                 )
             return results
+
+        return execute
+
+    def _run_sessions(self, experiment, admitted: List[Tuple[Participant, List]],
+                      mode: str, helper: Optional[FrameSelectionHelper] = None,
+                      preload: bool = True, checkpoint_dir=None,
+                      checkpoint_chunk_size: int = 16,
+                      stop_after_chunks: Optional[int] = None) -> List:
+        """Phase 2: run the admitted sessions, serially or on a process pool.
+
+        Each session only draws from streams forked with its participant id,
+        so execution order cannot affect the outcome; results come back in
+        ``admitted`` order either way.
+
+        With ``checkpoint_dir``, sessions execute in chunks of
+        ``checkpoint_chunk_size`` and every finished chunk is persisted
+        atomically before the next starts; chunks already on disk are loaded
+        instead of re-run, which is what makes kill-at-any-chunk-boundary +
+        resume byte-identical to an uninterrupted run.
+        """
+        timer = self.perf.stage("sessions") if self.perf else None
+        if timer:
+            timer.start()
+        execute = self._session_executor(
+            experiment, mode, helper, preload, parallel_ok=len(admitted) > 1
+        )
 
         if checkpoint_dir is None:
             results = execute(admitted)
@@ -561,7 +595,7 @@ class CampaignRunner:
             tasks = list(server.assign_tasks(participant))
             # Replace a random subset of slots with control pairs.
             for index in range(len(tasks)):
-                if control_rng.fork(f"{participant.participant_id}:{index}").bernoulli(
+                if control_rng.fork_once(f"{participant.participant_id}:{index}").bernoulli(
                     experiment.control_pair_probability
                 ):
                     tasks[index] = experiment.make_control_pair(tasks[index], control_rng, index)
@@ -593,6 +627,57 @@ class CampaignRunner:
             telemetry=telemetry,
             filter_report=report,
             resilience=self._injector.report(dropouts) if self._injector else None,
+        )
+
+
+    def run_timeline_streaming(self, experiment: TimelineExperiment, *,
+                               chunk_size: int = 256, warehouse=None,
+                               kind: Optional[str] = None, metrics_by_site=None,
+                               keep_dataset: bool = False, checkpoint_dir=None,
+                               stop_after_chunks: Optional[int] = None):
+        """Run a timeline campaign as a bounded-memory streaming pipeline.
+
+        Recruitment, admission, session execution, filtering and
+        aggregation proceed in ``chunk_size``-participant chunks; no more
+        than one chunk of sessions is ever in memory, and every aggregate
+        (Table 1 row, filter counts, per-site UPLT, helper effect, the
+        warehouse record) is bit-identical to :meth:`run_timeline`'s.
+        Returns a :class:`~repro.core.streaming.StreamingCampaignResult`.
+
+        See :func:`repro.core.streaming.run_streaming_campaign` for the
+        argument semantics (``warehouse`` enables incremental record
+        ingest; ``keep_dataset`` retains the clean dataset for equivalence
+        checks; ``checkpoint_dir`` adds kill+resume durability).
+        """
+        from .streaming import run_streaming_campaign
+
+        return run_streaming_campaign(
+            self, experiment, "timeline", chunk_size=chunk_size,
+            warehouse=warehouse, kind=kind, metrics_by_site=metrics_by_site,
+            keep_dataset=keep_dataset, checkpoint_dir=checkpoint_dir,
+            stop_after_chunks=stop_after_chunks,
+        )
+
+    def run_ab_streaming(self, experiment: ABExperiment, *,
+                         chunk_size: int = 256, warehouse=None,
+                         kind: Optional[str] = None, metrics_by_site=None,
+                         keep_dataset: bool = False, checkpoint_dir=None,
+                         stop_after_chunks: Optional[int] = None):
+        """Run an A/B campaign as a bounded-memory streaming pipeline.
+
+        The streaming counterpart of :meth:`run_ab`; control-pair injection
+        runs serially in admission order (its draws are sequential on the
+        campaign's control stream), so the streamed responses are
+        bit-identical to the batch path's.  Returns a
+        :class:`~repro.core.streaming.StreamingCampaignResult`.
+        """
+        from .streaming import run_streaming_campaign
+
+        return run_streaming_campaign(
+            self, experiment, "ab", chunk_size=chunk_size,
+            warehouse=warehouse, kind=kind, metrics_by_site=metrics_by_site,
+            keep_dataset=keep_dataset, checkpoint_dir=checkpoint_dir,
+            stop_after_chunks=stop_after_chunks,
         )
 
 

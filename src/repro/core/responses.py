@@ -175,6 +175,27 @@ class ResponseDataset:
         """Ids of every registered participant."""
         return list(self.participants)
 
+    def extend(self, other: "ResponseDataset") -> None:
+        """Merge ``other``'s records into this dataset **in place**.
+
+        The chunk-wise merge primitive of the streaming pipeline: a
+        long-running consumer folds each chunk's partial dataset into one
+        accumulator without allocating a new dataset per merge (``merge``
+        copies both sides every call, which is quadratic over a chunk
+        stream).  Participants are registered idempotently and responses
+        append in ``other``'s order, so extending chunks in order
+        reproduces the batch dataset's registration order exactly.
+
+        Raises:
+            AnalysisError: if the experiment types differ.
+        """
+        if self.experiment_type != other.experiment_type:
+            raise AnalysisError("cannot merge datasets of different experiment types")
+        for participant in other.participants.values():
+            self.add_participant(participant)
+        self.timeline_responses.extend(other.timeline_responses)
+        self.ab_responses.extend(other.ab_responses)
+
     def merge(self, other: "ResponseDataset") -> "ResponseDataset":
         """Merge two datasets of the same experiment type into a new one.
 

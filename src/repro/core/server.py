@@ -39,7 +39,7 @@ class CaptchaGate:
     def verify(self, participant: Participant, rng: SeededRNG, is_bot: bool = False) -> bool:
         """Run the captcha for one participant; returns True when admitted."""
         self.attempts += 1
-        if is_bot and rng.fork(f"captcha:{participant.participant_id}").bernoulli(self.bot_rejection_probability):
+        if is_bot and rng.fork_once(f"captcha:{participant.participant_id}").bernoulli(self.bot_rejection_probability):
             self.rejected += 1
             return False
         return True
@@ -82,7 +82,7 @@ class TaskAssigner(Generic[TaskT]):
         for index in chosen:
             self._assignment_counts[index] += 1
         tasks = [self._tasks[index] for index in chosen]
-        self._rng.fork(f"shuffle:{participant.participant_id}").shuffle(tasks)
+        self._rng.fork_once(f"shuffle:{participant.participant_id}").shuffle(tasks)
         return tasks
 
     @property
@@ -118,7 +118,19 @@ class BrokenVideoRegistry:
 
 
 class EyeorgServer:
-    """Ties the gate, the assigner and the registry together for one campaign."""
+    """Ties the gate, the assigner and the registry together for one campaign.
+
+    Args:
+        experiment: the experiment whose task pool is served.
+        videos_per_participant: task-list size per participant.
+        seed / rng_scheme: the campaign's random identity.
+        track_rosters: when True (the default), ``admitted`` / ``rejected``
+            hold the full participant-id rosters.  Streaming campaigns pass
+            False to keep the server's memory O(1) in the participant count:
+            only the counters are maintained and the roster lists stay
+            empty.  The captcha and assignment streams are identical either
+            way.
+    """
 
     def __init__(
         self,
@@ -126,6 +138,7 @@ class EyeorgServer:
         videos_per_participant: int = VIDEOS_PER_PARTICIPANT,
         seed: int = 2016,
         rng_scheme: str = DEFAULT_RNG_SCHEME,
+        track_rosters: bool = True,
     ) -> None:
         self.experiment = experiment
         self._rng = SeededRNG(seed, rng_scheme).fork(f"server:{experiment.experiment_id}")
@@ -134,27 +147,59 @@ class EyeorgServer:
         self._assigner: TaskAssigner = TaskAssigner(
             experiment.task_pool(), per_participant=videos_per_participant, rng=self._rng
         )
+        self.track_rosters = track_rosters
         self.admitted: List[str] = []
         self.rejected: List[str] = []
+        self._admitted_set: set = set()
+        self._admitted_count = 0
+        self._rejected_count = 0
+
+    @property
+    def admitted_count(self) -> int:
+        """Number of admitted participants (works in either roster mode)."""
+        return self._admitted_count
+
+    @property
+    def rejected_count(self) -> int:
+        """Number of captcha-rejected participants (either roster mode)."""
+        return self._rejected_count
 
     def admit(self, participant: Participant, is_bot: bool = False) -> bool:
         """Run the captcha gate; track admitted/rejected participants."""
         if self.captcha.verify(participant, self._rng, is_bot=is_bot):
-            self.admitted.append(participant.participant_id)
+            self._admitted_count += 1
+            if self.track_rosters:
+                self.admitted.append(participant.participant_id)
+                self._admitted_set.add(participant.participant_id)
             return True
-        self.rejected.append(participant.participant_id)
+        self._rejected_count += 1
+        if self.track_rosters:
+            self.rejected.append(participant.participant_id)
         return False
 
     def assign_tasks(self, participant: Participant) -> List:
         """Assign the participant their task list.
 
         Raises:
-            CampaignError: if the participant has not been admitted.
+            CampaignError: if the participant has not been admitted (only
+                checkable when rosters are tracked).
         """
-        if participant.participant_id not in self.admitted:
+        if self.track_rosters and participant.participant_id not in self._admitted_set:
             raise CampaignError(
                 f"participant {participant.participant_id} must pass the captcha before getting tasks"
             )
+        return self._assigner.assign(participant)
+
+    def admit_and_assign(self, participant: Participant, is_bot: bool = False) -> Optional[List]:
+        """Admit one participant and, if admitted, assign their tasks.
+
+        The single-call shape the streaming runner uses: admission and
+        assignment happen back to back without a roster membership lookup,
+        so counts-only servers (``track_rosters=False``) stay O(1) in
+        memory.  Returns None when the captcha rejects the participant.
+        """
+        if not self.admit(participant, is_bot=is_bot):
+            return None
         return self._assigner.assign(participant)
 
     @property

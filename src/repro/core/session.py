@@ -92,7 +92,7 @@ class ParticipantSession:
         preload_video: bool = True,
     ) -> None:
         self.participant = participant
-        self._rng = rng.fork(f"session:{participant.participant_id}")
+        self._rng = rng.fork_once(f"session:{participant.participant_id}")
         self._behaviour = BehaviourSimulator(self._rng)
         self._frame_helper = frame_helper or FrameSelectionHelper()
         self._preload_video = preload_video

@@ -88,6 +88,44 @@ def _interaction_to_dict(interaction: VideoInteraction) -> Dict:
     }
 
 
+def participant_to_dict(participant: Participant) -> Dict:
+    """Public serialiser for one participant (the JSON-export shape).
+
+    Streaming warehouse ingest serialises participants one at a time with
+    this function, so its per-row bytes match :func:`dataset_to_dict`'s.
+    """
+    return _participant_to_dict(participant)
+
+
+def timeline_response_to_dict(response: TimelineResponse) -> Dict:
+    """Serialise one timeline response exactly as :func:`dataset_to_dict` does."""
+    return {
+        "participant_id": response.participant_id,
+        "video_id": response.video_id,
+        "site_id": response.site_id,
+        "slider_time": response.slider_time,
+        "helper_time": response.helper_time,
+        "submitted_time": response.submitted_time,
+        "saw_control_frame": response.saw_control_frame,
+        "control_passed": response.control_passed,
+        "interaction": _interaction_to_dict(response.interaction),
+    }
+
+
+def ab_response_to_dict(response: ABResponse) -> Dict:
+    """Serialise one A/B response exactly as :func:`dataset_to_dict` does."""
+    return {
+        "participant_id": response.participant_id,
+        "pair_id": response.pair_id,
+        "site_id": response.site_id,
+        "choice": response.choice,
+        "choice_label": response.choice_label,
+        "is_control": response.is_control,
+        "control_passed": response.control_passed,
+        "interaction": _interaction_to_dict(response.interaction),
+    }
+
+
 def _interaction_from_dict(data: Dict) -> VideoInteraction:
     return VideoInteraction(
         video_transfer_seconds=float(data["video_transfer_seconds"]),
@@ -98,6 +136,40 @@ def _interaction_from_dict(data: Dict) -> VideoInteraction:
         pause_actions=int(data["pause_actions"]),
         seek_actions=int(data["seek_actions"]),
         watched_video=bool(data["watched_video"]),
+    )
+
+
+def participant_from_dict(data: Dict) -> Participant:
+    """Rebuild one participant from :func:`participant_to_dict` output."""
+    return _participant_from_dict(data)
+
+
+def timeline_response_from_dict(data: Dict) -> TimelineResponse:
+    """Rebuild one timeline response from :func:`timeline_response_to_dict` output."""
+    return TimelineResponse(
+        participant_id=data["participant_id"],
+        video_id=data["video_id"],
+        site_id=data["site_id"],
+        slider_time=float(data["slider_time"]),
+        helper_time=data["helper_time"],
+        submitted_time=float(data["submitted_time"]),
+        saw_control_frame=bool(data["saw_control_frame"]),
+        control_passed=data["control_passed"],
+        interaction=_interaction_from_dict(data["interaction"]),
+    )
+
+
+def ab_response_from_dict(data: Dict) -> ABResponse:
+    """Rebuild one A/B response from :func:`ab_response_to_dict` output."""
+    return ABResponse(
+        participant_id=data["participant_id"],
+        pair_id=data["pair_id"],
+        site_id=data["site_id"],
+        choice=data["choice"],
+        choice_label=data["choice_label"],
+        is_control=bool(data["is_control"]),
+        control_passed=data["control_passed"],
+        interaction=_interaction_from_dict(data["interaction"]),
     )
 
 
@@ -115,32 +187,9 @@ def dataset_to_dict(dataset: ResponseDataset) -> Dict:
         "network_profile": dataset.network_profile,
         "participants": [_participant_to_dict(p) for p in dataset.participants.values()],
         "timeline_responses": [
-            {
-                "participant_id": r.participant_id,
-                "video_id": r.video_id,
-                "site_id": r.site_id,
-                "slider_time": r.slider_time,
-                "helper_time": r.helper_time,
-                "submitted_time": r.submitted_time,
-                "saw_control_frame": r.saw_control_frame,
-                "control_passed": r.control_passed,
-                "interaction": _interaction_to_dict(r.interaction),
-            }
-            for r in dataset.timeline_responses
+            timeline_response_to_dict(r) for r in dataset.timeline_responses
         ],
-        "ab_responses": [
-            {
-                "participant_id": r.participant_id,
-                "pair_id": r.pair_id,
-                "site_id": r.site_id,
-                "choice": r.choice,
-                "choice_label": r.choice_label,
-                "is_control": r.is_control,
-                "control_passed": r.control_passed,
-                "interaction": _interaction_to_dict(r.interaction),
-            }
-            for r in dataset.ab_responses
-        ],
+        "ab_responses": [ab_response_to_dict(r) for r in dataset.ab_responses],
     }
 
 
@@ -158,32 +207,9 @@ def dataset_from_dict(data: Dict) -> ResponseDataset:
         for pdata in data.get("participants", []):
             dataset.add_participant(_participant_from_dict(pdata))
         for rdata in data.get("timeline_responses", []):
-            dataset.add_timeline_response(
-                TimelineResponse(
-                    participant_id=rdata["participant_id"],
-                    video_id=rdata["video_id"],
-                    site_id=rdata["site_id"],
-                    slider_time=float(rdata["slider_time"]),
-                    helper_time=rdata["helper_time"],
-                    submitted_time=float(rdata["submitted_time"]),
-                    saw_control_frame=bool(rdata["saw_control_frame"]),
-                    control_passed=rdata["control_passed"],
-                    interaction=_interaction_from_dict(rdata["interaction"]),
-                )
-            )
+            dataset.add_timeline_response(timeline_response_from_dict(rdata))
         for rdata in data.get("ab_responses", []):
-            dataset.add_ab_response(
-                ABResponse(
-                    participant_id=rdata["participant_id"],
-                    pair_id=rdata["pair_id"],
-                    site_id=rdata["site_id"],
-                    choice=rdata["choice"],
-                    choice_label=rdata["choice_label"],
-                    is_control=bool(rdata["is_control"]),
-                    control_passed=rdata["control_passed"],
-                    interaction=_interaction_from_dict(rdata["interaction"]),
-                )
-            )
+            dataset.add_ab_response(ab_response_from_dict(rdata))
         return dataset
     except KeyError as exc:
         raise StorageError(f"malformed dataset dictionary: missing key {exc}") from exc

@@ -1,0 +1,616 @@
+"""Streaming campaign execution in bounded memory.
+
+:class:`~repro.core.campaign.CampaignRunner`'s batch path materialises the
+whole campaign — recruitment pool, admitted roster, every session result,
+the raw and cleaned datasets — before a single aggregate is computed.  That
+is fine at paper scale (hundreds of participants) and hopeless at platform
+scale.  This module rebuilds the same pipeline as a stream:
+
+    recruit → admit/assign → execute → judge → filter → aggregate
+
+in fixed-size chunks of participants.  At no point is more than one chunk
+of sessions (plus O(videos + sites) aggregate state) held in memory, and
+every observable output — Table 1 row, filter counts, per-site
+UserPerceivedPLT, helper effect, the warehouse record id — is
+**bit-identical** to the batch path's, under both RNG schemes.
+
+Why streaming is safe here (the determinism contract):
+
+* recruitment, admission and A/B control injection draw *sequentially* from
+  their campaign streams, so the stream runs them serially in arrival
+  order, exactly as the batch phase 1 does;
+* session draws are forked per participant id (label-derived), so chunked
+  execution order cannot change any session's outcome;
+* the participant-level filters (engagement, soft rules, controls) are pure
+  per-participant predicates of that participant's telemetry, so each
+  session is judged the moment it finishes;
+* the wisdom-of-the-crowd filter needs each video's full submitted-time
+  distribution, so clean responses are spooled to per-video temp files
+  (canonical-JSON fragments, append-only, one flush per chunk) and the
+  percentile windows are applied video by video at the end — the only
+  second pass in the pipeline, and it streams from disk.
+
+With ``checkpoint_dir``, each executed chunk is persisted as a
+``{"pids": [...], "results": [...]}`` envelope before the next starts, and
+a resumed run loads surviving chunks (verifying the recomputed roster
+slice) instead of re-running them — kill + resume is byte-identical to an
+uninterrupted run.  With ``warehouse``, cleaned fragments feed a
+:class:`~repro.warehouse.store.StreamingIngest` sink as they are emitted,
+so the warehouse record also lands without the dataset ever existing in
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..crowd.participant import Participant
+from ..crowd.recruitment import Recruiter, RecruitmentSummary
+from ..errors import CampaignError, CampaignInterrupted, CheckpointError
+from ..faults import CheckpointStore, ResilienceReport
+from .campaign import CampaignConfig, build_table1_row
+from .responses import ResponseDataset
+from .server import EyeorgServer
+from .storage import timeline_response_from_dict, timeline_response_to_dict
+from .validation import FilteringPipeline, percentile
+
+
+def _canonical(data: Dict[str, object]) -> str:
+    """Canonical JSON (the warehouse record convention) for one fragment."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+@dataclass
+class StreamingFilterSummary:
+    """Filtering outcome of a streaming campaign: counts, never rosters.
+
+    Carries exactly the numbers the batch :class:`~repro.core.validation.
+    FilterReport` feeds into Table 1 and the warehouse record.  Per-filter
+    counts equal the lengths of the batch report's dropped lists because
+    each participant filter is an independent per-participant predicate.
+    """
+
+    initial_participants: int = 0
+    engagement_count: int = 0
+    soft_count: int = 0
+    control_count: int = 0
+    responses_dropped_wisdom: int = 0
+    kept_count: int = 0
+
+    def summary_row(self) -> Dict[str, int]:
+        """The Engagement / Soft / Control columns of Table 1."""
+        return {
+            "engagement": self.engagement_count,
+            "soft": self.soft_count,
+            "control": self.control_count,
+        }
+
+
+@dataclass
+class StreamingCampaignResult:
+    """Everything a streaming campaign run produces.
+
+    The bounded-memory counterpart of :class:`~repro.core.campaign.
+    CampaignResult`: aggregates instead of datasets.  ``clean_dataset`` is
+    populated only when the run was asked to ``keep_dataset`` (equivalence
+    testing); ``warehouse_record`` only when a warehouse sink was attached.
+
+    Attributes:
+        config: the campaign configuration.
+        experiment_type: "timeline" or "ab".
+        recruitment: incrementally accumulated recruitment totals.
+        filter_summary: per-filter counts.
+        videos_served: video tasks served across all admitted participants.
+        site_count: distinct sites in the raw (pre-filter) responses.
+        admitted_count / rejected_count: captcha outcomes.
+        clean_response_count: responses surviving the full pipeline.
+        chunks_total / chunks_executed: chunk accounting (executed excludes
+            chunks loaded from a checkpoint).
+        uplt_by_site: per-site mean UserPerceivedPLT of the clean responses
+            (timeline campaigns; empty for A/B).
+        helper_effect: per-video mean slider / frame-helper / submitted
+            times of the clean responses (timeline campaigns; empty for
+            A/B), the Figure 7(a) aggregate.
+        resilience: fault-plan survival report (None for fault-free runs).
+        clean_dataset: the materialised clean dataset, only with
+            ``keep_dataset=True``.
+        warehouse_record: the ingested record, only with a warehouse.
+    """
+
+    config: CampaignConfig
+    experiment_type: str
+    recruitment: RecruitmentSummary
+    filter_summary: StreamingFilterSummary
+    videos_served: int
+    site_count: int
+    admitted_count: int
+    rejected_count: int
+    clean_response_count: int
+    chunks_total: int
+    chunks_executed: int
+    uplt_by_site: Dict[str, float] = field(default_factory=dict)
+    helper_effect: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    resilience: Optional[ResilienceReport] = None
+    clean_dataset: Optional[ResponseDataset] = None
+    warehouse_record: object = None
+
+    @property
+    def table1_row(self) -> Dict[str, object]:
+        """One row of Table 1, identical to the batch result's."""
+        return build_table1_row(
+            self.config.campaign_id, self.experiment_type,
+            participants=self.recruitment.count,
+            gender_split=self.recruitment.gender_split,
+            duration_hours=self.recruitment.duration_hours,
+            total_cost_usd=self.recruitment.total_cost_usd,
+            filter_summary=self.filter_summary.summary_row(),
+        )
+
+    @property
+    def rng_scheme(self) -> str:
+        """The versioned RNG scheme that produced this result."""
+        return self.config.rng_scheme
+
+    @property
+    def network_profile(self) -> Optional[str]:
+        """The capture network profile this campaign's videos ran under."""
+        return self.config.network_profile
+
+
+class _StreamingCollector:
+    """Folds finished sessions into the campaign aggregates, one at a time.
+
+    Participant-level filters are applied the moment a session finishes
+    (single-entry telemetry dicts through the same
+    :class:`~repro.core.validation.FilteringPipeline` rules the batch path
+    uses).  Kept responses then either:
+
+    * **passthrough** (A/B, or wisdom filter off): feed the aggregates and
+      sinks immediately, in registration order — the clean dataset *is* the
+      kept participants' responses; or
+    * **wisdom** (timeline with the percentile filter on): spool to
+      per-video temp files and finish in :meth:`finalize_wisdom`, because
+      each video's percentile window needs the full distribution.  Video
+      files are keyed by first-seen order over *all* kept responses
+      (control frames included — they shape ``video_ids()`` order even
+      though the wisdom filter discards them), which reproduces the batch
+      clean dataset's traversal order exactly.
+    """
+
+    def __init__(self, config: CampaignConfig, mode: str, sink=None,
+                 keep_dataset: bool = False) -> None:
+        self.mode = mode
+        self.sink = sink
+        self.pipeline = FilteringPipeline(config.filter_config)
+        self.summary = StreamingFilterSummary()
+        self.videos_served = 0
+        self.clean_responses = 0
+        self.raw_sites: set = set()
+        cfg = self.pipeline.config
+        self.wisdom = cfg.apply_wisdom and mode == "timeline"
+        self.dataset: Optional[ResponseDataset] = None
+        if keep_dataset:
+            self.dataset = ResponseDataset(
+                campaign_id=config.campaign_id, experiment_type=mode,
+                rng_scheme=config.rng_scheme,
+                network_profile=config.network_profile,
+            )
+        # site -> [sum, count] and video -> [slider_sum, n, helper_sum,
+        # helper_n, submitted_sum], both insertion-ordered by first clean
+        # appearance; accumulating from 0 matches sum()'s starting value, so
+        # the final means are bit-identical to the batch mean() calls.
+        self._uplt: Dict[str, List[float]] = {}
+        self._video_stats: Dict[str, List[float]] = {}
+        self._spool: Optional[tempfile.TemporaryDirectory] = None
+        self._spool_dir: Optional[Path] = None
+        self._video_order: List[str] = []
+        self._video_index: Dict[str, int] = {}
+        self._chunk_buffers: Dict[int, List[str]] = {}
+        if self.wisdom:
+            self._spool = tempfile.TemporaryDirectory(prefix="streaming-wisdom-")
+            self._spool_dir = Path(self._spool.name)
+
+    # -- per-session intake ------------------------------------------------------
+
+    def _judge(self, participant_id: str, telemetry) -> bool:
+        """Apply the participant-level filters to one finished session."""
+        cfg = self.pipeline.config
+        single = {participant_id: telemetry}
+        violated = False
+        if cfg.apply_engagement and self.pipeline.engagement_violations(single):
+            self.summary.engagement_count += 1
+            violated = True
+        if cfg.apply_soft_rules and self.pipeline.soft_rule_violations(single):
+            self.summary.soft_count += 1
+            violated = True
+        if cfg.apply_controls and self.pipeline.control_violations(single):
+            self.summary.control_count += 1
+            violated = True
+        return not violated
+
+    def _observe_clean_timeline(self, site_id: str, video_id: str,
+                                slider: float, helper: Optional[float],
+                                submitted: float, is_control: bool) -> None:
+        """Fold one clean timeline response into the running aggregates."""
+        stats = self._video_stats.get(video_id)
+        if stats is None:
+            stats = self._video_stats[video_id] = [0, 0, 0, 0, 0]
+        if is_control:
+            # Controls are excluded from UPLT and helper-effect analysis but
+            # still pin the video's first-seen position.
+            return
+        stats[0] += slider
+        stats[1] += 1
+        if helper is not None:
+            stats[2] += helper
+            stats[3] += 1
+        stats[4] += submitted
+        site = self._uplt.get(site_id)
+        if site is None:
+            site = self._uplt[site_id] = [0, 0]
+        site[0] += submitted
+        site[1] += 1
+
+    def consume(self, participant: Participant, result) -> None:
+        """Fold one finished session (and its filter judgement) in."""
+        telemetry = result.telemetry
+        responses = result.responses
+        self.videos_served += telemetry.videos_assigned
+        for response in responses:
+            self.raw_sites.add(response.site_id)
+        self.summary.initial_participants += 1
+        if not self._judge(participant.participant_id, telemetry):
+            return
+        self.summary.kept_count += 1
+        if self.dataset is not None:
+            self.dataset.add_participant(participant)
+        if self.sink is not None:
+            self.sink.add_participant(participant)
+        if self.mode == "ab":
+            for response in responses:
+                self.clean_responses += 1
+                if self.dataset is not None:
+                    self.dataset.add_ab_response(response)
+                if self.sink is not None:
+                    self.sink.add_ab_response(response)
+            return
+        if self.wisdom:
+            for response in responses:
+                index = self._video_index.get(response.video_id)
+                if index is None:
+                    index = len(self._video_order)
+                    self._video_index[response.video_id] = index
+                    self._video_order.append(response.video_id)
+                if not response.saw_control_frame:
+                    self._chunk_buffers.setdefault(index, []).append(
+                        _canonical(timeline_response_to_dict(response))
+                    )
+            return
+        for response in responses:
+            self.clean_responses += 1
+            self._observe_clean_timeline(
+                response.site_id, response.video_id, response.slider_time,
+                response.helper_time, response.submitted_time,
+                response.saw_control_frame,
+            )
+            if self.dataset is not None:
+                self.dataset.add_timeline_response(response)
+            if self.sink is not None:
+                self.sink.add_timeline_response(response)
+
+    def flush_chunk(self) -> None:
+        """Append this chunk's spooled wisdom fragments to their video files."""
+        if not self.wisdom or not self._chunk_buffers:
+            return
+        for index, lines in self._chunk_buffers.items():
+            path = self._spool_dir / f"{index}.jsonl"
+            with path.open("a", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+        self._chunk_buffers = {}
+
+    # -- finalisation ------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Apply the wisdom filter (second pass, streamed per video)."""
+        if not self.wisdom:
+            return
+        cfg = self.pipeline.config
+        low = cfg.wisdom_low_percentile
+        high = cfg.wisdom_high_percentile
+        for index, video_id in enumerate(self._video_order):
+            path = self._spool_dir / f"{index}.jsonl"
+            if not path.exists():
+                continue  # every response for this video was a control frame
+            # Two passes over the spool so live memory stays one row plus a
+            # float per response: materialising every parsed row dict for a
+            # video would grow as O(participants / sites), the exact shape
+            # the streaming pipeline exists to avoid.
+            values: List[float] = []
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        values.append(json.loads(line)["submitted_time"])
+            if not values:
+                continue
+            lower = percentile(values, low)
+            upper = percentile(values, high)
+            values = []
+            slider_sum = 0
+            kept_n = 0
+            helper_sum = 0
+            helper_n = 0
+            submitted_sum = 0
+            for row in self._iter_spool_rows(path):
+                submitted = row["submitted_time"]
+                if not lower <= submitted <= upper:
+                    self.summary.responses_dropped_wisdom += 1
+                    continue
+                self.clean_responses += 1
+                slider_sum += row["slider_time"]
+                kept_n += 1
+                helper = row["helper_time"]
+                if helper is not None:
+                    helper_sum += helper
+                    helper_n += 1
+                submitted_sum += submitted
+                site = self._uplt.get(row["site_id"])
+                if site is None:
+                    site = self._uplt[row["site_id"]] = [0, 0]
+                site[0] += submitted
+                site[1] += 1
+                if self.dataset is not None or self.sink is not None:
+                    response = timeline_response_from_dict(row)
+                    if self.dataset is not None:
+                        self.dataset.add_timeline_response(response)
+                    if self.sink is not None:
+                        self.sink.add_timeline_response(response)
+            if kept_n:
+                self._video_stats[video_id] = [
+                    slider_sum, kept_n, helper_sum, helper_n, submitted_sum,
+                ]
+
+    @staticmethod
+    def _iter_spool_rows(path) -> Iterator[Dict[str, object]]:
+        """Parse one spooled wisdom row at a time (bounded live memory)."""
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def uplt_by_site(self) -> Dict[str, float]:
+        """Per-site mean UPLT, identical to ``mean_uplt_per_site(clean)``."""
+        return {site: total / count for site, (total, count) in self._uplt.items() if count}
+
+    def helper_effect(self) -> Dict[str, Dict[str, float]]:
+        """Per-video means, identical to ``slider_vs_submitted(clean)``."""
+        effect: Dict[str, Dict[str, float]] = {}
+        for video_id, stats in self._video_stats.items():
+            slider_sum, n, helper_sum, helper_n, submitted_sum = stats
+            if not n:
+                continue
+            effect[video_id] = {
+                "slider": slider_sum / n,
+                "frame_helper": (helper_sum / helper_n) if helper_n else 0.0,
+                "submitted": submitted_sum / n,
+            }
+        return effect
+
+    def close(self) -> None:
+        """Release the wisdom spool directory."""
+        if self._spool is not None:
+            self._spool.cleanup()
+            self._spool = None
+
+
+def _streaming_fingerprint(config: CampaignConfig, mode: str, chunk_size: int,
+                           injector) -> Dict[str, object]:
+    """Checkpoint identity of a streaming run.
+
+    Unlike the batch fingerprint this carries the participant *count*, not
+    the roster: the roster is a pure function of (seed, scheme, campaign
+    id, count), and pinning the count keeps the fingerprint O(1).  The mode
+    is tagged ``-streaming`` so batch and streaming checkpoints of the same
+    campaign can never be mixed (their chunk payloads differ).
+    """
+    return {
+        "campaign_id": config.campaign_id,
+        "seed": config.seed,
+        "rng_scheme": config.rng_scheme,
+        "mode": f"{mode}-streaming",
+        "chunk_size": chunk_size,
+        "participant_count": config.participant_count,
+        "fault_plan": injector.plan.as_dict() if injector is not None else None,
+    }
+
+
+def run_streaming_campaign(runner, experiment, mode: str, *,
+                           chunk_size: int = 256, warehouse=None,
+                           kind: Optional[str] = None, metrics_by_site=None,
+                           keep_dataset: bool = False, checkpoint_dir=None,
+                           stop_after_chunks: Optional[int] = None) -> StreamingCampaignResult:
+    """Run one campaign as a bounded-memory stream of participant chunks.
+
+    Args:
+        runner: the configured :class:`~repro.core.campaign.CampaignRunner`
+            (its config, RNG streams and fault injector are reused, so a
+            streaming run is interchangeable with a batch run of the same
+            runner configuration).
+        experiment: the timeline or A/B experiment to run.
+        mode: "timeline" or "ab".
+        chunk_size: participants per execution chunk; peak memory scales
+            with this, not with the campaign size.
+        warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`;
+            cleaned fragments are ingested incrementally and the landed
+            record (bit-identical id to a batch ingest) is attached to the
+            result.
+        kind: experiment kind for the warehouse record (defaults to the
+            experiment type, matching batch ingest).
+        metrics_by_site: per-site machine metrics for the warehouse record.
+        keep_dataset: also materialise the clean dataset on the result
+            (defeats the memory bound; for equivalence testing).
+        checkpoint_dir: chunk checkpoint directory for kill+resume.
+        stop_after_chunks: chaos hook — with a checkpoint directory, raise
+            :class:`~repro.errors.CampaignInterrupted` once this many
+            freshly-executed chunks are durable and another chunk is about
+            to execute (the streaming analogue of the batch hook, which
+            raises right after the saving chunk instead).
+
+    Raises:
+        CampaignError: for a non-positive ``chunk_size`` or an unknown mode.
+        CheckpointError: when a checkpointed chunk does not match its
+            recomputed roster slice.
+        CampaignInterrupted: see ``stop_after_chunks``.
+    """
+    if mode not in ("timeline", "ab"):
+        raise CampaignError(f"unknown streaming campaign mode {mode!r}")
+    if chunk_size < 1:
+        raise CampaignError("chunk_size must be at least 1")
+    config = runner.config
+    runner._check_task_schemes(experiment)
+
+    helper = runner._frame_helper(experiment) if mode == "timeline" else None
+    preload = (
+        config.preload_video and experiment.preload_video
+        if mode == "timeline" else True
+    )
+    server = EyeorgServer(
+        experiment, videos_per_participant=config.videos_per_participant,
+        seed=config.seed, rng_scheme=config.rng_scheme, track_rosters=False,
+    )
+    recruiter = Recruiter(seed=config.seed, rng_scheme=config.rng_scheme)
+    arrivals = recruiter.recruit_iter(
+        config.campaign_id, config.participant_count, config.service
+    )
+    summary = RecruitmentSummary(campaign_id=config.campaign_id, service=config.service)
+    control_rng = runner._rng.fork("ab-controls") if mode == "ab" else None
+    injector = runner._injector
+    dropouts: Dict[str, Dict[str, int]] = {}
+    executor = runner._session_executor(experiment, mode, helper, preload)
+    store = (
+        CheckpointStore(
+            checkpoint_dir, _streaming_fingerprint(config, mode, chunk_size, injector)
+        )
+        if checkpoint_dir is not None else None
+    )
+    sink = (
+        warehouse.streaming_ingest(
+            config.campaign_id, mode, config.rng_scheme, config.network_profile
+        )
+        if warehouse is not None else None
+    )
+    collector = _StreamingCollector(config, mode, sink=sink, keep_dataset=keep_dataset)
+
+    chunk_index = 0
+    fresh = 0
+
+    def process_chunk(chunk: List[Tuple[Participant, List]], index: int) -> None:
+        nonlocal fresh
+        pids = [participant.participant_id for participant, _tasks in chunk]
+        if store is not None and store.has_chunk(index):
+            payload = store.load_chunk(index)
+            if not (isinstance(payload, dict) and payload.get("pids") == pids):
+                raise CheckpointError(
+                    f"checkpoint chunk {index} at {checkpoint_dir} does not match "
+                    f"the recomputed participant slice; refusing to resume"
+                )
+            results = payload["results"]
+        else:
+            if (store is not None and stop_after_chunks is not None
+                    and fresh >= stop_after_chunks):
+                raise CampaignInterrupted(
+                    f"campaign {config.campaign_id!r} stopped after {fresh} fresh "
+                    f"chunk(s); {index} chunk(s) checkpointed at {checkpoint_dir}",
+                    completed_chunks=index, total_chunks=0,
+                )
+            results = executor(chunk)
+            if store is not None:
+                store.save_chunk(index, {"pids": pids, "results": results})
+            fresh += 1
+        for (participant, _tasks), result in zip(chunk, results):
+            collector.consume(participant, result)
+        collector.flush_chunk()
+
+    try:
+        buffer: List[Tuple[Participant, List]] = []
+        for recruited in arrivals:
+            summary.observe(recruited)
+            participant = recruited.participant
+            tasks = server.admit_and_assign(participant)
+            if tasks is None:
+                continue
+            if mode == "ab":
+                tasks = list(tasks)
+                for index in range(len(tasks)):
+                    if control_rng.fork_once(
+                        f"{participant.participant_id}:{index}"
+                    ).bernoulli(experiment.control_pair_probability):
+                        tasks[index] = experiment.make_control_pair(
+                            tasks[index], control_rng, index
+                        )
+            # Dropout truncates only after control injection, exactly as in
+            # the batch phase 1.
+            tasks = runner._apply_dropout(participant, tasks, dropouts)
+            buffer.append((participant, tasks))
+            if len(buffer) >= chunk_size:
+                process_chunk(buffer, chunk_index)
+                chunk_index += 1
+                buffer = []
+        if buffer:
+            process_chunk(buffer, chunk_index)
+            chunk_index += 1
+            buffer = []
+
+        collector.finalize()
+
+        result = StreamingCampaignResult(
+            config=config,
+            experiment_type=mode,
+            recruitment=summary,
+            filter_summary=collector.summary,
+            videos_served=collector.videos_served,
+            site_count=len(collector.raw_sites),
+            admitted_count=server.admitted_count,
+            rejected_count=server.rejected_count,
+            clean_response_count=collector.clean_responses,
+            chunks_total=chunk_index,
+            chunks_executed=fresh,
+            uplt_by_site=collector.uplt_by_site(),
+            helper_effect=collector.helper_effect(),
+            resilience=injector.report(dropouts) if injector is not None else None,
+            clean_dataset=collector.dataset,
+        )
+        if sink is not None:
+            from ..warehouse.store import _record_fields
+
+            fields = _record_fields(
+                kind=kind or mode,
+                campaign_id=config.campaign_id,
+                experiment_type=mode,
+                rng_scheme=config.rng_scheme,
+                network_profile=config.network_profile,
+                seed=config.seed,
+                participants=config.participant_count,
+                sites=result.site_count,
+                videos_per_participant=config.videos_per_participant,
+                table1=result.table1_row,
+                filter_summary=result.filter_summary.summary_row(),
+                videos_served=result.videos_served,
+                uplt_by_site=result.uplt_by_site or None,
+                metrics_by_site=metrics_by_site,
+                resilience=result.resilience,
+            )
+            result.warehouse_record = sink.finalize(fields)
+            sink = None  # finalize closed it; nothing to abort
+        return result
+    except BaseException:
+        if sink is not None:
+            sink.abort()
+        raise
+    finally:
+        collector.close()

@@ -171,7 +171,7 @@ def generate_participant(
         rng: random source; forked with the participant id internally.
         male_fraction: gender mix of the pool being recruited from.
     """
-    prng = rng.fork(f"participant:{participant_id}")
+    prng = rng.fork_once(f"participant:{participant_id}")
     demographics = sample_demographics(prng.fork("demo"), participant_class.value, male_fraction)
     traits = _sample_traits(prng.fork("traits"), participant_class)
     persona = _sample_persona(prng.fork("persona"))

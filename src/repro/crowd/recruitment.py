@@ -8,7 +8,7 @@ and reports the aggregate duration and cost figures that populate Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import RecruitmentError
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
@@ -74,6 +74,48 @@ class RecruitmentReport:
         return [recruited.participant for recruited in self.participants]
 
 
+@dataclass
+class RecruitmentSummary:
+    """Incrementally accumulated recruitment totals (the streaming report).
+
+    Carries the same Table 1 fields as :class:`RecruitmentReport` — count,
+    duration, cost, gender split — but is built one arrival at a time with
+    :meth:`observe`, so a streaming campaign never holds the participant
+    pool in memory.
+
+    Attributes:
+        campaign_id: campaign the pool was recruited for.
+        service: service used.
+        count: participants observed so far.
+        duration_hours: arrival time of the latest participant.
+        total_cost_usd: total paid so far.
+    """
+
+    campaign_id: str
+    service: str
+    count: int = 0
+    duration_hours: float = 0.0
+    total_cost_usd: float = 0.0
+    _genders: Dict[str, int] = field(default_factory=lambda: {"male": 0, "female": 0})
+
+    def observe(self, recruited: RecruitedParticipant) -> None:
+        """Fold one arrival into the totals (call in arrival order)."""
+        self.count += 1
+        self.duration_hours = recruited.recruited_at_hours
+        self.total_cost_usd += recruited.cost_usd
+        self._genders[recruited.participant.demographics.gender] += 1
+
+    @property
+    def duration_days(self) -> float:
+        """Recruitment duration in days."""
+        return self.duration_hours / 24.0
+
+    @property
+    def gender_split(self) -> Dict[str, int]:
+        """Male/female counts (as reported in Table 1)."""
+        return dict(self._genders)
+
+
 class Recruiter:
     """Recruits participant pools for campaigns."""
 
@@ -100,6 +142,25 @@ class Recruiter:
             duration_hours=duration,
             total_cost_usd=sum(r.cost_usd for r in recruited),
         )
+
+    def recruit_iter(self, campaign_id: str, count: int,
+                     service_name: str = "crowdflower") -> Iterator[RecruitedParticipant]:
+        """Recruit ``count`` participants lazily, in arrival order.
+
+        The streaming shape of :meth:`recruit`: yields the exact same
+        participants (bit-identical draws) without materialising the pool.
+        Pair with :class:`RecruitmentSummary` to accumulate the Table 1
+        totals as arrivals are consumed.
+
+        Raises:
+            RecruitmentError: if the count is not positive or the service is
+                unknown (raised eagerly, before the first arrival).
+        """
+        if count <= 0:
+            raise RecruitmentError("cannot recruit a non-positive number of participants")
+        profile = get_service(service_name)
+        connector = ServiceConnector(profile, self._rng.fork(campaign_id))
+        return connector.iter_recruit(count, campaign_id)
 
     def recruit_paid(self, campaign_id: str, count: int) -> RecruitmentReport:
         """Recruit from the default paid pool (CrowdFlower's trusted workers)."""

@@ -116,9 +116,25 @@ class ServiceConnector:
         Raises:
             RecruitmentError: if ``count`` is not positive.
         """
+        return list(self.iter_recruit(count, campaign_id))
+
+    def iter_recruit(self, count: int, campaign_id: str) -> Iterator[RecruitedParticipant]:
+        """Recruit ``count`` participants lazily, one arrival at a time.
+
+        The streaming shape of :meth:`recruit`: participants are generated
+        on demand in arrival order from the same sequential stream, so
+        consuming the iterator end to end draws bit-identical participants
+        — without ever materialising the full pool.
+
+        Raises:
+            RecruitmentError: if ``count`` is not positive (raised eagerly,
+                before the first participant is generated).
+        """
         if count <= 0:
             raise RecruitmentError("must recruit at least one participant")
-        recruited: List[RecruitedParticipant] = []
+        return self._iter_recruit(count, campaign_id)
+
+    def _iter_recruit(self, count: int, campaign_id: str) -> Iterator[RecruitedParticipant]:
         clock_hours = 0.0
         for index in range(count):
             # Arrival-rate decay: the task sits lower in workers' feeds over time.
@@ -132,11 +148,8 @@ class ServiceConnector:
                 rng=self._rng,
                 male_fraction=self.profile.male_fraction,
             )
-            recruited.append(
-                RecruitedParticipant(
-                    participant=participant,
-                    recruited_at_hours=clock_hours,
-                    cost_usd=self.profile.cost_per_participant_usd,
-                )
+            yield RecruitedParticipant(
+                participant=participant,
+                recruited_at_hours=clock_hours,
+                cost_usd=self.profile.cost_per_participant_usd,
             )
-        return recruited

@@ -16,9 +16,10 @@ from ..capture.webpeg import CaptureSettings, Webpeg
 from ..core.analysis import compare_uplt_with_metrics, mean_uplt_per_site, slider_vs_submitted
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import TimelineExperiment
+from ..core.streaming import StreamingCampaignResult
 from ..errors import CaptureError
 from ..faults import FaultInjector, ResilienceReport
-from ..metrics.comparison import MetricComparison
+from ..metrics.comparison import MetricComparison, compare_metrics
 from ..metrics.plt import PLTMetrics, metrics_from_video
 from ..rng import DEFAULT_RNG_SCHEME, require_same_scheme
 from ..web.corpus import CorpusGenerator
@@ -45,6 +46,41 @@ class PLTCampaignResult:
     comparison: MetricComparison
     helper_effect: Dict[str, Dict[str, float]]
     resilience: Optional[ResilienceReport] = None
+
+
+def _capture_plt_corpus(campaign_id, sites, seed, loads_per_site, network_profile,
+                        capture_workers, rng_scheme, pages, injector):
+    """Shared capture phase of the PLT drivers: corpus → videos → metrics.
+
+    Returns ``(videos, metrics_by_site)`` over the sites surviving the fault
+    plan's quarantine (all of them, fault-free).
+    """
+    if pages is None:
+        # The corpus is the scheme-independent input dataset: both schemes
+        # measure the same synthetic sites, so per-site outputs stay
+        # comparable.
+        corpus = CorpusGenerator(seed=seed)
+        pages = corpus.http2_sample(sites)
+    settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
+    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme, injector=injector)
+
+    reports = tool.capture_batch(pages, configuration="h2", max_workers=capture_workers or None)
+    # Graceful degradation: under a fault plan, quarantined sites are absent
+    # from `reports`; the campaign proceeds over the surviving corpus and the
+    # quarantine set rides along as provenance.
+    surviving = [page for page in pages if page.site_id in reports]
+    if not surviving:
+        raise CaptureError(
+            f"campaign {campaign_id!r}: every site was quarantined by the fault "
+            f"plan; lower the plan's capture rates or raise the retry budget"
+        )
+    videos: List[Video] = []
+    metrics_by_site: Dict[str, PLTMetrics] = {}
+    for page in surviving:
+        report = reports[page.site_id]
+        videos.append(report.video)
+        metrics_by_site[page.site_id] = metrics_from_video(report.video)
+    return videos, metrics_by_site
 
 
 def run_plt_campaign(
@@ -116,31 +152,10 @@ def run_plt_campaign(
         require_same_scheme(rng_scheme, fault_plan.rng_scheme,
                             f"fault plan of campaign {campaign_id!r}")
         injector = FaultInjector(fault_plan, resilience_policy)
-    if pages is None:
-        # The corpus is the scheme-independent input dataset: both schemes
-        # measure the same synthetic sites, so per-site outputs stay
-        # comparable.
-        corpus = CorpusGenerator(seed=seed)
-        pages = corpus.http2_sample(sites)
-    settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
-    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme, injector=injector)
-
-    reports = tool.capture_batch(pages, configuration="h2", max_workers=capture_workers or None)
-    # Graceful degradation: under a fault plan, quarantined sites are absent
-    # from `reports`; the campaign proceeds over the surviving corpus and the
-    # quarantine set rides along as provenance.
-    surviving = [page for page in pages if page.site_id in reports]
-    if not surviving:
-        raise CaptureError(
-            f"campaign {campaign_id!r}: every site was quarantined by the fault "
-            f"plan; lower the plan's capture rates or raise the retry budget"
-        )
-    videos: List[Video] = []
-    metrics_by_site: Dict[str, PLTMetrics] = {}
-    for page in surviving:
-        report = reports[page.site_id]
-        videos.append(report.video)
-        metrics_by_site[page.site_id] = metrics_from_video(report.video)
+    videos, metrics_by_site = _capture_plt_corpus(
+        campaign_id, sites, seed, loads_per_site, network_profile,
+        capture_workers, rng_scheme, pages, injector,
+    )
 
     experiment = TimelineExperiment(experiment_id=campaign_id, videos=videos)
     config = CampaignConfig(
@@ -180,3 +195,116 @@ def run_plt_campaign(
             warehouse.injector = injector
         warehouse.ingest(result)
     return result
+
+
+@dataclass
+class StreamingPLTCampaignResult:
+    """Artefacts of the bounded-memory PLT timeline campaign.
+
+    Mirrors :class:`PLTCampaignResult` with aggregates instead of datasets:
+    every field it shares (``uplt_by_site``, ``comparison``,
+    ``helper_effect``, the warehouse record id) is bit-identical to the
+    batch driver's for the same inputs.
+
+    Attributes:
+        videos: the captured videos (one per site).
+        campaign: the streaming campaign result (aggregates, no datasets).
+        metrics_by_site: machine metrics per site.
+        uplt_by_site: mean (cleaned) UserPerceivedPLT per site.
+        comparison: correlation / difference analysis vs the metrics.
+        helper_effect: per-video slider vs frame-helper vs submitted means.
+        resilience: fault-plan survival report (None for fault-free runs).
+    """
+
+    videos: List[Video]
+    campaign: "StreamingCampaignResult"
+    metrics_by_site: Dict[str, PLTMetrics]
+    uplt_by_site: Dict[str, float]
+    comparison: MetricComparison
+    helper_effect: Dict[str, Dict[str, float]]
+    resilience: Optional[ResilienceReport] = None
+
+
+def run_plt_campaign_streaming(
+    sites: int = 100,
+    participants: int = 1000,
+    seed: int = 2016,
+    loads_per_site: int = 5,
+    network_profile: str = "cable-intl",
+    frame_helper_enabled: bool = True,
+    preload_video: bool = True,
+    capture_workers: int = 0,
+    session_workers: int = 0,
+    rng_scheme: str = DEFAULT_RNG_SCHEME,
+    campaign_id: str = "final-plt-timeline",
+    pages=None,
+    warehouse=None,
+    fault_plan=None,
+    resilience_policy=None,
+    chunk_size: int = 256,
+    keep_dataset: bool = False,
+    checkpoint_dir=None,
+    stop_after_chunks: Optional[int] = None,
+) -> StreamingPLTCampaignResult:
+    """Run the PLT campaign as a bounded-memory streaming pipeline.
+
+    The capture phase is the batch driver's (videos are per-site artefacts,
+    not per-participant, so they were never the memory problem); the
+    campaign itself runs through
+    :func:`repro.core.streaming.run_streaming_campaign` in ``chunk_size``
+    participant chunks, with the warehouse record ingested incrementally.
+    Every aggregate, and the warehouse record id, is bit-identical to
+    :func:`run_plt_campaign`'s — only peak memory changes, from
+    O(participants) to O(chunk_size + sites + videos).
+
+    Args beyond :func:`run_plt_campaign`'s shared ones:
+        chunk_size: participants per execution chunk.
+        keep_dataset: materialise the clean dataset on the result anyway
+            (defeats the memory bound; for equivalence testing).
+        checkpoint_dir / stop_after_chunks: chunked checkpoint resume and
+            the kill-simulation chaos hook (see
+            :meth:`~repro.core.campaign.CampaignRunner.run_timeline_streaming`).
+    """
+    injector = None
+    if fault_plan is not None:
+        require_same_scheme(rng_scheme, fault_plan.rng_scheme,
+                            f"fault plan of campaign {campaign_id!r}")
+        injector = FaultInjector(fault_plan, resilience_policy)
+    videos, metrics_by_site = _capture_plt_corpus(
+        campaign_id, sites, seed, loads_per_site, network_profile,
+        capture_workers, rng_scheme, pages, injector,
+    )
+
+    experiment = TimelineExperiment(experiment_id=campaign_id, videos=videos)
+    config = CampaignConfig(
+        campaign_id=campaign_id,
+        participant_count=participants,
+        service="crowdflower",
+        seed=seed,
+        rng_scheme=rng_scheme,
+        frame_helper_enabled=frame_helper_enabled,
+        preload_video=preload_video,
+        parallel_workers=session_workers,
+        network_profile=network_profile,
+    )
+    campaign = CampaignRunner(config, injector=injector).run_timeline_streaming(
+        experiment,
+        chunk_size=chunk_size,
+        warehouse=warehouse,
+        kind="plt",
+        metrics_by_site=metrics_by_site,
+        keep_dataset=keep_dataset,
+        checkpoint_dir=checkpoint_dir,
+        stop_after_chunks=stop_after_chunks,
+    )
+
+    comparison = compare_metrics(campaign.uplt_by_site, metrics_by_site)
+    return StreamingPLTCampaignResult(
+        videos=videos,
+        campaign=campaign,
+        metrics_by_site=metrics_by_site,
+        uplt_by_site=campaign.uplt_by_site,
+        comparison=comparison,
+        helper_effect=campaign.helper_effect,
+        resilience=campaign.resilience,
+    )

@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Sequence
 from ..netsim.profiles import get_profile, list_profiles
 from ..rng import DEFAULT_RNG_SCHEME
 from ..web.corpus import CorpusGenerator
-from .plt_campaign import PLTCampaignResult, run_plt_campaign
+from .plt_campaign import (
+    PLTCampaignResult,
+    StreamingPLTCampaignResult,
+    run_plt_campaign,
+    run_plt_campaign_streaming,
+)
 
 
 @dataclass
@@ -42,7 +47,9 @@ class ProfileSweepResult:
         profiles: profile names in sweep order.
         sites: number of sites in the shared corpus.
         rng_scheme: the versioned RNG scheme the whole sweep ran under.
-        by_profile: one full :class:`PLTCampaignResult` per profile.
+        by_profile: one full :class:`PLTCampaignResult` per profile
+            (:class:`StreamingPLTCampaignResult` for streaming sweeps —
+            same aggregates, no materialised datasets).
     """
 
     profiles: List[str]
@@ -66,13 +73,20 @@ class ProfileSweepResult:
         for profile in self.profiles:
             result = self.by_profile[profile]
             spec = get_profile(profile)
+            campaign = result.campaign
+            if campaign.clean_dataset is not None:
+                clean = len(campaign.clean_dataset.timeline_responses)
+            else:
+                # Streaming campaigns drop the materialised dataset but keep
+                # the count as a first-class aggregate.
+                clean = campaign.clean_response_count
             rows.append({
                 "profile": profile,
                 "rtt_ms": round(spec.latency.base_rtt * 1000.0, 1),
                 "down_mbps": round(spec.bandwidth.downlink_bps / 1e6, 2),
                 "mean_uplt_s": round(self.mean_uplt(profile), 3),
                 "mean_onload_s": round(self.mean_onload(profile), 3),
-                "clean_responses": len(result.campaign.clean_dataset.timeline_responses),
+                "clean_responses": clean,
             })
         return rows
 
@@ -97,6 +111,8 @@ def run_profile_sweep_campaign(
     warehouse=None,
     fault_plan=None,
     resilience_policy=None,
+    streaming: bool = False,
+    chunk_size: int = 256,
 ) -> ProfileSweepResult:
     """Run the PLT campaign once per network profile, in one pass.
 
@@ -118,6 +134,14 @@ def run_profile_sweep_campaign(
         fault_plan / resilience_policy: forwarded to every per-profile
             :func:`run_plt_campaign` (each profile run gets a fresh
             injector, so quarantine state never leaks across profiles).
+        streaming: run every per-profile campaign through the
+            bounded-memory pipeline (:func:`run_plt_campaign_streaming`);
+            aggregates, summary rows, and warehouse records are
+            bit-identical to the batch sweep's, but no clean datasets are
+            materialised and warehouse ingest happens incrementally during
+            each campaign rather than at the end of the sweep.
+        chunk_size: participants per streaming execution chunk (ignored
+            unless ``streaming``).
 
     Returns:
         A :class:`ProfileSweepResult` with one campaign per profile.
@@ -133,7 +157,7 @@ def run_profile_sweep_campaign(
 
     by_profile: Dict[str, PLTCampaignResult] = {}
     for name in names:
-        by_profile[name] = run_plt_campaign(
+        shared = dict(
             sites=sites,
             participants=participants,
             seed=seed,
@@ -149,12 +173,20 @@ def run_profile_sweep_campaign(
             fault_plan=fault_plan,
             resilience_policy=resilience_policy,
         )
+        if streaming:
+            # Incremental ingest: the sink streams each campaign's record
+            # as it runs, so the end-of-sweep ingest below must not fire
+            # (it could not — streaming results carry no datasets).
+            by_profile[name] = run_plt_campaign_streaming(
+                warehouse=warehouse, chunk_size=chunk_size, **shared)
+        else:
+            by_profile[name] = run_plt_campaign(**shared)
     sweep = ProfileSweepResult(
         profiles=names,
         sites=sites,
         rng_scheme=rng_scheme,
         by_profile=by_profile,
     )
-    if warehouse is not None:
+    if warehouse is not None and not streaming:
         warehouse.ingest(sweep)
     return sweep

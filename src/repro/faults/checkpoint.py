@@ -20,12 +20,21 @@ import json
 import os
 import pickle
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import CheckpointError
 
 #: Format tag of checkpoint manifests; bumped on incompatible layout changes.
 CHECKPOINT_FORMAT = "campaign-checkpoint-v1"
+
+#: Zero-padded width of chunk indices in chunk file names.  Eight digits keep
+#: lexicographic name order equal to numeric chunk order up to 100 million
+#: chunks — the regime million-participant streaming campaigns enter — where
+#: the original five-digit field wrapped its ordering at chunk 100,000.
+CHUNK_INDEX_DIGITS = 8
+
+#: Width of the legacy (pre-streaming) chunk file names, still readable.
+_LEGACY_CHUNK_INDEX_DIGITS = 5
 
 _MANIFEST_NAME = "manifest.json"
 
@@ -88,26 +97,49 @@ class CheckpointStore:
     # -- chunk IO ----------------------------------------------------------------
 
     def _chunk_path(self, index: int) -> Path:
-        return self.root / f"chunk-{index:05d}.pkl"
+        return self.root / f"chunk-{index:0{CHUNK_INDEX_DIGITS}d}.pkl"
+
+    def _legacy_chunk_path(self, index: int) -> Path:
+        return self.root / f"chunk-{index:0{_LEGACY_CHUNK_INDEX_DIGITS}d}.pkl"
+
+    def _existing_chunk_path(self, index: int) -> Optional[Path]:
+        """The on-disk path of chunk ``index``, old or new naming, if any.
+
+        New checkpoints write eight-digit names; directories written by
+        earlier releases used five digits, and those stay resumable.
+        """
+        path = self._chunk_path(index)
+        if path.exists():
+            return path
+        legacy = self._legacy_chunk_path(index)
+        if legacy != path and legacy.exists():
+            return legacy
+        return None
 
     def has_chunk(self, index: int) -> bool:
         """Whether chunk ``index`` was checkpointed by a previous run."""
-        return self._chunk_path(index).exists()
+        return self._existing_chunk_path(index) is not None
 
-    def save_chunk(self, index: int, results: List[object]) -> None:
-        """Atomically persist the results of chunk ``index``."""
+    def save_chunk(self, index: int, results: object) -> None:
+        """Atomically persist the results of chunk ``index``.
+
+        ``results`` is any picklable payload: the batch runner stores the
+        plain list of session results, the streaming runner stores a
+        ``{"pids": [...], "results": [...]}`` envelope so a resumed stream
+        can verify each chunk against its recomputed roster slice.
+        """
         atomic_write_bytes(
             self._chunk_path(index),
             pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL),
         )
 
-    def load_chunk(self, index: int) -> List[object]:
-        """Load a previously checkpointed chunk.
+    def load_chunk(self, index: int) -> object:
+        """Load a previously checkpointed chunk (either file naming).
 
         Raises:
             CheckpointError: when the chunk file is missing or unreadable.
         """
-        path = self._chunk_path(index)
+        path = self._existing_chunk_path(index) or self._chunk_path(index)
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
@@ -117,6 +149,17 @@ class CheckpointStore:
             raise CheckpointError(
                 f"checkpoint chunk {index} at {path} is unreadable: {exc}"
             ) from exc
+
+    def iter_chunks(self, total: Optional[int] = None) -> Iterator[object]:
+        """Yield contiguously checkpointed chunk payloads, one at a time.
+
+        The streaming consumption shape: each payload is yielded and then
+        released, so resuming never extends every chunk into one list.
+        """
+        index = 0
+        while (total is None or index < total) and self.has_chunk(index):
+            yield self.load_chunk(index)
+            index += 1
 
     def completed_chunks(self, total: Optional[int] = None) -> int:
         """Count of contiguously checkpointed chunks starting at 0."""

@@ -32,6 +32,8 @@ class RetryPolicy:
             ``a`` is ``min(base * multiplier**a, max) * (1 + j*u)`` with
             ``u`` uniform in [-1, 1] drawn from the fault plan's scheme, so
             the schedule is reproducible per (scheme, seed, label, attempt).
+            The jittered delay is clamped to ``max_delay_seconds``: the
+            ceiling bounds what the caller waits, jitter included.
     """
 
     max_attempts: int = 3
@@ -60,7 +62,9 @@ class RetryPolicy:
         if self.jitter_fraction <= 0.0 or raw <= 0.0:
             return raw
         u = SeededRNG(plan.seed, plan.rng_scheme).fork_random(f"backoff:{label}:a{attempt}")
-        return raw * (1.0 + self.jitter_fraction * (2.0 * u - 1.0))
+        # Clamp after jittering: the ceiling is a hard bound on the waited
+        # delay, not just on the pre-jitter base.
+        return min(raw * (1.0 + self.jitter_fraction * (2.0 * u - 1.0)), self.max_delay_seconds)
 
 
 @dataclass(frozen=True)

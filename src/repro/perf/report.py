@@ -105,6 +105,8 @@ def run_pipeline_bench(
     warehouse_dir: Optional[str] = None,
     fault_plan=None,
     resilience_policy=None,
+    memory_probe: bool = False,
+    memory_chunk_size: int = 64,
 ) -> Tuple[PerfReport, Dict[str, object]]:
     """Time the capture→campaign pipeline stage by stage.
 
@@ -123,6 +125,14 @@ def run_pipeline_bench(
     own ``warehouse_ingest`` stage (kept out of ``total_seconds`` so the
     recorded trajectory stays comparable across PRs) with the record id in
     ``_meta.warehouse_record_id``.
+
+    ``memory_probe`` additionally re-runs the bench campaign twice under
+    :mod:`tracemalloc` — once through the batch runner, once through the
+    streaming pipeline in ``memory_chunk_size`` participant chunks — and
+    records both Python-heap peaks (plus the process ``ru_maxrss``) under
+    ``_meta.memory``.  The probe is untimed and off by default, so the
+    timing trajectory (and the best-of-N regression gate re-running this
+    function) never pays for it.
 
     ``fault_plan`` optionally runs the whole bench under deterministic
     fault injection (see :mod:`repro.faults`); golden verification is then
@@ -249,6 +259,47 @@ def run_pipeline_bench(
         timer.finish(events=1)
         warehouse_record_id = record.record_id
 
+    memory = None
+    if memory_probe:
+        import resource
+        import tracemalloc
+
+        def _run_campaign(streaming: bool) -> None:
+            # Fresh fault-free runner per run: the probe measures the
+            # execution pipeline's allocations, not the injector's counters
+            # (which the timed run above already owns).
+            runner = CampaignRunner(config)
+            if streaming:
+                runner.run_timeline_streaming(experiment, chunk_size=memory_chunk_size)
+            else:
+                runner.run_timeline(experiment)
+
+        def _campaign_peak_bytes(streaming: bool) -> int:
+            # Untraced warmup first: one-time lazy imports (the streaming
+            # module, tempfile, dataclass machinery) would otherwise be
+            # billed to whichever variant runs them first.
+            _run_campaign(streaming)
+            gc.collect()
+            tracemalloc.start()
+            try:
+                _run_campaign(streaming)
+                return tracemalloc.get_traced_memory()[1]
+            finally:
+                tracemalloc.stop()
+
+        batch_peak = _campaign_peak_bytes(streaming=False)
+        streaming_peak = _campaign_peak_bytes(streaming=True)
+        memory = {
+            "probe": "tracemalloc",
+            "chunk_size": memory_chunk_size,
+            "batch_campaign_peak_bytes": batch_peak,
+            "streaming_campaign_peak_bytes": streaming_peak,
+            "streaming_vs_batch_ratio": (
+                round(streaming_peak / batch_peak, 4) if batch_peak else None
+            ),
+            "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        }
+
     fault_counters = (injector.counters if injector is not None else FaultCounters()).as_dict()
     report.set_meta(
         scale={"sites": sites, "participants": participants, "loads": loads},
@@ -264,6 +315,7 @@ def run_pipeline_bench(
             round(RECORDED_SEED_BASELINE["total"] / total, 3) if is_bench_scale and total else None
         ),
         warehouse_record_id=warehouse_record_id,
+        memory=memory,
         faults={
             "enabled": injector is not None,
             "plan": fault_plan.as_dict() if fault_plan is not None else None,
@@ -342,6 +394,12 @@ def main(argv=None) -> int:
     parser.add_argument("--warehouse-dir", default=None,
                         help="ingest each scheme's bench campaign into the results "
                              "warehouse rooted here (see repro.warehouse)")
+    parser.add_argument("--memory-probe", action="store_true",
+                        help="additionally record batch vs streaming campaign peak "
+                             "memory (tracemalloc) under _meta.memory; untimed, so "
+                             "the timing trajectory is unaffected")
+    parser.add_argument("--memory-chunk-size", type=int, default=64,
+                        help="streaming chunk size for the memory probe (default 64)")
     parser.add_argument("--chaos", action="store_true",
                         help="bench under the pinned golden fault plan "
                              "(repro.goldens.GOLDEN_FAULT_RATES); golden verification "
@@ -374,6 +432,8 @@ def main(argv=None) -> int:
             network_profile=args.profile,
             warehouse_dir=args.warehouse_dir,
             fault_plan=plan,
+            memory_probe=args.memory_probe,
+            memory_chunk_size=args.memory_chunk_size,
         )
     output = args.output
     if output is None:

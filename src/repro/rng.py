@@ -236,6 +236,29 @@ class SeededRNG:
         child._gauss_spare = None
         return child
 
+    def fork_once(self, label: str) -> "SeededRNG":
+        """``fork`` without memoising the derived seed on this instance.
+
+        Bit-identical to ``fork(label)`` — the memo is purely a cache — but
+        leaves no per-label entry behind.  Use for labels derived from
+        participant ids on long-lived parents (the campaign runner's, the
+        server's, the recruiting service's): memoising those grows the
+        parent by O(participants), which is exactly the shape the streaming
+        pipeline's bounded-memory contract forbids.
+        """
+        child_seed = self._fork_memo.get(label) if self._fork_memo else None
+        if child_seed is None:
+            child_seed = self._child_seed(label)
+        child = SeededRNG.__new__(SeededRNG)
+        child.seed = child_seed
+        child.scheme = self.scheme
+        child._rand = None
+        child._prefix_hash = None
+        child._fork_memo = None
+        child._state = child_seed
+        child._gauss_spare = None
+        return child
+
     def fork_random(self, label: str) -> float:
         """The first uniform draw of ``fork(label)``, without building the child.
 

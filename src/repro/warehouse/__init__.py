@@ -51,6 +51,7 @@ from .store import (
     RECORD_FORMAT,
     FsckReport,
     ResultsWarehouse,
+    StreamingIngest,
     WarehouseRecord,
     canonical_json,
     record_id_for,
@@ -64,6 +65,7 @@ __all__ = [
     "RECORD_FORMAT",
     "ResultsWarehouse",
     "SiteDelta",
+    "StreamingIngest",
     "WarehouseComparison",
     "WarehouseRecord",
     "WarehouseStats",

@@ -66,12 +66,15 @@ def bootstrap_mean_ci(values: Sequence[float], seed: int = 2016,
     the library.
 
     Raises:
-        AnalysisError: for an empty sample or a confidence outside (0, 1).
+        AnalysisError: for an empty sample, a confidence outside (0, 1), or
+            fewer than one resample.
     """
     if not values:
         raise AnalysisError("bootstrap of an empty sample is undefined")
     if not 0.0 < confidence < 1.0:
         raise AnalysisError("confidence must be in (0, 1)")
+    if resamples < 1:
+        raise AnalysisError("bootstrap needs at least one resample")
     n = len(values)
     point = sum(values) / n
     if n == 1:

@@ -3,8 +3,15 @@
 A :class:`ResultsWarehouse` is rooted at a directory::
 
     root/
-      index.json            # sidecar index: record id -> key metadata
-      records/<sha256>.json # one immutable record per ingested campaign
+      index.json                 # sidecar index: record id -> key metadata
+      records/<id[:2]>/<id>.json # one immutable record per ingested campaign
+
+Records shard into 256 two-hex-digit subdirectories of ``records/`` keyed
+by their id prefix, so multi-campaign stores never accumulate thousands of
+entries in one directory.  Stores written by earlier releases kept records
+flat at ``records/<id>.json``; those stay fully readable — lookups,
+``fsck`` and ``reindex`` consult both layouts — and new ingests always land
+sharded.
 
 Every record is the **canonical JSON** serialisation of one campaign's
 observable outputs (Table 1 row, filter counts, per-site UserPerceivedPLT,
@@ -31,9 +38,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from ..core.campaign import CampaignResult
 from ..core.responses import ResponseDataset
@@ -75,6 +84,16 @@ def canonical_json(body: Dict[str, object]) -> str:
 def record_id_for(body: Dict[str, object]) -> str:
     """SHA-256 hex id of a record body (hash of its canonical JSON bytes)."""
     return hashlib.sha256(canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def _sharded_record_path(root: Path, record_id: str) -> Path:
+    """Where a record lands in the sharded layout: ``records/<id[:2]>/<id>.json``."""
+    return root / "records" / record_id[:2] / f"{record_id}.json"
+
+
+def _flat_record_path(root: Path, record_id: str) -> Path:
+    """Where a record lived in the pre-shard flat layout: ``records/<id>.json``."""
+    return root / "records" / f"{record_id}.json"
 
 
 class WarehouseRecord:
@@ -122,7 +141,15 @@ class WarehouseRecord:
 
     @property
     def path(self) -> Path:
-        return self._root / "records" / f"{self.record_id}.json"
+        """On-disk location: the sharded path, falling back to a surviving
+        flat-layout file, defaulting to sharded for records not yet written."""
+        sharded = _sharded_record_path(self._root, self.record_id)
+        if sharded.exists():
+            return sharded
+        flat = _flat_record_path(self._root, self.record_id)
+        if flat.exists():
+            return flat
+        return sharded
 
     # -- record-level accessors (verified file I/O, cached) ---------------------
 
@@ -183,6 +210,53 @@ def _campaign_key(meta: Dict[str, object]) -> tuple:
     return (meta["campaign_id"], meta["rng_scheme"], meta["network_profile"], meta["seed"])
 
 
+def _record_fields(*, kind: str, campaign_id: str, experiment_type: str,
+                   rng_scheme: str, network_profile: Optional[str], seed: int,
+                   participants: int, sites: int, videos_per_participant: int,
+                   table1: Dict[str, object], filter_summary: Dict[str, object],
+                   videos_served: int,
+                   uplt_by_site: Optional[Dict[str, float]],
+                   metrics_by_site: Optional[Dict[str, PLTMetrics]],
+                   resilience=None) -> Dict[str, object]:
+    """Every record field *except* ``clean_dataset``.
+
+    This is the part of the body that is cheap to hold in memory; streaming
+    ingest serialises it separately from the (potentially huge) cleaned
+    dataset, while batch ingest composes the two into one body dict.
+    """
+    fields: Dict[str, object] = {
+        "record_format": RECORD_FORMAT,
+        "kind": kind,
+        "campaign_id": campaign_id,
+        "experiment_type": experiment_type,
+        "rng_scheme": rng_scheme,
+        "network_profile": network_profile,
+        "seed": seed,
+        "scale": {
+            "participants": participants,
+            "sites": sites,
+            "videos_per_participant": videos_per_participant,
+        },
+        "table1": table1,
+        "filter_summary": filter_summary,
+        "videos_served": videos_served,
+        "uplt_by_site": {
+            site: repr(value) for site, value in sorted((uplt_by_site or {}).items())
+        },
+        "metrics_by_site": {
+            site: {name: repr(metrics.get(name)) for name in METRIC_NAMES}
+            for site, metrics in sorted((metrics_by_site or {}).items())
+        },
+    }
+    # Faulted campaigns carry their deterministic resilience provenance (the
+    # plan, the quarantine set, the dropout roster).  The key is *absent* for
+    # fault-free campaigns so their record ids stay byte-identical to records
+    # ingested before fault injection existed.
+    if resilience is not None:
+        fields["resilience"] = resilience.provenance_dict()
+    return fields
+
+
 def _record_body(campaign: CampaignResult, kind: str,
                  uplt_by_site: Optional[Dict[str, float]],
                  metrics_by_site: Optional[Dict[str, PLTMetrics]]) -> Dict[str, object]:
@@ -195,37 +269,24 @@ def _record_body(campaign: CampaignResult, kind: str,
     site_ids = {r.site_id for r in campaign.raw_dataset.timeline_responses}
     site_ids.update(r.site_id for r in campaign.raw_dataset.ab_responses)
     config = campaign.config
-    body: Dict[str, object] = {
-        "record_format": RECORD_FORMAT,
-        "kind": kind,
-        "campaign_id": config.campaign_id,
-        "experiment_type": campaign.experiment_type,
-        "rng_scheme": config.rng_scheme,
-        "network_profile": config.network_profile,
-        "seed": config.seed,
-        "scale": {
-            "participants": config.participant_count,
-            "sites": len(site_ids),
-            "videos_per_participant": config.videos_per_participant,
-        },
-        "table1": campaign.table1_row,
-        "filter_summary": campaign.filter_report.summary_row(),
-        "videos_served": campaign.videos_served,
-        "uplt_by_site": {
-            site: repr(value) for site, value in sorted((uplt_by_site or {}).items())
-        },
-        "metrics_by_site": {
-            site: {name: repr(metrics.get(name)) for name in METRIC_NAMES}
-            for site, metrics in sorted((metrics_by_site or {}).items())
-        },
-        "clean_dataset": dataset_to_dict(clean),
-    }
-    # Faulted campaigns carry their deterministic resilience provenance (the
-    # plan, the quarantine set, the dropout roster).  The key is *absent* for
-    # fault-free campaigns so their record ids stay byte-identical to records
-    # ingested before fault injection existed.
-    if campaign.resilience is not None:
-        body["resilience"] = campaign.resilience.provenance_dict()
+    body = _record_fields(
+        kind=kind,
+        campaign_id=config.campaign_id,
+        experiment_type=campaign.experiment_type,
+        rng_scheme=config.rng_scheme,
+        network_profile=config.network_profile,
+        seed=config.seed,
+        participants=config.participant_count,
+        sites=len(site_ids),
+        videos_per_participant=config.videos_per_participant,
+        table1=campaign.table1_row,
+        filter_summary=campaign.filter_report.summary_row(),
+        videos_served=campaign.videos_served,
+        uplt_by_site=uplt_by_site,
+        metrics_by_site=metrics_by_site,
+        resilience=campaign.resilience,
+    )
+    body["clean_dataset"] = dataset_to_dict(clean)
     return body
 
 
@@ -347,13 +408,21 @@ class ResultsWarehouse:
         # (and stays identical between an uninterrupted and a resumed run).
         self._write_payload(self._index_path, payload, f"index:{len(index)}")
 
+    def _record_files(self) -> List[Path]:
+        """Every record file on disk: sharded and legacy-flat layouts, sorted
+        by record id for deterministic traversal."""
+        if not self._records_dir.is_dir():
+            return []
+        files = list(self._records_dir.glob("*.json"))
+        files.extend(self._records_dir.glob("[0-9a-f][0-9a-f]/*.json"))
+        return sorted(files, key=lambda path: path.stem)
+
     def reindex(self) -> int:
         """Rebuild ``index.json`` from the record files; returns the count."""
         index: Dict[str, Dict[str, object]] = {}
-        if self._records_dir.is_dir():
-            for path in sorted(self._records_dir.glob("*.json")):
-                record = WarehouseRecord(self.root, path.stem, {})
-                index[path.stem] = _index_meta(record.load())
+        for path in self._record_files():
+            record = WarehouseRecord(self.root, path.stem, {})
+            index[path.stem] = _index_meta(record.load())
         self._index = index
         self.root.mkdir(parents=True, exist_ok=True)
         self._save_index()
@@ -378,21 +447,20 @@ class ResultsWarehouse:
         report = FsckReport(repaired=repair)
         intact: List[str] = []
         corrupt_paths: List[Path] = []
-        if self._records_dir.is_dir():
-            for path in sorted(self._records_dir.glob("*.json")):
-                report.checked += 1
-                raw = path.read_bytes()
-                healthy = hashlib.sha256(raw).hexdigest() == path.stem
-                if healthy:
-                    try:
-                        json.loads(raw.decode("utf-8"))
-                    except (UnicodeDecodeError, json.JSONDecodeError):
-                        healthy = False
-                if healthy:
-                    intact.append(path.stem)
-                else:
-                    report.corrupt.append(str(path))
-                    corrupt_paths.append(path)
+        for path in self._record_files():
+            report.checked += 1
+            raw = path.read_bytes()
+            healthy = hashlib.sha256(raw).hexdigest() == path.stem
+            if healthy:
+                try:
+                    json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    healthy = False
+            if healthy:
+                intact.append(path.stem)
+            else:
+                report.corrupt.append(str(path))
+                corrupt_paths.append(path)
         if self.root.is_dir():
             report.tmp_debris = sorted(
                 str(path) for path in self.root.glob("**/*.tmp")
@@ -422,6 +490,19 @@ class ResultsWarehouse:
         return report
 
     # -- ingest ------------------------------------------------------------------
+
+    def _check_campaign_conflict(self, index: Dict[str, Dict[str, object]],
+                                 meta: Dict[str, object]) -> None:
+        """Enforce append-only: same campaign key + different content is an error."""
+        for other_id, other in index.items():
+            if _campaign_key(other) == _campaign_key(meta):
+                raise WarehouseError(
+                    f"campaign {meta['campaign_id']!r} (scheme {meta['rng_scheme']}, "
+                    f"profile {meta['network_profile']}, seed {meta['seed']}) is already "
+                    f"stored as record {other_id[:12]} with different content; the "
+                    f"warehouse is append-only — ingest under a new campaign id or "
+                    f"into a fresh warehouse to re-baseline"
+                )
 
     def ingest(self, result, kind: Optional[str] = None,
                metrics_by_site: Optional[Dict[str, PLTMetrics]] = None):
@@ -475,18 +556,10 @@ class ResultsWarehouse:
             return WarehouseRecord(self.root, record_id, existing)
 
         meta = _index_meta(body)
-        for other_id, other in index.items():
-            if _campaign_key(other) == _campaign_key(meta):
-                raise WarehouseError(
-                    f"campaign {meta['campaign_id']!r} (scheme {meta['rng_scheme']}, "
-                    f"profile {meta['network_profile']}, seed {meta['seed']}) is already "
-                    f"stored as record {other_id[:12]} with different content; the "
-                    f"warehouse is append-only — ingest under a new campaign id or "
-                    f"into a fresh warehouse to re-baseline"
-                )
+        self._check_campaign_conflict(index, meta)
 
-        self._records_dir.mkdir(parents=True, exist_ok=True)
-        path = self._records_dir / f"{record_id}.json"
+        path = _sharded_record_path(self.root, record_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
         # Record first, index second: a crash between the two leaves an
         # unindexed (but intact) record, which `fsck --repair`/`reindex`
         # recovers.  The reverse order could index a record that was never
@@ -543,8 +616,227 @@ class ResultsWarehouse:
             campaign_id=campaign_id, seed=seed, experiment_type=experiment_type,
         )
 
+    def streaming_ingest(self, campaign_id: str, experiment_type: str,
+                         rng_scheme: str,
+                         network_profile: Optional[str] = None) -> "StreamingIngest":
+        """Open an incremental ingest sink for one streaming campaign.
+
+        Feed it cleaned participants/responses one at a time as the campaign
+        streams, then call :meth:`StreamingIngest.finalize` with the record
+        fields; the resulting record is byte-identical (same record id) to a
+        batch :meth:`ingest` of the equivalent materialised result.
+        """
+        return StreamingIngest(self, campaign_id, experiment_type, rng_scheme,
+                               network_profile)
+
     def __len__(self) -> int:
         return len(self._load_index())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultsWarehouse({str(self.root)!r}, records={len(self)})"
+
+
+class StreamingIngest:
+    """Bounded-memory incremental ingest of one campaign's record.
+
+    The batch :meth:`ResultsWarehouse.ingest` path holds the whole record
+    body (including the full cleaned dataset) in memory to hash and write
+    it.  This sink instead spools each cleaned participant/response to a
+    temporary JSONL file as its canonical-JSON fragment the moment the
+    campaign emits it, then :meth:`finalize` streams the fragments — in the
+    exact canonical key order ``dataset_to_dict`` would produce — through
+    SHA-256 into a staging file and lands it atomically.  Peak memory is one
+    fragment buffer, never the dataset.
+
+    The streamed bytes are **identical** to ``canonical_json(batch_body)``,
+    so streaming and batch ingest of the same campaign produce the same
+    record id, and idempotence/append-only conflict semantics carry over
+    unchanged.
+
+    Spool files live in a system temporary directory (not under the
+    warehouse root, so a live sink never trips ``fsck``); the staging file
+    ``records/streaming-<campaign>.json.tmp`` is recognised by ``fsck`` as
+    ordinary debris if a crash strands it.
+    """
+
+    _FLUSH_EVERY = 1024
+    _SECTIONS = ("participants", "timeline_responses", "ab_responses")
+
+    def __init__(self, warehouse: ResultsWarehouse, campaign_id: str,
+                 experiment_type: str, rng_scheme: str,
+                 network_profile: Optional[str]) -> None:
+        self.warehouse = warehouse
+        self.campaign_id = campaign_id
+        self.experiment_type = experiment_type
+        self.rng_scheme = rng_scheme
+        self.network_profile = network_profile
+        self._spool = tempfile.TemporaryDirectory(prefix="warehouse-stream-")
+        self._spool_dir = Path(self._spool.name)
+        self._buffers: Dict[str, List[str]] = {s: [] for s in self._SECTIONS}
+        self.counts: Dict[str, int] = {s: 0 for s in self._SECTIONS}
+        self._closed = False
+
+    # -- fragment intake ---------------------------------------------------------
+
+    def _append(self, section: str, data: Dict[str, object]) -> None:
+        if self._closed:
+            raise WarehouseError("streaming ingest sink is already closed")
+        buffer = self._buffers[section]
+        buffer.append(canonical_json(data))
+        self.counts[section] += 1
+        if len(buffer) >= self._FLUSH_EVERY:
+            self._flush(section)
+
+    def _flush(self, section: str) -> None:
+        buffer = self._buffers[section]
+        if not buffer:
+            return
+        with (self._spool_dir / f"{section}.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write("\n".join(buffer) + "\n")
+        buffer.clear()
+
+    def add_participant(self, participant) -> None:
+        """Spool one cleaned (kept) participant, in registration order."""
+        from ..core.storage import participant_to_dict
+
+        self._append("participants", participant_to_dict(participant))
+
+    def add_timeline_response(self, response) -> None:
+        """Spool one cleaned timeline response, in clean traversal order."""
+        from ..core.storage import timeline_response_to_dict
+
+        self._append("timeline_responses", timeline_response_to_dict(response))
+
+    def add_ab_response(self, response) -> None:
+        """Spool one cleaned A/B response, in clean traversal order."""
+        from ..core.storage import ab_response_to_dict
+
+        self._append("ab_responses", ab_response_to_dict(response))
+
+    def _iter_section(self, section: str) -> Iterator[str]:
+        self._flush(section)
+        path = self._spool_dir / f"{section}.jsonl"
+        if not path.exists():
+            return
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                yield line.rstrip("\n")
+
+    # -- landing -----------------------------------------------------------------
+
+    def finalize(self, fields: Dict[str, object]) -> WarehouseRecord:
+        """Stream the canonical record to disk and index it.
+
+        Args:
+            fields: the record body minus ``clean_dataset`` (the shape
+                :func:`_record_fields` builds); its identity keys must match
+                the sink's.
+
+        Returns:
+            The landed :class:`WarehouseRecord` (or the already-stored one
+            when the ingest was a no-op).
+
+        Raises:
+            WarehouseError: on identity mismatch, on a campaign-key conflict
+                with different content, or when the sink was already closed.
+        """
+        if self._closed:
+            raise WarehouseError("streaming ingest sink is already closed")
+        for key, expected in (("campaign_id", self.campaign_id),
+                              ("experiment_type", self.experiment_type),
+                              ("rng_scheme", self.rng_scheme),
+                              ("network_profile", self.network_profile)):
+            if fields.get(key) != expected:
+                raise WarehouseError(
+                    f"streaming ingest field mismatch: {key}={fields.get(key)!r} "
+                    f"does not match the sink's {expected!r}"
+                )
+        if "clean_dataset" in fields:
+            raise WarehouseError(
+                "streaming ingest builds clean_dataset from the spooled "
+                "fragments; do not pass it in fields"
+            )
+        # The streamed layout interleaves clean_dataset between campaign_id
+        # and the remaining sorted keys; any other field sorting at or before
+        # "clean_dataset" would break canonical ordering.
+        misplaced = [k for k in fields if k != "campaign_id" and k <= "clean_dataset"]
+        if misplaced:
+            raise WarehouseError(
+                f"streaming ingest cannot order fields {misplaced!r} "
+                f"(they sort before clean_dataset)"
+            )
+
+        def scalar(value: object) -> str:
+            return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                              ensure_ascii=True)
+
+        records_dir = self.warehouse._records_dir
+        records_dir.mkdir(parents=True, exist_ok=True)
+        safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in self.campaign_id)
+        staging = records_dir / f"streaming-{safe}.json.tmp"
+        digest = hashlib.sha256()
+        try:
+            with staging.open("wb") as out:
+                def emit(text: str) -> None:
+                    data = text.encode("utf-8")
+                    digest.update(data)
+                    out.write(data)
+
+                # Byte-for-byte the canonical_json() of the batch body: keys
+                # sorted, campaign_id first, clean_dataset (itself key-sorted:
+                # ab_responses, campaign_id, experiment_type, network_profile,
+                # participants, rng_scheme, timeline_responses) second, then
+                # the remaining fields.
+                emit('{"campaign_id":' + scalar(self.campaign_id)
+                     + ',"clean_dataset":{"ab_responses":[')
+                for i, fragment in enumerate(self._iter_section("ab_responses")):
+                    emit(("," if i else "") + fragment)
+                emit('],"campaign_id":' + scalar(self.campaign_id)
+                     + ',"experiment_type":' + scalar(self.experiment_type)
+                     + ',"network_profile":' + scalar(self.network_profile)
+                     + ',"participants":[')
+                for i, fragment in enumerate(self._iter_section("participants")):
+                    emit(("," if i else "") + fragment)
+                emit('],"rng_scheme":' + scalar(self.rng_scheme)
+                     + ',"timeline_responses":[')
+                for i, fragment in enumerate(self._iter_section("timeline_responses")):
+                    emit(("," if i else "") + fragment)
+                emit("]}")
+                tail = canonical_json({k: v for k, v in fields.items()
+                                       if k != "campaign_id"})
+                emit("," + tail[1:])
+
+            record_id = digest.hexdigest()
+            index = self.warehouse._load_index()
+            existing = index.get(record_id)
+            if existing is not None:
+                staging.unlink(missing_ok=True)
+                return WarehouseRecord(self.warehouse.root, record_id, existing)
+            meta = _index_meta(fields)
+            try:
+                self.warehouse._check_campaign_conflict(index, meta)
+            except WarehouseError:
+                staging.unlink(missing_ok=True)
+                raise
+            final_path = _sharded_record_path(self.warehouse.root, record_id)
+            final_path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(staging, final_path)
+            index[record_id] = meta
+            self.warehouse._save_index()
+            return WarehouseRecord(self.warehouse.root, record_id, meta)
+        finally:
+            self._close()
+
+    def abort(self) -> None:
+        """Discard the spool (and any staging file) without landing a record."""
+        if self._closed:
+            return
+        safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in self.campaign_id)
+        staging = self.warehouse._records_dir / f"streaming-{safe}.json.tmp"
+        if staging.exists():
+            staging.unlink()
+        self._close()
+
+    def _close(self) -> None:
+        self._closed = True
+        self._spool.cleanup()
