@@ -46,12 +46,14 @@ def pytest_addoption(parser):
         default=False,
         help="Run benchmark campaigns at the paper's full scale (100 sites, 1000 participants).",
     )
+    from repro.rng import RNG_SCHEMES
+
     parser.addoption(
         "--rng-scheme",
-        choices=("sha256-v1", "splitmix64-v2", "both"),
+        choices=(*RNG_SCHEMES, "both"),
         default="both",
         help="Versioned RNG scheme(s) the perf pipeline benchmark runs under "
-             "(both schemes' stages are written to BENCH_pipeline.json by default).",
+             "(every scheme's stages are written to BENCH_pipeline.json by default).",
     )
     from repro.perf.report import BENCH_NETWORK_PROFILE
 

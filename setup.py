@@ -1,4 +1,19 @@
-"""Setuptools entry point (metadata lives in pyproject.toml)."""
-from setuptools import setup
+"""Setuptools entry point.
 
-setup()
+The library is pure stdlib by design.  The optional ``[fast]`` extra pulls
+in numpy, which :mod:`repro.rng` uses to vectorise the splitmix64 counter
+blocks behind the ``splitmix64-batch-v3`` scheme — the fallback pure-Python
+path produces bit-identical streams, just slower, so the extra is purely a
+performance knob.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-eyeorg",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    extras_require={
+        "fast": ["numpy"],
+    },
+)

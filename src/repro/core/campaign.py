@@ -27,12 +27,19 @@ from ..crowd.participant import Participant, ParticipantClass
 from ..crowd.recruitment import Recruiter, RecruitmentReport
 from ..errors import CampaignError, CampaignInterrupted, WorkerCrashFault
 from ..faults import BOUNDARY_WORKER, CheckpointStore, FaultInjector, ResilienceReport
-from ..rng import DEFAULT_RNG_SCHEME, SeededRNG, require_same_scheme, validate_scheme
+from ..rng import (
+    DEFAULT_RNG_SCHEME,
+    SCHEME_SPLITMIX64_BATCH_V3,
+    SeededRNG,
+    require_same_scheme,
+    validate_scheme,
+)
 from .experiment import ABExperiment, TimelineExperiment
 from .frame_helper import FrameSelectionHelper
 from .responses import ResponseDataset
 from .server import EyeorgServer
 from .session import ParticipantSession, SessionTelemetry
+from .session_kernel import run_cohort_kernel
 from .validation import FilterConfig, FilteringPipeline, FilterReport
 
 
@@ -183,6 +190,27 @@ def _encode_tasks(tasks: List, index_by_id: Dict[int, int]) -> List[Tuple[str, o
     return [
         ("pool", index_by_id[id(task)]) if id(task) in index_by_id else ("obj", task)
         for task in tasks
+    ]
+
+
+def ab_control_flags(control_rng: SeededRNG, participant_id: str, count: int,
+                     probability: float) -> List[bool]:
+    """Which of one participant's A/B task slots become control pairs.
+
+    Under ``splitmix64-batch-v3`` the flags come from one batched Bernoulli
+    block per participant; earlier schemes keep their original per-slot
+    label forks.  Either way a flag depends only on (campaign seed,
+    participant id, slot index), so chunking and dropout truncation cannot
+    shift which slots are controls.  Shared by the batch and streaming
+    runners so both inject the exact same controls.
+    """
+    if control_rng.scheme == SCHEME_SPLITMIX64_BATCH_V3:
+        return control_rng.fork_once(f"controls:{participant_id}").bernoulli_array(
+            probability, count
+        )
+    return [
+        control_rng.fork_once(f"{participant_id}:{index}").bernoulli(probability)
+        for index in range(count)
     ]
 
 
@@ -405,6 +433,13 @@ class CampaignRunner:
                 return _run_sessions_parallel(
                     pool_tasks, session_args, self.config.parallel_workers
                 )
+            if self.config.rng_scheme == SCHEME_SPLITMIX64_BATCH_V3:
+                # Struct-of-arrays path: the whole cohort chunk goes through
+                # the slot-block kernel in one call — no per-participant
+                # session/behaviour object graph.
+                return run_cohort_kernel(
+                    mode, batch, self._rng.seed, helper=helper, preload=preload
+                )
             results = []
             for participant, tasks in batch:
                 session = ParticipantSession(
@@ -594,10 +629,12 @@ class CampaignRunner:
                 continue
             tasks = list(server.assign_tasks(participant))
             # Replace a random subset of slots with control pairs.
-            for index in range(len(tasks)):
-                if control_rng.fork_once(f"{participant.participant_id}:{index}").bernoulli(
-                    experiment.control_pair_probability
-                ):
+            flags = ab_control_flags(
+                control_rng, participant.participant_id, len(tasks),
+                experiment.control_pair_probability,
+            )
+            for index, is_control in enumerate(flags):
+                if is_control:
                     tasks[index] = experiment.make_control_pair(tasks[index], control_rng, index)
             # Dropout truncates only after control injection has consumed its
             # (label-derived) streams, so the control draws of participants

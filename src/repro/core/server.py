@@ -16,7 +16,7 @@ from ..capture.video import Video
 from ..config import BROKEN_VIDEO_FLAG_THRESHOLD, VIDEOS_PER_PARTICIPANT
 from ..crowd.participant import Participant
 from ..errors import CampaignError
-from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
+from ..rng import DEFAULT_RNG_SCHEME, SCHEME_SPLITMIX64_BATCH_V3, SeededRNG
 from .experiment import ABExperiment, ABPair, TimelineExperiment
 
 TaskT = TypeVar("TaskT")
@@ -70,14 +70,20 @@ class TaskAssigner(Generic[TaskT]):
         counts = self._assignment_counts
         rng = self._rng
         participant_id = participant.participant_id
-        # fork_random draws the tie-break stream without building a child
-        # generator per (participant, task) — bit-identical to
-        # fork(label).random() under both schemes.
-        order = sorted(
-            counts,
-            key=lambda index: (counts[index],
-                               rng.fork_random(f"tie:{participant_id}:{index}")),
-        )
+        if rng.scheme == SCHEME_SPLITMIX64_BATCH_V3:
+            # One counter-stream block of tie-breaks per participant instead
+            # of a label derivation per (participant, task).
+            ties = rng.fork_once(f"tie:{participant_id}").random_array(len(self._tasks))
+            order = sorted(counts, key=lambda index: (counts[index], ties[index]))
+        else:
+            # fork_random draws the tie-break stream without building a child
+            # generator per (participant, task) — bit-identical to
+            # fork(label).random() under both schemes.
+            order = sorted(
+                counts,
+                key=lambda index: (counts[index],
+                                   rng.fork_random(f"tie:{participant_id}:{index}")),
+            )
         chosen = order[: self._per_participant]
         for index in chosen:
             self._assignment_counts[index] += 1

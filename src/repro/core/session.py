@@ -16,7 +16,7 @@ from ..capture.video import SplicedVideo, Video
 from ..crowd.behavior import BehaviourSimulator
 from ..crowd.participant import Participant
 from ..errors import ExperimentError
-from ..rng import SeededRNG
+from ..rng import SCHEME_SPLITMIX64_BATCH_V3, SeededRNG
 from .experiment import ABPair
 from .frame_helper import FrameSelectionHelper
 from .responses import ABResponse, TimelineResponse
@@ -105,6 +105,13 @@ class ParticipantSession:
         Raises:
             ExperimentError: if no videos are assigned.
         """
+        if self._rng.scheme == SCHEME_SPLITMIX64_BATCH_V3:
+            from .session_kernel import run_session_kernel
+
+            return run_session_kernel(
+                "timeline", self.participant, videos, self._rng.seed,
+                helper=self._frame_helper, preload=self._preload_video,
+            )
         if not videos:
             raise ExperimentError("a session needs at least one assigned video")
         telemetry = SessionTelemetry(participant_id=self.participant.participant_id,
@@ -158,6 +165,10 @@ class ParticipantSession:
         Raises:
             ExperimentError: if no pairs are assigned.
         """
+        if self._rng.scheme == SCHEME_SPLITMIX64_BATCH_V3:
+            from .session_kernel import run_session_kernel
+
+            return run_session_kernel("ab", self.participant, pairs, self._rng.seed)
         if not pairs:
             raise ExperimentError("a session needs at least one assigned pair")
         telemetry = SessionTelemetry(participant_id=self.participant.participant_id,

@@ -1,0 +1,370 @@
+"""Struct-of-arrays participant-session kernel (the ``splitmix64-batch-v3`` path).
+
+The object-graph session path (:class:`repro.core.session.ParticipantSession`
+driving a :class:`~repro.crowd.behavior.BehaviourSimulator`) forks a labelled
+child generator for every draw site of every task — eight to ten string
+labels, seed derivations and generator objects per video.  Under the
+``splitmix64-batch-v3`` scheme this module replaces all of that with **one
+counter-stream block per participant**, laid out as fixed-width slot blocks:
+
+* each participant's kernel stream is seeded from their session seed
+  (``derive(campaign_seed, f"session:{pid}")``, the same label the object
+  path forks) with one further ``"kernel"`` derivation;
+* task ``t`` owns uniform slots ``[t * W, (t + 1) * W)`` of that stream
+  (``W`` = :data:`TIMELINE_SLOTS` or :data:`AB_SLOTS`), fetched with
+  :func:`repro.rng.counter_uniforms`;
+* every behavioural branch reads fixed slot positions, so a task consumes
+  exactly ``W`` slots regardless of which branch runs — truncating a task
+  list (fault-injected dropout) never shifts another task's draws, and
+  normal deviates come from explicit Box-Muller pairs instead of a stateful
+  spare cache.
+
+Because a session is a pure function of ``(participant, tasks, session
+seed)``, any grouping of participants — serial cohort, process-pool chunk,
+checkpointed chunk, streaming chunk — produces bit-identical results, which
+is what keeps the batch and streaming runners in lockstep under v3.
+
+The slot plan intentionally differs from the v2 draw graph (that is why v3
+pins its own goldens): distributions and branch probabilities are the same,
+but jitter is drawn per task rather than per participant, A/B side onsets
+use the persona's noise-free readiness directly, and rejection loops are
+replaced by clamped transforms so the slot count stays fixed.
+"""
+
+from __future__ import annotations
+
+from math import cos, exp, log, pi, sin, sqrt
+from typing import List, Optional, Sequence, Tuple
+
+from ..capture.pixeldiff import control_frame, rewind_suggestion
+from ..capture.video import Video
+from ..crowd.behavior import VideoInteraction
+from ..crowd.participant import Participant
+from ..crowd.perception import ideal_readiness
+from ..errors import ExperimentError
+from ..rng import SCHEME_SPLITMIX64_BATCH_V3, _derive_seed_v2, counter_uniforms
+from .experiment import ABPair
+from .frame_helper import FrameSelectionHelper
+from .responses import ABResponse, TimelineResponse
+from .session import (
+    ABSessionResult,
+    SessionTelemetry,
+    TimelineSessionResult,
+)
+
+#: Uniform slots consumed per timeline task (25 assigned + 1 reserved).
+TIMELINE_SLOTS = 26
+
+#: Uniform slots consumed per A/B task.
+AB_SLOTS = 20
+
+#: Tiny-uniform clamp for the slot-addressed Box-Muller transform: the
+#: scalar core rejects ``u1 <= 1e-12`` and redraws, which would consume a
+#: variable number of slots; the kernel clamps instead (p ≈ 1e-12 per pair).
+_U1_FLOOR = 1e-12
+
+
+def _gauss_pair(u1: float, u2: float) -> Tuple[float, float]:
+    """Two standard normal deviates from one uniform slot pair."""
+    if u1 <= _U1_FLOOR:
+        u1 = _U1_FLOOR
+    radius = sqrt(-2.0 * log(u1))
+    theta = 2.0 * pi * u2
+    return radius * cos(theta), radius * sin(theta)
+
+
+def _scaled_int(u: float, n: int) -> int:
+    """Uniform integer in [0, n) from one slot via floor scaling."""
+    value = int(u * n)
+    return n - 1 if value >= n else value
+
+
+def kernel_stream_seed(session_seed: int) -> int:
+    """The kernel's counter-stream seed for one participant session."""
+    return _derive_seed_v2(session_seed, "kernel")
+
+
+def _out_of_focus(u_flag: float, u_pair_a: float, u_pair_b: float, u_extra: float,
+                  propensity: float, transfer_seconds: float) -> float:
+    """Out-of-focus seconds from four fixed slots (same law as the v2 path)."""
+    wait_factor = min(transfer_seconds / 10.0, 1.0)
+    probability = min(propensity * (0.35 + 0.65 * wait_factor), 0.95)
+    if not u_flag < probability:
+        return 0.0
+    base = exp(0.5 + 1.0 * _gauss_pair(u_pair_a, u_pair_b)[0])
+    return min(base + transfer_seconds * (u_extra * 0.5), 120.0)
+
+
+def _instruction_time(u_a: float, u_b: float, participant: Participant,
+                      first_task: bool) -> float:
+    """Instruction-reading seconds from two fixed slots."""
+    if participant.traits.is_random_clicker:
+        return 0.5 + 2.5 * u_a
+    mu = 2.6 if first_task else 0.8
+    base = exp(mu + 0.5 * _gauss_pair(u_a, u_b)[0])
+    return base * (0.6 + 0.8 * participant.traits.conscientiousness)
+
+
+def _run_timeline(participant: Participant, videos: Sequence[Video],
+                  session_seed: int, helper: Optional[FrameSelectionHelper],
+                  preload: bool) -> TimelineSessionResult:
+    if not videos:
+        raise ExperimentError("a session needs at least one assigned video")
+    pid = participant.participant_id
+    traits = participant.traits
+    consc = traits.conscientiousness
+    rate = participant.downlink_bps / 8.0
+    sigma_n = traits.perception_noise
+    is_clicker = traits.is_random_clicker
+    helper = helper or FrameSelectionHelper()
+    helper_enabled = helper.enabled
+    control_probability = helper.control_probability
+    similarity_threshold = helper.similarity_threshold
+
+    W = TIMELINE_SLOTS
+    us = counter_uniforms(kernel_stream_seed(session_seed), 0, len(videos) * W)
+
+    telemetry = SessionTelemetry(participant_id=pid, videos_assigned=len(videos))
+    responses: List[TimelineResponse] = []
+    for index, video in enumerate(videos):
+        b = us[index * W:(index + 1) * W]
+        duration = video.duration
+        transfer = (video.size_bytes / rate) * (0.9 + 0.5 * b[0])
+        instruction = _instruction_time(b[1], b[2], participant, index == 0)
+        out_of_focus = _out_of_focus(
+            b[3], b[4], b[5], b[6], traits.distraction_propensity,
+            transfer if preload else 0.0,
+        )
+
+        if is_clicker and b[7] < 0.8:
+            # Random clickers drag the slider somewhere arbitrary, often an
+            # extreme, without watching.
+            slider = (0.0, duration, b[8] * duration)[_scaled_int(b[9], 3)]
+            interaction = VideoInteraction(
+                video_transfer_seconds=transfer if preload else 0.0,
+                watch_seconds=1.0 + 4.0 * b[10],
+                instruction_seconds=instruction,
+                out_of_focus_seconds=out_of_focus,
+                play_actions=0,
+                pause_actions=0,
+                seek_actions=0 if b[11] < 0.5 else 1 + _scaled_int(b[12], 2),
+                watched_video=False,
+            )
+            accepted = b[13] < 0.7
+        else:
+            ideal = ideal_readiness(video, participant.persona)
+            noise = sigma_n * _gauss_pair(b[8], b[9])[0]
+            if b[10] < 0.2:
+                noise += abs(sigma_n * _gauss_pair(b[11], b[12])[0])
+            slider = max(ideal + noise, video.load_result.first_visual_change * 0.5)
+            slider = min(slider, duration)
+            if not preload:
+                # Without preloading, participants systematically overshoot.
+                overshoot = (0.5 + 2.5 * b[13]) * (1.5 - consc)
+                slider = min(slider + max(overshoot, 0.2), duration)
+            sloppiness = (1.0 - consc) * (0.4 * _gauss_pair(b[14], b[15])[0])
+            slider = min(max(slider + sloppiness, 0.0), duration)
+            if traits.is_frenetic:
+                seeks = 500 + _scaled_int(b[16], 1501)
+                watch = 60.0 + 180.0 * b[17]
+            else:
+                seeks = max(2, int(exp(2.3 + 0.6 * _gauss_pair(b[16], b[17])[0])))
+                watch = duration * (1.2 + 1.8 * b[18]) + seeks * (0.3 + 0.9 * b[19])
+            interaction = VideoInteraction(
+                video_transfer_seconds=transfer if preload else 0.0,
+                watch_seconds=watch,
+                instruction_seconds=instruction,
+                out_of_focus_seconds=out_of_focus,
+                play_actions=_scaled_int(b[20], 3),
+                pause_actions=_scaled_int(b[21], 3),
+                seek_actions=seeks,
+                watched_video=True,
+            )
+            accepted = b[22] < (0.55 + 0.4 * consc)
+
+        # Frame-selection helper, inlined on the same slot block.
+        was_control = False
+        control_passed: Optional[bool] = None
+        if not helper_enabled:
+            suggested = slider
+            submitted = slider
+        elif b[23] < control_probability:
+            control = control_frame(video.frames, slider)
+            suggested = control.timestamp if control is not None else 0.0
+            keep_probability = 0.35 if is_clicker else 0.80 + 0.19 * consc
+            keeps_original = b[24] < keep_probability
+            submitted = slider if keeps_original else suggested
+            was_control = True
+            control_passed = keeps_original
+        else:
+            suggested = rewind_suggestion(video.frames, slider, similarity_threshold).timestamp
+            submitted = suggested if accepted else slider
+
+        telemetry.time_on_site_seconds += interaction.time_on_task_seconds
+        telemetry.total_actions += interaction.total_actions
+        telemetry.out_of_focus_seconds += interaction.out_of_focus_seconds
+        if interaction.video_transfer_seconds > telemetry.max_video_transfer_seconds:
+            telemetry.max_video_transfer_seconds = interaction.video_transfer_seconds
+        if not interaction.watched_video:
+            telemetry.videos_skipped += 1
+        if was_control:
+            telemetry.controls_seen += 1
+            if control_passed:
+                telemetry.controls_passed += 1
+        responses.append(
+            TimelineResponse(
+                participant_id=pid,
+                video_id=video.video_id,
+                site_id=video.site_id,
+                slider_time=slider,
+                helper_time=suggested,
+                submitted_time=submitted,
+                saw_control_frame=was_control,
+                control_passed=control_passed,
+                interaction=interaction,
+            )
+        )
+    return TimelineSessionResult(responses=responses, telemetry=telemetry)
+
+
+def _run_ab(participant: Participant, pairs: Sequence[ABPair], session_seed: int) -> ABSessionResult:
+    if not pairs:
+        raise ExperimentError("a session needs at least one assigned pair")
+    pid = participant.participant_id
+    traits = participant.traits
+    consc = traits.conscientiousness
+    rate = participant.downlink_bps / 8.0
+    is_clicker = traits.is_random_clicker
+    jnd = traits.jnd_seconds
+    sigma_c = traits.perception_noise / 3.0
+
+    W = AB_SLOTS
+    us = counter_uniforms(kernel_stream_seed(session_seed), 0, len(pairs) * W)
+
+    telemetry = SessionTelemetry(participant_id=pid, videos_assigned=len(pairs))
+    responses: List[ABResponse] = []
+    for index, pair in enumerate(pairs):
+        b = us[index * W:(index + 1) * W]
+        splice = pair.spliced
+        # A/B videos start playing while still buffering, so the perceived
+        # wait is much shorter than a full preload.
+        transfer = (splice.size_bytes / rate) * (0.9 + 0.5 * b[0]) * 0.3
+        instruction = _instruction_time(b[1], b[2], participant, index == 0)
+        out_of_focus = _out_of_focus(
+            b[3], b[4], b[5], b[6], traits.distraction_propensity, transfer * 0.3
+        )
+
+        if is_clicker and b[7] < 0.8:
+            choice = ("left", "right", "no_difference")[_scaled_int(b[8], 3)]
+            interaction = VideoInteraction(
+                video_transfer_seconds=transfer,
+                watch_seconds=1.0 + 3.0 * b[9],
+                instruction_seconds=instruction,
+                out_of_focus_seconds=out_of_focus,
+                play_actions=0,
+                pause_actions=0,
+                seek_actions=0,
+                watched_video=False,
+            )
+        else:
+            left_onset = ideal_readiness(splice.left, participant.persona) + splice.left_delay
+            right_onset = ideal_readiness(splice.right, participant.persona) + splice.right_delay
+            noise_left, noise_right = _gauss_pair(b[10], b[11])
+            difference = (left_onset + sigma_c * noise_left) - (right_onset + sigma_c * noise_right)
+            if abs(difference) < jnd:
+                # Near the threshold people split between "no difference" and
+                # a guess.
+                if b[12] < 0.6:
+                    choice = "no_difference"
+                else:
+                    choice = "left" if b[13] < 0.5 else "right"
+            else:
+                choice = "left" if difference < 0 else "right"
+            plays = max(1, int(exp(0.5 + 0.5 * _gauss_pair(b[14], b[15])[0])))
+            interaction = VideoInteraction(
+                video_transfer_seconds=transfer,
+                watch_seconds=splice.duration * (1.0 + b[16]) + plays * (0.5 + 1.5 * b[17]),
+                instruction_seconds=instruction,
+                out_of_focus_seconds=out_of_focus,
+                play_actions=plays,
+                pause_actions=_scaled_int(b[18], 3),
+                seek_actions=_scaled_int(b[19], 5),
+                watched_video=True,
+            )
+
+        correct: Optional[bool] = None
+        if pair.is_control:
+            correct = choice == splice.faster_side()
+
+        telemetry.time_on_site_seconds += interaction.time_on_task_seconds
+        telemetry.total_actions += interaction.total_actions
+        telemetry.out_of_focus_seconds += interaction.out_of_focus_seconds
+        if interaction.video_transfer_seconds > telemetry.max_video_transfer_seconds:
+            telemetry.max_video_transfer_seconds = interaction.video_transfer_seconds
+        if not interaction.watched_video:
+            telemetry.videos_skipped += 1
+        if pair.is_control:
+            telemetry.controls_seen += 1
+            if correct:
+                telemetry.controls_passed += 1
+        responses.append(
+            ABResponse(
+                participant_id=pid,
+                pair_id=pair.pair_id,
+                site_id=pair.site_id,
+                choice=choice,
+                choice_label=pair.label_for_choice(choice),
+                is_control=pair.is_control,
+                control_passed=correct,
+                interaction=interaction,
+            )
+        )
+    return ABSessionResult(responses=responses, telemetry=telemetry)
+
+
+def run_session_kernel(mode: str, participant: Participant, tasks: Sequence,
+                       session_seed: int,
+                       helper: Optional[FrameSelectionHelper] = None,
+                       preload: bool = True):
+    """Run one participant's session through the slot-block kernel.
+
+    ``session_seed`` is the seed of the participant's session stream — what
+    ``campaign_rng.fork_once(f"session:{pid}")`` derives — so the kernel and
+    the object path agree on where a session's randomness is rooted.
+    """
+    if mode == "timeline":
+        return _run_timeline(participant, tasks, session_seed, helper, preload)
+    return _run_ab(participant, tasks, session_seed)
+
+
+def run_cohort_kernel(mode: str, batch: Sequence[Tuple[Participant, Sequence]],
+                      parent_seed: int,
+                      helper: Optional[FrameSelectionHelper] = None,
+                      preload: bool = True) -> List:
+    """Run a whole cohort chunk through the kernel, one stream per participant.
+
+    ``parent_seed`` is the campaign generator's seed; each participant's
+    session seed is derived from it with the same ``session:{pid}`` label the
+    object path uses, so ``run_cohort_kernel`` over any chunking of a cohort
+    is bit-identical to per-participant :func:`run_session_kernel` calls —
+    the invariant the batch, checkpointed, pooled and streaming runners all
+    lean on.
+    """
+    return [
+        run_session_kernel(
+            mode, participant, tasks,
+            _derive_seed_v2(parent_seed, f"session:{participant.participant_id}"),
+            helper=helper, preload=preload,
+        )
+        for participant, tasks in batch
+    ]
+
+
+__all__ = [
+    "AB_SLOTS",
+    "TIMELINE_SLOTS",
+    "SCHEME_SPLITMIX64_BATCH_V3",
+    "kernel_stream_seed",
+    "run_cohort_kernel",
+    "run_session_kernel",
+]

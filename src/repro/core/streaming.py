@@ -52,7 +52,7 @@ from ..crowd.participant import Participant
 from ..crowd.recruitment import Recruiter, RecruitmentSummary
 from ..errors import CampaignError, CampaignInterrupted, CheckpointError
 from ..faults import CheckpointStore, ResilienceReport
-from .campaign import CampaignConfig, build_table1_row
+from .campaign import CampaignConfig, ab_control_flags, build_table1_row
 from .responses import ResponseDataset
 from .server import EyeorgServer
 from .storage import timeline_response_from_dict, timeline_response_to_dict
@@ -546,10 +546,12 @@ def run_streaming_campaign(runner, experiment, mode: str, *,
                 continue
             if mode == "ab":
                 tasks = list(tasks)
-                for index in range(len(tasks)):
-                    if control_rng.fork_once(
-                        f"{participant.participant_id}:{index}"
-                    ).bernoulli(experiment.control_pair_probability):
+                flags = ab_control_flags(
+                    control_rng, participant.participant_id, len(tasks),
+                    experiment.control_pair_probability,
+                )
+                for index, is_control in enumerate(flags):
+                    if is_control:
                         tasks[index] = experiment.make_control_pair(
                             tasks[index], control_rng, index
                         )

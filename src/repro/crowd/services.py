@@ -14,11 +14,16 @@ participants through email/social media took ten days and cost nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import log
 from typing import Iterator, List
 
 from ..errors import RecruitmentError
-from ..rng import SeededRNG
+from ..rng import SCHEME_SPLITMIX64_BATCH_V3, SeededRNG
 from .participant import Participant, ParticipantClass, generate_participant
+
+#: Arrival-gap uniforms prefetched per block on the batched (v3) recruitment
+#: path — bounded so streaming recruitment keeps O(block) extra memory.
+_GAP_BLOCK = 512
 
 
 @dataclass(frozen=True)
@@ -136,10 +141,25 @@ class ServiceConnector:
 
     def _iter_recruit(self, count: int, campaign_id: str) -> Iterator[RecruitedParticipant]:
         clock_hours = 0.0
+        # Under v3 the arrival-gap uniforms are prefetched in bounded blocks
+        # from the same sequential stream the scalar path consumes; the
+        # counter stream is chunk-invariant and participant generation only
+        # uses label forks, so the gaps are bit-identical either way.
+        batch_gaps = self._rng.scheme == SCHEME_SPLITMIX64_BATCH_V3
+        gap_uniforms: List[float] = []
+        cursor = 0
         for index in range(count):
             # Arrival-rate decay: the task sits lower in workers' feeds over time.
             ageing = 1.0 + 2.5 * (index / max(count, 1)) ** 1.6
-            gap = self._rng.expovariate(1.0 / (self.profile.mean_interarrival_hours * ageing))
+            rate = 1.0 / (self.profile.mean_interarrival_hours * ageing)
+            if batch_gaps:
+                if cursor == len(gap_uniforms):
+                    gap_uniforms = self._rng.random_array(min(_GAP_BLOCK, count - index))
+                    cursor = 0
+                gap = -log(1.0 - gap_uniforms[cursor]) / rate
+                cursor += 1
+            else:
+                gap = self._rng.expovariate(rate)
             clock_hours += gap
             participant = generate_participant(
                 participant_id=f"{campaign_id}-{self.profile.name}-{index:05d}",

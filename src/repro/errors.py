@@ -16,6 +16,18 @@ class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
 
 
+class RNGDomainError(ConfigurationError, ValueError):
+    """An RNG draw was requested with arguments outside the distribution's domain.
+
+    Raised by :class:`repro.rng.SeededRNG` for requests that have no defined
+    answer — a non-positive ``expovariate`` rate, a Pareto shape ``alpha <= 0``,
+    an empty ``truncated_gauss`` window (``low > high``), empty/negative/all-zero
+    weights, or a ``sample`` size outside ``[0, len(population)]``.  Subclasses
+    :class:`ValueError` so callers treating these as plain value errors keep
+    working, while the message always names the offending argument.
+    """
+
+
 class RNGSchemeMismatchError(ConfigurationError):
     """Artifacts produced under different versioned RNG schemes were mixed.
 

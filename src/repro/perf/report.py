@@ -12,10 +12,12 @@ verifies that the campaign outputs are bit-identical to the pinned goldens
 of their RNG scheme (the seed implementation's values under ``sha256-v1``,
 the :mod:`repro.goldens` store under ``splitmix64-v2``), and writes the
 ``{stage: {seconds, events, per_unit}}`` report to ``BENCH_pipeline.json``
-at the repository root.  By default both schemes are benched
+at the repository root.  By default every registered scheme is benched
 (``--rng-scheme`` selects one); every scheme's stages land under the
 report's ``_schemes`` key and each ``_meta`` records its ``rng_scheme``, so
-the trajectory never silently compares v1 against v2 runs.
+the trajectory never silently compares v1 against v2 runs.  Canonical runs
+(serial, bench scale/seed, default profile, fault-free) additionally record
+a verified 2-worker pass per scheme under ``_worker_scaling``.
 
 Methodology notes recorded in ``_meta``:
 
@@ -332,16 +334,66 @@ def run_pipeline_bench(
     return report, artefacts
 
 
-def write_pipeline_document(path: str, reports_by_scheme: Dict[str, PerfReport]) -> Dict[str, object]:
+def run_worker_scaling_pass(
+    schemes,
+    sites: int = BENCH_SCALE["sites"],
+    participants: int = BENCH_SCALE["participants"],
+    loads: int = BENCH_SCALE["loads"],
+    seed: int = BENCH_SEED,
+    network_profile: str = BENCH_NETWORK_PROFILE,
+    capture_workers: int = 2,
+    session_workers: int = 2,
+) -> Dict[str, Dict[str, object]]:
+    """Re-time capture and sessions per scheme on a small process pool.
+
+    Returns the ``_worker_scaling`` section of the pipeline document.
+    Verification stays on (it self-guards to bench scale/seed/profile), so
+    the pooled paths are proven bit-identical with data even on single-CPU
+    boxes, where the pool is pure overhead.  Shared by the module CLI and
+    ``benchmarks/bench_perf_pipeline.py`` so both writers of
+    ``BENCH_pipeline.json`` record the section.
+    """
+    scaling: Dict[str, Dict[str, object]] = {}
+    for scheme in schemes:
+        pooled, _ = run_pipeline_bench(
+            sites=sites,
+            participants=participants,
+            loads=loads,
+            seed=seed,
+            capture_workers=capture_workers,
+            session_workers=session_workers,
+            verify=True,
+            rng_scheme=scheme,
+            network_profile=network_profile,
+        )
+        document = pooled.as_dict()
+        scaling[scheme] = {
+            "capture_workers": capture_workers,
+            "session_workers": session_workers,
+            "capture_cold_seconds": document["capture_cold"]["seconds"],
+            "sessions_seconds": document["sessions"]["seconds"],
+            "total_seconds": document["_meta"]["total_seconds"],
+            "outputs_verified_bit_identical":
+                document["_meta"]["outputs_verified_bit_identical"],
+        }
+    return scaling
+
+
+def write_pipeline_document(path: str, reports_by_scheme: Dict[str, PerfReport],
+                            extra_sections: Optional[Dict[str, object]] = None) -> Dict[str, object]:
     """Write ``BENCH_pipeline.json`` carrying every scheme's stages.
 
     For backwards compatibility with the PR-1 layout, the default scheme's
     stages (and ``_meta``) stay at the top level; every scheme — including
     the default — additionally appears under ``_schemes`` so the perf
-    trajectory of v1 and v2 can be tracked side by side without ever
+    trajectory of each scheme can be tracked side by side without ever
     comparing across schemes by accident.  When the default scheme was not
     benched, the top level carries no stages at all (rather than silently
     substituting another scheme's timings into the v1 trajectory).
+
+    ``extra_sections`` lets callers attach additional underscore-prefixed
+    blocks (e.g. ``_worker_scaling``); the regression checker only reads
+    ``_schemes``, so extra blocks are purely informational.
     """
     import json
 
@@ -350,6 +402,8 @@ def write_pipeline_document(path: str, reports_by_scheme: Dict[str, PerfReport])
     document["_schemes"] = {
         scheme: report.as_dict() for scheme, report in reports_by_scheme.items()
     }
+    if extra_sections:
+        document.update(extra_sections)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -444,9 +498,32 @@ def main(argv=None) -> int:
         if args.chaos:
             name = name.replace(".json", ".chaos.json")
         output = os.path.join(repo_root, name)
-    write_pipeline_document(output, reports)
+
+    # The tracked trajectory file also carries the verified 2-worker pass;
+    # only the canonical run qualifies (serial request, bench scale/seed,
+    # default profile, fault-free), so ad-hoc probes stay cheap.
+    worker_scaling = None
+    tracked_run = (
+        not args.chaos
+        and args.capture_workers == 0 and args.session_workers == 0
+        and args.profile == BENCH_NETWORK_PROFILE
+        and (args.sites, args.participants, args.loads, args.seed) == (
+            BENCH_SCALE["sites"], BENCH_SCALE["participants"],
+            BENCH_SCALE["loads"], BENCH_SEED,
+        )
+    )
+    if tracked_run:
+        worker_scaling = run_worker_scaling_pass(schemes, network_profile=args.profile)
+    write_pipeline_document(
+        output, reports,
+        extra_sections={"_worker_scaling": worker_scaling} if worker_scaling else None,
+    )
 
     print(f"wrote {output}")
+    if worker_scaling:
+        for scheme, row in worker_scaling.items():
+            print(f"  [{scheme}] 2-worker pass: total {row['total_seconds']:.4f}s, "
+                  f"verified bit-identical: {row['outputs_verified_bit_identical']}")
     for scheme, report in reports.items():
         _print_report(report.as_dict(), scheme)
     return 0

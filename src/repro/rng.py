@@ -13,7 +13,7 @@ Versioned schemes
 *Which* function derives a child seed from ``(seed, label)`` and *which*
 uniform core draws the samples is a **versioned scheme**, because changing
 either re-seeds every stream in the library and silently invalidates all
-previously archived campaign results.  Two schemes exist:
+previously archived campaign results.  Three schemes exist:
 
 ``sha256-v1`` (default)
     The original derivation: child seed = first 8 bytes of
@@ -30,6 +30,20 @@ previously archived campaign results.  Two schemes exist:
     thousands per bench campaign) that dominated the v1 hot path — at the
     cost of producing entirely different (but equally deterministic)
     streams, pinned by their own goldens in ``repro.goldens``.
+
+``splitmix64-batch-v3``
+    The batch-drawn scheme.  Scalar derivation and the uniform core are
+    bit-identical to ``splitmix64-v2`` — a v3 ``fork``/``random``/``gauss``
+    reproduces the v2 value exactly — but components that opt into the
+    **batch primitives** (:meth:`SeededRNG.random_array`,
+    :meth:`SeededRNG.bernoulli_array`, :meth:`SeededRNG.gauss_array`) and
+    the struct-of-arrays session kernel
+    (:mod:`repro.core.session_kernel`) replace many labelled forks with one
+    counter-stream block per participant, so campaign-level results differ
+    from v2 and are pinned by this scheme's own goldens.  The blocks are
+    generated with numpy when the ``repro[fast]`` extra is installed; the
+    pure-stdlib fallback produces identical bits (integer mixing and the
+    ``(word >> 11) * 2**-53`` conversion are exact in both).
 
 Artifacts record the scheme that produced them; mixing schemes raises
 :class:`repro.errors.RNGSchemeMismatchError` (see
@@ -61,7 +75,12 @@ import random
 from math import cos, exp, log, pi, sin, sqrt
 from typing import Dict, Iterable, List, Optional, Sequence, TypeVar
 
-from .errors import ConfigurationError, RNGSchemeMismatchError
+from .errors import ConfigurationError, RNGDomainError, RNGSchemeMismatchError
+
+try:  # The optional ``repro[fast]`` extra; the stdlib fallback is bit-identical.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the _np=None monkeypatch
+    _np = None
 
 T = TypeVar("T")
 
@@ -74,8 +93,15 @@ SCHEME_SHA256_V1 = "sha256-v1"
 #: The fast splitmix64 scheme (new streams, new goldens, no MT construction).
 SCHEME_SPLITMIX64_V2 = "splitmix64-v2"
 
+#: The batch-drawn scheme: scalar derivation and streams are bit-identical to
+#: ``splitmix64-v2``, but components that opt into the batch primitives (the
+#: session kernel, the assigner, A/B control injection, recruitment gaps) draw
+#: whole counter-stream blocks per call instead of one word at a time — those
+#: paths produce new streams, pinned by this scheme's own goldens.
+SCHEME_SPLITMIX64_BATCH_V3 = "splitmix64-batch-v3"
+
 #: All known schemes, in version order.
-RNG_SCHEMES = (SCHEME_SHA256_V1, SCHEME_SPLITMIX64_V2)
+RNG_SCHEMES = (SCHEME_SHA256_V1, SCHEME_SPLITMIX64_V2, SCHEME_SPLITMIX64_BATCH_V3)
 
 #: The scheme used when none is specified — keeps archived results valid.
 DEFAULT_RNG_SCHEME = SCHEME_SHA256_V1
@@ -83,6 +109,9 @@ DEFAULT_RNG_SCHEME = SCHEME_SHA256_V1
 _M64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
 _RECIP53 = 1.0 / (1 << 53)
+
+#: Below this block size the pure-Python loop beats numpy's call overhead.
+_NUMPY_MIN_BLOCK = 32
 
 
 def validate_scheme(scheme: str) -> str:
@@ -151,6 +180,50 @@ def _derive_seed_v2(seed: int, label: str) -> int:
         if not value:
             break
     return h ^ (h >> 32)
+
+
+def _counter_block(state: int, count: int) -> List[float]:
+    """``count`` uniforms of the splitmix64 counter stream after ``state``.
+
+    The stream is *counter-based*: the ``i``-th word depends only on
+    ``state + i * GOLDEN``, so a block of ``n`` draws followed by a block of
+    ``m`` draws is bit-identical to one block of ``n + m`` — the property
+    every batch primitive and the v3 session kernel rely on.  The numpy path
+    (used for blocks of :data:`_NUMPY_MIN_BLOCK` or more when the ``[fast]``
+    extra is installed) performs the same wrapping uint64 arithmetic and the
+    same exact ``(word >> 11) * 2**-53`` conversion, so both paths produce
+    identical bits.
+    """
+    if _np is not None and count >= _NUMPY_MIN_BLOCK:
+        states = _np.uint64(state & _M64) + _np.arange(1, count + 1, dtype=_np.uint64) * _np.uint64(_GOLDEN)
+        z = (states ^ (states >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> _np.uint64(31))
+        return ((z >> _np.uint64(11)).astype(_np.float64) * _RECIP53).tolist()
+    out: List[float] = []
+    append = out.append
+    s = state & _M64
+    for _ in range(count):
+        s = (s + _GOLDEN) & _M64
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+        append(((z ^ (z >> 31)) >> 11) * _RECIP53)
+    return out
+
+
+def counter_uniforms(seed: int, start: int, count: int) -> List[float]:
+    """Uniforms ``start .. start + count`` of the stream seeded with ``seed``.
+
+    The public counter-stream block primitive (v2/v3 uniform core):
+    ``counter_uniforms(seed, 0, n)`` equals the first ``n`` ``random()``
+    draws of ``SeededRNG(seed, scheme)`` under either splitmix scheme, and
+    ``counter_uniforms(seed, t * W, W)`` is the ``t``-th ``W``-slot block —
+    the addressing mode the v3 session kernel uses for its per-task slot
+    blocks (see ``docs/ARCHITECTURE.md``).
+    """
+    if count < 0:
+        raise RNGDomainError(f"counter_uniforms count must be non-negative, got {count!r}")
+    return _counter_block((seed + start * _GOLDEN) & _M64, count)
 
 
 class SeededRNG:
@@ -360,13 +433,30 @@ class SeededRNG:
         return exp(self.gauss(mu, sigma))
 
     def expovariate(self, rate: float) -> float:
-        """Exponential sample with the given rate (1/mean)."""
+        """Exponential sample with the given rate (1/mean).
+
+        Raises:
+            RNGDomainError: when ``rate`` is not positive (the distribution
+                is undefined; v1 formerly raised a bare ``ZeroDivisionError``
+                and v2 returned garbage for negative rates).
+        """
+        if rate <= 0:
+            raise RNGDomainError(f"expovariate rate must be positive, got {rate!r}")
         if self.scheme == SCHEME_SHA256_V1:
             return self._random.expovariate(rate)
         return -log(1.0 - self.random()) / rate
 
     def pareto(self, alpha: float, scale: float = 1.0) -> float:
-        """Pareto sample (scale * classic Pareto with shape ``alpha``)."""
+        """Pareto sample (scale * classic Pareto with shape ``alpha``).
+
+        Raises:
+            RNGDomainError: when ``alpha`` is not positive (the distribution
+                is undefined; a zero ``alpha`` formerly raised a bare
+                ``ZeroDivisionError`` and a negative one returned values
+                below ``scale``).
+        """
+        if alpha <= 0:
+            raise RNGDomainError(f"pareto shape alpha must be positive, got {alpha!r}")
         if self.scheme == SCHEME_SHA256_V1:
             return scale * self._random.paretovariate(alpha)
         return scale / ((1.0 - self.random()) ** (1.0 / alpha))
@@ -380,7 +470,18 @@ class SeededRNG:
         return seq[self._randbelow(len(seq))]
 
     def choices(self, seq: Sequence[T], weights: Sequence[float], k: int = 1) -> List[T]:
-        """Pick ``k`` elements with replacement according to ``weights``."""
+        """Pick ``k`` elements with replacement according to ``weights``.
+
+        Raises:
+            RNGDomainError: for empty, length-mismatched, negative, or
+                all-zero weights (v1 formerly delegated to the stdlib's
+                unhelpful message and v2 silently tolerated negatives).
+        """
+        self._validate_weights(weights, "choices")
+        if len(weights) != len(seq):
+            raise RNGDomainError(
+                f"choices got {len(weights)} weights for {len(seq)} elements"
+            )
         if self.scheme == SCHEME_SHA256_V1:
             return self._random.choices(seq, weights=weights, k=k)
         from bisect import bisect
@@ -388,19 +489,25 @@ class SeededRNG:
 
         cumulative = list(accumulate(weights))
         total = cumulative[-1]
-        if total <= 0:
-            raise ValueError("total of weights must be greater than zero")
         last = len(seq) - 1
         return [seq[min(bisect(cumulative, self.random() * total), last)] for _ in range(k)]
 
     def sample(self, seq: Sequence[T], k: int) -> List[T]:
-        """Pick ``k`` distinct elements without replacement."""
+        """Pick ``k`` distinct elements without replacement.
+
+        Raises:
+            RNGDomainError: when ``k`` is negative or exceeds the population
+                size — pinned for both schemes (v1 formerly surfaced the
+                stdlib's bare ``ValueError``).
+        """
+        n = len(seq)
+        if not 0 <= k <= n:
+            raise RNGDomainError(
+                f"sample size {k!r} out of range for a population of {n}"
+            )
         if self.scheme == SCHEME_SHA256_V1:
             return self._random.sample(seq, k)
         pool = list(seq)
-        n = len(pool)
-        if not 0 <= k <= n:
-            raise ValueError("sample larger than population or is negative")
         for i in range(k):
             j = i + self._randbelow(n - i)
             pool[i], pool[j] = pool[j], pool[i]
@@ -428,24 +535,143 @@ class SeededRNG:
         z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
         return ((z ^ (z >> 31)) >> 11) * 1.1102230246251565e-16 < probability
 
+    # -- batch draw primitives ---------------------------------------------------
+    # Every batch primitive is defined as the bit-exact equivalent of N scalar
+    # draws from the same stream (the property tests in tests/test_rng.py pin
+    # this under every scheme).  Under the splitmix schemes the uniforms come
+    # from one counter-stream block (numpy-accelerated when the ``[fast]``
+    # extra is installed); under v1 the scalar loop *is* the implementation,
+    # because the Mersenne Twister stream has no counter form.
+
+    def random_array(self, n: int) -> List[float]:
+        """``n`` uniform floats in [0, 1) — bit-identical to ``n`` ``random()`` calls.
+
+        Raises:
+            RNGDomainError: for a negative ``n``.
+        """
+        if n < 0:
+            raise RNGDomainError(f"random_array size must be non-negative, got {n!r}")
+        if self.scheme == SCHEME_SHA256_V1:
+            random_ = self._random.random
+            return [random_() for _ in range(n)]
+        block = _counter_block(self._state, n)
+        self._state = (self._state + n * _GOLDEN) & _M64
+        return block
+
+    def uniform_array(self, low: float, high: float, n: int) -> List[float]:
+        """``n`` uniforms in [low, high] — bit-identical to ``n`` ``uniform()`` calls."""
+        if n < 0:
+            raise RNGDomainError(f"uniform_array size must be non-negative, got {n!r}")
+        if self.scheme == SCHEME_SHA256_V1:
+            uniform = self._random.uniform
+            return [uniform(low, high) for _ in range(n)]
+        span = high - low
+        return [low + span * u for u in self.random_array(n)]
+
+    def bernoulli_array(self, probability: float, n: int) -> List[bool]:
+        """``n`` coin flips — bit-identical to ``n`` ``bernoulli()`` calls."""
+        if n < 0:
+            raise RNGDomainError(f"bernoulli_array size must be non-negative, got {n!r}")
+        if self.scheme == SCHEME_SHA256_V1:
+            random_ = self._random.random
+            return [random_() < probability for _ in range(n)]
+        return [u < probability for u in self.random_array(n)]
+
+    def gauss_array(self, mu: float, sigma: float, n: int) -> List[float]:
+        """``n`` normal samples — bit-identical to ``n`` ``gauss()`` calls.
+
+        The equivalence includes the Box-Muller spare cache: a pending spare
+        deviate is consumed first, and when ``n`` is reached mid-pair the
+        unused half is left cached exactly as the scalar path leaves it.
+        Uniforms are prefetched as one counter block; the block only grows in
+        the astronomically rare (p ≈ 1e-12 per pair) case a ``u1`` draw is
+        rejected, mirroring the scalar rejection step bit for bit.
+        """
+        if n < 0:
+            raise RNGDomainError(f"gauss_array size must be non-negative, got {n!r}")
+        if self.scheme == SCHEME_SHA256_V1:
+            gauss = self._random.gauss
+            return [gauss(mu, sigma) for _ in range(n)]
+        out: List[float] = []
+        append = out.append
+        spare = self._gauss_spare
+        if n and spare is not None:
+            self._gauss_spare = None
+            append(mu + sigma * spare)
+        need = n - len(out)
+        if need <= 0:
+            return out
+        us = _counter_block(self._state, 2 * ((need + 1) // 2))
+        pos = 0
+        while need > 0:
+            if pos + 2 > len(us):
+                us.extend(_counter_block((self._state + len(us) * _GOLDEN) & _M64, 2))
+            u1 = us[pos]
+            pos += 1
+            if u1 <= 1e-12:
+                continue
+            u2 = us[pos]
+            pos += 1
+            radius = sqrt(-2.0 * log(u1))
+            theta = 2.0 * pi * u2
+            append(mu + sigma * (radius * cos(theta)))
+            need -= 1
+            if need > 0:
+                append(mu + sigma * (radius * sin(theta)))
+                need -= 1
+            else:
+                self._gauss_spare = radius * sin(theta)
+        self._state = (self._state + pos * _GOLDEN) & _M64
+        return out
+
     def truncated_gauss(self, mu: float, sigma: float, low: float, high: float) -> float:
         """Normal sample clamped by rejection to [low, high].
 
-        Falls back to clamping after 64 rejected draws so the call always
-        terminates even for pathological bounds.
+        The rejection loop is bounded: after 64 rejected draws (a window
+        excluding effectively all mass, e.g. ``sigma=0`` with ``mu`` outside
+        the window) one final draw is clamped deterministically, so the call
+        always terminates and stays a pure function of the stream.
+
+        Raises:
+            RNGDomainError: for an impossible window (``low > high``), which
+                no amount of rejection could ever satisfy.
         """
+        if low > high:
+            raise RNGDomainError(
+                f"truncated_gauss window is empty: low={low!r} > high={high!r}"
+            )
         for _ in range(64):
             value = self.gauss(mu, sigma)
             if low <= value <= high:
                 return value
         return min(max(self.gauss(mu, sigma), low), high)
 
+    @staticmethod
+    def _validate_weights(weights: Sequence[float], caller: str) -> None:
+        """Shared weight validation for ``choices``/``weighted_index``."""
+        if not len(weights):
+            raise RNGDomainError(f"{caller} needs at least one weight")
+        for index, weight in enumerate(weights):
+            if weight < 0:
+                raise RNGDomainError(
+                    f"{caller} weights must be non-negative, got {weight!r} at index {index}"
+                )
+        if sum(weights) <= 0:
+            raise RNGDomainError(
+                f"{caller} weights must sum to a positive value, got {list(weights)!r}"
+            )
+
     def weighted_index(self, weights: Iterable[float]) -> int:
-        """Return an index sampled proportionally to ``weights``."""
+        """Return an index sampled proportionally to ``weights``.
+
+        Raises:
+            RNGDomainError: for empty, negative, or all-zero weights (which
+                formerly either raised a bare ``ValueError`` or, for a
+                negative-but-positive-sum mix, silently mis-sampled).
+        """
         weights = list(weights)
+        self._validate_weights(weights, "weighted_index")
         total = sum(weights)
-        if total <= 0:
-            raise ValueError("weights must sum to a positive value")
         target = self.random() * total
         cumulative = 0.0
         for index, weight in enumerate(weights):

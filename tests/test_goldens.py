@@ -192,10 +192,10 @@ def test_warehouse_golden_pins_record_id_and_stats():
         assert len(stats["uplt_ci_by_site"]) == WAREHOUSE_SCALES["small"]["sites"]
         assert set(stats["overall_uplt_ci"]) == {"point", "low", "high"}
         assert stats["spearman_by_metric"]
-    # The two schemes pin *different* record ids: the record embeds every
+    # Every scheme pins a *different* record id: the record embeds every
     # response, so the content address separates the streams.
     ids = {load_golden(s, "small", kind="warehouse")["record_id"] for s in RNG_SCHEMES}
-    assert len(ids) == 2
+    assert len(ids) == len(RNG_SCHEMES)
 
 
 def test_warehouse_diff_detects_tampered_record_id():
@@ -247,7 +247,7 @@ def test_fault_golden_pins_the_resilience_contract():
         total = FAULT_SCALES["small"]["sites"]
         assert len(snapshot["surviving_sites"]) + len(snapshot["quarantined_sites"]) == total
     ids = {load_golden(s, "small", kind="faults")["record_id"] for s in RNG_SCHEMES}
-    assert len(ids) == 2
+    assert len(ids) == len(RNG_SCHEMES)
 
 
 def test_fault_diff_detects_tampered_record_id_and_quarantine():

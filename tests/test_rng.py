@@ -15,12 +15,14 @@ import sys
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RNGDomainError
 from repro.rng import (
     RNG_SCHEMES,
     SCHEME_SHA256_V1,
+    SCHEME_SPLITMIX64_BATCH_V3,
     SCHEME_SPLITMIX64_V2,
     SeededRNG,
+    counter_uniforms,
     validate_scheme,
 )
 
@@ -128,6 +130,14 @@ PINNED_STREAMS = {
         "fork_random": 0.15786508145906164,
     },
     SCHEME_SPLITMIX64_V2: {
+        "root_random": 0.9156429121611133,
+        "fork_seed": 11293402688824712854,
+        "fork_random": 0.5392958915413021,
+    },
+    # v3 shares v2's scalar core and fork derivation by design (only code
+    # that opts into the batch primitives draws differently), so its scalar
+    # pins are identical to v2's.
+    SCHEME_SPLITMIX64_BATCH_V3: {
         "root_random": 0.9156429121611133,
         "fork_seed": 11293402688824712854,
         "fork_random": 0.5392958915413021,
@@ -282,3 +292,159 @@ def test_streams_deterministic_across_processes(scheme):
     local = SeededRNG(2016, scheme).fork("cross:process").fork("stream")
     outputs.add(repr([local.random() for _ in range(8)]))
     assert len(outputs) == 1, outputs
+
+
+# -- batch primitives (v3) -------------------------------------------------------
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_random_array_equals_scalar_draws(scheme):
+    """Batch uniforms are the scalar stream, bit for bit, under every scheme."""
+    batch = SeededRNG(2016, scheme).random_array(100)
+    scalar_rng = SeededRNG(2016, scheme)
+    assert batch == [scalar_rng.random() for _ in range(100)]
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_uniform_array_equals_scalar_draws(scheme):
+    batch = SeededRNG(7, scheme).uniform_array(2.0, 5.0, 64)
+    scalar_rng = SeededRNG(7, scheme)
+    assert batch == [scalar_rng.uniform(2.0, 5.0) for _ in range(64)]
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_bernoulli_array_equals_scalar_draws(scheme):
+    batch = SeededRNG(9, scheme).bernoulli_array(0.3, 200)
+    scalar_rng = SeededRNG(9, scheme)
+    assert batch == [scalar_rng.bernoulli(0.3) for _ in range(200)]
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_gauss_array_equals_scalar_draws(scheme):
+    """Including the Box-Muller spare cache: odd/even splits must agree."""
+    for count in (1, 2, 7, 64):
+        batch = SeededRNG(11, scheme).gauss_array(1.5, 2.0, count)
+        scalar_rng = SeededRNG(11, scheme)
+        assert batch == [scalar_rng.gauss(1.5, 2.0) for _ in range(count)], count
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_gauss_array_interleaves_with_scalar_spare(scheme):
+    """A scalar gauss leaves a spare; the next batch must consume it first."""
+    a = SeededRNG(13, scheme)
+    b = SeededRNG(13, scheme)
+    mixed = [a.gauss(0.0, 1.0)] + a.gauss_array(0.0, 1.0, 5)
+    scalar = [b.gauss(0.0, 1.0) for _ in range(6)]
+    assert mixed == scalar
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_batch_draws_are_chunk_invariant(scheme):
+    """Splitting one block into any chunking yields the same stream."""
+    whole = SeededRNG(17, scheme).random_array(60)
+    rng = SeededRNG(17, scheme)
+    chunked = rng.random_array(1) + rng.random_array(25) + rng.random_array(34)
+    assert whole == chunked
+
+
+def test_counter_uniforms_matches_stream_and_offsets():
+    """The public counter stream equals v3 sequential draws at any offset."""
+    seed = SeededRNG(2016, SCHEME_SPLITMIX64_BATCH_V3).fork("kernel").seed
+    stream = SeededRNG(seed, SCHEME_SPLITMIX64_BATCH_V3).random_array(50)
+    assert counter_uniforms(seed, 0, 50) == stream
+    assert counter_uniforms(seed, 10, 25) == stream[10:35]
+    assert counter_uniforms(seed, 0, 0) == []
+    with pytest.raises(RNGDomainError):
+        counter_uniforms(seed, 0, -1)
+
+
+def test_batch_primitives_reject_negative_counts():
+    rng = SeededRNG(1, SCHEME_SPLITMIX64_BATCH_V3)
+    for call in (lambda: rng.random_array(-1),
+                 lambda: rng.uniform_array(0.0, 1.0, -1),
+                 lambda: rng.bernoulli_array(0.5, -1),
+                 lambda: rng.gauss_array(0.0, 1.0, -1)):
+        with pytest.raises(RNGDomainError):
+            call()
+
+
+def test_numpy_fallback_produces_identical_bits(monkeypatch):
+    """The pure-stdlib path is bit-identical to the numpy block path."""
+    import repro.rng as rng_module
+
+    with_numpy = SeededRNG(2016, SCHEME_SPLITMIX64_BATCH_V3).random_array(256)
+    gauss_with = SeededRNG(2016, SCHEME_SPLITMIX64_BATCH_V3).gauss_array(0.0, 1.0, 101)
+    monkeypatch.setattr(rng_module, "_np", None)
+    without = SeededRNG(2016, SCHEME_SPLITMIX64_BATCH_V3).random_array(256)
+    gauss_without = SeededRNG(2016, SCHEME_SPLITMIX64_BATCH_V3).gauss_array(0.0, 1.0, 101)
+    assert with_numpy == without
+    assert gauss_with == gauss_without
+
+
+def test_v3_scalar_core_matches_v2():
+    """v3 only changes opt-in batch call sites; its scalar core is v2's."""
+    v2 = SeededRNG(99, SCHEME_SPLITMIX64_V2)
+    v3 = SeededRNG(99, SCHEME_SPLITMIX64_BATCH_V3)
+    assert [v2.random() for _ in range(20)] == [v3.random() for _ in range(20)]
+    assert v2.fork("x").seed == v3.fork("x").seed
+    assert v2.fork("g").gauss(0.0, 1.0) == v3.fork("g").gauss(0.0, 1.0)
+
+
+# -- domain validation (bugfix sweep) --------------------------------------------
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_expovariate_rejects_non_positive_rate(scheme):
+    rng = SeededRNG(1, scheme)
+    for rate in (0.0, -1.5):
+        with pytest.raises(RNGDomainError, match="rate"):
+            rng.expovariate(rate)
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_pareto_rejects_non_positive_alpha(scheme):
+    rng = SeededRNG(1, scheme)
+    for alpha in (0.0, -2.0):
+        with pytest.raises(RNGDomainError, match="alpha"):
+            rng.pareto(alpha)
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_truncated_gauss_rejects_impossible_window(scheme):
+    with pytest.raises(RNGDomainError, match="low"):
+        SeededRNG(1, scheme).truncated_gauss(0.5, 1.0, 2.0, 1.0)
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_truncated_gauss_terminates_when_window_excludes_mass(scheme):
+    """sigma=0 with mu outside the window must clamp, not loop forever."""
+    assert SeededRNG(1, scheme).truncated_gauss(5.0, 0.0, 0.0, 1.0) == 1.0
+    assert SeededRNG(1, scheme).truncated_gauss(-5.0, 0.0, 0.0, 1.0) == 0.0
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_weight_validation(scheme):
+    rng = SeededRNG(1, scheme)
+    with pytest.raises(RNGDomainError, match="at least one weight"):
+        rng.weighted_index([])
+    with pytest.raises(RNGDomainError, match="non-negative"):
+        rng.weighted_index([0.5, -0.1])
+    with pytest.raises(RNGDomainError, match="sum"):
+        rng.weighted_index([0.0, 0.0])
+    with pytest.raises(RNGDomainError, match="at least one weight"):
+        rng.choices([], weights=[], k=1)
+    with pytest.raises(RNGDomainError, match="non-negative"):
+        rng.choices(["a", "b"], weights=[1.0, -1.0], k=1)
+    with pytest.raises(RNGDomainError, match="sum"):
+        rng.choices(["a", "b"], weights=[0.0, 0.0], k=1)
+    with pytest.raises(RNGDomainError, match="weights for"):
+        rng.choices(["a", "b"], weights=[1.0], k=1)
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_sample_size_pinned_to_population(scheme):
+    rng = SeededRNG(1, scheme)
+    items = list(range(5))
+    with pytest.raises(RNGDomainError):
+        rng.sample(items, 6)
+    with pytest.raises(RNGDomainError):
+        rng.sample(items, -1)
+    assert rng.sample(items, 0) == []

@@ -1,0 +1,169 @@
+"""Tests for the struct-of-arrays session kernel (``splitmix64-batch-v3``).
+
+The kernel's contract: under v3, one counter-stream slot block per
+(participant, task) replaces the object-graph draw sites, and a session is a
+pure function of (participant, tasks, session seed).  These tests pin the
+consequences — cohort-call ≡ per-session calls ≡ the ``ParticipantSession``
+wrapper, serial ≡ process pool, fixed per-task slot budgets (truncation is
+prefix-preserving), and the zero-control telemetry regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.webpeg import CaptureCache, CaptureSettings, Webpeg
+from repro.core.campaign import CampaignConfig, CampaignRunner
+from repro.core.experiment import ABExperiment, TimelineExperiment, build_ab_pairs
+from repro.core.frame_helper import FrameSelectionHelper
+from repro.core.session import ParticipantSession
+from repro.core.session_kernel import (
+    AB_SLOTS,
+    TIMELINE_SLOTS,
+    kernel_stream_seed,
+    run_cohort_kernel,
+    run_session_kernel,
+)
+from repro.core.storage import dataset_to_dict
+from repro.crowd.participant import ParticipantClass, generate_participant
+from repro.errors import ExperimentError
+from repro.rng import SCHEME_SPLITMIX64_BATCH_V3 as V3
+from repro.rng import SeededRNG, counter_uniforms
+from repro.web.corpus import CorpusGenerator
+
+SEED = 77
+
+
+@pytest.fixture(scope="module")
+def artefacts():
+    """A small v3-captured corpus: timeline + A/B experiments."""
+    pages = CorpusGenerator(seed=SEED).http2_sample(4)
+    settings = CaptureSettings(loads_per_site=2, network_profile="cable-intl",
+                               record_after_onload=2.0)
+    h2tool = Webpeg(settings=settings, seed=SEED, rng_scheme=V3, cache=CaptureCache())
+    h1tool = Webpeg(settings=settings, seed=SEED, rng_scheme=V3, cache=CaptureCache())
+    h2 = {p.site_id: h2tool.capture(p, configuration="h2").video for p in pages}
+    h1 = {p.site_id: h1tool.capture(p, configuration="h1").video for p in pages}
+    timeline = TimelineExperiment(experiment_id="kernel-timeline", videos=list(h2.values()))
+    pairs = build_ab_pairs(h1, h2, label_a="h1", label_b="h2", rng=SeededRNG(SEED, V3))
+    ab = ABExperiment(experiment_id="kernel-ab", pairs=pairs)
+    return timeline, ab
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return [
+        generate_participant(f"kern-{i:03d}", ParticipantClass.PAID, "crowdflower",
+                             SeededRNG(SEED + i, V3))
+        for i in range(12)
+    ]
+
+
+def _session_result_dict(result):
+    from dataclasses import asdict
+    return [asdict(r) for r in result.responses] + [asdict(result.telemetry)]
+
+
+def test_wrapper_delegates_to_kernel_under_v3(artefacts, cohort):
+    """ParticipantSession under v3 is exactly the kernel on the forked seed."""
+    timeline, ab = artefacts
+    participant = cohort[0]
+    parent = SeededRNG(SEED, V3)
+    session_seed = parent.fork_once(f"session:{participant.participant_id}").seed
+
+    wrapped = ParticipantSession(participant, parent).run_timeline(timeline.videos[:3])
+    direct = run_session_kernel("timeline", participant, timeline.videos[:3], session_seed)
+    assert _session_result_dict(wrapped) == _session_result_dict(direct)
+
+    wrapped_ab = ParticipantSession(participant, parent).run_ab(ab.pairs[:3])
+    direct_ab = run_session_kernel("ab", participant, ab.pairs[:3], session_seed)
+    assert _session_result_dict(wrapped_ab) == _session_result_dict(direct_ab)
+
+
+def test_cohort_call_equals_per_session_calls(artefacts, cohort):
+    """One cohort call ≡ independent per-participant kernel calls, any order."""
+    timeline, _ = artefacts
+    batch = [(p, timeline.videos[:3]) for p in cohort]
+    parent_seed = SeededRNG(SEED, V3).seed
+    together = run_cohort_kernel("timeline", batch, parent_seed)
+    parent = SeededRNG(SEED, V3)
+    apart = [
+        run_session_kernel(
+            "timeline", p, tasks, parent.fork_once(f"session:{p.participant_id}").seed
+        )
+        for p, tasks in reversed(batch)
+    ]
+    for joint, solo in zip(together, reversed(apart)):
+        assert _session_result_dict(joint) == _session_result_dict(solo)
+
+
+def test_task_truncation_is_prefix_preserving(artefacts, cohort):
+    """Fixed slot budgets: dropping trailing tasks never shifts earlier draws."""
+    timeline, ab = artefacts
+    participant = cohort[1]
+    seed = 12345
+    full = run_session_kernel("timeline", participant, timeline.videos, seed)
+    cut = run_session_kernel("timeline", participant, timeline.videos[:2], seed)
+    from dataclasses import asdict
+    assert [asdict(r) for r in full.responses[:2]] == [asdict(r) for r in cut.responses]
+    full_ab = run_session_kernel("ab", participant, ab.pairs[:4], seed)
+    cut_ab = run_session_kernel("ab", participant, ab.pairs[:2], seed)
+    assert [asdict(r) for r in full_ab.responses[:2]] == [asdict(r) for r in cut_ab.responses]
+
+
+def test_kernel_slot_blocks_come_from_the_counter_stream(artefacts, cohort):
+    """The kernel consumes exactly TIMELINE_SLOTS/AB_SLOTS slots per task at
+    fixed offsets of the participant's kernel stream."""
+    seed = 987
+    stream = counter_uniforms(kernel_stream_seed(seed), 0, 3 * TIMELINE_SLOTS)
+    per_task = counter_uniforms(kernel_stream_seed(seed), TIMELINE_SLOTS, TIMELINE_SLOTS)
+    assert stream[TIMELINE_SLOTS:2 * TIMELINE_SLOTS] == per_task
+    assert AB_SLOTS < TIMELINE_SLOTS
+
+
+def test_kernel_rejects_empty_task_lists(cohort):
+    with pytest.raises(ExperimentError):
+        run_session_kernel("timeline", cohort[0], [], 1)
+    with pytest.raises(ExperimentError):
+        run_session_kernel("ab", cohort[0], [], 1)
+
+
+def test_session_with_no_controls_has_defined_pass_rate(artefacts, cohort):
+    """Zero-control roster regression: a disabled helper sees no controls and
+    the pass rate must stay defined (1.0), not divide by zero."""
+    timeline, _ = artefacts
+    disabled = FrameSelectionHelper(enabled=False)
+    for rng in (SeededRNG(3), SeededRNG(3, V3)):
+        session = ParticipantSession(cohort[2], rng, frame_helper=disabled)
+        result = session.run_timeline(timeline.videos[:3])
+        assert result.telemetry.controls_seen == 0
+        assert result.telemetry.control_pass_rate == 1.0
+
+
+def test_v3_campaign_serial_equals_pool(artefacts):
+    """The cohort-kernel serial path and the process pool are bit-identical."""
+    timeline, _ = artefacts
+    serial = CampaignRunner(CampaignConfig(
+        campaign_id="kernel-pool", participant_count=16, seed=SEED, rng_scheme=V3,
+        network_profile="cable-intl",
+    )).run_timeline(timeline)
+    pooled = CampaignRunner(CampaignConfig(
+        campaign_id="kernel-pool", participant_count=16, seed=SEED, rng_scheme=V3,
+        parallel_workers=2, network_profile="cable-intl",
+    )).run_timeline(timeline)
+    assert dataset_to_dict(serial.clean_dataset) == dataset_to_dict(pooled.clean_dataset)
+    assert serial.table1_row == pooled.table1_row
+
+
+def test_v3_ab_campaign_serial_equals_pool(artefacts):
+    _, ab = artefacts
+    serial = CampaignRunner(CampaignConfig(
+        campaign_id="kernel-ab-pool", participant_count=16, seed=SEED, rng_scheme=V3,
+        network_profile="cable-intl",
+    )).run_ab(ab)
+    pooled = CampaignRunner(CampaignConfig(
+        campaign_id="kernel-ab-pool", participant_count=16, seed=SEED, rng_scheme=V3,
+        parallel_workers=2, network_profile="cable-intl",
+    )).run_ab(ab)
+    assert dataset_to_dict(serial.clean_dataset) == dataset_to_dict(pooled.clean_dataset)
+    assert serial.table1_row == pooled.table1_row

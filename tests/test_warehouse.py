@@ -89,7 +89,7 @@ def test_changed_result_with_same_campaign_key_raises(warehouse, plt_results):
 def test_same_campaign_under_both_schemes_coexists(warehouse, plt_results):
     for scheme in RNG_SCHEMES:
         warehouse.ingest(plt_results[scheme])
-    assert len(warehouse) == 2
+    assert len(warehouse) == len(RNG_SCHEMES)
     assert {r.rng_scheme for r in warehouse.records()} == set(RNG_SCHEMES)
 
 
@@ -133,8 +133,8 @@ def test_query_filters_on_index_metadata(warehouse, plt_results, timeline_campai
     for scheme in RNG_SCHEMES:
         warehouse.ingest(plt_results[scheme])
     warehouse.ingest(timeline_campaign)
-    assert len(warehouse.query()) == 3
-    assert len(warehouse.query(kind="plt")) == 2
+    assert len(warehouse.query()) == len(RNG_SCHEMES) + 1
+    assert len(warehouse.query(kind="plt")) == len(RNG_SCHEMES)
     assert [r.rng_scheme for r in warehouse.query(kind="plt", scheme=SCHEME_SPLITMIX64_V2)] == \
         [SCHEME_SPLITMIX64_V2]
     assert len(warehouse.query(campaign_id="test-timeline-campaign")) == 1
