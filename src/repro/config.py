@@ -54,6 +54,12 @@ class ReproConfig:
             A configuration knob, not an automatic sink: open it with
             :meth:`make_warehouse` and pass the result as the drivers'
             ``warehouse=`` argument to persist campaigns.
+        auto_triage: when True, every driver that ingests into a
+            ``warehouse=`` sink also runs the deterministic quality-triage
+            engine (:mod:`repro.warehouse.triage`) over the records it just
+            landed and stores the resulting ``kind="triage"`` record beside
+            them.  Drivers accept a per-call ``triage=`` override; None
+            falls back to this default.
     """
 
     seed: int = 2016
@@ -64,6 +70,7 @@ class ReproConfig:
     frame_similarity_threshold: float = FRAME_SIMILARITY_THRESHOLD
     ab_control_delay: float = AB_CONTROL_DELAY_SECONDS
     warehouse_dir: Optional[str] = None
+    auto_triage: bool = False
 
     def __post_init__(self) -> None:
         validate_scheme(self.rng_scheme)

@@ -54,6 +54,7 @@ def run_adblock_campaign(
     corpus_size: int = 10_000,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
+    triage=None,
 ) -> AdblockCampaignResult:
     """Run the ad-blocker A/B campaign end to end.
 
@@ -62,7 +63,10 @@ def run_adblock_campaign(
     multiple of three; the default of 99 gives 33 sites per blocker.
 
     ``warehouse`` optionally ingests the finished campaign (kind
-    ``"adblock"``) into a :class:`~repro.warehouse.ResultsWarehouse`.
+    ``"adblock"``) into a :class:`~repro.warehouse.ResultsWarehouse`;
+    ``triage`` additionally stores the quality-triage verdict for the
+    record (None falls back to
+    :attr:`repro.config.ReproConfig.auto_triage`).
 
     Raises:
         CampaignError: if ``sites`` is smaller than the number of blockers.
@@ -113,7 +117,11 @@ def run_adblock_campaign(
         name: (sum(counts) / len(counts) if counts else 0.0) for name, counts in blocked_counts.items()
     }
     if warehouse is not None:
-        warehouse.ingest(campaign, kind="adblock")
+        record = warehouse.ingest(campaign, kind="adblock")
+        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+
+        if resolve_auto_triage(triage):
+            auto_triage_ingested(warehouse, [record])
     return AdblockCampaignResult(
         campaign=campaign,
         scores_by_blocker=scores_by_blocker,

@@ -77,12 +77,15 @@ def run_h1h2_campaign(
     network_profile: str = "cable-intl",
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
+    triage=None,
 ) -> H1H2CampaignResult:
     """Run the HTTP/1.1 vs HTTP/2 A/B campaign end to end.
 
     ``warehouse`` optionally ingests the finished campaign (kind
     ``"h1h2"``, with the HTTP/2 side's machine metrics) into a
-    :class:`~repro.warehouse.ResultsWarehouse`.
+    :class:`~repro.warehouse.ResultsWarehouse`; ``triage`` additionally
+    stores the quality-triage verdict for the record (None falls back to
+    :attr:`repro.config.ReproConfig.auto_triage`).
     """
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
@@ -118,7 +121,11 @@ def run_h1h2_campaign(
         }
     scores = score_per_site(campaign.clean_dataset, treatment_label="h2")
     if warehouse is not None:
-        warehouse.ingest(campaign, kind="h1h2", metrics_by_site=metrics_h2)
+        record = warehouse.ingest(campaign, kind="h1h2", metrics_by_site=metrics_h2)
+        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+
+        if resolve_auto_triage(triage):
+            auto_triage_ingested(warehouse, [record])
     return H1H2CampaignResult(
         campaign=campaign,
         scores_by_site=scores,

@@ -97,6 +97,7 @@ def run_plt_campaign(
     campaign_id: str = "final-plt-timeline",
     pages=None,
     warehouse=None,
+    triage: Optional[bool] = None,
     fault_plan=None,
     resilience_policy=None,
     checkpoint_dir=None,
@@ -128,6 +129,11 @@ def run_plt_campaign(
         warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
             sink; when given, the finished result is ingested (idempotent,
             kind ``"plt"``) so it stays queryable after the process exits.
+        triage: run the deterministic quality-triage engine over the record
+            just ingested and store the verdict beside it (kind
+            ``"triage"``); None falls back to
+            :attr:`repro.config.ReproConfig.auto_triage`.  Only meaningful
+            with a ``warehouse`` sink.
         fault_plan: optional :class:`~repro.faults.FaultPlan`; when given,
             the whole pipeline runs under deterministic fault injection —
             capture failures/stalls are retried (sites exhausting their
@@ -193,7 +199,11 @@ def run_plt_campaign(
             # Let the plan's torn-write faults reach this ingest too (the
             # caller may also construct the warehouse with its own injector).
             warehouse.injector = injector
-        warehouse.ingest(result)
+        record = warehouse.ingest(result)
+        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+
+        if resolve_auto_triage(triage):
+            auto_triage_ingested(warehouse, [record])
     return result
 
 
@@ -239,6 +249,7 @@ def run_plt_campaign_streaming(
     campaign_id: str = "final-plt-timeline",
     pages=None,
     warehouse=None,
+    triage: Optional[bool] = None,
     fault_plan=None,
     resilience_policy=None,
     chunk_size: int = 256,
@@ -298,6 +309,14 @@ def run_plt_campaign_streaming(
         stop_after_chunks=stop_after_chunks,
     )
 
+    if warehouse is not None:
+        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+
+        if resolve_auto_triage(triage):
+            # The streaming runner landed the record incrementally; triage
+            # what this campaign id now holds (idempotent across re-runs).
+            auto_triage_ingested(
+                warehouse, warehouse.query(kind="plt", campaign_id=campaign_id))
     comparison = compare_metrics(campaign.uplt_by_site, metrics_by_site)
     return StreamingPLTCampaignResult(
         videos=videos,

@@ -109,6 +109,7 @@ def run_profile_sweep_campaign(
     session_workers: int = 0,
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
+    triage=None,
     fault_plan=None,
     resilience_policy=None,
     streaming: bool = False,
@@ -131,6 +132,9 @@ def run_profile_sweep_campaign(
         warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
             sink; the finished sweep is ingested as one record per profile
             (each self-describing via its ``network_profile``).
+        triage: additionally store one quality-triage record covering the
+            whole sweep's records (None falls back to
+            :attr:`repro.config.ReproConfig.auto_triage`).
         fault_plan / resilience_policy: forwarded to every per-profile
             :func:`run_plt_campaign` (each profile run gets a fresh
             injector, so quarantine state never leaks across profiles).
@@ -178,7 +182,8 @@ def run_profile_sweep_campaign(
             # as it runs, so the end-of-sweep ingest below must not fire
             # (it could not — streaming results carry no datasets).
             by_profile[name] = run_plt_campaign_streaming(
-                warehouse=warehouse, chunk_size=chunk_size, **shared)
+                warehouse=warehouse, chunk_size=chunk_size, triage=triage,
+                **shared)
         else:
             by_profile[name] = run_plt_campaign(**shared)
     sweep = ProfileSweepResult(
@@ -188,5 +193,9 @@ def run_profile_sweep_campaign(
         by_profile=by_profile,
     )
     if warehouse is not None and not streaming:
-        warehouse.ingest(sweep)
+        ingested = warehouse.ingest(sweep)
+        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+
+        if resolve_auto_triage(triage):
+            auto_triage_ingested(warehouse, ingested)
     return sweep

@@ -66,6 +66,7 @@ def run_validation_study(
     network_profile: str = "cable-intl",
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
+    triage=None,
 ) -> ValidationStudy:
     """Run the full validation study.
 
@@ -78,6 +79,9 @@ def run_validation_study(
         network_profile: emulation profile used for captures.
         warehouse: optional :class:`~repro.warehouse.ResultsWarehouse`
             sink; all four campaigns are ingested (kind ``"validation"``).
+        triage: additionally store one quality-triage record covering all
+            four campaigns (None falls back to
+            :attr:`repro.config.ReproConfig.auto_triage`).
 
     Returns:
         The :class:`ValidationStudy` with both populations' campaigns.
@@ -119,8 +123,14 @@ def run_validation_study(
     ab_trusted = run("validation-ab-trusted", trusted_participants, "invited", ab_experiment, timeline=False)
 
     if warehouse is not None:
-        for result in (timeline_paid, timeline_trusted, ab_paid, ab_trusted):
+        ingested = [
             warehouse.ingest(result, kind="validation")
+            for result in (timeline_paid, timeline_trusted, ab_paid, ab_trusted)
+        ]
+        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+
+        if resolve_auto_triage(triage):
+            auto_triage_ingested(warehouse, ingested)
     behaviour = {
         "timeline-paid": summarise_behaviour(timeline_paid.raw_dataset, timeline_paid.telemetry),
         "timeline-trusted": summarise_behaviour(timeline_trusted.raw_dataset, timeline_trusted.telemetry),

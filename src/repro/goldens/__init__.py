@@ -10,18 +10,24 @@ versioned event instead of a silent re-seed: the default ``sha256-v1``
 goldens pin the seed implementation's outputs forever, and ``splitmix64-v2``
 ships its own set generated the day the scheme landed.
 
-Four golden *kinds* are stored: ``plt`` (the PLT timeline campaign, at
+Five golden *kinds* are stored: ``plt`` (the PLT timeline campaign, at
 small/bench/full scales), ``sweep`` (the network-profile sweep campaign,
 at small scale over a representative fast/default/slow profile subset —
 see :data:`SWEEP_SCALES`), ``warehouse`` (a small-scale
 ingest→query→stats round trip through :mod:`repro.warehouse`, pinning the
 record's sha256 content address — and with it the canonical record
 serialisation, byte for byte — plus the bootstrap/Spearman statistics,
-per RNG scheme), and ``faults`` (a chaos run under the pinned
+per RNG scheme), ``faults`` (a chaos run under the pinned
 :data:`GOLDEN_FAULT_RATES` fault plan: the quarantine set, dropout roster,
 fault counters, surviving outputs, **and** the contract that killing the
 campaign at a chunk boundary and resuming yields a byte-identical
-warehouse record id, per RNG scheme).
+warehouse record id, per RNG scheme), and ``triage`` (the longitudinal
+analytics trip of :mod:`repro.warehouse.trends` /
+:mod:`repro.warehouse.triage`: a two-seed campaign series trended with
+drift attribution and quality-triaged with per-hint evidence, both
+reports pinned as the ``kind="trend"`` / ``kind="triage"`` records they
+land back into the warehouse as — ids and payloads — together with the
+recompute and ingest-order-invariance determinism contracts).
 
 Workflow (also available as ``python -m repro.goldens``)::
 
@@ -96,6 +102,15 @@ FAULT_SCALES: Dict[str, Dict[str, int]] = {
     "bench": {"sites": 30, "participants": 200, "loads": 3, "chunk": 50},
 }
 
+#: Scale of the triage analytics golden: two seeds of one small campaign
+#: land in a throwaway warehouse, the trend + triage analytics run over
+#: them, and both resulting records (ids *and* full report payloads) are
+#: pinned per scheme.  ``seeds`` is how many consecutive seeds (starting at
+#: the golden seed) feed the longitudinal trend.
+TRIAGE_SCALES: Dict[str, Dict[str, int]] = {
+    "small": {"sites": 4, "participants": 14, "loads": 2, "seeds": 2},
+}
+
 #: The fault rates of the pinned chaos plan (the plan's seed/scheme follow
 #: the golden's).  Tuned so every boundary fires at the golden scale while
 #: no site loses *all* retries of *every* boundary draw.
@@ -112,12 +127,14 @@ _SNAPSHOT_KIND = "plt-campaign"
 _SWEEP_SNAPSHOT_KIND = "profile-sweep"
 _WAREHOUSE_SNAPSHOT_KIND = "warehouse-ingest"
 _FAULTS_SNAPSHOT_KIND = "faulted-campaign"
-KINDS = ("plt", "sweep", "warehouse", "faults")
+_TRIAGE_SNAPSHOT_KIND = "triage-analytics"
+KINDS = ("plt", "sweep", "warehouse", "faults", "triage")
 _KIND_TAGS = {
     "plt": _SNAPSHOT_KIND,
     "sweep": _SWEEP_SNAPSHOT_KIND,
     "warehouse": _WAREHOUSE_SNAPSHOT_KIND,
     "faults": _FAULTS_SNAPSHOT_KIND,
+    "triage": _TRIAGE_SNAPSHOT_KIND,
 }
 
 #: Scales registry per golden kind (shared with the CLI in ``__main__``).
@@ -126,6 +143,7 @@ KIND_SCALES: Dict[str, Dict[str, Dict]] = {
     "sweep": SWEEP_SCALES,
     "warehouse": WAREHOUSE_SCALES,
     "faults": FAULT_SCALES,
+    "triage": TRIAGE_SCALES,
 }
 
 
@@ -412,6 +430,98 @@ def snapshot_faulted_campaign(scheme: str, scale: str, seed: int = GOLDEN_SEED) 
         }
 
 
+def snapshot_triage_analytics(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Run the longitudinal analytics + triage trip and snapshot everything.
+
+    Builds a throwaway warehouse holding one small campaign at ``seeds``
+    consecutive seeds (a two-point longitudinal series), then pins the whole
+    analytics surface for one scheme:
+
+    * the **trend record** — trajectory points with bootstrap CIs, per-site
+      trajectories, endpoint drift with its ranked attribution, and the
+      record's sha256 content address (so the canonical trend serialisation
+      is byte-stable by contract);
+    * the **triage record** — every verdict with its per-hint evidence
+      rows, bucket counts, flagged list, engine weights/thresholds, and the
+      record id;
+    * **determinism contracts** — recomputing both reports must reproduce
+      the same canonical bytes, and re-ingesting the campaign records into
+      a fresh warehouse in reverse order must too (ingest-order
+      invariance), both recorded as booleans the golden requires True.
+    """
+    import tempfile
+
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..experiments.plt_campaign import run_plt_campaign
+    from ..warehouse import ResultsWarehouse, canonical_json
+    from ..warehouse.trends import compute_trend, ingest_trend, trend_record_body
+    from ..warehouse.triage import ingest_triage, triage_record_body, triage_warehouse
+
+    validate_scheme(scheme)
+    dims = _check_scale("triage", scale)
+    with tempfile.TemporaryDirectory(prefix="triage-golden-") as tmp:
+        warehouse = ResultsWarehouse(Path(tmp) / "warehouse")
+        DEFAULT_CAPTURE_CACHE.clear()
+        try:
+            for offset in range(dims["seeds"]):
+                run_plt_campaign(
+                    sites=dims["sites"],
+                    participants=dims["participants"],
+                    loads_per_site=dims["loads"],
+                    seed=seed + offset,
+                    rng_scheme=scheme,
+                    campaign_id="triage-golden",
+                    warehouse=warehouse,
+                )
+                DEFAULT_CAPTURE_CACHE.clear()
+        finally:
+            DEFAULT_CAPTURE_CACHE.clear()
+
+        trend = compute_trend(warehouse.records(), campaign_id="triage-golden")
+        triage = triage_warehouse(warehouse)
+        trend_bytes = canonical_json(trend_record_body(trend))
+        triage_bytes = canonical_json(triage_record_body(triage))
+
+        # Determinism contract 1: recomputation reproduces the same bytes.
+        recompute_identical = (
+            canonical_json(trend_record_body(
+                compute_trend(warehouse.records(), campaign_id="triage-golden")))
+            == trend_bytes
+            and canonical_json(triage_record_body(triage_warehouse(warehouse)))
+            == triage_bytes
+        )
+
+        # Determinism contract 2: ingest-order permutation changes nothing.
+        reordered = ResultsWarehouse(Path(tmp) / "reordered")
+        for record in reversed(warehouse.records()):
+            reordered._land_body(record.load())
+        permutation_identical = (
+            canonical_json(trend_record_body(
+                compute_trend(reordered.records(), campaign_id="triage-golden")))
+            == trend_bytes
+            and canonical_json(triage_record_body(triage_warehouse(reordered)))
+            == triage_bytes
+        )
+
+        trend_record = ingest_trend(warehouse, trend)
+        triage_record = ingest_triage(warehouse, triage)
+        return {
+            "kind": _TRIAGE_SNAPSHOT_KIND,
+            "rng_scheme": scheme,
+            "seed": seed,
+            "scale": {"name": scale, **dims},
+            "campaign_records": len(warehouse) - 2,
+            "recompute_identical": recompute_identical,
+            "permutation_identical": permutation_identical,
+            "trend_record_id": trend_record.record_id,
+            "trend_campaign_id": trend_record.campaign_id,
+            "trend": trend.as_dict(),
+            "triage_record_id": triage_record.record_id,
+            "triage_campaign_id": triage_record.campaign_id,
+            "triage": triage.as_dict(),
+        }
+
+
 def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
     """Write ``snapshot`` into the store; refuses to overwrite unless asked.
 
@@ -539,6 +649,11 @@ def diff_fault_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) ->
     return diff_warehouse_snapshots(golden, fresh)
 
 
+def diff_triage_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
+    """Leaf-by-leaf differences of two triage-analytics snapshots."""
+    return diff_warehouse_snapshots(golden, fresh)
+
+
 def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
                   kind: str = "plt") -> List[str]:
     """Re-run the campaign (or sweep / warehouse / chaos trip) and diff.
@@ -556,6 +671,9 @@ def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
     if kind == "faults":
         fresh = snapshot_faulted_campaign(scheme, scale, seed)
         return diff_fault_snapshots(golden, fresh)
+    if kind == "triage":
+        fresh = snapshot_triage_analytics(scheme, scale, seed)
+        return diff_triage_snapshots(golden, fresh)
     fresh = snapshot_plt_campaign(scheme, scale, seed)
     return diff_snapshots(golden, fresh)
 

@@ -7,14 +7,16 @@ Commands:
     refresh    like capture, but overwrites — the explicit re-baseline step
     diff       compare two stored goldens (e.g. sha256-v1 vs splitmix64-v2)
 
-Four golden kinds exist: ``plt`` (the PLT timeline campaign, at small/
+Five golden kinds exist: ``plt`` (the PLT timeline campaign, at small/
 bench/full scales), ``sweep`` (the network-profile sweep, at small scale),
 ``warehouse`` (the results-warehouse ingest/query/stats round trip, at
-small scale), and ``faults`` (the chaos campaign under the pinned fault
+small scale), ``faults`` (the chaos campaign under the pinned fault
 plan, including the kill-at-chunk-boundary/resume record-id identity, at
-small scale).  ``verify`` checks every stored golden of every kind by
-default; ``capture`` / ``refresh`` / ``diff`` take ``--kind`` (default
-``plt``).
+small scale), and ``triage`` (the longitudinal trend + quality-triage
+analytics records over a two-campaign warehouse, with their
+recompute/permutation determinism contracts, at small scale).  ``verify``
+checks every stored golden of every kind by default; ``capture`` /
+``refresh`` / ``diff`` take ``--kind`` (default ``plt``).
 
 Exit status is non-zero when a verification fails or a diff finds
 differences between two same-scheme goldens, so the command slots into CI.
@@ -34,10 +36,12 @@ from . import (
     KINDS,
     SCALES,
     SWEEP_SCALES,
+    TRIAGE_SCALES,
     WAREHOUSE_SCALES,
     diff_fault_snapshots,
     diff_snapshots,
     diff_sweep_snapshots,
+    diff_triage_snapshots,
     diff_warehouse_snapshots,
     golden_path,
     load_golden,
@@ -45,6 +49,7 @@ from . import (
     snapshot_faulted_campaign,
     snapshot_plt_campaign,
     snapshot_profile_sweep,
+    snapshot_triage_analytics,
     snapshot_warehouse,
     stored_goldens,
     verify_golden,
@@ -56,12 +61,14 @@ _SNAPSHOT_FNS = {
     "sweep": snapshot_profile_sweep,
     "warehouse": snapshot_warehouse,
     "faults": snapshot_faulted_campaign,
+    "triage": snapshot_triage_analytics,
 }
 _DIFF_FNS = {
     "plt": diff_snapshots,
     "sweep": diff_sweep_snapshots,
     "warehouse": diff_warehouse_snapshots,
     "faults": diff_fault_snapshots,
+    "triage": diff_triage_snapshots,
 }
 
 
@@ -144,7 +151,8 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="show stored goldens")
 
     all_scales = sorted(
-        set(SCALES) | set(SWEEP_SCALES) | set(WAREHOUSE_SCALES) | set(FAULT_SCALES)
+        set(SCALES) | set(SWEEP_SCALES) | set(WAREHOUSE_SCALES)
+        | set(FAULT_SCALES) | set(TRIAGE_SCALES)
     )
     for name, help_text in (
         ("verify", "check stored goldens reproduce bit-for-bit"),

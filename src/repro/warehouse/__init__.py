@@ -16,7 +16,16 @@ compared, and analysed long after the process that ran it exited:
 * :mod:`repro.warehouse.stats` — deterministic bootstrap confidence
   intervals (seeded through :mod:`repro.rng`, scheme-aware), Spearman rank
   correlation of UPLT against the machine metrics, and inter-rater
-  agreement (Fleiss' kappa) over A/B responses.
+  agreement (Fleiss' kappa) over A/B responses;
+* :mod:`repro.warehouse.trends` — longitudinal trend queries over the
+  stored corpus (per-site and aggregate UPLT/OnLoad trajectories with
+  bootstrap CIs) and drift detection with a ranked regression-attribution
+  breakdown; reports land back into the store as ``kind="trend"`` records;
+* :mod:`repro.warehouse.triage` — the deterministic quality-triage engine:
+  weighted hints (agreement, filter rejection, resilience losses, CI
+  width) bucket every campaign record as ``healthy`` / ``low-agreement`` /
+  ``suspect-filtering`` / ``needs-review`` with a confidence score and a
+  transparent per-hint report; reports land as ``kind="triage"`` records.
 
 Workflow (also available as ``python -m repro.warehouse``)::
 
@@ -56,26 +65,72 @@ from .store import (
     canonical_json,
     record_id_for,
 )
+from .trends import (
+    DriftEntry,
+    DriftReport,
+    TrendPoint,
+    TrendReport,
+    analytics_campaign_id,
+    compute_trend,
+    detect_drift,
+    ingest_trend,
+    trend_point,
+    trend_points,
+    trend_record_body,
+)
+from .triage import (
+    TriageHint,
+    TriageReport,
+    TriageVerdict,
+    auto_triage_ingested,
+    ingest_triage,
+    triage_body,
+    triage_record,
+    triage_record_body,
+    triage_records,
+    triage_warehouse,
+)
 
 __all__ = [
     "AgreementReport",
     "BootstrapCI",
+    "DriftEntry",
+    "DriftReport",
     "FsckReport",
     "INDEX_FORMAT",
     "RECORD_FORMAT",
     "ResultsWarehouse",
     "SiteDelta",
     "StreamingIngest",
+    "TrendPoint",
+    "TrendReport",
+    "TriageHint",
+    "TriageReport",
+    "TriageVerdict",
     "WarehouseComparison",
     "WarehouseRecord",
     "WarehouseStats",
+    "analytics_campaign_id",
+    "auto_triage_ingested",
     "bootstrap_mean_ci",
     "canonical_json",
     "compare",
+    "compute_trend",
+    "detect_drift",
     "fleiss_kappa",
+    "ingest_trend",
+    "ingest_triage",
     "inter_rater_agreement",
     "match_records",
     "record_id_for",
     "record_stats",
     "spearman_correlation",
+    "trend_point",
+    "trend_points",
+    "trend_record_body",
+    "triage_body",
+    "triage_record",
+    "triage_record_body",
+    "triage_records",
+    "triage_warehouse",
 ]

@@ -6,6 +6,13 @@ Commands (all take ``--root``, the warehouse directory):
     query      filter records by kind / scheme / profile / campaign / seed
     compare    per-site UPLT/OnLoad deltas between two records (or sets)
     stats      bootstrap CIs, Spearman, inter-rater agreement for a record
+    trend      longitudinal UPLT/OnLoad trajectories + endpoint drift with
+               ranked attribution; --store lands the report as a "trend"
+               record back in the warehouse
+    triage     score every campaign record into healthy / low-agreement /
+               suspect-filtering / needs-review with per-hint evidence;
+               --store lands the report, --smoke runs the CI contract
+               (deterministic + ingest-order invariant) on a scratch store
     smoke      CI round-trip check: ingest, re-ingest (no-op), query back,
                verify the content address — exits non-zero on any drift
     fsck       check (or --repair) on-disk consistency: content-address
@@ -25,11 +32,18 @@ import sys
 import tempfile
 from typing import List
 
-from ..errors import ConfigurationError, WarehouseError
+from ..errors import AnalysisError, ConfigurationError, WarehouseError
 from ..rng import DEFAULT_RNG_SCHEME, RNG_SCHEMES
 from .query import compare
 from .stats import DEFAULT_RESAMPLES, record_stats
-from .store import ResultsWarehouse, WarehouseRecord
+from .store import ResultsWarehouse, WarehouseRecord, canonical_json
+from .trends import DEFAULT_DRIFT_THRESHOLD, TREND_RESAMPLES, compute_trend, ingest_trend
+from .triage import (
+    TRIAGE_RESAMPLES,
+    ingest_triage,
+    triage_record_body,
+    triage_warehouse,
+)
 
 
 def _print_records(records: List[WarehouseRecord]) -> None:
@@ -155,6 +169,124 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_trend(args) -> int:
+    warehouse = ResultsWarehouse(args.root)
+    report = compute_trend(
+        warehouse.records(), campaign_id=args.campaign_id,
+        resamples=args.resamples, drift_threshold=args.drift_threshold,
+    )
+    target = args.campaign_id or "all campaigns"
+    print(f"trend for {target}: {len(report.points)} point(s), "
+          f"{len(report.site_trajectories)} site(s)")
+    for point in report.points:
+        ci = point.uplt_ci
+        interval = "" if ci is None else f"  [{ci.low:.3f}, {ci.high:.3f}]"
+        uplt = "-" if point.mean_uplt is None else f"{point.mean_uplt:.3f}s"
+        onload = "-" if point.mean_onload is None else f"{point.mean_onload:.3f}s"
+        print(f"  {point.record_id[:12]}  {point.label:<30} "
+              f"UPLT {uplt}{interval}  OnLoad {onload}")
+    drift = report.drift
+    if drift is not None:
+        verdict = "DRIFTED" if drift.drifted else "stable"
+        print(f"endpoint drift ({drift.label_a} -> {drift.label_b}): {verdict} "
+              f"(delta {drift.delta:+.3f}s, relative {drift.relative_delta:+.2%}, "
+              f"threshold {drift.threshold:.0%})")
+        for entry in drift.top_movers(args.top):
+            print(f"  {entry.dimension:<16} {entry.name:<20} "
+                  f"{entry.before:.3f} -> {entry.after:.3f}  ({entry.delta:+.3f}s)")
+    if args.store:
+        record = ingest_trend(warehouse, report)
+        print(f"stored trend record {record.record_id[:12]} "
+              f"(campaign {record.campaign_id})")
+    return 0
+
+
+def _print_triage(report) -> None:
+    counts = report.bucket_counts
+    print("triage: " + ", ".join(f"{bucket}={counts[bucket]}" for bucket in counts))
+    for verdict in report.verdicts:
+        flag = "  [FLAGGED: low confidence, routed to review]" if verdict.flagged else ""
+        print(f"  {verdict.record_id[:12]}  {verdict.campaign_id:<28} "
+              f"{verdict.bucket:<18} confidence={verdict.confidence:.2f} "
+              f"score={verdict.score:.2f}{flag}")
+        for hint in verdict.hints:
+            if not hint.available:
+                status = "unavailable"
+            else:
+                status = "FIRED" if hint.triggered else "ok"
+            print(f"      {hint.name:<18} {status:<12} {hint.detail}")
+
+
+def _cmd_triage(args) -> int:
+    if args.smoke:
+        return _triage_smoke(args)
+    if args.root is None:
+        print("error: --root is required (or use --smoke)", file=sys.stderr)
+        return 2
+    warehouse = ResultsWarehouse(args.root)
+    report = triage_warehouse(
+        warehouse, kind=args.kind, scheme=args.scheme,
+        campaign_id=args.campaign_id, resamples=args.resamples,
+    )
+    _print_triage(report)
+    if args.store:
+        record = ingest_triage(warehouse, report)
+        print(f"stored triage record {record.record_id[:12]} "
+              f"(campaign {record.campaign_id})")
+    return 0
+
+
+def _triage_smoke(args) -> int:
+    """CI contract: triage of a scratch store is deterministic, pure, and
+    ingest-order invariant; the report lands and reloads bit-identically."""
+    root = args.root or tempfile.mkdtemp(prefix="warehouse-triage-smoke-")
+    warehouse = ResultsWarehouse(root)
+    for seed in (args.seed, args.seed + 1):
+        result = _run_campaign("plt", args.scheme or DEFAULT_RNG_SCHEME,
+                               "small", seed, campaign_id="triage-smoke")
+        warehouse.ingest(result)
+
+    report = triage_warehouse(warehouse, resamples=args.resamples)
+    body = canonical_json(triage_record_body(report))
+    again = canonical_json(triage_record_body(
+        triage_warehouse(warehouse, resamples=args.resamples)))
+
+    # Re-ingest the same records into a fresh store in reverse order; the
+    # triage bytes must not move.
+    reordered_root = tempfile.mkdtemp(prefix="warehouse-triage-reorder-")
+    reordered = ResultsWarehouse(reordered_root)
+    for record in reversed(warehouse.records()):
+        reordered._land_body(record.load())
+    permuted = canonical_json(triage_record_body(
+        triage_warehouse(reordered, resamples=args.resamples)))
+
+    stored = ingest_triage(warehouse, report)
+    reloaded = canonical_json({
+        key: value for key, value in stored.load().items()
+    })
+    restored = canonical_json(triage_record_body(report))
+
+    checks = {
+        "repeat triage is byte-identical": body == again,
+        "ingest-order permutation is byte-identical": body == permuted,
+        "triage record lands with a stable id": len(stored.record_id) == 64,
+        "stored record reloads to the same bytes": reloaded == restored,
+        "every verdict carries all four hints": all(
+            len(v.hints) == 4 for v in report.verdicts
+        ),
+        "flagged verdicts are routed, never silent": all(
+            v.bucket == "needs-review" for v in report.verdicts if v.flagged
+        ),
+    }
+    failures = 0
+    for name, ok in checks.items():
+        print(f"[triage-smoke] {name}: {'ok' if ok else 'FAILED'}")
+        failures += not ok
+    print(f"[triage-smoke] {len(report.verdicts)} verdict(s), "
+          f"buckets {report.bucket_counts}, record {stored.record_id}")
+    return 1 if failures else 0
+
+
 def _cmd_smoke(args) -> int:
     """Ingest→re-ingest→query→reload round trip; non-zero on any drift."""
     import hashlib
@@ -261,6 +393,31 @@ def main(argv=None) -> int:
     stats.add_argument("--resamples", type=int, default=DEFAULT_RESAMPLES)
     stats.add_argument("--confidence", type=float, default=0.95)
 
+    trend = sub.add_parser("trend", help="longitudinal trajectories + drift detection")
+    add_root(trend)
+    trend.add_argument("--campaign-id", default=None,
+                       help="restrict the trend to one campaign id (default: all)")
+    trend.add_argument("--resamples", type=int, default=TREND_RESAMPLES)
+    trend.add_argument("--drift-threshold", type=float, default=DEFAULT_DRIFT_THRESHOLD,
+                       help="relative endpoint shift flagged as drift (default 5%%)")
+    trend.add_argument("--top", type=int, default=5,
+                       help="attribution rows to print (ranked by |delta|)")
+    trend.add_argument("--store", action="store_true",
+                       help="ingest the report back as a kind=trend record")
+
+    triaging = sub.add_parser("triage", help="quality-triage stored campaign records")
+    add_root(triaging, required=False)
+    triaging.add_argument("--kind", default=None)
+    triaging.add_argument("--scheme", choices=RNG_SCHEMES, default=None)
+    triaging.add_argument("--campaign-id", default=None)
+    triaging.add_argument("--resamples", type=int, default=TRIAGE_RESAMPLES)
+    triaging.add_argument("--store", action="store_true",
+                          help="ingest the report back as a kind=triage record")
+    triaging.add_argument("--smoke", action="store_true",
+                          help="CI contract: triage a scratch store twice and "
+                               "under ingest-order permutation; non-zero on drift")
+    triaging.add_argument("--seed", type=int, default=2016)
+
     smoke = sub.add_parser("smoke", help="ingest/query/reload round-trip check (CI)")
     add_root(smoke, required=False)
     smoke.add_argument("--scale", default="bench")
@@ -280,12 +437,14 @@ def main(argv=None) -> int:
         "query": _cmd_query,
         "compare": _cmd_compare,
         "stats": _cmd_stats,
+        "trend": _cmd_trend,
+        "triage": _cmd_triage,
         "smoke": _cmd_smoke,
         "fsck": _cmd_fsck,
     }[args.command]
     try:
         return handler(args)
-    except (ConfigurationError, WarehouseError) as exc:
+    except (AnalysisError, ConfigurationError, WarehouseError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

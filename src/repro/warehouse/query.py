@@ -48,12 +48,12 @@ def match_records(records: Sequence[WarehouseRecord], kind: Optional[str] = None
     return matched
 
 
-def _as_records(side: RecordSet) -> List[WarehouseRecord]:
+def _as_records(side: RecordSet, name: str) -> List[WarehouseRecord]:
     if isinstance(side, WarehouseRecord):
         return [side]
     records = list(side)
     if not records:
-        raise WarehouseError("cannot compare an empty record set")
+        raise WarehouseError(f"cannot compare: side {name} is an empty record set")
     return records
 
 
@@ -165,15 +165,25 @@ def compare(a: RecordSet, b: RecordSet) -> WarehouseComparison:
     deterministic.
 
     Raises:
-        WarehouseError: when either side is empty.
+        WarehouseError: when either side is empty, or when the two sides
+            share no site at all (disjoint record sets) — naming both
+            sides, so "nothing to compare" never comes back as a silent
+            all-zero comparison.
     """
-    records_a = _as_records(a)
-    records_b = _as_records(b)
+    records_a = _as_records(a, "A")
+    records_b = _as_records(b, "B")
     uplt_a = _per_site_means(records_a, "uplt")
     uplt_b = _per_site_means(records_b, "uplt")
     onload_a = _per_site_means(records_a, "onload")
     onload_b = _per_site_means(records_b, "onload")
     common = sorted(set(uplt_a) & set(uplt_b))
+    if not common:
+        label_a, label_b = _side_label(records_a), _side_label(records_b)
+        raise WarehouseError(
+            f"cannot compare disjoint record sets: side A ({label_a}) and "
+            f"side B ({label_b}) share no site "
+            f"(A covers {len(uplt_a)} site(s), B covers {len(uplt_b)})"
+        )
     sites = []
     for site in common:
         has_onload = site in onload_a and site in onload_b

@@ -118,10 +118,20 @@ def spearman_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
 
     Raises:
         AnalysisError: mismatched lengths, fewer than two points, or a
-            sample whose ranks have zero variance (all values tied).
+            constant/all-tied sample (its ranks have zero variance, so the
+            correlation is undefined — never a silent NaN or
+            ZeroDivisionError).
     """
     if len(xs) != len(ys):
         raise AnalysisError("spearman correlation requires equal-length samples")
+    if len(xs) < 2:
+        raise AnalysisError("spearman correlation requires at least two points")
+    for name, values in (("x", xs), ("y", ys)):
+        if min(values) == max(values):
+            raise AnalysisError(
+                f"spearman correlation undefined: sample {name} is constant "
+                f"(all {len(values)} values tied at {values[0]!r})"
+            )
     return pearson_correlation(_average_ranks(xs), _average_ranks(ys))
 
 

@@ -549,6 +549,14 @@ class ResultsWarehouse:
             )
 
         body = _record_body(campaign, kind, uplt_by_site, metrics_by_site)
+        return self._land_body(body)
+
+    def _land_body(self, body: Dict[str, object]) -> WarehouseRecord:
+        """Hash, conflict-check, and atomically land one record body.
+
+        The shared tail of :meth:`ingest` and :meth:`ingest_analytics`:
+        idempotent for an already-stored id, append-only per campaign key.
+        """
         record_id = record_id_for(body)
         index = self._load_index()
         existing = index.get(record_id)
@@ -571,6 +579,50 @@ class ResultsWarehouse:
         record = WarehouseRecord(self.root, record_id, meta)
         record._body = body
         return record
+
+    #: Record kinds produced by the analytics layer (:mod:`repro.warehouse.trends`
+    #: and :mod:`repro.warehouse.triage`) rather than by campaign drivers.
+    ANALYTICS_KINDS = ("trend", "triage")
+
+    def ingest_analytics(self, body: Dict[str, object]) -> WarehouseRecord:
+        """Store one analytics record (kind ``"trend"`` or ``"triage"``).
+
+        Analytics records are *derived* records: deterministic canonical-JSON
+        reports computed from stored campaign records (their ``sources``
+        field names the input record ids).  They share the campaign records'
+        storage contract — content-addressed id, idempotent re-ingest,
+        append-only conflict on the campaign key, atomic landing — so the
+        analytics layer joins the verified surface instead of becoming an
+        untested reporting tail.
+
+        Args:
+            body: a complete record body as built by
+                :func:`repro.warehouse.trends.trend_record_body` or
+                :func:`repro.warehouse.triage.triage_record_body`.
+
+        Raises:
+            WarehouseError: when the body is not a well-formed analytics
+                record, or on an append-only campaign-key conflict.
+        """
+        for field_name in ("record_format", "kind", "campaign_id", "experiment_type",
+                           "rng_scheme", "network_profile", "seed", "scale", "sources"):
+            if field_name not in body:
+                raise WarehouseError(
+                    f"analytics record body is missing the {field_name!r} field"
+                )
+        if body["kind"] not in self.ANALYTICS_KINDS:
+            raise WarehouseError(
+                f"ingest_analytics only accepts kinds {self.ANALYTICS_KINDS}; "
+                f"got {body['kind']!r} (campaign results go through ingest())"
+            )
+        if body["experiment_type"] != "analytics":
+            raise WarehouseError(
+                f"analytics records must have experiment_type 'analytics'; "
+                f"got {body['experiment_type']!r}"
+            )
+        if "clean_dataset" in body:
+            raise WarehouseError("analytics records must not embed a clean_dataset")
+        return self._land_body(body)
 
     # -- retrieval ---------------------------------------------------------------
 

@@ -1,0 +1,508 @@
+"""Longitudinal trend queries and drift detection over warehouse records.
+
+The warehouse stores campaigns; this module is what Eyeorg-the-platform
+would run daily on top of it: line up every stored record of a campaign —
+across seeds, RNG schemes, and network profiles — into an ordered series of
+:class:`TrendPoint`\\ s, attach deterministic bootstrap confidence intervals
+to each point (reusing :func:`repro.warehouse.stats.bootstrap_mean_ci`, so
+intervals are bit-reproducible per record), and ask whether the
+UserPerceivedPLT / OnLoad distribution *moved* between any two points.
+
+Drift detection is deliberately transparent: a :class:`DriftReport` carries
+the aggregate shift, whether the two points' confidence intervals still
+overlap, and a **regression-attribution breakdown** — per-site, per-profile
+and per-scheme deltas ranked by magnitude — so "the campaign regressed"
+always comes with "and here is what moved".
+
+Everything here is a pure function of the stored record bodies: no
+wall-clock, no dict-order dependence (all groupings iterate in sorted
+order), no simulation runs.  A finished :class:`TrendReport` serialises to
+a canonical-JSON record (kind ``"trend"``) that
+:meth:`~repro.warehouse.store.ResultsWarehouse.ingest_analytics` lands back
+into the warehouse, where the ``triage`` golden kind pins it per RNG
+scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import AnalysisError
+from .stats import BootstrapCI, bootstrap_mean_ci
+from .store import RECORD_FORMAT, ResultsWarehouse, WarehouseRecord, canonical_json
+
+#: Bootstrap resamples per trend point (small: a point's sample is the
+#: per-site means, so heavier resampling buys nothing).
+TREND_RESAMPLES = 200
+
+#: Relative aggregate-mean shift above which two points count as drifted
+#: (5%; CI non-overlap also flags drift independently of this threshold).
+DEFAULT_DRIFT_THRESHOLD = 0.05
+
+#: Attribution dimensions, in report order.
+ATTRIBUTION_DIMENSIONS = ("site", "network_profile", "rng_scheme")
+
+
+def _repr_or_none(value: Optional[float]) -> Optional[str]:
+    return None if value is None else repr(value)
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One stored campaign record, summarised as a point on a trajectory.
+
+    Attributes:
+        record_id / campaign_id / kind: provenance of the source record.
+        rng_scheme / network_profile / seed: the trajectory axes.
+        participants / sites: the record's scale.
+        mean_uplt: mean of the per-site UserPerceivedPLT means (None when
+            the record stored no per-site UPLT, e.g. A/B records).
+        uplt_ci: deterministic bootstrap CI over the per-site means (None
+            when fewer than one site).
+        mean_onload: mean of the per-site machine OnLoad values (None when
+            the record stored no metrics).
+        uplt_by_site / onload_by_site: the per-site values themselves.
+    """
+
+    record_id: str
+    campaign_id: str
+    kind: str
+    rng_scheme: str
+    network_profile: Optional[str]
+    seed: int
+    participants: int
+    sites: int
+    mean_uplt: Optional[float]
+    uplt_ci: Optional[BootstrapCI]
+    mean_onload: Optional[float]
+    uplt_by_site: Dict[str, float]
+    onload_by_site: Dict[str, float]
+
+    @property
+    def label(self) -> str:
+        """Human-readable point label: scheme / profile / seed."""
+        return f"{self.rng_scheme}/{self.network_profile or '-'}/seed{self.seed}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical dict form (floats as ``repr`` strings)."""
+        ci = self.uplt_ci
+        return {
+            "record_id": self.record_id,
+            "campaign_id": self.campaign_id,
+            "kind": self.kind,
+            "label": self.label,
+            "rng_scheme": self.rng_scheme,
+            "network_profile": self.network_profile,
+            "seed": self.seed,
+            "participants": self.participants,
+            "sites": self.sites,
+            "mean_uplt": _repr_or_none(self.mean_uplt),
+            "uplt_ci": None if ci is None else {
+                "point": repr(ci.point), "low": repr(ci.low), "high": repr(ci.high),
+            },
+            "mean_onload": _repr_or_none(self.mean_onload),
+        }
+
+
+def trend_point(record: WarehouseRecord, resamples: int = TREND_RESAMPLES,
+                confidence: float = 0.95) -> TrendPoint:
+    """Summarise one stored record as a :class:`TrendPoint`.
+
+    A pure function of the record body: the bootstrap stream is seeded from
+    the record's own ``(seed, rng_scheme)`` and labelled with its campaign
+    id and record id (itself the hash of the body), so the CI is
+    bit-identical across runs, processes, and warehouse ingest orders.
+    """
+    body = record.load()
+    uplt_by_site = record.uplt_by_site()
+    onload_by_site = {
+        site: metrics["onload"]
+        for site, metrics in record.metrics_by_site().items() if "onload" in metrics
+    }
+    uplt_values = [uplt_by_site[site] for site in sorted(uplt_by_site)]
+    onload_values = [onload_by_site[site] for site in sorted(onload_by_site)]
+    ci = None
+    if uplt_values:
+        ci = bootstrap_mean_ci(
+            uplt_values, seed=record.seed, rng_scheme=record.rng_scheme,
+            label=f"trend:{record.campaign_id}:{record.record_id}",
+            resamples=resamples, confidence=confidence,
+        )
+    scale = body["scale"]
+    return TrendPoint(
+        record_id=record.record_id,
+        campaign_id=record.campaign_id,
+        kind=record.kind,
+        rng_scheme=record.rng_scheme,
+        network_profile=record.network_profile,
+        seed=record.seed,
+        participants=int(scale["participants"]),
+        sites=int(scale["sites"]),
+        mean_uplt=(sum(uplt_values) / len(uplt_values)) if uplt_values else None,
+        uplt_ci=ci,
+        mean_onload=(sum(onload_values) / len(onload_values)) if onload_values else None,
+        uplt_by_site=uplt_by_site,
+        onload_by_site=onload_by_site,
+    )
+
+
+def trend_points(records: Sequence[WarehouseRecord],
+                 resamples: int = TREND_RESAMPLES,
+                 confidence: float = 0.95) -> List[TrendPoint]:
+    """Every campaign record as a trend point, in deterministic axis order.
+
+    Analytics records (kinds ``trend`` / ``triage``) are skipped — trends
+    are computed *over* campaigns, not over earlier trend reports.  Points
+    sort by ``(campaign_id, rng_scheme, network_profile, seed, record_id)``
+    so the trajectory is stable under warehouse ingest-order permutation.
+    """
+    points = [
+        trend_point(record, resamples=resamples, confidence=confidence)
+        for record in records
+        if record.kind not in ResultsWarehouse.ANALYTICS_KINDS
+    ]
+    points.sort(key=lambda p: (p.campaign_id, p.rng_scheme,
+                               p.network_profile or "", p.seed, p.record_id))
+    return points
+
+
+PointSet = Union[TrendPoint, Sequence[TrendPoint]]
+
+
+def _as_points(side: PointSet, name: str) -> List[TrendPoint]:
+    points = [side] if isinstance(side, TrendPoint) else list(side)
+    if not points:
+        raise AnalysisError(f"drift detection needs at least one point on side {name}")
+    return points
+
+
+def _side_mean(points: List[TrendPoint]) -> Optional[float]:
+    values = [p.mean_uplt for p in points if p.mean_uplt is not None]
+    return (sum(values) / len(values)) if values else None
+
+
+def _per_site_side_means(points: List[TrendPoint], onload: bool) -> Dict[str, float]:
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for point in points:
+        values = point.onload_by_site if onload else point.uplt_by_site
+        for site in sorted(values):
+            sums[site] = sums.get(site, 0.0) + values[site]
+            counts[site] = counts.get(site, 0) + 1
+    return {site: sums[site] / counts[site] for site in sorted(sums)}
+
+
+def _grouped_means(points: List[TrendPoint], axis: str) -> Dict[str, float]:
+    """Mean point-UPLT per group along one axis ("network_profile"/"rng_scheme")."""
+    groups: Dict[str, List[float]] = {}
+    for point in points:
+        if point.mean_uplt is None:
+            continue
+        key = (point.network_profile or "-") if axis == "network_profile" else point.rng_scheme
+        groups.setdefault(key, []).append(point.mean_uplt)
+    return {key: sum(vals) / len(vals) for key, vals in sorted(groups.items())}
+
+
+@dataclass(frozen=True)
+class DriftEntry:
+    """One attribution row: what moved along one dimension, and by how much.
+
+    Attributes:
+        dimension: "site", "network_profile", or "rng_scheme".
+        name: the site id / profile name / scheme name.
+        before / after: the dimension's mean UPLT on each side (seconds).
+        delta: after minus before (negative = got faster).
+    """
+
+    dimension: str
+    name: str
+    before: float
+    after: float
+    delta: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dimension": self.dimension,
+            "name": self.name,
+            "before": repr(self.before),
+            "after": repr(self.after),
+            "delta": repr(self.delta),
+        }
+
+
+@dataclass
+class DriftReport:
+    """Did the distribution move between two point sets — and what moved?
+
+    Attributes:
+        label_a / label_b: the sides' point labels (joined when multiple).
+        points_a / points_b: how many points each side aggregates.
+        mean_a / mean_b: aggregate UPLT per side (unweighted mean of point
+            means; None when a side has no UPLT-bearing points).
+        delta: ``mean_b - mean_a`` (0.0 when either side is empty of UPLT).
+        relative_delta: ``delta / |mean_a|`` (0.0 for a zero baseline with
+            zero delta; ``inf`` for a zero baseline that still moved).
+        ci_overlap: whether the two sides' bootstrap CIs overlap (only
+            computed for single-point sides that both carry a CI; None
+            otherwise).
+        threshold: the relative threshold this report was judged against.
+        drifted: ``|relative_delta| > threshold`` or CI non-overlap.
+        attribution: every per-site / per-profile / per-scheme delta, ranked
+            by magnitude (largest first; ties break on dimension then name).
+    """
+
+    label_a: str
+    label_b: str
+    points_a: int
+    points_b: int
+    mean_a: Optional[float]
+    mean_b: Optional[float]
+    delta: float
+    relative_delta: float
+    ci_overlap: Optional[bool]
+    threshold: float
+    drifted: bool
+    attribution: List[DriftEntry] = field(default_factory=list)
+
+    def top_movers(self, count: int = 5) -> List[DriftEntry]:
+        """The ``count`` largest attribution entries."""
+        return self.attribution[:count]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical dict form (floats as ``repr`` strings)."""
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "points_a": self.points_a,
+            "points_b": self.points_b,
+            "mean_a": _repr_or_none(self.mean_a),
+            "mean_b": _repr_or_none(self.mean_b),
+            "delta": repr(self.delta),
+            "relative_delta": repr(self.relative_delta),
+            "ci_overlap": self.ci_overlap,
+            "threshold": repr(self.threshold),
+            "drifted": self.drifted,
+            "attribution": [entry.as_dict() for entry in self.attribution],
+        }
+
+
+def detect_drift(a: PointSet, b: PointSet,
+                 threshold: float = DEFAULT_DRIFT_THRESHOLD) -> DriftReport:
+    """Flag a distribution shift between two trend point sets (B vs A).
+
+    Each side may be one point or many (e.g. every record of one month
+    against every record of the next).  The verdict combines a relative
+    aggregate-mean test with a CI-overlap test (for single-point sides);
+    the attribution breakdown reports which site / network profile / RNG
+    scheme moved, ranked by delta magnitude.
+
+    Raises:
+        AnalysisError: when either side is empty or ``threshold`` is not
+            positive.
+    """
+    if threshold <= 0.0:
+        raise AnalysisError("drift threshold must be positive")
+    points_a = _as_points(a, "A")
+    points_b = _as_points(b, "B")
+    mean_a = _side_mean(points_a)
+    mean_b = _side_mean(points_b)
+    if mean_a is None or mean_b is None:
+        delta = 0.0
+        relative = 0.0
+    else:
+        delta = mean_b - mean_a
+        if mean_a == 0.0:
+            relative = 0.0 if delta == 0.0 else float("inf")
+        else:
+            relative = delta / abs(mean_a)
+
+    ci_overlap: Optional[bool] = None
+    if (len(points_a) == 1 and len(points_b) == 1
+            and points_a[0].uplt_ci is not None and points_b[0].uplt_ci is not None):
+        ci_a, ci_b = points_a[0].uplt_ci, points_b[0].uplt_ci
+        ci_overlap = not (ci_a.high < ci_b.low or ci_b.high < ci_a.low)
+
+    attribution: List[DriftEntry] = []
+    site_a = _per_site_side_means(points_a, onload=False)
+    site_b = _per_site_side_means(points_b, onload=False)
+    for site in sorted(set(site_a) & set(site_b)):
+        attribution.append(DriftEntry(
+            dimension="site", name=site, before=site_a[site], after=site_b[site],
+            delta=site_b[site] - site_a[site],
+        ))
+    for axis in ("network_profile", "rng_scheme"):
+        groups_a = _grouped_means(points_a, axis)
+        groups_b = _grouped_means(points_b, axis)
+        for name in sorted(set(groups_a) & set(groups_b)):
+            attribution.append(DriftEntry(
+                dimension=axis, name=name, before=groups_a[name], after=groups_b[name],
+                delta=groups_b[name] - groups_a[name],
+            ))
+    attribution.sort(key=lambda e: (-abs(e.delta), e.dimension, e.name))
+
+    return DriftReport(
+        label_a="+".join(sorted({p.label for p in points_a})),
+        label_b="+".join(sorted({p.label for p in points_b})),
+        points_a=len(points_a),
+        points_b=len(points_b),
+        mean_a=mean_a,
+        mean_b=mean_b,
+        delta=delta,
+        relative_delta=relative,
+        ci_overlap=ci_overlap,
+        threshold=threshold,
+        drifted=bool(abs(relative) > threshold or ci_overlap is False),
+        attribution=attribution,
+    )
+
+
+@dataclass
+class TrendReport:
+    """The full longitudinal view of one campaign id (or a whole store).
+
+    Attributes:
+        campaign_id: the campaign the trend groups (None = every campaign).
+        points: the ordered trajectory (see :func:`trend_points`).
+        site_trajectories: per-site UPLT value per point (None where a
+            point did not cover the site), keyed by site id.
+        drift: endpoint drift report (first vs last point; None with fewer
+            than two points).
+        resamples / confidence: the bootstrap parameters the CIs used.
+    """
+
+    campaign_id: Optional[str]
+    points: List[TrendPoint]
+    site_trajectories: Dict[str, List[Optional[float]]]
+    drift: Optional[DriftReport]
+    resamples: int
+    confidence: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical dict form (floats as ``repr`` strings)."""
+        return {
+            "campaign_id": self.campaign_id,
+            "resamples": self.resamples,
+            "confidence": repr(self.confidence),
+            "points": [point.as_dict() for point in self.points],
+            "site_trajectories": {
+                site: [_repr_or_none(value) for value in values]
+                for site, values in sorted(self.site_trajectories.items())
+            },
+            "drift": None if self.drift is None else self.drift.as_dict(),
+        }
+
+
+def compute_trend(records: Sequence[WarehouseRecord],
+                  campaign_id: Optional[str] = None,
+                  resamples: int = TREND_RESAMPLES,
+                  confidence: float = 0.95,
+                  drift_threshold: float = DEFAULT_DRIFT_THRESHOLD) -> TrendReport:
+    """Build the trend report for ``campaign_id`` over a record set.
+
+    Args:
+        records: the candidate records (typically ``warehouse.records()``).
+        campaign_id: restrict to one campaign id (None = all campaigns,
+            still deterministically ordered).
+        resamples / confidence: bootstrap CI parameters per point.
+        drift_threshold: relative shift flagged by the endpoint drift test.
+
+    Raises:
+        AnalysisError: when no campaign record matches.
+    """
+    candidates = [
+        record for record in records
+        if campaign_id is None or record.campaign_id == campaign_id
+    ]
+    points = trend_points(candidates, resamples=resamples, confidence=confidence)
+    if not points:
+        raise AnalysisError(
+            f"no campaign records to trend"
+            + (f" for campaign {campaign_id!r}" if campaign_id else "")
+        )
+    sites = sorted({site for point in points for site in point.uplt_by_site})
+    site_trajectories = {
+        site: [point.uplt_by_site.get(site) for point in points] for site in sites
+    }
+    drift = None
+    if len(points) >= 2:
+        drift = detect_drift(points[0], points[-1], threshold=drift_threshold)
+    return TrendReport(
+        campaign_id=campaign_id,
+        points=points,
+        site_trajectories=site_trajectories,
+        drift=drift,
+        resamples=resamples,
+        confidence=confidence,
+    )
+
+
+# -- warehouse ingestion of trend reports ----------------------------------------
+
+
+def analytics_campaign_id(kind: str, target: str, sources: Sequence[str],
+                          params: Dict[str, object]) -> str:
+    """The derived campaign id of one analytics record.
+
+    Embeds a digest of the source record ids and analysis parameters, so
+    re-running the same analysis over the same inputs is an idempotent
+    re-ingest while a changed input set (new campaigns ingested) lands as a
+    *new* record instead of tripping the append-only conflict check.
+    """
+    fingerprint = canonical_json({"sources": sorted(sources), "params": params})
+    digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:12]
+    safe_target = "".join(c if c.isalnum() or c in "-_." else "-" for c in target)
+    return f"{kind}:{safe_target}:{digest}"
+
+
+def _axis_value(values: List) -> Tuple[object, object]:
+    """(scheme, profile) summary of a source set: the sole value or a marker."""
+    unique = sorted({v for v in values}, key=lambda v: (v is None, str(v)))
+    if len(unique) == 1:
+        return unique[0], True
+    return None, False
+
+
+def trend_record_body(report: TrendReport) -> Dict[str, object]:
+    """The canonical warehouse record body (kind ``"trend"``) of a report.
+
+    Index axes are derived from the source points: the sole RNG scheme when
+    every point shares one (the marker ``"mixed"`` otherwise), likewise the
+    network profile (None when mixed), the minimum seed, and a scale
+    aggregating total participants and distinct sites.
+    """
+    if not report.points:
+        raise AnalysisError("cannot build a trend record from an empty report")
+    schemes = [p.rng_scheme for p in report.points]
+    profiles = [p.network_profile for p in report.points]
+    sole_scheme, scheme_uniform = _axis_value(schemes)
+    sole_profile, profile_uniform = _axis_value(profiles)
+    sources = sorted(p.record_id for p in report.points)
+    params = {
+        "resamples": report.resamples,
+        "confidence": repr(report.confidence),
+        "drift_threshold": repr(report.drift.threshold) if report.drift else None,
+    }
+    target = report.campaign_id or "all"
+    return {
+        "record_format": RECORD_FORMAT,
+        "kind": "trend",
+        "campaign_id": analytics_campaign_id("trend", target, sources, params),
+        "experiment_type": "analytics",
+        "rng_scheme": sole_scheme if scheme_uniform else "mixed",
+        "network_profile": sole_profile if profile_uniform else None,
+        "seed": min(p.seed for p in report.points),
+        "scale": {
+            "participants": sum(p.participants for p in report.points),
+            "sites": len(report.site_trajectories),
+            "videos_per_participant": 0,
+        },
+        "sources": sources,
+        "trend": report.as_dict(),
+    }
+
+
+def ingest_trend(warehouse: ResultsWarehouse, report: TrendReport) -> WarehouseRecord:
+    """Land a trend report back into the warehouse as a ``"trend"`` record."""
+    return warehouse.ingest_analytics(trend_record_body(report))

@@ -1,0 +1,519 @@
+"""Deterministic quality triage of stored campaign records.
+
+Eyeorg's crowd data is only as good as the crowd: a campaign can finish
+"successfully" and still be untrustworthy — raters who barely agree,
+filters that rejected a third of the responses, a fault plan that
+quarantined half the corpus.  This module scores every stored campaign
+record with **weighted hints** against fixed thresholds (the rule-engine
+design of the C-BPMN context-classification line in PAPERS.md: hint
+weights → thresholds → bucket + confidence + transparent report) and sorts
+it into one of four quality buckets:
+
+=====================  ===========================================================
+bucket                 meaning
+=====================  ===========================================================
+``healthy``            no hint fired beyond the healthy ceiling
+``low-agreement``      the crowd (or crowd-vs-machine) agreement hint dominates
+``suspect-filtering``  the filter-rejection hint dominates
+``needs-review``       resilience losses dominate, signals conflict, or the
+                       verdict's confidence fell below the routing floor
+=====================  ===========================================================
+
+Four hints feed the score (weights in :data:`HINT_WEIGHTS`, thresholds in
+:data:`HINT_THRESHOLDS`):
+
+* ``agreement`` — Fleiss' kappa over the A/B responses (A/B records) or
+  the Spearman rank correlation of per-site UPLT against machine OnLoad
+  (timeline records); *low* values fire the hint.
+* ``filter_rejection`` — the share of served video tasks the wisdom-of-
+  the-crowd filters rejected; *high* values fire it.
+* ``resilience_losses`` — participant dropouts plus quarantined sites from
+  the record's fault-plan provenance, relative to the campaign scale.
+* ``ci_width`` — relative width of the deterministic bootstrap CI over the
+  per-site UPLT means (reusing :func:`~repro.warehouse.stats
+  .bootstrap_mean_ci`); wide intervals mean noisy estimates.
+
+The verdict is a **pure function of the record body**: fixed hint
+iteration order, no wall-clock, no dict-order dependence, bootstrap
+streams seeded from the record's own ``(seed, rng_scheme)``.  Confidence
+is the dominant bucket's share of the fired weight, discounted by the
+weight of hints that could not be evaluated; verdicts below
+:data:`MIN_CONFIDENCE` are **flagged and routed** to ``needs-review`` —
+never silently bucketed — with the provisional bucket preserved in the
+report.  A finished :class:`TriageReport` serialises to a canonical-JSON
+record (kind ``"triage"``) ingestible back into the warehouse and pinned
+per RNG scheme by the ``triage`` golden kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .stats import bootstrap_mean_ci, fleiss_kappa, spearman_correlation
+from .store import RECORD_FORMAT, ResultsWarehouse, WarehouseRecord
+from .trends import analytics_campaign_id, _axis_value
+
+#: The four quality buckets, in deterministic tie-break priority order
+#: (earlier wins a tied dominant-weight contest).
+BUCKET_HEALTHY = "healthy"
+BUCKET_LOW_AGREEMENT = "low-agreement"
+BUCKET_SUSPECT_FILTERING = "suspect-filtering"
+BUCKET_NEEDS_REVIEW = "needs-review"
+BUCKETS = (BUCKET_HEALTHY, BUCKET_LOW_AGREEMENT, BUCKET_SUSPECT_FILTERING,
+           BUCKET_NEEDS_REVIEW)
+
+#: Hint evaluation order (fixed: the engine never iterates a dict).
+HINT_ORDER = ("agreement", "filter_rejection", "resilience_losses", "ci_width")
+
+#: Weight of each hint in the triage score (sums to 1.0).
+HINT_WEIGHTS: Dict[str, float] = {
+    "agreement": 0.35,
+    "filter_rejection": 0.30,
+    "resilience_losses": 0.20,
+    "ci_width": 0.15,
+}
+
+#: Firing thresholds per hint.  ``agreement`` has two (kappa for A/B
+#: records, Spearman rho for timeline records); both fire on values
+#: *below* the threshold, the others on values *above*.
+HINT_THRESHOLDS: Dict[str, float] = {
+    "agreement_kappa": 0.3,
+    "agreement_spearman": 0.5,
+    "filter_rejection": 0.35,
+    "resilience_losses": 0.20,
+    "ci_width": 0.40,
+}
+
+#: Which bucket each hint argues for when it fires.
+HINT_BUCKETS: Dict[str, str] = {
+    "agreement": BUCKET_LOW_AGREEMENT,
+    "filter_rejection": BUCKET_SUSPECT_FILTERING,
+    "resilience_losses": BUCKET_NEEDS_REVIEW,
+    "ci_width": BUCKET_LOW_AGREEMENT,
+}
+
+#: Total fired weight at or below which a record stays ``healthy``.
+HEALTHY_CEILING = 0.2
+
+#: Confidence floor: verdicts below it are flagged and routed to
+#: ``needs-review`` instead of being silently bucketed.
+MIN_CONFIDENCE = 0.6
+
+#: Bootstrap resamples of the ``ci_width`` hint.
+TRIAGE_RESAMPLES = 200
+
+
+@dataclass(frozen=True)
+class TriageHint:
+    """One evaluated hint: the transparent row of a verdict's report.
+
+    Attributes:
+        name: hint name (see :data:`HINT_ORDER`).
+        weight: its share of the triage score.
+        bucket: the bucket it argues for when fired.
+        value: the measured quantity (None when unavailable).
+        threshold: the firing threshold applied (None when unavailable).
+        fires_below: True when values *below* the threshold fire the hint.
+        triggered: whether the hint fired.
+        available: whether the hint could be evaluated on this record.
+        detail: one-line human-readable explanation.
+    """
+
+    name: str
+    weight: float
+    bucket: str
+    value: Optional[float]
+    threshold: Optional[float]
+    fires_below: bool
+    triggered: bool
+    available: bool
+    detail: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "weight": repr(self.weight),
+            "bucket": self.bucket,
+            "value": None if self.value is None else repr(self.value),
+            "threshold": None if self.threshold is None else repr(self.threshold),
+            "fires_below": self.fires_below,
+            "triggered": self.triggered,
+            "available": self.available,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class TriageVerdict:
+    """The full triage outcome for one record.
+
+    Attributes:
+        record_id / campaign_id / kind / rng_scheme: record provenance.
+        bucket: the final bucket (``needs-review`` when routed).
+        provisional_bucket: the bucket the hints argued for before the
+            confidence floor was applied (equals ``bucket`` when unrouted).
+        confidence: dominant-bucket share of the fired weight, discounted
+            by unavailable-hint weight (in [0, 1]).
+        score: total fired weight (in [0, 1]).
+        flagged: True when the verdict was routed for low confidence.
+        hints: every evaluated hint, in :data:`HINT_ORDER`.
+    """
+
+    record_id: str
+    campaign_id: str
+    kind: str
+    rng_scheme: str
+    bucket: str
+    provisional_bucket: str
+    confidence: float
+    score: float
+    flagged: bool
+    hints: Tuple[TriageHint, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "record_id": self.record_id,
+            "campaign_id": self.campaign_id,
+            "kind": self.kind,
+            "rng_scheme": self.rng_scheme,
+            "bucket": self.bucket,
+            "provisional_bucket": self.provisional_bucket,
+            "confidence": repr(self.confidence),
+            "score": repr(self.score),
+            "flagged": self.flagged,
+            "hints": [hint.as_dict() for hint in self.hints],
+        }
+
+
+# -- hint evaluation -------------------------------------------------------------
+
+
+def _unavailable(name: str, detail: str) -> TriageHint:
+    return TriageHint(
+        name=name, weight=HINT_WEIGHTS[name], bucket=HINT_BUCKETS[name],
+        value=None, threshold=None, fires_below=False, triggered=False,
+        available=False, detail=detail,
+    )
+
+
+def _hint(name: str, value: float, threshold: float, fires_below: bool,
+          detail: str) -> TriageHint:
+    triggered = value < threshold if fires_below else value > threshold
+    return TriageHint(
+        name=name, weight=HINT_WEIGHTS[name], bucket=HINT_BUCKETS[name],
+        value=value, threshold=threshold, fires_below=fires_below,
+        triggered=triggered, available=True, detail=detail,
+    )
+
+
+def _floats(stored: Optional[Dict[str, str]]) -> Dict[str, float]:
+    return {key: float(value) for key, value in (stored or {}).items()}
+
+
+def _hint_agreement(body: Dict[str, object]) -> TriageHint:
+    """A/B records: Fleiss' kappa; timeline records: UPLT-vs-OnLoad Spearman."""
+    if body.get("experiment_type") == "ab":
+        by_pair: Dict[str, Dict[str, int]] = {}
+        for response in (body.get("clean_dataset") or {}).get("ab_responses") or []:
+            if response.get("is_control"):
+                continue
+            counts = by_pair.setdefault(str(response["pair_id"]), {})
+            choice = str(response["choice"])
+            counts[choice] = counts.get(choice, 0) + 1
+        try:
+            report = fleiss_kappa([by_pair[pair] for pair in sorted(by_pair)])
+        except AnalysisError as exc:
+            return _unavailable("agreement", f"kappa undefined: {exc}")
+        threshold = HINT_THRESHOLDS["agreement_kappa"]
+        return _hint(
+            "agreement", report.fleiss_kappa, threshold, fires_below=True,
+            detail=(f"Fleiss kappa over {report.items} A/B pair(s); "
+                    f"fires below {threshold}"),
+        )
+    uplt = _floats(body.get("uplt_by_site"))
+    onload: Dict[str, float] = {}
+    for site, metrics in (body.get("metrics_by_site") or {}).items():
+        try:
+            onload[site] = float(metrics["onload"])
+        except (KeyError, TypeError, ValueError):
+            continue  # metric absent or stored as repr(None)
+    common = sorted(set(uplt) & set(onload))
+    if len(common) < 2:
+        return _unavailable(
+            "agreement",
+            f"UPLT-vs-OnLoad agreement needs >=2 sites with both values "
+            f"(got {len(common)})",
+        )
+    try:
+        rho = spearman_correlation([onload[s] for s in common],
+                                   [uplt[s] for s in common])
+    except AnalysisError as exc:
+        return _unavailable("agreement", f"spearman undefined: {exc}")
+    threshold = HINT_THRESHOLDS["agreement_spearman"]
+    return _hint(
+        "agreement", rho, threshold, fires_below=True,
+        detail=(f"Spearman rho of UPLT vs OnLoad over {len(common)} site(s); "
+                f"fires below {threshold}"),
+    )
+
+
+def _hint_filter_rejection(body: Dict[str, object]) -> TriageHint:
+    summary = body.get("filter_summary") or {}
+    dropped = sum(int(count) for _, count in sorted(summary.items()))
+    served = int(body.get("videos_served") or 0)
+    if served <= 0:
+        return _unavailable("filter_rejection", "no served video tasks recorded")
+    rate = dropped / served
+    threshold = HINT_THRESHOLDS["filter_rejection"]
+    return _hint(
+        "filter_rejection", rate, threshold, fires_below=False,
+        detail=(f"{dropped} of {served} served tasks rejected by the filters; "
+                f"fires above {threshold:.0%}"),
+    )
+
+
+def _hint_resilience(body: Dict[str, object]) -> TriageHint:
+    scale = body.get("scale") or {}
+    participants = int(scale.get("participants") or 0)
+    sites = int(scale.get("sites") or 0)
+    resilience = body.get("resilience")
+    threshold = HINT_THRESHOLDS["resilience_losses"]
+    if resilience is None:
+        return _hint(
+            "resilience_losses", 0.0, threshold, fires_below=False,
+            detail="fault-free run (no resilience provenance stored)",
+        )
+    dropouts = len(resilience.get("dropouts") or {})
+    quarantined = len(resilience.get("quarantined_sites") or [])
+    if participants <= 0 and sites <= 0:
+        return _unavailable("resilience_losses", "record stores no scale to normalise by")
+    rate = 0.0
+    if participants > 0:
+        rate += dropouts / participants
+    if sites > 0:
+        rate += quarantined / sites
+    return _hint(
+        "resilience_losses", rate, threshold, fires_below=False,
+        detail=(f"{dropouts} dropout(s) / {participants} participants + "
+                f"{quarantined} quarantined of {sites} site(s); "
+                f"fires above {threshold}"),
+    )
+
+
+def _hint_ci_width(body: Dict[str, object], record_id: str,
+                   resamples: int) -> TriageHint:
+    uplt = _floats(body.get("uplt_by_site"))
+    if not uplt:
+        return _unavailable("ci_width", "record stores no per-site UPLT")
+    values = [uplt[site] for site in sorted(uplt)]
+    ci = bootstrap_mean_ci(
+        values, seed=int(body["seed"]), rng_scheme=str(body["rng_scheme"]),
+        label=f"triage:{body['campaign_id']}:{record_id}",
+        resamples=resamples,
+    )
+    if ci.point <= 0.0:
+        return _unavailable("ci_width", "non-positive mean UPLT; relative width undefined")
+    width = (ci.high - ci.low) / ci.point
+    threshold = HINT_THRESHOLDS["ci_width"]
+    return _hint(
+        "ci_width", width, threshold, fires_below=False,
+        detail=(f"bootstrap CI [{ci.low:.3f}, {ci.high:.3f}] around {ci.point:.3f}s "
+                f"over {len(values)} site(s); fires above {threshold:.0%} relative width"),
+    )
+
+
+# -- the engine ------------------------------------------------------------------
+
+
+def triage_body(body: Dict[str, object], record_id: str,
+                resamples: int = TRIAGE_RESAMPLES) -> TriageVerdict:
+    """Triage one record body (the pure core of the engine).
+
+    Deterministic: the same body always yields the same verdict, whatever
+    the dict key order, the process, or the warehouse it came from.
+    """
+    hints = (
+        _hint_agreement(body),
+        _hint_filter_rejection(body),
+        _hint_resilience(body),
+        _hint_ci_width(body, record_id, resamples),
+    )
+    score = sum(h.weight for h in hints if h.triggered)
+    unknown_weight = sum(h.weight for h in hints if not h.available)
+
+    if score <= HEALTHY_CEILING:
+        provisional = BUCKET_HEALTHY
+        confidence = (1.0 - score) * (1.0 - unknown_weight)
+    else:
+        bucket_weights = {bucket: 0.0 for bucket in BUCKETS}
+        for hint in hints:
+            if hint.triggered:
+                bucket_weights[hint.bucket] += hint.weight
+        # Deterministic argmax: BUCKETS order breaks exact ties.
+        provisional = max(BUCKETS, key=lambda b: (bucket_weights[b], -BUCKETS.index(b)))
+        confidence = (bucket_weights[provisional] / score) * (1.0 - unknown_weight)
+
+    flagged = confidence < MIN_CONFIDENCE
+    return TriageVerdict(
+        record_id=record_id,
+        campaign_id=str(body["campaign_id"]),
+        kind=str(body["kind"]),
+        rng_scheme=str(body["rng_scheme"]),
+        bucket=BUCKET_NEEDS_REVIEW if flagged else provisional,
+        provisional_bucket=provisional,
+        confidence=confidence,
+        score=score,
+        flagged=flagged,
+        hints=hints,
+    )
+
+
+def triage_record(record: WarehouseRecord,
+                  resamples: int = TRIAGE_RESAMPLES) -> TriageVerdict:
+    """Triage one stored record (loads and verifies the body first)."""
+    return triage_body(record.load(), record.record_id, resamples=resamples)
+
+
+@dataclass
+class TriageReport:
+    """Verdicts for a set of records, plus the engine configuration used.
+
+    Attributes:
+        verdicts: one per record, sorted by (campaign id, record id).
+        resamples: bootstrap resamples of the ``ci_width`` hint.
+    """
+
+    verdicts: List[TriageVerdict]
+    resamples: int = TRIAGE_RESAMPLES
+
+    @property
+    def bucket_counts(self) -> Dict[str, int]:
+        """Records per final bucket (every bucket present, zero or not)."""
+        counts = {bucket: 0 for bucket in BUCKETS}
+        for verdict in self.verdicts:
+            counts[verdict.bucket] += 1
+        return counts
+
+    @property
+    def flagged(self) -> List[str]:
+        """Record ids routed to review for low confidence, sorted."""
+        return sorted(v.record_id for v in self.verdicts if v.flagged)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical dict form (floats as ``repr`` strings)."""
+        return {
+            "engine": {
+                "weights": {name: repr(HINT_WEIGHTS[name]) for name in HINT_ORDER},
+                "thresholds": {
+                    name: repr(value) for name, value in sorted(HINT_THRESHOLDS.items())
+                },
+                "healthy_ceiling": repr(HEALTHY_CEILING),
+                "min_confidence": repr(MIN_CONFIDENCE),
+                "resamples": self.resamples,
+            },
+            "bucket_counts": self.bucket_counts,
+            "flagged": self.flagged,
+            "verdicts": [verdict.as_dict() for verdict in self.verdicts],
+        }
+
+
+def triage_records(records: Sequence[WarehouseRecord],
+                   resamples: int = TRIAGE_RESAMPLES) -> TriageReport:
+    """Triage a record set (campaign records only; analytics kinds skipped).
+
+    Raises:
+        AnalysisError: when no campaign record is left to triage.
+    """
+    verdicts = [
+        triage_record(record, resamples=resamples)
+        for record in records
+        if record.kind not in ResultsWarehouse.ANALYTICS_KINDS
+    ]
+    verdicts.sort(key=lambda v: (v.campaign_id, v.record_id))
+    if not verdicts:
+        raise AnalysisError("no campaign records to triage")
+    return TriageReport(verdicts=verdicts, resamples=resamples)
+
+
+def triage_warehouse(warehouse: ResultsWarehouse,
+                     kind: Optional[str] = None,
+                     scheme: Optional[str] = None,
+                     campaign_id: Optional[str] = None,
+                     resamples: int = TRIAGE_RESAMPLES) -> TriageReport:
+    """Triage every (matching) campaign record of a warehouse.
+
+    The verdict list is sorted by (campaign id, record id), so the report —
+    and the record body built from it — is bit-identical whatever order the
+    records were ingested in.
+    """
+    records = warehouse.query(kind=kind, scheme=scheme, campaign_id=campaign_id)
+    return triage_records(records, resamples=resamples)
+
+
+# -- warehouse ingestion of triage reports ---------------------------------------
+
+
+def triage_record_body(report: TriageReport) -> Dict[str, object]:
+    """The canonical warehouse record body (kind ``"triage"``) of a report."""
+    if not report.verdicts:
+        raise AnalysisError("cannot build a triage record from an empty report")
+    sources = sorted(v.record_id for v in report.verdicts)
+    sole_scheme, scheme_uniform = _axis_value([v.rng_scheme for v in report.verdicts])
+    params = {
+        "weights": {name: repr(HINT_WEIGHTS[name]) for name in HINT_ORDER},
+        "thresholds": {n: repr(v) for n, v in sorted(HINT_THRESHOLDS.items())},
+        "healthy_ceiling": repr(HEALTHY_CEILING),
+        "min_confidence": repr(MIN_CONFIDENCE),
+        "resamples": report.resamples,
+    }
+    return {
+        "record_format": RECORD_FORMAT,
+        "kind": "triage",
+        "campaign_id": analytics_campaign_id("triage", "warehouse", sources, params),
+        "experiment_type": "analytics",
+        "rng_scheme": sole_scheme if scheme_uniform else "mixed",
+        "network_profile": None,
+        "seed": 0,
+        "scale": {
+            "participants": len(report.verdicts),
+            "sites": 0,
+            "videos_per_participant": 0,
+        },
+        "sources": sources,
+        "triage": report.as_dict(),
+    }
+
+
+def ingest_triage(warehouse: ResultsWarehouse, report: TriageReport) -> WarehouseRecord:
+    """Land a triage report back into the warehouse as a ``"triage"`` record."""
+    return warehouse.ingest_analytics(triage_record_body(report))
+
+
+def resolve_auto_triage(triage: Optional[bool]) -> bool:
+    """Resolve a driver's ``triage=`` argument against the library default.
+
+    An explicit True/False wins; None falls back to
+    :attr:`repro.config.ReproConfig.auto_triage` on the module-level
+    ``DEFAULT_CONFIG`` (read at call time, so swapping in a configured
+    instance flips every driver at once).
+    """
+    if triage is not None:
+        return bool(triage)
+    from .. import config
+
+    return bool(config.DEFAULT_CONFIG.auto_triage)
+
+
+def auto_triage_ingested(warehouse: ResultsWarehouse,
+                         records: Sequence[WarehouseRecord]) -> WarehouseRecord:
+    """Driver hook: triage freshly-ingested records and store the verdicts.
+
+    Called by the :mod:`repro.experiments` drivers when ``triage=True`` (or
+    :attr:`repro.config.ReproConfig.auto_triage` is set): the records a
+    driver just ingested are scored immediately, and the triage record
+    lands in the same warehouse — so quality provenance accumulates beside
+    the campaigns themselves.
+    """
+    return ingest_triage(warehouse, triage_records(records))

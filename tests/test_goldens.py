@@ -20,10 +20,12 @@ from repro.goldens import (
     GOLDEN_SEED,
     SCALES,
     SWEEP_SCALES,
+    TRIAGE_SCALES,
     WAREHOUSE_SCALES,
     diff_fault_snapshots,
     diff_snapshots,
     diff_sweep_snapshots,
+    diff_triage_snapshots,
     diff_warehouse_snapshots,
     golden_path,
     load_golden,
@@ -265,6 +267,59 @@ def test_fault_diff_detects_tampered_record_id_and_quarantine():
 @pytest.mark.parametrize("scheme", RNG_SCHEMES)
 def test_small_fault_golden_reproduces_bit_for_bit(scheme):
     assert verify_golden(scheme, "small", kind="faults") == []
+
+
+# -- the trend + triage analytics goldens -----------------------------------------
+
+
+def test_store_holds_triage_goldens_for_every_scheme():
+    names = {path.name for path in stored_goldens()}
+    for scheme in RNG_SCHEMES:
+        assert golden_path(scheme, "small", kind="triage").name in names
+
+
+def test_triage_golden_pins_the_analytics_contract():
+    for scheme in RNG_SCHEMES:
+        snapshot = load_golden(scheme, "small", kind="triage")
+        assert snapshot["kind"] == "triage-analytics"
+        # The hard contracts: recomputing the analytics over the same store
+        # and re-ingesting the campaigns in reverse order both reproduce
+        # the trend and triage record bodies byte for byte.
+        assert snapshot["recompute_identical"] is True
+        assert snapshot["permutation_identical"] is True
+        assert snapshot["campaign_records"] == TRIAGE_SCALES["small"]["seeds"]
+        assert len(snapshot["trend_record_id"]) == 64
+        assert len(snapshot["triage_record_id"]) == 64
+        trend = snapshot["trend"]
+        assert len(trend["points"]) == TRIAGE_SCALES["small"]["seeds"]
+        assert trend["drift"] is not None
+        triage = snapshot["triage"]
+        assert sum(triage["bucket_counts"].values()) == len(triage["verdicts"])
+        for verdict in triage["verdicts"]:
+            assert [hint["name"] for hint in verdict["hints"]] == [
+                "agreement", "filter_rejection", "resilience_losses", "ci_width",
+            ]
+    # The analytics flow through the scheme-seeded bootstrap, so every
+    # scheme pins different record ids.
+    ids = {load_golden(s, "small", kind="triage")["triage_record_id"] for s in RNG_SCHEMES}
+    assert len(ids) == len(RNG_SCHEMES)
+
+
+def test_triage_diff_detects_tampered_verdict_and_record_id():
+    golden = load_golden(RNG_SCHEMES[0], "small", kind="triage")
+    tampered = json.loads(json.dumps(golden))
+    tampered["triage_record_id"] = "0" * 64
+    tampered["triage"]["verdicts"][0]["bucket"] = "needs-review"
+    differences = diff_triage_snapshots(golden, tampered)
+    assert any(line.startswith("triage_record_id:") for line in differences)
+    assert any("verdicts" in line and "bucket" in line for line in differences)
+
+
+@pytest.mark.goldens
+@pytest.mark.analytics
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_small_triage_golden_reproduces_bit_for_bit(scheme):
+    assert verify_golden(scheme, "small", kind="triage") == []
 
 
 # -- tier-2: bench- and full-scale reproduction ---------------------------------

@@ -1,0 +1,335 @@
+"""Tests for the longitudinal analytics layer: trends, drift, and triage.
+
+The hard contracts here are determinism contracts: trend and triage
+reports over the same warehouse are byte-identical across repeated runs
+and across ingest-order permutations, and every triage verdict is a pure
+function of the record body.  The suite is tier-1 and carries the
+``analytics`` marker (`-m analytics` selects the whole family).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError, WarehouseError
+from repro.rng import (
+    RNG_SCHEMES,
+    SCHEME_SHA256_V1,
+    SCHEME_SPLITMIX64_BATCH_V3,
+)
+from repro.warehouse import (
+    ResultsWarehouse,
+    bootstrap_mean_ci,
+    canonical_json,
+    compute_trend,
+    detect_drift,
+    fleiss_kappa,
+    ingest_trend,
+    ingest_triage,
+    spearman_correlation,
+    trend_points,
+    trend_record_body,
+    triage_body,
+    triage_record,
+    triage_record_body,
+    triage_warehouse,
+)
+from repro.warehouse.triage import (
+    BUCKET_HEALTHY,
+    BUCKET_LOW_AGREEMENT,
+    BUCKET_NEEDS_REVIEW,
+    HINT_ORDER,
+    MIN_CONFIDENCE,
+    resolve_auto_triage,
+)
+
+pytestmark = pytest.mark.analytics
+
+CAMPAIGN_ID = "analytics-test"
+SEEDS = (2016, 2017)
+
+
+@pytest.fixture(scope="module")
+def campaign_results():
+    """Two tiny PLT campaigns (consecutive seeds) per RNG scheme."""
+    from repro.capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from repro.experiments.plt_campaign import run_plt_campaign
+
+    results = {}
+    for scheme in RNG_SCHEMES:
+        runs = []
+        for seed in SEEDS:
+            DEFAULT_CAPTURE_CACHE.clear()
+            runs.append(run_plt_campaign(
+                sites=3, participants=10, loads_per_site=2, seed=seed,
+                rng_scheme=scheme, campaign_id=CAMPAIGN_ID,
+            ))
+        results[scheme] = runs
+    DEFAULT_CAPTURE_CACHE.clear()
+    return results
+
+
+def _filled_warehouse(tmp_path, campaign_results, scheme, name="wh", reverse=False):
+    warehouse = ResultsWarehouse(tmp_path / name)
+    runs = campaign_results[scheme]
+    for result in (reversed(runs) if reverse else runs):
+        warehouse.ingest(result)
+    return warehouse
+
+
+# -- trend determinism -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_trend_report_is_byte_identical_across_runs(tmp_path, campaign_results, scheme):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, scheme)
+    first = compute_trend(warehouse.records(), campaign_id=CAMPAIGN_ID)
+    second = compute_trend(warehouse.records(), campaign_id=CAMPAIGN_ID)
+    assert canonical_json(trend_record_body(first)) == canonical_json(trend_record_body(second))
+    assert [p.seed for p in first.points] == list(SEEDS)
+    assert first.drift is not None
+    assert len(first.site_trajectories) == 3
+
+
+@pytest.mark.parametrize("scheme", RNG_SCHEMES)
+def test_trend_and_triage_stable_under_ingest_order_permutation(
+        tmp_path, campaign_results, scheme):
+    forward = _filled_warehouse(tmp_path, campaign_results, scheme, "fwd")
+    backward = _filled_warehouse(tmp_path, campaign_results, scheme, "bwd", reverse=True)
+    trend_fwd = trend_record_body(compute_trend(forward.records()))
+    trend_bwd = trend_record_body(compute_trend(backward.records()))
+    assert canonical_json(trend_fwd) == canonical_json(trend_bwd)
+    triage_fwd = triage_record_body(triage_warehouse(forward))
+    triage_bwd = triage_record_body(triage_warehouse(backward))
+    assert canonical_json(triage_fwd) == canonical_json(triage_bwd)
+
+
+def test_trend_points_skip_analytics_records(tmp_path, campaign_results):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    report = compute_trend(warehouse.records())
+    ingest_trend(warehouse, report)
+    ingest_triage(warehouse, triage_warehouse(warehouse))
+    assert len(warehouse) == 4
+    # Analytics records never feed back into the next trend or triage run.
+    assert len(trend_points(warehouse.records())) == 2
+    assert len(triage_warehouse(warehouse).verdicts) == 2
+
+
+def test_analytics_reingest_is_idempotent_and_new_inputs_get_new_campaign(
+        tmp_path, campaign_results):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    first = ingest_triage(warehouse, triage_warehouse(warehouse))
+    again = ingest_triage(warehouse, triage_warehouse(warehouse))
+    assert first.record_id == again.record_id  # same inputs: idempotent no-op
+    # A changed source set derives a *new* campaign id instead of tripping
+    # the append-only conflict check.
+    warehouse.ingest(campaign_results[SCHEME_SPLITMIX64_BATCH_V3][0])
+    grown = ingest_triage(warehouse, triage_warehouse(warehouse))
+    assert grown.record_id != first.record_id
+    assert grown.campaign_id != first.campaign_id
+    assert grown.rng_scheme == "mixed"
+
+
+def test_trend_empty_selection_raises(tmp_path, campaign_results):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    with pytest.raises(AnalysisError, match="no campaign records"):
+        compute_trend(warehouse.records(), campaign_id="no-such-campaign")
+    with pytest.raises(AnalysisError, match="no campaign records"):
+        triage_warehouse(warehouse, kind="h1h2")
+
+
+# -- drift detection ---------------------------------------------------------------
+
+
+def test_drift_report_attributes_the_shift(tmp_path, campaign_results):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    a, b = trend_points(warehouse.records())
+    drift = detect_drift(a, b)
+    assert drift.points_a == drift.points_b == 1
+    assert drift.delta == pytest.approx(b.mean_uplt - a.mean_uplt)
+    assert drift.ci_overlap in (True, False)
+    # Attribution covers every common site plus the shared profile/scheme
+    # axes, ranked by magnitude (largest first).
+    dims = {entry.dimension for entry in drift.attribution}
+    assert dims == {"site", "network_profile", "rng_scheme"}
+    magnitudes = [abs(entry.delta) for entry in drift.attribution]
+    assert magnitudes == sorted(magnitudes, reverse=True)
+    # Self-drift is a null result.
+    self_drift = detect_drift(a, a)
+    assert not self_drift.drifted and self_drift.delta == 0.0
+
+
+def test_drift_rejects_bad_inputs(tmp_path, campaign_results):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    point = trend_points(warehouse.records())[0]
+    with pytest.raises(AnalysisError, match="side B"):
+        detect_drift(point, [])
+    with pytest.raises(AnalysisError, match="threshold"):
+        detect_drift(point, point, threshold=0.0)
+
+
+# -- triage purity -----------------------------------------------------------------
+
+
+def test_triage_verdict_is_pure_function_of_the_body(tmp_path, campaign_results):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    record = warehouse.records()[0]
+    body = record.load()
+    direct = triage_record(record)
+    # Same verdict from the bare body, and from a key-order permutation of
+    # it: the engine never depends on dict iteration order.
+    shuffled = json.loads(canonical_json(dict(reversed(list(body.items())))))
+    assert triage_body(body, record.record_id).as_dict() == direct.as_dict()
+    assert triage_body(shuffled, record.record_id).as_dict() == direct.as_dict()
+    assert tuple(h.name for h in direct.hints) == HINT_ORDER
+
+
+def _synthetic_timeline_body(uplt, onload):
+    return {
+        "campaign_id": "synthetic",
+        "kind": "plt",
+        "experiment_type": "timeline",
+        "rng_scheme": SCHEME_SHA256_V1,
+        "seed": 7,
+        "scale": {"participants": 10, "sites": len(uplt), "videos_per_participant": 1},
+        "videos_served": 40,
+        "filter_summary": {"speed": 2},
+        "uplt_by_site": {site: repr(value) for site, value in uplt.items()},
+        "metrics_by_site": {site: {"onload": repr(value)} for site, value in onload.items()},
+    }
+
+
+def test_clean_synthetic_record_is_healthy():
+    uplt = {"site-000": 3.0, "site-001": 3.1, "site-002": 3.2, "site-003": 3.3}
+    onload = {site: value - 1.0 for site, value in uplt.items()}  # rank-aligned
+    verdict = triage_body(_synthetic_timeline_body(uplt, onload), "0" * 64)
+    assert verdict.bucket == BUCKET_HEALTHY
+    assert not verdict.flagged
+    assert verdict.score == 0.0
+    assert verdict.confidence >= MIN_CONFIDENCE
+    assert all(hint.available for hint in verdict.hints)
+
+
+def test_conflicting_hints_are_flagged_and_routed_to_review():
+    # Agreement fires (UPLT anti-correlated with OnLoad) and filtering
+    # fires (half the served tasks rejected): no bucket dominates, so the
+    # verdict is low-confidence — flagged and routed, never silently
+    # bucketed.
+    uplt = {"site-000": 3.0, "site-001": 3.1, "site-002": 3.2, "site-003": 3.3}
+    onload = {site: 10.0 - value for site, value in uplt.items()}  # anti-correlated
+    body = _synthetic_timeline_body(uplt, onload)
+    body["filter_summary"] = {"speed": 12, "honesty": 8}
+    verdict = triage_body(body, "1" * 64)
+    assert verdict.score == pytest.approx(0.65)
+    assert verdict.provisional_bucket == BUCKET_LOW_AGREEMENT
+    assert verdict.confidence == pytest.approx(0.35 / 0.65)
+    assert verdict.confidence < MIN_CONFIDENCE
+    assert verdict.flagged
+    assert verdict.bucket == BUCKET_NEEDS_REVIEW
+
+
+def test_unavailable_hints_discount_confidence():
+    # One site only: the agreement hint cannot be evaluated, so even an
+    # otherwise-clean record loses that weight from its confidence.
+    verdict = triage_body(
+        _synthetic_timeline_body({"site-000": 3.0}, {"site-000": 2.0}), "2" * 64)
+    agreement = verdict.hints[0]
+    assert agreement.name == "agreement" and not agreement.available
+    assert verdict.bucket == BUCKET_HEALTHY
+    assert verdict.confidence == pytest.approx(1.0 - agreement.weight)
+
+
+def test_triage_report_counts_every_bucket(tmp_path, campaign_results):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    report = triage_warehouse(warehouse)
+    counts = report.bucket_counts
+    assert set(counts) == {BUCKET_HEALTHY, BUCKET_LOW_AGREEMENT,
+                           "suspect-filtering", BUCKET_NEEDS_REVIEW}
+    assert sum(counts.values()) == len(report.verdicts) == 2
+    assert report.as_dict()["engine"]["resamples"] == report.resamples
+
+
+# -- driver threading --------------------------------------------------------------
+
+
+def test_resolve_auto_triage_explicit_wins_and_none_reads_config(monkeypatch):
+    import repro.config
+
+    assert resolve_auto_triage(True) is True
+    assert resolve_auto_triage(False) is False
+    assert resolve_auto_triage(None) is False  # library default
+    monkeypatch.setattr(repro.config, "DEFAULT_CONFIG",
+                        repro.config.ReproConfig(auto_triage=True))
+    assert resolve_auto_triage(None) is True
+    assert resolve_auto_triage(False) is False  # explicit still wins
+
+
+def test_plt_driver_stores_triage_record_when_asked(tmp_path):
+    from repro.capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from repro.experiments.plt_campaign import run_plt_campaign
+
+    warehouse = ResultsWarehouse(tmp_path / "wh")
+    DEFAULT_CAPTURE_CACHE.clear()
+    try:
+        run_plt_campaign(sites=3, participants=8, loads_per_site=2, seed=2016,
+                         warehouse=warehouse, triage=True)
+    finally:
+        DEFAULT_CAPTURE_CACHE.clear()
+    kinds = sorted(r.kind for r in warehouse.records())
+    assert kinds == ["plt", "triage"]
+    triage = warehouse.query(kind="triage")[0]
+    assert triage.experiment_type == "analytics"
+    assert triage.load()["sources"] == [warehouse.query(kind="plt")[0].record_id]
+
+
+# -- stats edge-case pins (tier-1 hardening) ---------------------------------------
+
+
+def test_spearman_rejects_constant_and_all_tied_series():
+    with pytest.raises(AnalysisError, match="sample x is constant"):
+        spearman_correlation([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+    with pytest.raises(AnalysisError, match="sample y is constant"):
+        spearman_correlation([1.0, 2.0, 3.0], [5.0, 5.0, 5.0])
+    with pytest.raises(AnalysisError, match="constant"):
+        spearman_correlation([1.0, 1.0], [1.0, 1.0])  # all tied on both sides
+    with pytest.raises(AnalysisError, match="at least two"):
+        spearman_correlation([1.0], [1.0])
+
+
+def test_fleiss_kappa_single_rater_and_single_category():
+    # Single rater per item: no pair to agree, typed error (not NaN).
+    with pytest.raises(AnalysisError):
+        fleiss_kappa([{"left": 1}, {"right": 1}])
+    # One category overall: expected agreement is 1, kappa pins to 1.
+    assert fleiss_kappa([{"left": 3}, {"left": 2}]).fleiss_kappa == pytest.approx(1.0)
+    with pytest.raises(AnalysisError):
+        fleiss_kappa([])
+
+
+@pytest.mark.parametrize("scheme", (SCHEME_SHA256_V1, SCHEME_SPLITMIX64_BATCH_V3))
+def test_bootstrap_edge_cases_per_scheme(scheme):
+    with pytest.raises(AnalysisError, match="empty"):
+        bootstrap_mean_ci([], seed=1, rng_scheme=scheme)
+    single = bootstrap_mean_ci([4.25], seed=1, rng_scheme=scheme)
+    assert (single.point, single.low, single.high) == (4.25, 4.25, 4.25)
+    with pytest.raises(AnalysisError):
+        bootstrap_mean_ci([1.0, 2.0], seed=1, rng_scheme=scheme, resamples=0)
+
+
+# -- compare hardening (query layer) ----------------------------------------------
+
+
+def test_compare_disjoint_record_sets_raises_with_side_labels(
+        tmp_path, campaign_results, ab_campaign):
+    warehouse = _filled_warehouse(tmp_path, campaign_results, SCHEME_SHA256_V1)
+    from repro.warehouse import compare
+
+    plt_record = warehouse.query(kind="plt")[0]
+    ab_record = warehouse.ingest(ab_campaign, kind="h1h2")  # stores no per-site UPLT
+    with pytest.raises(WarehouseError, match="disjoint") as excinfo:
+        compare(plt_record, ab_record)
+    message = str(excinfo.value)
+    assert "side A" in message and "side B" in message
+    assert CAMPAIGN_ID in message and "test-ab-campaign" in message
