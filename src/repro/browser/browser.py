@@ -25,6 +25,7 @@ from ..httpsim.messages import FetchRecord
 from ..netsim.bandwidth import SharedLink
 from ..netsim.dns import DNSResolver
 from ..netsim.profiles import NetworkProfile, get_profile
+from ..obs import resolve_obs
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.page import Page
 from .devtools import DevToolsSession, TraceEvent
@@ -115,6 +116,9 @@ class Browser:
         network_profile: emulation profile name or object (default "cable").
         seed: seed for every stochastic component of the load.
         rng_scheme: versioned RNG scheme every load stream is derived under.
+        obs: optional observer; per-load transport facts are recorded as
+            non-deterministic execution spans/metrics (they only exist for
+            live, uncached loads).
     """
 
     def __init__(
@@ -123,6 +127,7 @@ class Browser:
         network_profile: str | NetworkProfile = "cable",
         seed: int = 2016,
         rng_scheme: str = DEFAULT_RNG_SCHEME,
+        obs=None,
     ) -> None:
         self.preferences = preferences or BrowserPreferences()
         if isinstance(network_profile, str):
@@ -131,6 +136,7 @@ class Browser:
             self.network_profile = network_profile
         self.seed = seed
         self.rng_scheme = rng_scheme
+        self.obs = resolve_obs(obs)
 
     # -- public API -------------------------------------------------------------
 
@@ -186,6 +192,28 @@ class Browser:
                 parent_record.completed_at + obj.discovery_delay if parent_record else obj.discovery_delay
             )
             fetch_records.append(blocked_fetch_record(obj, discovered_at))
+
+        if self.obs.enabled:
+            # Live-transport facts depend on cache warmth and execution mode,
+            # so they are execution spans/metrics, never digest material.
+            stats = transport.origin_stats()
+            self.obs.record(
+                "browser.load", deterministic=False, url=page.url,
+                protocol=protocol, origins=len(stats),
+                connections=sum(s["connections"] for s in stats.values()),
+                streams=sum(s["streams"] for s in stats.values()),
+                bytes_sent=sum(s["bytes_sent"] for s in stats.values()),
+            )
+            self.obs.counter_add("httpsim.loads")
+            self.obs.counter_add(
+                "httpsim.connections",
+                sum(s["connections"] for s in stats.values()))
+            self.obs.counter_add(
+                "httpsim.streams", sum(s["streams"] for s in stats.values()))
+            self.obs.counter_add(
+                "httpsim.bytes_sent",
+                sum(s["bytes_sent"] for s in stats.values()))
+            self.obs.counter_add("httpsim.pushes", transport.push_count)
 
         renderer = Renderer()
         timeline = renderer.render(page, schedule.fetches)

@@ -48,6 +48,7 @@ from ..errors import (
     RetryExhaustedError,
 )
 from ..netsim.profiles import NetworkProfile
+from ..obs import resolve_obs
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG, validate_scheme
 from ..web.page import Page
 from .frames import frames_from_timeline
@@ -282,6 +283,12 @@ class Webpeg:
             breaker).  The injector wraps the capture *outside* the cache,
             so fault decisions do not depend on cache warmth — a resumed run
             with a warm cache injects exactly the faults of a cold one.
+        obs: optional observer.  Every finished capture emits one
+            deterministic ``capture.page`` span whose attributes derive only
+            from the report contents, so the trace digest is identical
+            whether the report came from the cache, the serial loop, or the
+            process pool; the cache outcome itself is a non-deterministic
+            annotation.
     """
 
     def __init__(
@@ -292,6 +299,7 @@ class Webpeg:
         cache: Optional[CaptureCache] = DEFAULT_CAPTURE_CACHE,
         rng_scheme: str = DEFAULT_RNG_SCHEME,
         injector=None,
+        obs=None,
     ) -> None:
         self.preferences = preferences or BrowserPreferences()
         self.settings = settings or CaptureSettings()
@@ -299,6 +307,7 @@ class Webpeg:
         self.cache = cache
         self.rng_scheme = validate_scheme(rng_scheme)
         self.injector = injector
+        self.obs = resolve_obs(obs)
 
     # -- single-site capture ----------------------------------------------------
 
@@ -329,11 +338,45 @@ class Webpeg:
             CircuitOpenError: the site is quarantined by the injector's
                 circuit breaker.
         """
+        watch_cache = self.obs.enabled and self.cache is not None
+        hits_before = self.cache.hits if watch_cache else 0
         if self.injector is not None:
-            return self.injector.run_capture(
+            report = self.injector.run_capture(
                 page.site_id, lambda: self._capture_uninjected(page, configuration)
             )
-        return self._capture_uninjected(page, configuration)
+        else:
+            report = self._capture_uninjected(page, configuration)
+        cache_hit = (self.cache.hits > hits_before) if watch_cache else None
+        self._emit_capture_span(report, cache_hit=cache_hit)
+        return report
+
+    def _emit_capture_span(self, report: CaptureReport,
+                           cache_hit: Optional[bool] = None) -> None:
+        """Emit the deterministic per-capture span (+ cache-outcome facts).
+
+        Attributes come only from the report — identical for cached, serial
+        and pooled captures — so the span is safe digest material; whether
+        the cache served it is an execution fact and stays an annotation.
+        """
+        obs = self.obs
+        if not obs.enabled:
+            return
+        video = report.video
+        span = obs.record(
+            "capture.page",
+            site_id=video.site_id,
+            configuration=video.configuration,
+            loads=len(report.onload_times),
+            selected_repeat=report.selected_repeat,
+            onload=report.onload_times[report.selected_repeat],
+            transfer_bytes=video.load_result.total_transfer_bytes,
+        )
+        obs.counter_add("capture.pages", deterministic=True)
+        if cache_hit is not None:
+            span.annotate(cache_hit=cache_hit)
+            obs.counter_add(
+                "capture.cache.hits" if cache_hit else "capture.cache.misses"
+            )
 
     def _capture_uninjected(self, page: Page, configuration: str) -> CaptureReport:
         """The actual capture, cache consultation included (no fault plan)."""
@@ -349,6 +392,7 @@ class Webpeg:
             network_profile=self.settings.network_profile,
             seed=self.seed,
             rng_scheme=self.rng_scheme,
+            obs=self.obs,
         )
         # The capture protocol performs a primer load before the measured
         # repeats so the first trial does not pay cold DNS lookups.  In the
@@ -429,6 +473,7 @@ class Webpeg:
 
             # Serve cache hits locally; only misses go to the pool, so a warm
             # batch stays as cheap in parallel mode as in serial mode.
+            cache_served = set()
             misses = []  # (page, precomputed cache key or None)
             for page in pages:
                 key = None
@@ -437,6 +482,7 @@ class Webpeg:
                     cached = self.cache.get(key, scheme=self.rng_scheme)
                     if cached is not None:
                         reports[page.site_id] = cached
+                        cache_served.add(page.site_id)
                         continue
                 misses.append((page, key))
             if misses:
@@ -454,6 +500,17 @@ class Webpeg:
                             self.cache.put(key, report, scheme=self.rng_scheme)
                             report = _fresh_report(report)
                         reports[page.site_id] = report
+            # Hits resolve during the scan and misses when the pool drains,
+            # so spans are emitted here, in input order from the merged
+            # reports — the same deterministic sequence the serial loop
+            # produces.
+            if self.obs.enabled:
+                for page in pages:
+                    self._emit_capture_span(
+                        reports[page.site_id],
+                        cache_hit=page.site_id in cache_served,
+                    )
+                self.obs.counter_add("capture.pool_tasks", len(misses))
             # Preserve input order in the returned mapping.
             return {page.site_id: reports[page.site_id] for page in pages}
         for page in pages:
@@ -475,7 +532,8 @@ def _capture_one(args: Tuple) -> CaptureReport:
 
 def capture_protocol_pair(page: Page, settings: Optional[CaptureSettings] = None,
                           seed: int = 2016,
-                          rng_scheme: str = DEFAULT_RNG_SCHEME) -> Dict[str, CaptureReport]:
+                          rng_scheme: str = DEFAULT_RNG_SCHEME,
+                          obs=None) -> Dict[str, CaptureReport]:
     """Capture the HTTP/1.1 and HTTP/2 versions of one page.
 
     Convenience used by the HTTP/1.1-vs-HTTP/2 A/B campaign: same page, same
@@ -489,6 +547,7 @@ def capture_protocol_pair(page: Page, settings: Optional[CaptureSettings] = None
             settings=settings,
             seed=seed,
             rng_scheme=rng_scheme,
+            obs=obs,
         )
         reports[label] = tool.capture(page, configuration=label)
     return reports
@@ -496,7 +555,8 @@ def capture_protocol_pair(page: Page, settings: Optional[CaptureSettings] = None
 
 def capture_adblock_set(page: Page, blockers: Sequence[str] = ("adblock", "ghostery", "ublock"),
                         settings: Optional[CaptureSettings] = None, seed: int = 2016,
-                        rng_scheme: str = DEFAULT_RNG_SCHEME) -> Dict[str, CaptureReport]:
+                        rng_scheme: str = DEFAULT_RNG_SCHEME,
+                        obs=None) -> Dict[str, CaptureReport]:
     """Capture a page with no extension and with each ad blocker.
 
     The protocol is left on "auto" (Chrome defaults to HTTP/2 when the site
@@ -505,7 +565,7 @@ def capture_adblock_set(page: Page, blockers: Sequence[str] = ("adblock", "ghost
     settings = settings or CaptureSettings()
     reports: Dict[str, CaptureReport] = {}
     base = Webpeg(preferences=BrowserPreferences(protocol="auto"), settings=settings, seed=seed,
-                  rng_scheme=rng_scheme)
+                  rng_scheme=rng_scheme, obs=obs)
     reports["noextension"] = base.capture(page, configuration="noextension")
     for name in blockers:
         tool = Webpeg(
@@ -513,6 +573,7 @@ def capture_adblock_set(page: Page, blockers: Sequence[str] = ("adblock", "ghost
             settings=settings,
             seed=seed,
             rng_scheme=rng_scheme,
+            obs=obs,
         )
         reports[name] = tool.capture(page, configuration=name)
     return reports

@@ -27,6 +27,7 @@ from ..crowd.participant import Participant, ParticipantClass
 from ..crowd.recruitment import Recruiter, RecruitmentReport
 from ..errors import CampaignError, CampaignInterrupted, WorkerCrashFault
 from ..faults import BOUNDARY_WORKER, CheckpointStore, FaultInjector, ResilienceReport
+from ..obs import resolve_obs
 from ..rng import (
     DEFAULT_RNG_SCHEME,
     SCHEME_SPLITMIX64_BATCH_V3,
@@ -320,13 +321,19 @@ class CampaignRunner:
             provided, the runner injects the plan's participant dropouts and
             worker crashes (and absorbs them), and attaches a
             :class:`~repro.faults.ResilienceReport` to the result.
+        obs: optional :class:`repro.obs.Observer`; the runner emits one
+            deterministic ``campaign`` span (with ``campaign.sessions`` and
+            ``campaign.filtering`` children) per run, derived purely from
+            the run's outputs so batch, pooled, checkpointed and streaming
+            execution all produce the identical trace digest.
     """
 
     def __init__(self, config: CampaignConfig, perf=None,
-                 injector: Optional[FaultInjector] = None) -> None:
+                 injector: Optional[FaultInjector] = None, obs=None) -> None:
         self.config = config
         self.perf = perf
         self._injector = injector
+        self._obs = resolve_obs(obs)
         self._rng = SeededRNG(config.seed, config.rng_scheme).fork(
             f"campaign:{config.campaign_id}"
         )
@@ -384,6 +391,39 @@ class CampaignRunner:
         }
         return list(tasks)[:point]
 
+    def _emit_campaign_spans(self, experiment_type: str, *, admitted: int,
+                             videos_served: int, filter_summary: Dict[str, int],
+                             clean_responses: int) -> None:
+        """Emit the deterministic campaign/sessions/filtering span family.
+
+        Every attribute is a pure function of the run's *outputs* (roster
+        size, served videos, filter counts), all of which the batch,
+        pooled, checkpoint-resumed and streaming paths are already
+        contractually bit-identical on — so all of them digest the same.
+        """
+        obs = self._obs
+        if not obs.enabled:
+            return
+        with obs.span("campaign", deterministic=True,
+                      campaign_id=self.config.campaign_id,
+                      experiment_type=experiment_type,
+                      seed=self.config.seed,
+                      rng_scheme=self.config.rng_scheme,
+                      participants=self.config.participant_count,
+                      network_profile=self.config.network_profile):
+            obs.record("campaign.sessions", admitted=admitted,
+                       videos_served=videos_served)
+            obs.record("campaign.filtering",
+                       engagement=filter_summary["engagement"],
+                       soft=filter_summary["soft"],
+                       control=filter_summary["control"],
+                       clean_responses=clean_responses)
+        obs.counter_add("campaign.runs", deterministic=True)
+        obs.counter_add("campaign.participants_admitted", admitted,
+                        deterministic=True)
+        obs.counter_add("campaign.responses_clean", clean_responses,
+                        deterministic=True)
+
     def _checkpoint_fingerprint(self, mode: str, admitted: List[Tuple[Participant, List]],
                                 chunk_size: int) -> Dict[str, object]:
         """Identity a checkpoint directory is bound to (resume-compatibility)."""
@@ -438,7 +478,8 @@ class CampaignRunner:
                 # the slot-block kernel in one call — no per-participant
                 # session/behaviour object graph.
                 return run_cohort_kernel(
-                    mode, batch, self._rng.seed, helper=helper, preload=preload
+                    mode, batch, self._rng.seed, helper=helper, preload=preload,
+                    obs=self._obs,
                 )
             results = []
             for participant, tasks in batch:
@@ -493,8 +534,10 @@ class CampaignRunner:
             fresh = 0
             for index, chunk in enumerate(chunks):
                 if store.has_chunk(index):
+                    self._obs.counter_add("checkpoint.chunks_loaded")
                     results.extend(store.load_chunk(index))
                     continue
+                self._obs.counter_add("checkpoint.chunks_executed")
                 chunk_results = execute(chunk)
                 store.save_chunk(index, chunk_results)
                 results.extend(chunk_results)
@@ -579,6 +622,12 @@ class CampaignRunner:
         clean, report = FilteringPipeline(self.config.filter_config).run(dataset, telemetry)
         if filter_timer:
             filter_timer.finish(events=len(dataset.timeline_responses))
+        self._emit_campaign_spans(
+            "timeline", admitted=len(admitted),
+            videos_served=sum(t.videos_assigned for t in telemetry.values()),
+            filter_summary=report.summary_row(),
+            clean_responses=len(clean.timeline_responses) + len(clean.ab_responses),
+        )
         return CampaignResult(
             config=self.config,
             experiment_type="timeline",
@@ -655,6 +704,12 @@ class CampaignRunner:
                 dataset.add_ab_response(response)
             telemetry[participant.participant_id] = result.telemetry
         clean, report = FilteringPipeline(self.config.filter_config).run(dataset, telemetry)
+        self._emit_campaign_spans(
+            "ab", admitted=len(admitted),
+            videos_served=sum(t.videos_assigned for t in telemetry.values()),
+            filter_summary=report.summary_row(),
+            clean_responses=len(clean.timeline_responses) + len(clean.ab_responses),
+        )
         return CampaignResult(
             config=self.config,
             experiment_type="ab",

@@ -340,7 +340,7 @@ def run_session_kernel(mode: str, participant: Participant, tasks: Sequence,
 def run_cohort_kernel(mode: str, batch: Sequence[Tuple[Participant, Sequence]],
                       parent_seed: int,
                       helper: Optional[FrameSelectionHelper] = None,
-                      preload: bool = True) -> List:
+                      preload: bool = True, obs=None) -> List:
     """Run a whole cohort chunk through the kernel, one stream per participant.
 
     ``parent_seed`` is the campaign generator's seed; each participant's
@@ -349,7 +349,16 @@ def run_cohort_kernel(mode: str, batch: Sequence[Tuple[Participant, Sequence]],
     is bit-identical to per-participant :func:`run_session_kernel` calls —
     the invariant the batch, checkpointed, pooled and streaming runners all
     lean on.
+
+    ``obs`` records per-chunk kernel stats as non-deterministic metrics:
+    chunk boundaries depend on the caller's chunking, so they are execution
+    facts, never digest material.
     """
+    if obs is not None and obs.enabled:
+        obs.counter_add("session_kernel.chunks")
+        obs.counter_add("session_kernel.sessions", len(batch))
+        obs.record("session_kernel.chunk", deterministic=False,
+                   mode=mode, sessions=len(batch))
     return [
         run_session_kernel(
             mode, participant, tasks,

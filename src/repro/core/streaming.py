@@ -535,6 +535,12 @@ def run_streaming_campaign(runner, experiment, mode: str, *,
         for (participant, _tasks), result in zip(chunk, results):
             collector.consume(participant, result)
         collector.flush_chunk()
+        if runner._obs.enabled:
+            # Chunk boundaries are an execution choice (chunk_size), so the
+            # span stays out of the deterministic digest.
+            runner._obs.record("streaming.chunk", deterministic=False,
+                               index=index, sessions=len(chunk))
+            runner._obs.counter_add("streaming.chunks_processed")
 
     try:
         buffer: List[Tuple[Participant, List]] = []
@@ -569,6 +575,16 @@ def run_streaming_campaign(runner, experiment, mode: str, *,
             buffer = []
 
         collector.finalize()
+
+        # Same deterministic span family as the batch runner, from the
+        # streaming aggregates the equivalence contracts already pin to the
+        # batch outputs — so both paths digest identically.
+        runner._emit_campaign_spans(
+            mode, admitted=server.admitted_count,
+            videos_served=collector.videos_served,
+            filter_summary=collector.summary.summary_row(),
+            clean_responses=collector.clean_responses,
+        )
 
         result = StreamingCampaignResult(
             config=config,

@@ -19,8 +19,10 @@ from ..core.analysis import no_difference_fraction_per_site, score_per_site
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import ABExperiment, ABPair, build_ab_pairs
 from ..errors import CampaignError
+from ..obs import resolve_obs
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.corpus import CorpusGenerator
+from .plt_campaign import _wire_warehouse_obs
 
 #: The three extensions the paper compares.
 BLOCKER_NAMES = ("adblock", "ghostery", "ublock")
@@ -55,6 +57,7 @@ def run_adblock_campaign(
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
     triage=None,
+    obs=None,
 ) -> AdblockCampaignResult:
     """Run the ad-blocker A/B campaign end to end.
 
@@ -73,6 +76,7 @@ def run_adblock_campaign(
     """
     if sites < len(BLOCKER_NAMES):
         raise CampaignError(f"need at least {len(BLOCKER_NAMES)} sites (one per blocker)")
+    obs = resolve_obs(obs)
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.ad_sample(sites, corpus_size=corpus_size)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
@@ -81,47 +85,52 @@ def run_adblock_campaign(
     per_blocker = sites // len(BLOCKER_NAMES)
     pairs: List[ABPair] = []
     blocked_counts: Dict[str, List[int]] = {name: [] for name in BLOCKER_NAMES}
-    for index, blocker in enumerate(BLOCKER_NAMES):
-        assigned = pages[index * per_blocker: (index + 1) * per_blocker]
-        originals: Dict[str, Video] = {}
-        blocked: Dict[str, Video] = {}
-        for page in assigned:
-            reports = capture_adblock_set(page, blockers=(blocker,), settings=settings, seed=seed,
-                                          rng_scheme=rng_scheme)
-            originals[page.site_id] = reports["noextension"].video
-            blocked[page.site_id] = reports[blocker].video
-            blocked_counts[blocker].append(len(reports[blocker].video.load_result.blocked_object_ids))
-        pairs.extend(
-            build_ab_pairs(originals, blocked, label_a="withads", label_b=blocker, rng=rng.fork(blocker))
+    with obs.span("experiment", deterministic=True, kind="adblock",
+                  campaign_id="final-ads", sites=len(pages),
+                  participants=participants, seed=seed, rng_scheme=rng_scheme,
+                  network_profile=network_profile):
+        for index, blocker in enumerate(BLOCKER_NAMES):
+            assigned = pages[index * per_blocker: (index + 1) * per_blocker]
+            originals: Dict[str, Video] = {}
+            blocked: Dict[str, Video] = {}
+            for page in assigned:
+                reports = capture_adblock_set(page, blockers=(blocker,), settings=settings, seed=seed,
+                                              rng_scheme=rng_scheme, obs=obs)
+                originals[page.site_id] = reports["noextension"].video
+                blocked[page.site_id] = reports[blocker].video
+                blocked_counts[blocker].append(len(reports[blocker].video.load_result.blocked_object_ids))
+            pairs.extend(
+                build_ab_pairs(originals, blocked, label_a="withads", label_b=blocker, rng=rng.fork(blocker))
+            )
+
+        experiment = ABExperiment(experiment_id="final-ads", pairs=pairs)
+        config = CampaignConfig(
+            campaign_id="final-ads",
+            participant_count=participants,
+            service="crowdflower",
+            seed=seed,
+            rng_scheme=rng_scheme,
         )
+        campaign = CampaignRunner(config, obs=obs).run_ab(experiment)
 
-    experiment = ABExperiment(experiment_id="final-ads", pairs=pairs)
-    config = CampaignConfig(
-        campaign_id="final-ads",
-        participant_count=participants,
-        service="crowdflower",
-        seed=seed,
-        rng_scheme=rng_scheme,
-    )
-    campaign = CampaignRunner(config).run_ab(experiment)
+        scores_by_blocker: Dict[str, Dict[str, float]] = {}
+        for blocker in BLOCKER_NAMES:
+            scores = score_per_site(campaign.clean_dataset, treatment_label=blocker)
+            # Only keep the sites that were actually assigned to this blocker
+            # (score_per_site returns entries for every site with decisive votes).
+            blocker_sites = {pair.site_id for pair in pairs if pair.label_b == blocker}
+            scores_by_blocker[blocker] = {site: s for site, s in scores.items() if site in blocker_sites}
 
-    scores_by_blocker: Dict[str, Dict[str, float]] = {}
-    for blocker in BLOCKER_NAMES:
-        scores = score_per_site(campaign.clean_dataset, treatment_label=blocker)
-        # Only keep the sites that were actually assigned to this blocker
-        # (score_per_site returns entries for every site with decisive votes).
-        blocker_sites = {pair.site_id for pair in pairs if pair.label_b == blocker}
-        scores_by_blocker[blocker] = {site: s for site, s in scores.items() if site in blocker_sites}
+        blocked_means = {
+            name: (sum(counts) / len(counts) if counts else 0.0) for name, counts in blocked_counts.items()
+        }
+        if warehouse is not None:
+            _wire_warehouse_obs(warehouse, obs)
+            record = warehouse.ingest(campaign, kind="adblock")
+            from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
 
-    blocked_means = {
-        name: (sum(counts) / len(counts) if counts else 0.0) for name, counts in blocked_counts.items()
-    }
-    if warehouse is not None:
-        record = warehouse.ingest(campaign, kind="adblock")
-        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
-
-        if resolve_auto_triage(triage):
-            auto_triage_ingested(warehouse, [record])
+            if resolve_auto_triage(triage):
+                auto_triage_ingested(warehouse, [record])
     return AdblockCampaignResult(
         campaign=campaign,
         scores_by_blocker=scores_by_blocker,

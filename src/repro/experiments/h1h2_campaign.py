@@ -23,8 +23,10 @@ from ..core.analysis import (
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import ABExperiment, build_ab_pairs
 from ..metrics.plt import METRIC_NAMES, PLTMetrics, metrics_from_video
+from ..obs import resolve_obs
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.corpus import CorpusGenerator
+from .plt_campaign import _wire_warehouse_obs
 
 
 @dataclass
@@ -78,6 +80,7 @@ def run_h1h2_campaign(
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
     triage=None,
+    obs=None,
 ) -> H1H2CampaignResult:
     """Run the HTTP/1.1 vs HTTP/2 A/B campaign end to end.
 
@@ -87,6 +90,7 @@ def run_h1h2_campaign(
     stores the quality-triage verdict for the record (None falls back to
     :attr:`repro.config.ReproConfig.auto_triage`).
     """
+    obs = resolve_obs(obs)
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
@@ -96,36 +100,42 @@ def run_h1h2_campaign(
     captures_h2: Dict[str, Video] = {}
     metrics_h1: Dict[str, PLTMetrics] = {}
     metrics_h2: Dict[str, PLTMetrics] = {}
-    for page in pages:
-        pair = capture_protocol_pair(page, settings=settings, seed=seed, rng_scheme=rng_scheme)
-        captures_h1[page.site_id] = pair["h1"].video
-        captures_h2[page.site_id] = pair["h2"].video
-        metrics_h1[page.site_id] = metrics_from_video(pair["h1"].video)
-        metrics_h2[page.site_id] = metrics_from_video(pair["h2"].video)
+    with obs.span("experiment", deterministic=True, kind="h1h2",
+                  campaign_id="final-h1h2", sites=len(pages),
+                  participants=participants, seed=seed, rng_scheme=rng_scheme,
+                  network_profile=network_profile):
+        for page in pages:
+            pair = capture_protocol_pair(page, settings=settings, seed=seed,
+                                         rng_scheme=rng_scheme, obs=obs)
+            captures_h1[page.site_id] = pair["h1"].video
+            captures_h2[page.site_id] = pair["h2"].video
+            metrics_h1[page.site_id] = metrics_from_video(pair["h1"].video)
+            metrics_h2[page.site_id] = metrics_from_video(pair["h2"].video)
 
-    pairs = build_ab_pairs(captures_h1, captures_h2, label_a="h1", label_b="h2", rng=rng)
-    experiment = ABExperiment(experiment_id="final-h1h2", pairs=pairs)
-    config = CampaignConfig(
-        campaign_id="final-h1h2",
-        participant_count=participants,
-        service="crowdflower",
-        seed=seed,
-        rng_scheme=rng_scheme,
-    )
-    campaign = CampaignRunner(config).run_ab(experiment)
+        pairs = build_ab_pairs(captures_h1, captures_h2, label_a="h1", label_b="h2", rng=rng)
+        experiment = ABExperiment(experiment_id="final-h1h2", pairs=pairs)
+        config = CampaignConfig(
+            campaign_id="final-h1h2",
+            participant_count=participants,
+            service="crowdflower",
+            seed=seed,
+            rng_scheme=rng_scheme,
+        )
+        campaign = CampaignRunner(config, obs=obs).run_ab(experiment)
 
-    deltas_by_site: Dict[str, Dict[str, float]] = {}
-    for site in captures_h1:
-        deltas_by_site[site] = {
-            name: abs(metrics_h1[site].get(name) - metrics_h2[site].get(name)) for name in METRIC_NAMES
-        }
-    scores = score_per_site(campaign.clean_dataset, treatment_label="h2")
-    if warehouse is not None:
-        record = warehouse.ingest(campaign, kind="h1h2", metrics_by_site=metrics_h2)
-        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+        deltas_by_site: Dict[str, Dict[str, float]] = {}
+        for site in captures_h1:
+            deltas_by_site[site] = {
+                name: abs(metrics_h1[site].get(name) - metrics_h2[site].get(name)) for name in METRIC_NAMES
+            }
+        scores = score_per_site(campaign.clean_dataset, treatment_label="h2")
+        if warehouse is not None:
+            _wire_warehouse_obs(warehouse, obs)
+            record = warehouse.ingest(campaign, kind="h1h2", metrics_by_site=metrics_h2)
+            from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
 
-        if resolve_auto_triage(triage):
-            auto_triage_ingested(warehouse, [record])
+            if resolve_auto_triage(triage):
+                auto_triage_ingested(warehouse, [record])
     return H1H2CampaignResult(
         campaign=campaign,
         scores_by_site=scores,

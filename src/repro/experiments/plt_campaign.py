@@ -21,8 +21,16 @@ from ..errors import CaptureError
 from ..faults import FaultInjector, ResilienceReport
 from ..metrics.comparison import MetricComparison, compare_metrics
 from ..metrics.plt import PLTMetrics, metrics_from_video
+from ..obs import resolve_obs
 from ..rng import DEFAULT_RNG_SCHEME, require_same_scheme
 from ..web.corpus import CorpusGenerator
+
+
+def _wire_warehouse_obs(warehouse, obs) -> None:
+    """Give a caller-constructed warehouse the driver's observer unless the
+    caller already attached an enabled one."""
+    if warehouse is not None and obs.enabled and not warehouse.obs.enabled:
+        warehouse.obs = obs
 
 
 @dataclass
@@ -49,7 +57,7 @@ class PLTCampaignResult:
 
 
 def _capture_plt_corpus(campaign_id, sites, seed, loads_per_site, network_profile,
-                        capture_workers, rng_scheme, pages, injector):
+                        capture_workers, rng_scheme, pages, injector, obs=None):
     """Shared capture phase of the PLT drivers: corpus → videos → metrics.
 
     Returns ``(videos, metrics_by_site)`` over the sites surviving the fault
@@ -62,7 +70,8 @@ def _capture_plt_corpus(campaign_id, sites, seed, loads_per_site, network_profil
         corpus = CorpusGenerator(seed=seed)
         pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
-    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme, injector=injector)
+    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme, injector=injector,
+                  obs=obs)
 
     reports = tool.capture_batch(pages, configuration="h2", max_workers=capture_workers or None)
     # Graceful degradation: under a fault plan, quarantined sites are absent
@@ -103,6 +112,7 @@ def run_plt_campaign(
     checkpoint_dir=None,
     checkpoint_chunk_size: int = 16,
     stop_after_chunks: Optional[int] = None,
+    obs=None,
 ) -> PLTCampaignResult:
     """Run the PLT timeline campaign end to end.
 
@@ -153,57 +163,64 @@ def run_plt_campaign(
             :class:`~repro.errors.CampaignInterrupted` after this many
             freshly-executed chunks to simulate a mid-run kill.
     """
+    obs = resolve_obs(obs)
     injector = None
     if fault_plan is not None:
         require_same_scheme(rng_scheme, fault_plan.rng_scheme,
                             f"fault plan of campaign {campaign_id!r}")
-        injector = FaultInjector(fault_plan, resilience_policy)
-    videos, metrics_by_site = _capture_plt_corpus(
-        campaign_id, sites, seed, loads_per_site, network_profile,
-        capture_workers, rng_scheme, pages, injector,
-    )
+        injector = FaultInjector(fault_plan, resilience_policy, obs=obs)
+    with obs.span("experiment", deterministic=True, kind="plt",
+                  campaign_id=campaign_id,
+                  sites=len(pages) if pages is not None else sites,
+                  participants=participants, seed=seed, rng_scheme=rng_scheme,
+                  network_profile=network_profile):
+        videos, metrics_by_site = _capture_plt_corpus(
+            campaign_id, sites, seed, loads_per_site, network_profile,
+            capture_workers, rng_scheme, pages, injector, obs=obs,
+        )
 
-    experiment = TimelineExperiment(experiment_id=campaign_id, videos=videos)
-    config = CampaignConfig(
-        campaign_id=campaign_id,
-        participant_count=participants,
-        service="crowdflower",
-        seed=seed,
-        rng_scheme=rng_scheme,
-        frame_helper_enabled=frame_helper_enabled,
-        preload_video=preload_video,
-        parallel_workers=session_workers,
-        network_profile=network_profile,
-    )
-    campaign = CampaignRunner(config, injector=injector).run_timeline(
-        experiment,
-        checkpoint_dir=checkpoint_dir,
-        checkpoint_chunk_size=checkpoint_chunk_size,
-        stop_after_chunks=stop_after_chunks,
-    )
+        experiment = TimelineExperiment(experiment_id=campaign_id, videos=videos)
+        config = CampaignConfig(
+            campaign_id=campaign_id,
+            participant_count=participants,
+            service="crowdflower",
+            seed=seed,
+            rng_scheme=rng_scheme,
+            frame_helper_enabled=frame_helper_enabled,
+            preload_video=preload_video,
+            parallel_workers=session_workers,
+            network_profile=network_profile,
+        )
+        campaign = CampaignRunner(config, injector=injector, obs=obs).run_timeline(
+            experiment,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_chunk_size=checkpoint_chunk_size,
+            stop_after_chunks=stop_after_chunks,
+        )
 
-    uplt_by_site = mean_uplt_per_site(campaign.clean_dataset)
-    comparison = compare_uplt_with_metrics(campaign.clean_dataset, metrics_by_site)
-    helper_effect = slider_vs_submitted(campaign.clean_dataset)
-    result = PLTCampaignResult(
-        videos=videos,
-        campaign=campaign,
-        metrics_by_site=metrics_by_site,
-        uplt_by_site=uplt_by_site,
-        comparison=comparison,
-        helper_effect=helper_effect,
-        resilience=campaign.resilience,
-    )
-    if warehouse is not None:
-        if injector is not None and warehouse.injector is None:
-            # Let the plan's torn-write faults reach this ingest too (the
-            # caller may also construct the warehouse with its own injector).
-            warehouse.injector = injector
-        record = warehouse.ingest(result)
-        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+        uplt_by_site = mean_uplt_per_site(campaign.clean_dataset)
+        comparison = compare_uplt_with_metrics(campaign.clean_dataset, metrics_by_site)
+        helper_effect = slider_vs_submitted(campaign.clean_dataset)
+        result = PLTCampaignResult(
+            videos=videos,
+            campaign=campaign,
+            metrics_by_site=metrics_by_site,
+            uplt_by_site=uplt_by_site,
+            comparison=comparison,
+            helper_effect=helper_effect,
+            resilience=campaign.resilience,
+        )
+        if warehouse is not None:
+            if injector is not None and warehouse.injector is None:
+                # Let the plan's torn-write faults reach this ingest too (the
+                # caller may also construct the warehouse with its own injector).
+                warehouse.injector = injector
+            _wire_warehouse_obs(warehouse, obs)
+            record = warehouse.ingest(result)
+            from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
 
-        if resolve_auto_triage(triage):
-            auto_triage_ingested(warehouse, [record])
+            if resolve_auto_triage(triage):
+                auto_triage_ingested(warehouse, [record])
     return result
 
 
@@ -256,6 +273,7 @@ def run_plt_campaign_streaming(
     keep_dataset: bool = False,
     checkpoint_dir=None,
     stop_after_chunks: Optional[int] = None,
+    obs=None,
 ) -> StreamingPLTCampaignResult:
     """Run the PLT campaign as a bounded-memory streaming pipeline.
 
@@ -276,48 +294,55 @@ def run_plt_campaign_streaming(
             the kill-simulation chaos hook (see
             :meth:`~repro.core.campaign.CampaignRunner.run_timeline_streaming`).
     """
+    obs = resolve_obs(obs)
     injector = None
     if fault_plan is not None:
         require_same_scheme(rng_scheme, fault_plan.rng_scheme,
                             f"fault plan of campaign {campaign_id!r}")
-        injector = FaultInjector(fault_plan, resilience_policy)
-    videos, metrics_by_site = _capture_plt_corpus(
-        campaign_id, sites, seed, loads_per_site, network_profile,
-        capture_workers, rng_scheme, pages, injector,
-    )
+        injector = FaultInjector(fault_plan, resilience_policy, obs=obs)
+    with obs.span("experiment", deterministic=True, kind="plt",
+                  campaign_id=campaign_id,
+                  sites=len(pages) if pages is not None else sites,
+                  participants=participants, seed=seed, rng_scheme=rng_scheme,
+                  network_profile=network_profile):
+        videos, metrics_by_site = _capture_plt_corpus(
+            campaign_id, sites, seed, loads_per_site, network_profile,
+            capture_workers, rng_scheme, pages, injector, obs=obs,
+        )
 
-    experiment = TimelineExperiment(experiment_id=campaign_id, videos=videos)
-    config = CampaignConfig(
-        campaign_id=campaign_id,
-        participant_count=participants,
-        service="crowdflower",
-        seed=seed,
-        rng_scheme=rng_scheme,
-        frame_helper_enabled=frame_helper_enabled,
-        preload_video=preload_video,
-        parallel_workers=session_workers,
-        network_profile=network_profile,
-    )
-    campaign = CampaignRunner(config, injector=injector).run_timeline_streaming(
-        experiment,
-        chunk_size=chunk_size,
-        warehouse=warehouse,
-        kind="plt",
-        metrics_by_site=metrics_by_site,
-        keep_dataset=keep_dataset,
-        checkpoint_dir=checkpoint_dir,
-        stop_after_chunks=stop_after_chunks,
-    )
+        experiment = TimelineExperiment(experiment_id=campaign_id, videos=videos)
+        config = CampaignConfig(
+            campaign_id=campaign_id,
+            participant_count=participants,
+            service="crowdflower",
+            seed=seed,
+            rng_scheme=rng_scheme,
+            frame_helper_enabled=frame_helper_enabled,
+            preload_video=preload_video,
+            parallel_workers=session_workers,
+            network_profile=network_profile,
+        )
+        _wire_warehouse_obs(warehouse, obs)
+        campaign = CampaignRunner(config, injector=injector, obs=obs).run_timeline_streaming(
+            experiment,
+            chunk_size=chunk_size,
+            warehouse=warehouse,
+            kind="plt",
+            metrics_by_site=metrics_by_site,
+            keep_dataset=keep_dataset,
+            checkpoint_dir=checkpoint_dir,
+            stop_after_chunks=stop_after_chunks,
+        )
 
-    if warehouse is not None:
-        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+        if warehouse is not None:
+            from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
 
-        if resolve_auto_triage(triage):
-            # The streaming runner landed the record incrementally; triage
-            # what this campaign id now holds (idempotent across re-runs).
-            auto_triage_ingested(
-                warehouse, warehouse.query(kind="plt", campaign_id=campaign_id))
-    comparison = compare_metrics(campaign.uplt_by_site, metrics_by_site)
+            if resolve_auto_triage(triage):
+                # The streaming runner landed the record incrementally; triage
+                # what this campaign id now holds (idempotent across re-runs).
+                auto_triage_ingested(
+                    warehouse, warehouse.query(kind="plt", campaign_id=campaign_id))
+        comparison = compare_metrics(campaign.uplt_by_site, metrics_by_site)
     return StreamingPLTCampaignResult(
         videos=videos,
         campaign=campaign,

@@ -29,11 +29,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..netsim.profiles import get_profile, list_profiles
+from ..obs import resolve_obs
 from ..rng import DEFAULT_RNG_SCHEME
 from ..web.corpus import CorpusGenerator
 from .plt_campaign import (
     PLTCampaignResult,
     StreamingPLTCampaignResult,
+    _wire_warehouse_obs,
     run_plt_campaign,
     run_plt_campaign_streaming,
 )
@@ -114,6 +116,7 @@ def run_profile_sweep_campaign(
     resilience_policy=None,
     streaming: bool = False,
     chunk_size: int = 256,
+    obs=None,
 ) -> ProfileSweepResult:
     """Run the PLT campaign once per network profile, in one pass.
 
@@ -146,6 +149,9 @@ def run_profile_sweep_campaign(
             each campaign rather than at the end of the sweep.
         chunk_size: participants per streaming execution chunk (ignored
             unless ``streaming``).
+        obs: optional :class:`~repro.obs.Observer` threaded through every
+            per-profile campaign; the whole sweep is wrapped in one
+            deterministic ``sweep`` span.
 
     Returns:
         A :class:`ProfileSweepResult` with one campaign per profile.
@@ -154,48 +160,53 @@ def run_profile_sweep_campaign(
     for name in names:
         get_profile(name)  # fail fast on unknown profiles, before any capture
 
+    obs = resolve_obs(obs)
     # One corpus for the whole sweep: the input dataset does not depend on
     # the network condition, so every profile measures the same sites.
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
 
     by_profile: Dict[str, PLTCampaignResult] = {}
-    for name in names:
-        shared = dict(
+    with obs.span("sweep", deterministic=True, profiles=list(names),
+                  sites=sites, seed=seed, rng_scheme=rng_scheme):
+        for name in names:
+            shared = dict(
+                sites=sites,
+                participants=participants,
+                seed=seed,
+                loads_per_site=loads_per_site,
+                network_profile=name,
+                frame_helper_enabled=frame_helper_enabled,
+                preload_video=preload_video,
+                capture_workers=capture_workers,
+                session_workers=session_workers,
+                rng_scheme=rng_scheme,
+                campaign_id=f"profile-sweep-{name}",
+                pages=pages,
+                fault_plan=fault_plan,
+                resilience_policy=resilience_policy,
+                obs=obs,
+            )
+            if streaming:
+                # Incremental ingest: the sink streams each campaign's record
+                # as it runs, so the end-of-sweep ingest below must not fire
+                # (it could not — streaming results carry no datasets).
+                by_profile[name] = run_plt_campaign_streaming(
+                    warehouse=warehouse, chunk_size=chunk_size, triage=triage,
+                    **shared)
+            else:
+                by_profile[name] = run_plt_campaign(**shared)
+        sweep = ProfileSweepResult(
+            profiles=names,
             sites=sites,
-            participants=participants,
-            seed=seed,
-            loads_per_site=loads_per_site,
-            network_profile=name,
-            frame_helper_enabled=frame_helper_enabled,
-            preload_video=preload_video,
-            capture_workers=capture_workers,
-            session_workers=session_workers,
             rng_scheme=rng_scheme,
-            campaign_id=f"profile-sweep-{name}",
-            pages=pages,
-            fault_plan=fault_plan,
-            resilience_policy=resilience_policy,
+            by_profile=by_profile,
         )
-        if streaming:
-            # Incremental ingest: the sink streams each campaign's record
-            # as it runs, so the end-of-sweep ingest below must not fire
-            # (it could not — streaming results carry no datasets).
-            by_profile[name] = run_plt_campaign_streaming(
-                warehouse=warehouse, chunk_size=chunk_size, triage=triage,
-                **shared)
-        else:
-            by_profile[name] = run_plt_campaign(**shared)
-    sweep = ProfileSweepResult(
-        profiles=names,
-        sites=sites,
-        rng_scheme=rng_scheme,
-        by_profile=by_profile,
-    )
-    if warehouse is not None and not streaming:
-        ingested = warehouse.ingest(sweep)
-        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+        if warehouse is not None and not streaming:
+            _wire_warehouse_obs(warehouse, obs)
+            ingested = warehouse.ingest(sweep)
+            from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
 
-        if resolve_auto_triage(triage):
-            auto_triage_ingested(warehouse, ingested)
+            if resolve_auto_triage(triage):
+                auto_triage_ingested(warehouse, ingested)
     return sweep

@@ -18,8 +18,10 @@ from ..capture.webpeg import CaptureSettings, Webpeg, capture_protocol_pair
 from ..core.analysis import BehaviourSummary, summarise_behaviour
 from ..core.campaign import CampaignConfig, CampaignResult, CampaignRunner
 from ..core.experiment import ABExperiment, TimelineExperiment, build_ab_pairs
+from ..obs import resolve_obs
 from ..rng import DEFAULT_RNG_SCHEME, SeededRNG
 from ..web.corpus import CorpusGenerator
+from .plt_campaign import _wire_warehouse_obs
 
 
 @dataclass
@@ -67,6 +69,7 @@ def run_validation_study(
     rng_scheme: str = DEFAULT_RNG_SCHEME,
     warehouse=None,
     triage=None,
+    obs=None,
 ) -> ValidationStudy:
     """Run the full validation study.
 
@@ -86,51 +89,60 @@ def run_validation_study(
     Returns:
         The :class:`ValidationStudy` with both populations' campaigns.
     """
+    obs = resolve_obs(obs)
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads_per_site, network_profile=network_profile)
     rng = SeededRNG(seed, rng_scheme).fork("validation-study")
 
-    # Timeline captures: the HTTP/2 version of each site (the campaign studies
-    # perception, not protocols).
-    timeline_tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
-    timeline_videos = [timeline_tool.capture(page, configuration="h2").video for page in pages]
-    timeline_experiment = TimelineExperiment(experiment_id="validation-timeline", videos=timeline_videos)
+    with obs.span("experiment", deterministic=True, kind="validation",
+                  campaign_id="validation-study", sites=len(pages),
+                  participants=paid_participants + trusted_participants,
+                  seed=seed, rng_scheme=rng_scheme,
+                  network_profile=network_profile):
+        # Timeline captures: the HTTP/2 version of each site (the campaign
+        # studies perception, not protocols).
+        timeline_tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme,
+                               obs=obs)
+        timeline_videos = [timeline_tool.capture(page, configuration="h2").video for page in pages]
+        timeline_experiment = TimelineExperiment(experiment_id="validation-timeline", videos=timeline_videos)
 
-    # A/B captures: HTTP/1.1 vs HTTP/2 of the same sites.
-    captures_h1: Dict[str, Video] = {}
-    captures_h2: Dict[str, Video] = {}
-    for page in pages:
-        pair = capture_protocol_pair(page, settings=settings, seed=seed, rng_scheme=rng_scheme)
-        captures_h1[page.site_id] = pair["h1"].video
-        captures_h2[page.site_id] = pair["h2"].video
-    ab_pairs = build_ab_pairs(captures_h1, captures_h2, label_a="h1", label_b="h2", rng=rng)
-    ab_experiment = ABExperiment(experiment_id="validation-h1h2", pairs=ab_pairs)
+        # A/B captures: HTTP/1.1 vs HTTP/2 of the same sites.
+        captures_h1: Dict[str, Video] = {}
+        captures_h2: Dict[str, Video] = {}
+        for page in pages:
+            pair = capture_protocol_pair(page, settings=settings, seed=seed,
+                                         rng_scheme=rng_scheme, obs=obs)
+            captures_h1[page.site_id] = pair["h1"].video
+            captures_h2[page.site_id] = pair["h2"].video
+        ab_pairs = build_ab_pairs(captures_h1, captures_h2, label_a="h1", label_b="h2", rng=rng)
+        ab_experiment = ABExperiment(experiment_id="validation-h1h2", pairs=ab_pairs)
 
-    def run(campaign_id: str, count: int, service: str, experiment, timeline: bool) -> CampaignResult:
-        config = CampaignConfig(
-            campaign_id=campaign_id, participant_count=count, service=service, seed=seed,
-            rng_scheme=rng_scheme,
-        )
-        runner = CampaignRunner(config)
-        return runner.run_timeline(experiment) if timeline else runner.run_ab(experiment)
+        def run(campaign_id: str, count: int, service: str, experiment, timeline: bool) -> CampaignResult:
+            config = CampaignConfig(
+                campaign_id=campaign_id, participant_count=count, service=service, seed=seed,
+                rng_scheme=rng_scheme,
+            )
+            runner = CampaignRunner(config, obs=obs)
+            return runner.run_timeline(experiment) if timeline else runner.run_ab(experiment)
 
-    timeline_paid = run("validation-timeline-paid", paid_participants, "crowdflower",
-                        timeline_experiment, timeline=True)
-    timeline_trusted = run("validation-timeline-trusted", trusted_participants, "invited",
-                           timeline_experiment, timeline=True)
-    ab_paid = run("validation-ab-paid", paid_participants, "crowdflower", ab_experiment, timeline=False)
-    ab_trusted = run("validation-ab-trusted", trusted_participants, "invited", ab_experiment, timeline=False)
+        timeline_paid = run("validation-timeline-paid", paid_participants, "crowdflower",
+                            timeline_experiment, timeline=True)
+        timeline_trusted = run("validation-timeline-trusted", trusted_participants, "invited",
+                               timeline_experiment, timeline=True)
+        ab_paid = run("validation-ab-paid", paid_participants, "crowdflower", ab_experiment, timeline=False)
+        ab_trusted = run("validation-ab-trusted", trusted_participants, "invited", ab_experiment, timeline=False)
 
-    if warehouse is not None:
-        ingested = [
-            warehouse.ingest(result, kind="validation")
-            for result in (timeline_paid, timeline_trusted, ab_paid, ab_trusted)
-        ]
-        from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
+        if warehouse is not None:
+            _wire_warehouse_obs(warehouse, obs)
+            ingested = [
+                warehouse.ingest(result, kind="validation")
+                for result in (timeline_paid, timeline_trusted, ab_paid, ab_trusted)
+            ]
+            from ..warehouse.triage import auto_triage_ingested, resolve_auto_triage
 
-        if resolve_auto_triage(triage):
-            auto_triage_ingested(warehouse, ingested)
+            if resolve_auto_triage(triage):
+                auto_triage_ingested(warehouse, ingested)
     behaviour = {
         "timeline-paid": summarise_behaviour(timeline_paid.raw_dataset, timeline_paid.telemetry),
         "timeline-trusted": summarise_behaviour(timeline_trusted.raw_dataset, timeline_trusted.telemetry),

@@ -31,6 +31,7 @@ from ..errors import (
     TornWriteFault,
     TransientCaptureFault,
 )
+from ..obs import resolve_obs
 from .breaker import CircuitBreaker
 from .checkpoint import atomic_write_bytes
 from .plan import (
@@ -134,13 +135,19 @@ class FaultInjector:
         plan: the deterministic fault schedule.
         policy: retry/timeout/breaker budget (defaults to
             :data:`~repro.faults.retry.DEFAULT_RESILIENCE_POLICY`).
+        obs: optional observer.  Injection and absorption events are
+            mirrored as non-deterministic metrics/events (a resumed run
+            skips checkpointed work, so execution counts legitimately
+            differ between runs — they must never enter the trace digest).
     """
 
-    def __init__(self, plan: FaultPlan, policy: Optional[ResiliencePolicy] = None) -> None:
+    def __init__(self, plan: FaultPlan, policy: Optional[ResiliencePolicy] = None,
+                 obs=None) -> None:
         self.plan = plan
         self.policy = policy or DEFAULT_RESILIENCE_POLICY
         self.counters = FaultCounters()
         self.breaker = CircuitBreaker(self.policy.breaker_threshold)
+        self.obs = resolve_obs(obs)
 
     # -- capture boundary --------------------------------------------------------
 
@@ -166,6 +173,7 @@ class FaultInjector:
             if stalled:
                 self.counters.capture_stalls_injected += 1
                 self.counters.stall_seconds_total += self.policy.capture_timeout_seconds
+                self.obs.counter_add("faults.capture_stalls_injected")
                 last_fault = CaptureStallFault(
                     f"injected capture stall for {site_id!r} exceeded the "
                     f"{self.policy.capture_timeout_seconds}s stage timeout "
@@ -173,6 +181,7 @@ class FaultInjector:
                 )
             if failed:
                 self.counters.capture_faults_injected += 1
+                self.obs.counter_add("faults.capture_faults_injected")
                 if not stalled:
                     last_fault = TransientCaptureFault(
                         f"injected transient capture failure for {site_id!r} "
@@ -184,11 +193,17 @@ class FaultInjector:
                     self.counters.backoff_seconds_total += retry.backoff_delay(
                         plan, f"capture:{site_id}", attempt
                     )
+                    self.obs.counter_add("faults.capture_retries")
                     continue
                 self.counters.capture_exhausted += 1
+                self.obs.counter_add("faults.capture_exhausted")
                 opened = self.breaker.record_failure(site_id)
                 if opened:
                     self.counters.quarantine(site_id)
+                    self.obs.counter_add("faults.breaker_opens")
+                    if self.obs.enabled:
+                        self.obs.record("fault.breaker_open",
+                                        deterministic=False, site_id=site_id)
                 raise RetryExhaustedError(
                     f"capture of {site_id!r} failed on all {retry.max_attempts} "
                     f"attempts ({'quarantined' if opened else 'breaker counting'}): "
@@ -225,11 +240,13 @@ class FaultInjector:
                 tmp = path.with_name(path.name + ".tmp")
                 tmp.write_bytes(data[: len(data) // 2])
                 self.counters.torn_writes_injected += 1
+                self.obs.counter_add("faults.torn_writes_injected")
                 if attempt + 1 < retry.max_attempts:
                     self.counters.warehouse_write_retries += 1
                     self.counters.backoff_seconds_total += retry.backoff_delay(
                         plan, f"warehouse:{fault_key}", attempt
                     )
+                    self.obs.counter_add("faults.warehouse_write_retries")
                     continue
                 raise RetryExhaustedError(
                     f"warehouse write of {path} was torn on all "

@@ -111,6 +111,14 @@ TRIAGE_SCALES: Dict[str, Dict[str, int]] = {
     "small": {"sites": 4, "participants": 14, "loads": 2, "seeds": 2},
 }
 
+#: Scale of the observability trace golden: one small PLT campaign runs
+#: under a live observer (and once untraced, to prove observation is
+#: inert), and the deterministic trace surface — digest, span inventory,
+#: deterministic metrics, warehouse record id — is pinned per scheme.
+OBS_SCALES: Dict[str, Dict[str, int]] = {
+    "small": {"sites": 4, "participants": 16, "loads": 2},
+}
+
 #: The fault rates of the pinned chaos plan (the plan's seed/scheme follow
 #: the golden's).  Tuned so every boundary fires at the golden scale while
 #: no site loses *all* retries of *every* boundary draw.
@@ -128,13 +136,15 @@ _SWEEP_SNAPSHOT_KIND = "profile-sweep"
 _WAREHOUSE_SNAPSHOT_KIND = "warehouse-ingest"
 _FAULTS_SNAPSHOT_KIND = "faulted-campaign"
 _TRIAGE_SNAPSHOT_KIND = "triage-analytics"
-KINDS = ("plt", "sweep", "warehouse", "faults", "triage")
+_OBS_SNAPSHOT_KIND = "obs-trace"
+KINDS = ("plt", "sweep", "warehouse", "faults", "triage", "obs")
 _KIND_TAGS = {
     "plt": _SNAPSHOT_KIND,
     "sweep": _SWEEP_SNAPSHOT_KIND,
     "warehouse": _WAREHOUSE_SNAPSHOT_KIND,
     "faults": _FAULTS_SNAPSHOT_KIND,
     "triage": _TRIAGE_SNAPSHOT_KIND,
+    "obs": _OBS_SNAPSHOT_KIND,
 }
 
 #: Scales registry per golden kind (shared with the CLI in ``__main__``).
@@ -144,6 +154,7 @@ KIND_SCALES: Dict[str, Dict[str, Dict]] = {
     "warehouse": WAREHOUSE_SCALES,
     "faults": FAULT_SCALES,
     "triage": TRIAGE_SCALES,
+    "obs": OBS_SCALES,
 }
 
 
@@ -522,6 +533,73 @@ def snapshot_triage_analytics(scheme: str, scale: str, seed: int = GOLDEN_SEED) 
         }
 
 
+def snapshot_obs_trace(scheme: str, scale: str, seed: int = GOLDEN_SEED) -> Dict[str, object]:
+    """Run one traced campaign and pin its deterministic trace surface.
+
+    Two identical small PLT campaigns land in two throwaway warehouses —
+    one under a live :class:`repro.obs.Observer`, one untraced — and the
+    snapshot pins:
+
+    * the **trace digest** — sha256 over the deterministic span tree, so
+      any drift in span structure, names or deterministic attributes fails
+      verification;
+    * the deterministic **span inventory** and **metrics snapshot**;
+    * the warehouse **record ids** of the traced run, plus the proof that
+      observation is inert: the untraced run's record ids and campaign
+      outputs must be bit-identical (``traced_matches_untraced``).
+    """
+    import tempfile
+
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..experiments.plt_campaign import run_plt_campaign
+    from ..obs import Observer
+    from ..warehouse import ResultsWarehouse
+
+    validate_scheme(scheme)
+    dims = _check_scale("obs", scale)
+
+    def _run(root, obs=None):
+        DEFAULT_CAPTURE_CACHE.clear()
+        try:
+            return run_plt_campaign(
+                sites=dims["sites"],
+                participants=dims["participants"],
+                loads_per_site=dims["loads"],
+                seed=seed,
+                rng_scheme=scheme,
+                campaign_id="obs-golden",
+                warehouse=ResultsWarehouse(root),
+                triage=False,
+                obs=obs,
+            )
+        finally:
+            DEFAULT_CAPTURE_CACHE.clear()
+
+    observer = Observer()
+    with tempfile.TemporaryDirectory(prefix="obs-golden-") as traced_root, \
+            tempfile.TemporaryDirectory(prefix="obs-golden-") as plain_root:
+        traced = _run(traced_root, obs=observer)
+        plain = _run(plain_root)
+        traced_ids = sorted(r.record_id for r in ResultsWarehouse(traced_root).query())
+        plain_ids = sorted(r.record_id for r in ResultsWarehouse(plain_root).query())
+    return {
+        "kind": _OBS_SNAPSHOT_KIND,
+        "rng_scheme": scheme,
+        "seed": seed,
+        "scale": {"name": scale, **dims},
+        "trace_digest": observer.trace_digest(),
+        "deterministic_span_count": len(observer.trace.deterministic_spans()),
+        "span_names": observer.trace.span_name_counts(),
+        "deterministic_metrics": observer.metrics.deterministic_snapshot(),
+        "record_ids": traced_ids,
+        "traced_matches_untraced": (
+            traced_ids == plain_ids
+            and traced.uplt_by_site == plain.uplt_by_site
+            and traced.campaign.table1_row == plain.campaign.table1_row
+        ),
+    }
+
+
 def save_golden(snapshot: Dict[str, object], overwrite: bool = False) -> Path:
     """Write ``snapshot`` into the store; refuses to overwrite unless asked.
 
@@ -654,6 +732,11 @@ def diff_triage_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -
     return diff_warehouse_snapshots(golden, fresh)
 
 
+def diff_obs_snapshots(golden: Dict[str, object], fresh: Dict[str, object]) -> List[str]:
+    """Leaf-by-leaf differences of two obs-trace snapshots."""
+    return diff_warehouse_snapshots(golden, fresh)
+
+
 def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
                   kind: str = "plt") -> List[str]:
     """Re-run the campaign (or sweep / warehouse / chaos trip) and diff.
@@ -674,6 +757,9 @@ def verify_golden(scheme: str, scale: str, seed: int = GOLDEN_SEED,
     if kind == "triage":
         fresh = snapshot_triage_analytics(scheme, scale, seed)
         return diff_triage_snapshots(golden, fresh)
+    if kind == "obs":
+        fresh = snapshot_obs_trace(scheme, scale, seed)
+        return diff_obs_snapshots(golden, fresh)
     fresh = snapshot_plt_campaign(scheme, scale, seed)
     return diff_snapshots(golden, fresh)
 

@@ -7,16 +7,18 @@ Commands:
     refresh    like capture, but overwrites — the explicit re-baseline step
     diff       compare two stored goldens (e.g. sha256-v1 vs splitmix64-v2)
 
-Five golden kinds exist: ``plt`` (the PLT timeline campaign, at small/
+Six golden kinds exist: ``plt`` (the PLT timeline campaign, at small/
 bench/full scales), ``sweep`` (the network-profile sweep, at small scale),
 ``warehouse`` (the results-warehouse ingest/query/stats round trip, at
 small scale), ``faults`` (the chaos campaign under the pinned fault
 plan, including the kill-at-chunk-boundary/resume record-id identity, at
-small scale), and ``triage`` (the longitudinal trend + quality-triage
+small scale), ``triage`` (the longitudinal trend + quality-triage
 analytics records over a two-campaign warehouse, with their
-recompute/permutation determinism contracts, at small scale).  ``verify``
-checks every stored golden of every kind by default; ``capture`` /
-``refresh`` / ``diff`` take ``--kind`` (default ``plt``).
+recompute/permutation determinism contracts, at small scale), and ``obs``
+(the deterministic trace digest, span inventory and metrics of one traced
+small campaign, plus the traced-equals-untraced inertness proof).
+``verify`` checks every stored golden of every kind by default;
+``capture`` / ``refresh`` / ``diff`` take ``--kind`` (default ``plt``).
 
 Exit status is non-zero when a verification fails or a diff finds
 differences between two same-scheme goldens, so the command slots into CI.
@@ -34,11 +36,13 @@ from . import (
     GOLDEN_SEED,
     KIND_SCALES,
     KINDS,
+    OBS_SCALES,
     SCALES,
     SWEEP_SCALES,
     TRIAGE_SCALES,
     WAREHOUSE_SCALES,
     diff_fault_snapshots,
+    diff_obs_snapshots,
     diff_snapshots,
     diff_sweep_snapshots,
     diff_triage_snapshots,
@@ -47,6 +51,7 @@ from . import (
     load_golden,
     save_golden,
     snapshot_faulted_campaign,
+    snapshot_obs_trace,
     snapshot_plt_campaign,
     snapshot_profile_sweep,
     snapshot_triage_analytics,
@@ -62,6 +67,7 @@ _SNAPSHOT_FNS = {
     "warehouse": snapshot_warehouse,
     "faults": snapshot_faulted_campaign,
     "triage": snapshot_triage_analytics,
+    "obs": snapshot_obs_trace,
 }
 _DIFF_FNS = {
     "plt": diff_snapshots,
@@ -69,6 +75,7 @@ _DIFF_FNS = {
     "warehouse": diff_warehouse_snapshots,
     "faults": diff_fault_snapshots,
     "triage": diff_triage_snapshots,
+    "obs": diff_obs_snapshots,
 }
 
 
@@ -152,7 +159,7 @@ def main(argv=None) -> int:
 
     all_scales = sorted(
         set(SCALES) | set(SWEEP_SCALES) | set(WAREHOUSE_SCALES)
-        | set(FAULT_SCALES) | set(TRIAGE_SCALES)
+        | set(FAULT_SCALES) | set(TRIAGE_SCALES) | set(OBS_SCALES)
     )
     for name, help_text in (
         ("verify", "check stored goldens reproduce bit-for-bit"),

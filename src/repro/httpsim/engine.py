@@ -461,6 +461,30 @@ class FetchTransport:
         """Aggregate time requests spent queued before leaving the client."""
         return sum(record.queue_time for record in self.records)
 
+    @property
+    def push_count(self) -> int:
+        """Objects served via server push during this transport's lifetime."""
+        if not self._push_enabled:
+            return 0
+        pushed = set(self._push_ids)
+        return sum(1 for record in self.records
+                   if record.request.object_id in pushed)
+
+    def origin_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-origin connection/stream/byte totals (read-only, post-run).
+
+        A pure accessor over state the fetch hot path already maintains, so
+        observability exports never touch :meth:`fetch` itself.
+        """
+        return {
+            origin: {
+                "connections": len(state.pool),
+                "streams": state.streams_opened,
+                "bytes_sent": sum(conn.bytes_sent for conn in state.pool),
+            }
+            for origin, state in sorted(self._origins.items())
+        }
+
 
 _NO_PUSH = PushConfiguration()
 

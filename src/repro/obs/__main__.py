@@ -1,0 +1,163 @@
+"""CLI for the observability layer: ``python -m repro.obs <command>``.
+
+Commands:
+    trace      run a small traced PLT campaign and write its JSONL trace
+    summarize  print a human-readable summary of a JSONL trace
+    export     convert a JSONL trace to Chrome trace-event JSON
+    diff       compare the deterministic layers of two JSONL traces
+    smoke      re-run the traced golden workload per scheme and check the
+               deterministic trace surface against the stored ``obs``
+               goldens (the CI contract)
+
+``trace`` runs the whole pipeline — capture, campaign, filtering, and a
+throwaway warehouse ingest — under a live :class:`repro.obs.Observer`, so
+the written trace exercises every instrumented subsystem.  ``summarize``
+and ``export`` operate on the file afterwards; nothing needs to be
+re-executed for forensics.
+
+Exit status is non-zero when ``smoke`` finds a deviation or ``diff`` finds
+differences, so both slot into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..rng import DEFAULT_RNG_SCHEME, RNG_SCHEMES
+
+
+def _run_traced_campaign(args):
+    """Run one fully traced PLT campaign; returns the live Observer."""
+    import tempfile
+
+    from ..capture.webpeg import DEFAULT_CAPTURE_CACHE
+    from ..experiments.plt_campaign import run_plt_campaign
+    from ..warehouse import ResultsWarehouse
+    from . import Observer
+
+    observer = Observer()
+    with tempfile.TemporaryDirectory(prefix="obs-trace-") as tmp:
+        DEFAULT_CAPTURE_CACHE.clear()
+        try:
+            run_plt_campaign(
+                sites=args.sites,
+                participants=args.participants,
+                loads_per_site=args.loads,
+                seed=args.seed,
+                rng_scheme=args.scheme,
+                warehouse=ResultsWarehouse(tmp),
+                triage=False,
+                obs=observer,
+            )
+        finally:
+            DEFAULT_CAPTURE_CACHE.clear()
+    return observer
+
+
+def _cmd_trace(args) -> int:
+    from .export import write_trace_jsonl
+
+    observer = _run_traced_campaign(args)
+    path = write_trace_jsonl(
+        observer, args.output,
+        seed=args.seed, rng_scheme=args.scheme,
+        scale={"sites": args.sites, "participants": args.participants,
+               "loads": args.loads},
+    )
+    print(f"wrote {path} (digest {observer.trace_digest()})")
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    from .export import read_trace_jsonl, summarize_trace
+
+    print(summarize_trace(read_trace_jsonl(args.trace)))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .export import read_trace_jsonl, write_chrome_trace
+
+    path = write_chrome_trace(read_trace_jsonl(args.trace), args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .export import diff_trace_documents, read_trace_jsonl
+
+    differences = diff_trace_documents(read_trace_jsonl(args.trace_a),
+                                       read_trace_jsonl(args.trace_b))
+    if not differences:
+        print("deterministic layers identical")
+        return 0
+    print(f"{len(differences)} differences:")
+    for line in differences:
+        print(f"    {line}")
+    return 1
+
+
+def _cmd_smoke(args) -> int:
+    from ..goldens import GOLDEN_SEED, golden_path, verify_golden
+
+    schemes = list(RNG_SCHEMES) if args.scheme == "all" else [args.scheme]
+    failures = 0
+    checked = 0
+    for scheme in schemes:
+        if not golden_path(scheme, "small", GOLDEN_SEED, kind="obs").exists():
+            print(f"smoke {scheme}: no stored obs golden, skipped")
+            continue
+        checked += 1
+        differences = verify_golden(scheme, "small", GOLDEN_SEED, kind="obs")
+        status = "ok" if not differences else f"FAILED ({len(differences)} differences)"
+        print(f"smoke {scheme}: {status}")
+        for line in differences:
+            print(f"    {line}")
+        failures += bool(differences)
+    if not checked:
+        print("no stored obs goldens to smoke against")
+        return 1
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="run a traced campaign, write JSONL")
+    trace.add_argument("--sites", type=int, default=4)
+    trace.add_argument("--participants", type=int, default=16)
+    trace.add_argument("--loads", type=int, default=2)
+    trace.add_argument("--seed", type=int, default=2016)
+    trace.add_argument("--scheme", choices=RNG_SCHEMES, default=DEFAULT_RNG_SCHEME)
+    trace.add_argument("--output", default="trace.jsonl")
+
+    summarize = sub.add_parser("summarize", help="summarise a JSONL trace")
+    summarize.add_argument("trace")
+
+    export = sub.add_parser("export", help="JSONL trace -> Chrome trace JSON")
+    export.add_argument("trace")
+    export.add_argument("--output", default="trace.chrome.json")
+
+    diff = sub.add_parser("diff", help="compare two JSONL traces")
+    diff.add_argument("trace_a")
+    diff.add_argument("trace_b")
+
+    smoke = sub.add_parser("smoke", help="check traces against the obs goldens")
+    smoke.add_argument("--scheme", choices=(*RNG_SCHEMES, "all"), default="all")
+
+    args = parser.parse_args(argv)
+    return {
+        "trace": _cmd_trace,
+        "summarize": _cmd_summarize,
+        "export": _cmd_export,
+        "diff": _cmd_diff,
+        "smoke": _cmd_smoke,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

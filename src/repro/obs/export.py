@@ -1,0 +1,224 @@
+"""Trace exporters and post-hoc forensics helpers.
+
+Formats:
+
+* **JSONL trace** — one JSON object per line.  First line is a ``meta``
+  record (format tag, digest, span/metric counts), followed by one ``span``
+  record per span in emission order, then a single ``metrics`` record with
+  the canonical registry snapshot.
+* **Chrome trace-event JSON** — ``{"traceEvents": [...]}`` loadable in
+  ``chrome://tracing`` / Perfetto.  Uses the wall-clock *annotations*
+  (non-deterministic by design); spans without timing become instant events.
+
+``summarize_trace`` and ``diff_trace_documents`` power
+``python -m repro.obs summarize/diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..errors import StorageError
+from .trace import TRACE_FORMAT
+
+
+def trace_document(observer, **meta: Any) -> Dict[str, Any]:
+    """Materialise an Observer's trace + metrics as a plain dict."""
+    spans = [span.as_dict() for span in observer.trace.spans]
+    document = {
+        "meta": {
+            "format": TRACE_FORMAT,
+            "trace_digest": observer.trace_digest(),
+            "span_count": len(spans),
+            "deterministic_span_count": sum(
+                1 for span in spans if span["deterministic"]
+            ),
+            "span_names": observer.trace.span_name_counts(),
+            **meta,
+        },
+        "spans": spans,
+        "metrics": observer.metrics.snapshot(),
+        "deterministic_metrics": observer.metrics.deterministic_snapshot(),
+    }
+    return document
+
+
+def write_trace_jsonl(observer, path: Union[str, Path], **meta: Any) -> Path:
+    """Write the JSONL trace sink for an Observer; returns the path."""
+    document = trace_document(observer, **meta)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "meta", **document["meta"]},
+                                sort_keys=True) + "\n")
+        for span in document["spans"]:
+            handle.write(json.dumps({"type": "span", **span},
+                                    sort_keys=True) + "\n")
+        handle.write(json.dumps(
+            {"type": "metrics",
+             "snapshot": document["metrics"],
+             "deterministic": document["deterministic_metrics"]},
+            sort_keys=True) + "\n")
+    return path
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a JSONL trace back into the ``trace_document`` shape."""
+    path = Path(path)
+    document: Dict[str, Any] = {"meta": {}, "spans": [], "metrics": {},
+                                "deterministic_metrics": {}}
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageError(
+                    f"{path}:{line_number}: invalid trace line: {exc}"
+                ) from exc
+            kind = entry.pop("type", None)
+            if kind == "meta":
+                document["meta"] = entry
+            elif kind == "span":
+                document["spans"].append(entry)
+            elif kind == "metrics":
+                document["metrics"] = entry.get("snapshot", {})
+                document["deterministic_metrics"] = entry.get("deterministic", {})
+            else:
+                raise StorageError(
+                    f"{path}:{line_number}: unknown trace record type {kind!r}"
+                )
+    if document["meta"].get("format") != TRACE_FORMAT:
+        raise StorageError(
+            f"{path}: not a {TRACE_FORMAT} trace "
+            f"(format={document['meta'].get('format')!r})"
+        )
+    return document
+
+
+# -- Chrome trace-event export -------------------------------------------------
+
+def chrome_trace_events(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a trace document to Chrome trace-event JSON.
+
+    Wall-clock timings are annotations and therefore explicitly
+    non-deterministic; spans recorded from outputs (no timing) are emitted
+    as instant events at their parent's start so the hierarchy stays
+    readable in the viewer.
+    """
+    starts = {
+        span["id"]: span["annotations"].get("wall_start")
+        for span in document["spans"]
+    }
+    origin = min((s for s in starts.values() if s is not None), default=0.0)
+
+    def ts_for(span: Dict[str, Any]) -> float:
+        start = starts.get(span["id"])
+        if start is None:
+            start = starts.get(span.get("parent")) or origin
+        return (start - origin) * 1e6
+
+    events: List[Dict[str, Any]] = []
+    for span in document["spans"]:
+        args = {**span["attrs"],
+                "deterministic": span["deterministic"],
+                **{f"note.{k}": v for k, v in span["annotations"].items()
+                   if k not in ("wall_start", "wall_seconds")}}
+        wall_seconds = span["annotations"].get("wall_seconds")
+        if wall_seconds is None:
+            events.append({"name": span["name"], "ph": "i", "s": "t",
+                           "ts": ts_for(span), "pid": 1, "tid": 1,
+                           "args": args})
+        else:
+            events.append({"name": span["name"], "ph": "X",
+                           "ts": ts_for(span), "dur": wall_seconds * 1e6,
+                           "pid": 1, "tid": 1, "args": args})
+    return {"traceEvents": events,
+            "otherData": {"format": TRACE_FORMAT,
+                          "trace_digest": document["meta"].get("trace_digest")}}
+
+
+def write_chrome_trace(document: Dict[str, Any],
+                       path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_events(document), indent=1),
+                    encoding="utf-8")
+    return path
+
+
+# -- forensics -----------------------------------------------------------------
+
+def summarize_trace(document: Dict[str, Any]) -> str:
+    """Human-readable summary of a trace document."""
+    meta = document["meta"]
+    lines = [
+        f"trace format        {meta.get('format')}",
+        f"trace digest        {meta.get('trace_digest')}",
+        f"spans               {meta.get('span_count')} "
+        f"({meta.get('deterministic_span_count')} deterministic)",
+    ]
+    for name, count in sorted(meta.get("span_names", {}).items()):
+        lines.append(f"  span {name:<24} x{count}")
+    deterministic = document.get("deterministic_metrics", {})
+    if deterministic:
+        lines.append("deterministic counters:")
+        for name, value in sorted(deterministic.items()):
+            lines.append(f"  {name:<30} {value}")
+    metrics = document.get("metrics", {})
+    other_counters = {name: value
+                      for name, value in metrics.get("counters", {}).items()
+                      if name not in deterministic}
+    if other_counters:
+        lines.append("execution counters (non-deterministic):")
+        for name, value in sorted(other_counters.items()):
+            lines.append(f"  {name:<30} {value}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("wall-time histograms:")
+        for name, stats in sorted(histograms.items()):
+            lines.append(
+                f"  {name:<30} count={stats['count']} "
+                f"total={stats['total']}s min={stats['min']}s "
+                f"max={stats['max']}s"
+            )
+    return "\n".join(lines)
+
+
+def diff_trace_documents(left: Dict[str, Any],
+                         right: Dict[str, Any]) -> List[str]:
+    """Compare the deterministic layers of two trace documents."""
+    differences: List[str] = []
+    for key in ("trace_digest", "deterministic_span_count"):
+        a, b = left["meta"].get(key), right["meta"].get(key)
+        if a != b:
+            differences.append(f"meta.{key}: {a!r} != {b!r}")
+    names = sorted(set(left["meta"].get("span_names", {}))
+                   | set(right["meta"].get("span_names", {})))
+    for name in names:
+        a = left["meta"].get("span_names", {}).get(name, 0)
+        b = right["meta"].get("span_names", {}).get(name, 0)
+        if a != b:
+            differences.append(f"span_names.{name}: {a} != {b}")
+    counters = sorted(set(left.get("deterministic_metrics", {}))
+                      | set(right.get("deterministic_metrics", {})))
+    for name in counters:
+        a = left.get("deterministic_metrics", {}).get(name)
+        b = right.get("deterministic_metrics", {}).get(name)
+        if a != b:
+            differences.append(f"deterministic_metrics.{name}: {a!r} != {b!r}")
+    left_det = [s for s in left.get("spans", []) if s.get("deterministic")]
+    right_det = [s for s in right.get("spans", []) if s.get("deterministic")]
+    for a, b in zip(left_det, right_det):
+        if (a["name"], a["attrs"]) != (b["name"], b["attrs"]):
+            differences.append(
+                f"span det_id {a.get('det_id')}: "
+                f"{a['name']!r} attrs {a['attrs']!r} != "
+                f"{b['name']!r} attrs {b['attrs']!r}"
+            )
+            break
+    return differences

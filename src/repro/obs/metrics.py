@@ -1,0 +1,91 @@
+"""Metrics registry: counters, gauges, and histograms with canonical snapshots.
+
+Each metric's determinism is fixed at first touch and enforced on every
+subsequent update: a *deterministic* metric may only be an integer counter
+whose value is a pure function of ``(seed, rng_scheme, profile)`` — e.g.
+pages captured, sessions admitted, clean responses.  Execution-dependent
+facts (cache hits, retries, chunk executions, wall times) stay
+non-deterministic and are excluded from :meth:`deterministic_snapshot`,
+which is the subset pinned in ``obs`` goldens.
+
+Naming scheme: dotted ``subsystem.fact`` lowercase names, e.g.
+``capture.cache.hits``, ``httpsim.streams``, ``faults.capture_retries``,
+``warehouse.records_landed``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigurationError
+
+
+class MetricsRegistry:
+    """In-process metric store with a canonical, JSON-ready snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, Any] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+        self._deterministic: Dict[str, bool] = {}
+
+    def _check_flag(self, name: str, deterministic: bool) -> None:
+        previous = self._deterministic.setdefault(name, deterministic)
+        if previous != deterministic:
+            raise ConfigurationError(
+                f"metric {name!r} was registered with deterministic="
+                f"{previous}; cannot flip to deterministic={deterministic}"
+            )
+
+    def counter_add(self, name: str, amount: int = 1, *,
+                    deterministic: bool = False) -> None:
+        if deterministic and not isinstance(amount, int):
+            raise ConfigurationError(
+                f"deterministic counter {name!r} requires an int amount, "
+                f"got {type(amount).__name__}"
+            )
+        self._check_flag(name, deterministic)
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge_set(self, name: str, value: Any) -> None:
+        """Set a gauge (always non-deterministic: last-write-wins)."""
+        self._check_flag(name, False)
+        self._gauges[name] = value
+
+    def histogram_observe(self, name: str, value: float) -> None:
+        """Observe one sample (always non-deterministic: wall times etc.)."""
+        self._check_flag(name, False)
+        stats = self._histograms.get(name)
+        if stats is None:
+            self._histograms[name] = {"count": 1, "total": value,
+                                      "min": value, "max": value}
+        else:
+            stats["count"] += 1
+            stats["total"] += value
+            stats["min"] = min(stats["min"], value)
+            stats["max"] = max(stats["max"], value)
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full canonical snapshot (keys sorted, histograms summarised)."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: {"count": stats["count"],
+                       "total": round(stats["total"], 6),
+                       "min": round(stats["min"], 6),
+                       "max": round(stats["max"], 6)}
+                for name, stats in sorted(self._histograms.items())
+            },
+        }
+
+    def deterministic_snapshot(self) -> Dict[str, int]:
+        """Only the deterministic integer counters — the golden-pinned subset."""
+        return {name: int(value)
+                for name, value in sorted(self._counters.items())
+                if self._deterministic.get(name)}
+
+    def counter_value(self, name: str, default: int = 0) -> float:
+        return self._counters.get(name, default)

@@ -1,0 +1,215 @@
+"""Deterministic trace recorder: hierarchical spans with a pinnable digest.
+
+The recorder keeps two strictly separated layers in every trace:
+
+* **Deterministic spans** — structure and attributes are pure functions of
+  ``(seed, rng_scheme, profile)``: ids assigned in emission order from a
+  dedicated counter, parents resolved to the nearest deterministic ancestor,
+  attributes derived only from campaign *outputs* (report contents, filter
+  counts, record ids).  These spans — and only these — feed
+  :meth:`TraceRecorder.digest`, so the digest is bit-identical across repeat
+  runs, cache warm/cold, and serial vs pooled vs streaming execution, and can
+  be pinned as an ``obs`` golden.
+* **Execution facts** — wall-clock timings, cache hit/miss outcomes, live
+  transport stats, chunk boundaries.  These ride along either as
+  *annotations* on any span (never digested) or as spans created with
+  ``deterministic=False`` (excluded from the digest entirely).
+
+Float attributes on deterministic spans are coerced to their ``repr``
+strings so the digest never depends on JSON float formatting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+#: Version tag written into exported trace documents.
+TRACE_FORMAT = "repro-trace-v1"
+
+
+def _clean_value(key: str, value: Any, deterministic: bool) -> Any:
+    """Validate/normalise one attribute value.
+
+    Deterministic attributes must be digest-stable: floats become ``repr``
+    strings, containers are normalised recursively, and anything that is not
+    JSON-representable is rejected outright.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value) if deterministic else value
+    if isinstance(value, (list, tuple)):
+        return [_clean_value(key, item, deterministic) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _clean_value(key, v, deterministic)
+                for k, v in value.items()}
+    raise ConfigurationError(
+        f"span attribute {key!r} has unsupported type {type(value).__name__}"
+    )
+
+
+def _clean_attrs(attrs: Dict[str, Any], deterministic: bool) -> Dict[str, Any]:
+    return {key: _clean_value(key, value, deterministic)
+            for key, value in attrs.items()}
+
+
+class Span:
+    """One trace span; usable as a context manager for execution-scoped work.
+
+    ``with``-style use stamps wall-clock start/duration into
+    :attr:`annotations` (never digested).  Spans created via
+    :meth:`TraceRecorder.record` are born closed and carry no timing.
+    """
+
+    __slots__ = ("span_id", "det_id", "parent_id", "det_parent_id", "name",
+                 "deterministic", "attrs", "annotations", "_recorder",
+                 "_closed", "_wall_start")
+
+    def __init__(self, recorder: "TraceRecorder", span_id: int,
+                 det_id: Optional[int], parent_id: Optional[int],
+                 det_parent_id: Optional[int], name: str,
+                 deterministic: bool, attrs: Dict[str, Any]) -> None:
+        self.span_id = span_id
+        self.det_id = det_id
+        self.parent_id = parent_id
+        self.det_parent_id = det_parent_id
+        self.name = name
+        self.deterministic = deterministic
+        self.attrs = attrs
+        self.annotations: Dict[str, Any] = {}
+        self._recorder = recorder
+        self._closed = False
+        self._wall_start: Optional[float] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Update span attributes (digest-included when deterministic)."""
+        if self._closed:
+            raise ConfigurationError(
+                f"cannot set attributes on closed span {self.name!r}"
+            )
+        self.attrs.update(_clean_attrs(attrs, self.deterministic))
+        return self
+
+    def annotate(self, **annotations: Any) -> "Span":
+        """Attach non-deterministic annotations (never digested)."""
+        self.annotations.update(_clean_attrs(annotations, False))
+        return self
+
+    def __enter__(self) -> "Span":
+        self._wall_start = time.perf_counter()
+        self.annotations["wall_start"] = self._wall_start
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._wall_start is not None:
+            self.annotations["wall_seconds"] = round(
+                time.perf_counter() - self._wall_start, 6
+            )
+        self._recorder._close(self)
+        return False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "det_id": self.det_id,
+            "parent": self.parent_id,
+            "det_parent": self.det_parent_id,
+            "name": self.name,
+            "deterministic": self.deterministic,
+            "attrs": dict(self.attrs),
+            "annotations": dict(self.annotations),
+        }
+
+
+class TraceRecorder:
+    """Collects spans and computes the deterministic trace digest."""
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._det_count = 0
+
+    # -- emission ----------------------------------------------------------------
+
+    def begin(self, name: str, deterministic: bool,
+              attrs: Dict[str, Any]) -> Span:
+        """Open a span and push it on the active stack (use with ``with``)."""
+        span = self._make(name, deterministic, attrs)
+        self._stack.append(span)
+        return span
+
+    def record(self, name: str, attrs: Dict[str, Any],
+               deterministic: bool = True) -> Span:
+        """Emit an already-completed span (child of the current stack top)."""
+        span = self._make(name, deterministic, attrs)
+        span._closed = True
+        return span
+
+    def _make(self, name: str, deterministic: bool,
+              attrs: Dict[str, Any]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        det_id = None
+        det_parent_id = None
+        if deterministic:
+            self._det_count += 1
+            det_id = self._det_count
+            for candidate in reversed(self._stack):
+                if candidate.deterministic:
+                    det_parent_id = candidate.det_id
+                    break
+        span = Span(self, len(self._spans) + 1, det_id,
+                    parent.span_id if parent else None, det_parent_id,
+                    name, deterministic, _clean_attrs(attrs, deterministic))
+        self._spans.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ConfigurationError(
+                f"span {span.name!r} closed out of order"
+            )
+        self._stack.pop()
+        span._closed = True
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def deterministic_spans(self) -> List[Span]:
+        return [span for span in self._spans if span.deterministic]
+
+    def span_name_counts(self, deterministic_only: bool = True) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for span in self._spans:
+            if deterministic_only and not span.deterministic:
+                continue
+            counts[span.name] = counts.get(span.name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON of all deterministic spans.
+
+        Raises:
+            ConfigurationError: if any span is still open — a digest over a
+                half-recorded trace would not be reproducible.
+        """
+        if self._stack:
+            names = ", ".join(span.name for span in self._stack)
+            raise ConfigurationError(
+                f"trace digest requested while spans are still open: {names}"
+            )
+        payload = [
+            {"id": span.det_id, "parent": span.det_parent_id,
+             "name": span.name, "attrs": span.attrs}
+            for span in self._spans if span.deterministic
+        ]
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          ensure_ascii=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

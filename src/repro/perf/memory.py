@@ -50,7 +50,7 @@ def measure_streaming_campaign_peak(
     import resource
     import tracemalloc
 
-    from ..capture.webpeg import CaptureSettings, Webpeg
+    from ..capture.webpeg import CaptureCache, CaptureSettings, Webpeg
     from ..core.campaign import CampaignConfig, CampaignRunner
     from ..core.experiment import TimelineExperiment
     from ..web.corpus import CorpusGenerator
@@ -58,7 +58,10 @@ def measure_streaming_campaign_peak(
     corpus = CorpusGenerator(seed=seed)
     pages = corpus.http2_sample(sites)
     settings = CaptureSettings(loads_per_site=loads, network_profile=network_profile)
-    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme)
+    # A private cache keeps the probe independent of whatever RNG scheme the
+    # process-wide cache is currently pinned to.
+    tool = Webpeg(settings=settings, seed=seed, rng_scheme=rng_scheme,
+                  cache=CaptureCache())
     reports = tool.capture_batch(pages, configuration="h2")
     videos = [reports[page.site_id].video for page in pages]
     experiment = TimelineExperiment(experiment_id="memory-probe", videos=videos)

@@ -34,14 +34,23 @@ class StageTimer:
     _started_at: Optional[float] = field(default=None, repr=False)
 
     def __enter__(self) -> "StageTimer":
-        self._started_at = time.perf_counter()
-        return self
+        return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
     def start(self) -> "StageTimer":
-        """Start (or restart) the timer."""
+        """Start the timer.
+
+        Raises:
+            ConfigurationError: if the timer is already running — restarting
+                would silently discard the elapsed time since the first
+                ``start()``.  Call :meth:`stop` first to accumulate it.
+        """
+        if self._started_at is not None:
+            raise ConfigurationError(
+                f"timer {self.name!r} started while already running"
+            )
         self._started_at = time.perf_counter()
         return self
 
@@ -74,8 +83,28 @@ class PerfReport:
         self._stages: Dict[str, Dict[str, float]] = {}
         self._meta: Dict[str, object] = {}
 
-    def record(self, stage: str, seconds: float, events: int = 0) -> None:
-        """Record one stage's wall-clock time and event count."""
+    def record(self, stage: str, seconds: float, events: int = 0,
+               accumulate: bool = False) -> None:
+        """Record one stage's wall-clock time and event count.
+
+        Args:
+            accumulate: when the stage was already recorded, add ``seconds``
+                and ``events`` to the existing entry instead of failing.
+
+        Raises:
+            ConfigurationError: recording a stage name twice without
+                ``accumulate=True`` — a silent overwrite would drop the
+                first measurement from the report.
+        """
+        existing = self._stages.get(stage)
+        if existing is not None:
+            if not accumulate:
+                raise ConfigurationError(
+                    f"stage {stage!r} already recorded; pass accumulate=True "
+                    f"to add to it instead of overwriting"
+                )
+            seconds = existing["seconds"] + seconds
+            events = existing["events"] + events
         self._stages[stage] = {
             "seconds": round(seconds, 6),
             "events": events,
@@ -87,9 +116,10 @@ class PerfReport:
         report = self
 
         class _RecordingTimer(StageTimer):
-            def finish(self, events: int = 0) -> None:
+            def finish(self, events: int = 0, accumulate: bool = False) -> None:
                 self.stop()
-                report.record(self.name, self.seconds, events)
+                report.record(self.name, self.seconds, events,
+                              accumulate=accumulate)
 
         return _RecordingTimer(name)
 

@@ -50,6 +50,7 @@ from ..core.storage import dataset_from_dict, dataset_to_dict
 from ..errors import WarehouseCorruptionError, WarehouseError
 from ..faults import atomic_write_bytes
 from ..metrics.plt import METRIC_NAMES, PLTMetrics
+from ..obs import resolve_obs
 
 #: Format tag stamped into every record (bump on layout changes).
 RECORD_FORMAT = "warehouse-v1"
@@ -342,6 +343,9 @@ class ResultsWarehouse:
         injector: optional :class:`repro.faults.FaultInjector` whose plan
             may tear warehouse writes (chaos testing); absorbed torn writes
             are retried and still land atomically.
+        obs: optional :class:`repro.obs.Observer`; every ingest (batch or
+            streaming) emits one deterministic ``warehouse.ingest`` span
+            carrying the content-addressed record id.
 
     The sidecar ``index.json`` holds one entry of key metadata per record so
     queries never read record files; it is a pure cache of the records and
@@ -353,10 +357,28 @@ class ResultsWarehouse:
     :meth:`fsck` recognises as debris.
     """
 
-    def __init__(self, root: Union[str, Path], injector=None) -> None:
+    def __init__(self, root: Union[str, Path], injector=None, obs=None) -> None:
         self.root = Path(root).expanduser()
         self.injector = injector
+        self.obs = resolve_obs(obs)
         self._index: Optional[Dict[str, Dict[str, object]]] = None
+
+    def _emit_ingest_span(self, record_id: str, kind: object,
+                          campaign_id: object, landed: bool) -> None:
+        """Deterministic ingest span: the record id is content-addressed, so
+        the attributes are pure functions of the ingested result; whether
+        this call physically landed the record (vs an idempotent no-op on an
+        already-stored id) depends on prior store state and stays an
+        annotation."""
+        obs = self.obs
+        if not obs.enabled:
+            return
+        span = obs.record("warehouse.ingest", record_id=record_id,
+                          kind=kind, campaign_id=campaign_id)
+        span.annotate(landed=landed)
+        obs.counter_add("warehouse.ingests", deterministic=True)
+        if landed:
+            obs.counter_add("warehouse.records_landed")
 
     # -- index management --------------------------------------------------------
 
@@ -561,6 +583,8 @@ class ResultsWarehouse:
         index = self._load_index()
         existing = index.get(record_id)
         if existing is not None:
+            self._emit_ingest_span(record_id, body.get("kind"),
+                                   body.get("campaign_id"), landed=False)
             return WarehouseRecord(self.root, record_id, existing)
 
         meta = _index_meta(body)
@@ -576,6 +600,8 @@ class ResultsWarehouse:
                             f"record:{record_id}")
         index[record_id] = meta
         self._save_index()
+        self._emit_ingest_span(record_id, body.get("kind"),
+                               body.get("campaign_id"), landed=True)
         record = WarehouseRecord(self.root, record_id, meta)
         record._body = body
         return record
@@ -863,6 +889,9 @@ class StreamingIngest:
             existing = index.get(record_id)
             if existing is not None:
                 staging.unlink(missing_ok=True)
+                self.warehouse._emit_ingest_span(
+                    record_id, fields.get("kind"), self.campaign_id,
+                    landed=False)
                 return WarehouseRecord(self.warehouse.root, record_id, existing)
             meta = _index_meta(fields)
             try:
@@ -875,6 +904,8 @@ class StreamingIngest:
             os.replace(staging, final_path)
             index[record_id] = meta
             self.warehouse._save_index()
+            self.warehouse._emit_ingest_span(
+                record_id, fields.get("kind"), self.campaign_id, landed=True)
             return WarehouseRecord(self.warehouse.root, record_id, meta)
         finally:
             self._close()
